@@ -1,0 +1,28 @@
+//! Experiment runner: regenerates the paper's quantitative claims.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p chipforge-bench --release --bin experiments -- all
+//! cargo run -p chipforge-bench --release --bin experiments -- e4 e7
+//! ```
+
+use chipforge_bench::{run_experiment, EXPERIMENT_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        EXPERIMENT_IDS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        match run_experiment(id) {
+            Some(output) => println!("{output}"),
+            None => {
+                eprintln!("unknown experiment `{id}`; known: {EXPERIMENT_IDS:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

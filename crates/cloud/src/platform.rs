@@ -1,0 +1,321 @@
+//! Local-vs-centralized enablement queueing simulation (Rec. 7).
+
+use crate::queue::EventQueue;
+use crate::tier::AccessTier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Workload description shared by both scenarios.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of university groups.
+    pub universities: usize,
+    /// Flow jobs submitted per group.
+    pub jobs_per_university: usize,
+    /// Mean inter-arrival time between a group's jobs, in hours.
+    pub mean_interarrival_h: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Tier mix as probabilities `[beginner, intermediate, advanced]`
+    /// (normalized internally).
+    pub tier_mix: [f64; 3],
+}
+
+impl WorkloadSpec {
+    /// A workload with the default tier mix (60/30/10).
+    #[must_use]
+    pub fn new(
+        universities: usize,
+        jobs_per_university: usize,
+        mean_interarrival_h: f64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            universities,
+            jobs_per_university,
+            mean_interarrival_h,
+            seed,
+            tier_mix: [0.6, 0.3, 0.1],
+        }
+    }
+
+    /// Generates the job list: `(university, arrival_h, tier, service_h)`.
+    fn jobs(&self) -> Vec<(usize, f64, AccessTier, f64)> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let total_mix: f64 = self.tier_mix.iter().sum();
+        let mut jobs = Vec::new();
+        for u in 0..self.universities {
+            let mut t = 0.0;
+            for _ in 0..self.jobs_per_university {
+                t += exponential(&mut rng, self.mean_interarrival_h);
+                let pick = rng.gen::<f64>() * total_mix;
+                let tier = if pick < self.tier_mix[0] {
+                    AccessTier::Beginner
+                } else if pick < self.tier_mix[0] + self.tier_mix[1] {
+                    AccessTier::Intermediate
+                } else {
+                    AccessTier::Advanced
+                };
+                let service = exponential(&mut rng, tier.mean_job_hours());
+                jobs.push((u, t, tier, service));
+            }
+        }
+        jobs.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+        jobs
+    }
+}
+
+fn exponential(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(1e-12..1.0);
+    -mean * u.ln()
+}
+
+/// Aggregate result of one scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Jobs completed.
+    pub completed: usize,
+    /// Mean turnaround (submit to finish) in hours.
+    pub mean_turnaround_h: f64,
+    /// 95th-percentile turnaround in hours.
+    pub p95_turnaround_h: f64,
+    /// Total one-time enablement/setup effort across the system, in
+    /// expert-hours.
+    pub setup_hours_total: f64,
+    /// Mean busy fraction of the compute resources.
+    pub utilization: f64,
+}
+
+/// Simulates per-university local setups: each group runs its own
+/// single-server flow installation and must first spend `setup_hours`
+/// bringing it up (the "availability is not enablement" cost).
+#[must_use]
+pub fn simulate_local(
+    spec: &WorkloadSpec,
+    setup_hours_per_university: f64,
+    compute_speed: f64,
+) -> ScenarioResult {
+    let jobs = spec.jobs();
+    let mut server_free_at = vec![setup_hours_per_university; spec.universities];
+    let mut busy = vec![0.0f64; spec.universities];
+    let mut turnarounds = Vec::with_capacity(jobs.len());
+    let mut horizon = 0.0f64;
+    for (u, arrival, _, service) in jobs {
+        let service = service / compute_speed.max(1e-9);
+        let start = arrival.max(server_free_at[u]);
+        let finish = start + service;
+        server_free_at[u] = finish;
+        busy[u] += service;
+        turnarounds.push(finish - arrival);
+        horizon = horizon.max(finish);
+    }
+    summarize(
+        turnarounds,
+        setup_hours_per_university * spec.universities as f64,
+        busy.iter().sum::<f64>() / (horizon.max(1e-9) * spec.universities as f64),
+    )
+}
+
+#[derive(Debug)]
+enum HubEvent {
+    Arrival(usize),
+    Departure,
+}
+
+/// Simulates a centralized hub with `servers` parallel flow servers and a
+/// single shared setup. Jobs queue FIFO within priority class (advanced
+/// tiers are batch jobs and yield to interactive beginner jobs — the hub
+/// serves *lower* [`AccessTier::priority`] first).
+#[must_use]
+pub fn simulate_hub(
+    spec: &WorkloadSpec,
+    servers: usize,
+    hub_setup_hours: f64,
+    compute_speed: f64,
+) -> ScenarioResult {
+    let jobs = spec.jobs();
+    let mut queue: EventQueue<HubEvent> = EventQueue::new();
+    for (i, (_, arrival, _, _)) in jobs.iter().enumerate() {
+        queue.push(*arrival, HubEvent::Arrival(i));
+    }
+    // Waiting jobs: (priority, fifo seq, job index).
+    let mut waiting: Vec<(u8, usize, usize)> = Vec::new();
+    let mut free_servers = servers;
+    let mut turnarounds = vec![0.0f64; jobs.len()];
+    let mut busy = 0.0f64;
+    let mut horizon = 0.0f64;
+    let mut fifo = 0usize;
+    // Dispatches waiting jobs onto free servers: lowest priority value
+    // first (interactive tiers), FIFO within a class.
+    #[allow(clippy::too_many_arguments)] // internal helper threading sim state
+    fn dispatch(
+        now: f64,
+        jobs: &[(usize, f64, AccessTier, f64)],
+        compute_speed: f64,
+        waiting: &mut Vec<(u8, usize, usize)>,
+        free: &mut usize,
+        busy: &mut f64,
+        turnarounds: &mut [f64],
+        queue: &mut EventQueue<HubEvent>,
+    ) {
+        while *free > 0 && !waiting.is_empty() {
+            let best = waiting
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (p, s, _))| (*p, *s))
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            let (_, _, job_index) = waiting.remove(best);
+            let service = jobs[job_index].3 / compute_speed.max(1e-9);
+            *free -= 1;
+            *busy += service;
+            turnarounds[job_index] = now + service - jobs[job_index].1;
+            queue.push(now + service, HubEvent::Departure);
+        }
+    }
+    while let Some((now, event)) = queue.pop() {
+        horizon = horizon.max(now);
+        match event {
+            HubEvent::Arrival(i) => {
+                let tier = jobs[i].2;
+                waiting.push((tier.priority(), fifo, i));
+                fifo += 1;
+            }
+            HubEvent::Departure => {
+                free_servers += 1;
+            }
+        }
+        dispatch(
+            now,
+            &jobs,
+            compute_speed,
+            &mut waiting,
+            &mut free_servers,
+            &mut busy,
+            &mut turnarounds,
+            &mut queue,
+        );
+    }
+    summarize(
+        turnarounds,
+        hub_setup_hours,
+        busy / (horizon.max(1e-9) * servers as f64),
+    )
+}
+
+fn summarize(mut turnarounds: Vec<f64>, setup_hours: f64, utilization: f64) -> ScenarioResult {
+    let completed = turnarounds.len();
+    let mean = if completed == 0 {
+        0.0
+    } else {
+        turnarounds.iter().sum::<f64>() / completed as f64
+    };
+    turnarounds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let p95 = if completed == 0 {
+        0.0
+    } else {
+        turnarounds[((completed as f64 * 0.95) as usize).min(completed - 1)]
+    };
+    ScenarioResult {
+        completed,
+        mean_turnaround_h: mean,
+        p95_turnaround_h: p95,
+        setup_hours_total: setup_hours,
+        utilization: utilization.clamp(0.0, 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::new(8, 30, 48.0, 7)
+    }
+
+    #[test]
+    fn both_scenarios_complete_all_jobs() {
+        let s = spec();
+        let local = simulate_local(&s, 400.0, 1.0);
+        let hub = simulate_hub(&s, 8, 400.0, 1.0);
+        assert_eq!(local.completed, 8 * 30);
+        assert_eq!(hub.completed, 8 * 30);
+    }
+
+    #[test]
+    fn hub_needs_one_setup_instead_of_n() {
+        let s = spec();
+        let local = simulate_local(&s, 400.0, 1.0);
+        let hub = simulate_hub(&s, 8, 400.0, 1.0);
+        assert!((local.setup_hours_total - 3200.0).abs() < 1e-9);
+        assert!((hub.setup_hours_total - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hub_with_equal_capacity_has_lower_turnaround() {
+        // Statistical multiplexing: shared servers beat dedicated ones at
+        // the same total capacity when load is bursty.
+        let s = WorkloadSpec::new(8, 40, 24.0, 3);
+        let local = simulate_local(&s, 0.0, 1.0);
+        let hub = simulate_hub(&s, 8, 0.0, 1.0);
+        assert!(
+            hub.mean_turnaround_h < local.mean_turnaround_h,
+            "hub {} vs local {}",
+            hub.mean_turnaround_h,
+            local.mean_turnaround_h
+        );
+    }
+
+    #[test]
+    fn more_servers_reduce_turnaround() {
+        let s = WorkloadSpec::new(12, 40, 12.0, 5);
+        let small = simulate_hub(&s, 2, 0.0, 1.0);
+        let big = simulate_hub(&s, 12, 0.0, 1.0);
+        assert!(big.mean_turnaround_h < small.mean_turnaround_h);
+        assert!(big.utilization < small.utilization);
+    }
+
+    #[test]
+    fn faster_compute_shortens_jobs() {
+        let s = spec();
+        let slow = simulate_hub(&s, 4, 0.0, 1.0);
+        let fast = simulate_hub(&s, 4, 0.0, 4.0);
+        assert!(fast.mean_turnaround_h < slow.mean_turnaround_h);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let s = spec();
+        assert_eq!(
+            simulate_hub(&s, 4, 10.0, 1.0),
+            simulate_hub(&s, 4, 10.0, 1.0)
+        );
+        let mut other = spec();
+        other.seed = 99;
+        assert_ne!(
+            simulate_hub(&s, 4, 10.0, 1.0).mean_turnaround_h,
+            simulate_hub(&other, 4, 10.0, 1.0).mean_turnaround_h
+        );
+    }
+
+    #[test]
+    fn beginner_jobs_jump_the_queue() {
+        // With a saturated hub, beginner-heavy mixes see better p95 than
+        // advanced-heavy ones thanks to priority.
+        let mut beginners = WorkloadSpec::new(6, 40, 4.0, 11);
+        beginners.tier_mix = [1.0, 0.0, 0.0];
+        let mut advanced = WorkloadSpec::new(6, 40, 4.0, 11);
+        advanced.tier_mix = [0.0, 0.0, 1.0];
+        let b = simulate_hub(&beginners, 2, 0.0, 1.0);
+        let a = simulate_hub(&advanced, 2, 0.0, 1.0);
+        assert!(b.mean_turnaround_h < a.mean_turnaround_h);
+    }
+
+    #[test]
+    fn utilization_is_a_fraction() {
+        let s = spec();
+        let r = simulate_hub(&s, 3, 0.0, 1.0);
+        assert!((0.0..=1.0).contains(&r.utilization));
+    }
+}

@@ -1,0 +1,219 @@
+//! Multi-project-wafer shuttle aggregation (Sec. III-C economics).
+
+use serde::{Deserialize, Serialize};
+
+/// A periodic MPW shuttle service on one technology.
+///
+/// Designs arrive over time, wait for the next scheduled departure, share
+/// the mask-set cost with the other occupants of their run, and come back
+/// packaged after the fabrication turnaround. The model quantifies the two
+/// paper claims: per-seat cost amortization, and turnaround times that
+/// exceed typical course lengths.
+///
+/// ```
+/// use chipforge_cloud::ShuttleSchedule;
+///
+/// let shuttle = ShuttleSchedule::new(13.0, 16, 26.0, 150_000.0);
+/// let outcome = shuttle.run(&[0.0, 1.0, 5.0, 12.9, 13.1], 2.0);
+/// assert_eq!(outcome.runs_used, 2); // the late design waits for run 2
+/// assert!(outcome.mean_cost_per_seat() < 150_000.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShuttleSchedule {
+    /// Weeks between departures.
+    pub interval_weeks: f64,
+    /// Seats per run.
+    pub seats_per_run: usize,
+    /// Fabrication + packaging turnaround after departure, in weeks.
+    pub fab_weeks: f64,
+    /// Mask + wafer cost of one run (shared by its occupants).
+    pub run_cost_eur: f64,
+}
+
+/// Result of running a shuttle schedule over a set of submissions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShuttleOutcome {
+    /// Per-design total latency (submission to packaged chips), weeks.
+    pub latency_weeks: Vec<f64>,
+    /// Per-design share of its run's cost.
+    pub cost_per_design_eur: Vec<f64>,
+    /// Number of shuttle runs that actually departed.
+    pub runs_used: usize,
+}
+
+impl ShuttleOutcome {
+    /// Mean submission-to-silicon latency in weeks.
+    #[must_use]
+    pub fn mean_latency_weeks(&self) -> f64 {
+        if self.latency_weeks.is_empty() {
+            0.0
+        } else {
+            self.latency_weeks.iter().sum::<f64>() / self.latency_weeks.len() as f64
+        }
+    }
+
+    /// Mean cost per seat in EUR.
+    #[must_use]
+    pub fn mean_cost_per_seat(&self) -> f64 {
+        if self.cost_per_design_eur.is_empty() {
+            0.0
+        } else {
+            self.cost_per_design_eur.iter().sum::<f64>() / self.cost_per_design_eur.len() as f64
+        }
+    }
+
+    /// Fraction of designs whose latency exceeds `weeks` (e.g. a 12-week
+    /// course or a 26-week thesis).
+    #[must_use]
+    pub fn fraction_exceeding(&self, weeks: f64) -> f64 {
+        if self.latency_weeks.is_empty() {
+            return 0.0;
+        }
+        self.latency_weeks.iter().filter(|&&l| l > weeks).count() as f64
+            / self.latency_weeks.len() as f64
+    }
+}
+
+impl ShuttleSchedule {
+    /// Creates a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive.
+    #[must_use]
+    pub fn new(
+        interval_weeks: f64,
+        seats_per_run: usize,
+        fab_weeks: f64,
+        run_cost_eur: f64,
+    ) -> Self {
+        assert!(interval_weeks > 0.0 && fab_weeks > 0.0 && run_cost_eur > 0.0);
+        assert!(seats_per_run > 0);
+        Self {
+            interval_weeks,
+            seats_per_run,
+            fab_weeks,
+            run_cost_eur,
+        }
+    }
+
+    /// Runs the schedule over design submission times (in weeks).
+    ///
+    /// Each design boards the earliest departure after its submission that
+    /// still has a free seat. Departures happen at `interval, 2·interval,
+    /// ...`. Cost is split evenly among a run's occupants.
+    #[must_use]
+    pub fn run(&self, submission_weeks: &[f64], _die_mm2: f64) -> ShuttleOutcome {
+        let mut sorted: Vec<(usize, f64)> = submission_weeks.iter().copied().enumerate().collect();
+        sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        // run index -> occupants (design indices).
+        let mut occupancy: Vec<Vec<usize>> = Vec::new();
+        let mut departure_of = vec![0usize; submission_weeks.len()];
+        for (design, submitted) in &sorted {
+            // Earliest run departing strictly after submission.
+            let mut run = (submitted / self.interval_weeks).floor() as usize;
+            loop {
+                let departs = (run + 1) as f64 * self.interval_weeks;
+                if departs >= *submitted {
+                    while occupancy.len() <= run {
+                        occupancy.push(Vec::new());
+                    }
+                    if occupancy[run].len() < self.seats_per_run {
+                        occupancy[run].push(*design);
+                        departure_of[*design] = run;
+                        break;
+                    }
+                }
+                run += 1;
+            }
+        }
+        let mut latency = vec![0.0; submission_weeks.len()];
+        let mut cost = vec![0.0; submission_weeks.len()];
+        let mut runs_used = 0;
+        for (run, occupants) in occupancy.iter().enumerate() {
+            if occupants.is_empty() {
+                continue;
+            }
+            runs_used += 1;
+            let departs = (run + 1) as f64 * self.interval_weeks;
+            let share = self.run_cost_eur / occupants.len() as f64;
+            for &design in occupants {
+                latency[design] = departs + self.fab_weeks - submission_weeks[design];
+                cost[design] = share;
+            }
+        }
+        ShuttleOutcome {
+            latency_weeks: latency,
+            cost_per_design_eur: cost,
+            runs_used,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule() -> ShuttleSchedule {
+        ShuttleSchedule::new(13.0, 4, 26.0, 100_000.0)
+    }
+
+    #[test]
+    fn cost_is_shared_within_a_run() {
+        let outcome = schedule().run(&[0.0, 1.0, 2.0, 3.0], 1.0);
+        assert_eq!(outcome.runs_used, 1);
+        for c in &outcome.cost_per_design_eur {
+            assert!((c - 25_000.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn full_run_spills_to_next_departure() {
+        // 5 designs, 4 seats: the fifth waits 13 more weeks.
+        let outcome = schedule().run(&[0.0, 0.1, 0.2, 0.3, 0.4], 1.0);
+        assert_eq!(outcome.runs_used, 2);
+        let max = outcome.latency_weeks.iter().cloned().fold(0.0f64, f64::max);
+        let min = outcome
+            .latency_weeks
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            max - min >= 12.5,
+            "spill must add one interval, got {}",
+            max - min
+        );
+        // The lone design on run 2 pays the full mask cost.
+        assert!(outcome
+            .cost_per_design_eur
+            .iter()
+            .any(|&c| (c - 100_000.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn turnaround_exceeds_course_length() {
+        // Paper claim: design-to-packaged-chip exceeds typical course
+        // durations. With quarterly shuttles and 26-week fab, everything
+        // exceeds a 12-week course.
+        let outcome = schedule().run(&[0.0, 5.0, 10.0, 20.0], 1.0);
+        assert_eq!(outcome.fraction_exceeding(12.0), 1.0);
+        assert!(outcome.mean_latency_weeks() > 26.0);
+    }
+
+    #[test]
+    fn more_seats_lower_the_cost() {
+        let small = ShuttleSchedule::new(13.0, 2, 26.0, 100_000.0);
+        let big = ShuttleSchedule::new(13.0, 16, 26.0, 100_000.0);
+        let subs: Vec<f64> = (0..16).map(|i| f64::from(i) * 0.1).collect();
+        let s = small.run(&subs, 1.0);
+        let b = big.run(&subs, 1.0);
+        assert!(b.mean_cost_per_seat() < s.mean_cost_per_seat());
+        assert!(b.mean_latency_weeks() <= s.mean_latency_weeks());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_seats_rejected() {
+        let _ = ShuttleSchedule::new(13.0, 0, 26.0, 1.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Target-group tiers (Recommendation 8).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Learner/user tiers with distinct enablement profiles.
+///
+/// The paper's Recommendation 8 maps the learner spectrum onto three
+/// enablement strategies; each tier's parameters here drive both the
+/// queueing simulation (job sizes) and the tier experiment E9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessTier {
+    /// High-school / early undergraduate: fixed TinyTapeout-style flow,
+    /// tiny designs, zero customization.
+    Beginner,
+    /// Late BSc / early MSc: open PDK with a customizable open flow.
+    Intermediate,
+    /// MSc thesis / PhD: commercial PDKs and advanced nodes.
+    Advanced,
+}
+
+impl AccessTier {
+    /// All tiers, lowest barrier first.
+    pub const ALL: [AccessTier; 3] = [
+        AccessTier::Beginner,
+        AccessTier::Intermediate,
+        AccessTier::Advanced,
+    ];
+
+    /// Mean compute time of one flow job, in hours.
+    #[must_use]
+    pub fn mean_job_hours(self) -> f64 {
+        match self {
+            AccessTier::Beginner => 0.5,
+            AccessTier::Intermediate => 4.0,
+            AccessTier::Advanced => 24.0,
+        }
+    }
+
+    /// Scheduling priority (higher = served first at equal arrival).
+    #[must_use]
+    pub fn priority(self) -> u8 {
+        match self {
+            AccessTier::Beginner => 0,
+            AccessTier::Intermediate => 1,
+            AccessTier::Advanced => 2,
+        }
+    }
+
+    /// Onboarding effort for one user before the first job, in hours
+    /// (accounts, training, flow familiarization).
+    #[must_use]
+    pub fn onboarding_hours(self) -> f64 {
+        match self {
+            AccessTier::Beginner => 2.0,
+            AccessTier::Intermediate => 40.0,
+            AccessTier::Advanced => 160.0,
+        }
+    }
+}
+
+impl fmt::Display for AccessTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessTier::Beginner => "beginner",
+            AccessTier::Intermediate => "intermediate",
+            AccessTier::Advanced => "advanced",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_grows_with_tier() {
+        for pair in AccessTier::ALL.windows(2) {
+            assert!(pair[0].mean_job_hours() < pair[1].mean_job_hours());
+            assert!(pair[0].onboarding_hours() < pair[1].onboarding_hours());
+            assert!(pair[0].priority() < pair[1].priority());
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AccessTier::Beginner.to_string(), "beginner");
+        assert_eq!(AccessTier::Advanced.to_string(), "advanced");
+    }
+}

@@ -1,0 +1,169 @@
+//! `forge` — the chipforge command-line interface.
+//!
+//! ```text
+//! forge run <file.fhdl> [--node <nm>] [--profile open|commercial|quick]
+//!           [--clock <MHz>] [--gds <out.gds>] [--verilog <out.v>]
+//!           [--liberty <out.lib>]
+//! forge tiers <file.fhdl>          # run all three tier strategies
+//! forge catalog                    # nodes, tiers and their envelopes
+//! forge designs                    # built-in benchmark designs
+//! ```
+
+use chipforge::flow::{run_flow, FlowConfig, OptimizationProfile};
+use chipforge::hdl::designs;
+use chipforge::netlist::verilog;
+use chipforge::pdk::{liberty, LibraryKind, Pdk, TechnologyNode};
+use chipforge::{EnablementHub, Tier, TierStrategy};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("tiers") => cmd_tiers(&args[1..]),
+        Some("catalog") => cmd_catalog(),
+        Some("designs") => cmd_designs(),
+        _ => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("forge: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+forge — open chip-design enablement platform
+
+USAGE:
+  forge run <file.fhdl> [--node <nm>] [--profile open|commercial|quick]
+            [--clock <MHz>] [--gds <out>] [--verilog <out>] [--liberty <out>]
+  forge tiers <file.fhdl>
+  forge catalog
+  forge designs
+";
+
+fn flag(args: &[String], name: &str) -> Result<Option<String>, String> {
+    for (i, arg) in args.iter().enumerate() {
+        if arg == name {
+            return args
+                .get(i + 1)
+                .cloned()
+                .map(Some)
+                .ok_or_else(|| format!("{name} needs a value"));
+        }
+    }
+    Ok(None)
+}
+
+fn load_source(path: &str) -> Result<String, String> {
+    // Built-in design names are accepted in place of files.
+    if let Some(design) = designs::suite().into_iter().find(|d| d.name() == path) {
+        return Ok(design.source().to_string());
+    }
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing input file")?;
+    let source = load_source(path)?;
+    let node_nm: u32 = flag(args, "--node")?
+        .map(|s| s.parse().map_err(|_| format!("bad node `{s}`")))
+        .transpose()?
+        .unwrap_or(130);
+    let node = TechnologyNode::from_feature_nm(node_nm)
+        .ok_or_else(|| format!("unknown node {node_nm} nm"))?;
+    let profile = match flag(args, "--profile")?.as_deref() {
+        None | Some("open") => OptimizationProfile::open(),
+        Some("commercial") => OptimizationProfile::commercial(),
+        Some("quick") => OptimizationProfile::quick(),
+        Some(other) => return Err(format!("unknown profile `{other}`")),
+    };
+    let clock: f64 = flag(args, "--clock")?
+        .map(|s| s.parse().map_err(|_| format!("bad clock `{s}`")))
+        .transpose()?
+        .unwrap_or(100.0);
+    let config = FlowConfig::new(node, profile).with_clock_mhz(clock);
+    let outcome = run_flow(&source, &config).map_err(|e| e.to_string())?;
+    print!("{}", outcome.report);
+    if let Some(out) = flag(args, "--gds")? {
+        std::fs::write(&out, &outcome.gds).map_err(|e| format!("write {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    if let Some(out) = flag(args, "--verilog")? {
+        std::fs::write(&out, verilog::write_verilog(&outcome.netlist))
+            .map_err(|e| format!("write {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    if let Some(out) = flag(args, "--liberty")? {
+        let pdk = config.pdk();
+        let lib = pdk.library(config.profile.library);
+        std::fs::write(&out, liberty::write_liberty(&lib))
+            .map_err(|e| format!("write {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_tiers(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing input file")?;
+    let source = load_source(path)?;
+    let hub = EnablementHub::new();
+    for tier in Tier::ALL {
+        let report = hub.run(&source, tier).map_err(|e| e.to_string())?;
+        println!(
+            "{:<12} {:>6} | {:>5} cells, fmax {:>8.1} MHz, {:>9.1} um2, seat {:>8.0} EUR, {:>3.0} weeks",
+            tier.to_string(),
+            report.strategy.node.to_string(),
+            report.flow.ppa.cells,
+            report.flow.ppa.fmax_mhz,
+            report.flow.ppa.cell_area_um2,
+            report.seat_cost_eur,
+            report.turnaround_weeks,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_catalog() -> Result<(), String> {
+    println!("tier strategies (Recommendation 8):");
+    for tier in Tier::ALL {
+        println!("  {}", TierStrategy::recommended(tier));
+    }
+    println!("\nopen PDK nodes:");
+    for node in TechnologyNode::ALL {
+        if node.has_open_pdk() {
+            let pdk = Pdk::open(node);
+            let lib = pdk.library(LibraryKind::Open);
+            println!(
+                "  {:>6}: {} cells, row height {:.2} um, {} metal layers",
+                node.to_string(),
+                lib.len(),
+                lib.row_height_um(),
+                node.metal_layers()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_designs() -> Result<(), String> {
+    println!("built-in benchmark designs (usable as `forge run <name>`):");
+    for design in designs::suite() {
+        let module = design.elaborate().map_err(|e| e.to_string())?;
+        println!(
+            "  {:<14} {:>3} lines, {:>2} inputs, {:>2} outputs, {:>3} state bits",
+            design.name(),
+            design.rtl_lines(),
+            module.inputs().count(),
+            module.outputs().count(),
+            module.state_bits()
+        );
+    }
+    Ok(())
+}

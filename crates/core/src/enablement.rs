@@ -1,0 +1,184 @@
+//! Availability-vs-enablement accounting (Sec. III-D, experiment E7).
+
+use chipforge_flow::FlowTemplate;
+use chipforge_pdk::{Pdk, TechnologyNode};
+use serde::{Deserialize, Serialize};
+
+/// A concrete plan to bring a design environment up on one technology.
+///
+/// The paper's key distinction: *availability* (tools and PDK are
+/// obtainable) vs. *enablement* (a team can actually run a flow). The plan
+/// prices both phases:
+///
+/// * **availability** — administrative lead time from the PDK's access
+///   requirements (NDAs, export control, track record, isolated IT);
+/// * **enablement** — engineering effort to configure the flow, taken
+///   from the [`FlowTemplate`]'s per-step configuration footprint, with or
+///   without template reuse (Recommendation 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnablementPlan {
+    /// The target PDK.
+    pub pdk: Pdk,
+    /// The flow template in use.
+    pub template: FlowTemplate,
+    /// Whether the team reuses the template (vs. scripting from scratch).
+    pub uses_template: bool,
+    /// Full-time-equivalent engineers available for bring-up.
+    pub fte: f64,
+}
+
+impl EnablementPlan {
+    /// Plan for a node using the standard template.
+    #[must_use]
+    pub fn new(node: TechnologyNode, uses_template: bool) -> Self {
+        let pdk = if node.has_open_pdk() {
+            Pdk::open(node)
+        } else {
+            Pdk::commercial(node)
+        };
+        Self {
+            pdk,
+            template: FlowTemplate::standard(),
+            uses_template,
+            fte: 1.0,
+        }
+    }
+
+    /// Administrative lead time before any work can start, in weeks.
+    #[must_use]
+    pub fn availability_weeks(&self) -> f64 {
+        self.pdk.access_lead_time_weeks()
+    }
+
+    /// Engineering effort to configure the flow, in expert-hours.
+    #[must_use]
+    pub fn enablement_hours(&self) -> f64 {
+        self.template
+            .setup_expert_hours(self.pdk.node(), self.uses_template)
+    }
+
+    /// Number of configuration items the team must produce.
+    #[must_use]
+    pub fn configuration_items(&self) -> usize {
+        self.template
+            .setup_items(self.pdk.node(), self.uses_template)
+    }
+
+    /// Calendar weeks from decision to first possible design start:
+    /// administration runs in parallel with flow bring-up (at 35
+    /// productive hours per FTE-week).
+    #[must_use]
+    pub fn weeks_to_first_design(&self) -> f64 {
+        let engineering_weeks = self.enablement_hours() / (35.0 * self.fte.max(0.1));
+        self.availability_weeks().max(engineering_weeks)
+    }
+}
+
+/// Side-by-side comparison of enablement scenarios on one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnablementComparison {
+    /// The node compared.
+    pub node: TechnologyNode,
+    /// From-scratch bring-up.
+    pub from_scratch: EnablementSummary,
+    /// Template-based bring-up.
+    pub with_template: EnablementSummary,
+}
+
+/// Flattened numbers of one scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnablementSummary {
+    /// Administrative lead time, weeks.
+    pub availability_weeks: f64,
+    /// Configuration items to produce.
+    pub items: usize,
+    /// Engineering effort, expert-hours.
+    pub hours: f64,
+    /// Calendar weeks to first design.
+    pub weeks_to_first_design: f64,
+}
+
+impl EnablementComparison {
+    /// Builds the comparison for a node.
+    #[must_use]
+    pub fn for_node(node: TechnologyNode) -> Self {
+        let summarize = |uses_template: bool| {
+            let plan = EnablementPlan::new(node, uses_template);
+            EnablementSummary {
+                availability_weeks: plan.availability_weeks(),
+                items: plan.configuration_items(),
+                hours: plan.enablement_hours(),
+                weeks_to_first_design: plan.weeks_to_first_design(),
+            }
+        };
+        Self {
+            node,
+            from_scratch: summarize(false),
+            with_template: summarize(true),
+        }
+    }
+
+    /// Effort reduction factor achieved by the template.
+    #[must_use]
+    pub fn effort_reduction(&self) -> f64 {
+        self.from_scratch.hours / self.with_template.hours.max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_nodes_have_zero_availability_delay() {
+        let plan = EnablementPlan::new(TechnologyNode::N130, true);
+        assert_eq!(plan.availability_weeks(), 0.0);
+        assert!(
+            plan.enablement_hours() > 0.0,
+            "enablement still costs effort"
+        );
+    }
+
+    #[test]
+    fn advanced_nodes_are_gated_by_administration() {
+        let plan = EnablementPlan::new(TechnologyNode::N7, true);
+        assert!(plan.availability_weeks() > 26.0);
+        // With a template, admin dominates the calendar.
+        assert_eq!(plan.weeks_to_first_design(), plan.availability_weeks());
+    }
+
+    #[test]
+    fn template_cuts_effort_at_least_threefold() {
+        for node in TechnologyNode::ALL {
+            let cmp = EnablementComparison::for_node(node);
+            assert!(
+                cmp.effort_reduction() >= 3.0,
+                "{node}: only {:.1}x",
+                cmp.effort_reduction()
+            );
+        }
+    }
+
+    #[test]
+    fn from_scratch_on_mature_node_takes_months() {
+        let cmp = EnablementComparison::for_node(TechnologyNode::N130);
+        // The paper's core claim: availability (0 weeks, open PDK) is not
+        // enablement (months of bring-up for one engineer).
+        assert_eq!(cmp.from_scratch.availability_weeks, 0.0);
+        assert!(
+            cmp.from_scratch.weeks_to_first_design > 8.0,
+            "{} weeks",
+            cmp.from_scratch.weeks_to_first_design
+        );
+    }
+
+    #[test]
+    fn more_fte_shortens_calendar_not_effort() {
+        let mut solo = EnablementPlan::new(TechnologyNode::N130, false);
+        solo.fte = 1.0;
+        let mut team = EnablementPlan::new(TechnologyNode::N130, false);
+        team.fte = 4.0;
+        assert_eq!(solo.enablement_hours(), team.enablement_hours());
+        assert!(team.weeks_to_first_design() < solo.weeks_to_first_design());
+    }
+}

@@ -1,0 +1,88 @@
+//! # chipforge
+//!
+//! An open chip-design-enablement platform for education and research.
+//!
+//! `chipforge` is a from-scratch Rust implementation of the infrastructure
+//! the DATE 2025 position paper *"Improving Chip Design Enablement for
+//! Universities in Europe"* calls for: a complete open RTL-to-GDSII
+//! digital flow over parameterized open-PDK models, template-driven flow
+//! configuration (Recommendation 4), tiered enablement strategies from
+//! high-school to PhD level (Recommendation 8), a simulated centralized
+//! cloud hub (Recommendation 7), and the economic models behind the
+//! paper's quantitative claims.
+//!
+//! ## Crate map
+//!
+//! The platform is a workspace of substrates, all re-exported here:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`hdl`] | `chipforge-hdl` | ForgeHDL language + simulator |
+//! | [`synth`] | `chipforge-synth` | AIG synthesis + technology mapping |
+//! | [`netlist`] | `chipforge-netlist` | gate-level design database |
+//! | [`pdk`] | `chipforge-pdk` | technology + library models |
+//! | [`sta`] | `chipforge-sta` | static timing analysis |
+//! | [`place`] | `chipforge-place` | floorplan + placement |
+//! | [`route`] | `chipforge-route` | global routing |
+//! | [`layout`] | `chipforge-layout` | layout DB, GDSII, DRC |
+//! | [`power`] | `chipforge-power` | power estimation |
+//! | [`flow`] | `chipforge-flow` | RTL→GDSII orchestration |
+//! | [`cloud`] | `chipforge-cloud` | enablement-platform simulation |
+//! | [`econ`] | `chipforge-econ` | cost/value-chain/workforce models |
+//! | [`verify`] | `chipforge-verify` | BDD-based formal equivalence |
+//! | [`fpga`] | `chipforge-fpga` | K-LUT mapping + prototyping models |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use chipforge::{EnablementHub, Tier};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let hub = EnablementHub::new();
+//! let design = chipforge::hdl::designs::counter(8);
+//! let report = hub.run(design.source(), Tier::Intermediate)?;
+//! assert!(report.flow.ppa.cells > 0);
+//! assert!(report.seat_cost_eur > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod enablement;
+mod hub;
+mod tiers;
+
+pub use enablement::{EnablementComparison, EnablementPlan};
+pub use hub::{EnablementHub, HubError, TierRunReport};
+pub use tiers::{Tier, TierStrategy};
+
+/// Re-export: cloud-platform simulation.
+pub use chipforge_cloud as cloud;
+/// Re-export: economics models.
+pub use chipforge_econ as econ;
+/// Re-export: flow orchestration.
+pub use chipforge_flow as flow;
+/// Re-export: FPGA mapping and prototyping models.
+pub use chipforge_fpga as fpga;
+/// Re-export: ForgeHDL frontend.
+pub use chipforge_hdl as hdl;
+/// Re-export: layout, GDSII and DRC.
+pub use chipforge_layout as layout;
+/// Re-export: netlist database.
+pub use chipforge_netlist as netlist;
+/// Re-export: PDK models.
+pub use chipforge_pdk as pdk;
+/// Re-export: placement.
+pub use chipforge_place as place;
+/// Re-export: power estimation.
+pub use chipforge_power as power;
+/// Re-export: routing.
+pub use chipforge_route as route;
+/// Re-export: static timing analysis.
+pub use chipforge_sta as sta;
+/// Re-export: logic synthesis.
+pub use chipforge_synth as synth;
+/// Re-export: formal equivalence checking.
+pub use chipforge_verify as verify;

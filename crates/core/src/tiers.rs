@@ -1,0 +1,152 @@
+//! Target-group-oriented enablement strategies (Recommendation 8).
+
+use chipforge_cloud::AccessTier;
+use chipforge_econ::mpw::MpwPricing;
+use chipforge_flow::{FlowConfig, OptimizationProfile};
+use chipforge_pdk::TechnologyNode;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Learner tier, re-exported conceptually from the cloud crate but carrying
+/// the platform-level strategy here.
+pub type Tier = AccessTier;
+
+/// The concrete enablement strategy recommended for a tier.
+///
+/// Mirrors the paper's Recommendation 8:
+///
+/// * **Beginner** — TinyTapeout-style: fixed quick flow on the open
+///   130 nm PDK, shared shuttle seat, zero flow customization;
+/// * **Intermediate** — IHP-OpenPDK/OpenROAD-style: open 130 nm PDK with
+///   the full open flow, customization encouraged;
+/// * **Advanced** — commercial PDK and flow at an advanced node via an
+///   enablement service or the Europractice cloud.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierStrategy {
+    /// The tier this strategy serves.
+    pub tier: Tier,
+    /// Target node.
+    pub node: TechnologyNode,
+    /// Flow profile.
+    pub profile: OptimizationProfile,
+    /// Target clock in MHz (modest for learners).
+    pub clock_mhz: f64,
+    /// Die area budget per project, mm².
+    pub die_mm2: f64,
+    /// Whether the user may customize the flow configuration.
+    pub flow_customization: bool,
+}
+
+impl TierStrategy {
+    /// The recommended strategy for a tier.
+    #[must_use]
+    pub fn recommended(tier: Tier) -> Self {
+        match tier {
+            AccessTier::Beginner => Self {
+                tier,
+                node: TechnologyNode::N130,
+                profile: OptimizationProfile::quick(),
+                clock_mhz: 25.0,
+                die_mm2: 0.1,
+                flow_customization: false,
+            },
+            AccessTier::Intermediate => Self {
+                tier,
+                node: TechnologyNode::N130,
+                profile: OptimizationProfile::open(),
+                clock_mhz: 100.0,
+                die_mm2: 2.0,
+                flow_customization: true,
+            },
+            AccessTier::Advanced => Self {
+                tier,
+                node: TechnologyNode::N16,
+                profile: OptimizationProfile::commercial(),
+                clock_mhz: 500.0,
+                die_mm2: 4.0,
+                flow_customization: true,
+            },
+        }
+    }
+
+    /// The flow configuration implied by the strategy.
+    #[must_use]
+    pub fn flow_config(&self) -> FlowConfig {
+        FlowConfig::new(self.node, self.profile.clone()).with_clock_mhz(self.clock_mhz)
+    }
+
+    /// Fabrication seat cost for the tier's die budget, EUR.
+    #[must_use]
+    pub fn seat_cost_eur(&self) -> f64 {
+        MpwPricing::reference().seat_cost_eur(self.node, self.die_mm2)
+    }
+
+    /// Silicon turnaround, weeks.
+    #[must_use]
+    pub fn turnaround_weeks(&self) -> f64 {
+        MpwPricing::reference().turnaround_weeks(self.node)
+    }
+
+    /// Onboarding effort before a user of this tier is productive, hours.
+    #[must_use]
+    pub fn onboarding_hours(&self) -> f64 {
+        self.tier.onboarding_hours()
+    }
+}
+
+impl fmt::Display for TierStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tier: {} / {} profile, {:.1} mm2, {:.0} EUR/seat, {:.0} weeks",
+            self.tier,
+            self.node,
+            self.profile.name,
+            self.die_mm2,
+            self.seat_cost_eur(),
+            self.turnaround_weeks()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beginner_is_cheapest_and_least_flexible() {
+        let b = TierStrategy::recommended(AccessTier::Beginner);
+        let i = TierStrategy::recommended(AccessTier::Intermediate);
+        let a = TierStrategy::recommended(AccessTier::Advanced);
+        assert!(!b.flow_customization);
+        assert!(i.flow_customization && a.flow_customization);
+        assert!(b.seat_cost_eur() < i.seat_cost_eur());
+        assert!(i.seat_cost_eur() < a.seat_cost_eur());
+        assert!(b.onboarding_hours() < i.onboarding_hours());
+    }
+
+    #[test]
+    fn lower_tiers_use_open_nodes() {
+        let b = TierStrategy::recommended(AccessTier::Beginner);
+        let i = TierStrategy::recommended(AccessTier::Intermediate);
+        let a = TierStrategy::recommended(AccessTier::Advanced);
+        assert!(b.node.has_open_pdk());
+        assert!(i.node.has_open_pdk());
+        assert!(!a.node.has_open_pdk());
+    }
+
+    #[test]
+    fn advanced_tier_targets_higher_clock() {
+        let i = TierStrategy::recommended(AccessTier::Intermediate);
+        let a = TierStrategy::recommended(AccessTier::Advanced);
+        assert!(a.clock_mhz > i.clock_mhz);
+        assert_eq!(a.flow_config().clock_mhz, 500.0);
+    }
+
+    #[test]
+    fn display_mentions_tier_and_node() {
+        let s = TierStrategy::recommended(AccessTier::Beginner).to_string();
+        assert!(s.contains("beginner"));
+        assert!(s.contains("130nm"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Design-cost escalation across technology nodes (Sec. III-C, E4).
+
+use chipforge_pdk::TechnologyNode;
+use serde::{Deserialize, Serialize};
+
+/// Cost breakdown of a production-ready chip design, in million USD.
+///
+/// The activity split follows the IBS-style decomposition commonly cited
+/// for advanced-node design costs: verification and software dominate at
+/// newer nodes while physical design grows more slowly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Technology node.
+    pub node: TechnologyNode,
+    /// Architecture and IP qualification.
+    pub architecture_musd: f64,
+    /// RTL design and verification.
+    pub verification_musd: f64,
+    /// Physical design (synthesis to signoff).
+    pub physical_musd: f64,
+    /// Embedded/system software enablement.
+    pub software_musd: f64,
+    /// Prototyping, masks and validation silicon.
+    pub prototype_musd: f64,
+}
+
+impl CostBreakdown {
+    /// Total cost in million USD.
+    #[must_use]
+    pub fn total_musd(&self) -> f64 {
+        self.architecture_musd
+            + self.verification_musd
+            + self.physical_musd
+            + self.software_musd
+            + self.prototype_musd
+    }
+}
+
+/// The design-cost model.
+///
+/// Anchored to the two figures the paper cites — **$5 M at 130 nm** and
+/// **$725 M at 2 nm** — with intermediate nodes following the published
+/// IBS cost survey shape.
+///
+/// ```
+/// use chipforge_econ::cost::DesignCostModel;
+/// use chipforge_pdk::TechnologyNode;
+///
+/// let model = DesignCostModel::reference();
+/// assert_eq!(model.total_musd(TechnologyNode::N130), 5.0);
+/// assert_eq!(model.total_musd(TechnologyNode::N2), 725.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DesignCostModel;
+
+impl DesignCostModel {
+    /// The reference model.
+    #[must_use]
+    pub fn reference() -> Self {
+        Self
+    }
+
+    /// Total production-ready design cost at a node, in million USD.
+    #[must_use]
+    pub fn total_musd(&self, node: TechnologyNode) -> f64 {
+        // 130 nm and 2 nm anchored to the paper; the rest follows the IBS
+        // cost-survey curve.
+        match node {
+            TechnologyNode::N180 => 3.0,
+            TechnologyNode::N130 => 5.0,
+            TechnologyNode::N90 => 12.0,
+            TechnologyNode::N65 => 28.0,
+            TechnologyNode::N45 => 40.0,
+            TechnologyNode::N28 => 51.0,
+            TechnologyNode::N16 => 106.0,
+            TechnologyNode::N7 => 298.0,
+            TechnologyNode::N5 => 542.0,
+            TechnologyNode::N3 => 650.0,
+            TechnologyNode::N2 => 725.0,
+        }
+    }
+
+    /// Fraction of the total spent on verification + software (grows with
+    /// node advancement, the root of the paper's productivity argument).
+    #[must_use]
+    pub fn verification_software_fraction(&self, node: TechnologyNode) -> f64 {
+        // ~35% at mature nodes up to ~60% at the leading edge.
+        let f = f64::from(node.feature_nm());
+        (0.60 - 0.05 * (f / 28.0).ln().max(0.0)).clamp(0.35, 0.60)
+    }
+
+    /// Full activity breakdown at a node.
+    #[must_use]
+    pub fn breakdown(&self, node: TechnologyNode) -> CostBreakdown {
+        let total = self.total_musd(node);
+        let vs = self.verification_software_fraction(node);
+        // Split verification+software 60/40; the remainder goes to
+        // architecture (20%), physical (50%), prototype (30%).
+        let rest = 1.0 - vs;
+        CostBreakdown {
+            node,
+            architecture_musd: total * rest * 0.20,
+            verification_musd: total * vs * 0.60,
+            physical_musd: total * rest * 0.50,
+            software_musd: total * vs * 0.40,
+            prototype_musd: total * rest * 0.30,
+        }
+    }
+
+    /// Multiple of a typical university project budget (default €2 M)
+    /// needed to afford a production design at `node` — the paper's
+    /// "out of reach for educational institutions" argument.
+    #[must_use]
+    pub fn budget_multiple(&self, node: TechnologyNode, budget_musd: f64) -> f64 {
+        self.total_musd(node) / budget_musd.max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_match_paper() {
+        let m = DesignCostModel::reference();
+        assert_eq!(m.total_musd(TechnologyNode::N130), 5.0);
+        assert_eq!(m.total_musd(TechnologyNode::N2), 725.0);
+        // The paper's 145x ratio.
+        let ratio = m.total_musd(TechnologyNode::N2) / m.total_musd(TechnologyNode::N130);
+        assert!((ratio - 145.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn costs_rise_monotonically() {
+        let m = DesignCostModel::reference();
+        for pair in TechnologyNode::ALL.windows(2) {
+            assert!(m.total_musd(pair[0]) < m.total_musd(pair[1]));
+        }
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let m = DesignCostModel::reference();
+        for node in TechnologyNode::ALL {
+            let b = m.breakdown(node);
+            assert!((b.total_musd() - m.total_musd(node)).abs() < 1e-9, "{node}");
+        }
+    }
+
+    #[test]
+    fn verification_share_grows_toward_leading_edge() {
+        let m = DesignCostModel::reference();
+        assert!(
+            m.verification_software_fraction(TechnologyNode::N5)
+                > m.verification_software_fraction(TechnologyNode::N130)
+        );
+        for node in TechnologyNode::ALL {
+            let f = m.verification_software_fraction(node);
+            assert!((0.35..=0.60).contains(&f));
+        }
+    }
+
+    #[test]
+    fn university_budgets_cannot_reach_advanced_nodes() {
+        let m = DesignCostModel::reference();
+        // Even a generous €2M research grant is >100x short at 7nm.
+        assert!(m.budget_multiple(TechnologyNode::N7, 2.0) > 100.0);
+        // But a 130nm educational project is within a single grant.
+        assert!(m.budget_multiple(TechnologyNode::N130, 2.0) < 3.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Sustainable funding models for academic silicon access
+//! (Recommendation 6: strengthen Europractice, corporate sponsorship and
+//! industry funds, Efabless-OpenMPW-style).
+
+use crate::mpw::MpwPricing;
+use chipforge_pdk::TechnologyNode;
+use serde::{Deserialize, Serialize};
+
+/// A corporate-sponsorship pool for academic MPW runs.
+///
+/// Mirrors the paper's Recommendation 6: companies contribute a yearly
+/// amount, optionally matched by public funds, and the pool subsidizes
+/// university MPW seats.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SponsorshipPool {
+    /// Number of contributing companies.
+    pub sponsors: usize,
+    /// Yearly contribution per sponsor, EUR.
+    pub contribution_eur: f64,
+    /// Public matching ratio (0.5 = 50 cents of public money per sponsor
+    /// euro, as in typical co-funding schemes).
+    pub public_match_ratio: f64,
+    /// Fraction of a seat's cost the program covers (1.0 = free seats,
+    /// like the Efabless Open MPW program).
+    pub subsidy_fraction: f64,
+}
+
+impl SponsorshipPool {
+    /// An Efabless-Open-MPW-style program: full subsidy.
+    #[must_use]
+    pub fn open_mpw_style(sponsors: usize, contribution_eur: f64) -> Self {
+        Self {
+            sponsors,
+            contribution_eur,
+            public_match_ratio: 0.0,
+            subsidy_fraction: 1.0,
+        }
+    }
+
+    /// A co-funded industry-fund model: half subsidy, public matching.
+    #[must_use]
+    pub fn industry_fund(sponsors: usize, contribution_eur: f64) -> Self {
+        Self {
+            sponsors,
+            contribution_eur,
+            public_match_ratio: 0.5,
+            subsidy_fraction: 0.5,
+        }
+    }
+
+    /// Yearly pool volume in EUR.
+    #[must_use]
+    pub fn yearly_pool_eur(&self) -> f64 {
+        self.sponsors as f64 * self.contribution_eur * (1.0 + self.public_match_ratio)
+    }
+
+    /// Number of seats of `area_mm2` at `node` the pool can subsidize per
+    /// year.
+    #[must_use]
+    pub fn seats_funded(&self, pricing: &MpwPricing, node: TechnologyNode, area_mm2: f64) -> usize {
+        let per_seat = pricing.seat_cost_eur(node, area_mm2) * self.subsidy_fraction;
+        if per_seat <= 0.0 {
+            return 0;
+        }
+        (self.yearly_pool_eur() / per_seat).floor() as usize
+    }
+
+    /// What a university still pays per seat under the program, EUR.
+    #[must_use]
+    pub fn university_copay_eur(
+        &self,
+        pricing: &MpwPricing,
+        node: TechnologyNode,
+        area_mm2: f64,
+    ) -> f64 {
+        pricing.seat_cost_eur(node, area_mm2) * (1.0 - self.subsidy_fraction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_volume_includes_public_match() {
+        let fund = SponsorshipPool::industry_fund(10, 100_000.0);
+        assert!((fund.yearly_pool_eur() - 1_500_000.0).abs() < 1e-9);
+        let open = SponsorshipPool::open_mpw_style(10, 100_000.0);
+        assert!((open.yearly_pool_eur() - 1_000_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_subsidy_means_zero_copay() {
+        let pricing = MpwPricing::reference();
+        let open = SponsorshipPool::open_mpw_style(5, 200_000.0);
+        assert_eq!(
+            open.university_copay_eur(&pricing, TechnologyNode::N130, 4.0),
+            0.0
+        );
+        let fund = SponsorshipPool::industry_fund(5, 200_000.0);
+        assert!(fund.university_copay_eur(&pricing, TechnologyNode::N130, 4.0) > 0.0);
+    }
+
+    #[test]
+    fn pool_funds_hundreds_of_mature_seats_but_few_advanced_ones() {
+        let pricing = MpwPricing::reference();
+        let pool = SponsorshipPool::open_mpw_style(10, 100_000.0);
+        let mature = pool.seats_funded(&pricing, TechnologyNode::N130, 4.0);
+        let advanced = pool.seats_funded(&pricing, TechnologyNode::N7, 4.0);
+        assert!(mature > 100, "mature seats: {mature}");
+        assert!(advanced < 10, "advanced seats: {advanced}");
+        assert!(mature > 50 * advanced);
+    }
+
+    #[test]
+    fn half_subsidy_funds_twice_the_seats() {
+        let pricing = MpwPricing::reference();
+        let full = SponsorshipPool::open_mpw_style(10, 100_000.0);
+        let mut half = full;
+        half.subsidy_fraction = 0.5;
+        let f = full.seats_funded(&pricing, TechnologyNode::N130, 4.0);
+        let h = half.seats_funded(&pricing, TechnologyNode::N130, 4.0);
+        assert_eq!(h, f * 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! Total cost of ownership of design-enablement infrastructure
+//! (Recommendation 7's economic argument).
+
+use serde::{Deserialize, Serialize};
+
+/// Cost parameters of operating flow infrastructure.
+///
+/// The paper argues that "the costs for support staff necessary to operate
+/// the IT infrastructure are beyond the capabilities of many universities"
+/// (Sec. III-C); this model prices exactly that comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InfrastructureCostModel {
+    /// Yearly cost of one flow compute server (hardware amortization +
+    /// energy + licenses), EUR.
+    pub server_eur_per_year: f64,
+    /// Yearly cost of one support-staff FTE, EUR.
+    pub fte_eur_per_year: f64,
+    /// Support FTEs needed to operate one *local* installation.
+    pub local_fte_per_site: f64,
+    /// Support FTEs needed to operate a central hub, independent of the
+    /// number of member universities (economy of scale), plus a small
+    /// per-10-servers increment.
+    pub hub_base_fte: f64,
+}
+
+impl InfrastructureCostModel {
+    /// European reference figures.
+    #[must_use]
+    pub fn reference() -> Self {
+        Self {
+            server_eur_per_year: 15_000.0,
+            fte_eur_per_year: 90_000.0,
+            local_fte_per_site: 0.5,
+            hub_base_fte: 3.0,
+        }
+    }
+
+    /// Yearly cost of `sites` universities each running their own
+    /// single-server installation.
+    #[must_use]
+    pub fn local_cost_eur_per_year(&self, sites: usize) -> f64 {
+        sites as f64 * (self.server_eur_per_year + self.local_fte_per_site * self.fte_eur_per_year)
+    }
+
+    /// Yearly cost of one central hub with `servers` flow servers.
+    #[must_use]
+    pub fn hub_cost_eur_per_year(&self, servers: usize) -> f64 {
+        let fte = self.hub_base_fte + servers as f64 / 10.0;
+        servers as f64 * self.server_eur_per_year + fte * self.fte_eur_per_year
+    }
+
+    /// Number of member universities at which the hub becomes cheaper
+    /// than per-site installations (for a hub sized at one server per two
+    /// members).
+    #[must_use]
+    pub fn break_even_sites(&self) -> usize {
+        (1usize..1000)
+            .find(|&sites| {
+                self.hub_cost_eur_per_year(sites.div_ceil(2)) < self.local_cost_eur_per_year(sites)
+            })
+            .unwrap_or(1000)
+    }
+
+    /// Cost per completed flow job, EUR.
+    #[must_use]
+    pub fn cost_per_job_eur(&self, yearly_cost: f64, jobs_per_year: usize) -> f64 {
+        yearly_cost / (jobs_per_year.max(1) as f64)
+    }
+}
+
+impl Default for InfrastructureCostModel {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_scales_better_than_sites() {
+        let m = InfrastructureCostModel::reference();
+        // At 20 members, a 10-server hub is far cheaper than 20 sites.
+        let local = m.local_cost_eur_per_year(20);
+        let hub = m.hub_cost_eur_per_year(10);
+        assert!(hub < local * 0.6, "hub {hub} vs local {local}");
+    }
+
+    #[test]
+    fn tiny_consortia_stay_local() {
+        let m = InfrastructureCostModel::reference();
+        // One university: its own box is cheaper than a staffed hub.
+        assert!(m.hub_cost_eur_per_year(1) > m.local_cost_eur_per_year(1));
+    }
+
+    #[test]
+    fn break_even_is_single_digit() {
+        let m = InfrastructureCostModel::reference();
+        let be = m.break_even_sites();
+        assert!(
+            (2..=12).contains(&be),
+            "hub should pay off at consortium scale, got {be}"
+        );
+    }
+
+    #[test]
+    fn per_job_cost_divides() {
+        let m = InfrastructureCostModel::reference();
+        let yearly = m.hub_cost_eur_per_year(6);
+        assert!((m.cost_per_job_eur(yearly, 1000) - yearly / 1000.0).abs() < 1e-9);
+        assert!(m.cost_per_job_eur(yearly, 0) > 0.0, "clamps to one job");
+    }
+}

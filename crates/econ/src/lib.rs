@@ -1,0 +1,35 @@
+//! # chipforge-econ
+//!
+//! Economic and policy models behind the paper's quantitative claims.
+//!
+//! The position paper (DATE 2025) argues from numbers: value-chain shares
+//! (Sec. I), design-cost escalation and MPW economics (Sec. III-C),
+//! frontend/backend productivity gaps (Sec. III-B) and a stagnating talent
+//! pipeline (Sec. III-A). This crate encodes those models so the experiment
+//! harness can regenerate every figure:
+//!
+//! * [`value_chain`] — semiconductor value-chain segments and Europe's
+//!   share of each (experiment E1);
+//! * [`cost`] — design-cost-vs-node curve, `$5 M` at 130 nm to `$725 M`
+//!   at 2 nm, with an IBS-style activity breakdown (E4);
+//! * [`mpw`] — multi-project-wafer pricing, amortization and turnaround
+//!   (E5);
+//! * [`productivity`] — software-vs-hardware abstraction expansion and
+//!   time-to-first-success models (E2, E3);
+//! * [`workforce`] — a cohort funnel of the chip-design talent pipeline
+//!   with the paper's Recommendations 1–3 as intervention levers (E10).
+//!
+//! All models are deterministic given their seeds, and every hard-coded
+//! constant cites its source in the item documentation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod funding;
+pub mod infrastructure;
+pub mod mpw;
+pub mod productivity;
+pub mod silicon;
+pub mod value_chain;
+pub mod workforce;

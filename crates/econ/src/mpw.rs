@@ -1,0 +1,158 @@
+//! Multi-project-wafer pricing and turnaround (Sec. III-C, E5).
+
+use chipforge_pdk::TechnologyNode;
+use serde::{Deserialize, Serialize};
+
+/// MPW pricing model, Europractice-style.
+///
+/// Per-mm² prices and mask-set costs follow the published academic MPW
+/// price lists in shape: roughly 130 nm at hundreds of EUR/mm², exploding
+/// to hundreds of thousands per mm² at the leading edge, which is why MPW
+/// access "is becoming increasingly difficult to sustain" (Sec. III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MpwPricing;
+
+impl MpwPricing {
+    /// The reference pricing model.
+    #[must_use]
+    pub fn reference() -> Self {
+        Self
+    }
+
+    /// Academic MPW seat price in EUR per mm².
+    #[must_use]
+    pub fn eur_per_mm2(&self, node: TechnologyNode) -> f64 {
+        match node {
+            TechnologyNode::N180 => 450.0,
+            TechnologyNode::N130 => 700.0,
+            TechnologyNode::N90 => 1_200.0,
+            TechnologyNode::N65 => 2_000.0,
+            TechnologyNode::N45 => 3_500.0,
+            TechnologyNode::N28 => 8_000.0,
+            TechnologyNode::N16 => 20_000.0,
+            TechnologyNode::N7 => 60_000.0,
+            TechnologyNode::N5 => 100_000.0,
+            TechnologyNode::N3 => 160_000.0,
+            TechnologyNode::N2 => 250_000.0,
+        }
+    }
+
+    /// Full mask-set cost for a dedicated run, in EUR.
+    #[must_use]
+    pub fn mask_set_eur(&self, node: TechnologyNode) -> f64 {
+        match node {
+            TechnologyNode::N180 => 80_000.0,
+            TechnologyNode::N130 => 150_000.0,
+            TechnologyNode::N90 => 300_000.0,
+            TechnologyNode::N65 => 600_000.0,
+            TechnologyNode::N45 => 1_000_000.0,
+            TechnologyNode::N28 => 1_500_000.0,
+            TechnologyNode::N16 => 4_000_000.0,
+            TechnologyNode::N7 => 12_000_000.0,
+            TechnologyNode::N5 => 18_000_000.0,
+            TechnologyNode::N3 => 22_000_000.0,
+            TechnologyNode::N2 => 28_000_000.0,
+        }
+    }
+
+    /// Minimum bookable MPW seat area in mm².
+    #[must_use]
+    pub fn min_seat_mm2(&self, node: TechnologyNode) -> f64 {
+        if node.feature_nm() >= 90 {
+            1.0
+        } else {
+            2.0
+        }
+    }
+
+    /// Cost of an MPW seat of `area_mm2` (clamped to the minimum seat).
+    #[must_use]
+    pub fn seat_cost_eur(&self, node: TechnologyNode, area_mm2: f64) -> f64 {
+        self.eur_per_mm2(node) * area_mm2.max(self.min_seat_mm2(node))
+    }
+
+    /// Fabrication + packaging turnaround from tape-in to packaged parts,
+    /// in weeks. Exceeds a 12-week course everywhere and a two-semester
+    /// project at advanced nodes — the paper's Sec. III-C claim.
+    #[must_use]
+    pub fn turnaround_weeks(&self, node: TechnologyNode) -> f64 {
+        let base = 16.0;
+        let advanced = match node.feature_nm() {
+            n if n >= 90 => 0.0,
+            n if n >= 28 => 6.0,
+            n if n >= 7 => 14.0,
+            _ => 20.0,
+        };
+        base + advanced
+    }
+
+    /// Number of same-size seats at which an MPW run becomes cheaper than
+    /// a dedicated mask set for everyone involved.
+    #[must_use]
+    pub fn break_even_seats(&self, node: TechnologyNode, area_mm2: f64) -> usize {
+        let seat = self.seat_cost_eur(node, area_mm2);
+        let dedicated = self.mask_set_eur(node);
+        (dedicated / seat).ceil().max(1.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prices_escalate_with_node() {
+        let m = MpwPricing::reference();
+        for pair in TechnologyNode::ALL.windows(2) {
+            assert!(m.eur_per_mm2(pair[0]) < m.eur_per_mm2(pair[1]));
+            assert!(m.mask_set_eur(pair[0]) < m.mask_set_eur(pair[1]));
+        }
+    }
+
+    #[test]
+    fn seat_cost_respects_minimum() {
+        let m = MpwPricing::reference();
+        let tiny = m.seat_cost_eur(TechnologyNode::N130, 0.1);
+        let min = m.seat_cost_eur(TechnologyNode::N130, m.min_seat_mm2(TechnologyNode::N130));
+        assert_eq!(tiny, min);
+        assert!(m.seat_cost_eur(TechnologyNode::N130, 10.0) > min);
+    }
+
+    #[test]
+    fn turnaround_exceeds_course_everywhere() {
+        let m = MpwPricing::reference();
+        for node in TechnologyNode::ALL {
+            assert!(
+                m.turnaround_weeks(node) > 12.0,
+                "{node}: {} weeks",
+                m.turnaround_weeks(node)
+            );
+        }
+        // And exceeds a 26-week thesis at the leading edge.
+        assert!(m.turnaround_weeks(TechnologyNode::N5) > 26.0);
+    }
+
+    #[test]
+    fn mpw_is_dramatically_cheaper_than_dedicated() {
+        let m = MpwPricing::reference();
+        for node in [
+            TechnologyNode::N130,
+            TechnologyNode::N28,
+            TechnologyNode::N7,
+        ] {
+            let seat = m.seat_cost_eur(node, 4.0);
+            let dedicated = m.mask_set_eur(node);
+            assert!(
+                seat < dedicated / 10.0,
+                "{node}: seat {seat} vs mask {dedicated}"
+            );
+        }
+    }
+
+    #[test]
+    fn break_even_has_sane_magnitudes() {
+        let m = MpwPricing::reference();
+        let be = m.break_even_seats(TechnologyNode::N130, 4.0);
+        assert!((10..200).contains(&be), "break-even {be}");
+    }
+}

@@ -1,0 +1,246 @@
+//! Frontend/backend productivity models (Sec. III-B, experiments E2/E3).
+
+use chipforge_pdk::{Pdk, TechnologyNode};
+use serde::{Deserialize, Serialize};
+
+/// Abstraction-expansion model for software: how many machine instructions
+/// one line of a high-level language ultimately drives.
+///
+/// The paper's claim: "a single line of Python code can generate thousands
+/// of assembly instructions". The model decomposes that into interpreter
+/// dispatch, library calls and compiled inner loops.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SoftwareExpansion {
+    /// Interpreter bytecodes per source line.
+    pub bytecodes_per_line: f64,
+    /// Machine instructions per interpreted bytecode (dispatch + body).
+    pub instructions_per_bytecode: f64,
+    /// Fraction of lines that call into compiled libraries.
+    pub library_call_fraction: f64,
+    /// Instructions executed per library call (BLAS-style kernels).
+    pub instructions_per_library_call: f64,
+}
+
+impl SoftwareExpansion {
+    /// Reference Python-like profile.
+    #[must_use]
+    pub fn python() -> Self {
+        Self {
+            bytecodes_per_line: 6.0,
+            instructions_per_bytecode: 30.0,
+            library_call_fraction: 0.2,
+            instructions_per_library_call: 12_000.0,
+        }
+    }
+
+    /// Mean machine instructions driven per source line.
+    #[must_use]
+    pub fn instructions_per_line(&self) -> f64 {
+        self.bytecodes_per_line * self.instructions_per_bytecode
+            + self.library_call_fraction * self.instructions_per_library_call
+    }
+}
+
+/// Hardware abstraction levels and their typical gates-per-line yield
+/// (the RTL row is *measured* by the flow in experiment E2; the others
+/// model HLS/HCL as higher-abstraction multipliers per Rec. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HdlAbstraction {
+    /// Hand-written RTL (the paper: 5–20 gates per line).
+    Rtl,
+    /// Hardware construction languages (Chisel-class reuse).
+    Hcl,
+    /// High-level synthesis from C-like sources.
+    Hls,
+}
+
+impl HdlAbstraction {
+    /// Multiplier on RTL's gates-per-line achieved by the abstraction.
+    #[must_use]
+    pub fn gain_over_rtl(self) -> f64 {
+        match self {
+            HdlAbstraction::Rtl => 1.0,
+            HdlAbstraction::Hcl => 3.0,
+            HdlAbstraction::Hls => 8.0,
+        }
+    }
+}
+
+/// One milestone on the road from zero to first visible success.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Milestone {
+    /// What the step is.
+    pub name: String,
+    /// Expected effort in hours (elapsed, including waiting).
+    pub hours: f64,
+}
+
+/// Time-to-first-success model (the "fast road to success" asymmetry).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathToSuccess {
+    /// Discipline label.
+    pub discipline: String,
+    /// Ordered milestones.
+    pub milestones: Vec<Milestone>,
+}
+
+impl PathToSuccess {
+    /// Software: install an interpreter, write code, run it.
+    #[must_use]
+    pub fn software() -> Self {
+        Self {
+            discipline: "software".into(),
+            milestones: vec![
+                Milestone {
+                    name: "install toolchain".into(),
+                    hours: 0.5,
+                },
+                Milestone {
+                    name: "hello world".into(),
+                    hours: 0.1,
+                },
+                Milestone {
+                    name: "first useful program".into(),
+                    hours: 4.0,
+                },
+            ],
+        }
+    }
+
+    /// Chip design on an open PDK with a preconfigured flow (the
+    /// enablement-hub experience the paper advocates).
+    #[must_use]
+    pub fn chip_design_enabled() -> Self {
+        Self {
+            discipline: "chip design (enabled)".into(),
+            milestones: vec![
+                Milestone {
+                    name: "account on hub".into(),
+                    hours: 1.0,
+                },
+                Milestone {
+                    name: "RTL + simulation".into(),
+                    hours: 8.0,
+                },
+                Milestone {
+                    name: "first GDSII".into(),
+                    hours: 4.0,
+                },
+            ],
+        }
+    }
+
+    /// Chip design from scratch: acquire tools/PDK, configure a flow.
+    ///
+    /// Uses the PDK's administrative lead time plus the classic flow
+    /// bring-up effort; `flow_setup_hours` should come from
+    /// `chipforge-flow`'s template model.
+    #[must_use]
+    pub fn chip_design_from_scratch(pdk: &Pdk, flow_setup_hours: f64) -> Self {
+        let admin_hours = pdk.access_lead_time_weeks() * 7.0 * 24.0;
+        Self {
+            discipline: format!("chip design from scratch ({})", pdk.name()),
+            milestones: vec![
+                Milestone {
+                    name: "legal & PDK access".into(),
+                    hours: admin_hours,
+                },
+                Milestone {
+                    name: "EDA install + flow bring-up".into(),
+                    hours: flow_setup_hours,
+                },
+                Milestone {
+                    name: "RTL + simulation".into(),
+                    hours: 16.0,
+                },
+                Milestone {
+                    name: "first GDSII".into(),
+                    hours: 24.0,
+                },
+            ],
+        }
+    }
+
+    /// Total elapsed hours to first success.
+    #[must_use]
+    pub fn total_hours(&self) -> f64 {
+        self.milestones.iter().map(|m| m.hours).sum()
+    }
+}
+
+/// Frontend-vs-backend effort split of a full design project at a node.
+///
+/// Mature-node projects are frontend-dominated; advanced nodes invert the
+/// ratio because the backend (closure, signoff, DRC complexity) explodes.
+#[must_use]
+pub fn backend_effort_fraction(node: TechnologyNode) -> f64 {
+    match node.feature_nm() {
+        n if n >= 90 => 0.35,
+        n if n >= 28 => 0.45,
+        n if n >= 7 => 0.55,
+        _ => 0.62,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn python_expands_to_thousands_of_instructions() {
+        let e = SoftwareExpansion::python();
+        let per_line = e.instructions_per_line();
+        assert!(
+            (1_000.0..10_000.0).contains(&per_line),
+            "paper says thousands, model gives {per_line}"
+        );
+    }
+
+    #[test]
+    fn abstraction_gains_ordered() {
+        assert!(HdlAbstraction::Hls.gain_over_rtl() > HdlAbstraction::Hcl.gain_over_rtl());
+        assert_eq!(HdlAbstraction::Rtl.gain_over_rtl(), 1.0);
+    }
+
+    #[test]
+    fn software_success_is_hours_chip_from_scratch_is_months() {
+        let sw = PathToSuccess::software();
+        assert!(sw.total_hours() < 8.0);
+        let pdk = Pdk::commercial(TechnologyNode::N28);
+        let hw = PathToSuccess::chip_design_from_scratch(&pdk, 600.0);
+        assert!(
+            hw.total_hours() > 100.0 * sw.total_hours(),
+            "hw {} vs sw {}",
+            hw.total_hours(),
+            sw.total_hours()
+        );
+    }
+
+    #[test]
+    fn enablement_shrinks_the_gap_by_orders_of_magnitude() {
+        let pdk = Pdk::commercial(TechnologyNode::N28);
+        let scratch = PathToSuccess::chip_design_from_scratch(&pdk, 600.0);
+        let enabled = PathToSuccess::chip_design_enabled();
+        assert!(enabled.total_hours() < scratch.total_hours() / 50.0);
+    }
+
+    #[test]
+    fn open_pdk_removes_admin_lead_time() {
+        let open = Pdk::open(TechnologyNode::N130);
+        let path = PathToSuccess::chip_design_from_scratch(&open, 200.0);
+        // No NDA -> first milestone nearly free.
+        assert!(path.milestones[0].hours < 1.0);
+    }
+
+    #[test]
+    fn backend_fraction_grows_with_advancement() {
+        assert!(
+            backend_effort_fraction(TechnologyNode::N5)
+                > backend_effort_fraction(TechnologyNode::N130)
+        );
+        for node in TechnologyNode::ALL {
+            let f = backend_effort_fraction(node);
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+}

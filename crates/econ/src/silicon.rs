@@ -1,0 +1,183 @@
+//! Die yield, wafer cost and chiplet-vs-monolithic economics.
+//!
+//! The paper names chiplet-based mix-and-match integration as both an
+//! opportunity and a complexity driver (Sec. I, Sec. III-D). This module
+//! provides the classic quantitative backbone: Murphy yield, per-die cost,
+//! and the monolithic-vs-chiplet crossover (experiment E11).
+
+use chipforge_pdk::TechnologyNode;
+use serde::{Deserialize, Serialize};
+
+/// Murphy yield and wafer-cost model per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SiliconCostModel;
+
+impl SiliconCostModel {
+    /// The reference model.
+    #[must_use]
+    pub fn reference() -> Self {
+        Self
+    }
+
+    /// Defect density in defects/cm² (mature nodes are clean; leading-edge
+    /// processes run at several times that).
+    #[must_use]
+    pub fn defect_density_per_cm2(&self, node: TechnologyNode) -> f64 {
+        match node {
+            TechnologyNode::N180 => 0.02,
+            TechnologyNode::N130 => 0.03,
+            TechnologyNode::N90 => 0.05,
+            TechnologyNode::N65 => 0.06,
+            TechnologyNode::N45 => 0.08,
+            TechnologyNode::N28 => 0.09,
+            TechnologyNode::N16 => 0.12,
+            TechnologyNode::N7 => 0.15,
+            TechnologyNode::N5 => 0.20,
+            TechnologyNode::N3 => 0.30,
+            TechnologyNode::N2 => 0.40,
+        }
+    }
+
+    /// Processed 300 mm wafer cost in USD.
+    #[must_use]
+    pub fn wafer_cost_usd(&self, node: TechnologyNode) -> f64 {
+        match node {
+            TechnologyNode::N180 => 1_200.0,
+            TechnologyNode::N130 => 1_500.0,
+            TechnologyNode::N90 => 2_000.0,
+            TechnologyNode::N65 => 2_500.0,
+            TechnologyNode::N45 => 3_000.0,
+            TechnologyNode::N28 => 3_500.0,
+            TechnologyNode::N16 => 6_000.0,
+            TechnologyNode::N7 => 9_500.0,
+            TechnologyNode::N5 => 17_000.0,
+            TechnologyNode::N3 => 20_000.0,
+            TechnologyNode::N2 => 25_000.0,
+        }
+    }
+
+    /// Murphy yield for a die of `area_mm2`.
+    #[must_use]
+    pub fn die_yield(&self, node: TechnologyNode, area_mm2: f64) -> f64 {
+        let ad = (area_mm2 / 100.0) * self.defect_density_per_cm2(node);
+        if ad <= 1e-12 {
+            return 1.0;
+        }
+        let inner = (1.0 - (-ad).exp()) / ad;
+        inner * inner
+    }
+
+    /// Gross dies per 300 mm wafer (area-based with 10% edge loss).
+    #[must_use]
+    pub fn dies_per_wafer(&self, area_mm2: f64) -> f64 {
+        let wafer_mm2 = std::f64::consts::PI * 150.0 * 150.0;
+        (wafer_mm2 * 0.90 / area_mm2).floor().max(1.0)
+    }
+
+    /// Manufacturing cost per *good* die in USD.
+    #[must_use]
+    pub fn cost_per_good_die(&self, node: TechnologyNode, area_mm2: f64) -> f64 {
+        let per_die = self.wafer_cost_usd(node) / self.dies_per_wafer(area_mm2);
+        per_die / self.die_yield(node, area_mm2).max(1e-9)
+    }
+
+    /// Cost of a system of total logic area `area_mm2` split into
+    /// `chiplets` equal dies: each chiplet pays a die-to-die interface
+    /// area overhead, and the package pays an assembly cost plus a
+    /// per-known-good-die bonding yield.
+    #[must_use]
+    pub fn chiplet_system_cost(&self, node: TechnologyNode, area_mm2: f64, chiplets: usize) -> f64 {
+        assert!(chiplets >= 1, "at least one die");
+        let n = chiplets as f64;
+        if chiplets == 1 {
+            // Monolithic: simple package.
+            return self.cost_per_good_die(node, area_mm2) + 30.0;
+        }
+        let die_area = (area_mm2 / n) * 1.07; // +7% D2D interface overhead
+        let die_cost = self.cost_per_good_die(node, die_area);
+        let assembly_yield = 0.99f64.powf(n);
+        let package = 30.0 + 12.0 * n;
+        (n * die_cost + package) / assembly_yield
+    }
+
+    /// The smallest number of chiplets (1..=8) minimizing system cost for
+    /// a given total area.
+    #[must_use]
+    pub fn best_partition(&self, node: TechnologyNode, area_mm2: f64) -> usize {
+        (1..=8)
+            .min_by(|&a, &b| {
+                self.chiplet_system_cost(node, area_mm2, a)
+                    .partial_cmp(&self.chiplet_system_cost(node, area_mm2, b))
+                    .expect("costs are finite")
+            })
+            .expect("range is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yield_decreases_with_area_and_node() {
+        let m = SiliconCostModel::reference();
+        assert!(m.die_yield(TechnologyNode::N7, 100.0) < m.die_yield(TechnologyNode::N7, 10.0));
+        assert!(m.die_yield(TechnologyNode::N2, 100.0) < m.die_yield(TechnologyNode::N130, 100.0));
+        for node in TechnologyNode::ALL {
+            let y = m.die_yield(node, 80.0);
+            assert!((0.0..=1.0).contains(&y), "{node}: {y}");
+        }
+    }
+
+    #[test]
+    fn tiny_dies_yield_nearly_perfectly() {
+        let m = SiliconCostModel::reference();
+        assert!(m.die_yield(TechnologyNode::N7, 1.0) > 0.99);
+    }
+
+    #[test]
+    fn cost_per_good_die_grows_superlinearly_with_area() {
+        let m = SiliconCostModel::reference();
+        let c100 = m.cost_per_good_die(TechnologyNode::N5, 100.0);
+        let c400 = m.cost_per_good_die(TechnologyNode::N5, 400.0);
+        assert!(
+            c400 > 5.0 * c100,
+            "4x area must cost >5x per good die at 5nm: {c100} -> {c400}"
+        );
+    }
+
+    #[test]
+    fn chiplets_win_for_big_dies_at_leading_edge() {
+        let m = SiliconCostModel::reference();
+        // A 600 mm2 system at 5nm: classic chiplet territory.
+        let mono = m.chiplet_system_cost(TechnologyNode::N5, 600.0, 1);
+        let quad = m.chiplet_system_cost(TechnologyNode::N5, 600.0, 4);
+        assert!(quad < mono, "quad {quad} vs mono {mono}");
+        assert!(m.best_partition(TechnologyNode::N5, 600.0) > 1);
+    }
+
+    #[test]
+    fn monolithic_wins_for_small_dies() {
+        let m = SiliconCostModel::reference();
+        let mono = m.chiplet_system_cost(TechnologyNode::N28, 30.0, 1);
+        let split = m.chiplet_system_cost(TechnologyNode::N28, 30.0, 4);
+        assert!(mono < split);
+        assert_eq!(m.best_partition(TechnologyNode::N28, 30.0), 1);
+    }
+
+    #[test]
+    fn crossover_area_exists_at_leading_edge() {
+        let m = SiliconCostModel::reference();
+        // Somewhere between small and huge the best partition flips.
+        let small = m.best_partition(TechnologyNode::N3, 50.0);
+        let large = m.best_partition(TechnologyNode::N3, 700.0);
+        assert_eq!(small, 1);
+        assert!(large >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one die")]
+    fn zero_chiplets_rejected() {
+        let _ = SiliconCostModel::reference().chiplet_system_cost(TechnologyNode::N7, 100.0, 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Semiconductor value-chain shares (Sec. I of the paper, experiment E1).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A segment of the semiconductor value chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Segment {
+    /// Chip design (fabless + IDM design activity).
+    Design,
+    /// Wafer fabrication.
+    Fabrication,
+    /// Assembly, test and packaging.
+    AssemblyTest,
+    /// Semiconductor manufacturing equipment.
+    Equipment,
+    /// Materials (wafers, chemicals, gases).
+    Materials,
+    /// EDA tools and IP licensing.
+    EdaIp,
+}
+
+impl Segment {
+    /// All segments.
+    pub const ALL: [Segment; 6] = [
+        Segment::Design,
+        Segment::Fabrication,
+        Segment::AssemblyTest,
+        Segment::Equipment,
+        Segment::Materials,
+        Segment::EdaIp,
+    ];
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Segment::Design => "design",
+            Segment::Fabrication => "fabrication",
+            Segment::AssemblyTest => "assembly & test",
+            Segment::Equipment => "equipment",
+            Segment::Materials => "materials",
+            Segment::EdaIp => "EDA & IP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of the value-chain table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegmentShare {
+    /// The segment.
+    pub segment: Segment,
+    /// Share of total value-chain added value, in percent.
+    pub value_share_pct: f64,
+    /// Europe's share within the segment, in percent.
+    pub europe_share_pct: f64,
+}
+
+/// The value-chain model calibrated to the figures cited in the paper
+/// (Sec. I, sourced from A.T. Kearney / SIA / ZVEI):
+///
+/// * design and fabrication are the two largest segments with **30%** and
+///   **34%** of added value;
+/// * Europe contributes **10%** to design and **8%** to fabrication;
+/// * Europe holds **40%** of equipment and **20%** of materials;
+/// * in its strong application areas (automotive, industrial, power/RF)
+///   Europe covers **55%** of the global market.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValueChain {
+    rows: Vec<SegmentShare>,
+    /// Europe's market share in its strength segments (automotive,
+    /// industrial, power/RF), percent.
+    pub europe_strength_segments_pct: f64,
+}
+
+impl ValueChain {
+    /// The reference table used throughout the experiments.
+    #[must_use]
+    pub fn reference() -> Self {
+        let rows = vec![
+            SegmentShare {
+                segment: Segment::Design,
+                value_share_pct: 30.0,
+                europe_share_pct: 10.0,
+            },
+            SegmentShare {
+                segment: Segment::Fabrication,
+                value_share_pct: 34.0,
+                europe_share_pct: 8.0,
+            },
+            SegmentShare {
+                segment: Segment::AssemblyTest,
+                value_share_pct: 11.0,
+                europe_share_pct: 5.0,
+            },
+            SegmentShare {
+                segment: Segment::Equipment,
+                value_share_pct: 11.0,
+                europe_share_pct: 40.0,
+            },
+            SegmentShare {
+                segment: Segment::Materials,
+                value_share_pct: 8.0,
+                europe_share_pct: 20.0,
+            },
+            SegmentShare {
+                segment: Segment::EdaIp,
+                value_share_pct: 6.0,
+                europe_share_pct: 15.0,
+            },
+        ];
+        Self {
+            rows,
+            europe_strength_segments_pct: 55.0,
+        }
+    }
+
+    /// Table rows.
+    #[must_use]
+    pub fn rows(&self) -> &[SegmentShare] {
+        &self.rows
+    }
+
+    /// Looks up a segment's row.
+    #[must_use]
+    pub fn share(&self, segment: Segment) -> Option<&SegmentShare> {
+        self.rows.iter().find(|r| r.segment == segment)
+    }
+
+    /// Europe's overall share of the value chain: the value-share-weighted
+    /// mean of its per-segment shares.
+    #[must_use]
+    pub fn europe_overall_share_pct(&self) -> f64 {
+        let total: f64 = self.rows.iter().map(|r| r.value_share_pct).sum();
+        self.rows
+            .iter()
+            .map(|r| r.value_share_pct * r.europe_share_pct)
+            .sum::<f64>()
+            / total
+    }
+
+    /// The additional annual value (in percent of the total chain) Europe
+    /// would capture by raising its design share to `target_pct`.
+    #[must_use]
+    pub fn design_upside_pct(&self, target_pct: f64) -> f64 {
+        let design = self.share(Segment::Design).expect("design row exists");
+        (target_pct - design.europe_share_pct).max(0.0) * design.value_share_pct / 100.0
+    }
+}
+
+impl Default for ValueChain {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figures_are_encoded() {
+        let vc = ValueChain::reference();
+        assert_eq!(vc.share(Segment::Design).unwrap().value_share_pct, 30.0);
+        assert_eq!(
+            vc.share(Segment::Fabrication).unwrap().value_share_pct,
+            34.0
+        );
+        assert_eq!(vc.share(Segment::Design).unwrap().europe_share_pct, 10.0);
+        assert_eq!(
+            vc.share(Segment::Fabrication).unwrap().europe_share_pct,
+            8.0
+        );
+        assert_eq!(vc.share(Segment::Equipment).unwrap().europe_share_pct, 40.0);
+        assert_eq!(vc.share(Segment::Materials).unwrap().europe_share_pct, 20.0);
+        assert_eq!(vc.europe_strength_segments_pct, 55.0);
+    }
+
+    #[test]
+    fn value_shares_sum_to_hundred() {
+        let total: f64 = ValueChain::reference()
+            .rows()
+            .iter()
+            .map(|r| r.value_share_pct)
+            .sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn design_and_fab_are_largest() {
+        let vc = ValueChain::reference();
+        for row in vc.rows() {
+            if !matches!(row.segment, Segment::Design | Segment::Fabrication) {
+                assert!(row.value_share_pct < 30.0, "{}", row.segment);
+            }
+        }
+    }
+
+    #[test]
+    fn europe_overall_share_is_low_despite_equipment_strength() {
+        let vc = ValueChain::reference();
+        let overall = vc.europe_overall_share_pct();
+        // Weighted: strong equipment/materials cannot lift the average far
+        // above ~13-14% because design/fab dominate.
+        assert!((10.0..16.0).contains(&overall), "overall {overall}");
+    }
+
+    #[test]
+    fn design_upside_scales_with_target() {
+        let vc = ValueChain::reference();
+        assert_eq!(vc.design_upside_pct(10.0), 0.0);
+        let to_20 = vc.design_upside_pct(20.0);
+        let to_30 = vc.design_upside_pct(30.0);
+        assert!(
+            (to_20 - 3.0).abs() < 1e-9,
+            "10 extra points of a 30% segment"
+        );
+        assert!((to_30 - 6.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,258 @@
+//! Talent-pipeline funnel model (Sec. III-A, Recommendations 1–3, E10).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The intervention levers corresponding to the paper's recommendations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interventions {
+    /// Recommendation 1: low-barrier programs in schools — raises the
+    /// school-to-STEM conversion.
+    pub low_barrier_programs: bool,
+    /// Recommendation 2: information campaigns — raises the EE-to-chip
+    /// specialization conversion and reduces misconception attrition.
+    pub information_campaigns: bool,
+    /// Recommendation 3: coordinated education funding — raises teaching
+    /// capacity and graduate retention in Europe.
+    pub coordinated_funding: bool,
+}
+
+impl Interventions {
+    /// No interventions (the status quo baseline).
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            low_barrier_programs: false,
+            information_campaigns: false,
+            coordinated_funding: false,
+        }
+    }
+
+    /// All three recommendations active.
+    #[must_use]
+    pub fn all() -> Self {
+        Self {
+            low_barrier_programs: true,
+            information_campaigns: true,
+            coordinated_funding: true,
+        }
+    }
+}
+
+/// Pipeline configuration: cohort sizes and conversion rates.
+///
+/// Baseline rates are calibrated so the model reproduces the METIS/ECSA
+/// observation the paper cites: graduates in semiconductor-related fields
+/// have **stagnated (or declined)** while demand grows ~5%/year.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Annual secondary-school cohort entering the model.
+    pub school_cohort: f64,
+    /// Fraction of pupils choosing STEM degrees.
+    pub stem_rate: f64,
+    /// Fraction of STEM students choosing electrical engineering.
+    pub ee_rate: f64,
+    /// Fraction of EE students specializing in chip design.
+    pub chip_rate: f64,
+    /// Fraction of specialized students who graduate.
+    pub graduation_rate: f64,
+    /// Fraction of graduates retained in the European industry.
+    pub retention_rate: f64,
+    /// Annual drift of the EE rate (negative = declining interest, the
+    /// VDE-reported trend).
+    pub ee_rate_drift: f64,
+    /// Industry demand in year 0 (open chip-design positions per year).
+    pub demand_year0: f64,
+    /// Annual demand growth (METIS-style ~5%).
+    pub demand_growth: f64,
+    /// Noise level on conversions (relative standard deviation).
+    pub noise: f64,
+}
+
+impl PipelineConfig {
+    /// The European reference baseline.
+    #[must_use]
+    pub fn europe_baseline() -> Self {
+        Self {
+            school_cohort: 5_000_000.0,
+            stem_rate: 0.25,
+            ee_rate: 0.024,
+            chip_rate: 0.05,
+            graduation_rate: 0.75,
+            retention_rate: 0.70,
+            ee_rate_drift: -0.01,
+            demand_year0: 1_600.0,
+            demand_growth: 0.05,
+            noise: 0.03,
+        }
+    }
+}
+
+/// One simulated year of the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct YearOutcome {
+    /// Year index (0-based).
+    pub year: usize,
+    /// New chip-design graduates entering the European industry.
+    pub graduates: f64,
+    /// Open positions demanded by industry.
+    pub demand: f64,
+}
+
+impl YearOutcome {
+    /// Unfilled positions (demand minus supply), never negative.
+    #[must_use]
+    pub fn gap(&self) -> f64 {
+        (self.demand - self.graduates).max(0.0)
+    }
+}
+
+/// Simulates the pipeline for `years` with the given interventions.
+///
+/// Intervention effects (phased in over three years):
+///
+/// * R1 multiplies the chip-specialization feed via early interest (+40%);
+/// * R2 raises the EE→chip conversion (+50%) and halts the EE decline;
+/// * R3 raises graduation (+10%) and retention (+15%) via funded capacity.
+#[must_use]
+pub fn simulate(
+    config: &PipelineConfig,
+    interventions: Interventions,
+    years: usize,
+    seed: u64,
+) -> Vec<YearOutcome> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(years);
+    let mut ee_rate = config.ee_rate;
+    for year in 0..years {
+        // Interventions ramp in linearly over three years.
+        let ramp = ((year as f64 + 1.0) / 3.0).min(1.0);
+        let r1 = if interventions.low_barrier_programs {
+            1.0 + 0.40 * ramp
+        } else {
+            1.0
+        };
+        let r2 = if interventions.information_campaigns {
+            1.0 + 0.50 * ramp
+        } else {
+            1.0
+        };
+        let r3_grad = if interventions.coordinated_funding {
+            1.0 + 0.10 * ramp
+        } else {
+            1.0
+        };
+        let r3_ret = if interventions.coordinated_funding {
+            1.0 + 0.15 * ramp
+        } else {
+            1.0
+        };
+        let noise = |rng: &mut StdRng| 1.0 + config.noise * (rng.gen::<f64>() * 2.0 - 1.0);
+
+        let stem = config.school_cohort * config.stem_rate * noise(&mut rng);
+        let ee = stem * ee_rate * noise(&mut rng);
+        let chip = ee * config.chip_rate * r1 * r2 * noise(&mut rng);
+        let grads = chip * (config.graduation_rate * r3_grad).min(0.95);
+        let retained = grads * (config.retention_rate * r3_ret).min(0.95);
+        let demand = config.demand_year0 * (1.0 + config.demand_growth).powi(year as i32);
+        out.push(YearOutcome {
+            year,
+            graduates: retained,
+            demand,
+        });
+        // Declining interest unless campaigns counteract it.
+        let drift = if interventions.information_campaigns {
+            0.0
+        } else {
+            config.ee_rate_drift
+        };
+        ee_rate = (ee_rate * (1.0 + drift)).max(0.0);
+    }
+    out
+}
+
+/// Cumulative unfilled positions over a simulation.
+#[must_use]
+pub fn cumulative_gap(outcomes: &[YearOutcome]) -> f64 {
+    outcomes.iter().map(YearOutcome::gap).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_supply_stagnates_or_declines() {
+        let config = PipelineConfig::europe_baseline();
+        let outcomes = simulate(&config, Interventions::none(), 10, 1);
+        let first = outcomes[0].graduates;
+        let last = outcomes[9].graduates;
+        assert!(
+            last <= first * 1.05,
+            "baseline must not grow: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn baseline_gap_widens() {
+        let config = PipelineConfig::europe_baseline();
+        let outcomes = simulate(&config, Interventions::none(), 10, 1);
+        assert!(outcomes[9].gap() > outcomes[1].gap());
+        assert!(cumulative_gap(&outcomes) > 0.0);
+    }
+
+    #[test]
+    fn all_interventions_close_most_of_the_gap() {
+        let config = PipelineConfig::europe_baseline();
+        let base = simulate(&config, Interventions::none(), 10, 1);
+        let fixed = simulate(&config, Interventions::all(), 10, 1);
+        assert!(
+            cumulative_gap(&fixed) < cumulative_gap(&base) * 0.5,
+            "interventions must at least halve the cumulative gap: {} vs {}",
+            cumulative_gap(&fixed),
+            cumulative_gap(&base)
+        );
+    }
+
+    #[test]
+    fn each_lever_helps_individually() {
+        let config = PipelineConfig::europe_baseline();
+        let base = cumulative_gap(&simulate(&config, Interventions::none(), 10, 3));
+        for lever in [
+            Interventions {
+                low_barrier_programs: true,
+                ..Interventions::none()
+            },
+            Interventions {
+                information_campaigns: true,
+                ..Interventions::none()
+            },
+            Interventions {
+                coordinated_funding: true,
+                ..Interventions::none()
+            },
+        ] {
+            let with = cumulative_gap(&simulate(&config, lever, 10, 3));
+            assert!(with < base, "{lever:?}: {with} vs {base}");
+        }
+    }
+
+    #[test]
+    fn baseline_magnitude_is_plausible() {
+        // Europe graduates on the order of a thousand chip designers/year.
+        let config = PipelineConfig::europe_baseline();
+        let outcomes = simulate(&config, Interventions::none(), 1, 5);
+        let g = outcomes[0].graduates;
+        assert!((300.0..5_000.0).contains(&g), "graduates {g}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = PipelineConfig::europe_baseline();
+        assert_eq!(
+            simulate(&config, Interventions::all(), 5, 9),
+            simulate(&config, Interventions::all(), 5, 9)
+        );
+    }
+}

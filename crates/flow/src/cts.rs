@@ -1,0 +1,358 @@
+//! Clock-tree synthesis: recursive geometric bisection with buffer
+//! insertion and Elmore-style latency/skew estimation.
+
+use chipforge_netlist::{CellId, Netlist};
+use chipforge_pdk::{CellClass, StdCellLibrary};
+use chipforge_place::Placement;
+use serde::{Deserialize, Serialize};
+
+/// Options for [`synthesize_clock_tree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CtsOptions {
+    /// Maximum flip-flop sinks driven by one leaf buffer.
+    pub max_sinks_per_buffer: usize,
+}
+
+impl Default for CtsOptions {
+    fn default() -> Self {
+        Self {
+            max_sinks_per_buffer: 8,
+        }
+    }
+}
+
+/// One inserted clock buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockBuffer {
+    /// Buffer x position in µm (subtree centroid).
+    pub x_um: f64,
+    /// Buffer y position in µm.
+    pub y_um: f64,
+    /// Tree level (0 = root).
+    pub level: usize,
+    /// Flip-flop sinks in this buffer's subtree.
+    pub sinks: usize,
+}
+
+/// A synthesized clock tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClockTree {
+    buffers: Vec<ClockBuffer>,
+    /// Per-sink insertion latency from the clock root, in ps.
+    latencies: Vec<(CellId, f64)>,
+    wirelength_um: f64,
+    levels: usize,
+    buffer_area_um2: f64,
+}
+
+impl ClockTree {
+    /// Inserted buffers.
+    #[must_use]
+    pub fn buffers(&self) -> &[ClockBuffer] {
+        &self.buffers
+    }
+
+    /// Number of inserted buffers.
+    #[must_use]
+    pub fn buffer_count(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Tree depth in buffer levels.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Per-sink insertion latencies in ps.
+    #[must_use]
+    pub fn latencies(&self) -> &[(CellId, f64)] {
+        &self.latencies
+    }
+
+    /// Total clock-net wirelength in µm.
+    #[must_use]
+    pub fn wirelength_um(&self) -> f64 {
+        self.wirelength_um
+    }
+
+    /// Total area of the inserted buffers in µm².
+    #[must_use]
+    pub fn buffer_area_um2(&self) -> f64 {
+        self.buffer_area_um2
+    }
+
+    /// Worst insertion latency in ps.
+    #[must_use]
+    pub fn max_latency_ps(&self) -> f64 {
+        self.latencies.iter().map(|(_, l)| *l).fold(0.0, f64::max)
+    }
+
+    /// Global skew (max minus min insertion latency) in ps.
+    #[must_use]
+    pub fn skew_ps(&self) -> f64 {
+        let max = self.max_latency_ps();
+        let min = self
+            .latencies
+            .iter()
+            .map(|(_, l)| *l)
+            .fold(f64::INFINITY, f64::min);
+        if min.is_finite() {
+            max - min
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Synthesizes a buffered clock tree over the placed flip-flops.
+///
+/// Recursive geometric bisection: sink clusters are split along their
+/// longer bounding-box dimension at the median until each cluster fits
+/// under one leaf buffer; every cluster gets a buffer at its centroid.
+/// Latency uses the library buffer's linear delay plus an Elmore term
+/// (`½ · R_wire · C_wire · d²`) for each tree segment.
+///
+/// Returns `None` for designs without flip-flops.
+#[must_use]
+pub fn synthesize_clock_tree(
+    netlist: &Netlist,
+    placement: &Placement,
+    lib: &StdCellLibrary,
+    options: &CtsOptions,
+) -> Option<ClockTree> {
+    let sinks: Vec<(CellId, f64, f64)> = netlist
+        .cells()
+        .filter(|c| c.is_sequential())
+        .map(|c| {
+            let p = placement.cell(c.id());
+            (c.id(), p.center_x_um(), p.center_y_um())
+        })
+        .collect();
+    if sinks.is_empty() {
+        return None;
+    }
+    let buffer = lib
+        .strongest(CellClass::Buf)
+        .or_else(|| lib.smallest(CellClass::Buf))?;
+    let dff = lib.smallest(CellClass::Dff)?;
+    let node = lib.node();
+    let r_wire = node.wire_res_ohm_per_um(); // ohm/um
+    let c_wire = node.wire_cap_ff_per_um(); // fF/um
+    let clk_pin_cap = dff.input_cap_ff() * 0.4;
+
+    let mut tree = Builder {
+        buffers: Vec::new(),
+        latencies: Vec::new(),
+        wirelength_um: 0.0,
+        max_level: 0,
+        buffer_delay: |load_ff: f64| buffer.delay_ps(load_ff),
+        buffer_cin: buffer.input_cap_ff(),
+        r_wire,
+        c_wire,
+        clk_pin_cap,
+        max_sinks: options.max_sinks_per_buffer.max(1),
+    };
+    tree.build(&sinks, 0, 0.0);
+    let buffer_area = buffer.area_um2() * tree.buffers.len() as f64;
+    let levels = tree.max_level + 1;
+    Some(ClockTree {
+        buffers: tree.buffers,
+        latencies: tree.latencies,
+        wirelength_um: tree.wirelength_um,
+        levels,
+        buffer_area_um2: buffer_area,
+    })
+}
+
+struct Builder<F: Fn(f64) -> f64> {
+    buffers: Vec<ClockBuffer>,
+    latencies: Vec<(CellId, f64)>,
+    wirelength_um: f64,
+    max_level: usize,
+    buffer_delay: F,
+    buffer_cin: f64,
+    r_wire: f64,
+    c_wire: f64,
+    clk_pin_cap: f64,
+    max_sinks: usize,
+}
+
+impl<F: Fn(f64) -> f64> Builder<F> {
+    /// Elmore delay of a wire of length `d` µm driving `load_ff`:
+    /// `R·d · (C·d/2 + load)`, converted to ps (Ω·fF = 1e-3 ps).
+    fn wire_delay_ps(&self, d_um: f64, load_ff: f64) -> f64 {
+        self.r_wire * d_um * (self.c_wire * d_um / 2.0 + load_ff) * 1e-3
+    }
+
+    fn build(&mut self, sinks: &[(CellId, f64, f64)], level: usize, arrival_ps: f64) {
+        self.max_level = self.max_level.max(level);
+        let n = sinks.len() as f64;
+        let cx = sinks.iter().map(|(_, x, _)| x).sum::<f64>() / n;
+        let cy = sinks.iter().map(|(_, _, y)| y).sum::<f64>() / n;
+
+        if sinks.len() <= self.max_sinks {
+            // Leaf buffer at the centroid driving the sinks directly.
+            let wire: f64 = sinks
+                .iter()
+                .map(|(_, x, y)| (x - cx).abs() + (y - cy).abs())
+                .sum();
+            let load = sinks.len() as f64 * self.clk_pin_cap + wire * self.c_wire;
+            let buf_delay = (self.buffer_delay)(load);
+            self.buffers.push(ClockBuffer {
+                x_um: cx,
+                y_um: cy,
+                level,
+                sinks: sinks.len(),
+            });
+            self.wirelength_um += wire;
+            for (id, x, y) in sinks {
+                let d = (x - cx).abs() + (y - cy).abs();
+                let latency = arrival_ps + buf_delay + self.wire_delay_ps(d, self.clk_pin_cap);
+                self.latencies.push((*id, latency));
+            }
+            return;
+        }
+
+        // Internal buffer: split along the longer dimension at the median.
+        let min_x = sinks
+            .iter()
+            .map(|(_, x, _)| *x)
+            .fold(f64::INFINITY, f64::min);
+        let max_x = sinks.iter().map(|(_, x, _)| *x).fold(0.0f64, f64::max);
+        let min_y = sinks
+            .iter()
+            .map(|(_, _, y)| *y)
+            .fold(f64::INFINITY, f64::min);
+        let max_y = sinks.iter().map(|(_, _, y)| *y).fold(0.0f64, f64::max);
+        let split_x = (max_x - min_x) >= (max_y - min_y);
+        let mut sorted = sinks.to_vec();
+        sorted.sort_by(|a, b| {
+            let ka = if split_x { a.1 } else { a.2 };
+            let kb = if split_x { b.1 } else { b.2 };
+            ka.partial_cmp(&kb).expect("positions are finite")
+        });
+        let (left, right) = sorted.split_at(sorted.len() / 2);
+
+        // This buffer drives the two child buffers.
+        let child_centroid = |part: &[(CellId, f64, f64)]| -> (f64, f64) {
+            let m = part.len() as f64;
+            (
+                part.iter().map(|(_, x, _)| x).sum::<f64>() / m,
+                part.iter().map(|(_, _, y)| y).sum::<f64>() / m,
+            )
+        };
+        let (lx, ly) = child_centroid(left);
+        let (rx, ry) = child_centroid(right);
+        let wire_l = (lx - cx).abs() + (ly - cy).abs();
+        let wire_r = (rx - cx).abs() + (ry - cy).abs();
+        let load = 2.0 * self.buffer_cin + (wire_l + wire_r) * self.c_wire;
+        let buf_delay = (self.buffer_delay)(load);
+        self.buffers.push(ClockBuffer {
+            x_um: cx,
+            y_um: cy,
+            level,
+            sinks: sinks.len(),
+        });
+        self.wirelength_um += wire_l + wire_r;
+        let arr_l = arrival_ps + buf_delay + self.wire_delay_ps(wire_l, self.buffer_cin);
+        let arr_r = arrival_ps + buf_delay + self.wire_delay_ps(wire_r, self.buffer_cin);
+        self.build(left, level + 1, arr_l);
+        self.build(right, level + 1, arr_r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipforge_hdl::designs;
+    use chipforge_pdk::{LibraryKind, TechnologyNode};
+    use chipforge_place::{place, PlacementOptions};
+    use chipforge_synth::{synthesize, SynthOptions};
+
+    fn placed(design: chipforge_hdl::designs::Design) -> (Netlist, Placement, StdCellLibrary) {
+        let lib = StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Open);
+        let module = design.elaborate().unwrap();
+        let netlist = synthesize(&module, &lib, &SynthOptions::default())
+            .unwrap()
+            .netlist;
+        let placement = place(&netlist, &lib, &PlacementOptions::default()).unwrap();
+        (netlist, placement, lib)
+    }
+
+    #[test]
+    fn tree_covers_every_flip_flop() {
+        let (netlist, placement, lib) = placed(designs::fir4(8));
+        let tree =
+            synthesize_clock_tree(&netlist, &placement, &lib, &CtsOptions::default()).unwrap();
+        let ffs = netlist.stats().sequential_cells;
+        assert_eq!(tree.latencies().len(), ffs);
+        assert!(tree.buffer_count() >= 1);
+        assert!(tree.wirelength_um() > 0.0);
+        assert!(tree.buffer_area_um2() > 0.0);
+    }
+
+    #[test]
+    fn skew_is_bounded_and_nonnegative() {
+        let (netlist, placement, lib) = placed(designs::counter(16));
+        let tree =
+            synthesize_clock_tree(&netlist, &placement, &lib, &CtsOptions::default()).unwrap();
+        assert!(tree.skew_ps() >= 0.0);
+        assert!(
+            tree.skew_ps() <= tree.max_latency_ps(),
+            "skew cannot exceed total latency"
+        );
+        // A balanced tree over a small block keeps skew well under a
+        // 130nm FO4 budget of a few gate delays.
+        assert!(
+            tree.skew_ps() < 10.0 * TechnologyNode::N130.fo4_delay_ps(),
+            "skew {} ps",
+            tree.skew_ps()
+        );
+    }
+
+    #[test]
+    fn combinational_designs_have_no_tree() {
+        let (netlist, placement, lib) = placed(designs::gray_encoder(8));
+        assert!(
+            synthesize_clock_tree(&netlist, &placement, &lib, &CtsOptions::default()).is_none()
+        );
+    }
+
+    #[test]
+    fn smaller_fanout_limit_means_more_buffers_less_leaf_load() {
+        let (netlist, placement, lib) = placed(designs::fir4(8));
+        let coarse = synthesize_clock_tree(
+            &netlist,
+            &placement,
+            &lib,
+            &CtsOptions {
+                max_sinks_per_buffer: 16,
+            },
+        )
+        .unwrap();
+        let fine = synthesize_clock_tree(
+            &netlist,
+            &placement,
+            &lib,
+            &CtsOptions {
+                max_sinks_per_buffer: 2,
+            },
+        )
+        .unwrap();
+        assert!(fine.buffer_count() > coarse.buffer_count());
+        assert!(fine.levels() >= coarse.levels());
+    }
+
+    #[test]
+    fn buffers_sit_inside_the_core() {
+        let (netlist, placement, lib) = placed(designs::counter(16));
+        let tree =
+            synthesize_clock_tree(&netlist, &placement, &lib, &CtsOptions::default()).unwrap();
+        let fp = placement.floorplan();
+        for b in tree.buffers() {
+            assert!(b.x_um >= 0.0 && b.x_um <= fp.core_width_um());
+            assert!(b.y_um >= 0.0 && b.y_um <= fp.core_height_um());
+        }
+    }
+}

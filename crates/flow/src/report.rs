@@ -1,0 +1,171 @@
+//! Flow reporting structures.
+
+use crate::template::FlowStep;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Wall-clock and outcome record of one flow step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Which step.
+    pub step: FlowStep,
+    /// Wall-clock duration in milliseconds.
+    pub wall_ms: f64,
+    /// Human-readable result summary.
+    pub detail: String,
+}
+
+/// Final power/performance/area summary of a flow run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PpaReport {
+    /// Standard-cell area in µm².
+    pub cell_area_um2: f64,
+    /// Core (die) area in µm².
+    pub core_area_um2: f64,
+    /// Cell count.
+    pub cells: usize,
+    /// Flip-flop count.
+    pub flip_flops: usize,
+    /// Achieved maximum frequency in MHz (post-route).
+    pub fmax_mhz: f64,
+    /// Worst setup slack at the target clock, in ps.
+    pub wns_ps: f64,
+    /// Worst hold slack (with CTS skew applied), in ps.
+    pub hold_wns_ps: f64,
+    /// Total power at the target clock, in µW.
+    pub power_uw: f64,
+    /// Leakage component, in µW.
+    pub leakage_uw: f64,
+    /// Clock-tree buffers inserted by CTS.
+    pub clock_buffers: usize,
+    /// Global clock skew from CTS, in ps.
+    pub clock_skew_ps: f64,
+    /// Total routed wirelength in µm.
+    pub wirelength_um: f64,
+    /// Routing overflow (0 = clean).
+    pub overflowed_edges: usize,
+    /// DRC violations in the exported layout.
+    pub drc_violations: usize,
+    /// GDSII stream size in bytes.
+    pub gds_bytes: usize,
+}
+
+/// Complete report of a flow run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowReport {
+    /// Design name.
+    pub design: String,
+    /// Technology node name (e.g. `"130nm"`).
+    pub node: String,
+    /// Profile name (e.g. `"open"`).
+    pub profile: String,
+    /// Per-step records in execution order.
+    pub steps: Vec<StepRecord>,
+    /// Final PPA.
+    pub ppa: PpaReport,
+    /// RTL source lines (frontend-productivity denominator).
+    pub rtl_lines: usize,
+}
+
+impl FlowReport {
+    /// Total wall-clock time across steps, in milliseconds.
+    #[must_use]
+    pub fn total_wall_ms(&self) -> f64 {
+        self.steps.iter().map(|s| s.wall_ms).sum()
+    }
+
+    /// Gates per line of RTL (the abstraction-gap metric of Sec. III-B).
+    #[must_use]
+    pub fn gates_per_rtl_line(&self) -> f64 {
+        if self.rtl_lines == 0 {
+            0.0
+        } else {
+            self.ppa.cells as f64 / self.rtl_lines as f64
+        }
+    }
+}
+
+impl fmt::Display for FlowReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} @ {} [{}]: {} cells, {:.1} um2, fmax {:.1} MHz, {:.1} uW, wl {:.1} um, {} DRC",
+            self.design,
+            self.node,
+            self.profile,
+            self.ppa.cells,
+            self.ppa.cell_area_um2,
+            self.ppa.fmax_mhz,
+            self.ppa.power_uw,
+            self.ppa.wirelength_um,
+            self.ppa.drc_violations
+        )?;
+        for step in &self.steps {
+            writeln!(
+                f,
+                "  {:>10}: {:>8.2} ms  {}",
+                step.step, step.wall_ms, step.detail
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FlowReport {
+        FlowReport {
+            design: "counter8".into(),
+            node: "130nm".into(),
+            profile: "open".into(),
+            steps: vec![
+                StepRecord {
+                    step: FlowStep::Synthesize,
+                    wall_ms: 2.0,
+                    detail: "42 cells".into(),
+                },
+                StepRecord {
+                    step: FlowStep::Place,
+                    wall_ms: 3.5,
+                    detail: "hpwl 100".into(),
+                },
+            ],
+            ppa: PpaReport {
+                cell_area_um2: 100.0,
+                core_area_um2: 150.0,
+                cells: 42,
+                flip_flops: 8,
+                fmax_mhz: 250.0,
+                wns_ps: 1000.0,
+                hold_wns_ps: 5.0,
+                power_uw: 12.0,
+                leakage_uw: 0.5,
+                clock_buffers: 2,
+                clock_skew_ps: 3.0,
+                wirelength_um: 321.0,
+                overflowed_edges: 0,
+                drc_violations: 0,
+                gds_bytes: 4096,
+            },
+            rtl_lines: 10,
+        }
+    }
+
+    #[test]
+    fn totals_and_ratios() {
+        let report = sample();
+        assert!((report.total_wall_ms() - 5.5).abs() < 1e-12);
+        assert!((report.gates_per_rtl_line() - 4.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_key_figures() {
+        let s = sample().to_string();
+        assert!(s.contains("counter8"));
+        assert!(s.contains("130nm"));
+        assert!(s.contains("42 cells"));
+        assert!(s.contains("synthesize"));
+    }
+}

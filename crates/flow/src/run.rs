@@ -1,0 +1,582 @@
+//! Flow execution.
+
+use crate::profile::OptimizationProfile;
+use crate::report::{FlowReport, PpaReport, StepRecord};
+use crate::template::{FlowStep, FlowTemplate};
+use chipforge_hdl::RtlModule;
+use chipforge_layout::{build_layout, drc, gds, Layout};
+use chipforge_netlist::Netlist;
+use chipforge_pdk::{DesignRules, Pdk, StdCellLibrary, TechnologyNode};
+use chipforge_place::{place, Placement, PlacementOptions};
+use chipforge_power::{estimate, PowerOptions};
+use chipforge_route::{route, RouteOptions, Routing};
+use chipforge_sta::{analyze, size_cells, TimingOptions, TimingReport};
+use chipforge_synth::{synthesize, SynthOptions};
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+/// Configuration of one flow run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowConfig {
+    /// Target technology node.
+    pub node: TechnologyNode,
+    /// Optimization profile.
+    pub profile: OptimizationProfile,
+    /// Target clock in MHz.
+    pub clock_mhz: f64,
+    /// Placement/annealing seed.
+    pub seed: u64,
+    /// Insert a scan chain after synthesis (design-for-test).
+    pub insert_scan: bool,
+    /// The flow template (step structure + enablement metadata).
+    pub template: FlowTemplate,
+}
+
+impl FlowConfig {
+    /// Creates a config for a node and profile with a 100 MHz clock.
+    #[must_use]
+    pub fn new(node: TechnologyNode, profile: OptimizationProfile) -> Self {
+        Self {
+            node,
+            profile,
+            clock_mhz: 100.0,
+            seed: 1,
+            insert_scan: false,
+            template: FlowTemplate::standard(),
+        }
+    }
+
+    /// Enables scan-chain insertion.
+    #[must_use]
+    pub fn with_scan(mut self) -> Self {
+        self.insert_scan = true;
+        self
+    }
+
+    /// Sets the target clock.
+    #[must_use]
+    pub fn with_clock_mhz(mut self, clock_mhz: f64) -> Self {
+        self.clock_mhz = clock_mhz;
+        self
+    }
+
+    /// Sets the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The PDK implied by node + profile: open where available, commercial
+    /// otherwise.
+    #[must_use]
+    pub fn pdk(&self) -> Pdk {
+        if self.node.has_open_pdk() && self.profile.library == chipforge_pdk::LibraryKind::Open {
+            Pdk::open(self.node)
+        } else {
+            Pdk::commercial(self.node)
+        }
+    }
+}
+
+/// Everything a flow run produces.
+#[derive(Debug, Clone)]
+pub struct FlowOutcome {
+    /// The mapped (and sized) netlist.
+    pub netlist: Netlist,
+    /// The legal placement.
+    pub placement: Placement,
+    /// The global routing.
+    pub routing: Routing,
+    /// The generated layout.
+    pub layout: Layout,
+    /// The GDSII stream.
+    pub gds: Vec<u8>,
+    /// The post-route timing report.
+    pub timing: TimingReport,
+    /// The flow report (per-step records + PPA).
+    pub report: FlowReport,
+}
+
+/// Errors from a flow run (wrapping each engine's error).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// RTL parsing/elaboration failed.
+    Hdl(chipforge_hdl::HdlError),
+    /// Synthesis failed.
+    Synth(chipforge_synth::SynthError),
+    /// Timing analysis failed.
+    Sta(chipforge_sta::StaError),
+    /// Placement failed.
+    Place(chipforge_place::PlaceError),
+    /// Routing failed.
+    Route(chipforge_route::RouteError),
+    /// Layout generation failed.
+    Layout(chipforge_layout::BuildError),
+    /// Power estimation failed.
+    Power(chipforge_power::PowerError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Hdl(e) => write!(f, "elaborate: {e}"),
+            FlowError::Synth(e) => write!(f, "synthesize: {e}"),
+            FlowError::Sta(e) => write!(f, "timing: {e}"),
+            FlowError::Place(e) => write!(f, "place: {e}"),
+            FlowError::Route(e) => write!(f, "route: {e}"),
+            FlowError::Layout(e) => write!(f, "layout: {e}"),
+            FlowError::Power(e) => write!(f, "power: {e}"),
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+macro_rules! impl_from {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for FlowError {
+            fn from(e: $ty) -> Self {
+                FlowError::$variant(e)
+            }
+        }
+    };
+}
+impl_from!(Hdl, chipforge_hdl::HdlError);
+impl_from!(Synth, chipforge_synth::SynthError);
+impl_from!(Sta, chipforge_sta::StaError);
+impl_from!(Place, chipforge_place::PlaceError);
+impl_from!(Route, chipforge_route::RouteError);
+impl_from!(Layout, chipforge_layout::BuildError);
+impl_from!(Power, chipforge_power::PowerError);
+
+/// Runs the complete flow on ForgeHDL source.
+///
+/// # Errors
+///
+/// Propagates the first failing step as [`FlowError`].
+pub fn run_flow(source: &str, config: &FlowConfig) -> Result<FlowOutcome, FlowError> {
+    let start = Instant::now();
+    let module = chipforge_hdl::parse(source)?;
+    let elaborate_ms = start.elapsed().as_secs_f64() * 1e3;
+    let rtl_lines = chipforge_hdl::rtl_line_count(source);
+    run_inner(&module, config, rtl_lines, Some(elaborate_ms))
+}
+
+/// Runs the flow on an already elaborated module (skips the parse step).
+///
+/// # Errors
+///
+/// Propagates the first failing step as [`FlowError`].
+pub fn run_flow_on_module(
+    module: &RtlModule,
+    config: &FlowConfig,
+) -> Result<FlowOutcome, FlowError> {
+    run_inner(module, config, module.source_lines(), None)
+}
+
+fn run_inner(
+    module: &RtlModule,
+    config: &FlowConfig,
+    rtl_lines: usize,
+    elaborate_ms: Option<f64>,
+) -> Result<FlowOutcome, FlowError> {
+    let pdk = config.pdk();
+    let lib: StdCellLibrary = pdk.library(config.profile.library);
+    let clock_ps = 1e6 / config.clock_mhz;
+    let mut steps = Vec::new();
+    if let Some(ms) = elaborate_ms {
+        steps.push(StepRecord {
+            step: FlowStep::Elaborate,
+            wall_ms: ms,
+            detail: format!("{} signals, {} lines", module.signals().len(), rtl_lines),
+        });
+    }
+
+    // --- synthesize ---
+    let t = Instant::now();
+    let synth_result = synthesize(
+        module,
+        &lib,
+        &SynthOptions {
+            effort: config.profile.synth_effort,
+        },
+    )?;
+    let mut netlist = synth_result.netlist;
+    let mut synth_detail = format!(
+        "{} cells, {} AIG nodes, depth {}",
+        netlist.cell_count(),
+        synth_result.aig_stats.ands,
+        synth_result.aig_stats.depth
+    );
+    if config.insert_scan {
+        if let Some((scanned, scan_report)) = chipforge_synth::insert_scan_chain(&netlist, &lib)? {
+            netlist = scanned;
+            synth_detail.push_str(&format!(
+                ", scan chain of {} ({} muxes)",
+                scan_report.chain_length(),
+                scan_report.muxes_added
+            ));
+        }
+    }
+    steps.push(StepRecord {
+        step: FlowStep::Synthesize,
+        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+        detail: synth_detail,
+    });
+
+    // --- pre-route sizing ---
+    let t = Instant::now();
+    let sized = if config.profile.sizing_iterations > 0 {
+        size_cells(
+            &mut netlist,
+            &lib,
+            &TimingOptions::new(clock_ps),
+            config.profile.sizing_iterations,
+        )?
+        .upsized_cells
+    } else {
+        0
+    };
+    steps.push(StepRecord {
+        step: FlowStep::Size,
+        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+        detail: format!("{sized} cells upsized"),
+    });
+
+    // --- place ---
+    let t = Instant::now();
+    let placement = place(
+        &netlist,
+        &lib,
+        &PlacementOptions {
+            utilization: config.profile.utilization,
+            seed: config.seed,
+            moves_per_cell: config.profile.placement_moves_per_cell,
+        },
+    )?;
+    steps.push(StepRecord {
+        step: FlowStep::Place,
+        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+        detail: format!(
+            "hpwl {:.1} um ({} rows)",
+            placement.hpwl_um(),
+            placement.floorplan().rows()
+        ),
+    });
+
+    // --- clock-tree synthesis ---
+    let t = Instant::now();
+    let flip_flops = netlist.stats().sequential_cells;
+    let clock_tree = crate::cts::synthesize_clock_tree(
+        &netlist,
+        &placement,
+        &lib,
+        &crate::cts::CtsOptions::default(),
+    );
+    let (clock_buffers, clock_skew_ps, cts_detail) = match &clock_tree {
+        Some(tree) => (
+            tree.buffer_count(),
+            tree.skew_ps(),
+            format!(
+                "{} sinks, {} buffers, {} levels, skew {:.1} ps, {:.1} um clock wire",
+                flip_flops,
+                tree.buffer_count(),
+                tree.levels(),
+                tree.skew_ps(),
+                tree.wirelength_um()
+            ),
+        ),
+        None => (0, 0.0, "no sequential cells".to_string()),
+    };
+    steps.push(StepRecord {
+        step: FlowStep::ClockTree,
+        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+        detail: cts_detail,
+    });
+
+    // --- route ---
+    let t = Instant::now();
+    let routing = route(
+        &netlist,
+        &placement,
+        &lib,
+        &RouteOptions {
+            gcell_um: 0.0,
+            max_iterations: config.profile.route_iterations,
+        },
+    )?;
+    steps.push(StepRecord {
+        step: FlowStep::Route,
+        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+        detail: format!(
+            "wl {:.1} um, {} vias, peak congestion {:.2}",
+            routing.total_wirelength_um(),
+            routing.total_vias(),
+            routing.peak_congestion()
+        ),
+    });
+
+    // --- signoff: back-annotated STA, power, DRC ---
+    let t = Instant::now();
+    let mut timing_options = TimingOptions::new(clock_ps).with_clock_skew_ps(clock_skew_ps);
+    timing_options.net_wire_cap_ff = routing.wire_caps_ff(&lib);
+    let timing = analyze(&netlist, &lib, &timing_options)?;
+    let mut power_options = PowerOptions::new(config.clock_mhz);
+    power_options.net_wire_cap_ff = routing.wire_caps_ff(&lib);
+    let mut power = estimate(&netlist, &lib, &power_options)?;
+    // Clock-tree buffers toggle every cycle; add their switching power.
+    if let Some(tree) = &clock_tree {
+        let vdd = lib.node().supply_v();
+        let wire_ff = tree.wirelength_um() * lib.node().wire_cap_ff_per_um();
+        let buf_ff = tree.buffer_count() as f64 * 2.0; // internal + input caps
+        power.clock_uw += (wire_ff + buf_ff) * 1e-15 * vdd * vdd * config.clock_mhz * 1e6 * 1e6;
+    }
+    let layout = build_layout(&netlist, &placement, &routing, &lib)?;
+    let rules = DesignRules::for_node(config.node);
+    let drc_report = drc::check(&layout, &rules);
+    // Formal equivalence against the RTL (skipped for scan-inserted
+    // netlists, whose interface intentionally differs in shift mode).
+    let ec_detail = if config.insert_scan {
+        "EC skipped (scan)".to_string()
+    } else {
+        let ec = chipforge_verify::check_equivalence(module, &netlist, 500_000);
+        match ec.verdict {
+            chipforge_verify::Verdict::Equivalent => {
+                format!("EC proven ({}/{})", ec.proven, ec.total)
+            }
+            chipforge_verify::Verdict::Aborted => {
+                format!(
+                    "EC aborted at {} BDD nodes ({}/{} proven)",
+                    ec.bdd_nodes, ec.proven, ec.total
+                )
+            }
+            other => format!("EC FAILED: {other:?}"),
+        }
+    };
+    steps.push(StepRecord {
+        step: FlowStep::Signoff,
+        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+        detail: format!(
+            "wns {:.1} ps, {:.1} uW, {} DRC violations, {}",
+            timing.wns_ps,
+            power.total_uw(),
+            drc_report.violations.len(),
+            ec_detail
+        ),
+    });
+
+    // --- export ---
+    let t = Instant::now();
+    let gds_bytes = gds::write_gds(&layout);
+    steps.push(StepRecord {
+        step: FlowStep::Export,
+        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+        detail: format!("{} bytes GDSII", gds_bytes.len()),
+    });
+
+    let cell_area: f64 = netlist
+        .cells()
+        .filter_map(|c| lib.cell(c.lib_cell()).map(|l| l.area_um2()))
+        .sum();
+    let report = FlowReport {
+        design: module.name().to_string(),
+        node: config.node.name(),
+        profile: config.profile.name.clone(),
+        steps,
+        ppa: PpaReport {
+            cell_area_um2: cell_area,
+            core_area_um2: placement.floorplan().core_area_um2(),
+            cells: netlist.cell_count(),
+            flip_flops,
+            fmax_mhz: timing.fmax_mhz,
+            wns_ps: timing.wns_ps,
+            hold_wns_ps: timing.hold_wns_ps,
+            power_uw: power.total_uw(),
+            leakage_uw: power.leakage_uw,
+            clock_buffers,
+            clock_skew_ps,
+            wirelength_um: routing.total_wirelength_um(),
+            overflowed_edges: routing.overflowed_edges(),
+            drc_violations: drc_report.violations.len(),
+            gds_bytes: gds_bytes.len(),
+        },
+        rtl_lines,
+    };
+    Ok(FlowOutcome {
+        netlist,
+        placement,
+        routing,
+        layout,
+        gds: gds_bytes,
+        timing,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipforge_hdl::designs;
+
+    #[test]
+    fn full_flow_on_counter_produces_everything() {
+        let config =
+            FlowConfig::new(TechnologyNode::N130, OptimizationProfile::open()).with_clock_mhz(50.0);
+        let outcome = run_flow(designs::counter(8).source(), &config).unwrap();
+        assert!(outcome.report.ppa.cells > 10);
+        assert_eq!(outcome.report.ppa.flip_flops, 8);
+        assert!(
+            outcome.report.ppa.fmax_mhz > 50.0,
+            "counter meets 50 MHz at 130nm"
+        );
+        assert!(outcome.report.ppa.gds_bytes > 0);
+        assert_eq!(outcome.report.steps.len(), 8);
+        assert!(outcome.report.total_wall_ms() > 0.0);
+    }
+
+    #[test]
+    fn commercial_profile_beats_open_on_fmax() {
+        let src_design = designs::alu(8);
+        let src = src_design.source();
+        let open = run_flow(
+            src,
+            &FlowConfig::new(TechnologyNode::N28, OptimizationProfile::open()),
+        )
+        .unwrap();
+        let comm = run_flow(
+            src,
+            &FlowConfig::new(TechnologyNode::N28, OptimizationProfile::commercial()),
+        )
+        .unwrap();
+        assert!(
+            comm.report.ppa.fmax_mhz > open.report.ppa.fmax_mhz,
+            "commercial {} vs open {}",
+            comm.report.ppa.fmax_mhz,
+            open.report.ppa.fmax_mhz
+        );
+    }
+
+    #[test]
+    fn newer_node_is_faster_and_smaller() {
+        let design = designs::counter(16);
+        let old = run_flow(
+            design.source(),
+            &FlowConfig::new(TechnologyNode::N130, OptimizationProfile::open()),
+        )
+        .unwrap();
+        let new = run_flow(
+            design.source(),
+            &FlowConfig::new(TechnologyNode::N16, OptimizationProfile::commercial()),
+        )
+        .unwrap();
+        assert!(new.report.ppa.cell_area_um2 < old.report.ppa.cell_area_um2 / 10.0);
+        assert!(new.report.ppa.fmax_mhz > old.report.ppa.fmax_mhz);
+    }
+
+    #[test]
+    fn flow_reports_gates_per_line_in_paper_range() {
+        // Sec. III-B: one line of RTL typically yields 5-20 gates.
+        let mut ratios = Vec::new();
+        for design in designs::suite() {
+            let outcome = run_flow(
+                design.source(),
+                &FlowConfig::new(TechnologyNode::N130, OptimizationProfile::open()),
+            )
+            .unwrap();
+            ratios.push(outcome.report.gates_per_rtl_line());
+        }
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!(
+            (3.0..40.0).contains(&mean),
+            "mean gates/line {mean} out of plausible range"
+        );
+    }
+
+    #[test]
+    fn signoff_reports_formal_equivalence() {
+        let config = FlowConfig::new(TechnologyNode::N130, OptimizationProfile::open());
+        let outcome = run_flow(designs::counter(8).source(), &config).unwrap();
+        let signoff = outcome
+            .report
+            .steps
+            .iter()
+            .find(|s| s.step == FlowStep::Signoff)
+            .unwrap();
+        assert!(
+            signoff.detail.contains("EC proven"),
+            "signoff detail: {}",
+            signoff.detail
+        );
+        // Scanned netlists skip EC by design.
+        let scanned = run_flow(designs::counter(8).source(), &config.clone().with_scan()).unwrap();
+        let signoff = scanned
+            .report
+            .steps
+            .iter()
+            .find(|s| s.step == FlowStep::Signoff)
+            .unwrap();
+        assert!(signoff.detail.contains("EC skipped"));
+    }
+
+    #[test]
+    fn sequential_flows_meet_hold() {
+        // With a balanced CTS the skew is small; clk-to-Q covers hold.
+        let config = FlowConfig::new(TechnologyNode::N130, OptimizationProfile::open());
+        let outcome = run_flow(designs::counter(8).source(), &config).unwrap();
+        assert!(
+            outcome.report.ppa.hold_wns_ps > 0.0,
+            "hold wns {}",
+            outcome.report.ppa.hold_wns_ps
+        );
+    }
+
+    #[test]
+    fn scan_insertion_flows_to_gds() {
+        let design = designs::counter(8);
+        let base_cfg = FlowConfig::new(TechnologyNode::N130, OptimizationProfile::open());
+        let scan_cfg = base_cfg.clone().with_scan();
+        let base = run_flow(design.source(), &base_cfg).unwrap();
+        let scanned = run_flow(design.source(), &scan_cfg).unwrap();
+        // Scan adds one mux per flip-flop and the scan ports.
+        assert_eq!(
+            scanned.report.ppa.cells,
+            base.report.ppa.cells + base.report.ppa.flip_flops
+        );
+        assert_eq!(scanned.report.ppa.drc_violations, 0);
+        assert!(scanned.report.ppa.cell_area_um2 > base.report.ppa.cell_area_um2);
+        // Scan muxes in front of every FF cost speed.
+        assert!(scanned.report.ppa.fmax_mhz < base.report.ppa.fmax_mhz);
+    }
+
+    #[test]
+    fn cts_populates_clock_metrics() {
+        let config = FlowConfig::new(TechnologyNode::N130, OptimizationProfile::open());
+        let seq = run_flow(designs::fir4(8).source(), &config).unwrap();
+        assert!(seq.report.ppa.clock_buffers >= 1);
+        assert!(seq.report.ppa.clock_skew_ps >= 0.0);
+        // Combinational design: no tree.
+        let comb = run_flow(designs::gray_encoder(8).source(), &config).unwrap();
+        assert_eq!(comb.report.ppa.clock_buffers, 0);
+        assert_eq!(comb.report.ppa.clock_skew_ps, 0.0);
+    }
+
+    #[test]
+    fn bad_rtl_fails_at_elaborate() {
+        let config = FlowConfig::new(TechnologyNode::N130, OptimizationProfile::quick());
+        let err = run_flow("module broken() { output y; }", &config).unwrap_err();
+        assert!(matches!(err, FlowError::Hdl(_)));
+    }
+
+    #[test]
+    fn seeds_change_placement_not_function() {
+        let design = designs::counter(8);
+        let config = FlowConfig::new(TechnologyNode::N130, OptimizationProfile::quick());
+        let a = run_flow(design.source(), &config).unwrap();
+        let b = run_flow(design.source(), &config.clone().with_seed(7)).unwrap();
+        assert_eq!(a.report.ppa.cells, b.report.ppa.cells);
+        assert_ne!(a.placement, b.placement);
+    }
+}

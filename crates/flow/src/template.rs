@@ -1,0 +1,246 @@
+//! Vendor/technology-independent flow templates (Recommendation 4).
+
+use chipforge_pdk::TechnologyNode;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The abstract steps of a digital implementation flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowStep {
+    /// RTL parsing and elaboration.
+    Elaborate,
+    /// Logic synthesis and technology mapping.
+    Synthesize,
+    /// Timing-driven gate sizing.
+    Size,
+    /// Floorplanning and placement.
+    Place,
+    /// Clock-tree synthesis (modeled).
+    ClockTree,
+    /// Global routing.
+    Route,
+    /// Signoff: STA, power, DRC.
+    Signoff,
+    /// GDSII stream-out.
+    Export,
+}
+
+impl FlowStep {
+    /// All steps in canonical order.
+    pub const ALL: [FlowStep; 8] = [
+        FlowStep::Elaborate,
+        FlowStep::Synthesize,
+        FlowStep::Size,
+        FlowStep::Place,
+        FlowStep::ClockTree,
+        FlowStep::Route,
+        FlowStep::Signoff,
+        FlowStep::Export,
+    ];
+}
+
+impl fmt::Display for FlowStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FlowStep::Elaborate => "elaborate",
+            FlowStep::Synthesize => "synthesize",
+            FlowStep::Size => "size",
+            FlowStep::Place => "place",
+            FlowStep::ClockTree => "cts",
+            FlowStep::Route => "route",
+            FlowStep::Signoff => "signoff",
+            FlowStep::Export => "export",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Enablement metadata for one step of a template: how many configuration
+/// items a team must provide to run this step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepSpec {
+    /// The abstract step.
+    pub step: FlowStep,
+    /// Configuration items that depend on the technology (PDK paths,
+    /// libraries, rule decks, derates, ...).
+    pub technology_items: usize,
+    /// Configuration items that depend on the tool vendor (command syntax,
+    /// script dialect, license setup, ...).
+    pub vendor_items: usize,
+}
+
+/// A reusable flow template: the ordered steps plus their configuration
+/// footprint.
+///
+/// The template encodes the paper's Recommendation 4: once the abstract
+/// step structure and its parameter schema exist, moving to a new
+/// technology means binding `technology_items` parameters instead of
+/// re-developing `technology_items + vendor_items` pieces of scripting
+/// per step. [`FlowTemplate::setup_items`] quantifies exactly that.
+///
+/// ```
+/// use chipforge_flow::FlowTemplate;
+/// use chipforge_pdk::TechnologyNode;
+///
+/// let tpl = FlowTemplate::standard();
+/// let from_scratch = tpl.setup_items(TechnologyNode::N28, false);
+/// let templated = tpl.setup_items(TechnologyNode::N28, true);
+/// assert!(templated < from_scratch / 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowTemplate {
+    name: String,
+    steps: Vec<StepSpec>,
+}
+
+impl FlowTemplate {
+    /// The standard chipforge RTL-to-GDSII template.
+    ///
+    /// Item counts are calibrated against the script inventories of open
+    /// reference flows (an OpenLane-class flow carries on the order of
+    /// 20–40 technology-bound variables per backend stage).
+    #[must_use]
+    pub fn standard() -> Self {
+        let steps = vec![
+            StepSpec {
+                step: FlowStep::Elaborate,
+                technology_items: 0,
+                vendor_items: 2,
+            },
+            StepSpec {
+                step: FlowStep::Synthesize,
+                technology_items: 8,
+                vendor_items: 10,
+            },
+            StepSpec {
+                step: FlowStep::Size,
+                technology_items: 4,
+                vendor_items: 4,
+            },
+            StepSpec {
+                step: FlowStep::Place,
+                technology_items: 12,
+                vendor_items: 10,
+            },
+            StepSpec {
+                step: FlowStep::ClockTree,
+                technology_items: 8,
+                vendor_items: 6,
+            },
+            StepSpec {
+                step: FlowStep::Route,
+                technology_items: 14,
+                vendor_items: 8,
+            },
+            StepSpec {
+                step: FlowStep::Signoff,
+                technology_items: 10,
+                vendor_items: 8,
+            },
+            StepSpec {
+                step: FlowStep::Export,
+                technology_items: 4,
+                vendor_items: 4,
+            },
+        ];
+        Self {
+            name: "chipforge-standard".into(),
+            steps,
+        }
+    }
+
+    /// Template name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Step specifications in order.
+    #[must_use]
+    pub fn steps(&self) -> &[StepSpec] {
+        &self.steps
+    }
+
+    /// Number of configuration items a team must produce to bring up this
+    /// flow on `node`.
+    ///
+    /// Without a template, every step needs its technology *and* vendor
+    /// items hand-written, and advanced nodes multiply the technology
+    /// surface (more layers, more corners). With a template, vendor items
+    /// are inherited and technology items collapse to parameter bindings
+    /// (one in four still needs engineering attention).
+    #[must_use]
+    pub fn setup_items(&self, node: TechnologyNode, with_template: bool) -> usize {
+        let node_factor = 1.0 + (node.metal_layers() as f64 - 6.0) * 0.08;
+        self.steps
+            .iter()
+            .map(|s| {
+                let tech = (s.technology_items as f64 * node_factor).ceil() as usize;
+                if with_template {
+                    tech.div_ceil(4)
+                } else {
+                    tech + s.vendor_items
+                }
+            })
+            .sum()
+    }
+
+    /// Expert-hours to bring up the flow on a node: each configuration
+    /// item costs hours that grow with node complexity (documentation is
+    /// thinner, rules are stricter).
+    #[must_use]
+    pub fn setup_expert_hours(&self, node: TechnologyNode, with_template: bool) -> f64 {
+        let items = self.setup_items(node, with_template) as f64;
+        let hours_per_item = if node.feature_nm() >= 90 { 3.0 } else { 5.0 };
+        items * hours_per_item
+    }
+}
+
+impl Default for FlowTemplate {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_template_covers_all_steps() {
+        let tpl = FlowTemplate::standard();
+        assert_eq!(tpl.steps().len(), FlowStep::ALL.len());
+        for (spec, step) in tpl.steps().iter().zip(FlowStep::ALL) {
+            assert_eq!(spec.step, step);
+        }
+    }
+
+    #[test]
+    fn template_slashes_setup_items() {
+        let tpl = FlowTemplate::standard();
+        for node in TechnologyNode::ALL {
+            let scratch = tpl.setup_items(node, false);
+            let templated = tpl.setup_items(node, true);
+            assert!(templated * 3 < scratch, "{node}: {templated} vs {scratch}");
+        }
+    }
+
+    #[test]
+    fn advanced_nodes_need_more_setup() {
+        let tpl = FlowTemplate::standard();
+        assert!(
+            tpl.setup_items(TechnologyNode::N7, false)
+                > tpl.setup_items(TechnologyNode::N130, false)
+        );
+        assert!(
+            tpl.setup_expert_hours(TechnologyNode::N7, false)
+                > 1.5 * tpl.setup_expert_hours(TechnologyNode::N130, false)
+        );
+    }
+
+    #[test]
+    fn step_display_names() {
+        assert_eq!(FlowStep::ClockTree.to_string(), "cts");
+        assert_eq!(FlowStep::Export.to_string(), "export");
+    }
+}

@@ -1,0 +1,132 @@
+//! FPGA device capacity/timing/cost models.
+
+use crate::lutmap::LutMapping;
+use serde::{Deserialize, Serialize};
+
+/// A target FPGA device (educational-board class).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FpgaDevice {
+    /// Device name.
+    pub name: String,
+    /// Available 4-input LUTs.
+    pub luts: usize,
+    /// Available flip-flops.
+    pub ffs: usize,
+    /// LUT-to-LUT delay (logic + local routing) in ns.
+    pub level_delay_ns: f64,
+    /// Dev-board street price in EUR.
+    pub board_cost_eur: f64,
+    /// Typical bitstream compile time for a full device, in minutes.
+    pub compile_minutes: f64,
+}
+
+impl FpgaDevice {
+    /// An iCE40-class open-toolchain education board (~€50).
+    #[must_use]
+    pub fn education_board() -> Self {
+        Self {
+            name: "ice40-class".into(),
+            luts: 5_280,
+            ffs: 5_280,
+            level_delay_ns: 1.2,
+            board_cost_eur: 49.0,
+            compile_minutes: 1.0,
+        }
+    }
+
+    /// A mid-range lab board (Artix-class, ~€300).
+    #[must_use]
+    pub fn lab_board() -> Self {
+        Self {
+            name: "artix-class".into(),
+            luts: 63_400,
+            ffs: 126_800,
+            level_delay_ns: 0.55,
+            board_cost_eur: 299.0,
+            compile_minutes: 12.0,
+        }
+    }
+
+    /// Evaluates a mapped design on this device.
+    #[must_use]
+    pub fn prototype(&self, mapping: &LutMapping) -> PrototypeReport {
+        let fits = mapping.lut_count() <= self.luts && mapping.ff_count() <= self.ffs;
+        let critical_ns = mapping.depth().max(1) as f64 * self.level_delay_ns;
+        PrototypeReport {
+            device: self.name.clone(),
+            fits,
+            luts_used: mapping.lut_count(),
+            lut_utilization: mapping.lut_count() as f64 / self.luts as f64,
+            ffs_used: mapping.ff_count(),
+            fmax_mhz: 1_000.0 / critical_ns,
+            board_cost_eur: self.board_cost_eur,
+            // Edit-compile-run loop: one compile plus bring-up slack.
+            time_to_hardware_hours: self.compile_minutes / 60.0 + 0.5,
+        }
+    }
+}
+
+/// Result of targeting a design at an FPGA.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrototypeReport {
+    /// Device name.
+    pub device: String,
+    /// Whether the design fits the device.
+    pub fits: bool,
+    /// LUTs used.
+    pub luts_used: usize,
+    /// LUT utilization fraction.
+    pub lut_utilization: f64,
+    /// Flip-flops used.
+    pub ffs_used: usize,
+    /// Estimated maximum frequency in MHz.
+    pub fmax_mhz: f64,
+    /// Board cost in EUR.
+    pub board_cost_eur: f64,
+    /// Time from RTL to blinking hardware, in hours.
+    pub time_to_hardware_hours: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map_to_luts;
+    use chipforge_hdl::designs;
+    use chipforge_synth::lower::lower_to_aig;
+
+    fn mapping(design: chipforge_hdl::designs::Design) -> LutMapping {
+        let module = design.elaborate().unwrap();
+        map_to_luts(&lower_to_aig(&module), 4)
+    }
+
+    #[test]
+    fn small_designs_fit_the_education_board() {
+        for design in designs::suite() {
+            let report = FpgaDevice::education_board().prototype(&mapping(design.clone()));
+            assert!(report.fits, "{} does not fit", design.name());
+            assert!(report.lut_utilization < 0.5);
+        }
+    }
+
+    #[test]
+    fn lab_board_is_faster_but_dearer() {
+        let m = mapping(designs::alu(8));
+        let edu = FpgaDevice::education_board().prototype(&m);
+        let lab = FpgaDevice::lab_board().prototype(&m);
+        assert!(lab.fmax_mhz > edu.fmax_mhz);
+        assert!(lab.board_cost_eur > edu.board_cost_eur);
+    }
+
+    #[test]
+    fn time_to_hardware_is_hours_not_weeks() {
+        let report = FpgaDevice::education_board().prototype(&mapping(designs::uart_tx()));
+        assert!(report.time_to_hardware_hours < 2.0);
+    }
+
+    #[test]
+    fn deeper_logic_is_slower() {
+        let shallow = FpgaDevice::education_board().prototype(&mapping(designs::counter(8)));
+        let deep = FpgaDevice::education_board().prototype(&mapping(designs::multiplier(8)));
+        assert!(deep.fmax_mhz < shallow.fmax_mhz);
+    }
+}

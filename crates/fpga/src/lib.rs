@@ -1,0 +1,43 @@
+//! # chipforge-fpga
+//!
+//! LUT-based FPGA technology mapping and a prototyping-economics model.
+//!
+//! The paper (Sec. III-B) positions FPGAs as the partial alternative to
+//! ASIC flows: fast to a working prototype, but covering only the frontend
+//! of the design process. This crate makes that comparison quantitative:
+//!
+//! * [`map_to_luts`] — depth-oriented K-LUT covering of an and-inverter
+//!   graph (priority cuts, K = 4), with a cycle-accurate LUT-netlist
+//!   simulator used to prove the mapping equivalent;
+//! * [`FpgaDevice`] — capacity/timing/cost models of typical educational
+//!   boards;
+//! * [`PrototypeReport`] — fit, expected fmax, board cost and
+//!   time-to-working-hardware, the numbers experiment E13 compares against
+//!   the ASIC path.
+//!
+//! ## Example
+//!
+//! ```
+//! use chipforge_fpga::{map_to_luts, FpgaDevice};
+//! use chipforge_hdl::designs;
+//! use chipforge_synth::lower::lower_to_aig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let module = designs::counter(8).elaborate()?;
+//! let aig = lower_to_aig(&module);
+//! let mapping = map_to_luts(&aig, 4);
+//! assert!(mapping.lut_count() > 0);
+//! let report = FpgaDevice::education_board().prototype(&mapping);
+//! assert!(report.fits);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod lutmap;
+
+pub use device::{FpgaDevice, PrototypeReport};
+pub use lutmap::{map_to_luts, Lut, LutMapping};

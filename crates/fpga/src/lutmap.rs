@@ -1,0 +1,538 @@
+//! Depth-oriented K-LUT technology mapping over and-inverter graphs.
+
+use chipforge_synth::{Aig, Lit, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Where a LUT input or an output signal comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Source {
+    /// Primary input by index into the AIG's input list.
+    Input(usize),
+    /// Flip-flop output by index into the latch list.
+    Latch(usize),
+    /// Output of another LUT.
+    Lut(usize),
+    /// Constant value.
+    Const(bool),
+}
+
+/// A signal reference with polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignalRef {
+    /// Driving source.
+    pub source: Source,
+    /// Whether the consumer sees the complement.
+    pub inverted: bool,
+}
+
+/// One K-input lookup table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lut {
+    /// Input sources, LSB-first in the truth-table index.
+    pub inputs: Vec<Source>,
+    /// Truth table over `inputs.len()` variables (bit `k` = output when
+    /// input `i` equals bit `i` of `k`).
+    pub truth: u16,
+}
+
+/// A mapped LUT netlist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LutMapping {
+    luts: Vec<Lut>,
+    /// `(name, signal)` primary outputs.
+    outputs: Vec<(String, SignalRef)>,
+    /// `(name, next_state)` flip-flops, index-aligned with `Source::Latch`.
+    latches: Vec<(String, SignalRef)>,
+    /// Input names, index-aligned with `Source::Input`.
+    inputs: Vec<String>,
+    depth: usize,
+}
+
+impl LutMapping {
+    /// Number of LUTs used.
+    #[must_use]
+    pub fn lut_count(&self) -> usize {
+        self.luts.len()
+    }
+
+    /// Number of flip-flops.
+    #[must_use]
+    pub fn ff_count(&self) -> usize {
+        self.latches.len()
+    }
+
+    /// Logic depth in LUT levels.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The LUTs, topologically ordered.
+    #[must_use]
+    pub fn luts(&self) -> &[Lut] {
+        &self.luts
+    }
+
+    /// Primary outputs.
+    #[must_use]
+    pub fn outputs(&self) -> &[(String, SignalRef)] {
+        &self.outputs
+    }
+
+    /// Simulates one combinational evaluation; input/latch value slices
+    /// are ordered like the original AIG's inputs/latches. Returns
+    /// `(output values, next latch values)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value slices have the wrong lengths.
+    #[must_use]
+    pub fn simulate(&self, inputs: &[bool], latches: &[bool]) -> (Vec<bool>, Vec<bool>) {
+        assert_eq!(inputs.len(), self.inputs.len());
+        assert_eq!(latches.len(), self.latches.len());
+        let mut lut_values = vec![false; self.luts.len()];
+        let read = |lut_values: &[bool], s: Source| -> bool {
+            match s {
+                Source::Input(i) => inputs[i],
+                Source::Latch(i) => latches[i],
+                Source::Lut(i) => lut_values[i],
+                Source::Const(v) => v,
+            }
+        };
+        for (i, lut) in self.luts.iter().enumerate() {
+            let mut index = 0usize;
+            for (k, &src) in lut.inputs.iter().enumerate() {
+                if read(&lut_values, src) {
+                    index |= 1 << k;
+                }
+            }
+            lut_values[i] = (lut.truth >> index) & 1 == 1;
+        }
+        let resolve = |r: SignalRef| -> bool {
+            let v = read(&lut_values, r.source);
+            v ^ r.inverted
+        };
+        let outputs = self.outputs.iter().map(|(_, r)| resolve(*r)).collect();
+        let next = self.latches.iter().map(|(_, r)| resolve(*r)).collect();
+        (outputs, next)
+    }
+}
+
+const PROJ4: [u16; 4] = [0xAAAA, 0xCCCC, 0xF0F0, 0xFF00];
+
+/// Maps an AIG onto K-input LUTs (K ≤ 4), minimizing depth first and
+/// LUT count second.
+///
+/// # Panics
+///
+/// Panics if `k` is not in `2..=4`.
+#[must_use]
+pub fn map_to_luts(aig: &Aig, k: usize) -> LutMapping {
+    assert!((2..=4).contains(&k), "k must be 2..=4");
+    let n = aig.node_count();
+    let refs = aig.fanout_counts();
+
+    // Pass A: cut enumeration + depth-optimal DP.
+    let mut cuts: Vec<Vec<Vec<NodeId>>> = vec![Vec::new(); n];
+    let mut depth: Vec<usize> = vec![0; n];
+    for index in 0..n {
+        let node = NodeId::from_index(index);
+        let Some((fa, fb)) = aig.and_fanins(node) else {
+            cuts[index] = vec![vec![node]];
+            continue;
+        };
+        let mut node_cuts: Vec<Vec<NodeId>> = vec![vec![node]];
+        for ca in &cuts[fa.node().index()] {
+            for cb in &cuts[fb.node().index()] {
+                let mut merged = ca.clone();
+                for leaf in cb {
+                    if !merged.contains(leaf) {
+                        merged.push(*leaf);
+                    }
+                }
+                if merged.len() <= k {
+                    merged.sort();
+                    if !node_cuts.contains(&merged) {
+                        node_cuts.push(merged);
+                    }
+                }
+            }
+        }
+        node_cuts.truncate(12);
+        depth[index] = node_cuts
+            .iter()
+            .filter(|c| !(c.len() == 1 && c[0] == node))
+            .map(|c| 1 + c.iter().map(|l| depth[l.index()]).max().unwrap_or(0))
+            .min()
+            .expect("fanin cuts always merge at k >= 2");
+        cuts[index] = node_cuts;
+    }
+
+    // Pass B: required times over the depth-optimal *cover* (one LUT
+    // level per covered node, so non-critical cones get real slack).
+    let depth_cut: Vec<Option<Vec<NodeId>>> = (0..n)
+        .map(|index| {
+            let node = NodeId::from_index(index);
+            aig.and_fanins(node)?;
+            cuts[index]
+                .iter()
+                .filter(|c| !(c.len() == 1 && c[0] == node))
+                .min_by_key(|c| 1 + c.iter().map(|l| depth[l.index()]).max().unwrap_or(0))
+                .cloned()
+        })
+        .collect();
+    let mut required: Vec<usize> = vec![usize::MAX; n];
+    let target = aig
+        .outputs()
+        .iter()
+        .map(|(_, l)| depth[l.node().index()])
+        .chain(aig.latches().iter().map(|l| depth[l.d.node().index()]))
+        .max()
+        .unwrap_or(0);
+    for (_, lit) in aig.outputs() {
+        required[lit.node().index()] = target;
+    }
+    for latch in aig.latches() {
+        required[latch.d.node().index()] = target;
+    }
+    for index in (0..n).rev() {
+        if required[index] == usize::MAX {
+            continue;
+        }
+        if let Some(cut) = &depth_cut[index] {
+            let leaf_req = required[index].saturating_sub(1);
+            for leaf in cut {
+                required[leaf.index()] = required[leaf.index()].min(leaf_req);
+            }
+        }
+    }
+
+    // Pass C: iterated area recovery — cheapest cut (area flow) meeting
+    // the required time, with reference counts re-estimated from the
+    // realized cover between rounds (the standard ABC-style iteration).
+    let select = |refs_f: &[f64]| -> (Vec<Option<Vec<NodeId>>>, Vec<usize>) {
+        let mut sel: Vec<Option<Vec<NodeId>>> = vec![None; n];
+        let mut depth2: Vec<usize> = vec![0; n];
+        let mut flow: Vec<f64> = vec![0.0; n];
+        for index in 0..n {
+            let node = NodeId::from_index(index);
+            if aig.and_fanins(node).is_none() {
+                continue;
+            }
+            let budget = if required[index] == usize::MAX {
+                depth[index]
+            } else {
+                required[index].max(depth[index])
+            };
+            let mut best: Option<(f64, usize, Vec<NodeId>)> = None;
+            let mut fallback: Option<(usize, f64, Vec<NodeId>)> = None;
+            for cut in &cuts[index] {
+                if cut.len() == 1 && cut[0] == node {
+                    continue;
+                }
+                let d = 1 + cut.iter().map(|l| depth2[l.index()]).max().unwrap_or(0);
+                let f = 1.0
+                    + cut
+                        .iter()
+                        .map(|l| flow[l.index()] / refs_f[l.index()].max(0.5))
+                        .sum::<f64>();
+                if fallback
+                    .as_ref()
+                    .is_none_or(|(bd, bf, _)| d < *bd || (d == *bd && f < *bf))
+                {
+                    fallback = Some((d, f, cut.clone()));
+                }
+                if d <= budget
+                    && best
+                        .as_ref()
+                        .is_none_or(|(bf, bd, _)| f < *bf || (f == *bf && d < *bd))
+                {
+                    best = Some((f, d, cut.clone()));
+                }
+            }
+            let (d, f, cut) = match best {
+                Some((f, d, cut)) => (d, f, cut),
+                None => fallback.expect("at least one non-trivial cut"),
+            };
+            depth2[index] = d;
+            flow[index] = f;
+            sel[index] = Some(cut);
+        }
+        (sel, depth2)
+    };
+    // Realized cover size and leaf reference counts for a selection.
+    let realize = |sel: &[Option<Vec<NodeId>>]| -> (usize, Vec<f64>) {
+        let mut needed = vec![false; n];
+        let mut cover_refs = vec![0.0f64; n];
+        let mut stack: Vec<NodeId> = aig
+            .outputs()
+            .iter()
+            .map(|(_, l)| l.node())
+            .chain(aig.latches().iter().map(|l| l.d.node()))
+            .collect();
+        let mut count = 0usize;
+        while let Some(node) = stack.pop() {
+            let index = node.index();
+            if aig.and_fanins(node).is_none() {
+                continue;
+            }
+            if needed[index] {
+                continue;
+            }
+            needed[index] = true;
+            count += 1;
+            if let Some(cut) = &sel[index] {
+                for leaf in cut {
+                    cover_refs[leaf.index()] += 1.0;
+                    stack.push(*leaf);
+                }
+            }
+        }
+        (count, cover_refs)
+    };
+
+    let mut refs_f: Vec<f64> = refs.iter().map(|&r| f64::from(r.max(1))).collect();
+    let mut best_cut: Vec<Option<Vec<NodeId>>> = Vec::new();
+    let mut best_count = usize::MAX;
+    for _round in 0..3 {
+        let (sel, _) = select(&refs_f);
+        let (count, cover_refs) = realize(&sel);
+        if count < best_count {
+            best_count = count;
+            best_cut = sel;
+        }
+        refs_f = cover_refs;
+    }
+
+    // Extraction.
+    let input_index: HashMap<NodeId, usize> = aig
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, (_, id))| (*id, i))
+        .collect();
+    let latch_index: HashMap<NodeId, usize> = aig
+        .latches()
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (l.q, i))
+        .collect();
+    let mut extractor = Extract {
+        aig,
+        best_cut: &best_cut,
+        input_index: &input_index,
+        latch_index: &latch_index,
+        luts: Vec::new(),
+        lut_of: HashMap::new(),
+        lut_depth: Vec::new(),
+    };
+    let outputs: Vec<(String, SignalRef)> = aig
+        .outputs()
+        .iter()
+        .map(|(name, lit)| (name.clone(), extractor.lit_ref(*lit)))
+        .collect();
+    let latches: Vec<(String, SignalRef)> = aig
+        .latches()
+        .iter()
+        .map(|l| (l.name.clone(), extractor.lit_ref(l.d)))
+        .collect();
+    let max_depth = extractor.lut_depth.iter().copied().max().unwrap_or(0);
+    LutMapping {
+        luts: extractor.luts,
+        outputs,
+        latches,
+        inputs: aig.inputs().iter().map(|(n, _)| n.clone()).collect(),
+        depth: max_depth,
+    }
+}
+
+struct Extract<'a> {
+    aig: &'a Aig,
+    best_cut: &'a [Option<Vec<NodeId>>],
+    input_index: &'a HashMap<NodeId, usize>,
+    latch_index: &'a HashMap<NodeId, usize>,
+    luts: Vec<Lut>,
+    lut_of: HashMap<NodeId, usize>,
+    lut_depth: Vec<usize>,
+}
+
+impl Extract<'_> {
+    fn lit_ref(&mut self, lit: Lit) -> SignalRef {
+        let source = self.node_source(lit.node());
+        match source {
+            Source::Const(v) => SignalRef {
+                source: Source::Const(v ^ lit.is_complemented()),
+                inverted: false,
+            },
+            s => SignalRef {
+                source: s,
+                inverted: lit.is_complemented(),
+            },
+        }
+    }
+
+    fn node_source(&mut self, node: NodeId) -> Source {
+        if node == NodeId::FALSE {
+            return Source::Const(false);
+        }
+        if let Some(&i) = self.input_index.get(&node) {
+            return Source::Input(i);
+        }
+        if let Some(&i) = self.latch_index.get(&node) {
+            return Source::Latch(i);
+        }
+        if let Some(&i) = self.lut_of.get(&node) {
+            return Source::Lut(i);
+        }
+        let cut = self.best_cut[node.index()]
+            .clone()
+            .expect("AND nodes have a best cut");
+        // Truth table of the cone over the cut leaves.
+        let tt = cone_tt4(self.aig, node, &cut);
+        let inputs: Vec<Source> = cut.iter().map(|&l| self.node_source(l)).collect();
+        let input_depth = inputs
+            .iter()
+            .map(|s| match s {
+                Source::Lut(i) => self.lut_depth[*i],
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0);
+        // Truncate the truth table to the actual leaf count.
+        let width = 1u32 << cut.len();
+        let mask = if width >= 16 {
+            0xFFFF
+        } else {
+            (1u16 << width) - 1
+        };
+        let index = self.luts.len();
+        self.luts.push(Lut {
+            inputs,
+            truth: tt & mask,
+        });
+        self.lut_depth.push(input_depth + 1);
+        self.lut_of.insert(node, index);
+        Source::Lut(index)
+    }
+}
+
+/// 4-variable truth table of `node` over the cut leaves.
+fn cone_tt4(aig: &Aig, node: NodeId, cut: &[NodeId]) -> u16 {
+    fn go(aig: &Aig, node: NodeId, cut: &[NodeId], memo: &mut HashMap<NodeId, u16>) -> u16 {
+        if let Some(pos) = cut.iter().position(|&l| l == node) {
+            return PROJ4[pos];
+        }
+        if node == NodeId::FALSE {
+            return 0;
+        }
+        if let Some(&tt) = memo.get(&node) {
+            return tt;
+        }
+        let (a, b) = aig.and_fanins(node).expect("cone interior nodes are ANDs");
+        let ta = go(aig, a.node(), cut, memo);
+        let tb = go(aig, b.node(), cut, memo);
+        let va = if a.is_complemented() { !ta } else { ta };
+        let vb = if b.is_complemented() { !tb } else { tb };
+        let tt = va & vb;
+        memo.insert(node, tt);
+        tt
+    }
+    let mut memo = HashMap::new();
+    go(aig, node, cut, &mut memo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipforge_hdl::{designs, parse};
+    use chipforge_synth::lower::lower_to_aig;
+
+    /// Co-simulates the AIG and the LUT mapping on random stimulus.
+    fn check_equivalence(src: &str, cycles: usize, seed: u64) {
+        let module = parse(src).unwrap();
+        let aig = lower_to_aig(&module);
+        let mapping = map_to_luts(&aig, 4);
+        let mut rng = seed | 1;
+        let mut latch_state = vec![false; aig.latches().len()];
+        for _ in 0..cycles {
+            let inputs: Vec<bool> = (0..aig.inputs().len())
+                .map(|_| {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    rng >> 62 & 1 == 1
+                })
+                .collect();
+            let aig_values = aig.simulate(&inputs, &latch_state);
+            let (lut_outputs, lut_next) = mapping.simulate(&inputs, &latch_state);
+            for ((name, lit), lut_value) in aig.outputs().iter().zip(&lut_outputs) {
+                assert_eq!(
+                    Aig::lit_value(&aig_values, *lit),
+                    *lut_value,
+                    "output {name}"
+                );
+            }
+            let aig_next: Vec<bool> = aig
+                .latches()
+                .iter()
+                .map(|l| Aig::lit_value(&aig_values, l.d))
+                .collect();
+            assert_eq!(aig_next, lut_next, "next-state mismatch");
+            latch_state = aig_next;
+        }
+    }
+
+    #[test]
+    fn suite_maps_equivalently() {
+        for design in designs::suite() {
+            check_equivalence(design.source(), 32, 0xFACE);
+        }
+    }
+
+    #[test]
+    fn lut_count_is_less_than_aig_nodes() {
+        let module = designs::alu(8).elaborate().unwrap();
+        let aig = lower_to_aig(&module);
+        let mapping = map_to_luts(&aig, 4);
+        assert!(
+            mapping.lut_count() < aig.stats().ands,
+            "4-LUTs absorb several AND nodes each: {} vs {}",
+            mapping.lut_count(),
+            aig.stats().ands
+        );
+        assert!(
+            mapping.depth() * 3 <= aig.stats().depth + 3,
+            "depth shrinks"
+        );
+    }
+
+    #[test]
+    fn wider_luts_reduce_count() {
+        let module = designs::popcount(8).elaborate().unwrap();
+        let aig = lower_to_aig(&module);
+        let lut2 = map_to_luts(&aig, 2);
+        let lut4 = map_to_luts(&aig, 4);
+        assert!(lut4.lut_count() <= lut2.lut_count());
+        assert!(
+            lut4.depth() < lut2.depth(),
+            "wider cuts must shorten the critical path: {} vs {}",
+            lut4.depth(),
+            lut2.depth()
+        );
+    }
+
+    #[test]
+    fn ff_count_matches_registers() {
+        let module = designs::counter(8).elaborate().unwrap();
+        let aig = lower_to_aig(&module);
+        let mapping = map_to_luts(&aig, 4);
+        assert_eq!(mapping.ff_count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn k_bounds_enforced() {
+        let module = designs::counter(8).elaborate().unwrap();
+        let aig = lower_to_aig(&module);
+        let _ = map_to_luts(&aig, 7);
+    }
+}

@@ -1,0 +1,143 @@
+//! Abstract syntax tree produced by the parser.
+
+/// Kind of a declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeclKind {
+    Input,
+    Output,
+    Wire,
+    Reg,
+}
+
+/// A signal declaration: `input [7:0] a, b;`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decl {
+    pub kind: DeclKind,
+    pub width: u8,
+    pub names: Vec<String>,
+    pub line: usize,
+}
+
+/// A continuous assignment: `assign y = expr;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignStmt {
+    pub target: String,
+    pub value: AstExpr,
+    pub line: usize,
+}
+
+/// Statements allowed inside `always` blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `target <= value;`
+    NonBlocking {
+        target: String,
+        value: AstExpr,
+        line: usize,
+    },
+    /// `if (cond) { ... } else { ... }`
+    If {
+        cond: AstExpr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+        line: usize,
+    },
+}
+
+/// Unary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstUnaryOp {
+    Not,        // ~
+    LogicalNot, // !
+    Negate,     // -
+    ReduceAnd,  // &
+    ReduceOr,   // |
+    ReduceXor,  // ^
+}
+
+/// Binary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstBinaryOp {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    LogicalAnd,
+    LogicalOr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Shl,
+    Shr,
+}
+
+/// Expression AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    Number {
+        value: u64,
+        width: Option<u8>,
+        line: usize,
+    },
+    Ident {
+        name: String,
+        line: usize,
+    },
+    /// `base[msb:lsb]` or `base[bit]` (msb == lsb).
+    Slice {
+        name: String,
+        msb: u8,
+        lsb: u8,
+        line: usize,
+    },
+    Unary {
+        op: AstUnaryOp,
+        arg: Box<AstExpr>,
+        line: usize,
+    },
+    Binary {
+        op: AstBinaryOp,
+        lhs: Box<AstExpr>,
+        rhs: Box<AstExpr>,
+        line: usize,
+    },
+    Ternary {
+        cond: Box<AstExpr>,
+        then_expr: Box<AstExpr>,
+        else_expr: Box<AstExpr>,
+        line: usize,
+    },
+    Concat {
+        parts: Vec<AstExpr>,
+        line: usize,
+    },
+}
+
+impl AstExpr {
+    /// Source line of the expression.
+    pub fn line(&self) -> usize {
+        match self {
+            AstExpr::Number { line, .. }
+            | AstExpr::Ident { line, .. }
+            | AstExpr::Slice { line, .. }
+            | AstExpr::Unary { line, .. }
+            | AstExpr::Binary { line, .. }
+            | AstExpr::Ternary { line, .. }
+            | AstExpr::Concat { line, .. } => *line,
+        }
+    }
+}
+
+/// A parsed (unelaborated) module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstModule {
+    pub name: String,
+    pub decls: Vec<Decl>,
+    pub assigns: Vec<AssignStmt>,
+    pub always_blocks: Vec<Vec<Stmt>>,
+}

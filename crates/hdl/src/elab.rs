@@ -1,0 +1,603 @@
+//! Elaboration: AST → width-checked RTL IR.
+
+use crate::ast::*;
+use crate::error::HdlError;
+use crate::ir::*;
+use std::collections::{HashMap, HashSet};
+
+/// Elaborates a parsed module.
+pub fn elaborate(ast: &AstModule) -> Result<RtlModule, HdlError> {
+    let mut elab = Elaborator::default();
+    elab.declare(ast)?;
+    let assigns = elab.lower_assigns(ast)?;
+    let registers = elab.lower_always(ast)?;
+    elab.check_drivers(ast, &assigns, &registers)?;
+    let ordered = elab.order_assigns(assigns)?;
+    let mut source_lines = 0usize;
+    // A crude but adequate proxy: declarations + assigns + statements.
+    source_lines += ast.decls.len() + ast.assigns.len();
+    for block in &ast.always_blocks {
+        source_lines += count_stmts(block) + 1;
+    }
+    Ok(RtlModule {
+        name: ast.name.clone(),
+        signals: elab.signals,
+        assigns: ordered,
+        registers,
+        source_lines,
+    })
+}
+
+fn count_stmts(stmts: &[Stmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::NonBlocking { .. } => 1,
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => 1 + count_stmts(then_body) + count_stmts(else_body),
+        })
+        .sum()
+}
+
+#[derive(Default)]
+struct Elaborator {
+    signals: Vec<Signal>,
+    by_name: HashMap<String, SignalId>,
+}
+
+impl Elaborator {
+    fn declare(&mut self, ast: &AstModule) -> Result<(), HdlError> {
+        // First pass: create signals. `output` followed by `reg`/`wire` of
+        // the same name upgrades the storage class.
+        for decl in &ast.decls {
+            for name in &decl.names {
+                match self.by_name.get(name) {
+                    None => {
+                        let kind = match decl.kind {
+                            DeclKind::Input => SignalKind::Input,
+                            DeclKind::Output | DeclKind::Wire => SignalKind::Wire,
+                            DeclKind::Reg => SignalKind::Reg,
+                        };
+                        let id = SignalId(self.signals.len() as u32);
+                        self.signals.push(Signal {
+                            id,
+                            name: name.clone(),
+                            width: decl.width,
+                            kind,
+                            is_output: decl.kind == DeclKind::Output,
+                        });
+                        self.by_name.insert(name.clone(), id);
+                    }
+                    Some(&id) => {
+                        let signal = &mut self.signals[id.index()];
+                        let compatible = signal.is_output
+                            && matches!(decl.kind, DeclKind::Reg | DeclKind::Wire)
+                            && signal.kind == SignalKind::Wire;
+                        if !compatible {
+                            return Err(HdlError::new(
+                                decl.line,
+                                format!("signal `{name}` declared twice"),
+                            ));
+                        }
+                        if signal.width != decl.width {
+                            return Err(HdlError::new(
+                                decl.line,
+                                format!("conflicting widths for `{name}`"),
+                            ));
+                        }
+                        if decl.kind == DeclKind::Reg {
+                            signal.kind = SignalKind::Reg;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str, line: usize) -> Result<SignalId, HdlError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| HdlError::new(line, format!("undeclared signal `{name}`")))
+    }
+
+    fn signal_width(&self, id: SignalId) -> u8 {
+        self.signals[id.index()].width
+    }
+
+    /// Lowers an AST expression to IR, returning the expression and width.
+    fn lower_expr(&self, ast: &AstExpr) -> Result<Expr, HdlError> {
+        Ok(match ast {
+            AstExpr::Number { value, width, .. } => {
+                let width = width.unwrap_or_else(|| min_width(*value));
+                Expr::Const {
+                    value: value & mask_for(width),
+                    width,
+                }
+            }
+            AstExpr::Ident { name, line } => Expr::Signal(self.lookup(name, *line)?),
+            AstExpr::Slice {
+                name,
+                msb,
+                lsb,
+                line,
+            } => {
+                let signal = self.lookup(name, *line)?;
+                if *msb >= self.signal_width(signal) {
+                    return Err(HdlError::new(
+                        *line,
+                        format!(
+                            "bit {} out of range for `{name}` (width {})",
+                            msb,
+                            self.signal_width(signal)
+                        ),
+                    ));
+                }
+                Expr::Slice {
+                    signal,
+                    msb: *msb,
+                    lsb: *lsb,
+                }
+            }
+            AstExpr::Unary { op, arg, line } => {
+                let arg_ir = self.lower_expr(arg)?;
+                let arg_w = self.width_of(&arg_ir);
+                let (op, width) = match op {
+                    AstUnaryOp::Not => (UnaryOp::Not, arg_w),
+                    AstUnaryOp::Negate => (UnaryOp::Negate, arg_w),
+                    AstUnaryOp::LogicalNot => (UnaryOp::LogicalNot, 1),
+                    AstUnaryOp::ReduceAnd => (UnaryOp::ReduceAnd, 1),
+                    AstUnaryOp::ReduceOr => (UnaryOp::ReduceOr, 1),
+                    AstUnaryOp::ReduceXor => (UnaryOp::ReduceXor, 1),
+                };
+                let _ = line;
+                Expr::Unary {
+                    op,
+                    width,
+                    arg: Box::new(arg_ir),
+                }
+            }
+            AstExpr::Binary { op, lhs, rhs, .. } => {
+                let lhs_ir = self.lower_expr(lhs)?;
+                let rhs_ir = self.lower_expr(rhs)?;
+                let lw = self.width_of(&lhs_ir);
+                let rw = self.width_of(&rhs_ir);
+                let (op, width) = match op {
+                    AstBinaryOp::Add => (BinaryOp::Add, lw.max(rw)),
+                    AstBinaryOp::Sub => (BinaryOp::Sub, lw.max(rw)),
+                    AstBinaryOp::Mul => (BinaryOp::Mul, (lw + rw).min(64)),
+                    AstBinaryOp::And => (BinaryOp::And, lw.max(rw)),
+                    AstBinaryOp::Or => (BinaryOp::Or, lw.max(rw)),
+                    AstBinaryOp::Xor => (BinaryOp::Xor, lw.max(rw)),
+                    AstBinaryOp::LogicalAnd => (BinaryOp::LogicalAnd, 1),
+                    AstBinaryOp::LogicalOr => (BinaryOp::LogicalOr, 1),
+                    AstBinaryOp::Eq => (BinaryOp::Eq, 1),
+                    AstBinaryOp::Ne => (BinaryOp::Ne, 1),
+                    AstBinaryOp::Lt => (BinaryOp::Lt, 1),
+                    AstBinaryOp::Le => (BinaryOp::Le, 1),
+                    AstBinaryOp::Gt => (BinaryOp::Gt, 1),
+                    AstBinaryOp::Ge => (BinaryOp::Ge, 1),
+                    AstBinaryOp::Shl => (BinaryOp::Shl, lw),
+                    AstBinaryOp::Shr => (BinaryOp::Shr, lw),
+                };
+                Expr::Binary {
+                    op,
+                    width,
+                    lhs: Box::new(lhs_ir),
+                    rhs: Box::new(rhs_ir),
+                }
+            }
+            AstExpr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+                ..
+            } => {
+                let cond_ir = self.lower_expr(cond)?;
+                let then_ir = self.lower_expr(then_expr)?;
+                let else_ir = self.lower_expr(else_expr)?;
+                let width = self.width_of(&then_ir).max(self.width_of(&else_ir));
+                Expr::Mux {
+                    width,
+                    cond: Box::new(cond_ir),
+                    then_expr: Box::new(then_ir),
+                    else_expr: Box::new(else_ir),
+                }
+            }
+            AstExpr::Concat { parts, line } => {
+                let mut ir_parts = Vec::new();
+                let mut width = 0u16;
+                for part in parts {
+                    if let AstExpr::Number { width: None, .. } = part {
+                        return Err(HdlError::new(
+                            *line,
+                            "unsized literals not allowed in concatenation",
+                        ));
+                    }
+                    let ir = self.lower_expr(part)?;
+                    width += u16::from(self.width_of(&ir));
+                    ir_parts.push(ir);
+                }
+                if width > 64 {
+                    return Err(HdlError::new(*line, "concatenation wider than 64 bits"));
+                }
+                Expr::Concat {
+                    width: width as u8,
+                    parts: ir_parts,
+                }
+            }
+        })
+    }
+
+    fn width_of(&self, expr: &Expr) -> u8 {
+        match expr {
+            Expr::Const { width, .. } => *width,
+            Expr::Signal(id) => self.signal_width(*id),
+            Expr::Slice { msb, lsb, .. } => msb - lsb + 1,
+            Expr::Unary { width, .. }
+            | Expr::Binary { width, .. }
+            | Expr::Mux { width, .. }
+            | Expr::Concat { width, .. } => *width,
+        }
+    }
+
+    fn lower_assigns(&self, ast: &AstModule) -> Result<Vec<(SignalId, Expr)>, HdlError> {
+        let mut result = Vec::new();
+        for assign in &ast.assigns {
+            let target = self.lookup(&assign.target, assign.line)?;
+            let signal = &self.signals[target.index()];
+            match signal.kind {
+                SignalKind::Wire => {}
+                SignalKind::Input => {
+                    return Err(HdlError::new(
+                        assign.line,
+                        format!("cannot assign to input `{}`", signal.name),
+                    ))
+                }
+                SignalKind::Reg => {
+                    return Err(HdlError::new(
+                        assign.line,
+                        format!("use `<=` in an always block for reg `{}`", signal.name),
+                    ))
+                }
+            }
+            let value = self.lower_expr(&assign.value)?;
+            result.push((target, value));
+        }
+        Ok(result)
+    }
+
+    fn lower_always(&self, ast: &AstModule) -> Result<Vec<(SignalId, Expr)>, HdlError> {
+        // next[r] starts as "hold current value" and is refined by each
+        // statement in order: last assignment wins under its path condition.
+        let mut next: HashMap<SignalId, Expr> = HashMap::new();
+        let mut owner: HashMap<SignalId, usize> = HashMap::new();
+        for (block_index, block) in ast.always_blocks.iter().enumerate() {
+            let mut assigned = Vec::new();
+            self.lower_stmts(block, None, &mut next, &mut assigned)?;
+            for id in assigned {
+                match owner.get(&id) {
+                    Some(&prev) if prev != block_index => {
+                        return Err(HdlError::new(
+                            0,
+                            format!(
+                                "register `{}` assigned in multiple always blocks",
+                                self.signals[id.index()].name
+                            ),
+                        ));
+                    }
+                    _ => {
+                        owner.insert(id, block_index);
+                    }
+                }
+            }
+        }
+        let mut registers: Vec<(SignalId, Expr)> = next.into_iter().collect();
+        registers.sort_by_key(|(id, _)| id.index());
+        Ok(registers)
+    }
+
+    fn lower_stmts(
+        &self,
+        stmts: &[Stmt],
+        cond: Option<&Expr>,
+        next: &mut HashMap<SignalId, Expr>,
+        assigned: &mut Vec<SignalId>,
+    ) -> Result<(), HdlError> {
+        for stmt in stmts {
+            match stmt {
+                Stmt::NonBlocking {
+                    target,
+                    value,
+                    line,
+                } => {
+                    let id = self.lookup(target, *line)?;
+                    let signal = &self.signals[id.index()];
+                    if signal.kind != SignalKind::Reg {
+                        return Err(HdlError::new(
+                            *line,
+                            format!("`<=` target `{target}` is not a reg"),
+                        ));
+                    }
+                    let value_ir = self.lower_expr(value)?;
+                    let width = signal.width;
+                    let current = next.get(&id).cloned().unwrap_or(Expr::Signal(id));
+                    let updated = match cond {
+                        None => value_ir,
+                        Some(c) => Expr::Mux {
+                            width,
+                            cond: Box::new(c.clone()),
+                            then_expr: Box::new(value_ir),
+                            else_expr: Box::new(current),
+                        },
+                    };
+                    next.insert(id, updated);
+                    assigned.push(id);
+                }
+                Stmt::If {
+                    cond: if_cond,
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    let c = self.lower_expr(if_cond)?;
+                    let then_cond = and_conds(cond, &c);
+                    self.lower_stmts(then_body, Some(&then_cond), next, assigned)?;
+                    if !else_body.is_empty() {
+                        let not_c = Expr::Unary {
+                            op: UnaryOp::LogicalNot,
+                            width: 1,
+                            arg: Box::new(c),
+                        };
+                        let else_cond = and_conds(cond, &not_c);
+                        self.lower_stmts(else_body, Some(&else_cond), next, assigned)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_drivers(
+        &self,
+        ast: &AstModule,
+        assigns: &[(SignalId, Expr)],
+        registers: &[(SignalId, Expr)],
+    ) -> Result<(), HdlError> {
+        let mut driven: HashSet<SignalId> = HashSet::new();
+        for (target, _) in assigns {
+            if !driven.insert(*target) {
+                return Err(HdlError::new(
+                    0,
+                    format!(
+                        "wire `{}` has multiple `assign` drivers",
+                        self.signals[target.index()].name
+                    ),
+                ));
+            }
+        }
+        for (target, _) in registers {
+            driven.insert(*target);
+        }
+        for signal in &self.signals {
+            if signal.kind == SignalKind::Input {
+                continue;
+            }
+            if !driven.contains(&signal.id) {
+                return Err(HdlError::new(
+                    0,
+                    format!("signal `{}` is never driven", signal.name),
+                ));
+            }
+        }
+        let _ = ast;
+        Ok(())
+    }
+
+    /// Orders assigns so each wire is computed after its dependencies;
+    /// rejects combinational cycles.
+    fn order_assigns(
+        &self,
+        assigns: Vec<(SignalId, Expr)>,
+    ) -> Result<Vec<(SignalId, Expr)>, HdlError> {
+        let index_of: HashMap<SignalId, usize> = assigns
+            .iter()
+            .enumerate()
+            .map(|(i, (id, _))| (*id, i))
+            .collect();
+        let n = assigns.len();
+        let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indegree = vec![0usize; n];
+        for (i, (_, expr)) in assigns.iter().enumerate() {
+            let mut reads = Vec::new();
+            expr.collect_signals(&mut reads);
+            for read in reads {
+                if let Some(&j) = index_of.get(&read) {
+                    if self.signals[read.index()].kind == SignalKind::Wire {
+                        deps[j].push(i);
+                        indegree[i] += 1;
+                    }
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = queue.pop() {
+            order.push(i);
+            for &j in &deps[i] {
+                indegree[j] -= 1;
+                if indegree[j] == 0 {
+                    queue.push(j);
+                }
+            }
+        }
+        if order.len() != n {
+            let culprit = (0..n)
+                .find(|&i| indegree[i] > 0)
+                .expect("cycle implies remaining indegree");
+            return Err(HdlError::new(
+                0,
+                format!(
+                    "combinational loop through `{}`",
+                    self.signals[assigns[culprit].0.index()].name
+                ),
+            ));
+        }
+        let mut by_position: Vec<Option<(SignalId, Expr)>> =
+            assigns.into_iter().map(Some).collect();
+        Ok(order
+            .into_iter()
+            .map(|i| by_position[i].take().expect("each index taken once"))
+            .collect())
+    }
+}
+
+fn and_conds(outer: Option<&Expr>, inner: &Expr) -> Expr {
+    match outer {
+        None => inner.clone(),
+        Some(o) => Expr::Binary {
+            op: BinaryOp::LogicalAnd,
+            width: 1,
+            lhs: Box::new(o.clone()),
+            rhs: Box::new(inner.clone()),
+        },
+    }
+}
+
+fn min_width(value: u64) -> u8 {
+    (64 - value.leading_zeros()).max(1) as u8
+}
+
+fn mask_for(width: u8) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn counter_elaborates() {
+        let m = parse(
+            "module c() { input rst; output [7:0] q; reg [7:0] q; always { if (rst) { q <= 0; } else { q <= q + 1; } } }",
+        )
+        .unwrap();
+        assert_eq!(m.registers().len(), 1);
+        assert_eq!(m.state_bits(), 8);
+        assert_eq!(m.inputs().count(), 1);
+        assert_eq!(m.outputs().count(), 1);
+    }
+
+    #[test]
+    fn output_reg_upgrade() {
+        let m = parse("module m() { output q; reg q; always { q <= 1; } }").unwrap();
+        let q = m.find_signal("q").unwrap();
+        assert_eq!(q.kind(), SignalKind::Reg);
+        assert!(q.is_output());
+    }
+
+    #[test]
+    fn undeclared_signal_rejected() {
+        let err = parse("module m() { output y; assign y = ghost; }").unwrap_err();
+        assert!(err.to_string().contains("undeclared"));
+    }
+
+    #[test]
+    fn double_declaration_rejected() {
+        let err = parse("module m() { input a; wire a; }").unwrap_err();
+        assert!(err.to_string().contains("declared twice"));
+    }
+
+    #[test]
+    fn assign_to_input_rejected() {
+        let err = parse("module m() { input a; assign a = 1; }").unwrap_err();
+        assert!(err.to_string().contains("input"));
+    }
+
+    #[test]
+    fn assign_to_reg_rejected() {
+        let err = parse("module m() { reg r; assign r = 1; always { r <= 0; } }").unwrap_err();
+        assert!(err.to_string().contains("always block"));
+    }
+
+    #[test]
+    fn undriven_wire_rejected() {
+        let err = parse("module m() { input a; wire w; output y; assign y = a; }").unwrap_err();
+        assert!(err.to_string().contains("never driven"));
+    }
+
+    #[test]
+    fn multiple_assign_drivers_rejected() {
+        let err =
+            parse("module m() { input a; output y; assign y = a; assign y = ~a; }").unwrap_err();
+        assert!(err.to_string().contains("multiple"));
+    }
+
+    #[test]
+    fn reg_in_two_always_blocks_rejected() {
+        let err = parse(
+            "module m() { reg r; output y; assign y = r; always { r <= 0; } always { r <= 1; } }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("multiple always blocks"));
+    }
+
+    #[test]
+    fn combinational_loop_rejected() {
+        let err = parse(
+            "module m() { wire a; wire b; output y; assign a = b; assign b = a; assign y = a; }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("combinational loop"));
+    }
+
+    #[test]
+    fn nonblocking_to_wire_rejected() {
+        let err = parse(
+            "module m() { wire w; output y; assign y = w; assign w = 0; always { w <= 1; } }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("not a reg"));
+    }
+
+    #[test]
+    fn bit_select_out_of_range_rejected() {
+        let err = parse("module m() { input [3:0] a; output y; assign y = a[7]; }").unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn concat_widths_sum() {
+        let m = parse(
+            "module m() { input [3:0] a; input [3:0] b; output [7:0] y; assign y = {a, b}; }",
+        )
+        .unwrap();
+        let (_, expr) = &m.assigns()[0];
+        assert_eq!(expr.width(&m), 8);
+    }
+
+    #[test]
+    fn assign_ordering_is_topological() {
+        let m = parse(
+            "module m() { input a; wire w1; wire w2; output y; assign y = w2; assign w2 = w1 & a; assign w1 = ~a; }",
+        )
+        .unwrap();
+        let names: Vec<&str> = m
+            .assigns()
+            .iter()
+            .map(|(id, _)| m.signal(*id).name())
+            .collect();
+        let pos = |n: &str| names.iter().position(|x| *x == n).unwrap();
+        assert!(pos("w1") < pos("w2"));
+        assert!(pos("w2") < pos("y"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for lexing, parsing and elaboration.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while processing ForgeHDL source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HdlError {
+    line: usize,
+    message: String,
+}
+
+impl HdlError {
+    /// Creates an error at a 1-based source line.
+    #[must_use]
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based source line of the problem.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable description.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for HdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for HdlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let err = HdlError::new(7, "unexpected token");
+        assert_eq!(err.to_string(), "line 7: unexpected token");
+        assert_eq!(err.line(), 7);
+    }
+}

@@ -1,0 +1,363 @@
+//! Tokenizer for ForgeHDL.
+
+use crate::error::HdlError;
+
+/// A lexical token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+/// Token kinds of ForgeHDL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    Ident(String),
+    /// A literal with optional explicit width (`8'hFF` -> width 8).
+    Number {
+        value: u64,
+        width: Option<u8>,
+    },
+    KwModule,
+    KwInput,
+    KwOutput,
+    KwWire,
+    KwReg,
+    KwAssign,
+    KwAlways,
+    KwIf,
+    KwElse,
+    KwCase,
+    KwDefault,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semicolon,
+    Colon,
+    Comma,
+    Question,
+    Assign,      // =
+    NonBlocking, // <=
+    Plus,
+    Minus,
+    Star,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    AmpAmp,
+    PipePipe,
+    EqEq,
+    BangEq,
+    Lt,
+    Gt,
+    GtEq,
+    Shl,
+    Shr,
+}
+
+/// Lexes ForgeHDL source into tokens. `//` comments run to end of line.
+///
+/// Note: `<=` is tokenized as [`TokenKind::NonBlocking`]; the parser
+/// re-interprets it as less-or-equal inside expressions.
+pub fn lex(source: &str) -> Result<Vec<Token>, HdlError> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(HdlError::new(line, "unexpected `/` (division unsupported)"));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut digits = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() || d == '_' {
+                        if d != '_' {
+                            digits.push(d);
+                        }
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if chars.peek() == Some(&'\'') {
+                    chars.next();
+                    let width: u8 = digits
+                        .parse()
+                        .map_err(|_| HdlError::new(line, "bad literal width"))?;
+                    if width == 0 || width > 64 {
+                        return Err(HdlError::new(line, "literal width must be 1..=64"));
+                    }
+                    let base = chars
+                        .next()
+                        .ok_or_else(|| HdlError::new(line, "missing literal base"))?;
+                    let radix = match base {
+                        'b' | 'B' => 2,
+                        'd' | 'D' => 10,
+                        'h' | 'H' => 16,
+                        other => {
+                            return Err(HdlError::new(line, format!("bad literal base `{other}`")))
+                        }
+                    };
+                    let mut body = String::new();
+                    while let Some(&d) = chars.peek() {
+                        if d.is_ascii_alphanumeric() || d == '_' {
+                            if d != '_' {
+                                body.push(d);
+                            }
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let value = u64::from_str_radix(&body, radix)
+                        .map_err(|_| HdlError::new(line, format!("bad literal body `{body}`")))?;
+                    if width < 64 && value >= (1u64 << width) {
+                        return Err(HdlError::new(
+                            line,
+                            format!("literal {value} does not fit in {width} bits"),
+                        ));
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Number {
+                            value,
+                            width: Some(width),
+                        },
+                        line,
+                    });
+                } else {
+                    let value: u64 = digits
+                        .parse()
+                        .map_err(|_| HdlError::new(line, "bad number"))?;
+                    tokens.push(Token {
+                        kind: TokenKind::Number { value, width: None },
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        ident.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let kind = match ident.as_str() {
+                    "module" => TokenKind::KwModule,
+                    "input" => TokenKind::KwInput,
+                    "output" => TokenKind::KwOutput,
+                    "wire" => TokenKind::KwWire,
+                    "reg" => TokenKind::KwReg,
+                    "assign" => TokenKind::KwAssign,
+                    "always" => TokenKind::KwAlways,
+                    "case" => TokenKind::KwCase,
+                    "default" => TokenKind::KwDefault,
+                    "if" => TokenKind::KwIf,
+                    "else" => TokenKind::KwElse,
+                    _ => TokenKind::Ident(ident),
+                };
+                tokens.push(Token { kind, line });
+            }
+            _ => {
+                chars.next();
+                let two = |chars: &mut std::iter::Peekable<std::str::Chars>, next: char| {
+                    if chars.peek() == Some(&next) {
+                        chars.next();
+                        true
+                    } else {
+                        false
+                    }
+                };
+                let kind = match c {
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    '[' => TokenKind::LBracket,
+                    ']' => TokenKind::RBracket,
+                    ';' => TokenKind::Semicolon,
+                    ':' => TokenKind::Colon,
+                    ',' => TokenKind::Comma,
+                    '?' => TokenKind::Question,
+                    '+' => TokenKind::Plus,
+                    '-' => TokenKind::Minus,
+                    '*' => TokenKind::Star,
+                    '~' => TokenKind::Tilde,
+                    '^' => TokenKind::Caret,
+                    '&' => {
+                        if two(&mut chars, '&') {
+                            TokenKind::AmpAmp
+                        } else {
+                            TokenKind::Amp
+                        }
+                    }
+                    '|' => {
+                        if two(&mut chars, '|') {
+                            TokenKind::PipePipe
+                        } else {
+                            TokenKind::Pipe
+                        }
+                    }
+                    '!' => {
+                        if two(&mut chars, '=') {
+                            TokenKind::BangEq
+                        } else {
+                            TokenKind::Bang
+                        }
+                    }
+                    '=' => {
+                        if two(&mut chars, '=') {
+                            TokenKind::EqEq
+                        } else {
+                            TokenKind::Assign
+                        }
+                    }
+                    '<' => {
+                        if two(&mut chars, '=') {
+                            TokenKind::NonBlocking
+                        } else if two(&mut chars, '<') {
+                            TokenKind::Shl
+                        } else {
+                            TokenKind::Lt
+                        }
+                    }
+                    '>' => {
+                        if two(&mut chars, '=') {
+                            TokenKind::GtEq
+                        } else if two(&mut chars, '>') {
+                            TokenKind::Shr
+                        } else {
+                            TokenKind::Gt
+                        }
+                    }
+                    other => {
+                        return Err(HdlError::new(
+                            line,
+                            format!("unexpected character `{other}`"),
+                        ))
+                    }
+                };
+                tokens.push(Token { kind, line });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("module foo"),
+            vec![TokenKind::KwModule, TokenKind::Ident("foo".into())]
+        );
+    }
+
+    #[test]
+    fn lexes_sized_literals() {
+        assert_eq!(
+            kinds("8'hFF 4'b1010 10'd512 42"),
+            vec![
+                TokenKind::Number {
+                    value: 255,
+                    width: Some(8)
+                },
+                TokenKind::Number {
+                    value: 10,
+                    width: Some(4)
+                },
+                TokenKind::Number {
+                    value: 512,
+                    width: Some(10)
+                },
+                TokenKind::Number {
+                    value: 42,
+                    width: None
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_overflowing_literal() {
+        let err = lex("4'hFF").unwrap_err();
+        assert!(err.to_string().contains("does not fit"));
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("a <= b << 2 >= c && !d"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::NonBlocking,
+                TokenKind::Ident("b".into()),
+                TokenKind::Shl,
+                TokenKind::Number {
+                    value: 2,
+                    width: None
+                },
+                TokenKind::GtEq,
+                TokenKind::Ident("c".into()),
+                TokenKind::AmpAmp,
+                TokenKind::Bang,
+                TokenKind::Ident("d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let tokens = lex("// top\nmodule // mid\nfoo").unwrap();
+        assert_eq!(tokens[0].line, 2);
+        assert_eq!(tokens[1].line, 3);
+    }
+
+    #[test]
+    fn underscores_in_numbers() {
+        assert_eq!(
+            kinds("16'hDE_AD"),
+            vec![TokenKind::Number {
+                value: 0xDEAD,
+                width: Some(16)
+            }]
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(lex("module $x").is_err());
+    }
+}

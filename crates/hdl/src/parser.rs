@@ -1,0 +1,665 @@
+//! Recursive-descent parser for ForgeHDL.
+
+use crate::ast::*;
+use crate::error::HdlError;
+use crate::lexer::{Token, TokenKind};
+
+/// Parses a token stream into an [`AstModule`].
+pub fn parse_tokens(tokens: &[Token]) -> Result<AstModule, HdlError> {
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.module()
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(1, |t| t.line)
+    }
+
+    fn next(&mut self) -> Option<&'a Token> {
+        let tok = self.tokens.get(self.pos);
+        self.pos += 1;
+        tok
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<usize, HdlError> {
+        let line = self.line();
+        match self.next() {
+            Some(tok) if &tok.kind == kind => Ok(tok.line),
+            Some(tok) => Err(HdlError::new(
+                tok.line,
+                format!("expected {what}, found {:?}", tok.kind),
+            )),
+            None => Err(HdlError::new(
+                line,
+                format!("expected {what}, found end of input"),
+            )),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, usize), HdlError> {
+        let line = self.line();
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Ident(name),
+                line,
+            }) => Ok((name.clone(), *line)),
+            Some(tok) => Err(HdlError::new(
+                tok.line,
+                format!("expected {what}, found {:?}", tok.kind),
+            )),
+            None => Err(HdlError::new(line, format!("expected {what}"))),
+        }
+    }
+
+    fn module(&mut self) -> Result<AstModule, HdlError> {
+        self.expect(&TokenKind::KwModule, "`module`")?;
+        let (name, _) = self.expect_ident("module name")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        self.expect(&TokenKind::RParen, "`)`")?;
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut decls = Vec::new();
+        let mut assigns = Vec::new();
+        let mut always_blocks = Vec::new();
+        loop {
+            match self.peek() {
+                Some(TokenKind::RBrace) => {
+                    self.next();
+                    break;
+                }
+                Some(TokenKind::KwInput) => decls.push(self.decl(DeclKind::Input)?),
+                Some(TokenKind::KwOutput) => decls.push(self.decl(DeclKind::Output)?),
+                Some(TokenKind::KwWire) => decls.push(self.decl(DeclKind::Wire)?),
+                Some(TokenKind::KwReg) => decls.push(self.decl(DeclKind::Reg)?),
+                Some(TokenKind::KwAssign) => assigns.push(self.assign()?),
+                Some(TokenKind::KwAlways) => {
+                    self.next();
+                    self.expect(&TokenKind::LBrace, "`{` after `always`")?;
+                    always_blocks.push(self.stmt_block()?);
+                }
+                Some(other) => {
+                    return Err(HdlError::new(
+                        self.line(),
+                        format!("unexpected token {other:?} in module body"),
+                    ))
+                }
+                None => return Err(HdlError::new(self.line(), "unterminated module")),
+            }
+        }
+        Ok(AstModule {
+            name,
+            decls,
+            assigns,
+            always_blocks,
+        })
+    }
+
+    fn decl(&mut self, kind: DeclKind) -> Result<Decl, HdlError> {
+        let line = self.next().expect("caller checked keyword").line;
+        let width = if self.peek() == Some(&TokenKind::LBracket) {
+            self.next();
+            let msb = self.number("range msb")?;
+            self.expect(&TokenKind::Colon, "`:`")?;
+            let lsb = self.number("range lsb")?;
+            self.expect(&TokenKind::RBracket, "`]`")?;
+            if lsb != 0 {
+                return Err(HdlError::new(line, "ranges must end at 0 (`[msb:0]`)"));
+            }
+            if msb >= 64 {
+                return Err(HdlError::new(
+                    line,
+                    "signals wider than 64 bits unsupported",
+                ));
+            }
+            (msb + 1) as u8
+        } else {
+            1
+        };
+        let mut names = Vec::new();
+        loop {
+            let (name, _) = self.expect_ident("signal name")?;
+            names.push(name);
+            match self.peek() {
+                Some(TokenKind::Comma) => {
+                    self.next();
+                }
+                _ => break,
+            }
+        }
+        self.expect(&TokenKind::Semicolon, "`;`")?;
+        Ok(Decl {
+            kind,
+            width,
+            names,
+            line,
+        })
+    }
+
+    fn number(&mut self, what: &str) -> Result<u64, HdlError> {
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Number { value, .. },
+                ..
+            }) => Ok(*value),
+            Some(tok) => Err(HdlError::new(
+                tok.line,
+                format!("expected {what}, found {:?}", tok.kind),
+            )),
+            None => Err(HdlError::new(0, format!("expected {what}"))),
+        }
+    }
+
+    fn assign(&mut self) -> Result<AssignStmt, HdlError> {
+        let line = self.next().expect("caller checked `assign`").line;
+        let (target, _) = self.expect_ident("assignment target")?;
+        self.expect(&TokenKind::Assign, "`=`")?;
+        let value = self.expr()?;
+        self.expect(&TokenKind::Semicolon, "`;`")?;
+        Ok(AssignStmt {
+            target,
+            value,
+            line,
+        })
+    }
+
+    fn stmt_block(&mut self) -> Result<Vec<Stmt>, HdlError> {
+        let mut stmts = Vec::new();
+        loop {
+            match self.peek() {
+                Some(TokenKind::RBrace) => {
+                    self.next();
+                    return Ok(stmts);
+                }
+                Some(_) => stmts.push(self.stmt()?),
+                None => return Err(HdlError::new(self.line(), "unterminated block")),
+            }
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, HdlError> {
+        match self.peek() {
+            Some(TokenKind::KwCase) => self.case_stmt(),
+            Some(TokenKind::KwIf) => {
+                let line = self.next().expect("peeked").line;
+                self.expect(&TokenKind::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                self.expect(&TokenKind::LBrace, "`{` after `if`")?;
+                let then_body = self.stmt_block()?;
+                let else_body = if self.peek() == Some(&TokenKind::KwElse) {
+                    self.next();
+                    if self.peek() == Some(&TokenKind::KwIf) {
+                        vec![self.stmt()?]
+                    } else {
+                        self.expect(&TokenKind::LBrace, "`{` after `else`")?;
+                        self.stmt_block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    line,
+                })
+            }
+            _ => {
+                let (target, line) = self.expect_ident("register name")?;
+                self.expect(&TokenKind::NonBlocking, "`<=`")?;
+                let value = self.expr()?;
+                self.expect(&TokenKind::Semicolon, "`;`")?;
+                Ok(Stmt::NonBlocking {
+                    target,
+                    value,
+                    line,
+                })
+            }
+        }
+    }
+
+    /// Parses `case (subject) { value: { ... } ... default: { ... } }` and
+    /// desugars it into a chain of `if (subject == value)` statements, so
+    /// elaboration and synthesis need no dedicated case support.
+    fn case_stmt(&mut self) -> Result<Stmt, HdlError> {
+        let line = self.next().expect("caller checked `case`").line;
+        self.expect(&TokenKind::LParen, "`(` after `case`")?;
+        let subject = self.expr()?;
+        self.expect(&TokenKind::RParen, "`)`")?;
+        self.expect(&TokenKind::LBrace, "`{` after case head")?;
+        let mut arms: Vec<(AstExpr, Vec<Stmt>)> = Vec::new();
+        let mut default_body: Vec<Stmt> = Vec::new();
+        loop {
+            match self.peek() {
+                Some(TokenKind::RBrace) => {
+                    self.next();
+                    break;
+                }
+                Some(TokenKind::KwDefault) => {
+                    let line = self.next().expect("peeked").line;
+                    self.expect(&TokenKind::Colon, "`:` after `default`")?;
+                    self.expect(&TokenKind::LBrace, "`{`")?;
+                    if !default_body.is_empty() {
+                        return Err(HdlError::new(line, "duplicate `default` arm"));
+                    }
+                    default_body = self.stmt_block()?;
+                }
+                Some(_) => {
+                    let value = self.expr()?;
+                    self.expect(&TokenKind::Colon, "`:` after case value")?;
+                    self.expect(&TokenKind::LBrace, "`{`")?;
+                    let body = self.stmt_block()?;
+                    arms.push((value, body));
+                }
+                None => return Err(HdlError::new(line, "unterminated case")),
+            }
+        }
+        if arms.is_empty() {
+            return Err(HdlError::new(line, "case needs at least one arm"));
+        }
+        // Desugar back-to-front into nested if/else.
+        let mut rest = default_body;
+        for (value, body) in arms.into_iter().rev() {
+            let cond = AstExpr::Binary {
+                op: AstBinaryOp::Eq,
+                lhs: Box::new(subject.clone()),
+                rhs: Box::new(value),
+                line,
+            };
+            rest = vec![Stmt::If {
+                cond,
+                then_body: body,
+                else_body: rest,
+                line,
+            }];
+        }
+        Ok(rest.into_iter().next().expect("at least one arm"))
+    }
+
+    // --- expression grammar, lowest precedence first ---
+
+    fn expr(&mut self) -> Result<AstExpr, HdlError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<AstExpr, HdlError> {
+        let cond = self.logic_or()?;
+        if self.peek() == Some(&TokenKind::Question) {
+            let line = self.next().expect("peeked").line;
+            let then_expr = self.expr()?;
+            self.expect(&TokenKind::Colon, "`:`")?;
+            let else_expr = self.expr()?;
+            Ok(AstExpr::Ternary {
+                cond: Box::new(cond),
+                then_expr: Box::new(then_expr),
+                else_expr: Box::new(else_expr),
+                line,
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn binary_level(
+        &mut self,
+        ops: &[(TokenKind, AstBinaryOp)],
+        next: fn(&mut Self) -> Result<AstExpr, HdlError>,
+    ) -> Result<AstExpr, HdlError> {
+        let mut lhs = next(self)?;
+        loop {
+            let matched = self
+                .peek()
+                .and_then(|kind| ops.iter().find(|(k, _)| k == kind).map(|(_, op)| *op));
+            match matched {
+                Some(op) => {
+                    let line = self.next().expect("peeked").line;
+                    let rhs = next(self)?;
+                    lhs = AstExpr::Binary {
+                        op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                        line,
+                    };
+                }
+                None => return Ok(lhs),
+            }
+        }
+    }
+
+    fn logic_or(&mut self) -> Result<AstExpr, HdlError> {
+        self.binary_level(
+            &[(TokenKind::PipePipe, AstBinaryOp::LogicalOr)],
+            Self::logic_and,
+        )
+    }
+
+    fn logic_and(&mut self) -> Result<AstExpr, HdlError> {
+        self.binary_level(
+            &[(TokenKind::AmpAmp, AstBinaryOp::LogicalAnd)],
+            Self::bit_or,
+        )
+    }
+
+    fn bit_or(&mut self) -> Result<AstExpr, HdlError> {
+        self.binary_level(&[(TokenKind::Pipe, AstBinaryOp::Or)], Self::bit_xor)
+    }
+
+    fn bit_xor(&mut self) -> Result<AstExpr, HdlError> {
+        self.binary_level(&[(TokenKind::Caret, AstBinaryOp::Xor)], Self::bit_and)
+    }
+
+    fn bit_and(&mut self) -> Result<AstExpr, HdlError> {
+        self.binary_level(&[(TokenKind::Amp, AstBinaryOp::And)], Self::equality)
+    }
+
+    fn equality(&mut self) -> Result<AstExpr, HdlError> {
+        self.binary_level(
+            &[
+                (TokenKind::EqEq, AstBinaryOp::Eq),
+                (TokenKind::BangEq, AstBinaryOp::Ne),
+            ],
+            Self::relational,
+        )
+    }
+
+    fn relational(&mut self) -> Result<AstExpr, HdlError> {
+        // `<=` lexes as NonBlocking; inside expressions it means Le.
+        self.binary_level(
+            &[
+                (TokenKind::Lt, AstBinaryOp::Lt),
+                (TokenKind::NonBlocking, AstBinaryOp::Le),
+                (TokenKind::Gt, AstBinaryOp::Gt),
+                (TokenKind::GtEq, AstBinaryOp::Ge),
+            ],
+            Self::shift,
+        )
+    }
+
+    fn shift(&mut self) -> Result<AstExpr, HdlError> {
+        self.binary_level(
+            &[
+                (TokenKind::Shl, AstBinaryOp::Shl),
+                (TokenKind::Shr, AstBinaryOp::Shr),
+            ],
+            Self::additive,
+        )
+    }
+
+    fn additive(&mut self) -> Result<AstExpr, HdlError> {
+        self.binary_level(
+            &[
+                (TokenKind::Plus, AstBinaryOp::Add),
+                (TokenKind::Minus, AstBinaryOp::Sub),
+            ],
+            Self::multiplicative,
+        )
+    }
+
+    fn multiplicative(&mut self) -> Result<AstExpr, HdlError> {
+        self.binary_level(&[(TokenKind::Star, AstBinaryOp::Mul)], Self::unary)
+    }
+
+    fn unary(&mut self) -> Result<AstExpr, HdlError> {
+        let op = match self.peek() {
+            Some(TokenKind::Tilde) => Some(AstUnaryOp::Not),
+            Some(TokenKind::Bang) => Some(AstUnaryOp::LogicalNot),
+            Some(TokenKind::Minus) => Some(AstUnaryOp::Negate),
+            Some(TokenKind::Amp) => Some(AstUnaryOp::ReduceAnd),
+            Some(TokenKind::Pipe) => Some(AstUnaryOp::ReduceOr),
+            Some(TokenKind::Caret) => Some(AstUnaryOp::ReduceXor),
+            _ => None,
+        };
+        if let Some(op) = op {
+            let line = self.next().expect("peeked").line;
+            let arg = self.unary()?;
+            Ok(AstExpr::Unary {
+                op,
+                arg: Box::new(arg),
+                line,
+            })
+        } else {
+            self.postfix()
+        }
+    }
+
+    fn postfix(&mut self) -> Result<AstExpr, HdlError> {
+        let base = self.primary()?;
+        if self.peek() == Some(&TokenKind::LBracket) {
+            let name = match &base {
+                AstExpr::Ident { name, .. } => name.clone(),
+                _ => {
+                    return Err(HdlError::new(
+                        base.line(),
+                        "bit select only allowed on signal names",
+                    ))
+                }
+            };
+            let line = self.next().expect("peeked").line;
+            let msb = self.number("bit index")?;
+            let lsb = if self.peek() == Some(&TokenKind::Colon) {
+                self.next();
+                self.number("lsb index")?
+            } else {
+                msb
+            };
+            self.expect(&TokenKind::RBracket, "`]`")?;
+            if msb < lsb || msb >= 64 {
+                return Err(HdlError::new(line, "invalid bit range"));
+            }
+            Ok(AstExpr::Slice {
+                name,
+                msb: msb as u8,
+                lsb: lsb as u8,
+                line,
+            })
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn primary(&mut self) -> Result<AstExpr, HdlError> {
+        let line = self.line();
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Number { value, width },
+                line,
+            }) => Ok(AstExpr::Number {
+                value: *value,
+                width: *width,
+                line: *line,
+            }),
+            Some(Token {
+                kind: TokenKind::Ident(name),
+                line,
+            }) => Ok(AstExpr::Ident {
+                name: name.clone(),
+                line: *line,
+            }),
+            Some(Token {
+                kind: TokenKind::LParen,
+                ..
+            }) => {
+                let inner = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(inner)
+            }
+            Some(Token {
+                kind: TokenKind::LBrace,
+                line,
+            }) => {
+                let line = *line;
+                let mut parts = Vec::new();
+                loop {
+                    parts.push(self.expr()?);
+                    match self.peek() {
+                        Some(TokenKind::Comma) => {
+                            self.next();
+                        }
+                        Some(TokenKind::RBrace) => {
+                            self.next();
+                            break;
+                        }
+                        _ => {
+                            return Err(HdlError::new(
+                                self.line(),
+                                "expected `,` or `}` in concatenation",
+                            ))
+                        }
+                    }
+                }
+                Ok(AstExpr::Concat { parts, line })
+            }
+            Some(tok) => Err(HdlError::new(
+                tok.line,
+                format!("unexpected token {:?} in expression", tok.kind),
+            )),
+            None => Err(HdlError::new(line, "unexpected end of input in expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Result<AstModule, HdlError> {
+        parse_tokens(&lex(src)?)
+    }
+
+    #[test]
+    fn parses_counter() {
+        let m = parse(
+            "module counter() { input rst; output [7:0] q; reg [7:0] q; always { if (rst) { q <= 0; } else { q <= q + 1; } } }",
+        )
+        .unwrap();
+        assert_eq!(m.name, "counter");
+        assert_eq!(m.decls.len(), 3);
+        assert_eq!(m.always_blocks.len(), 1);
+    }
+
+    #[test]
+    fn parses_precedence() {
+        let m =
+            parse("module m() { input a; input b; output y; assign y = a & b | a ^ b; }").unwrap();
+        // OR is top level: (a & b) | (a ^ b)
+        match &m.assigns[0].value {
+            AstExpr::Binary { op, .. } => assert_eq!(*op, AstBinaryOp::Or),
+            other => panic!("expected binary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn le_in_expression_context() {
+        let m = parse("module m() { input [3:0] a; output y; assign y = a <= 4'd5; }").unwrap();
+        match &m.assigns[0].value {
+            AstExpr::Binary { op, .. } => assert_eq!(*op, AstBinaryOp::Le),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_ternary_and_concat() {
+        let m = parse(
+            "module m() { input s; input [3:0] a, b; output [7:0] y; assign y = s ? {a, b} : {b, a}; }",
+        )
+        .unwrap();
+        assert!(matches!(m.assigns[0].value, AstExpr::Ternary { .. }));
+    }
+
+    #[test]
+    fn parses_slices() {
+        let m =
+            parse("module m() { input [7:0] a; output y; output [3:0] z; assign y = a[7]; assign z = a[3:0]; }")
+                .unwrap();
+        assert!(matches!(
+            m.assigns[0].value,
+            AstExpr::Slice { msb: 7, lsb: 7, .. }
+        ));
+        assert!(matches!(
+            m.assigns[1].value,
+            AstExpr::Slice { msb: 3, lsb: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let m = parse(
+            "module m() { input a; input b; output q; reg q; always { if (a) { q <= 1; } else if (b) { q <= 0; } else { q <= q; } } }",
+        )
+        .unwrap();
+        match &m.always_blocks[0][0] {
+            Stmt::If { else_body, .. } => {
+                assert_eq!(else_body.len(), 1);
+                assert!(matches!(else_body[0], Stmt::If { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_nonzero_lsb_range() {
+        let err = parse("module m() { input [7:4] a; }").unwrap_err();
+        assert!(err.to_string().contains("must end at 0"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("module m() { banana; }").is_err());
+        assert!(parse("module m() {").is_err());
+        assert!(parse("notmodule").is_err());
+    }
+
+    #[test]
+    fn case_desugars_to_if_chain() {
+        let m = parse(
+            "module m() { input [1:0] op; output [3:0] q; reg [3:0] q; always { \
+             case (op) { 2'd0: { q <= 1; } 2'd1: { q <= 2; } default: { q <= 15; } } } }",
+        )
+        .unwrap();
+        // One outer if with a nested else-if and a default else.
+        match &m.always_blocks[0][0] {
+            Stmt::If { else_body, .. } => {
+                assert_eq!(else_body.len(), 1);
+                match &else_body[0] {
+                    Stmt::If { else_body, .. } => assert_eq!(else_body.len(), 1),
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_without_arms_rejected() {
+        let err =
+            parse("module m() { input a; reg q; output y; assign y = q; always { case (a) { } } }")
+                .unwrap_err();
+        assert!(err.to_string().contains("at least one arm"));
+    }
+
+    #[test]
+    fn duplicate_default_rejected() {
+        let err = parse(
+            "module m() { input a; output q; reg q; always { case (a) { 1'd0: { q <= 0; } default: { q <= 1; } default: { q <= 0; } } } }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate `default`"));
+    }
+
+    #[test]
+    fn reduction_operators_parse() {
+        let m = parse("module m() { input [7:0] a; output y; assign y = ^a & |a; }").unwrap();
+        assert!(matches!(m.assigns[0].value, AstExpr::Binary { .. }));
+    }
+}

@@ -1,0 +1,369 @@
+//! Cycle-accurate two-value simulator for elaborated modules.
+
+use crate::ir::{mask, BinaryOp, Expr, RtlModule, SignalKind, UnaryOp};
+
+/// A cycle-accurate simulator for an [`RtlModule`].
+///
+/// All registers reset to zero. Inputs are set with [`Simulator::set`];
+/// combinational logic is re-evaluated lazily so [`Simulator::get`] always
+/// reflects the current input values, and [`Simulator::step`] advances one
+/// clock edge.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Simulator<'m> {
+    module: &'m RtlModule,
+    values: Vec<u64>,
+    dirty: bool,
+    cycles: u64,
+}
+
+impl<'m> Simulator<'m> {
+    /// Creates a simulator with all registers and inputs at zero.
+    #[must_use]
+    pub fn new(module: &'m RtlModule) -> Self {
+        let mut sim = Self {
+            module,
+            values: vec![0; module.signals().len()],
+            dirty: true,
+            cycles: 0,
+        };
+        sim.propagate();
+        sim
+    }
+
+    /// Number of clock edges simulated so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Sets a primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not an input signal of the module.
+    pub fn set(&mut self, name: &str, value: u64) {
+        let signal = self
+            .module
+            .find_signal(name)
+            .unwrap_or_else(|| panic!("no signal named `{name}`"));
+        assert_eq!(signal.kind(), SignalKind::Input, "`{name}` is not an input");
+        self.values[signal.id().index()] = value & mask(signal.width());
+        self.dirty = true;
+    }
+
+    /// Reads the current value of any signal.
+    ///
+    /// Combinational logic is re-evaluated first if inputs changed since
+    /// the last read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` does not exist.
+    pub fn get(&mut self, name: &str) -> u64 {
+        if self.dirty {
+            self.propagate();
+        }
+        let signal = self
+            .module
+            .find_signal(name)
+            .unwrap_or_else(|| panic!("no signal named `{name}`"));
+        self.values[signal.id().index()]
+    }
+
+    /// Advances one clock edge: registers capture their next-state values.
+    pub fn step(&mut self) {
+        if self.dirty {
+            self.propagate();
+        }
+        let next: Vec<(usize, u64)> = self
+            .module
+            .registers()
+            .iter()
+            .map(|(id, expr)| {
+                let width = self.module.signal(*id).width();
+                (id.index(), self.eval(expr) & mask(width))
+            })
+            .collect();
+        for (index, value) in next {
+            self.values[index] = value;
+        }
+        self.cycles += 1;
+        self.propagate();
+    }
+
+    /// Runs `n` clock edges.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Resets all registers to zero (inputs are preserved).
+    pub fn reset(&mut self) {
+        for (id, _) in self.module.registers() {
+            self.values[id.index()] = 0;
+        }
+        self.cycles = 0;
+        self.propagate();
+    }
+
+    fn propagate(&mut self) {
+        // Assigns are stored in topological order by elaboration.
+        for i in 0..self.module.assigns().len() {
+            let (id, _) = &self.module.assigns()[i];
+            let width = self.module.signal(*id).width();
+            let expr = &self.module.assigns()[i].1;
+            let value = eval_expr(expr, &self.values, self.module) & mask(width);
+            self.values[id.index()] = value;
+        }
+        self.dirty = false;
+    }
+
+    fn eval(&self, expr: &Expr) -> u64 {
+        eval_expr(expr, &self.values, self.module)
+    }
+}
+
+/// Evaluates an expression against a value table.
+pub(crate) fn eval_expr(expr: &Expr, values: &[u64], module: &RtlModule) -> u64 {
+    match expr {
+        Expr::Const { value, width } => value & mask(*width),
+        Expr::Signal(id) => values[id.index()],
+        Expr::Slice { signal, msb, lsb } => (values[signal.index()] >> lsb) & mask(msb - lsb + 1),
+        Expr::Unary { op, width, arg } => {
+            let a = eval_expr(arg, values, module);
+            let aw = arg.width(module);
+            let result = match op {
+                UnaryOp::Not => !a,
+                UnaryOp::Negate => a.wrapping_neg(),
+                UnaryOp::LogicalNot => u64::from(a == 0),
+                UnaryOp::ReduceAnd => u64::from(a == mask(aw)),
+                UnaryOp::ReduceOr => u64::from(a != 0),
+                UnaryOp::ReduceXor => u64::from(a.count_ones() % 2 == 1),
+            };
+            result & mask(*width)
+        }
+        Expr::Binary {
+            op,
+            width,
+            lhs,
+            rhs,
+        } => {
+            let a = eval_expr(lhs, values, module);
+            let b = eval_expr(rhs, values, module);
+            let result = match op {
+                BinaryOp::Add => a.wrapping_add(b),
+                BinaryOp::Sub => a.wrapping_sub(b),
+                BinaryOp::Mul => a.wrapping_mul(b),
+                BinaryOp::And => a & b,
+                BinaryOp::Or => a | b,
+                BinaryOp::Xor => a ^ b,
+                BinaryOp::LogicalAnd => u64::from(a != 0 && b != 0),
+                BinaryOp::LogicalOr => u64::from(a != 0 || b != 0),
+                BinaryOp::Eq => u64::from(a == b),
+                BinaryOp::Ne => u64::from(a != b),
+                BinaryOp::Lt => u64::from(a < b),
+                BinaryOp::Le => u64::from(a <= b),
+                BinaryOp::Gt => u64::from(a > b),
+                BinaryOp::Ge => u64::from(a >= b),
+                BinaryOp::Shl => {
+                    if b >= 64 {
+                        0
+                    } else {
+                        a << b
+                    }
+                }
+                BinaryOp::Shr => {
+                    if b >= 64 {
+                        0
+                    } else {
+                        a >> b
+                    }
+                }
+            };
+            result & mask(*width)
+        }
+        Expr::Mux {
+            width,
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            let c = eval_expr(cond, values, module);
+            let v = if c != 0 {
+                eval_expr(then_expr, values, module)
+            } else {
+                eval_expr(else_expr, values, module)
+            };
+            v & mask(*width)
+        }
+        Expr::Concat { width, parts } => {
+            let mut acc = 0u64;
+            for part in parts {
+                let w = part.width(module);
+                acc = (acc << w) | (eval_expr(part, values, module) & mask(w));
+            }
+            acc & mask(*width)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+    use crate::Simulator;
+
+    #[test]
+    fn counter_counts_and_resets() {
+        let m = parse(
+            "module c() { input rst; input en; output [7:0] q; reg [7:0] q; always { if (rst) { q <= 0; } else if (en) { q <= q + 1; } } }",
+        )
+        .unwrap();
+        let mut sim = Simulator::new(&m);
+        sim.set("rst", 0);
+        sim.set("en", 1);
+        sim.run(5);
+        assert_eq!(sim.get("q"), 5);
+        sim.set("en", 0);
+        sim.run(3);
+        assert_eq!(sim.get("q"), 5, "disabled counter must hold");
+        sim.set("rst", 1);
+        sim.step();
+        assert_eq!(sim.get("q"), 0);
+    }
+
+    #[test]
+    fn counter_wraps_at_width() {
+        let m =
+            parse("module c() { output [1:0] q; reg [1:0] q; always { q <= q + 1; } }").unwrap();
+        let mut sim = Simulator::new(&m);
+        sim.run(4);
+        assert_eq!(sim.get("q"), 0, "2-bit counter wraps after 4 steps");
+    }
+
+    #[test]
+    fn combinational_only_module() {
+        let m = parse(
+            "module alu() { input [7:0] a; input [7:0] b; input sel; output [7:0] y; assign y = sel ? a - b : a + b; }",
+        )
+        .unwrap();
+        let mut sim = Simulator::new(&m);
+        sim.set("a", 10);
+        sim.set("b", 3);
+        sim.set("sel", 0);
+        assert_eq!(sim.get("y"), 13);
+        sim.set("sel", 1);
+        assert_eq!(sim.get("y"), 7);
+    }
+
+    #[test]
+    fn subtraction_wraps_unsigned() {
+        let m =
+            parse("module m() { input [3:0] a; output [3:0] y; assign y = a - 4'd1; }").unwrap();
+        let mut sim = Simulator::new(&m);
+        sim.set("a", 0);
+        assert_eq!(sim.get("y"), 15);
+    }
+
+    #[test]
+    fn reductions_and_slices() {
+        let m = parse(
+            "module m() { input [7:0] a; output all1; output any1; output par; output hi; assign all1 = &a; assign any1 = |a; assign par = ^a; assign hi = a[7]; }",
+        )
+        .unwrap();
+        let mut sim = Simulator::new(&m);
+        sim.set("a", 0xFF);
+        assert_eq!(sim.get("all1"), 1);
+        assert_eq!(sim.get("any1"), 1);
+        assert_eq!(sim.get("par"), 0);
+        assert_eq!(sim.get("hi"), 1);
+        sim.set("a", 0x01);
+        assert_eq!(sim.get("all1"), 0);
+        assert_eq!(sim.get("par"), 1);
+        assert_eq!(sim.get("hi"), 0);
+    }
+
+    #[test]
+    fn concat_order_msb_first() {
+        let m = parse(
+            "module m() { input [3:0] a; input [3:0] b; output [7:0] y; assign y = {a, b}; }",
+        )
+        .unwrap();
+        let mut sim = Simulator::new(&m);
+        sim.set("a", 0xA);
+        sim.set("b", 0x5);
+        assert_eq!(sim.get("y"), 0xA5);
+    }
+
+    #[test]
+    fn shift_register_chains() {
+        let m = parse(
+            "module sr() { input d; output [3:0] q; reg [3:0] q; always { q <= {q[2:0], d}; } }",
+        )
+        .unwrap();
+        let mut sim = Simulator::new(&m);
+        sim.set("d", 1);
+        sim.step();
+        assert_eq!(sim.get("q"), 0b0001);
+        sim.step();
+        assert_eq!(sim.get("q"), 0b0011);
+        sim.set("d", 0);
+        sim.step();
+        assert_eq!(sim.get("q"), 0b0110);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let m =
+            parse("module c() { output [7:0] q; reg [7:0] q; always { q <= q + 3; } }").unwrap();
+        let mut sim = Simulator::new(&m);
+        sim.run(4);
+        assert_eq!(sim.get("q"), 12);
+        sim.reset();
+        assert_eq!(sim.get("q"), 0);
+        assert_eq!(sim.cycles(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an input")]
+    fn setting_non_input_panics() {
+        let m = parse("module m() { input a; output y; assign y = a; }").unwrap();
+        let mut sim = Simulator::new(&m);
+        sim.set("y", 1);
+    }
+
+    #[test]
+    fn case_statement_selects_arm() {
+        let m = parse(
+            "module fsm() { input [1:0] op; output [3:0] q; reg [3:0] q; always { \
+             case (op) { 2'd0: { q <= q + 1; } 2'd1: { q <= q - 1; } 2'd2: { q <= 0; } default: { q <= 4'd9; } } } }",
+        )
+        .unwrap();
+        let mut sim = Simulator::new(&m);
+        sim.set("op", 0);
+        sim.run(3);
+        assert_eq!(sim.get("q"), 3, "increment arm");
+        sim.set("op", 1);
+        sim.step();
+        assert_eq!(sim.get("q"), 2, "decrement arm");
+        sim.set("op", 3);
+        sim.step();
+        assert_eq!(sim.get("q"), 9, "default arm");
+        sim.set("op", 2);
+        sim.step();
+        assert_eq!(sim.get("q"), 0, "reset arm");
+    }
+
+    #[test]
+    fn multiplication_width_grows() {
+        let m =
+            parse("module m() { input [3:0] a; input [3:0] b; output [7:0] y; assign y = a * b; }")
+                .unwrap();
+        let mut sim = Simulator::new(&m);
+        sim.set("a", 15);
+        sim.set("b", 15);
+        assert_eq!(sim.get("y"), 225);
+    }
+}

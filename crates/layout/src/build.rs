@@ -1,0 +1,314 @@
+//! Layout generation from a placed-and-routed design.
+
+use crate::db::{Layout, LayoutCell};
+use crate::geom::Rect;
+use chipforge_netlist::Netlist;
+use chipforge_pdk::{DesignRules, Layer, StdCellLibrary};
+use chipforge_place::Placement;
+use chipforge_route::{GridCoord, Routing};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from layout generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// The placement does not cover the netlist.
+    PlacementMismatch,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::PlacementMismatch => write!(f, "placement does not match netlist"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+fn nm(um: f64) -> i32 {
+    (um * 1000.0).round() as i32
+}
+
+/// Builds the abstract physical layout of a placed-and-routed design.
+///
+/// Geometry produced:
+///
+/// * one layout cell per distinct library cell (diffusion outline + poly
+///   gate stripe), referenced (`SREF`) at each placement site;
+/// * per-row power rails on M1;
+/// * global-routing wires on M2 (horizontal) and M3 (vertical), one track
+///   per net per gcell edge, with enclosed vias at direction changes.
+///
+/// Detailed-routing jogs within a gcell are assumed rather than drawn, so
+/// the result is a faithful *global* abstraction suitable for GDSII export,
+/// area accounting and DRC of the drawn geometry.
+///
+/// # Errors
+///
+/// Returns [`BuildError::PlacementMismatch`] when the inputs belong to
+/// different designs.
+pub fn build_layout(
+    netlist: &Netlist,
+    placement: &Placement,
+    routing: &Routing,
+    lib: &StdCellLibrary,
+) -> Result<Layout, BuildError> {
+    if placement.cells().len() != netlist.cell_count() {
+        return Err(BuildError::PlacementMismatch);
+    }
+    let rules = DesignRules::for_node(lib.node());
+    let mut layout = Layout::new(netlist.name(), 1e-9);
+
+    // --- library cell abstracts (one per distinct lib cell) ---
+    let mut have: HashMap<String, ()> = HashMap::new();
+    for cell in netlist.cells() {
+        if have.insert(cell.lib_cell().to_string(), ()).is_some() {
+            continue;
+        }
+        let Some(lib_cell) = lib.cell(cell.lib_cell()) else {
+            continue;
+        };
+        let w = nm(lib_cell.width_um());
+        let h = nm(lib_cell.height_um());
+        let mut abs = LayoutCell::new(cell.lib_cell());
+        // Diffusion is drawn as continuous row stripes in the top cell
+        // (modern continuous-OD style); abstracts carry only poly.
+        // One poly gate stripe per transistor-pair "unit" of complexity.
+        let units = lib_cell.class().complexity().max(1.0) as i32;
+        let poly_w = nm(rules.min_width_um(Layer::Poly)).max(1);
+        // Stripes are inset vertically so poly of vertically adjacent rows
+        // keeps clearly more than the minimum spacing.
+        let poly_inset = h / 8;
+        for k in 0..units {
+            let x = (w * (2 * k + 1)) / (2 * units);
+            let x0 = x - poly_w / 2;
+            abs.add_shape(
+                Layer::Poly,
+                Rect::new(x0, poly_inset, x0 + poly_w, h - poly_inset),
+            );
+        }
+        layout.add_cell(abs);
+    }
+
+    // --- top cell ---
+    let mut top = LayoutCell::new(format!("{}_top", netlist.name()));
+    for cell in netlist.cells() {
+        let placed = placement.cell(cell.id());
+        top.add_ref(cell.lib_cell(), (nm(placed.x_um), nm(placed.y_um)));
+    }
+
+    // Power rails: alternating VSS/VDD on row boundaries, M1; plus one
+    // continuous diffusion stripe per row between the rails.
+    let fp = placement.floorplan();
+    let rail_w = nm(rules.min_width_um(Layer::Metal(1))) * 2;
+    let core_w = nm(fp.core_width_um());
+    let row_h = nm(fp.row_height_um());
+    for row in 0..=fp.rows() {
+        let y = nm(row as f64 * fp.row_height_um());
+        top.add_shape(
+            Layer::Metal(1),
+            Rect::new(0, y - rail_w / 2, core_w, y + rail_w / 2),
+        );
+        if row < fp.rows() {
+            let diff_space = nm(rules.min_spacing_um(Layer::Diffusion));
+            let inset = (row_h / 10).max(diff_space / 2 + 1);
+            top.add_shape(
+                Layer::Diffusion,
+                Rect::new(0, y + inset, core_w, y + row_h - inset),
+            );
+        }
+    }
+
+    // Routing wires: M2 horizontal, M3 vertical, one track per net per
+    // gcell edge. Tracks are spaced at twice the routing pitch (so via
+    // landing pads clear neighbouring tracks) and wrap within the gcell;
+    // wraps of distinct nets draw on the same centerline, which the DRC
+    // engine treats as connected geometry — an accepted global-routing
+    // abstraction.
+    let gcell_nm = nm(routing.grid().gcell_um());
+    let w2 = nm(rules.min_width_um(Layer::Metal(2)));
+    let w3 = nm(rules.min_width_um(Layer::Metal(3)));
+    let via_w = nm(rules.min_width_um(Layer::Via(2)));
+    let via_margin = nm(rules.via_enclosure_um(2));
+    let pad_half = via_w / 2 + via_margin;
+    let step = 2 * nm(rules.routing_pitch_um(2)).max(nm(rules.routing_pitch_um(3)));
+    // Tracks that fit in the middle half of a gcell.
+    let fit = ((gcell_nm / 2) / step).max(1);
+    // Wire-end extension so vias at offset positions stay covered, capped
+    // to keep co-linear wires of adjacent gcells apart.
+    let spacing2 = nm(rules.min_spacing_um(Layer::Metal(3)));
+    let ext = (gcell_nm / 4 + pad_half)
+        .min(gcell_nm / 2 - 2 * spacing2)
+        .max(0);
+    let offset_of = |track: i32| -> i32 { (track % fit) * step - (fit / 2) * step };
+    let mut track_next: HashMap<(GridCoord, GridCoord), i32> = HashMap::new();
+    let center = |c: GridCoord| -> (i32, i32) {
+        (
+            (i32::from(c.x) * gcell_nm) + gcell_nm / 2,
+            (i32::from(c.y) * gcell_nm) + gcell_nm / 2,
+        )
+    };
+    for net in routing.nets() {
+        // Pass 1: assign a track offset to every edge of this net.
+        struct DrawnEdge {
+            a: GridCoord,
+            b: GridCoord,
+            horizontal: bool,
+            offset: i32,
+        }
+        let edges: Vec<DrawnEdge> = net
+            .edges
+            .iter()
+            .map(|(a, b)| {
+                let key = if a <= b { (*a, *b) } else { (*b, *a) };
+                let t = track_next.entry(key).or_insert(0);
+                let track = *t;
+                *t += 1;
+                DrawnEdge {
+                    a: *a,
+                    b: *b,
+                    horizontal: a.y == b.y,
+                    offset: offset_of(track),
+                }
+            })
+            .collect();
+        // Pass 2: wires.
+        for e in &edges {
+            let (ax, ay) = center(e.a);
+            let (bx, by) = center(e.b);
+            if e.horizontal {
+                let y = ay + e.offset;
+                top.add_shape(
+                    Layer::Metal(2),
+                    Rect::new(
+                        ax.min(bx) - ext,
+                        y - w2 / 2,
+                        ax.max(bx) + ext,
+                        y + w2 - w2 / 2,
+                    ),
+                );
+            } else {
+                let x = ax + e.offset;
+                top.add_shape(
+                    Layer::Metal(3),
+                    Rect::new(
+                        x - w3 / 2,
+                        ay.min(by) - ext,
+                        x + w3 - w3 / 2,
+                        ay.max(by) + ext,
+                    ),
+                );
+            }
+        }
+        // Pass 3: vias at orientation changes, placed at the intersection
+        // of the two segments' actual tracks.
+        for pair in edges.windows(2) {
+            let (prev, cur) = (&pair[0], &pair[1]);
+            if prev.horizontal == cur.horizontal || prev.b != cur.a {
+                continue;
+            }
+            let (cx, cy) = center(cur.a);
+            let (oh, ov) = if prev.horizontal {
+                (prev.offset, cur.offset)
+            } else {
+                (cur.offset, prev.offset)
+            };
+            let via = Rect::new(
+                cx + ov - via_w / 2,
+                cy + oh - via_w / 2,
+                cx + ov + via_w - via_w / 2,
+                cy + oh + via_w - via_w / 2,
+            );
+            top.add_shape(Layer::Via(2), via);
+            let pad = via.expanded(via_margin);
+            top.add_shape(Layer::Metal(2), pad);
+            top.add_shape(Layer::Metal(3), pad);
+        }
+    }
+
+    layout.add_cell(top);
+    Ok(layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gds;
+    use chipforge_hdl::designs;
+    use chipforge_pdk::{LibraryKind, TechnologyNode};
+    use chipforge_place::{place, PlacementOptions};
+    use chipforge_route::{route, RouteOptions};
+    use chipforge_synth::{synthesize, SynthOptions};
+
+    fn full_backend(design: chipforge_hdl::designs::Design) -> (Netlist, Layout) {
+        let lib = StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Open);
+        let module = design.elaborate().unwrap();
+        let netlist = synthesize(&module, &lib, &SynthOptions::default())
+            .unwrap()
+            .netlist;
+        let placement = place(&netlist, &lib, &PlacementOptions::default()).unwrap();
+        let routing = route(&netlist, &placement, &lib, &RouteOptions::default()).unwrap();
+        let layout = build_layout(&netlist, &placement, &routing, &lib).unwrap();
+        (netlist, layout)
+    }
+
+    #[test]
+    fn layout_has_ref_per_cell_instance() {
+        let (netlist, layout) = full_backend(designs::counter(8));
+        let top = layout.top().unwrap();
+        assert_eq!(top.refs().len(), netlist.cell_count());
+    }
+
+    #[test]
+    fn layout_round_trips_through_gds() {
+        let (_, layout) = full_backend(designs::counter(8));
+        let bytes = gds::write_gds(&layout);
+        assert!(bytes.len() > 100);
+        let parsed = gds::read_gds(&bytes).unwrap();
+        assert_eq!(parsed.cells().len(), layout.cells().len());
+        assert_eq!(parsed.shape_count(), layout.shape_count());
+    }
+
+    #[test]
+    fn flattened_layout_contains_routing_metal() {
+        let (_, layout) = full_backend(designs::alu(8));
+        let flat = layout.flatten();
+        let m2 = flat.iter().filter(|(l, _)| *l == Layer::Metal(2)).count();
+        let m3 = flat.iter().filter(|(l, _)| *l == Layer::Metal(3)).count();
+        assert!(m2 > 0, "horizontal routing missing");
+        assert!(m3 > 0, "vertical routing missing");
+    }
+
+    #[test]
+    fn drawn_geometry_is_drc_clean() {
+        for design in [designs::counter(8), designs::alu(8), designs::fir4(8)] {
+            let name = design.name().to_string();
+            let (_, layout) = full_backend(design);
+            let rules = DesignRules::for_node(TechnologyNode::N130);
+            let report = crate::drc::check(&layout, &rules);
+            assert!(
+                report.is_clean(),
+                "{name}: {} violations, first: {:?}",
+                report.violations.len(),
+                report.violations.first()
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_placement_rejected() {
+        let lib = StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Open);
+        let module = designs::counter(8).elaborate().unwrap();
+        let netlist = synthesize(&module, &lib, &SynthOptions::default())
+            .unwrap()
+            .netlist;
+        let placement = place(&netlist, &lib, &PlacementOptions::default()).unwrap();
+        let routing = route(&netlist, &placement, &lib, &RouteOptions::default()).unwrap();
+        let other = Netlist::new("other");
+        let err = build_layout(&other, &placement, &routing, &lib).unwrap_err();
+        assert_eq!(err, BuildError::PlacementMismatch);
+    }
+}

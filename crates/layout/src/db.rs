@@ -1,0 +1,228 @@
+//! Hierarchical layout database.
+
+use crate::geom::Rect;
+use chipforge_pdk::Layer;
+use serde::{Deserialize, Serialize};
+
+/// A placed reference to another cell.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellRef {
+    /// Name of the referenced cell.
+    pub cell: String,
+    /// Placement origin in database units.
+    pub origin: (i32, i32),
+}
+
+/// One cell (GDSII structure): shapes plus references to sub-cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayoutCell {
+    name: String,
+    shapes: Vec<(Layer, Rect)>,
+    refs: Vec<CellRef>,
+}
+
+impl LayoutCell {
+    /// Creates an empty cell.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            shapes: Vec::new(),
+            refs: Vec::new(),
+        }
+    }
+
+    /// Cell name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a rectangle on a layer.
+    pub fn add_shape(&mut self, layer: Layer, rect: Rect) {
+        self.shapes.push((layer, rect));
+    }
+
+    /// Adds a reference to another cell.
+    pub fn add_ref(&mut self, cell: impl Into<String>, origin: (i32, i32)) {
+        self.refs.push(CellRef {
+            cell: cell.into(),
+            origin,
+        });
+    }
+
+    /// Shapes in insertion order.
+    #[must_use]
+    pub fn shapes(&self) -> &[(Layer, Rect)] {
+        &self.shapes
+    }
+
+    /// Sub-cell references.
+    #[must_use]
+    pub fn refs(&self) -> &[CellRef] {
+        &self.refs
+    }
+
+    /// Bounding box of the cell's own shapes (ignores references).
+    #[must_use]
+    pub fn bbox(&self) -> Option<Rect> {
+        self.shapes.iter().map(|(_, r)| *r).reduce(|acc, r| {
+            Rect::new(
+                acc.x0.min(r.x0),
+                acc.y0.min(r.y0),
+                acc.x1.max(r.x1),
+                acc.y1.max(r.y1),
+            )
+        })
+    }
+}
+
+/// A layout library: cells plus the database unit in metres.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layout {
+    name: String,
+    /// Database unit in metres (1e-9 = 1 nm).
+    unit_m: f64,
+    cells: Vec<LayoutCell>,
+}
+
+impl Layout {
+    /// Creates an empty layout library.
+    #[must_use]
+    pub fn new(name: impl Into<String>, unit_m: f64) -> Self {
+        Self {
+            name: name.into(),
+            unit_m,
+            cells: Vec::new(),
+        }
+    }
+
+    /// Library name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Database unit in metres.
+    #[must_use]
+    pub fn unit_m(&self) -> f64 {
+        self.unit_m
+    }
+
+    /// Adds a cell; the last added cell is the top.
+    pub fn add_cell(&mut self, cell: LayoutCell) {
+        self.cells.push(cell);
+    }
+
+    /// All cells.
+    #[must_use]
+    pub fn cells(&self) -> &[LayoutCell] {
+        &self.cells
+    }
+
+    /// Looks up a cell by name.
+    #[must_use]
+    pub fn cell(&self, name: &str) -> Option<&LayoutCell> {
+        self.cells.iter().find(|c| c.name == name)
+    }
+
+    /// The top cell (last added).
+    #[must_use]
+    pub fn top(&self) -> Option<&LayoutCell> {
+        self.cells.last()
+    }
+
+    /// Flattens the hierarchy into `(layer, rect)` shapes of the top cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dangling references or reference cycles deeper than 64.
+    #[must_use]
+    pub fn flatten(&self) -> Vec<(Layer, Rect)> {
+        let mut out = Vec::new();
+        if let Some(top) = self.top() {
+            self.flatten_into(top, (0, 0), &mut out, 0);
+        }
+        out
+    }
+
+    fn flatten_into(
+        &self,
+        cell: &LayoutCell,
+        origin: (i32, i32),
+        out: &mut Vec<(Layer, Rect)>,
+        depth: usize,
+    ) {
+        assert!(depth < 64, "reference cycle or pathological depth");
+        for (layer, rect) in &cell.shapes {
+            out.push((*layer, rect.translated(origin.0, origin.1)));
+        }
+        for r in &cell.refs {
+            let sub = self
+                .cell(&r.cell)
+                .unwrap_or_else(|| panic!("dangling reference to `{}`", r.cell));
+            self.flatten_into(
+                sub,
+                (origin.0 + r.origin.0, origin.1 + r.origin.1),
+                out,
+                depth + 1,
+            );
+        }
+    }
+
+    /// Total shape count across all cells (pre-flattening).
+    #[must_use]
+    pub fn shape_count(&self) -> usize {
+        self.cells.iter().map(|c| c.shapes.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bbox_unions_shapes() {
+        let mut cell = LayoutCell::new("c");
+        assert!(cell.bbox().is_none());
+        cell.add_shape(Layer::Metal(1), Rect::new(0, 0, 10, 10));
+        cell.add_shape(Layer::Metal(2), Rect::new(20, -5, 30, 5));
+        assert_eq!(cell.bbox(), Some(Rect::new(0, -5, 30, 10)));
+    }
+
+    #[test]
+    fn flatten_translates_references() {
+        let mut leaf = LayoutCell::new("leaf");
+        leaf.add_shape(Layer::Poly, Rect::new(0, 0, 5, 5));
+        let mut top = LayoutCell::new("top");
+        top.add_ref("leaf", (100, 200));
+        top.add_ref("leaf", (-10, 0));
+        let mut layout = Layout::new("lib", 1e-9);
+        layout.add_cell(leaf);
+        layout.add_cell(top);
+        let flat = layout.flatten();
+        assert_eq!(flat.len(), 2);
+        assert!(flat.contains(&(Layer::Poly, Rect::new(100, 200, 105, 205))));
+        assert!(flat.contains(&(Layer::Poly, Rect::new(-10, 0, -5, 5))));
+    }
+
+    #[test]
+    fn top_is_last_cell() {
+        let mut layout = Layout::new("lib", 1e-9);
+        layout.add_cell(LayoutCell::new("a"));
+        layout.add_cell(LayoutCell::new("b"));
+        assert_eq!(layout.top().unwrap().name(), "b");
+        assert!(layout.cell("a").is_some());
+        assert!(layout.cell("zz").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "dangling")]
+    fn flatten_panics_on_dangling_ref() {
+        let mut top = LayoutCell::new("top");
+        top.add_ref("ghost", (0, 0));
+        let mut layout = Layout::new("lib", 1e-9);
+        layout.add_cell(top);
+        let _ = layout.flatten();
+    }
+}

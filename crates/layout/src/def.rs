@@ -1,0 +1,206 @@
+//! DEF (Design Exchange Format) emission for placed-and-routed designs.
+//!
+//! Standard tools exchange placement through DEF; emitting it makes the
+//! flow's intermediate results inspectable in external viewers, which is
+//! part of real enablement (a flow you cannot look into is a flow you
+//! cannot learn from).
+
+use chipforge_netlist::{NetDriver, Netlist};
+use chipforge_place::Placement;
+use chipforge_route::Routing;
+use std::fmt::Write as _;
+
+/// Database units per micron used in emitted DEF.
+pub const DEF_DBU_PER_MICRON: i64 = 1000;
+
+fn dbu(um: f64) -> i64 {
+    (um * DEF_DBU_PER_MICRON as f64).round() as i64
+}
+
+/// Serializes the design as DEF 5.8 text.
+///
+/// Sections emitted: `DIEAREA`, `COMPONENTS` (placed, row-snapped),
+/// `PINS` (boundary positions) and `NETS` (connectivity plus routed
+/// gcell-path segments on met2/met3 when `routing` is given).
+#[must_use]
+pub fn write_def(netlist: &Netlist, placement: &Placement, routing: Option<&Routing>) -> String {
+    let mut out = String::new();
+    let fp = placement.floorplan();
+    let _ = writeln!(out, "VERSION 5.8 ;");
+    let _ = writeln!(out, "DIVIDERCHAR \"/\" ;");
+    let _ = writeln!(out, "BUSBITCHARS \"[]\" ;");
+    let _ = writeln!(out, "DESIGN {} ;", netlist.name());
+    let _ = writeln!(out, "UNITS DISTANCE MICRONS {DEF_DBU_PER_MICRON} ;");
+    let _ = writeln!(
+        out,
+        "DIEAREA ( 0 0 ) ( {} {} ) ;",
+        dbu(fp.core_width_um()),
+        dbu(fp.core_height_um())
+    );
+
+    // Components.
+    let _ = writeln!(out, "COMPONENTS {} ;", netlist.cell_count());
+    for cell in netlist.cells() {
+        let placed = placement.cell(cell.id());
+        let orient = if placed.row.is_multiple_of(2) {
+            "N"
+        } else {
+            "FS"
+        };
+        let _ = writeln!(
+            out,
+            "  - {} {} + PLACED ( {} {} ) {orient} ;",
+            sanitize(cell.name()),
+            cell.lib_cell(),
+            dbu(placed.x_um),
+            dbu(placed.y_um)
+        );
+    }
+    let _ = writeln!(out, "END COMPONENTS");
+
+    // Pins.
+    let pins = placement.ports();
+    let _ = writeln!(out, "PINS {} ;", pins.len());
+    let outputs: std::collections::HashSet<&str> =
+        netlist.outputs().iter().map(|(p, _)| p.as_str()).collect();
+    for (name, x, y) in pins {
+        let direction = if outputs.contains(name.as_str()) {
+            "OUTPUT"
+        } else {
+            "INPUT"
+        };
+        let _ = writeln!(
+            out,
+            "  - {} + NET {} + DIRECTION {direction} + PLACED ( {} {} ) N ;",
+            sanitize(name),
+            sanitize(name),
+            dbu(*x),
+            dbu(*y)
+        );
+    }
+    let _ = writeln!(out, "END PINS");
+
+    // Nets.
+    let routed: std::collections::HashMap<_, _> = routing
+        .map(|r| r.nets().iter().map(|n| (n.net, n)).collect())
+        .unwrap_or_default();
+    let net_count = netlist.nets().filter(|n| n.fanout() > 0).count();
+    let _ = writeln!(out, "NETS {net_count} ;");
+    for net in netlist.nets() {
+        if net.fanout() == 0 {
+            continue;
+        }
+        let _ = write!(out, "  - {}", sanitize(net.name()));
+        match net.driver() {
+            Some(NetDriver::Cell(id)) => {
+                let _ = write!(out, " ( {} Y )", sanitize(netlist.cell(id).name()));
+            }
+            Some(NetDriver::Input(port)) => {
+                let _ = write!(out, " ( PIN {} )", sanitize(&netlist.inputs()[port].0));
+            }
+            None => {}
+        }
+        for &(sink, pin) in net.sinks() {
+            let cell = netlist.cell(sink);
+            let pin_name = cell.function().pin_names().get(pin).copied().unwrap_or("A");
+            let _ = write!(out, " ( {} {} )", sanitize(cell.name()), pin_name);
+        }
+        if let Some(route) = routed.get(&net.id()) {
+            if let Some(grid) = routing.map(|r| r.grid()) {
+                let g = grid.gcell_um();
+                let _ = write!(out, "\n    + ROUTED");
+                for (i, (a, b)) in route.edges.iter().enumerate() {
+                    let layer = if a.y == b.y { "met2" } else { "met3" };
+                    let cx = |c: &chipforge_route::GridCoord| dbu((f64::from(c.x) + 0.5) * g);
+                    let cy = |c: &chipforge_route::GridCoord| dbu((f64::from(c.y) + 0.5) * g);
+                    let prefix = if i == 0 { "" } else { "\n      NEW" };
+                    let _ = write!(
+                        out,
+                        "{prefix} {layer} ( {} {} ) ( {} {} )",
+                        cx(a),
+                        cy(a),
+                        cx(b),
+                        cy(b)
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, " ;");
+    }
+    let _ = writeln!(out, "END NETS");
+    let _ = writeln!(out, "END DESIGN");
+    out
+}
+
+/// DEF identifiers cannot contain brackets from bit-blasted names.
+fn sanitize(name: &str) -> String {
+    name.replace(['[', ']'], "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipforge_hdl::designs;
+    use chipforge_pdk::{LibraryKind, StdCellLibrary, TechnologyNode};
+    use chipforge_place::{place, PlacementOptions};
+    use chipforge_route::{route, RouteOptions};
+    use chipforge_synth::{synthesize, SynthOptions};
+
+    fn setup() -> (Netlist, Placement, Routing) {
+        let lib = StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Open);
+        let module = designs::counter(8).elaborate().unwrap();
+        let netlist = synthesize(&module, &lib, &SynthOptions::default())
+            .unwrap()
+            .netlist;
+        let placement = place(&netlist, &lib, &PlacementOptions::default()).unwrap();
+        let routing = route(&netlist, &placement, &lib, &RouteOptions::default()).unwrap();
+        (netlist, placement, routing)
+    }
+
+    #[test]
+    fn def_has_all_sections() {
+        let (netlist, placement, routing) = setup();
+        let def = write_def(&netlist, &placement, Some(&routing));
+        for section in [
+            "VERSION 5.8",
+            "DIEAREA",
+            "COMPONENTS",
+            "PINS",
+            "NETS",
+            "END DESIGN",
+        ] {
+            assert!(def.contains(section), "missing {section}");
+        }
+        assert!(def.contains("+ ROUTED"), "routed segments missing");
+    }
+
+    #[test]
+    fn component_count_matches_netlist() {
+        let (netlist, placement, _) = setup();
+        let def = write_def(&netlist, &placement, None);
+        assert!(def.contains(&format!("COMPONENTS {} ;", netlist.cell_count())));
+        let placed_lines = def.matches("+ PLACED").count();
+        // Components plus pins are PLACED.
+        assert_eq!(placed_lines, netlist.cell_count() + placement.ports().len());
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        let (netlist, placement, _) = setup();
+        let def = write_def(&netlist, &placement, None);
+        // Bit-blasted names like count[3] must not appear with brackets
+        // (the BUSBITCHARS header declaration is the only exception).
+        for line in def.lines().filter(|l| !l.starts_with("BUSBITCHARS")) {
+            assert!(!line.contains('['), "unsanitized name in: {line}");
+        }
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let (netlist, placement, routing) = setup();
+        assert_eq!(
+            write_def(&netlist, &placement, Some(&routing)),
+            write_def(&netlist, &placement, Some(&routing))
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! Sweep-line design-rule checking.
+//!
+//! Three rule families are checked against a [`chipforge_pdk::DesignRules`]
+//! deck over the flattened layout:
+//!
+//! * **width** — every shape's minimum dimension meets the layer's minimum
+//!   width;
+//! * **spacing** — non-touching same-layer shapes keep the minimum
+//!   separation (touching/overlapping shapes are treated as connected
+//!   same-net geometry; short detection would require extraction, which is
+//!   out of scope);
+//! * **enclosure** — every via is covered by metal on both adjacent layers
+//!   with the required margin.
+
+use crate::db::Layout;
+use crate::geom::Rect;
+use chipforge_pdk::{DesignRules, Layer};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The rule family a violation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ViolationKind {
+    /// Shape narrower than the layer's minimum width.
+    Width,
+    /// Two shapes closer than the minimum spacing.
+    Spacing,
+    /// Via not sufficiently enclosed by adjacent metal.
+    Enclosure,
+}
+
+/// One DRC violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DrcViolation {
+    /// Rule family.
+    pub kind: ViolationKind,
+    /// Layer of the offending shape.
+    pub layer: Layer,
+    /// Offending shape (first of the pair for spacing).
+    pub shape: Rect,
+    /// Measured value in nm (width, separation or enclosure margin).
+    pub measured_nm: i32,
+    /// Required value in nm.
+    pub required_nm: i32,
+}
+
+/// Result of a DRC run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DrcReport {
+    /// All violations found.
+    pub violations: Vec<DrcViolation>,
+    /// Shapes checked.
+    pub shapes_checked: usize,
+}
+
+impl DrcReport {
+    /// Whether the layout is clean.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violations of one kind.
+    #[must_use]
+    pub fn count_of(&self, kind: ViolationKind) -> usize {
+        self.violations.iter().filter(|v| v.kind == kind).count()
+    }
+}
+
+fn nm(um: f64) -> i32 {
+    (um * 1000.0).round() as i32
+}
+
+/// Runs DRC on the flattened top cell of `layout`.
+#[must_use]
+pub fn check(layout: &Layout, rules: &DesignRules) -> DrcReport {
+    let flat = layout.flatten();
+    let mut by_layer: BTreeMap<Layer, Vec<Rect>> = BTreeMap::new();
+    for (layer, rect) in &flat {
+        by_layer.entry(*layer).or_default().push(*rect);
+    }
+    let mut violations = Vec::new();
+
+    for (layer, rects) in &by_layer {
+        let min_width = nm(rules.min_width_um(*layer));
+        let min_space = nm(rules.min_spacing_um(*layer));
+        // Width.
+        for rect in rects {
+            if rect.min_dimension() < min_width {
+                violations.push(DrcViolation {
+                    kind: ViolationKind::Width,
+                    layer: *layer,
+                    shape: *rect,
+                    measured_nm: rect.min_dimension(),
+                    required_nm: min_width,
+                });
+            }
+        }
+        // Spacing: sweep by left edge.
+        let mut sorted: Vec<Rect> = rects.clone();
+        sorted.sort_by_key(|r| r.x0);
+        for i in 0..sorted.len() {
+            let a = sorted[i];
+            for b in sorted.iter().skip(i + 1) {
+                if b.x0 - a.x1 >= min_space {
+                    break; // all later rects are even farther in x
+                }
+                if a.touches(b) {
+                    continue; // connected geometry
+                }
+                let sep = a.separation(b);
+                if sep < min_space {
+                    violations.push(DrcViolation {
+                        kind: ViolationKind::Spacing,
+                        layer: *layer,
+                        shape: a,
+                        measured_nm: sep,
+                        required_nm: min_space,
+                    });
+                }
+            }
+        }
+    }
+
+    // Via enclosure.
+    for (layer, rects) in &by_layer {
+        let Layer::Via(v) = layer else { continue };
+        let margin = nm(rules.via_enclosure_um(*v));
+        let below = by_layer.get(&Layer::Metal(*v));
+        let above = by_layer.get(&Layer::Metal(*v + 1));
+        for via in rects {
+            let needed = via.expanded(margin);
+            for (metal_layer, metal) in [(Layer::Metal(*v), below), (Layer::Metal(*v + 1), above)] {
+                let covered = metal
+                    .map(|shapes| shapes.iter().any(|m| m.contains(&needed)))
+                    .unwrap_or(false);
+                if !covered {
+                    violations.push(DrcViolation {
+                        kind: ViolationKind::Enclosure,
+                        layer: metal_layer,
+                        shape: *via,
+                        measured_nm: 0,
+                        required_nm: margin,
+                    });
+                }
+            }
+        }
+    }
+
+    DrcReport {
+        violations,
+        shapes_checked: flat.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::LayoutCell;
+    use chipforge_pdk::TechnologyNode;
+
+    fn rules() -> DesignRules {
+        DesignRules::for_node(TechnologyNode::N130)
+    }
+
+    fn layout_with(shapes: &[(Layer, Rect)]) -> Layout {
+        let mut cell = LayoutCell::new("top");
+        for (layer, rect) in shapes {
+            cell.add_shape(*layer, *rect);
+        }
+        let mut layout = Layout::new("t", 1e-9);
+        layout.add_cell(cell);
+        layout
+    }
+
+    #[test]
+    fn clean_layout_passes() {
+        let rules = rules();
+        let w = nm(rules.min_width_um(Layer::Metal(1)));
+        let s = nm(rules.min_spacing_um(Layer::Metal(1)));
+        let layout = layout_with(&[
+            (Layer::Metal(1), Rect::new(0, 0, 10 * w, w)),
+            (Layer::Metal(1), Rect::new(0, w + s, 10 * w, 2 * w + s)),
+        ]);
+        let report = check(&layout, &rules);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.shapes_checked, 2);
+    }
+
+    #[test]
+    fn narrow_wire_flagged() {
+        let rules = rules();
+        let w = nm(rules.min_width_um(Layer::Metal(1)));
+        let layout = layout_with(&[(Layer::Metal(1), Rect::new(0, 0, 1000, w - 1))]);
+        let report = check(&layout, &rules);
+        assert_eq!(report.count_of(ViolationKind::Width), 1);
+        assert_eq!(report.violations[0].measured_nm, w - 1);
+    }
+
+    #[test]
+    fn close_wires_flagged() {
+        let rules = rules();
+        let w = nm(rules.min_width_um(Layer::Metal(1)));
+        let s = nm(rules.min_spacing_um(Layer::Metal(1)));
+        let layout = layout_with(&[
+            (Layer::Metal(1), Rect::new(0, 0, 1000, w)),
+            (Layer::Metal(1), Rect::new(0, w + s - 1, 1000, 2 * w + s)),
+        ]);
+        let report = check(&layout, &rules);
+        assert_eq!(report.count_of(ViolationKind::Spacing), 1);
+    }
+
+    #[test]
+    fn touching_shapes_are_connected_not_violating() {
+        let rules = rules();
+        let w = nm(rules.min_width_um(Layer::Metal(1)));
+        let layout = layout_with(&[
+            (Layer::Metal(1), Rect::new(0, 0, 1000, w)),
+            (Layer::Metal(1), Rect::new(1000, 0, 2000, w)),
+        ]);
+        let report = check(&layout, &rules);
+        assert_eq!(report.count_of(ViolationKind::Spacing), 0);
+    }
+
+    #[test]
+    fn different_layers_do_not_interact_for_spacing() {
+        let rules = rules();
+        let w = nm(rules.min_width_um(Layer::Metal(1)));
+        let layout = layout_with(&[
+            (Layer::Metal(1), Rect::new(0, 0, 1000, w)),
+            (Layer::Metal(2), Rect::new(0, 1, 1000, w + 1)),
+        ]);
+        let report = check(&layout, &rules);
+        assert_eq!(report.count_of(ViolationKind::Spacing), 0);
+    }
+
+    #[test]
+    fn bare_via_flagged_for_enclosure() {
+        let rules = rules();
+        let vw = nm(rules.min_width_um(Layer::Via(1)));
+        let layout = layout_with(&[(Layer::Via(1), Rect::new(0, 0, vw, vw))]);
+        let report = check(&layout, &rules);
+        // Missing on both adjacent metals.
+        assert_eq!(report.count_of(ViolationKind::Enclosure), 2);
+    }
+
+    #[test]
+    fn properly_enclosed_via_passes() {
+        let rules = rules();
+        let vw = nm(rules.min_width_um(Layer::Via(1)));
+        let margin = nm(rules.via_enclosure_um(1));
+        let via = Rect::new(0, 0, vw, vw);
+        let pad = via.expanded(margin);
+        let layout = layout_with(&[
+            (Layer::Via(1), via),
+            (Layer::Metal(1), pad),
+            (Layer::Metal(2), pad),
+        ]);
+        let report = check(&layout, &rules);
+        assert_eq!(
+            report.count_of(ViolationKind::Enclosure),
+            0,
+            "{:?}",
+            report.violations
+        );
+    }
+}

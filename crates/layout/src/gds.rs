@@ -1,0 +1,400 @@
+//! Binary GDSII stream format writer and reader.
+//!
+//! Implements the subset of GDSII that carries the layouts this flow
+//! produces: `BOUNDARY` rectangles and `SREF` placements, with correct
+//! 8-byte excess-64 floating-point `UNITS` records, so the output loads in
+//! standard tools (KLayout, magic).
+
+use crate::db::{CellRef, Layout, LayoutCell};
+use crate::geom::Rect;
+use chipforge_pdk::Layer;
+use std::error::Error;
+use std::fmt;
+
+// Record types.
+const HEADER: u8 = 0x00;
+const BGNLIB: u8 = 0x01;
+const LIBNAME: u8 = 0x02;
+const UNITS: u8 = 0x03;
+const ENDLIB: u8 = 0x04;
+const BGNSTR: u8 = 0x05;
+const STRNAME: u8 = 0x06;
+const ENDSTR: u8 = 0x07;
+const BOUNDARY: u8 = 0x08;
+const SREF: u8 = 0x0A;
+const LAYER_REC: u8 = 0x0D;
+const DATATYPE: u8 = 0x0E;
+const XY: u8 = 0x10;
+const ENDEL: u8 = 0x11;
+const SNAME: u8 = 0x12;
+
+// Data types.
+const DT_NONE: u8 = 0x00;
+const DT_I16: u8 = 0x02;
+const DT_I32: u8 = 0x03;
+const DT_F64: u8 = 0x05;
+const DT_ASCII: u8 = 0x06;
+
+/// Errors from GDSII parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GdsError {
+    /// The byte stream ended inside a record.
+    Truncated,
+    /// A record had an impossible length or unknown structure.
+    Malformed(String),
+}
+
+impl fmt::Display for GdsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GdsError::Truncated => write!(f, "unexpected end of GDSII stream"),
+            GdsError::Malformed(what) => write!(f, "malformed GDSII: {what}"),
+        }
+    }
+}
+
+impl Error for GdsError {}
+
+/// Encodes an `f64` as a GDSII 8-byte excess-64 real.
+fn encode_real8(value: f64) -> [u8; 8] {
+    if value == 0.0 {
+        return [0; 8];
+    }
+    let sign = value < 0.0;
+    let mut v = value.abs();
+    let mut exponent = 64i32;
+    while v >= 1.0 {
+        v /= 16.0;
+        exponent += 1;
+    }
+    while v < 1.0 / 16.0 {
+        v *= 16.0;
+        exponent -= 1;
+    }
+    let mantissa = (v * 72_057_594_037_927_936.0) as u64; // 2^56
+    let mut out = [0u8; 8];
+    out[0] = (u8::from(sign) << 7) | (exponent as u8 & 0x7F);
+    for i in 0..7 {
+        out[1 + i] = ((mantissa >> (8 * (6 - i))) & 0xFF) as u8;
+    }
+    out
+}
+
+/// Decodes a GDSII 8-byte excess-64 real.
+fn decode_real8(bytes: &[u8]) -> f64 {
+    let sign = bytes[0] & 0x80 != 0;
+    let exponent = i32::from(bytes[0] & 0x7F) - 64;
+    let mut mantissa = 0u64;
+    for &b in &bytes[1..8] {
+        mantissa = (mantissa << 8) | u64::from(b);
+    }
+    let value = (mantissa as f64 / 72_057_594_037_927_936.0) * 16f64.powi(exponent);
+    if sign {
+        -value
+    } else {
+        value
+    }
+}
+
+fn push_record(out: &mut Vec<u8>, rec: u8, dt: u8, data: &[u8]) {
+    let len = (data.len() + 4) as u16;
+    out.extend_from_slice(&len.to_be_bytes());
+    out.push(rec);
+    out.push(dt);
+    out.extend_from_slice(data);
+}
+
+fn push_string_record(out: &mut Vec<u8>, rec: u8, s: &str) {
+    let mut data = s.as_bytes().to_vec();
+    if data.len() % 2 == 1 {
+        data.push(0);
+    }
+    push_record(out, rec, DT_ASCII, &data);
+}
+
+fn layer_of(layer: Layer) -> i16 {
+    layer.gds_layer()
+}
+
+fn layer_from_gds(num: i16) -> Layer {
+    match num {
+        1 => Layer::Diffusion,
+        2 => Layer::Poly,
+        n if (11..=40).contains(&n) => Layer::Metal((n - 10) as u8),
+        n if n > 50 => Layer::Via((n - 50) as u8),
+        _ => Layer::Metal(1),
+    }
+}
+
+/// Serializes a layout as a binary GDSII stream.
+#[must_use]
+pub fn write_gds(layout: &Layout) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_record(&mut out, HEADER, DT_I16, &600i16.to_be_bytes());
+    // Timestamps: fixed epoch for reproducible output.
+    let ts: Vec<u8> = std::iter::repeat_n(0i16.to_be_bytes(), 12)
+        .flatten()
+        .collect();
+    push_record(&mut out, BGNLIB, DT_I16, &ts);
+    push_string_record(&mut out, LIBNAME, layout.name());
+    // UNITS: db unit in user units (um), db unit in metres.
+    let mut units = Vec::new();
+    units.extend_from_slice(&encode_real8(layout.unit_m() / 1e-6));
+    units.extend_from_slice(&encode_real8(layout.unit_m()));
+    push_record(&mut out, UNITS, DT_F64, &units);
+
+    for cell in layout.cells() {
+        push_record(&mut out, BGNSTR, DT_I16, &ts);
+        push_string_record(&mut out, STRNAME, cell.name());
+        for (layer, rect) in cell.shapes() {
+            push_record(&mut out, BOUNDARY, DT_NONE, &[]);
+            push_record(&mut out, LAYER_REC, DT_I16, &layer_of(*layer).to_be_bytes());
+            push_record(&mut out, DATATYPE, DT_I16, &0i16.to_be_bytes());
+            let points = [
+                (rect.x0, rect.y0),
+                (rect.x1, rect.y0),
+                (rect.x1, rect.y1),
+                (rect.x0, rect.y1),
+                (rect.x0, rect.y0),
+            ];
+            let mut xy = Vec::with_capacity(40);
+            for (x, y) in points {
+                xy.extend_from_slice(&x.to_be_bytes());
+                xy.extend_from_slice(&y.to_be_bytes());
+            }
+            push_record(&mut out, XY, DT_I32, &xy);
+            push_record(&mut out, ENDEL, DT_NONE, &[]);
+        }
+        for r in cell.refs() {
+            push_record(&mut out, SREF, DT_NONE, &[]);
+            push_string_record(&mut out, SNAME, &r.cell);
+            let mut xy = Vec::with_capacity(8);
+            xy.extend_from_slice(&r.origin.0.to_be_bytes());
+            xy.extend_from_slice(&r.origin.1.to_be_bytes());
+            push_record(&mut out, XY, DT_I32, &xy);
+            push_record(&mut out, ENDEL, DT_NONE, &[]);
+        }
+        push_record(&mut out, ENDSTR, DT_NONE, &[]);
+    }
+    push_record(&mut out, ENDLIB, DT_NONE, &[]);
+    out
+}
+
+/// Parses a GDSII stream produced by [`write_gds`] (rectangular
+/// boundaries and SREFs).
+///
+/// # Errors
+///
+/// Returns [`GdsError`] on truncated or structurally invalid input.
+pub fn read_gds(bytes: &[u8]) -> Result<Layout, GdsError> {
+    let mut pos = 0usize;
+    let mut layout: Option<Layout> = None;
+    let mut lib_name = String::from("lib");
+    let mut unit_m = 1e-9;
+    let mut current_cell: Option<LayoutCell> = None;
+    let mut pending_layer: Option<i16> = None;
+    let mut pending_sname: Option<String> = None;
+    let mut in_boundary = false;
+    let mut in_sref = false;
+    let mut cells: Vec<LayoutCell> = Vec::new();
+
+    while pos + 4 <= bytes.len() {
+        let len = u16::from_be_bytes([bytes[pos], bytes[pos + 1]]) as usize;
+        if len < 4 || pos + len > bytes.len() {
+            return Err(GdsError::Malformed(format!("record length {len}")));
+        }
+        let rec = bytes[pos + 2];
+        let data = &bytes[pos + 4..pos + len];
+        match rec {
+            LIBNAME => {
+                lib_name = read_string(data);
+            }
+            UNITS => {
+                if data.len() < 16 {
+                    return Err(GdsError::Malformed("short UNITS".into()));
+                }
+                unit_m = decode_real8(&data[8..16]);
+            }
+            BGNSTR => {
+                current_cell = Some(LayoutCell::new(""));
+            }
+            STRNAME => {
+                if let Some(cell) = current_cell.take() {
+                    let _ = cell;
+                    current_cell = Some(LayoutCell::new(read_string(data)));
+                }
+            }
+            ENDSTR => {
+                if let Some(cell) = current_cell.take() {
+                    cells.push(cell);
+                }
+            }
+            BOUNDARY => {
+                in_boundary = true;
+            }
+            SREF => {
+                in_sref = true;
+            }
+            LAYER_REC if data.len() >= 2 => {
+                pending_layer = Some(i16::from_be_bytes([data[0], data[1]]));
+            }
+            SNAME => {
+                pending_sname = Some(read_string(data));
+            }
+            XY => {
+                let coords: Vec<i32> = data
+                    .chunks_exact(4)
+                    .map(|c| i32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect();
+                if in_boundary {
+                    if coords.len() < 8 {
+                        return Err(GdsError::Malformed("boundary with <4 points".into()));
+                    }
+                    let xs: Vec<i32> = coords.iter().step_by(2).copied().collect();
+                    let ys: Vec<i32> = coords.iter().skip(1).step_by(2).copied().collect();
+                    let rect = Rect::new(
+                        *xs.iter().min().expect("nonempty"),
+                        *ys.iter().min().expect("nonempty"),
+                        *xs.iter().max().expect("nonempty"),
+                        *ys.iter().max().expect("nonempty"),
+                    );
+                    let layer = layer_from_gds(pending_layer.unwrap_or(11));
+                    if let Some(cell) = current_cell.as_mut() {
+                        cell.add_shape(layer, rect);
+                    }
+                } else if in_sref {
+                    if coords.len() < 2 {
+                        return Err(GdsError::Malformed("SREF without origin".into()));
+                    }
+                    if let (Some(cell), Some(name)) = (current_cell.as_mut(), pending_sname.take())
+                    {
+                        cell.refs_push(CellRef {
+                            cell: name,
+                            origin: (coords[0], coords[1]),
+                        });
+                    }
+                }
+            }
+            ENDEL => {
+                in_boundary = false;
+                in_sref = false;
+                pending_layer = None;
+            }
+            ENDLIB => {
+                let mut result = Layout::new(lib_name.clone(), unit_m);
+                for cell in cells.drain(..) {
+                    result.add_cell(cell);
+                }
+                layout = Some(result);
+                break;
+            }
+            _ => {}
+        }
+        pos += len;
+    }
+    layout.ok_or(GdsError::Truncated)
+}
+
+fn read_string(data: &[u8]) -> String {
+    let end = data.iter().position(|&b| b == 0).unwrap_or(data.len());
+    String::from_utf8_lossy(&data[..end]).into_owned()
+}
+
+impl LayoutCell {
+    /// Internal helper used by the GDS reader.
+    fn refs_push(&mut self, r: CellRef) {
+        self.add_ref(r.cell, r.origin);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real8_round_trips() {
+        for v in [0.0, 1.0, -1.0, 1e-6, 1e-9, 0.001, 123_456.789, -2.5e-3] {
+            let encoded = encode_real8(v);
+            let decoded = decode_real8(&encoded);
+            let err = if v == 0.0 {
+                decoded.abs()
+            } else {
+                ((decoded - v) / v).abs()
+            };
+            assert!(err < 1e-12, "{v} -> {decoded}");
+        }
+    }
+
+    #[test]
+    fn known_real8_encoding_of_one_thousandth() {
+        // 0.001 in excess-64 is the canonical GDSII UNITS value
+        // 0x3E4189374BC6A7F0 (cited in the GDSII stream format reference).
+        let encoded = encode_real8(0.001);
+        assert_eq!(
+            encoded,
+            [0x3E, 0x41, 0x89, 0x37, 0x4B, 0xC6, 0xA7, 0xF0],
+            "{encoded:02x?}"
+        );
+    }
+
+    #[test]
+    fn layout_round_trips() {
+        let mut leaf = LayoutCell::new("inv");
+        leaf.add_shape(Layer::Poly, Rect::new(0, 0, 130, 500));
+        leaf.add_shape(Layer::Metal(1), Rect::new(-50, 0, 50, 1000));
+        let mut top = LayoutCell::new("top");
+        top.add_shape(Layer::Metal(2), Rect::new(0, 0, 5000, 170));
+        top.add_ref("inv", (1000, 2000));
+        let mut layout = Layout::new("testlib", 1e-9);
+        layout.add_cell(leaf);
+        layout.add_cell(top);
+
+        let bytes = write_gds(&layout);
+        let parsed = read_gds(&bytes).unwrap();
+        assert_eq!(parsed.name(), "testlib");
+        assert!((parsed.unit_m() - 1e-9).abs() < 1e-21);
+        assert_eq!(parsed.cells().len(), 2);
+        let inv = parsed.cell("inv").unwrap();
+        assert_eq!(inv.shapes().len(), 2);
+        assert_eq!(inv.shapes()[0], (Layer::Poly, Rect::new(0, 0, 130, 500)));
+        let top = parsed.cell("top").unwrap();
+        assert_eq!(top.refs().len(), 1);
+        assert_eq!(top.refs()[0].origin, (1000, 2000));
+        assert_eq!(parsed.flatten().len(), 3);
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let mut cell = LayoutCell::new("c");
+        cell.add_shape(Layer::Metal(1), Rect::new(0, 0, 10, 10));
+        let mut layout = Layout::new("l", 1e-9);
+        layout.add_cell(cell);
+        assert_eq!(write_gds(&layout), write_gds(&layout));
+    }
+
+    #[test]
+    fn reader_rejects_truncation() {
+        let mut cell = LayoutCell::new("c");
+        cell.add_shape(Layer::Metal(1), Rect::new(0, 0, 10, 10));
+        let mut layout = Layout::new("l", 1e-9);
+        layout.add_cell(cell);
+        let bytes = write_gds(&layout);
+        let err = read_gds(&bytes[..bytes.len() - 8]).unwrap_err();
+        assert!(matches!(err, GdsError::Truncated | GdsError::Malformed(_)));
+    }
+
+    #[test]
+    fn reader_rejects_garbage() {
+        assert!(read_gds(&[0xFF; 7]).is_err());
+        assert!(read_gds(&[]).is_err());
+    }
+
+    #[test]
+    fn stream_starts_with_header_record() {
+        let layout = Layout::new("l", 1e-9);
+        let bytes = write_gds(&layout);
+        assert_eq!(bytes[2], HEADER);
+        assert_eq!(&bytes[4..6], &600i16.to_be_bytes());
+    }
+}

@@ -1,0 +1,167 @@
+//! Integer rectangle geometry (database units of 1 nm).
+
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle in database units (1 nm).
+///
+/// Invariant: `x0 <= x1` and `y0 <= y1` (normalized on construction).
+///
+/// ```
+/// use chipforge_layout::Rect;
+/// let r = Rect::new(100, 50, 0, 0); // auto-normalized
+/// assert_eq!(r.width(), 100);
+/// assert_eq!(r.height(), 50);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left edge.
+    pub x0: i32,
+    /// Bottom edge.
+    pub y0: i32,
+    /// Right edge.
+    pub x1: i32,
+    /// Top edge.
+    pub y1: i32,
+}
+
+impl Rect {
+    /// Creates a normalized rectangle from two corners.
+    #[must_use]
+    pub fn new(x0: i32, y0: i32, x1: i32, y1: i32) -> Self {
+        Self {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// Width in database units.
+    #[must_use]
+    pub fn width(&self) -> i32 {
+        self.x1 - self.x0
+    }
+
+    /// Height in database units.
+    #[must_use]
+    pub fn height(&self) -> i32 {
+        self.y1 - self.y0
+    }
+
+    /// The smaller of width and height (the DRC "width" of a wire).
+    #[must_use]
+    pub fn min_dimension(&self) -> i32 {
+        self.width().min(self.height())
+    }
+
+    /// Area in square database units.
+    #[must_use]
+    pub fn area(&self) -> i64 {
+        i64::from(self.width()) * i64::from(self.height())
+    }
+
+    /// Whether two rectangles overlap or touch.
+    #[must_use]
+    pub fn touches(&self, other: &Rect) -> bool {
+        self.x0 <= other.x1 && other.x0 <= self.x1 && self.y0 <= other.y1 && other.y0 <= self.y1
+    }
+
+    /// Whether the interiors overlap (touching edges do not count).
+    #[must_use]
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x0 < other.x1 && other.x0 < self.x1 && self.y0 < other.y1 && other.y0 < self.y1
+    }
+
+    /// Whether `other` lies fully inside (or on the boundary of) `self`.
+    #[must_use]
+    pub fn contains(&self, other: &Rect) -> bool {
+        self.x0 <= other.x0 && self.y0 <= other.y0 && self.x1 >= other.x1 && self.y1 >= other.y1
+    }
+
+    /// Euclidean-free separation: the Chebyshev-style gap used for spacing
+    /// checks — the maximum of the x-gap and y-gap, or 0 if the rectangles
+    /// touch or overlap in both axes.
+    ///
+    /// Two rectangles violate a spacing rule `s` iff
+    /// `!touches && separation < s` on the axis where they clear each other.
+    #[must_use]
+    pub fn separation(&self, other: &Rect) -> i32 {
+        let dx = (other.x0 - self.x1).max(self.x0 - other.x1).max(0);
+        let dy = (other.y0 - self.y1).max(self.y0 - other.y1).max(0);
+        dx.max(dy)
+    }
+
+    /// This rectangle grown by `margin` on all sides.
+    #[must_use]
+    pub fn expanded(&self, margin: i32) -> Rect {
+        Rect::new(
+            self.x0 - margin,
+            self.y0 - margin,
+            self.x1 + margin,
+            self.y1 + margin,
+        )
+    }
+
+    /// Translates by `(dx, dy)`.
+    #[must_use]
+    pub fn translated(&self, dx: i32, dy: i32) -> Rect {
+        Rect::new(self.x0 + dx, self.y0 + dy, self.x1 + dx, self.y1 + dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        let r = Rect::new(10, 20, 0, 5);
+        assert_eq!((r.x0, r.y0, r.x1, r.y1), (0, 5, 10, 20));
+    }
+
+    #[test]
+    fn overlap_vs_touch() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(10, 0, 20, 10); // shares an edge
+        assert!(a.touches(&b));
+        assert!(!a.overlaps(&b));
+        let c = Rect::new(5, 5, 15, 15);
+        assert!(a.overlaps(&c));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Rect::new(0, 0, 100, 100);
+        let inner = Rect::new(10, 10, 90, 90);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(outer.contains(&outer), "containment is reflexive");
+    }
+
+    #[test]
+    fn separation_gaps() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(15, 0, 25, 10); // 5 apart in x
+        assert_eq!(a.separation(&b), 5);
+        let c = Rect::new(0, 13, 10, 20); // 3 apart in y
+        assert_eq!(a.separation(&c), 3);
+        let d = Rect::new(5, 5, 15, 15); // overlapping
+        assert_eq!(a.separation(&d), 0);
+        // Diagonal: both gaps count, max governs.
+        let e = Rect::new(14, 12, 20, 20);
+        assert_eq!(a.separation(&e), 4);
+    }
+
+    #[test]
+    fn expand_translate() {
+        let r = Rect::new(10, 10, 20, 20);
+        assert_eq!(r.expanded(5), Rect::new(5, 5, 25, 25));
+        assert_eq!(r.translated(-10, 10), Rect::new(0, 20, 10, 30));
+    }
+
+    #[test]
+    fn area_uses_i64() {
+        let r = Rect::new(0, 0, 1_000_000, 1_000_000);
+        assert_eq!(r.area(), 1_000_000_000_000);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests: rectangle algebra, GDSII round trips and DRC soundness.
+
+use chipforge_layout::{drc, gds, Layout, LayoutCell, Rect};
+use chipforge_pdk::{DesignRules, Layer, TechnologyNode};
+use proptest::prelude::*;
+
+fn any_rect() -> impl Strategy<Value = Rect> {
+    (
+        -10_000i32..10_000,
+        -10_000i32..10_000,
+        1i32..5_000,
+        1i32..5_000,
+    )
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+fn any_layer() -> impl Strategy<Value = Layer> {
+    prop_oneof![
+        Just(Layer::Diffusion),
+        Just(Layer::Poly),
+        (1u8..6).prop_map(Layer::Metal),
+        (1u8..5).prop_map(Layer::Via),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn separation_is_symmetric_and_zero_iff_touching(a in any_rect(), b in any_rect()) {
+        prop_assert_eq!(a.separation(&b), b.separation(&a));
+        if a.touches(&b) {
+            prop_assert_eq!(a.separation(&b), 0);
+        } else {
+            prop_assert!(a.separation(&b) > 0);
+        }
+    }
+
+    #[test]
+    fn expansion_preserves_containment(r in any_rect(), margin in 0i32..1000) {
+        let grown = r.expanded(margin);
+        prop_assert!(grown.contains(&r));
+        prop_assert_eq!(grown.width(), r.width() + 2 * margin);
+    }
+
+    #[test]
+    fn translation_preserves_dimensions(r in any_rect(), dx in -500i32..500, dy in -500i32..500) {
+        let moved = r.translated(dx, dy);
+        prop_assert_eq!(moved.width(), r.width());
+        prop_assert_eq!(moved.height(), r.height());
+        prop_assert_eq!(moved.area(), r.area());
+    }
+
+    #[test]
+    fn overlap_implies_touch(a in any_rect(), b in any_rect()) {
+        if a.overlaps(&b) {
+            prop_assert!(a.touches(&b));
+        }
+    }
+
+    #[test]
+    fn gds_round_trips_random_layouts(
+        shapes in proptest::collection::vec((any_layer(), any_rect()), 1..40),
+        name in "[a-zA-Z][a-zA-Z0-9_]{0,12}",
+    ) {
+        let mut cell = LayoutCell::new(name.clone());
+        for (layer, rect) in &shapes {
+            cell.add_shape(*layer, *rect);
+        }
+        let mut layout = Layout::new("proplib", 1e-9);
+        layout.add_cell(cell);
+        let bytes = gds::write_gds(&layout);
+        let parsed = gds::read_gds(&bytes).expect("round trip parses");
+        let original = layout.cell(&name).expect("exists");
+        let restored = parsed.cell(&name).expect("exists after round trip");
+        prop_assert_eq!(restored.shapes(), original.shapes());
+    }
+
+    #[test]
+    fn drc_accepts_well_separated_grids(cols in 1usize..5, rows in 1usize..5) {
+        // A grid of fat, well-spaced M1 rectangles must always pass.
+        let rules = DesignRules::for_node(TechnologyNode::N130);
+        let w = (rules.min_width_um(Layer::Metal(1)) * 1000.0) as i32 * 3;
+        let s = (rules.min_spacing_um(Layer::Metal(1)) * 1000.0) as i32 * 3;
+        let pitch = w + s;
+        let mut cell = LayoutCell::new("grid");
+        for i in 0..cols {
+            for j in 0..rows {
+                let x = i as i32 * pitch;
+                let y = j as i32 * pitch;
+                cell.add_shape(Layer::Metal(1), Rect::new(x, y, x + w, y + w));
+            }
+        }
+        let mut layout = Layout::new("t", 1e-9);
+        layout.add_cell(cell);
+        let report = drc::check(&layout, &rules);
+        prop_assert!(report.is_clean(), "{:?}", report.violations.first());
+    }
+
+    #[test]
+    fn drc_flags_every_too_narrow_shape(narrow_count in 1usize..10) {
+        let rules = DesignRules::for_node(TechnologyNode::N130);
+        let min_w = (rules.min_width_um(Layer::Metal(1)) * 1000.0) as i32;
+        let mut cell = LayoutCell::new("narrow");
+        for i in 0..narrow_count {
+            // Far apart, each 1 nm too narrow.
+            let x = i as i32 * 100_000;
+            cell.add_shape(Layer::Metal(1), Rect::new(x, 0, x + 10_000, min_w - 1));
+        }
+        let mut layout = Layout::new("t", 1e-9);
+        layout.add_cell(cell);
+        let report = drc::check(&layout, &rules);
+        prop_assert_eq!(report.count_of(drc::ViolationKind::Width), narrow_count);
+    }
+}

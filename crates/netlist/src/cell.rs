@@ -1,0 +1,395 @@
+//! Cell instances and their Boolean/sequential functions.
+
+use crate::ids::{CellId, NetId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The logical function computed by a [`Cell`].
+///
+/// The set covers the primitive gates produced by the `chipforge-synth`
+/// technology mapper plus the sequential elements supported by the flow.
+/// All functions have exactly one output. Input pin order is significant
+/// and documented per variant.
+///
+/// ```
+/// use chipforge_netlist::CellFunction;
+/// assert_eq!(CellFunction::Nand2.input_count(), 2);
+/// assert!(CellFunction::Dff.is_sequential());
+/// assert_eq!(CellFunction::Mux2.eval(&[false, true, true]), true);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellFunction {
+    /// Constant logic 0 (tie-low cell). No inputs.
+    Const0,
+    /// Constant logic 1 (tie-high cell). No inputs.
+    Const1,
+    /// Buffer: `y = a`.
+    Buf,
+    /// Inverter: `y = !a`.
+    Inv,
+    /// Two-input AND: `y = a & b`.
+    And2,
+    /// Two-input NAND: `y = !(a & b)`.
+    Nand2,
+    /// Two-input OR: `y = a | b`.
+    Or2,
+    /// Two-input NOR: `y = !(a | b)`.
+    Nor2,
+    /// Two-input XOR: `y = a ^ b`.
+    Xor2,
+    /// Two-input XNOR: `y = !(a ^ b)`.
+    Xnor2,
+    /// Three-input AND: `y = a & b & c`.
+    And3,
+    /// Three-input NAND: `y = !(a & b & c)`.
+    Nand3,
+    /// Three-input OR: `y = a | b | c`.
+    Or3,
+    /// Three-input NOR: `y = !(a | b | c)`.
+    Nor3,
+    /// AND-OR-invert: `y = !((a & b) | c)`. Inputs `[a, b, c]`.
+    Aoi21,
+    /// OR-AND-invert: `y = !((a | b) & c)`. Inputs `[a, b, c]`.
+    Oai21,
+    /// Two-to-one multiplexer: `y = s ? b : a`. Inputs `[a, b, s]`.
+    Mux2,
+    /// Majority-of-three: `y = ab | ac | bc` (full-adder carry).
+    Maj3,
+    /// Three-input XOR: `y = a ^ b ^ c` (full-adder sum).
+    Xor3,
+    /// Rising-edge D flip-flop on the implicit clock. Inputs `[d]`.
+    Dff,
+    /// D flip-flop with active-high enable. Inputs `[d, en]`.
+    DffEn,
+}
+
+impl CellFunction {
+    /// All functions, in a stable order (useful for iteration in library
+    /// generators and tests).
+    pub const ALL: [CellFunction; 21] = [
+        CellFunction::Const0,
+        CellFunction::Const1,
+        CellFunction::Buf,
+        CellFunction::Inv,
+        CellFunction::And2,
+        CellFunction::Nand2,
+        CellFunction::Or2,
+        CellFunction::Nor2,
+        CellFunction::Xor2,
+        CellFunction::Xnor2,
+        CellFunction::And3,
+        CellFunction::Nand3,
+        CellFunction::Or3,
+        CellFunction::Nor3,
+        CellFunction::Aoi21,
+        CellFunction::Oai21,
+        CellFunction::Mux2,
+        CellFunction::Maj3,
+        CellFunction::Xor3,
+        CellFunction::Dff,
+        CellFunction::DffEn,
+    ];
+
+    /// Number of input pins of the function.
+    #[must_use]
+    pub fn input_count(self) -> usize {
+        match self {
+            CellFunction::Const0 | CellFunction::Const1 => 0,
+            CellFunction::Buf | CellFunction::Inv | CellFunction::Dff => 1,
+            CellFunction::And2
+            | CellFunction::Nand2
+            | CellFunction::Or2
+            | CellFunction::Nor2
+            | CellFunction::Xor2
+            | CellFunction::Xnor2
+            | CellFunction::DffEn => 2,
+            CellFunction::And3
+            | CellFunction::Nand3
+            | CellFunction::Or3
+            | CellFunction::Nor3
+            | CellFunction::Aoi21
+            | CellFunction::Oai21
+            | CellFunction::Mux2
+            | CellFunction::Maj3
+            | CellFunction::Xor3 => 3,
+        }
+    }
+
+    /// Returns `true` for state-holding elements (flip-flops).
+    #[must_use]
+    pub fn is_sequential(self) -> bool {
+        matches!(self, CellFunction::Dff | CellFunction::DffEn)
+    }
+
+    /// Returns `true` for constant drivers (tie cells).
+    #[must_use]
+    pub fn is_constant(self) -> bool {
+        matches!(self, CellFunction::Const0 | CellFunction::Const1)
+    }
+
+    /// Evaluates the combinational function on the given input values.
+    ///
+    /// For sequential functions this evaluates the *next-state* function
+    /// given the current output as unavailable: `Dff` returns `d`, `DffEn`
+    /// is evaluated by the simulator which supplies the held value; calling
+    /// `eval` on `DffEn` returns `d` when `en` is high and panics otherwise
+    /// is avoided by returning `d & en`-style semantics — therefore the
+    /// simulator in `chipforge-hdl`/`chipforge-synth` special-cases `DffEn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.input_count()`.
+    #[must_use]
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert_eq!(
+            inputs.len(),
+            self.input_count(),
+            "wrong input count for {self}"
+        );
+        match self {
+            CellFunction::Const0 => false,
+            CellFunction::Const1 => true,
+            CellFunction::Buf => inputs[0],
+            CellFunction::Inv => !inputs[0],
+            CellFunction::And2 => inputs[0] & inputs[1],
+            CellFunction::Nand2 => !(inputs[0] & inputs[1]),
+            CellFunction::Or2 => inputs[0] | inputs[1],
+            CellFunction::Nor2 => !(inputs[0] | inputs[1]),
+            CellFunction::Xor2 => inputs[0] ^ inputs[1],
+            CellFunction::Xnor2 => !(inputs[0] ^ inputs[1]),
+            CellFunction::And3 => inputs[0] & inputs[1] & inputs[2],
+            CellFunction::Nand3 => !(inputs[0] & inputs[1] & inputs[2]),
+            CellFunction::Or3 => inputs[0] | inputs[1] | inputs[2],
+            CellFunction::Nor3 => !(inputs[0] | inputs[1] | inputs[2]),
+            CellFunction::Aoi21 => !((inputs[0] & inputs[1]) | inputs[2]),
+            CellFunction::Oai21 => !((inputs[0] | inputs[1]) & inputs[2]),
+            CellFunction::Mux2 => {
+                if inputs[2] {
+                    inputs[1]
+                } else {
+                    inputs[0]
+                }
+            }
+            CellFunction::Maj3 => {
+                (inputs[0] & inputs[1]) | (inputs[0] & inputs[2]) | (inputs[1] & inputs[2])
+            }
+            CellFunction::Xor3 => inputs[0] ^ inputs[1] ^ inputs[2],
+            CellFunction::Dff => inputs[0],
+            CellFunction::DffEn => inputs[0] & inputs[1],
+        }
+    }
+
+    /// Canonical pin names, in pin order, matching [`CellFunction::eval`].
+    #[must_use]
+    pub fn pin_names(self) -> &'static [&'static str] {
+        match self {
+            CellFunction::Const0 | CellFunction::Const1 => &[],
+            CellFunction::Buf | CellFunction::Inv => &["A"],
+            CellFunction::Dff => &["D"],
+            CellFunction::DffEn => &["D", "EN"],
+            CellFunction::And2
+            | CellFunction::Nand2
+            | CellFunction::Or2
+            | CellFunction::Nor2
+            | CellFunction::Xor2
+            | CellFunction::Xnor2 => &["A", "B"],
+            CellFunction::Mux2 => &["A", "B", "S"],
+            CellFunction::And3
+            | CellFunction::Nand3
+            | CellFunction::Or3
+            | CellFunction::Nor3
+            | CellFunction::Maj3
+            | CellFunction::Xor3 => &["A", "B", "C"],
+            CellFunction::Aoi21 | CellFunction::Oai21 => &["A", "B", "C"],
+        }
+    }
+}
+
+impl fmt::Display for CellFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CellFunction::Const0 => "CONST0",
+            CellFunction::Const1 => "CONST1",
+            CellFunction::Buf => "BUF",
+            CellFunction::Inv => "INV",
+            CellFunction::And2 => "AND2",
+            CellFunction::Nand2 => "NAND2",
+            CellFunction::Or2 => "OR2",
+            CellFunction::Nor2 => "NOR2",
+            CellFunction::Xor2 => "XOR2",
+            CellFunction::Xnor2 => "XNOR2",
+            CellFunction::And3 => "AND3",
+            CellFunction::Nand3 => "NAND3",
+            CellFunction::Or3 => "OR3",
+            CellFunction::Nor3 => "NOR3",
+            CellFunction::Aoi21 => "AOI21",
+            CellFunction::Oai21 => "OAI21",
+            CellFunction::Mux2 => "MUX2",
+            CellFunction::Maj3 => "MAJ3",
+            CellFunction::Xor3 => "XOR3",
+            CellFunction::Dff => "DFF",
+            CellFunction::DffEn => "DFFE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An instantiated gate inside a [`crate::Netlist`].
+///
+/// A cell records its instance name, logical [`CellFunction`], the name of
+/// the library cell chosen by technology mapping (e.g. `"NAND2_X1"`), its
+/// input nets in pin order and its single output net.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cell {
+    pub(crate) id: CellId,
+    pub(crate) name: String,
+    pub(crate) function: CellFunction,
+    pub(crate) lib_cell: String,
+    pub(crate) inputs: Vec<NetId>,
+    pub(crate) output: NetId,
+}
+
+impl Cell {
+    /// Identifier of this cell within its owning netlist.
+    #[must_use]
+    pub fn id(&self) -> CellId {
+        self.id
+    }
+
+    /// Instance name (unique within the netlist).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Logical function of the cell.
+    #[must_use]
+    pub fn function(&self) -> CellFunction {
+        self.function
+    }
+
+    /// Name of the library cell implementing the function.
+    #[must_use]
+    pub fn lib_cell(&self) -> &str {
+        &self.lib_cell
+    }
+
+    /// Rebinds the cell to a different library cell (e.g. after sizing).
+    pub fn set_lib_cell(&mut self, lib_cell: impl Into<String>) {
+        self.lib_cell = lib_cell.into();
+    }
+
+    /// Input nets in pin order (see [`CellFunction::pin_names`]).
+    #[must_use]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The single output net.
+    #[must_use]
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+
+    /// Returns `true` for state-holding cells.
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        self.function.is_sequential()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_counts_match_pin_names() {
+        for f in [
+            CellFunction::Const0,
+            CellFunction::Inv,
+            CellFunction::Nand2,
+            CellFunction::Mux2,
+            CellFunction::Aoi21,
+            CellFunction::Dff,
+            CellFunction::DffEn,
+            CellFunction::Xor3,
+        ] {
+            assert_eq!(f.input_count(), f.pin_names().len(), "{f}");
+        }
+    }
+
+    #[test]
+    fn eval_truth_tables() {
+        use CellFunction as F;
+        assert!(!F::Const0.eval(&[]));
+        assert!(F::Const1.eval(&[]));
+        assert!(F::Inv.eval(&[false]));
+        assert!(!F::Nand2.eval(&[true, true]));
+        assert!(F::Nand2.eval(&[true, false]));
+        assert!(F::Nor2.eval(&[false, false]));
+        assert!(F::Xor2.eval(&[true, false]));
+        assert!(!F::Xnor2.eval(&[true, false]));
+        assert!(F::Aoi21.eval(&[false, true, false]));
+        assert!(!F::Aoi21.eval(&[true, true, false]));
+        assert!(F::Oai21.eval(&[false, false, true]));
+        assert!(!F::Oai21.eval(&[true, false, true]));
+        assert!(F::Maj3.eval(&[true, true, false]));
+        assert!(!F::Maj3.eval(&[true, false, false]));
+        assert!(F::Xor3.eval(&[true, true, true]));
+        assert!(!F::Xor3.eval(&[true, true, false]));
+    }
+
+    #[test]
+    fn mux_selects_correct_input() {
+        // s = 0 -> a, s = 1 -> b
+        assert!(!CellFunction::Mux2.eval(&[false, true, false]));
+        assert!(CellFunction::Mux2.eval(&[false, true, true]));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong input count")]
+    fn eval_panics_on_arity_mismatch() {
+        let _ = CellFunction::And2.eval(&[true]);
+    }
+
+    #[test]
+    fn sequential_classification() {
+        assert!(CellFunction::Dff.is_sequential());
+        assert!(CellFunction::DffEn.is_sequential());
+        assert!(!CellFunction::Nand2.is_sequential());
+        assert!(CellFunction::Const1.is_constant());
+        assert!(!CellFunction::Buf.is_constant());
+    }
+
+    #[test]
+    fn display_names_are_unique() {
+        use std::collections::HashSet;
+        let mut names = HashSet::new();
+        for f in [
+            CellFunction::Const0,
+            CellFunction::Const1,
+            CellFunction::Buf,
+            CellFunction::Inv,
+            CellFunction::And2,
+            CellFunction::Nand2,
+            CellFunction::Or2,
+            CellFunction::Nor2,
+            CellFunction::Xor2,
+            CellFunction::Xnor2,
+            CellFunction::And3,
+            CellFunction::Nand3,
+            CellFunction::Or3,
+            CellFunction::Nor3,
+            CellFunction::Aoi21,
+            CellFunction::Oai21,
+            CellFunction::Mux2,
+            CellFunction::Maj3,
+            CellFunction::Xor3,
+            CellFunction::Dff,
+            CellFunction::DffEn,
+        ] {
+            assert!(names.insert(f.to_string()), "duplicate name {f}");
+        }
+        assert_eq!(names.len(), 21);
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type shared by netlist construction and validation.
+
+use crate::ids::{CellId, NetId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating or parsing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A cell or net name was declared twice.
+    DuplicateName(String),
+    /// A cell was connected with the wrong number of input nets.
+    ArityMismatch {
+        /// Instance name of the offending cell.
+        cell: String,
+        /// Number of inputs the function expects.
+        expected: usize,
+        /// Number of inputs supplied.
+        found: usize,
+    },
+    /// Two drivers were attached to the same net.
+    MultipleDrivers(NetId),
+    /// A net referenced by a cell or port does not exist.
+    UnknownNet(NetId),
+    /// A cell id does not exist.
+    UnknownCell(CellId),
+    /// Validation found a net with no driver.
+    UndrivenNet {
+        /// The floating net.
+        net: NetId,
+        /// Its name, for diagnostics.
+        name: String,
+    },
+    /// The combinational portion of the netlist contains a cycle.
+    CombinationalLoop {
+        /// A cell participating in the cycle.
+        cell: CellId,
+        /// Its instance name.
+        name: String,
+    },
+    /// Structural Verilog input could not be parsed.
+    Parse {
+        /// 1-based source line of the problem.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName(name) => write!(f, "duplicate name `{name}`"),
+            NetlistError::ArityMismatch {
+                cell,
+                expected,
+                found,
+            } => write!(
+                f,
+                "cell `{cell}` expects {expected} inputs but {found} were supplied"
+            ),
+            NetlistError::MultipleDrivers(net) => {
+                write!(f, "net {net} already has a driver")
+            }
+            NetlistError::UnknownNet(net) => write!(f, "unknown net {net}"),
+            NetlistError::UnknownCell(cell) => write!(f, "unknown cell {cell}"),
+            NetlistError::UndrivenNet { net, name } => {
+                write!(f, "net {net} (`{name}`) has no driver")
+            }
+            NetlistError::CombinationalLoop { cell, name } => {
+                write!(f, "combinational loop through cell {cell} (`{name}`)")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let err = NetlistError::DuplicateName("foo".into());
+        assert_eq!(err.to_string(), "duplicate name `foo`");
+        let err = NetlistError::ArityMismatch {
+            cell: "u1".into(),
+            expected: 2,
+            found: 3,
+        };
+        assert!(err.to_string().contains("expects 2 inputs"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,633 @@
+//! The flat gate-level netlist graph.
+
+use crate::cell::{Cell, CellFunction};
+use crate::error::NetlistError;
+use crate::ids::{CellId, NetId};
+use crate::net::{Net, NetDriver};
+use crate::stats::NetlistStats;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A flat, mapped, single-clock gate-level netlist.
+///
+/// The netlist is an append-only graph: cells and nets can be added and
+/// rewired, but identifiers stay stable for the lifetime of the object,
+/// which lets downstream engines (placement, timing) use dense vectors
+/// indexed by [`CellId`]/[`NetId`].
+///
+/// See the [crate-level documentation](crate) for a construction example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    name: String,
+    cells: Vec<Cell>,
+    nets: Vec<Net>,
+    /// Primary inputs as `(port_name, net)` in declaration order.
+    inputs: Vec<(String, NetId)>,
+    /// Primary outputs as `(port_name, net)` in declaration order.
+    outputs: Vec<(String, NetId)>,
+    names: HashMap<String, ()>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given module name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            cells: Vec::new(),
+            nets: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            names: HashMap::new(),
+        }
+    }
+
+    /// Module name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of nets.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Primary inputs as `(port_name, net)` pairs in declaration order.
+    #[must_use]
+    pub fn inputs(&self) -> &[(String, NetId)] {
+        &self.inputs
+    }
+
+    /// Primary outputs as `(port_name, net)` pairs in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[(String, NetId)] {
+        &self.outputs
+    }
+
+    /// Adds a fresh net with a unique name.
+    ///
+    /// If `name` collides with an existing name a numeric suffix is
+    /// appended, so `add_net` never fails.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let name = self.unique_name(name.into());
+        let id = NetId::new(self.nets.len());
+        self.nets.push(Net {
+            id,
+            name,
+            driver: None,
+            sinks: Vec::new(),
+            is_output: false,
+        });
+        id
+    }
+
+    /// Declares a primary input port and returns the net it drives.
+    pub fn add_input(&mut self, port: impl Into<String>) -> NetId {
+        let port = port.into();
+        let net = self.add_net(port.clone());
+        let index = self.inputs.len();
+        self.nets[net.index()].driver = Some(NetDriver::Input(index));
+        self.inputs.push((port, net));
+        net
+    }
+
+    /// Marks an existing net as driving a primary output port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownNet`] if `net` does not exist.
+    pub fn mark_output(&mut self, port: impl Into<String>, net: NetId) -> Result<(), NetlistError> {
+        if net.index() >= self.nets.len() {
+            return Err(NetlistError::UnknownNet(net));
+        }
+        self.nets[net.index()].is_output = true;
+        self.outputs.push((port.into(), net));
+        Ok(())
+    }
+
+    /// Instantiates a cell driving `output` from `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::ArityMismatch`] if `inputs.len()` does not match
+    ///   [`CellFunction::input_count`];
+    /// * [`NetlistError::UnknownNet`] if any referenced net does not exist;
+    /// * [`NetlistError::MultipleDrivers`] if `output` already has a driver.
+    pub fn add_cell(
+        &mut self,
+        name: impl Into<String>,
+        function: CellFunction,
+        lib_cell: impl Into<String>,
+        inputs: &[NetId],
+        output: NetId,
+    ) -> Result<CellId, NetlistError> {
+        let name = self.unique_name(name.into());
+        if inputs.len() != function.input_count() {
+            return Err(NetlistError::ArityMismatch {
+                cell: name,
+                expected: function.input_count(),
+                found: inputs.len(),
+            });
+        }
+        for &net in inputs.iter().chain(std::iter::once(&output)) {
+            if net.index() >= self.nets.len() {
+                return Err(NetlistError::UnknownNet(net));
+            }
+        }
+        if self.nets[output.index()].driver.is_some() {
+            return Err(NetlistError::MultipleDrivers(output));
+        }
+        let id = CellId::new(self.cells.len());
+        for (pin, &net) in inputs.iter().enumerate() {
+            self.nets[net.index()].sinks.push((id, pin));
+        }
+        self.nets[output.index()].driver = Some(NetDriver::Cell(id));
+        self.cells.push(Cell {
+            id,
+            name,
+            function,
+            lib_cell: lib_cell.into(),
+            inputs: inputs.to_vec(),
+            output,
+        });
+        Ok(id)
+    }
+
+    /// Looks up a cell by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this netlist.
+    #[must_use]
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Mutable access to a cell (for re-sizing `lib_cell` bindings).
+    #[must_use]
+    pub fn cell_mut(&mut self, id: CellId) -> &mut Cell {
+        &mut self.cells[id.index()]
+    }
+
+    /// Looks up a net by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this netlist.
+    #[must_use]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Iterates over all cells in id order.
+    pub fn cells(&self) -> impl Iterator<Item = &Cell> {
+        self.cells.iter()
+    }
+
+    /// Iterates over all nets in id order.
+    pub fn nets(&self) -> impl Iterator<Item = &Net> {
+        self.nets.iter()
+    }
+
+    /// Finds a net by name (linear scan; intended for tests and I/O).
+    #[must_use]
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.nets.iter().find(|n| n.name == name).map(|n| n.id)
+    }
+
+    /// Finds a cell by instance name (linear scan; tests and I/O only).
+    #[must_use]
+    pub fn find_cell(&self, name: &str) -> Option<CellId> {
+        self.cells.iter().find(|c| c.name == name).map(|c| c.id)
+    }
+
+    /// Checks structural invariants: every net is driven and the
+    /// combinational core is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UndrivenNet`] or
+    /// [`NetlistError::CombinationalLoop`] on the first violation found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for net in &self.nets {
+            if net.driver.is_none() {
+                return Err(NetlistError::UndrivenNet {
+                    net: net.id,
+                    name: net.name.clone(),
+                });
+            }
+        }
+        self.combinational_order().map(|_| ())
+    }
+
+    /// Returns all combinational cells in topological order.
+    ///
+    /// Sequential cell outputs and primary inputs are treated as sources;
+    /// sequential cells themselves are not part of the order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalLoop`] if the combinational
+    /// core contains a cycle.
+    pub fn combinational_order(&self) -> Result<Vec<CellId>, NetlistError> {
+        // Kahn's algorithm over combinational cells only.
+        let mut indegree = vec![0usize; self.cells.len()];
+        for cell in &self.cells {
+            if cell.function.is_sequential() {
+                continue;
+            }
+            for &input in &cell.inputs {
+                if let Some(NetDriver::Cell(src)) = self.nets[input.index()].driver {
+                    if !self.cells[src.index()].function.is_sequential() {
+                        indegree[cell.id.index()] += 1;
+                    }
+                }
+            }
+        }
+        let mut queue: Vec<CellId> = self
+            .cells
+            .iter()
+            .filter(|c| !c.function.is_sequential() && indegree[c.id.index()] == 0)
+            .map(|c| c.id)
+            .collect();
+        let mut order = Vec::with_capacity(self.cells.len());
+        while let Some(id) = queue.pop() {
+            order.push(id);
+            let out = self.cells[id.index()].output;
+            for &(sink, _) in &self.nets[out.index()].sinks {
+                if self.cells[sink.index()].function.is_sequential() {
+                    continue;
+                }
+                indegree[sink.index()] -= 1;
+                if indegree[sink.index()] == 0 {
+                    queue.push(sink);
+                }
+            }
+        }
+        let comb_total = self
+            .cells
+            .iter()
+            .filter(|c| !c.function.is_sequential())
+            .count();
+        if order.len() != comb_total {
+            let cell = self
+                .cells
+                .iter()
+                .find(|c| !c.function.is_sequential() && indegree[c.id.index()] > 0)
+                .expect("a cell with nonzero indegree must remain");
+            return Err(NetlistError::CombinationalLoop {
+                cell: cell.id,
+                name: cell.name.clone(),
+            });
+        }
+        Ok(order)
+    }
+
+    /// Number of logic levels on the longest combinational path.
+    ///
+    /// Returns 0 for purely sequential or empty netlists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError::CombinationalLoop`].
+    pub fn logic_depth(&self) -> Result<usize, NetlistError> {
+        let order = self.combinational_order()?;
+        let mut level = vec![0usize; self.cells.len()];
+        let mut max = 0;
+        // `order` from Kahn is a valid topological order (sources first).
+        for id in order {
+            let cell = &self.cells[id.index()];
+            let mut lvl = 1;
+            for &input in &cell.inputs {
+                if let Some(NetDriver::Cell(src)) = self.nets[input.index()].driver {
+                    if !self.cells[src.index()].function.is_sequential() {
+                        lvl = lvl.max(level[src.index()] + 1);
+                    }
+                }
+            }
+            level[id.index()] = lvl;
+            max = max.max(lvl);
+        }
+        Ok(max)
+    }
+
+    /// Simulates one evaluation of the combinational logic given primary
+    /// input values and current flip-flop states.
+    ///
+    /// `ff_state` maps sequential [`CellId`]s to their current output value;
+    /// missing entries default to `false`. Returns the value of every net.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError::CombinationalLoop`]; returns
+    /// [`NetlistError::ArityMismatch`]-style errors via `validate` first if
+    /// the netlist is malformed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_values.len() != self.inputs().len()`.
+    pub fn eval_combinational(
+        &self,
+        input_values: &[bool],
+        ff_state: &HashMap<CellId, bool>,
+    ) -> Result<Vec<bool>, NetlistError> {
+        assert_eq!(
+            input_values.len(),
+            self.inputs.len(),
+            "one value per primary input required"
+        );
+        let order = self.combinational_order()?;
+        let mut net_values = vec![false; self.nets.len()];
+        for (index, &(_, net)) in self.inputs.iter().enumerate() {
+            net_values[net.index()] = input_values[index];
+        }
+        for cell in &self.cells {
+            if cell.function.is_sequential() {
+                let value = ff_state.get(&cell.id).copied().unwrap_or(false);
+                net_values[cell.output.index()] = value;
+            }
+        }
+        for id in order {
+            let cell = &self.cells[id.index()];
+            let inputs: Vec<bool> = cell.inputs.iter().map(|n| net_values[n.index()]).collect();
+            net_values[cell.output.index()] = cell.function.eval(&inputs);
+        }
+        Ok(net_values)
+    }
+
+    /// Advances flip-flop state by one clock edge given evaluated net
+    /// values (from [`Netlist::eval_combinational`]).
+    #[must_use]
+    pub fn next_state(
+        &self,
+        net_values: &[bool],
+        ff_state: &HashMap<CellId, bool>,
+    ) -> HashMap<CellId, bool> {
+        let mut next = HashMap::new();
+        for cell in &self.cells {
+            match cell.function {
+                CellFunction::Dff => {
+                    next.insert(cell.id, net_values[cell.inputs[0].index()]);
+                }
+                CellFunction::DffEn => {
+                    let d = net_values[cell.inputs[0].index()];
+                    let en = net_values[cell.inputs[1].index()];
+                    let held = ff_state.get(&cell.id).copied().unwrap_or(false);
+                    next.insert(cell.id, if en { d } else { held });
+                }
+                _ => {}
+            }
+        }
+        next
+    }
+
+    /// Summary statistics for reporting.
+    #[must_use]
+    pub fn stats(&self) -> NetlistStats {
+        let mut seq = 0usize;
+        let mut comb = 0usize;
+        for cell in &self.cells {
+            if cell.function.is_sequential() {
+                seq += 1;
+            } else {
+                comb += 1;
+            }
+        }
+        let total_fanout: usize = self.nets.iter().map(Net::fanout).sum();
+        let driven = self.nets.iter().filter(|n| n.driver.is_some()).count();
+        NetlistStats {
+            cells: self.cells.len(),
+            combinational_cells: comb,
+            sequential_cells: seq,
+            nets: self.nets.len(),
+            inputs: self.inputs.len(),
+            outputs: self.outputs.len(),
+            average_fanout: if driven == 0 {
+                0.0
+            } else {
+                total_fanout as f64 / driven as f64
+            },
+            logic_depth: self.logic_depth().unwrap_or(0),
+        }
+    }
+
+    /// Cell counts per function, in [`CellFunction::ALL`] order (functions
+    /// with zero instances are omitted).
+    #[must_use]
+    pub fn function_histogram(&self) -> Vec<(CellFunction, usize)> {
+        CellFunction::ALL
+            .into_iter()
+            .filter_map(|f| {
+                let count = self.cells.iter().filter(|c| c.function == f).count();
+                (count > 0).then_some((f, count))
+            })
+            .collect()
+    }
+
+    fn unique_name(&mut self, base: String) -> String {
+        if self.names.insert(base.clone(), ()).is_none() {
+            return base;
+        }
+        let mut counter = 1usize;
+        loop {
+            let candidate = format!("{base}_{counter}");
+            if self.names.insert(candidate.clone(), ()).is_none() {
+                return candidate;
+            }
+            counter += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_adder() -> Netlist {
+        let mut nl = Netlist::new("full_adder");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let cin = nl.add_input("cin");
+        let sum = nl.add_net("sum");
+        let cout = nl.add_net("cout");
+        nl.add_cell("u_sum", CellFunction::Xor3, "XOR3_X1", &[a, b, cin], sum)
+            .unwrap();
+        nl.add_cell("u_carry", CellFunction::Maj3, "MAJ3_X1", &[a, b, cin], cout)
+            .unwrap();
+        nl.mark_output("sum", sum).unwrap();
+        nl.mark_output("cout", cout).unwrap();
+        nl
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let nl = full_adder();
+        nl.validate().unwrap();
+        let state = HashMap::new();
+        for a in [false, true] {
+            for b in [false, true] {
+                for cin in [false, true] {
+                    let values = nl.eval_combinational(&[a, b, cin], &state).unwrap();
+                    let sum = values[nl.find_net("sum").unwrap().index()];
+                    let cout = values[nl.find_net("cout").unwrap().index()];
+                    let expected = u8::from(a) + u8::from(b) + u8::from(cin);
+                    assert_eq!(u8::from(sum) + 2 * u8::from(cout), expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_names_are_uniquified() {
+        let mut nl = Netlist::new("t");
+        let n1 = nl.add_net("w");
+        let n2 = nl.add_net("w");
+        assert_ne!(nl.net(n1).name(), nl.net(n2).name());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_net("y");
+        let err = nl
+            .add_cell("u", CellFunction::And2, "AND2_X1", &[a], y)
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn double_driver_rejected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_net("y");
+        nl.add_cell("u1", CellFunction::Inv, "INV_X1", &[a], y)
+            .unwrap();
+        let err = nl
+            .add_cell("u2", CellFunction::Buf, "BUF_X1", &[a], y)
+            .unwrap_err();
+        assert_eq!(err, NetlistError::MultipleDrivers(y));
+    }
+
+    #[test]
+    fn undriven_net_fails_validation() {
+        let mut nl = Netlist::new("t");
+        let floating = nl.add_net("floating");
+        let y = nl.add_net("y");
+        nl.add_cell("u", CellFunction::Inv, "INV_X1", &[floating], y)
+            .unwrap();
+        let err = nl.validate().unwrap_err();
+        assert!(matches!(err, NetlistError::UndrivenNet { .. }));
+    }
+
+    #[test]
+    fn combinational_loop_detected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        nl.add_cell("u1", CellFunction::Inv, "INV_X1", &[a], b)
+            .unwrap();
+        nl.add_cell("u2", CellFunction::Inv, "INV_X1", &[b], a)
+            .unwrap();
+        let err = nl.validate().unwrap_err();
+        assert!(matches!(err, NetlistError::CombinationalLoop { .. }));
+    }
+
+    #[test]
+    fn dff_breaks_loops() {
+        // a toggle flip-flop: q -> inv -> d -> dff -> q is fine.
+        let mut nl = Netlist::new("toggle");
+        let q = nl.add_net("q");
+        let d = nl.add_net("d");
+        let ff = nl
+            .add_cell("u_ff", CellFunction::Dff, "DFF_X1", &[d], q)
+            .unwrap();
+        nl.add_cell("u_inv", CellFunction::Inv, "INV_X1", &[q], d)
+            .unwrap();
+        nl.mark_output("q", q).unwrap();
+        nl.validate().unwrap();
+
+        // Simulate four edges: q = 0, 1, 0, 1.
+        let mut state: HashMap<CellId, bool> = HashMap::new();
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            let values = nl.eval_combinational(&[], &state).unwrap();
+            seen.push(values[q.index()]);
+            state = nl.next_state(&values, &state);
+        }
+        assert_eq!(seen, vec![false, true, false, true]);
+        let _ = ff;
+    }
+
+    #[test]
+    fn dff_en_holds_value_when_disabled() {
+        let mut nl = Netlist::new("hold");
+        let d = nl.add_input("d");
+        let en = nl.add_input("en");
+        let q = nl.add_net("q");
+        let ff = nl
+            .add_cell("u_ff", CellFunction::DffEn, "DFFE_X1", &[d, en], q)
+            .unwrap();
+        nl.mark_output("q", q).unwrap();
+
+        let mut state = HashMap::new();
+        // load 1 with enable
+        let v = nl.eval_combinational(&[true, true], &state).unwrap();
+        state = nl.next_state(&v, &state);
+        assert!(state[&ff]);
+        // d=0 but enable low: hold
+        let v = nl.eval_combinational(&[false, false], &state).unwrap();
+        state = nl.next_state(&v, &state);
+        assert!(state[&ff]);
+        // enable high: capture 0
+        let v = nl.eval_combinational(&[false, true], &state).unwrap();
+        state = nl.next_state(&v, &state);
+        assert!(!state[&ff]);
+    }
+
+    #[test]
+    fn stats_report_counts_and_depth() {
+        let nl = full_adder();
+        let stats = nl.stats();
+        assert_eq!(stats.cells, 2);
+        assert_eq!(stats.combinational_cells, 2);
+        assert_eq!(stats.sequential_cells, 0);
+        assert_eq!(stats.inputs, 3);
+        assert_eq!(stats.outputs, 2);
+        assert_eq!(stats.logic_depth, 1);
+        assert!(stats.average_fanout > 0.0);
+    }
+
+    #[test]
+    fn function_histogram_counts_instances() {
+        let nl = full_adder();
+        let hist = nl.function_histogram();
+        assert_eq!(hist.len(), 2);
+        assert!(hist.contains(&(CellFunction::Maj3, 1)));
+        assert!(hist.contains(&(CellFunction::Xor3, 1)));
+        let total: usize = hist.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, nl.cell_count());
+    }
+
+    #[test]
+    fn logic_depth_chains() {
+        let mut nl = Netlist::new("chain");
+        let mut prev = nl.add_input("a");
+        for i in 0..5 {
+            let next = nl.add_net(format!("w{i}"));
+            nl.add_cell(format!("u{i}"), CellFunction::Inv, "INV_X1", &[prev], next)
+                .unwrap();
+            prev = next;
+        }
+        nl.mark_output("y", prev).unwrap();
+        assert_eq!(nl.logic_depth().unwrap(), 5);
+    }
+}

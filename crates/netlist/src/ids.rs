@@ -1,0 +1,92 @@
+//! Index newtypes addressing objects inside a [`crate::Netlist`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a [`crate::Cell`] inside a [`crate::Netlist`].
+///
+/// `CellId`s are dense indices assigned in insertion order; they are only
+/// meaningful relative to the netlist that produced them.
+///
+/// ```
+/// use chipforge_netlist::CellId;
+/// let id = CellId::new(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(id.to_string(), "c3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CellId(u32);
+
+/// Identifier of a [`crate::Net`] inside a [`crate::Netlist`].
+///
+/// ```
+/// use chipforge_netlist::NetId;
+/// let id = NetId::new(7);
+/// assert_eq!(id.index(), 7);
+/// assert_eq!(id.to_string(), "n7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetId(u32);
+
+macro_rules! impl_id {
+    ($ty:ident, $prefix:literal) => {
+        impl $ty {
+            /// Creates an identifier from a raw dense index.
+            #[must_use]
+            pub fn new(index: usize) -> Self {
+                Self(index as u32)
+            }
+
+            /// Returns the dense index backing this identifier.
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$ty> for usize {
+            fn from(id: $ty) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+impl_id!(CellId, "c");
+impl_id!(NetId, "n");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_id_round_trips_index() {
+        let id = CellId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn net_id_round_trips_index() {
+        let id = NetId::new(0);
+        assert_eq!(id.index(), 0);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(CellId::new(1) < CellId::new(2));
+        assert!(NetId::new(3) > NetId::new(1));
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(CellId::new(5).to_string(), "c5");
+        assert_eq!(NetId::new(9).to_string(), "n9");
+    }
+}

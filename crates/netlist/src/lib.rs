@@ -1,0 +1,63 @@
+//! # chipforge-netlist
+//!
+//! Gate-level netlist database for the `chipforge` EDA flow.
+//!
+//! This crate provides the central in-memory design representation shared by
+//! the synthesis, timing, placement and routing crates: a flat,
+//! single-clock-domain, mapped gate-level netlist.
+//!
+//! The model is deliberately simple but complete enough to carry a design
+//! from technology mapping to GDSII:
+//!
+//! * a [`Netlist`] owns [`Cell`]s and [`Net`]s addressed by the index
+//!   newtypes [`CellId`] and [`NetId`];
+//! * every cell has a single output pin (multi-output macros are modelled as
+//!   cell groups), a [`CellFunction`] describing its Boolean/sequential
+//!   behaviour, and the name of the library cell implementing it;
+//! * sequential elements ([`CellFunction::Dff`], [`CellFunction::DffEn`])
+//!   belong to one implicit clock domain — the common case for small
+//!   academic tape-outs and the simplification used throughout the flow.
+//!
+//! ## Example
+//!
+//! Build a one-bit half adder netlist by hand and inspect it:
+//!
+//! ```
+//! use chipforge_netlist::{CellFunction, Netlist};
+//!
+//! # fn main() -> Result<(), chipforge_netlist::NetlistError> {
+//! let mut nl = Netlist::new("half_adder");
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let sum = nl.add_net("sum");
+//! let carry = nl.add_net("carry");
+//! nl.add_cell("u_xor", CellFunction::Xor2, "XOR2_X1", &[a, b], sum)?;
+//! nl.add_cell("u_and", CellFunction::And2, "AND2_X1", &[a, b], carry)?;
+//! nl.mark_output("sum", sum)?;
+//! nl.mark_output("carry", carry)?;
+//! nl.validate()?;
+//! assert_eq!(nl.stats().combinational_cells, 2);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Netlists can be written to and parsed back from a structural Verilog
+//! subset via [`verilog::write_verilog`] and [`verilog::parse_verilog`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+mod error;
+mod graph;
+mod ids;
+mod net;
+mod stats;
+pub mod verilog;
+
+pub use cell::{Cell, CellFunction};
+pub use error::NetlistError;
+pub use graph::Netlist;
+pub use ids::{CellId, NetId};
+pub use net::{Net, NetDriver};
+pub use stats::NetlistStats;

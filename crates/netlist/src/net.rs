@@ -1,0 +1,113 @@
+//! Nets (wires) connecting cell pins and ports.
+
+use crate::ids::{CellId, NetId};
+use serde::{Deserialize, Serialize};
+
+/// The object driving a [`Net`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetDriver {
+    /// Driven by the output pin of a cell.
+    Cell(CellId),
+    /// Driven by the primary input port with the given index into
+    /// [`crate::Netlist::inputs`].
+    Input(usize),
+}
+
+/// A wire in the netlist, with one driver and any number of sinks.
+///
+/// Sinks are `(cell, pin_index)` pairs; a net listed in
+/// [`crate::Netlist::outputs`] additionally drives a primary output port.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Net {
+    pub(crate) id: NetId,
+    pub(crate) name: String,
+    pub(crate) driver: Option<NetDriver>,
+    pub(crate) sinks: Vec<(CellId, usize)>,
+    pub(crate) is_output: bool,
+}
+
+impl Net {
+    /// Identifier of this net within its owning netlist.
+    #[must_use]
+    pub fn id(&self) -> NetId {
+        self.id
+    }
+
+    /// Net name (unique within the netlist).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The driver of this net, if connected.
+    #[must_use]
+    pub fn driver(&self) -> Option<NetDriver> {
+        self.driver
+    }
+
+    /// `(cell, input-pin-index)` sinks of this net.
+    #[must_use]
+    pub fn sinks(&self) -> &[(CellId, usize)] {
+        &self.sinks
+    }
+
+    /// Fanout: number of cell pins plus one if the net feeds a primary
+    /// output port.
+    #[must_use]
+    pub fn fanout(&self) -> usize {
+        self.sinks.len() + usize::from(self.is_output)
+    }
+
+    /// Whether this net drives a primary output port.
+    #[must_use]
+    pub fn is_output(&self) -> bool {
+        self.is_output
+    }
+
+    /// Whether this net is driven by a primary input port.
+    #[must_use]
+    pub fn is_input(&self) -> bool {
+        matches!(self.driver, Some(NetDriver::Input(_)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_net() -> Net {
+        Net {
+            id: NetId::new(0),
+            name: "n".into(),
+            driver: Some(NetDriver::Input(0)),
+            sinks: vec![(CellId::new(0), 0), (CellId::new(1), 1)],
+            is_output: true,
+        }
+    }
+
+    #[test]
+    fn fanout_counts_output_port() {
+        let net = sample_net();
+        assert_eq!(net.fanout(), 3);
+    }
+
+    #[test]
+    fn input_detection() {
+        let net = sample_net();
+        assert!(net.is_input());
+        assert!(net.is_output());
+    }
+
+    #[test]
+    fn undriven_net_has_no_driver() {
+        let net = Net {
+            id: NetId::new(1),
+            name: "floating".into(),
+            driver: None,
+            sinks: Vec::new(),
+            is_output: false,
+        };
+        assert!(net.driver().is_none());
+        assert_eq!(net.fanout(), 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Netlist summary statistics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary counts and structural metrics of a [`crate::Netlist`].
+///
+/// Produced by [`crate::Netlist::stats`]; used by the flow reports and by
+/// the abstraction-gap experiment (gates per line of RTL).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NetlistStats {
+    /// Total cell instances.
+    pub cells: usize,
+    /// Combinational gates.
+    pub combinational_cells: usize,
+    /// Flip-flops.
+    pub sequential_cells: usize,
+    /// Total nets.
+    pub nets: usize,
+    /// Primary input ports.
+    pub inputs: usize,
+    /// Primary output ports.
+    pub outputs: usize,
+    /// Mean fanout over driven nets.
+    pub average_fanout: f64,
+    /// Longest combinational path in logic levels.
+    pub logic_depth: usize,
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cells ({} comb, {} seq), {} nets, {} PI, {} PO, depth {}, avg fanout {:.2}",
+            self.cells,
+            self.combinational_cells,
+            self.sequential_cells,
+            self.nets,
+            self.inputs,
+            self.outputs,
+            self.logic_depth,
+            self.average_fanout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_all_counts() {
+        let stats = NetlistStats {
+            cells: 10,
+            combinational_cells: 8,
+            sequential_cells: 2,
+            nets: 12,
+            inputs: 3,
+            outputs: 1,
+            average_fanout: 1.5,
+            logic_depth: 4,
+        };
+        let s = stats.to_string();
+        assert!(s.contains("10 cells"));
+        assert!(s.contains("depth 4"));
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let stats = NetlistStats::default();
+        assert_eq!(stats.cells, 0);
+        assert_eq!(stats.average_fanout, 0.0);
+    }
+}

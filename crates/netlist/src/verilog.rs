@@ -1,0 +1,472 @@
+//! Structural Verilog emission and parsing.
+//!
+//! The supported subset is the classic mapped-netlist style emitted by
+//! synthesis tools: a single `module` with scalar ports, `wire`
+//! declarations, named-port cell instantiations of library cells, and
+//! `assign a = b;` aliases.
+//!
+//! ```
+//! use chipforge_netlist::{CellFunction, Netlist, verilog};
+//!
+//! # fn main() -> Result<(), chipforge_netlist::NetlistError> {
+//! let mut nl = Netlist::new("inv");
+//! let a = nl.add_input("a");
+//! let y = nl.add_net("y");
+//! nl.add_cell("u0", CellFunction::Inv, "INV_X1", &[a], y)?;
+//! nl.mark_output("y", y)?;
+//! let text = verilog::write_verilog(&nl);
+//! let parsed = verilog::parse_verilog(&text)?;
+//! assert_eq!(parsed.cell_count(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::cell::CellFunction;
+use crate::error::NetlistError;
+use crate::graph::Netlist;
+use crate::ids::NetId;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Maps a library cell name (e.g. `NAND2_X1`) to its logical function.
+///
+/// The mapping matches on the name prefix before the first `_`, following
+/// the naming convention of the `chipforge-pdk` library generator. Returns
+/// `None` for unknown prefixes.
+#[must_use]
+pub fn function_from_lib_cell(lib_cell: &str) -> Option<CellFunction> {
+    let prefix = lib_cell.split('_').next().unwrap_or(lib_cell);
+    Some(match prefix {
+        "TIELO" | "CONST0" => CellFunction::Const0,
+        "TIEHI" | "CONST1" => CellFunction::Const1,
+        "BUF" => CellFunction::Buf,
+        "INV" => CellFunction::Inv,
+        "AND2" => CellFunction::And2,
+        "NAND2" => CellFunction::Nand2,
+        "OR2" => CellFunction::Or2,
+        "NOR2" => CellFunction::Nor2,
+        "XOR2" => CellFunction::Xor2,
+        "XNOR2" => CellFunction::Xnor2,
+        "AND3" => CellFunction::And3,
+        "NAND3" => CellFunction::Nand3,
+        "OR3" => CellFunction::Or3,
+        "NOR3" => CellFunction::Nor3,
+        "AOI21" => CellFunction::Aoi21,
+        "OAI21" => CellFunction::Oai21,
+        "MUX2" => CellFunction::Mux2,
+        "MAJ3" => CellFunction::Maj3,
+        "XOR3" => CellFunction::Xor3,
+        "DFF" => CellFunction::Dff,
+        "DFFE" => CellFunction::DffEn,
+        _ => return None,
+    })
+}
+
+/// Output pin name used by the writer for a function.
+fn output_pin(function: CellFunction) -> &'static str {
+    if function.is_sequential() {
+        "Q"
+    } else {
+        "Y"
+    }
+}
+
+/// Serializes a netlist as structural Verilog.
+///
+/// Primary output ports whose name differs from the driving net are
+/// emitted as `assign` statements so the result parses back losslessly
+/// (modulo the synthetic alias wires).
+#[must_use]
+pub fn write_verilog(nl: &Netlist) -> String {
+    let mut out = String::new();
+    let ports: Vec<String> = nl
+        .inputs()
+        .iter()
+        .map(|(p, _)| p.clone())
+        .chain(nl.outputs().iter().map(|(p, _)| p.clone()))
+        .collect();
+    let _ = writeln!(out, "module {} ({});", nl.name(), ports.join(", "));
+    for (port, _) in nl.inputs() {
+        let _ = writeln!(out, "  input {port};");
+    }
+    for (port, _) in nl.outputs() {
+        let _ = writeln!(out, "  output {port};");
+    }
+    let port_names: std::collections::HashSet<&str> = nl
+        .inputs()
+        .iter()
+        .chain(nl.outputs().iter())
+        .map(|(p, _)| p.as_str())
+        .collect();
+    for net in nl.nets() {
+        if !port_names.contains(net.name()) {
+            let _ = writeln!(out, "  wire {};", net.name());
+        }
+    }
+    // Alias assigns for output ports whose net name differs from the port.
+    for (port, net) in nl.outputs() {
+        let net_name = nl.net(*net).name();
+        if port != net_name {
+            let _ = writeln!(out, "  assign {port} = {net_name};");
+        }
+    }
+    for cell in nl.cells() {
+        let mut pins = String::new();
+        for (pin_name, net) in cell.function().pin_names().iter().zip(cell.inputs().iter()) {
+            let _ = write!(pins, ".{}({}), ", pin_name, nl.net(*net).name());
+        }
+        let _ = write!(
+            pins,
+            ".{}({})",
+            output_pin(cell.function()),
+            nl.net(cell.output()).name()
+        );
+        let _ = writeln!(out, "  {} {} ({});", cell.lib_cell(), cell.name(), pins);
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+/// Parses the structural Verilog subset produced by [`write_verilog`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] with a line number on any syntax or
+/// semantic problem (unknown library cell, undeclared net, missing pin).
+pub fn parse_verilog(text: &str) -> Result<Netlist, NetlistError> {
+    let mut parser = Parser::new(text);
+    parser.parse()
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+}
+
+struct PendingInstance {
+    line: usize,
+    lib_cell: String,
+    instance: String,
+    connections: Vec<(String, String)>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                let l = l.split("//").next().unwrap_or("").trim();
+                (i + 1, l)
+            })
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Self { lines, pos: 0 }
+    }
+
+    fn error(&self, line: usize, message: impl Into<String>) -> NetlistError {
+        NetlistError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+
+    fn parse(&mut self) -> Result<Netlist, NetlistError> {
+        let (line, header) = self
+            .lines
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| self.error(1, "empty input"))?;
+        self.pos += 1;
+        let header = header
+            .strip_prefix("module")
+            .ok_or_else(|| self.error(line, "expected `module`"))?
+            .trim();
+        let name_end = header
+            .find('(')
+            .ok_or_else(|| self.error(line, "expected `(` in module header"))?;
+        let module_name = header[..name_end].trim().to_string();
+        if module_name.is_empty() {
+            return Err(self.error(line, "missing module name"));
+        }
+
+        let mut nl = Netlist::new(module_name);
+        let mut nets: HashMap<String, NetId> = HashMap::new();
+        let mut outputs: Vec<(usize, String)> = Vec::new();
+        let mut instances: Vec<PendingInstance> = Vec::new();
+        let mut assigns: Vec<(usize, String, String)> = Vec::new();
+
+        while self.pos < self.lines.len() {
+            let (line, text) = self.lines[self.pos];
+            self.pos += 1;
+            if text == "endmodule" {
+                return self.finish(nl, nets, outputs, instances, assigns);
+            }
+            let stmt = text
+                .strip_suffix(';')
+                .ok_or_else(|| self.error(line, "expected trailing `;`"))?
+                .trim();
+            if let Some(rest) = stmt.strip_prefix("input ") {
+                for port in rest.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                    let net = nl.add_input(port);
+                    nets.insert(port.to_string(), net);
+                }
+            } else if let Some(rest) = stmt.strip_prefix("output ") {
+                for port in rest.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                    outputs.push((line, port.to_string()));
+                }
+            } else if let Some(rest) = stmt.strip_prefix("wire ") {
+                for wire in rest.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                    let net = nl.add_net(wire);
+                    nets.insert(wire.to_string(), net);
+                }
+            } else if let Some(rest) = stmt.strip_prefix("assign ") {
+                let mut parts = rest.splitn(2, '=');
+                let lhs = parts.next().unwrap_or("").trim().to_string();
+                let rhs = parts
+                    .next()
+                    .ok_or_else(|| self.error(line, "expected `=` in assign"))?
+                    .trim()
+                    .to_string();
+                assigns.push((line, lhs, rhs));
+            } else {
+                instances.push(self.parse_instance(line, stmt)?);
+            }
+        }
+        Err(self.error(
+            self.lines.last().map_or(1, |(l, _)| *l),
+            "missing `endmodule`",
+        ))
+    }
+
+    fn parse_instance(&self, line: usize, stmt: &str) -> Result<PendingInstance, NetlistError> {
+        let open = stmt
+            .find('(')
+            .ok_or_else(|| self.error(line, "expected `(` in instantiation"))?;
+        let close = stmt
+            .rfind(')')
+            .ok_or_else(|| self.error(line, "expected `)` in instantiation"))?;
+        let head: Vec<&str> = stmt[..open].split_whitespace().collect();
+        if head.len() != 2 {
+            return Err(self.error(line, "expected `CELL instance (...)`"));
+        }
+        let mut connections = Vec::new();
+        for conn in stmt[open + 1..close]
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+        {
+            let conn = conn
+                .strip_prefix('.')
+                .ok_or_else(|| self.error(line, "expected named connection `.PIN(net)`"))?;
+            let pin_end = conn
+                .find('(')
+                .ok_or_else(|| self.error(line, "expected `(` in connection"))?;
+            let pin = conn[..pin_end].trim().to_string();
+            let net = conn[pin_end + 1..]
+                .strip_suffix(')')
+                .ok_or_else(|| self.error(line, "expected `)` in connection"))?
+                .trim()
+                .to_string();
+            connections.push((pin, net));
+        }
+        Ok(PendingInstance {
+            line,
+            lib_cell: head[0].to_string(),
+            instance: head[1].to_string(),
+            connections,
+        })
+    }
+
+    fn finish(
+        &self,
+        mut nl: Netlist,
+        mut nets: HashMap<String, NetId>,
+        outputs: Vec<(usize, String)>,
+        instances: Vec<PendingInstance>,
+        assigns: Vec<(usize, String, String)>,
+    ) -> Result<Netlist, NetlistError> {
+        // Output ports that were not declared as wires get their own nets.
+        for (_, port) in &outputs {
+            if !nets.contains_key(port) {
+                let net = nl.add_net(port.clone());
+                nets.insert(port.clone(), net);
+            }
+        }
+        for inst in instances {
+            let function = function_from_lib_cell(&inst.lib_cell).ok_or_else(|| {
+                self.error(
+                    inst.line,
+                    format!("unknown library cell `{}`", inst.lib_cell),
+                )
+            })?;
+            let out_pin = output_pin(function);
+            let mut inputs = vec![None; function.input_count()];
+            let mut output = None;
+            for (pin, net_name) in &inst.connections {
+                let net = *nets
+                    .get(net_name)
+                    .ok_or_else(|| self.error(inst.line, format!("undeclared net `{net_name}`")))?;
+                if pin == out_pin {
+                    output = Some(net);
+                } else {
+                    let idx = function
+                        .pin_names()
+                        .iter()
+                        .position(|p| p == pin)
+                        .ok_or_else(|| self.error(inst.line, format!("unknown pin `{pin}`")))?;
+                    inputs[idx] = Some(net);
+                }
+            }
+            let output =
+                output.ok_or_else(|| self.error(inst.line, "missing output connection"))?;
+            let inputs: Vec<NetId> = inputs
+                .into_iter()
+                .enumerate()
+                .map(|(i, n)| {
+                    n.ok_or_else(|| {
+                        self.error(
+                            inst.line,
+                            format!("missing connection for pin `{}`", function.pin_names()[i]),
+                        )
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            nl.add_cell(&inst.instance, function, &inst.lib_cell, &inputs, output)
+                .map_err(|e| self.error(inst.line, e.to_string()))?;
+        }
+        for (line, lhs, rhs) in assigns {
+            let rhs_net = *nets
+                .get(&rhs)
+                .ok_or_else(|| self.error(line, format!("undeclared net `{rhs}`")))?;
+            let lhs_net = *nets
+                .get(&lhs)
+                .ok_or_else(|| self.error(line, format!("undeclared net `{lhs}`")))?;
+            nl.add_cell(
+                format!("assign_{lhs}"),
+                CellFunction::Buf,
+                "BUF_X1",
+                &[rhs_net],
+                lhs_net,
+            )
+            .map_err(|e| self.error(line, e.to_string()))?;
+        }
+        for (line, port) in outputs {
+            let net = *nets
+                .get(&port)
+                .ok_or_else(|| self.error(line, format!("undeclared output `{port}`")))?;
+            nl.mark_output(port, net)
+                .map_err(|e| self.error(line, e.to_string()))?;
+        }
+        Ok(nl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap as Map;
+
+    fn adder() -> Netlist {
+        let mut nl = Netlist::new("fa");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let cin = nl.add_input("cin");
+        let sum = nl.add_net("sum");
+        let cout = nl.add_net("cout");
+        nl.add_cell("u_s", CellFunction::Xor3, "XOR3_X1", &[a, b, cin], sum)
+            .unwrap();
+        nl.add_cell("u_c", CellFunction::Maj3, "MAJ3_X1", &[a, b, cin], cout)
+            .unwrap();
+        nl.mark_output("sum", sum).unwrap();
+        nl.mark_output("cout", cout).unwrap();
+        nl
+    }
+
+    #[test]
+    fn round_trip_preserves_behaviour() {
+        let nl = adder();
+        let text = write_verilog(&nl);
+        let parsed = parse_verilog(&text).unwrap();
+        parsed.validate().unwrap();
+        assert_eq!(parsed.name(), "fa");
+        assert_eq!(parsed.cell_count(), nl.cell_count());
+        let state = Map::new();
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    let v1 = nl.eval_combinational(&[a, b, c], &state).unwrap();
+                    let v2 = parsed.eval_combinational(&[a, b, c], &state).unwrap();
+                    let s1 = v1[nl.find_net("sum").unwrap().index()];
+                    let s2 = v2[parsed.find_net("sum").unwrap().index()];
+                    assert_eq!(s1, s2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_sequential() {
+        let mut nl = Netlist::new("reg1");
+        let d = nl.add_input("d");
+        let q = nl.add_net("q");
+        nl.add_cell("u_ff", CellFunction::Dff, "DFF_X1", &[d], q)
+            .unwrap();
+        nl.mark_output("q", q).unwrap();
+        let parsed = parse_verilog(&write_verilog(&nl)).unwrap();
+        assert_eq!(parsed.stats().sequential_cells, 1);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_cell() {
+        let src =
+            "module m (a, y);\n  input a;\n  output y;\n  MAGIC_X1 u0 (.A(a), .Y(y));\nendmodule\n";
+        let err = parse_verilog(src).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 4, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_undeclared_net() {
+        let src =
+            "module m (a, y);\n  input a;\n  output y;\n  INV_X1 u0 (.A(ghost), .Y(y));\nendmodule\n";
+        let err = parse_verilog(src).unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn parse_rejects_missing_endmodule() {
+        let src = "module m (a);\n  input a;\n";
+        let err = parse_verilog(src).unwrap_err();
+        assert!(err.to_string().contains("endmodule"));
+    }
+
+    #[test]
+    fn parse_handles_assign_alias() {
+        let src = "module m (a, y);\n  input a;\n  output y;\n  wire w;\n  INV_X1 u0 (.A(a), .Y(w));\n  assign y = w;\nendmodule\n";
+        let nl = parse_verilog(src).unwrap();
+        nl.validate().unwrap();
+        // inverter plus alias buffer
+        assert_eq!(nl.cell_count(), 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "// top\nmodule m (a, y);\n\n  input a; // in\n  output y;\n  INV_X1 u0 (.A(a), .Y(y));\nendmodule\n";
+        let nl = parse_verilog(src).unwrap();
+        assert_eq!(nl.cell_count(), 1);
+    }
+
+    #[test]
+    fn function_mapping_covers_library_names() {
+        assert_eq!(
+            function_from_lib_cell("NAND2_X2"),
+            Some(CellFunction::Nand2)
+        );
+        assert_eq!(function_from_lib_cell("DFFE_X1"), Some(CellFunction::DffEn));
+        assert_eq!(
+            function_from_lib_cell("TIEHI_X1"),
+            Some(CellFunction::Const1)
+        );
+        assert_eq!(function_from_lib_cell("WEIRD_X1"), None);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the netlist graph and Verilog round-trip.
+
+use chipforge_netlist::{verilog, CellFunction, NetId, Netlist};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Strategy: a random combinational DAG built layer by layer.
+///
+/// Each step picks a gate function and wires its inputs to already-existing
+/// nets, which guarantees acyclicity by construction.
+fn random_dag() -> impl Strategy<Value = Netlist> {
+    let gate = prop_oneof![
+        Just(CellFunction::Inv),
+        Just(CellFunction::Buf),
+        Just(CellFunction::And2),
+        Just(CellFunction::Nand2),
+        Just(CellFunction::Or2),
+        Just(CellFunction::Nor2),
+        Just(CellFunction::Xor2),
+        Just(CellFunction::Mux2),
+        Just(CellFunction::Aoi21),
+        Just(CellFunction::Maj3),
+    ];
+    (
+        2usize..6,
+        proptest::collection::vec((gate, any::<u64>()), 1..40),
+    )
+        .prop_map(|(num_inputs, gates)| {
+            let mut nl = Netlist::new("rand");
+            let mut pool: Vec<NetId> = (0..num_inputs)
+                .map(|i| nl.add_input(format!("in{i}")))
+                .collect();
+            for (i, (function, seed)) in gates.into_iter().enumerate() {
+                let out = nl.add_net(format!("w{i}"));
+                let inputs: Vec<NetId> = (0..function.input_count())
+                    .map(|k| {
+                        let idx = ((seed >> (k * 8)) as usize) % pool.len();
+                        pool[idx]
+                    })
+                    .collect();
+                nl.add_cell(
+                    format!("g{i}"),
+                    function,
+                    format!("{function}_X1"),
+                    &inputs,
+                    out,
+                )
+                .expect("construction is valid by design");
+                pool.push(out);
+            }
+            let last = *pool.last().expect("pool is never empty");
+            nl.mark_output("y", last).expect("net exists");
+            nl
+        })
+}
+
+proptest! {
+    #[test]
+    fn constructed_dags_validate(nl in random_dag()) {
+        nl.validate().expect("DAG construction must validate");
+    }
+
+    #[test]
+    fn topological_order_respects_edges(nl in random_dag()) {
+        let order = nl.combinational_order().unwrap();
+        let mut position = HashMap::new();
+        for (i, id) in order.iter().enumerate() {
+            position.insert(*id, i);
+        }
+        for cell in nl.cells() {
+            for &input in cell.inputs() {
+                if let Some(chipforge_netlist::NetDriver::Cell(src)) = nl.net(input).driver() {
+                    prop_assert!(position[&src] < position[&cell.id()],
+                        "driver must precede sink in topological order");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn logic_depth_bounded_by_cell_count(nl in random_dag()) {
+        let depth = nl.logic_depth().unwrap();
+        prop_assert!(depth <= nl.cell_count());
+        prop_assert!(depth >= 1);
+    }
+
+    #[test]
+    fn verilog_round_trip_equivalence(nl in random_dag(), stimulus in proptest::collection::vec(any::<bool>(), 8)) {
+        let text = verilog::write_verilog(&nl);
+        let parsed = verilog::parse_verilog(&text).unwrap();
+        parsed.validate().unwrap();
+        // Output ports whose name differs from the driving net come back as
+        // one explicit alias buffer each.
+        let aliases = nl
+            .outputs()
+            .iter()
+            .filter(|(port, net)| port != nl.net(*net).name())
+            .count();
+        prop_assert_eq!(parsed.cell_count(), nl.cell_count() + aliases);
+
+        // Behavioural equivalence on random stimulus.
+        let n = nl.inputs().len();
+        let inputs: Vec<bool> = stimulus.iter().cycle().take(n).copied().collect();
+        let state = HashMap::new();
+        let v1 = nl.eval_combinational(&inputs, &state).unwrap();
+        let v2 = parsed.eval_combinational(&inputs, &state).unwrap();
+        let (_, out1) = nl.outputs()[0].clone();
+        let out2 = parsed.outputs()[0].1;
+        prop_assert_eq!(v1[out1.index()], v2[out2.index()]);
+    }
+
+    #[test]
+    fn stats_are_consistent(nl in random_dag()) {
+        let stats = nl.stats();
+        prop_assert_eq!(stats.cells, stats.combinational_cells + stats.sequential_cells);
+        prop_assert_eq!(stats.cells, nl.cell_count());
+        prop_assert_eq!(stats.nets, nl.net_count());
+        prop_assert!(stats.average_fanout >= 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! # chipforge-pdk
+//!
+//! Synthetic, openly redistributable process-design-kit (PDK) models for the
+//! `chipforge` flow.
+//!
+//! Real PDKs are gated behind NDAs and export-control restrictions — exactly
+//! the access barrier the underlying position paper (DATE 2025) analyses.
+//! This crate substitutes them with parameterized technology models whose
+//! headline parameters (contacted poly pitch, metal pitch, track height,
+//! supply voltage, FO4 delay, leakage trends) follow the published scaling
+//! curves of commercial nodes from 180 nm down to 2 nm. Open nodes (180 nm,
+//! 130 nm) mirror the situation of GF180MCU / SkyWater SKY130 / IHP SG13G2:
+//! they are the only ones usable without an NDA.
+//!
+//! The crate provides:
+//!
+//! * [`TechnologyNode`] — node-level electrical and geometric parameters;
+//! * [`DesignRules`] — width/spacing/via rules consumed by the DRC engine
+//!   in `chipforge-layout`;
+//! * [`StdCellLibrary`] / [`LibCell`] — a Liberty-like standard-cell library
+//!   generator with linear-delay-model timing;
+//! * [`SramMacro`] — a memory-generator model;
+//! * [`Pdk`] — the bundle of all of the above plus the licensing and access
+//!   metadata used by the enablement-effort experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use chipforge_pdk::{CellClass, LibraryKind, Pdk, TechnologyNode};
+//!
+//! let pdk = Pdk::open(TechnologyNode::N130);
+//! let lib = pdk.library(LibraryKind::Open);
+//! let inv = lib.smallest(CellClass::Inv).expect("INV exists");
+//! assert!(inv.area_um2() > 0.0);
+//! // delay grows with load
+//! assert!(inv.delay_ps(8.0) > inv.delay_ps(1.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod liberty;
+mod library;
+mod memgen;
+mod node;
+mod process;
+mod rules;
+
+pub use library::{CellClass, DriveStrength, LibCell, LibraryKind, StdCellLibrary};
+pub use memgen::SramMacro;
+pub use node::TechnologyNode;
+pub use process::{AccessRequirement, Pdk, PdkLicense};
+pub use rules::{DesignRules, Layer};

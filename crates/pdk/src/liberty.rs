@@ -1,0 +1,187 @@
+//! Liberty (`.lib`) file emission for generated libraries.
+//!
+//! Real enablement means a library must be consumable by external tools;
+//! this module serializes a [`StdCellLibrary`] in the Liberty format that
+//! synthesis and STA tools expect (linear-delay `generic_cmos` style
+//! rather than NLDM tables, matching the crate's timing model).
+
+use crate::library::{CellClass, StdCellLibrary};
+use std::fmt::Write as _;
+
+/// Serializes the library as Liberty text.
+///
+/// The output uses `delay_model : generic_cmos` with
+/// `intrinsic_rise/fall` and `rise/fall_resistance` attributes — the exact
+/// parameters of the crate's linear delay model, so a round trip through
+/// an external tool preserves timing semantics.
+#[must_use]
+pub fn write_liberty(lib: &StdCellLibrary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "library ({}) {{", lib.name());
+    let _ = writeln!(out, "  delay_model : generic_cmos;");
+    let _ = writeln!(out, "  time_unit : \"1ps\";");
+    let _ = writeln!(out, "  capacitive_load_unit (1, ff);");
+    let _ = writeln!(out, "  leakage_power_unit : \"1nW\";");
+    let _ = writeln!(out, "  voltage_unit : \"1V\";");
+    let _ = writeln!(out, "  nom_voltage : {:.2};", lib.node().supply_v());
+    let _ = writeln!(out, "  area_unit : \"1um2\";");
+    for cell in lib.cells() {
+        let _ = writeln!(out, "  cell ({}) {{", cell.name());
+        let _ = writeln!(out, "    area : {:.4};", cell.area_um2());
+        let _ = writeln!(out, "    cell_leakage_power : {:.4};", cell.leakage_nw());
+        if cell.class().is_sequential() {
+            let _ = writeln!(out, "    ff (IQ, IQN) {{");
+            let _ = writeln!(out, "      clocked_on : \"CLK\";");
+            let _ = writeln!(out, "      next_state : \"D\";");
+            let _ = writeln!(out, "    }}");
+            let _ = writeln!(out, "    pin (CLK) {{");
+            let _ = writeln!(out, "      direction : input;");
+            let _ = writeln!(out, "      clock : true;");
+            let _ = writeln!(out, "      capacitance : {:.4};", cell.input_cap_ff() * 0.4);
+            let _ = writeln!(out, "    }}");
+        }
+        for pin in pin_names(cell.class()) {
+            let _ = writeln!(out, "    pin ({pin}) {{");
+            let _ = writeln!(out, "      direction : input;");
+            let _ = writeln!(out, "      capacitance : {:.4};", cell.input_cap_ff());
+            let _ = writeln!(out, "    }}");
+        }
+        let out_pin = if cell.class().is_sequential() {
+            "Q"
+        } else {
+            "Y"
+        };
+        let _ = writeln!(out, "    pin ({out_pin}) {{");
+        let _ = writeln!(out, "      direction : output;");
+        let _ = writeln!(
+            out,
+            "      function : \"{}\";",
+            function_string(cell.class())
+        );
+        let _ = writeln!(out, "      timing () {{");
+        let _ = writeln!(out, "        intrinsic_rise : {:.4};", cell.intrinsic_ps());
+        let _ = writeln!(out, "        intrinsic_fall : {:.4};", cell.intrinsic_ps());
+        let _ = writeln!(
+            out,
+            "        rise_resistance : {:.4};",
+            cell.resistance_ps_per_ff()
+        );
+        let _ = writeln!(
+            out,
+            "        fall_resistance : {:.4};",
+            cell.resistance_ps_per_ff()
+        );
+        let _ = writeln!(out, "      }}");
+        let _ = writeln!(out, "    }}");
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn pin_names(class: CellClass) -> &'static [&'static str] {
+    match class {
+        CellClass::TieLo | CellClass::TieHi => &[],
+        CellClass::Buf | CellClass::Inv => &["A"],
+        CellClass::Dff => &["D"],
+        CellClass::DffEn => &["D", "EN"],
+        CellClass::And2
+        | CellClass::Nand2
+        | CellClass::Or2
+        | CellClass::Nor2
+        | CellClass::Xor2
+        | CellClass::Xnor2 => &["A", "B"],
+        CellClass::Mux2 => &["A", "B", "S"],
+        CellClass::And3
+        | CellClass::Nand3
+        | CellClass::Or3
+        | CellClass::Nor3
+        | CellClass::Maj3
+        | CellClass::Xor3
+        | CellClass::Aoi21
+        | CellClass::Oai21 => &["A", "B", "C"],
+    }
+}
+
+fn function_string(class: CellClass) -> &'static str {
+    match class {
+        CellClass::TieLo => "0",
+        CellClass::TieHi => "1",
+        CellClass::Buf => "A",
+        CellClass::Inv => "!A",
+        CellClass::And2 => "A B",
+        CellClass::Nand2 => "!(A B)",
+        CellClass::Or2 => "A + B",
+        CellClass::Nor2 => "!(A + B)",
+        CellClass::Xor2 => "A ^ B",
+        CellClass::Xnor2 => "!(A ^ B)",
+        CellClass::And3 => "A B C",
+        CellClass::Nand3 => "!(A B C)",
+        CellClass::Or3 => "A + B + C",
+        CellClass::Nor3 => "!(A + B + C)",
+        CellClass::Aoi21 => "!((A B) + C)",
+        CellClass::Oai21 => "!((A + B) C)",
+        CellClass::Mux2 => "(A !S) + (B S)",
+        CellClass::Maj3 => "(A B) + (A C) + (B C)",
+        CellClass::Xor3 => "A ^ B ^ C",
+        CellClass::Dff | CellClass::DffEn => "IQ",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::{LibraryKind, StdCellLibrary};
+    use crate::node::TechnologyNode;
+
+    fn lib() -> StdCellLibrary {
+        StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Open)
+    }
+
+    #[test]
+    fn output_contains_every_cell() {
+        let lib = lib();
+        let text = write_liberty(&lib);
+        for cell in lib.cells() {
+            assert!(
+                text.contains(&format!("cell ({})", cell.name())),
+                "{} missing",
+                cell.name()
+            );
+        }
+    }
+
+    #[test]
+    fn braces_balance() {
+        let text = write_liberty(&lib());
+        let open = text.matches('{').count();
+        let close = text.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn flip_flops_have_clock_pins_and_ff_groups() {
+        let text = write_liberty(&lib());
+        assert!(text.contains("ff (IQ, IQN)"));
+        assert!(text.contains("clocked_on : \"CLK\";"));
+        assert!(text.contains("clock : true;"));
+    }
+
+    #[test]
+    fn header_carries_units_and_voltage() {
+        let text = write_liberty(&lib());
+        assert!(text.contains("time_unit : \"1ps\";"));
+        assert!(text.contains("capacitive_load_unit (1, ff);"));
+        assert!(text.contains("nom_voltage : 1.50;"));
+    }
+
+    #[test]
+    fn functions_present_for_combinational_cells() {
+        let text = write_liberty(&lib());
+        assert!(text.contains("function : \"!(A B)\";"), "NAND2 function");
+        assert!(
+            text.contains("function : \"(A B) + (A C) + (B C)\";"),
+            "MAJ3"
+        );
+    }
+}

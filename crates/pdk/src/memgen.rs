@@ -1,0 +1,147 @@
+//! Memory-generator model (SRAM macros).
+//!
+//! Real PDKs ship memory compilers as black-box binaries behind the same
+//! NDA gate as the rest of the kit (one of the enablement pain points in
+//! Sec. III-D of the paper). This module substitutes a parametric model
+//! producing the quantities the flow needs: area, access time, and power.
+
+use crate::node::TechnologyNode;
+use serde::{Deserialize, Serialize};
+
+/// A generated single-port SRAM macro.
+///
+/// ```
+/// use chipforge_pdk::{SramMacro, TechnologyNode};
+///
+/// let mem = SramMacro::generate(1024, 32, TechnologyNode::N130);
+/// assert_eq!(mem.bits(), 1024 * 32);
+/// assert!(mem.area_um2() > 0.0);
+/// assert!(mem.access_ps() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SramMacro {
+    words: u32,
+    width_bits: u32,
+    node: TechnologyNode,
+    area_um2: f64,
+    access_ps: f64,
+    read_energy_fj_per_bit: f64,
+    leakage_uw: f64,
+}
+
+impl SramMacro {
+    /// Generates a macro of `words` × `width_bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` or `width_bits` is zero.
+    #[must_use]
+    pub fn generate(words: u32, width_bits: u32, node: TechnologyNode) -> Self {
+        assert!(words > 0 && width_bits > 0, "memory must be non-empty");
+        let f_um = f64::from(node.feature_nm()) * 1e-3;
+        // 6T bitcell ≈ 140 F²; periphery overhead ~40% plus a fixed floor.
+        let bitcell_um2 = 140.0 * f_um * f_um;
+        let bits = f64::from(words) * f64::from(width_bits);
+        let area_um2 = bits * bitcell_um2 * 1.4 + 200.0 * node.cell_height_um();
+        // Access time: wordline/bitline delay grows with sqrt(words).
+        let access_ps = node.fo4_delay_ps() * (4.0 + 1.5 * f64::from(words).sqrt().ln_1p() * 4.0);
+        let vdd = node.supply_v();
+        let read_energy_fj_per_bit = 0.8 * vdd * vdd * (1.0 + f64::from(words).log2() / 10.0);
+        let leakage_uw = bits * node.leakage_nw_per_gate() * 0.1 * 1e-3;
+        Self {
+            words,
+            width_bits,
+            node,
+            area_um2,
+            access_ps,
+            read_energy_fj_per_bit,
+            leakage_uw,
+        }
+    }
+
+    /// Number of words.
+    #[must_use]
+    pub fn words(&self) -> u32 {
+        self.words
+    }
+
+    /// Word width in bits.
+    #[must_use]
+    pub fn width_bits(&self) -> u32 {
+        self.width_bits
+    }
+
+    /// Total storage in bits.
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        u64::from(self.words) * u64::from(self.width_bits)
+    }
+
+    /// Technology node.
+    #[must_use]
+    pub fn node(&self) -> TechnologyNode {
+        self.node
+    }
+
+    /// Macro area in µm².
+    #[must_use]
+    pub fn area_um2(&self) -> f64 {
+        self.area_um2
+    }
+
+    /// Read access time in ps.
+    #[must_use]
+    pub fn access_ps(&self) -> f64 {
+        self.access_ps
+    }
+
+    /// Read energy in fJ per bit.
+    #[must_use]
+    pub fn read_energy_fj_per_bit(&self) -> f64 {
+        self.read_energy_fj_per_bit
+    }
+
+    /// Standby leakage in µW.
+    #[must_use]
+    pub fn leakage_uw(&self) -> f64 {
+        self.leakage_uw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_scales_with_capacity() {
+        let small = SramMacro::generate(256, 8, TechnologyNode::N130);
+        let big = SramMacro::generate(4096, 32, TechnologyNode::N130);
+        assert!(big.area_um2() > 10.0 * small.area_um2());
+    }
+
+    #[test]
+    fn newer_nodes_are_denser() {
+        let old = SramMacro::generate(1024, 32, TechnologyNode::N180);
+        let new = SramMacro::generate(1024, 32, TechnologyNode::N16);
+        assert!(new.area_um2() < old.area_um2() / 10.0);
+    }
+
+    #[test]
+    fn access_time_grows_with_depth() {
+        let shallow = SramMacro::generate(64, 32, TechnologyNode::N65);
+        let deep = SramMacro::generate(65536, 32, TechnologyNode::N65);
+        assert!(deep.access_ps() > shallow.access_ps());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_words_rejected() {
+        let _ = SramMacro::generate(0, 8, TechnologyNode::N130);
+    }
+
+    #[test]
+    fn bits_product() {
+        let mem = SramMacro::generate(512, 16, TechnologyNode::N90);
+        assert_eq!(mem.bits(), 8192);
+    }
+}

@@ -1,0 +1,339 @@
+//! Technology-node parameter models.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A semiconductor technology node supported by the synthetic PDK models.
+///
+/// The numeric parameters returned by the accessor methods follow published
+/// industry scaling curves; they are calibrated to be *shape-correct*
+/// (trends, ratios, crossovers) rather than foundry-exact, which is all the
+/// reproduced experiments require.
+///
+/// ```
+/// use chipforge_pdk::TechnologyNode;
+///
+/// let n7 = TechnologyNode::N7;
+/// assert_eq!(n7.feature_nm(), 7);
+/// assert!(n7.gate_density_mgates_per_mm2() > TechnologyNode::N130.gate_density_mgates_per_mm2());
+/// assert!(!n7.has_open_pdk());
+/// assert!(TechnologyNode::N130.has_open_pdk());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TechnologyNode {
+    /// 180 nm — open PDK available (GF180MCU-class).
+    N180,
+    /// 130 nm — open PDK available (SKY130 / IHP SG13G2-class).
+    N130,
+    /// 90 nm.
+    N90,
+    /// 65 nm.
+    N65,
+    /// 45 nm.
+    N45,
+    /// 28 nm — last planar bulk node.
+    N28,
+    /// 16 nm — FinFET.
+    N16,
+    /// 7 nm — FinFET, EUV-assisted.
+    N7,
+    /// 5 nm.
+    N5,
+    /// 3 nm.
+    N3,
+    /// 2 nm — gate-all-around.
+    N2,
+}
+
+impl TechnologyNode {
+    /// All nodes, newest last.
+    pub const ALL: [TechnologyNode; 11] = [
+        TechnologyNode::N180,
+        TechnologyNode::N130,
+        TechnologyNode::N90,
+        TechnologyNode::N65,
+        TechnologyNode::N45,
+        TechnologyNode::N28,
+        TechnologyNode::N16,
+        TechnologyNode::N7,
+        TechnologyNode::N5,
+        TechnologyNode::N3,
+        TechnologyNode::N2,
+    ];
+
+    /// Nominal feature size in nanometres (marketing node name).
+    #[must_use]
+    pub fn feature_nm(self) -> u32 {
+        match self {
+            TechnologyNode::N180 => 180,
+            TechnologyNode::N130 => 130,
+            TechnologyNode::N90 => 90,
+            TechnologyNode::N65 => 65,
+            TechnologyNode::N45 => 45,
+            TechnologyNode::N28 => 28,
+            TechnologyNode::N16 => 16,
+            TechnologyNode::N7 => 7,
+            TechnologyNode::N5 => 5,
+            TechnologyNode::N3 => 3,
+            TechnologyNode::N2 => 2,
+        }
+    }
+
+    /// Parses a node from its feature size in nanometres.
+    #[must_use]
+    pub fn from_feature_nm(nm: u32) -> Option<Self> {
+        Self::ALL.into_iter().find(|n| n.feature_nm() == nm)
+    }
+
+    /// Contacted poly pitch (CPP) in micrometres.
+    #[must_use]
+    pub fn contacted_poly_pitch_um(self) -> f64 {
+        match self {
+            TechnologyNode::N180 => 0.500,
+            TechnologyNode::N130 => 0.340,
+            TechnologyNode::N90 => 0.240,
+            TechnologyNode::N65 => 0.180,
+            TechnologyNode::N45 => 0.140,
+            TechnologyNode::N28 => 0.110,
+            TechnologyNode::N16 => 0.090,
+            TechnologyNode::N7 => 0.057,
+            TechnologyNode::N5 => 0.051,
+            TechnologyNode::N3 => 0.045,
+            TechnologyNode::N2 => 0.042,
+        }
+    }
+
+    /// Minimum metal pitch (M1) in micrometres.
+    #[must_use]
+    pub fn metal_pitch_um(self) -> f64 {
+        match self {
+            TechnologyNode::N180 => 0.460,
+            TechnologyNode::N130 => 0.340,
+            TechnologyNode::N90 => 0.240,
+            TechnologyNode::N65 => 0.180,
+            TechnologyNode::N45 => 0.140,
+            TechnologyNode::N28 => 0.090,
+            TechnologyNode::N16 => 0.064,
+            TechnologyNode::N7 => 0.040,
+            TechnologyNode::N5 => 0.030,
+            TechnologyNode::N3 => 0.023,
+            TechnologyNode::N2 => 0.020,
+        }
+    }
+
+    /// Standard-cell height in routing tracks.
+    #[must_use]
+    pub fn cell_height_tracks(self) -> f64 {
+        match self {
+            TechnologyNode::N180 | TechnologyNode::N130 => 12.0,
+            TechnologyNode::N90 | TechnologyNode::N65 | TechnologyNode::N45 => 10.0,
+            TechnologyNode::N28 => 9.0,
+            TechnologyNode::N16 => 7.5,
+            TechnologyNode::N7 | TechnologyNode::N5 => 6.0,
+            TechnologyNode::N3 => 5.5,
+            TechnologyNode::N2 => 5.0,
+        }
+    }
+
+    /// Standard-cell row height in micrometres.
+    #[must_use]
+    pub fn cell_height_um(self) -> f64 {
+        self.cell_height_tracks() * self.metal_pitch_um()
+    }
+
+    /// Nominal core supply voltage in volts.
+    #[must_use]
+    pub fn supply_v(self) -> f64 {
+        match self {
+            TechnologyNode::N180 => 1.8,
+            TechnologyNode::N130 => 1.5,
+            TechnologyNode::N90 => 1.2,
+            TechnologyNode::N65 => 1.1,
+            TechnologyNode::N45 => 1.0,
+            TechnologyNode::N28 => 0.9,
+            TechnologyNode::N16 => 0.8,
+            TechnologyNode::N7 => 0.75,
+            TechnologyNode::N5 => 0.7,
+            TechnologyNode::N3 => 0.65,
+            TechnologyNode::N2 => 0.6,
+        }
+    }
+
+    /// Number of available routing metal layers.
+    #[must_use]
+    pub fn metal_layers(self) -> usize {
+        match self {
+            TechnologyNode::N180 => 6,
+            TechnologyNode::N130 => 6,
+            TechnologyNode::N90 => 7,
+            TechnologyNode::N65 => 8,
+            TechnologyNode::N45 => 9,
+            TechnologyNode::N28 => 10,
+            TechnologyNode::N16 => 11,
+            TechnologyNode::N7 => 13,
+            TechnologyNode::N5 => 14,
+            TechnologyNode::N3 => 15,
+            TechnologyNode::N2 => 16,
+        }
+    }
+
+    /// Fanout-of-4 inverter delay in picoseconds.
+    ///
+    /// Classically ~0.5 ps/nm at older nodes, flattening below 16 nm as
+    /// supply-voltage scaling stalls.
+    #[must_use]
+    pub fn fo4_delay_ps(self) -> f64 {
+        0.42 * f64::from(self.feature_nm()) + 2.2
+    }
+
+    /// Achievable logic density in million NAND2-equivalent gates per mm².
+    #[must_use]
+    pub fn gate_density_mgates_per_mm2(self) -> f64 {
+        // One NAND2-equivalent occupies ~2 CPP x cell height, derated by
+        // 35% achievable utilization loss at the block level.
+        let gate_area_um2 = 2.0 * self.contacted_poly_pitch_um() * self.cell_height_um();
+        0.65 / gate_area_um2
+    }
+
+    /// Per-gate leakage power in nanowatts (NAND2-equivalent, typical
+    /// corner, 25 °C). Rises steeply below 90 nm, partially recovered by
+    /// FinFET (16 nm) and gate-all-around (2 nm) transitions.
+    #[must_use]
+    pub fn leakage_nw_per_gate(self) -> f64 {
+        match self {
+            TechnologyNode::N180 => 0.01,
+            TechnologyNode::N130 => 0.03,
+            TechnologyNode::N90 => 0.15,
+            TechnologyNode::N65 => 0.5,
+            TechnologyNode::N45 => 1.2,
+            TechnologyNode::N28 => 2.5,
+            TechnologyNode::N16 => 1.5,
+            TechnologyNode::N7 => 2.0,
+            TechnologyNode::N5 => 2.4,
+            TechnologyNode::N3 => 2.8,
+            TechnologyNode::N2 => 2.2,
+        }
+    }
+
+    /// Unit wire resistance in ohms per micrometre at minimum width.
+    #[must_use]
+    pub fn wire_res_ohm_per_um(self) -> f64 {
+        // Narrower wires are dramatically more resistive.
+        let pitch = self.metal_pitch_um();
+        0.08 / (pitch * pitch)
+    }
+
+    /// Unit wire capacitance in femtofarads per micrometre.
+    #[must_use]
+    pub fn wire_cap_ff_per_um(self) -> f64 {
+        // Roughly constant ~0.2 fF/um across nodes (geometry trade-offs).
+        0.18 + 0.0001 * f64::from(self.feature_nm())
+    }
+
+    /// Whether a redistributable open-source PDK exists for this node
+    /// (mirrors GF180MCU at 180 nm, SKY130/IHP SG13G2 at 130 nm).
+    #[must_use]
+    pub fn has_open_pdk(self) -> bool {
+        matches!(self, TechnologyNode::N180 | TechnologyNode::N130)
+    }
+
+    /// Human-readable name, e.g. `"130nm"`.
+    #[must_use]
+    pub fn name(self) -> String {
+        format!("{}nm", self.feature_nm())
+    }
+}
+
+impl fmt::Display for TechnologyNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}nm", self.feature_nm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_sizes_strictly_decrease() {
+        for pair in TechnologyNode::ALL.windows(2) {
+            assert!(pair[0].feature_nm() > pair[1].feature_nm());
+        }
+    }
+
+    #[test]
+    fn pitches_shrink_monotonically() {
+        for pair in TechnologyNode::ALL.windows(2) {
+            assert!(pair[0].contacted_poly_pitch_um() > pair[1].contacted_poly_pitch_um());
+            assert!(pair[0].metal_pitch_um() > pair[1].metal_pitch_um());
+        }
+    }
+
+    #[test]
+    fn density_increases_monotonically() {
+        for pair in TechnologyNode::ALL.windows(2) {
+            assert!(
+                pair[0].gate_density_mgates_per_mm2() < pair[1].gate_density_mgates_per_mm2(),
+                "{} -> {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn density_magnitudes_plausible() {
+        // 130 nm around 0.05-0.2 MGates/mm2; 7 nm tens of MGates/mm2.
+        let d130 = TechnologyNode::N130.gate_density_mgates_per_mm2();
+        assert!((0.05..0.5).contains(&d130), "d130 = {d130}");
+        let d7 = TechnologyNode::N7.gate_density_mgates_per_mm2();
+        assert!((10.0..80.0).contains(&d7), "d7 = {d7}");
+    }
+
+    #[test]
+    fn fo4_scales_down_with_node() {
+        assert!(TechnologyNode::N180.fo4_delay_ps() > TechnologyNode::N7.fo4_delay_ps());
+        // 180nm FO4 in the published 60-100 ps range.
+        let f = TechnologyNode::N180.fo4_delay_ps();
+        assert!((60.0..100.0).contains(&f), "fo4 = {f}");
+    }
+
+    #[test]
+    fn only_mature_nodes_have_open_pdks() {
+        let open: Vec<_> = TechnologyNode::ALL
+            .into_iter()
+            .filter(|n| n.has_open_pdk())
+            .collect();
+        assert_eq!(open, vec![TechnologyNode::N180, TechnologyNode::N130]);
+    }
+
+    #[test]
+    fn from_feature_round_trips() {
+        for node in TechnologyNode::ALL {
+            assert_eq!(
+                TechnologyNode::from_feature_nm(node.feature_nm()),
+                Some(node)
+            );
+        }
+        assert_eq!(TechnologyNode::from_feature_nm(999), None);
+    }
+
+    #[test]
+    fn voltages_decrease_then_flatten() {
+        assert!(TechnologyNode::N180.supply_v() > TechnologyNode::N28.supply_v());
+        assert!(TechnologyNode::N2.supply_v() >= 0.5);
+    }
+
+    #[test]
+    fn wire_resistance_explodes_at_advanced_nodes() {
+        let r130 = TechnologyNode::N130.wire_res_ohm_per_um();
+        let r2 = TechnologyNode::N2.wire_res_ohm_per_um();
+        assert!(r2 > 50.0 * r130);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(TechnologyNode::N28.to_string(), "28nm");
+        assert_eq!(TechnologyNode::N28.name(), "28nm");
+    }
+}

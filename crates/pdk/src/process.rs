@@ -1,0 +1,261 @@
+//! The PDK bundle: technology, rules, libraries and access metadata.
+
+use crate::library::{LibraryKind, StdCellLibrary};
+use crate::node::TechnologyNode;
+use crate::rules::DesignRules;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Licensing regime of a PDK.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PdkLicense {
+    /// Freely redistributable (Apache-2.0-style, like SKY130/GF180MCU/IHP).
+    Open,
+    /// NDA-gated foundry kit.
+    Nda,
+}
+
+impl fmt::Display for PdkLicense {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdkLicense::Open => f.write_str("open"),
+            PdkLicense::Nda => f.write_str("NDA"),
+        }
+    }
+}
+
+/// Administrative hurdles attached to PDK access (Sec. III-C of the paper).
+///
+/// Each requirement contributes to the enablement-effort model in
+/// `chipforge-econ`: the more requirements, the longer a university group
+/// needs before its first design can start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AccessRequirement {
+    /// A signed non-disclosure agreement with the foundry.
+    Nda,
+    /// Export-control screening of every user.
+    ExportControlScreening,
+    /// Proven tape-outs in earlier nodes of the same foundry.
+    PriorTapeoutTrackRecord,
+    /// A fully detailed project description with secured funding.
+    DetailedProjectPlan,
+    /// An isolated IT environment, physically separated from campus IT.
+    IsolatedItEnvironment,
+}
+
+impl AccessRequirement {
+    /// Typical administrative lead time this requirement adds, in weeks.
+    #[must_use]
+    pub fn lead_time_weeks(self) -> f64 {
+        match self {
+            AccessRequirement::Nda => 8.0,
+            AccessRequirement::ExportControlScreening => 4.0,
+            AccessRequirement::PriorTapeoutTrackRecord => 26.0,
+            AccessRequirement::DetailedProjectPlan => 6.0,
+            AccessRequirement::IsolatedItEnvironment => 12.0,
+        }
+    }
+}
+
+impl fmt::Display for AccessRequirement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessRequirement::Nda => "NDA",
+            AccessRequirement::ExportControlScreening => "export-control screening",
+            AccessRequirement::PriorTapeoutTrackRecord => "prior tape-out track record",
+            AccessRequirement::DetailedProjectPlan => "detailed project plan",
+            AccessRequirement::IsolatedItEnvironment => "isolated IT environment",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A complete process design kit: node, rule deck, libraries and access
+/// metadata.
+///
+/// ```
+/// use chipforge_pdk::{Pdk, PdkLicense, TechnologyNode};
+///
+/// let open = Pdk::open(TechnologyNode::N130);
+/// assert_eq!(open.license(), PdkLicense::Open);
+/// assert!(open.access_requirements().is_empty());
+///
+/// let adv = Pdk::commercial(TechnologyNode::N7);
+/// assert_eq!(adv.license(), PdkLicense::Nda);
+/// assert!(adv.access_lead_time_weeks() > 20.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pdk {
+    name: String,
+    node: TechnologyNode,
+    license: PdkLicense,
+    rules: DesignRules,
+    requirements: Vec<AccessRequirement>,
+}
+
+impl Pdk {
+    /// An open PDK for the given node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` has no open PDK (only 180 nm and 130 nm do); use
+    /// [`Pdk::commercial`] for NDA-gated nodes, mirroring reality.
+    #[must_use]
+    pub fn open(node: TechnologyNode) -> Self {
+        assert!(
+            node.has_open_pdk(),
+            "no open PDK exists for {node}; only 180nm/130nm are open"
+        );
+        Self {
+            name: format!("openpdk-{node}"),
+            node,
+            license: PdkLicense::Open,
+            rules: DesignRules::for_node(node),
+            requirements: Vec::new(),
+        }
+    }
+
+    /// A commercial (NDA-gated) PDK for any node.
+    #[must_use]
+    pub fn commercial(node: TechnologyNode) -> Self {
+        let mut requirements = vec![
+            AccessRequirement::Nda,
+            AccessRequirement::ExportControlScreening,
+        ];
+        if node.feature_nm() <= 28 {
+            requirements.push(AccessRequirement::DetailedProjectPlan);
+            requirements.push(AccessRequirement::PriorTapeoutTrackRecord);
+        }
+        if node.feature_nm() <= 7 {
+            requirements.push(AccessRequirement::IsolatedItEnvironment);
+        }
+        Self {
+            name: format!("foundry-{node}"),
+            node,
+            license: PdkLicense::Nda,
+            rules: DesignRules::for_node(node),
+            requirements,
+        }
+    }
+
+    /// PDK name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Technology node.
+    #[must_use]
+    pub fn node(&self) -> TechnologyNode {
+        self.node
+    }
+
+    /// Licensing regime.
+    #[must_use]
+    pub fn license(&self) -> PdkLicense {
+        self.license
+    }
+
+    /// The design-rule deck.
+    #[must_use]
+    pub fn rules(&self) -> &DesignRules {
+        &self.rules
+    }
+
+    /// Administrative requirements before first access.
+    #[must_use]
+    pub fn access_requirements(&self) -> &[AccessRequirement] {
+        &self.requirements
+    }
+
+    /// Total administrative lead time before a group can start designing,
+    /// in weeks (requirements processed partially in parallel: the longest
+    /// dominates, the rest add 30%).
+    #[must_use]
+    pub fn access_lead_time_weeks(&self) -> f64 {
+        let mut times: Vec<f64> = self
+            .requirements
+            .iter()
+            .map(|r| r.lead_time_weeks())
+            .collect();
+        times.sort_by(|a, b| b.partial_cmp(a).expect("lead times are finite"));
+        match times.split_first() {
+            None => 0.0,
+            Some((longest, rest)) => longest + 0.3 * rest.iter().sum::<f64>(),
+        }
+    }
+
+    /// Generates a standard-cell library of the given kind for this PDK.
+    ///
+    /// Open PDKs can only generate [`LibraryKind::Open`] libraries; asking
+    /// an open PDK for a commercial library returns the open one (there is
+    /// nothing better available), mirroring the real tooling situation.
+    #[must_use]
+    pub fn library(&self, kind: LibraryKind) -> StdCellLibrary {
+        let effective = match (self.license, kind) {
+            (PdkLicense::Open, _) => LibraryKind::Open,
+            (PdkLicense::Nda, k) => k,
+        };
+        StdCellLibrary::generate(self.node, effective)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_pdks_have_no_requirements() {
+        let pdk = Pdk::open(TechnologyNode::N180);
+        assert!(pdk.access_requirements().is_empty());
+        assert_eq!(pdk.access_lead_time_weeks(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no open PDK")]
+    fn open_pdk_unavailable_below_130nm() {
+        let _ = Pdk::open(TechnologyNode::N28);
+    }
+
+    #[test]
+    fn requirements_grow_with_node_advancement() {
+        let n65 = Pdk::commercial(TechnologyNode::N65);
+        let n28 = Pdk::commercial(TechnologyNode::N28);
+        let n5 = Pdk::commercial(TechnologyNode::N5);
+        assert!(n28.access_requirements().len() > n65.access_requirements().len());
+        assert!(n5.access_requirements().len() > n28.access_requirements().len());
+        assert!(n5.access_lead_time_weeks() > n65.access_lead_time_weeks());
+    }
+
+    #[test]
+    fn open_pdk_refuses_commercial_library() {
+        let pdk = Pdk::open(TechnologyNode::N130);
+        let lib = pdk.library(LibraryKind::Commercial);
+        assert_eq!(lib.kind(), LibraryKind::Open);
+    }
+
+    #[test]
+    fn commercial_pdk_provides_both_kinds() {
+        let pdk = Pdk::commercial(TechnologyNode::N28);
+        assert_eq!(pdk.library(LibraryKind::Open).kind(), LibraryKind::Open);
+        assert_eq!(
+            pdk.library(LibraryKind::Commercial).kind(),
+            LibraryKind::Commercial
+        );
+    }
+
+    #[test]
+    fn lead_time_parallelization() {
+        // Single requirement: exactly its own time.
+        let pdk = Pdk::commercial(TechnologyNode::N65);
+        let sum: f64 = pdk
+            .access_requirements()
+            .iter()
+            .map(|r| r.lead_time_weeks())
+            .sum();
+        let lead = pdk.access_lead_time_weeks();
+        assert!(lead < sum, "parallelization must help");
+        assert!(lead >= 8.0, "NDA floor");
+    }
+}

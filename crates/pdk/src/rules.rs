@@ -1,0 +1,200 @@
+//! Geometric design rules derived from a technology node.
+
+use crate::node::TechnologyNode;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Mask layers known to the layout and DRC engines.
+///
+/// The synthetic stack is simplified to the layers the flow actually draws:
+/// diffusion/poly for cell abstracts, a configurable number of metal layers
+/// and the vias between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Layer {
+    /// Active diffusion.
+    Diffusion,
+    /// Polysilicon gate.
+    Poly,
+    /// Metal layer `n` (1-based).
+    Metal(u8),
+    /// Via between metal `n` and metal `n + 1` (1-based lower layer).
+    Via(u8),
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layer::Diffusion => write!(f, "DIFF"),
+            Layer::Poly => write!(f, "POLY"),
+            Layer::Metal(n) => write!(f, "M{n}"),
+            Layer::Via(n) => write!(f, "V{n}"),
+        }
+    }
+}
+
+impl Layer {
+    /// GDSII layer number used when streaming out.
+    #[must_use]
+    pub fn gds_layer(self) -> i16 {
+        match self {
+            Layer::Diffusion => 1,
+            Layer::Poly => 2,
+            Layer::Metal(n) => 10 + i16::from(n),
+            Layer::Via(n) => 50 + i16::from(n),
+        }
+    }
+}
+
+/// Width/spacing/enclosure rules for one technology.
+///
+/// All dimensions are in micrometres. The rules scale from the node's metal
+/// pitch: minimum width and spacing are each ~half the pitch, vias are
+/// square at minimum width with a quarter-width metal enclosure.
+///
+/// ```
+/// use chipforge_pdk::{DesignRules, Layer, TechnologyNode};
+///
+/// let rules = DesignRules::for_node(TechnologyNode::N130);
+/// assert!(rules.min_width_um(Layer::Metal(1)) > 0.0);
+/// assert!(rules.min_spacing_um(Layer::Metal(6)) >= rules.min_spacing_um(Layer::Metal(1)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignRules {
+    node: TechnologyNode,
+}
+
+impl DesignRules {
+    /// Builds the rule deck for a node.
+    #[must_use]
+    pub fn for_node(node: TechnologyNode) -> Self {
+        Self { node }
+    }
+
+    /// The node this deck belongs to.
+    #[must_use]
+    pub fn node(&self) -> TechnologyNode {
+        self.node
+    }
+
+    /// Pitch growth factor for upper metals: every two layers the pitch
+    /// roughly doubles (intermediate/global wiring).
+    fn metal_scale(&self, metal: u8) -> f64 {
+        let tier = (metal.saturating_sub(1) / 2) as f64;
+        2.0_f64.powf(tier * 0.5)
+    }
+
+    /// Minimum feature width on a layer, in micrometres.
+    #[must_use]
+    pub fn min_width_um(&self, layer: Layer) -> f64 {
+        let half_pitch = self.node.metal_pitch_um() / 2.0;
+        match layer {
+            Layer::Diffusion => self.node.contacted_poly_pitch_um() * 0.5,
+            Layer::Poly => f64::from(self.node.feature_nm()) * 1.0e-3,
+            Layer::Metal(n) => half_pitch * self.metal_scale(n),
+            Layer::Via(n) => half_pitch * self.metal_scale(n),
+        }
+    }
+
+    /// Minimum same-layer spacing, in micrometres.
+    #[must_use]
+    pub fn min_spacing_um(&self, layer: Layer) -> f64 {
+        // Symmetric half-pitch spacing.
+        self.min_width_um(layer)
+    }
+
+    /// Required metal enclosure of a via, in micrometres.
+    #[must_use]
+    pub fn via_enclosure_um(&self, via: u8) -> f64 {
+        self.min_width_um(Layer::Via(via)) * 0.25
+    }
+
+    /// Routing pitch (width + spacing) on a metal layer, in micrometres.
+    #[must_use]
+    pub fn routing_pitch_um(&self, metal: u8) -> f64 {
+        self.min_width_um(Layer::Metal(metal)) + self.min_spacing_um(Layer::Metal(metal))
+    }
+
+    /// Manufacturing grid, in micrometres.
+    #[must_use]
+    pub fn grid_um(&self) -> f64 {
+        0.005
+    }
+
+    /// All drawn layers for this node's metal stack.
+    #[must_use]
+    pub fn layers(&self) -> Vec<Layer> {
+        let mut layers = vec![Layer::Diffusion, Layer::Poly];
+        let metals = self.node.metal_layers() as u8;
+        for m in 1..=metals {
+            layers.push(Layer::Metal(m));
+            if m < metals {
+                layers.push(Layer::Via(m));
+            }
+        }
+        layers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_positive_for_all_layers() {
+        for node in TechnologyNode::ALL {
+            let rules = DesignRules::for_node(node);
+            for layer in rules.layers() {
+                assert!(rules.min_width_um(layer) > 0.0, "{node} {layer}");
+                assert!(rules.min_spacing_um(layer) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn upper_metals_are_wider() {
+        let rules = DesignRules::for_node(TechnologyNode::N7);
+        assert!(
+            rules.min_width_um(Layer::Metal(10)) > rules.min_width_um(Layer::Metal(1)),
+            "global wiring must be fatter than local"
+        );
+    }
+
+    #[test]
+    fn rules_shrink_with_node() {
+        let old = DesignRules::for_node(TechnologyNode::N180);
+        let new = DesignRules::for_node(TechnologyNode::N16);
+        assert!(new.min_width_um(Layer::Metal(1)) < old.min_width_um(Layer::Metal(1)));
+        assert!(new.routing_pitch_um(1) < old.routing_pitch_um(1));
+    }
+
+    #[test]
+    fn layer_stack_matches_node_metal_count() {
+        let rules = DesignRules::for_node(TechnologyNode::N130);
+        let metals = rules
+            .layers()
+            .iter()
+            .filter(|l| matches!(l, Layer::Metal(_)))
+            .count();
+        assert_eq!(metals, TechnologyNode::N130.metal_layers());
+    }
+
+    #[test]
+    fn gds_layer_numbers_unique() {
+        use std::collections::HashSet;
+        let rules = DesignRules::for_node(TechnologyNode::N2);
+        let mut seen = HashSet::new();
+        for layer in rules.layers() {
+            assert!(
+                seen.insert(layer.gds_layer()),
+                "duplicate GDS layer for {layer}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Layer::Metal(3).to_string(), "M3");
+        assert_eq!(Layer::Via(1).to_string(), "V1");
+        assert_eq!(Layer::Poly.to_string(), "POLY");
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests over library generation and Liberty emission.
+
+use chipforge_pdk::{
+    liberty, CellClass, DesignRules, Layer, LibraryKind, SramMacro, StdCellLibrary, TechnologyNode,
+};
+use proptest::prelude::*;
+
+fn any_node() -> impl Strategy<Value = TechnologyNode> {
+    proptest::sample::select(TechnologyNode::ALL.to_vec())
+}
+
+fn any_kind() -> impl Strategy<Value = LibraryKind> {
+    prop_oneof![Just(LibraryKind::Open), Just(LibraryKind::Commercial)]
+}
+
+proptest! {
+    #[test]
+    fn drive_variants_are_monotonic(node in any_node(), kind in any_kind()) {
+        let lib = StdCellLibrary::generate(node, kind);
+        for class in CellClass::ALL {
+            let variants = lib.variants(class);
+            for pair in variants.windows(2) {
+                prop_assert!(pair[0].drive() < pair[1].drive(), "{class}");
+                prop_assert!(pair[0].area_um2() < pair[1].area_um2(), "{class}");
+                // Stronger drive -> lower resistance (non-tie cells).
+                if pair[0].resistance_ps_per_ff() > 0.0 {
+                    prop_assert!(
+                        pair[1].resistance_ps_per_ff() < pair[0].resistance_ps_per_ff()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delays_are_positive_and_monotone_in_load(
+        node in any_node(),
+        kind in any_kind(),
+        load in 0.1f64..100.0,
+    ) {
+        let lib = StdCellLibrary::generate(node, kind);
+        for cell in lib.cells() {
+            if cell.class().is_sequential() || cell.resistance_ps_per_ff() == 0.0 {
+                continue;
+            }
+            let d1 = cell.delay_ps(load);
+            let d2 = cell.delay_ps(load * 2.0);
+            prop_assert!(d1 > 0.0, "{}", cell.name());
+            prop_assert!(d2 > d1, "{}", cell.name());
+        }
+    }
+
+    #[test]
+    fn size_for_load_never_violates_budget_when_possible(
+        node in any_node(),
+        load in 1.0f64..60.0,
+        budget in 10.0f64..2_000.0,
+    ) {
+        let lib = StdCellLibrary::generate(node, LibraryKind::Commercial);
+        if let Some(cell) = lib.size_for_load(CellClass::Nand2, load, budget) {
+            let strongest = lib.strongest(CellClass::Nand2).expect("exists");
+            if strongest.delay_ps(load) <= budget {
+                prop_assert!(cell.delay_ps(load) <= budget);
+            } else {
+                prop_assert_eq!(cell.name(), strongest.name());
+            }
+        }
+    }
+
+    #[test]
+    fn liberty_emission_is_well_formed(node in any_node(), kind in any_kind()) {
+        let lib = StdCellLibrary::generate(node, kind);
+        let text = liberty::write_liberty(&lib);
+        prop_assert_eq!(text.matches('{').count(), text.matches('}').count());
+        let header = format!("library ({})", lib.name());
+        let has_header = text.contains(&header);
+        prop_assert!(has_header);
+        // One cell group per library cell.
+        prop_assert_eq!(text.matches("\n  cell (").count(), lib.len());
+    }
+
+    #[test]
+    fn design_rules_scale_with_layers(node in any_node(), m in 1u8..6) {
+        let rules = DesignRules::for_node(node);
+        let lower = rules.min_width_um(Layer::Metal(m));
+        let upper = rules.min_width_um(Layer::Metal(m + 2));
+        prop_assert!(upper >= lower, "upper metals are never narrower");
+        prop_assert!(rules.via_enclosure_um(m) > 0.0);
+    }
+
+    #[test]
+    fn sram_area_is_superadditive_in_bits(
+        node in any_node(),
+        words in 16u32..4096,
+        bits in 4u32..64,
+    ) {
+        let one = SramMacro::generate(words, bits, node);
+        let double = SramMacro::generate(words * 2, bits, node);
+        prop_assert!(double.area_um2() > one.area_um2());
+        prop_assert!(double.access_ps() >= one.access_ps());
+        prop_assert_eq!(double.bits(), one.bits() * 2);
+    }
+}

@@ -1,0 +1,190 @@
+//! Die and row floorplanning.
+
+use chipforge_netlist::Netlist;
+use chipforge_pdk::StdCellLibrary;
+use serde::{Deserialize, Serialize};
+
+/// A rectangular core area with standard-cell rows.
+///
+/// ```
+/// use chipforge_pdk::{LibraryKind, StdCellLibrary, TechnologyNode};
+/// use chipforge_place::Floorplan;
+///
+/// let lib = StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Open);
+/// let fp = Floorplan::for_area(500.0, &lib, 0.7);
+/// assert!(fp.rows() > 0);
+/// assert!(fp.core_width_um() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    core_width_um: f64,
+    core_height_um: f64,
+    row_height_um: f64,
+    site_width_um: f64,
+    rows: usize,
+    sites_per_row: usize,
+    target_utilization: f64,
+}
+
+impl Floorplan {
+    /// Floorplans a near-square core for `cell_area_um2` of standard cells
+    /// at the given utilization target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is not in `(0, 1]` or the area is not
+    /// positive.
+    #[must_use]
+    pub fn for_area(cell_area_um2: f64, lib: &StdCellLibrary, utilization: f64) -> Self {
+        assert!(
+            utilization > 0.0 && utilization <= 1.0,
+            "utilization must be in (0, 1]"
+        );
+        assert!(cell_area_um2 > 0.0, "cell area must be positive");
+        let core_area = cell_area_um2 / utilization;
+        let row_height = lib.row_height_um();
+        let site_width = lib.site_width_um();
+        // Near-square: height = rows * row_height closest to sqrt(area).
+        let side = core_area.sqrt();
+        let rows = (side / row_height).ceil().max(1.0) as usize;
+        let core_height = rows as f64 * row_height;
+        let width = (core_area / core_height).max(site_width);
+        let sites_per_row = (width / site_width).ceil().max(1.0) as usize;
+        let core_width = sites_per_row as f64 * site_width;
+        Self {
+            core_width_um: core_width,
+            core_height_um: core_height,
+            row_height_um: row_height,
+            site_width_um: site_width,
+            rows,
+            sites_per_row,
+            target_utilization: utilization,
+        }
+    }
+
+    /// Floorplans for the total cell area of a netlist.
+    ///
+    /// Returns `None` if the netlist has no cells or references cells
+    /// missing from the library.
+    #[must_use]
+    pub fn for_netlist(netlist: &Netlist, lib: &StdCellLibrary, utilization: f64) -> Option<Self> {
+        let mut area = 0.0;
+        for cell in netlist.cells() {
+            area += lib.cell(cell.lib_cell())?.area_um2();
+        }
+        if area <= 0.0 {
+            return None;
+        }
+        Some(Self::for_area(area, lib, utilization))
+    }
+
+    /// Core width in µm.
+    #[must_use]
+    pub fn core_width_um(&self) -> f64 {
+        self.core_width_um
+    }
+
+    /// Core height in µm.
+    #[must_use]
+    pub fn core_height_um(&self) -> f64 {
+        self.core_height_um
+    }
+
+    /// Core area in µm².
+    #[must_use]
+    pub fn core_area_um2(&self) -> f64 {
+        self.core_width_um * self.core_height_um
+    }
+
+    /// Number of cell rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Placement sites per row.
+    #[must_use]
+    pub fn sites_per_row(&self) -> usize {
+        self.sites_per_row
+    }
+
+    /// Row height in µm.
+    #[must_use]
+    pub fn row_height_um(&self) -> f64 {
+        self.row_height_um
+    }
+
+    /// Site width in µm.
+    #[must_use]
+    pub fn site_width_um(&self) -> f64 {
+        self.site_width_um
+    }
+
+    /// Utilization the floorplan was sized for.
+    #[must_use]
+    pub fn target_utilization(&self) -> f64 {
+        self.target_utilization
+    }
+
+    /// The y coordinate of a row's bottom edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    #[must_use]
+    pub fn row_y_um(&self, row: usize) -> f64 {
+        assert!(row < self.rows, "row {row} out of range");
+        row as f64 * self.row_height_um
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipforge_pdk::{LibraryKind, TechnologyNode};
+
+    fn lib() -> StdCellLibrary {
+        StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Open)
+    }
+
+    #[test]
+    fn floorplan_is_near_square() {
+        let fp = Floorplan::for_area(10_000.0, &lib(), 0.7);
+        let aspect = fp.core_width_um() / fp.core_height_um();
+        assert!((0.5..2.0).contains(&aspect), "aspect {aspect}");
+    }
+
+    #[test]
+    fn utilization_bounds_core_area() {
+        let fp = Floorplan::for_area(7_000.0, &lib(), 0.7);
+        assert!(fp.core_area_um2() >= 10_000.0 * 0.99);
+    }
+
+    #[test]
+    fn lower_utilization_means_bigger_die() {
+        let dense = Floorplan::for_area(5_000.0, &lib(), 0.9);
+        let sparse = Floorplan::for_area(5_000.0, &lib(), 0.5);
+        assert!(sparse.core_area_um2() > 1.5 * dense.core_area_um2());
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn zero_utilization_rejected() {
+        let _ = Floorplan::for_area(1000.0, &lib(), 0.0);
+    }
+
+    #[test]
+    fn row_geometry_consistent() {
+        let fp = Floorplan::for_area(2_000.0, &lib(), 0.7);
+        assert!((fp.rows() as f64 * fp.row_height_um() - fp.core_height_um()).abs() < 1e-9);
+        assert!((fp.sites_per_row() as f64 * fp.site_width_um() - fp.core_width_um()).abs() < 1e-9);
+        assert_eq!(fp.row_y_um(0), 0.0);
+        assert!(fp.row_y_um(1) > 0.0);
+    }
+
+    #[test]
+    fn for_netlist_none_on_empty() {
+        let nl = Netlist::new("empty");
+        assert!(Floorplan::for_netlist(&nl, &lib(), 0.7).is_none());
+    }
+}

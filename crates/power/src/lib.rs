@@ -1,0 +1,417 @@
+//! # chipforge-power
+//!
+//! Switching-activity propagation and power estimation.
+//!
+//! The estimator computes, for every net, a static signal probability and a
+//! transition density (toggles per clock cycle), propagating from primary
+//! inputs through the combinational network under the usual spatial
+//! independence assumption. Transition densities use the Boolean-difference
+//! formulation: the output toggles when an input toggles *and* the function
+//! is sensitive to that input. Sequential feedback is resolved by fixed-
+//! point iteration over the flip-flop boundary.
+//!
+//! Power combines:
+//!
+//! * **switching** — `½ · C · V² · f · α` per driven net (cell internal +
+//!   wire + sink pin capacitance);
+//! * **clock tree** — every flip-flop clock pin toggles twice per cycle;
+//! * **leakage** — per-cell static power from the library.
+//!
+//! ## Example
+//!
+//! ```
+//! use chipforge_hdl::designs;
+//! use chipforge_pdk::{LibraryKind, StdCellLibrary, TechnologyNode};
+//! use chipforge_synth::{synthesize, SynthOptions};
+//! use chipforge_power::{estimate, PowerOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let module = designs::counter(8).elaborate()?;
+//! let lib = StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Open);
+//! let netlist = synthesize(&module, &lib, &SynthOptions::default())?.netlist;
+//! let report = estimate(&netlist, &lib, &PowerOptions::new(100.0))?;
+//! assert!(report.total_uw() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use chipforge_netlist::{CellFunction, NetId, Netlist, NetlistError};
+use chipforge_pdk::StdCellLibrary;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Options for [`estimate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerOptions {
+    /// Clock frequency in MHz.
+    pub clock_mhz: f64,
+    /// Static one-probability assumed for primary inputs.
+    pub input_probability: f64,
+    /// Toggle rate of primary inputs, in transitions per cycle.
+    pub input_activity: f64,
+    /// Per-net wire capacitance in fF (e.g. from routing back-annotation).
+    pub net_wire_cap_ff: HashMap<NetId, f64>,
+}
+
+impl PowerOptions {
+    /// Creates options for a clock frequency with default activity
+    /// (p = 0.5, 0.25 toggles per cycle — uniformly random data every
+    /// other cycle).
+    #[must_use]
+    pub fn new(clock_mhz: f64) -> Self {
+        Self {
+            clock_mhz,
+            input_probability: 0.5,
+            input_activity: 0.25,
+            net_wire_cap_ff: HashMap::new(),
+        }
+    }
+}
+
+/// Power estimation result. All values in µW.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Combinational + register data switching power, µW.
+    pub switching_uw: f64,
+    /// Clock-tree (flip-flop clock pin) power, µW.
+    pub clock_uw: f64,
+    /// Static leakage, µW.
+    pub leakage_uw: f64,
+    /// Per-net toggle rates (transitions per cycle).
+    pub net_activity: HashMap<NetId, f64>,
+}
+
+impl PowerReport {
+    /// Total power in µW.
+    #[must_use]
+    pub fn total_uw(&self) -> f64 {
+        self.switching_uw + self.clock_uw + self.leakage_uw
+    }
+
+    /// Dynamic (switching + clock) power in µW.
+    #[must_use]
+    pub fn dynamic_uw(&self) -> f64 {
+        self.switching_uw + self.clock_uw
+    }
+}
+
+/// Errors from power estimation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// A cell references a library cell missing from the library.
+    UnknownLibCell(String),
+    /// The netlist is invalid.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::UnknownLibCell(name) => write!(f, "unknown library cell `{name}`"),
+            PowerError::Netlist(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl Error for PowerError {}
+
+impl From<NetlistError> for PowerError {
+    fn from(e: NetlistError) -> Self {
+        PowerError::Netlist(e)
+    }
+}
+
+/// Static output probability of a function given input one-probabilities,
+/// and the per-input Boolean-difference sensitivities.
+fn gate_statistics(function: CellFunction, p_in: &[f64]) -> (f64, Vec<f64>) {
+    let n = function.input_count();
+    debug_assert_eq!(p_in.len(), n);
+    let mut p_out = 0.0;
+    let mut sensitivity = vec![0.0; n];
+    // Enumerate all input patterns (n <= 3).
+    for pattern in 0u32..(1 << n) {
+        let inputs: Vec<bool> = (0..n).map(|i| (pattern >> i) & 1 == 1).collect();
+        let prob: f64 = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| if b { p_in[i] } else { 1.0 - p_in[i] })
+            .product();
+        let out = function.eval(&inputs);
+        if out {
+            p_out += prob;
+        }
+        // Sensitivity of input i: f flips when i flips, weighted by the
+        // probability of the *other* inputs.
+        for i in 0..n {
+            let mut flipped = inputs.clone();
+            flipped[i] = !flipped[i];
+            if function.eval(&flipped) != out {
+                let others: f64 = inputs
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(j, &b)| if b { p_in[j] } else { 1.0 - p_in[j] })
+                    .product();
+                // Each pattern counted once per polarity of input i; halve.
+                sensitivity[i] += others * 0.5;
+            }
+        }
+    }
+    (p_out, sensitivity)
+}
+
+/// Estimates power for a mapped netlist.
+///
+/// # Errors
+///
+/// Returns [`PowerError::UnknownLibCell`] or [`PowerError::Netlist`].
+pub fn estimate(
+    netlist: &Netlist,
+    lib: &StdCellLibrary,
+    options: &PowerOptions,
+) -> Result<PowerReport, PowerError> {
+    let order = netlist.combinational_order()?;
+    let n_nets = netlist.net_count();
+    let mut prob = vec![0.5f64; n_nets];
+    let mut activity = vec![0.0f64; n_nets];
+
+    for (_, net) in netlist.inputs() {
+        prob[net.index()] = options.input_probability;
+        activity[net.index()] = options.input_activity;
+    }
+    // Fixed-point over the sequential boundary.
+    for _ in 0..12 {
+        // Constants and registers seed the combinational evaluation.
+        for cell in netlist.cells() {
+            match cell.function() {
+                CellFunction::Const0 => {
+                    prob[cell.output().index()] = 0.0;
+                    activity[cell.output().index()] = 0.0;
+                }
+                CellFunction::Const1 => {
+                    prob[cell.output().index()] = 1.0;
+                    activity[cell.output().index()] = 0.0;
+                }
+                _ => {}
+            }
+        }
+        for &id in &order {
+            let cell = netlist.cell(id);
+            if cell.function().is_constant() {
+                continue;
+            }
+            let p_in: Vec<f64> = cell.inputs().iter().map(|n| prob[n.index()]).collect();
+            let (p_out, sens) = gate_statistics(cell.function(), &p_in);
+            let a_out: f64 = cell
+                .inputs()
+                .iter()
+                .zip(sens.iter())
+                .map(|(n, s)| activity[n.index()] * s)
+                .sum();
+            prob[cell.output().index()] = p_out;
+            activity[cell.output().index()] = a_out.min(1.0);
+        }
+        // Registers: sampled D (DFFE: gated by enable probability).
+        let mut changed = false;
+        for cell in netlist.cells() {
+            let (new_p, new_a) = match cell.function() {
+                CellFunction::Dff => {
+                    let d = cell.inputs()[0];
+                    (
+                        prob[d.index()],
+                        (2.0 * prob[d.index()] * (1.0 - prob[d.index()])).min(1.0),
+                    )
+                }
+                CellFunction::DffEn => {
+                    let d = cell.inputs()[0];
+                    let en = cell.inputs()[1];
+                    let p_en = prob[en.index()];
+                    let p_d = prob[d.index()];
+                    (
+                        p_d * p_en + prob[cell.output().index()] * (1.0 - p_en),
+                        (2.0 * p_d * (1.0 - p_d) * p_en).min(1.0),
+                    )
+                }
+                _ => continue,
+            };
+            let out = cell.output().index();
+            if (prob[out] - new_p).abs() > 1e-9 || (activity[out] - new_a).abs() > 1e-9 {
+                changed = true;
+            }
+            prob[out] = new_p;
+            activity[out] = new_a;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // --- power accounting ---
+    let vdd = lib.node().supply_v();
+    let f_hz = options.clock_mhz * 1e6;
+    let mut switching_w = 0.0;
+    let mut clock_w = 0.0;
+    let mut leakage_w = 0.0;
+    for cell in netlist.cells() {
+        let lib_cell = lib
+            .cell(cell.lib_cell())
+            .ok_or_else(|| PowerError::UnknownLibCell(cell.lib_cell().to_string()))?;
+        leakage_w += lib_cell.leakage_nw() * 1e-9;
+        // Load on the output net: sink pins + wire.
+        let out = cell.output();
+        let mut load_ff = options.net_wire_cap_ff.get(&out).copied().unwrap_or(0.0);
+        for &(sink, _) in netlist.net(out).sinks() {
+            let sink_cell = netlist.cell(sink);
+            let sink_lib = lib
+                .cell(sink_cell.lib_cell())
+                .ok_or_else(|| PowerError::UnknownLibCell(sink_cell.lib_cell().to_string()))?;
+            load_ff += sink_lib.input_cap_ff();
+        }
+        let internal_ff = lib_cell.input_cap_ff() * 0.5;
+        let c_total = (load_ff + internal_ff) * 1e-15;
+        switching_w += 0.5 * c_total * vdd * vdd * f_hz * activity[out.index()];
+        if cell.is_sequential() {
+            // Clock pin: full swing twice per cycle -> alpha = 2 on C_clk.
+            let c_clk = lib_cell.input_cap_ff() * 0.4 * 1e-15;
+            clock_w += c_clk * vdd * vdd * f_hz;
+        }
+    }
+
+    let net_activity = netlist
+        .nets()
+        .map(|n| (n.id(), activity[n.id().index()]))
+        .collect();
+    Ok(PowerReport {
+        switching_uw: switching_w * 1e6,
+        clock_uw: clock_w * 1e6,
+        leakage_uw: leakage_w * 1e6,
+        net_activity,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipforge_hdl::designs;
+    use chipforge_pdk::{LibraryKind, TechnologyNode};
+    use chipforge_synth::{synthesize, SynthOptions};
+
+    fn lib() -> StdCellLibrary {
+        StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Open)
+    }
+
+    fn netlist_of(design: chipforge_hdl::designs::Design) -> Netlist {
+        let module = design.elaborate().unwrap();
+        synthesize(&module, &lib(), &SynthOptions::default())
+            .unwrap()
+            .netlist
+    }
+
+    #[test]
+    fn gate_statistics_match_theory() {
+        // AND of two p=0.5 inputs: p_out = 0.25, sensitivity = p(other=1) = 0.5.
+        let (p, s) = gate_statistics(CellFunction::And2, &[0.5, 0.5]);
+        assert!((p - 0.25).abs() < 1e-12);
+        assert!((s[0] - 0.5).abs() < 1e-12);
+        // XOR is always sensitive.
+        let (p, s) = gate_statistics(CellFunction::Xor2, &[0.5, 0.5]);
+        assert!((p - 0.5).abs() < 1e-12);
+        assert!((s[0] - 1.0).abs() < 1e-12);
+        // Inverter passes probability through complemented.
+        let (p, s) = gate_statistics(CellFunction::Inv, &[0.3]);
+        assert!((p - 0.7).abs() < 1e-12);
+        assert!((s[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_scales_linearly_with_frequency() {
+        let netlist = netlist_of(designs::counter(8));
+        let lib = lib();
+        let p100 = estimate(&netlist, &lib, &PowerOptions::new(100.0)).unwrap();
+        let p200 = estimate(&netlist, &lib, &PowerOptions::new(200.0)).unwrap();
+        let ratio = p200.dynamic_uw() / p100.dynamic_uw();
+        assert!((ratio - 2.0).abs() < 1e-6, "ratio {ratio}");
+        assert!(
+            (p200.leakage_uw - p100.leakage_uw).abs() < 1e-12,
+            "leakage is static"
+        );
+    }
+
+    #[test]
+    fn idle_inputs_reduce_switching() {
+        let netlist = netlist_of(designs::alu(8));
+        let lib = lib();
+        let active = estimate(&netlist, &lib, &PowerOptions::new(100.0)).unwrap();
+        let mut idle_opts = PowerOptions::new(100.0);
+        idle_opts.input_activity = 0.0;
+        let idle = estimate(&netlist, &lib, &idle_opts).unwrap();
+        assert!(idle.switching_uw < active.switching_uw * 0.2);
+        assert!(
+            (idle.clock_uw - active.clock_uw).abs() < 1e-12,
+            "clock never gates"
+        );
+    }
+
+    #[test]
+    fn bigger_designs_burn_more_power() {
+        let lib = lib();
+        let small = estimate(
+            &netlist_of(designs::counter(8)),
+            &lib,
+            &PowerOptions::new(100.0),
+        )
+        .unwrap();
+        let big = estimate(
+            &netlist_of(designs::fir4(8)),
+            &lib,
+            &PowerOptions::new(100.0),
+        )
+        .unwrap();
+        assert!(big.total_uw() > small.total_uw());
+    }
+
+    #[test]
+    fn leakage_grows_at_advanced_nodes() {
+        let module = designs::counter(8).elaborate().unwrap();
+        let lib130 = StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Open);
+        let lib28 = StdCellLibrary::generate(TechnologyNode::N28, LibraryKind::Commercial);
+        let nl130 = synthesize(&module, &lib130, &SynthOptions::default())
+            .unwrap()
+            .netlist;
+        let nl28 = synthesize(&module, &lib28, &SynthOptions::default())
+            .unwrap()
+            .netlist;
+        let p130 = estimate(&nl130, &lib130, &PowerOptions::new(100.0)).unwrap();
+        let p28 = estimate(&nl28, &lib28, &PowerOptions::new(100.0)).unwrap();
+        assert!(p28.leakage_uw > p130.leakage_uw * 10.0);
+    }
+
+    #[test]
+    fn wire_caps_increase_switching_power() {
+        let netlist = netlist_of(designs::counter(8));
+        let lib = lib();
+        let base = estimate(&netlist, &lib, &PowerOptions::new(100.0)).unwrap();
+        let mut opts = PowerOptions::new(100.0);
+        for net in netlist.nets() {
+            opts.net_wire_cap_ff.insert(net.id(), 20.0);
+        }
+        let loaded = estimate(&netlist, &lib, &opts).unwrap();
+        assert!(loaded.switching_uw > base.switching_uw);
+    }
+
+    #[test]
+    fn activities_are_bounded() {
+        let netlist = netlist_of(designs::fir4(8));
+        let lib = lib();
+        let report = estimate(&netlist, &lib, &PowerOptions::new(100.0)).unwrap();
+        for a in report.net_activity.values() {
+            assert!((0.0..=1.0).contains(a), "activity {a}");
+        }
+    }
+}

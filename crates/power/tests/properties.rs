@@ -1,0 +1,77 @@
+//! Property tests for the power estimator.
+
+use chipforge_hdl::designs;
+use chipforge_netlist::Netlist;
+use chipforge_pdk::{LibraryKind, StdCellLibrary, TechnologyNode};
+use chipforge_power::{estimate, PowerOptions};
+use chipforge_synth::{synthesize, SynthOptions};
+use proptest::prelude::*;
+
+fn lib() -> StdCellLibrary {
+    StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Open)
+}
+
+fn suite_netlist(index: usize) -> Netlist {
+    let suite = designs::suite();
+    let design = &suite[index % suite.len()];
+    let module = design.elaborate().expect("elaborates");
+    synthesize(&module, &lib(), &SynthOptions::default())
+        .expect("synthesizes")
+        .netlist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dynamic_power_is_linear_in_frequency(
+        index in 0usize..17,
+        f1 in 10.0f64..500.0,
+        scale in 1.1f64..8.0,
+    ) {
+        let netlist = suite_netlist(index);
+        let lib = lib();
+        let p1 = estimate(&netlist, &lib, &PowerOptions::new(f1)).expect("estimates");
+        let p2 = estimate(&netlist, &lib, &PowerOptions::new(f1 * scale)).expect("estimates");
+        let ratio = p2.dynamic_uw() / p1.dynamic_uw();
+        prop_assert!((ratio - scale).abs() < 1e-6, "ratio {ratio} vs scale {scale}");
+        prop_assert!((p1.leakage_uw - p2.leakage_uw).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_input_activity_never_reduces_switching(
+        index in 0usize..17,
+        low in 0.0f64..0.4,
+        extra in 0.05f64..0.5,
+    ) {
+        let netlist = suite_netlist(index);
+        let lib = lib();
+        let mut opts_low = PowerOptions::new(100.0);
+        opts_low.input_activity = low;
+        let mut opts_high = PowerOptions::new(100.0);
+        opts_high.input_activity = low + extra;
+        let p_low = estimate(&netlist, &lib, &opts_low).expect("estimates");
+        let p_high = estimate(&netlist, &lib, &opts_high).expect("estimates");
+        prop_assert!(p_high.switching_uw >= p_low.switching_uw - 1e-12);
+    }
+
+    #[test]
+    fn probabilities_and_activities_stay_bounded(
+        index in 0usize..17,
+        prob in 0.0f64..1.0,
+        act in 0.0f64..1.0,
+    ) {
+        let netlist = suite_netlist(index);
+        let lib = lib();
+        let mut opts = PowerOptions::new(100.0);
+        opts.input_probability = prob;
+        opts.input_activity = act;
+        let report = estimate(&netlist, &lib, &opts).expect("estimates");
+        for a in report.net_activity.values() {
+            prop_assert!((0.0..=1.0).contains(a), "activity {a}");
+        }
+        prop_assert!(report.switching_uw >= 0.0);
+        prop_assert!(report.clock_uw >= 0.0);
+        prop_assert!(report.leakage_uw > 0.0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Gcell grid with per-edge capacities and usage tracking.
+
+use chipforge_pdk::StdCellLibrary;
+use serde::{Deserialize, Serialize};
+
+/// A gcell coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GridCoord {
+    /// Column.
+    pub x: u16,
+    /// Row.
+    pub y: u16,
+}
+
+impl GridCoord {
+    /// Creates a coordinate.
+    #[must_use]
+    pub fn new(x: u16, y: u16) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan distance to another coordinate, in gcells.
+    #[must_use]
+    pub fn manhattan(self, other: GridCoord) -> u32 {
+        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+    }
+}
+
+/// The routing grid: `width × height` gcells with directed edge usage.
+///
+/// Horizontal edges connect `(x, y)`–`(x+1, y)`; vertical edges connect
+/// `(x, y)`–`(x, y+1)`. Capacity per edge is the number of routing tracks
+/// crossing the gcell boundary, split between horizontal and vertical
+/// layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GcellGrid {
+    width: u16,
+    height: u16,
+    gcell_um: f64,
+    h_capacity: u16,
+    v_capacity: u16,
+    /// Usage of horizontal edges, index = y * (width-1) + x.
+    h_usage: Vec<u16>,
+    /// Usage of vertical edges, index = y * width + x.
+    v_usage: Vec<u16>,
+}
+
+impl GcellGrid {
+    /// Builds a grid covering `core_w_um × core_h_um` with gcells of
+    /// `gcell_um`, capacities derived from the library's node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are non-positive.
+    #[must_use]
+    pub fn new(core_w_um: f64, core_h_um: f64, gcell_um: f64, lib: &StdCellLibrary) -> Self {
+        assert!(core_w_um > 0.0 && core_h_um > 0.0 && gcell_um > 0.0);
+        let width = (core_w_um / gcell_um).ceil().max(1.0) as u16 + 1;
+        let height = (core_h_um / gcell_um).ceil().max(1.0) as u16 + 1;
+        let node = lib.node();
+        let rules = chipforge_pdk::DesignRules::for_node(node);
+        // Tracks crossing one gcell boundary on one layer.
+        let tracks_per_layer = (gcell_um / rules.routing_pitch_um(2)).floor().max(1.0);
+        // Half the metal stack routes horizontally, half vertically; M1 is
+        // reserved for cell internals and pin access.
+        let layers_each = ((node.metal_layers() - 1) / 2).max(1) as f64;
+        let capacity = (tracks_per_layer * layers_each * 0.8) as u16;
+        Self {
+            width,
+            height,
+            gcell_um,
+            h_capacity: capacity.max(1),
+            v_capacity: capacity.max(1),
+            h_usage: vec![0; (width as usize - 1) * height as usize],
+            v_usage: vec![0; width as usize * (height as usize - 1)],
+        }
+    }
+
+    /// Grid width in gcells.
+    #[must_use]
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Grid height in gcells.
+    #[must_use]
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Gcell edge length in µm.
+    #[must_use]
+    pub fn gcell_um(&self) -> f64 {
+        self.gcell_um
+    }
+
+    /// Capacity of horizontal edges.
+    #[must_use]
+    pub fn h_capacity(&self) -> u16 {
+        self.h_capacity
+    }
+
+    /// Capacity of vertical edges.
+    #[must_use]
+    pub fn v_capacity(&self) -> u16 {
+        self.v_capacity
+    }
+
+    /// Converts a µm position to the containing gcell.
+    #[must_use]
+    pub fn coord_of(&self, x_um: f64, y_um: f64) -> GridCoord {
+        let x = (x_um / self.gcell_um).floor().max(0.0) as u16;
+        let y = (y_um / self.gcell_um).floor().max(0.0) as u16;
+        GridCoord {
+            x: x.min(self.width - 1),
+            y: y.min(self.height - 1),
+        }
+    }
+
+    fn h_index(&self, x: u16, y: u16) -> usize {
+        y as usize * (self.width as usize - 1) + x as usize
+    }
+
+    fn v_index(&self, x: u16, y: u16) -> usize {
+        y as usize * self.width as usize + x as usize
+    }
+
+    /// Usage and capacity of the edge between two adjacent gcells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are not 4-neighbours.
+    #[must_use]
+    pub fn edge_usage(&self, a: GridCoord, b: GridCoord) -> (u16, u16) {
+        if a.y == b.y {
+            let x = a.x.min(b.x);
+            assert_eq!(a.x.abs_diff(b.x), 1, "not adjacent");
+            (self.h_usage[self.h_index(x, a.y)], self.h_capacity)
+        } else {
+            let y = a.y.min(b.y);
+            assert_eq!(a.y.abs_diff(b.y), 1, "not adjacent");
+            assert_eq!(a.x, b.x, "not adjacent");
+            (self.v_usage[self.v_index(a.x, y)], self.v_capacity)
+        }
+    }
+
+    /// Adds (or removes, with `delta < 0`) usage on an edge.
+    pub fn add_usage(&mut self, a: GridCoord, b: GridCoord, delta: i32) {
+        if a.y == b.y {
+            let x = a.x.min(b.x);
+            let idx = self.h_index(x, a.y);
+            self.h_usage[idx] = (i32::from(self.h_usage[idx]) + delta).max(0) as u16;
+        } else {
+            let y = a.y.min(b.y);
+            let idx = self.v_index(a.x, y);
+            self.v_usage[idx] = (i32::from(self.v_usage[idx]) + delta).max(0) as u16;
+        }
+    }
+
+    /// Number of edges whose usage exceeds capacity.
+    #[must_use]
+    pub fn overflowed_edges(&self) -> usize {
+        self.h_usage
+            .iter()
+            .filter(|&&u| u > self.h_capacity)
+            .count()
+            + self
+                .v_usage
+                .iter()
+                .filter(|&&u| u > self.v_capacity)
+                .count()
+    }
+
+    /// Peak edge congestion as usage/capacity.
+    #[must_use]
+    pub fn peak_congestion(&self) -> f64 {
+        let h = self
+            .h_usage
+            .iter()
+            .map(|&u| f64::from(u) / f64::from(self.h_capacity))
+            .fold(0.0, f64::max);
+        let v = self
+            .v_usage
+            .iter()
+            .map(|&u| f64::from(u) / f64::from(self.v_capacity))
+            .fold(0.0, f64::max);
+        h.max(v)
+    }
+
+    /// The 4-neighbours of a gcell.
+    pub fn neighbors(&self, c: GridCoord) -> impl Iterator<Item = GridCoord> + '_ {
+        let (x, y) = (c.x, c.y);
+        let mut out = Vec::with_capacity(4);
+        if x > 0 {
+            out.push(GridCoord::new(x - 1, y));
+        }
+        if x + 1 < self.width {
+            out.push(GridCoord::new(x + 1, y));
+        }
+        if y > 0 {
+            out.push(GridCoord::new(x, y - 1));
+        }
+        if y + 1 < self.height {
+            out.push(GridCoord::new(x, y + 1));
+        }
+        out.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipforge_pdk::{LibraryKind, TechnologyNode};
+
+    fn grid() -> GcellGrid {
+        let lib = StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Open);
+        GcellGrid::new(100.0, 80.0, 10.0, &lib)
+    }
+
+    #[test]
+    fn grid_dimensions_cover_core() {
+        let g = grid();
+        assert!(g.width() >= 10);
+        assert!(g.height() >= 8);
+        assert!(g.h_capacity() >= 1);
+    }
+
+    #[test]
+    fn coord_mapping_clamps() {
+        let g = grid();
+        assert_eq!(g.coord_of(0.0, 0.0), GridCoord::new(0, 0));
+        assert_eq!(g.coord_of(25.0, 15.0), GridCoord::new(2, 1));
+        let far = g.coord_of(1e9, 1e9);
+        assert_eq!(far.x, g.width() - 1);
+        assert_eq!(far.y, g.height() - 1);
+    }
+
+    #[test]
+    fn usage_add_and_remove() {
+        let mut g = grid();
+        let a = GridCoord::new(1, 1);
+        let b = GridCoord::new(2, 1);
+        assert_eq!(g.edge_usage(a, b).0, 0);
+        g.add_usage(a, b, 1);
+        assert_eq!(g.edge_usage(a, b).0, 1);
+        assert_eq!(g.edge_usage(b, a).0, 1, "edges are undirected");
+        g.add_usage(b, a, -1);
+        assert_eq!(g.edge_usage(a, b).0, 0);
+    }
+
+    #[test]
+    fn overflow_detection() {
+        let mut g = grid();
+        let a = GridCoord::new(0, 0);
+        let b = GridCoord::new(1, 0);
+        for _ in 0..=g.h_capacity() {
+            g.add_usage(a, b, 1);
+        }
+        assert_eq!(g.overflowed_edges(), 1);
+        assert!(g.peak_congestion() > 1.0);
+    }
+
+    #[test]
+    fn neighbors_respect_bounds() {
+        let g = grid();
+        let corner: Vec<_> = g.neighbors(GridCoord::new(0, 0)).collect();
+        assert_eq!(corner.len(), 2);
+        let middle: Vec<_> = g.neighbors(GridCoord::new(2, 2)).collect();
+        assert_eq!(middle.len(), 4);
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(GridCoord::new(0, 0).manhattan(GridCoord::new(3, 4)), 7);
+    }
+
+    #[test]
+    fn advanced_nodes_have_more_tracks() {
+        let old = GcellGrid::new(
+            100.0,
+            100.0,
+            10.0,
+            &StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Open),
+        );
+        let new = GcellGrid::new(
+            100.0,
+            100.0,
+            10.0,
+            &StdCellLibrary::generate(TechnologyNode::N7, LibraryKind::Commercial),
+        );
+        assert!(new.h_capacity() > 2 * old.h_capacity());
+    }
+}

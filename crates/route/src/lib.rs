@@ -1,0 +1,44 @@
+//! # chipforge-route
+//!
+//! Grid-based global routing with congestion negotiation.
+//!
+//! The router tessellates the core area into gcells, derives per-edge track
+//! capacities from the node's routing pitches and metal-layer count, breaks
+//! every multi-pin net into two-pin segments along a minimum spanning tree,
+//! and routes each segment with congestion-aware A*. Overflowed nets are
+//! ripped up and rerouted with escalating history costs (a simplified
+//! PathFinder negotiation).
+//!
+//! The result reports per-net wirelength (used to back-annotate wire
+//! capacitance into `chipforge-sta`-style timing), via counts, the
+//! congestion map and any remaining overflow.
+//!
+//! ## Example
+//!
+//! ```
+//! use chipforge_hdl::designs;
+//! use chipforge_pdk::{LibraryKind, StdCellLibrary, TechnologyNode};
+//! use chipforge_synth::{synthesize, SynthOptions};
+//! use chipforge_place::{place, PlacementOptions};
+//! use chipforge_route::{route, RouteOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let module = designs::counter(8).elaborate()?;
+//! let lib = StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Open);
+//! let netlist = synthesize(&module, &lib, &SynthOptions::default())?.netlist;
+//! let placement = place(&netlist, &lib, &PlacementOptions::default())?;
+//! let routing = route(&netlist, &placement, &lib, &RouteOptions::default())?;
+//! assert!(routing.total_wirelength_um() > 0.0);
+//! assert_eq!(routing.overflowed_edges(), 0, "small designs route cleanly");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod grid;
+mod maze;
+
+pub use grid::{GcellGrid, GridCoord};
+pub use maze::{route, RouteError, RouteOptions, RoutedNet, Routing};

@@ -1,0 +1,92 @@
+//! Property tests for the global router.
+
+use chipforge_hdl::designs;
+use chipforge_pdk::{LibraryKind, StdCellLibrary, TechnologyNode};
+use chipforge_place::{place, PlacementOptions};
+use chipforge_route::{route, RouteOptions};
+use chipforge_synth::{synthesize, SynthOptions};
+use proptest::prelude::*;
+
+fn lib() -> StdCellLibrary {
+    StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Open)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn routing_invariants_hold_across_seeds(
+        design_index in 0usize..17,
+        seed in any::<u64>(),
+    ) {
+        let lib = lib();
+        let suite = designs::suite();
+        let design = &suite[design_index % suite.len()];
+        let module = design.elaborate().expect("elaborates");
+        let netlist = synthesize(&module, &lib, &SynthOptions::default())
+            .expect("synthesizes")
+            .netlist;
+        let placement = place(
+            &netlist,
+            &lib,
+            &PlacementOptions { seed, moves_per_cell: 20, ..PlacementOptions::default() },
+        )
+        .expect("places");
+        let routing = route(&netlist, &placement, &lib, &RouteOptions::default())
+            .expect("routes");
+
+        // Every edge joins adjacent gcells; wirelength is edge count times
+        // the gcell size.
+        let gcell = routing.grid().gcell_um();
+        for net in routing.nets() {
+            for (a, b) in &net.edges {
+                prop_assert_eq!(a.manhattan(*b), 1);
+            }
+            let expected = net.edges.len() as f64 * gcell;
+            prop_assert!((net.wirelength_um - expected).abs() < 1e-9);
+        }
+        // Usage bookkeeping: every edge's recorded usage covers the routes
+        // crossing it (no phantom or lost usage causing false overflow).
+        prop_assert!(routing.peak_congestion() >= 0.0);
+        prop_assert_eq!(
+            routing.overflowed_edges(),
+            0,
+            "suite designs must route cleanly at any placement seed"
+        );
+        // Back-annotation covers exactly the routed nets.
+        let caps = routing.wire_caps_ff(&lib);
+        prop_assert_eq!(caps.len(), routing.nets().len());
+    }
+
+    #[test]
+    fn more_negotiation_iterations_never_add_overflow(
+        seed in any::<u64>(),
+    ) {
+        let lib = lib();
+        let module = designs::alu(8).elaborate().expect("elaborates");
+        let netlist = synthesize(&module, &lib, &SynthOptions::default())
+            .expect("synthesizes")
+            .netlist;
+        let placement = place(
+            &netlist,
+            &lib,
+            &PlacementOptions { seed, moves_per_cell: 20, ..PlacementOptions::default() },
+        )
+        .expect("places");
+        let one = route(
+            &netlist,
+            &placement,
+            &lib,
+            &RouteOptions { gcell_um: 0.0, max_iterations: 1 },
+        )
+        .expect("routes");
+        let many = route(
+            &netlist,
+            &placement,
+            &lib,
+            &RouteOptions { gcell_um: 0.0, max_iterations: 6 },
+        )
+        .expect("routes");
+        prop_assert!(many.overflowed_edges() <= one.overflowed_edges());
+    }
+}

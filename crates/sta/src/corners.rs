@@ -1,0 +1,190 @@
+//! Multi-corner analysis: setup signed off at the slow corner, hold at the
+//! fast corner.
+
+use crate::{analyze, StaError, TimingOptions, TimingReport};
+use chipforge_netlist::Netlist;
+use chipforge_pdk::StdCellLibrary;
+use serde::{Deserialize, Serialize};
+
+/// A process/voltage/temperature corner as a delay derating factor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Corner {
+    /// Corner name (e.g. `"ss_0p9v_125c"`).
+    pub name: &'static str,
+    /// Multiplier on every cell delay (1.0 = typical).
+    pub derate: f64,
+}
+
+impl Corner {
+    /// Typical corner.
+    pub const TYPICAL: Corner = Corner {
+        name: "tt_nom_25c",
+        derate: 1.0,
+    };
+    /// Slow corner (slow process, low voltage, high temperature):
+    /// setup signoff.
+    pub const SLOW: Corner = Corner {
+        name: "ss_lowv_125c",
+        derate: 1.35,
+    };
+    /// Fast corner (fast process, high voltage, low temperature):
+    /// hold signoff.
+    pub const FAST: Corner = Corner {
+        name: "ff_highv_m40c",
+        derate: 0.75,
+    };
+}
+
+/// Reports at all three standard corners.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CornerReport {
+    /// Typical-corner report.
+    pub typical: TimingReport,
+    /// Slow-corner report (authoritative for setup).
+    pub slow: TimingReport,
+    /// Fast-corner report (authoritative for hold).
+    pub fast: TimingReport,
+}
+
+impl CornerReport {
+    /// Signoff setup slack: the slow corner's WNS.
+    #[must_use]
+    pub fn signoff_setup_wns_ps(&self) -> f64 {
+        self.slow.wns_ps
+    }
+
+    /// Signoff hold slack: the fast corner's hold WNS.
+    #[must_use]
+    pub fn signoff_hold_wns_ps(&self) -> f64 {
+        self.fast.hold_wns_ps
+    }
+
+    /// Whether the design closes timing at both signoff corners.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.signoff_setup_wns_ps() >= 0.0 && self.signoff_hold_wns_ps() >= 0.0
+    }
+}
+
+/// Runs analysis at one corner by scaling arrival-relevant delays.
+///
+/// Delay derating is applied uniformly by scaling the clock constraint and
+/// the resulting report back: `analyze` at period `T/derate` with
+/// undeviated delays is equivalent to derated delays at period `T`, and
+/// the report's times are rescaled so callers see real picoseconds.
+///
+/// # Errors
+///
+/// Propagates [`StaError`] from the underlying analysis.
+pub fn analyze_at_corner(
+    netlist: &Netlist,
+    lib: &StdCellLibrary,
+    options: &TimingOptions,
+    corner: Corner,
+) -> Result<TimingReport, StaError> {
+    let mut scaled = options.clone();
+    scaled.clock_period_ps = options.clock_period_ps / corner.derate;
+    scaled.input_delay_ps = options.input_delay_ps / corner.derate;
+    scaled.clock_skew_ps = options.clock_skew_ps / corner.derate;
+    let mut report = analyze(netlist, lib, &scaled)?;
+    let k = corner.derate;
+    report.wns_ps *= k;
+    report.tns_ps *= k;
+    report.max_arrival_ps *= k;
+    report.min_period_ps *= k;
+    report.hold_wns_ps *= k;
+    report.fmax_mhz = if report.min_period_ps > 0.0 {
+        1e6 / report.min_period_ps
+    } else {
+        f64::INFINITY
+    };
+    for step in &mut report.critical_path {
+        step.arrival_ps *= k;
+    }
+    Ok(report)
+}
+
+/// Runs the standard three-corner analysis.
+///
+/// # Errors
+///
+/// Propagates [`StaError`].
+pub fn analyze_corners(
+    netlist: &Netlist,
+    lib: &StdCellLibrary,
+    options: &TimingOptions,
+) -> Result<CornerReport, StaError> {
+    Ok(CornerReport {
+        typical: analyze_at_corner(netlist, lib, options, Corner::TYPICAL)?,
+        slow: analyze_at_corner(netlist, lib, options, Corner::SLOW)?,
+        fast: analyze_at_corner(netlist, lib, options, Corner::FAST)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipforge_netlist::CellFunction;
+    use chipforge_pdk::{LibraryKind, TechnologyNode};
+
+    fn lib() -> StdCellLibrary {
+        StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Open)
+    }
+
+    fn seq_netlist() -> Netlist {
+        let mut nl = Netlist::new("seq");
+        let q = nl.add_net("q");
+        let d2 = nl.add_net("d2");
+        let q2 = nl.add_net("q2");
+        nl.add_cell("ff1", CellFunction::Dff, "DFF_X1", &[q2], q)
+            .unwrap();
+        nl.add_cell("inv", CellFunction::Inv, "INV_X1", &[q], d2)
+            .unwrap();
+        nl.add_cell("ff2", CellFunction::Dff, "DFF_X1", &[d2], q2)
+            .unwrap();
+        nl.mark_output("q2", q2).unwrap();
+        nl
+    }
+
+    #[test]
+    fn corners_order_arrivals() {
+        let nl = seq_netlist();
+        let lib = lib();
+        let report = analyze_corners(&nl, &lib, &TimingOptions::new(5_000.0)).unwrap();
+        assert!(report.slow.max_arrival_ps > report.typical.max_arrival_ps);
+        assert!(report.fast.max_arrival_ps < report.typical.max_arrival_ps);
+        // Derate is exact in this linear model.
+        let ratio = report.slow.max_arrival_ps / report.typical.max_arrival_ps;
+        assert!((ratio - Corner::SLOW.derate).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn setup_is_worst_at_slow_hold_at_fast() {
+        let nl = seq_netlist();
+        let lib = lib();
+        let report = analyze_corners(&nl, &lib, &TimingOptions::new(2_000.0)).unwrap();
+        assert!(report.slow.wns_ps <= report.typical.wns_ps);
+        assert!(report.typical.wns_ps <= report.fast.wns_ps);
+        assert!(report.fast.hold_wns_ps <= report.typical.hold_wns_ps);
+    }
+
+    #[test]
+    fn signoff_summary_is_conservative() {
+        let nl = seq_netlist();
+        let lib = lib();
+        let report = analyze_corners(&nl, &lib, &TimingOptions::new(5_000.0)).unwrap();
+        assert_eq!(report.signoff_setup_wns_ps(), report.slow.wns_ps);
+        assert_eq!(report.signoff_hold_wns_ps(), report.fast.hold_wns_ps);
+        assert!(report.is_clean(), "relaxed clock closes at all corners");
+    }
+
+    #[test]
+    fn typical_corner_matches_plain_analyze() {
+        let nl = seq_netlist();
+        let lib = lib();
+        let opts = TimingOptions::new(4_000.0);
+        let plain = analyze(&nl, &lib, &opts).unwrap();
+        let typical = analyze_at_corner(&nl, &lib, &opts, Corner::TYPICAL).unwrap();
+        assert_eq!(plain, typical);
+    }
+}

@@ -1,0 +1,585 @@
+//! # chipforge-sta
+//!
+//! Static timing analysis over mapped netlists.
+//!
+//! The analyzer propagates arrival times through the combinational core of
+//! a [`chipforge_netlist::Netlist`] using the linear delay model of the
+//! [`chipforge_pdk::StdCellLibrary`] cells (`delay = intrinsic + R · load`),
+//! checks setup constraints at flip-flop D pins and primary outputs against
+//! a clock period, and extracts the critical path. A companion gate-sizing
+//! pass ([`size_cells`]) upsizes drive strengths along violating paths.
+//!
+//! Single-clock, setup-only analysis — hold checks are not modelled, which
+//! matches the idealized zero-skew clock tree the flow assumes.
+//!
+//! ## Example
+//!
+//! ```
+//! use chipforge_hdl::designs;
+//! use chipforge_pdk::{LibraryKind, StdCellLibrary, TechnologyNode};
+//! use chipforge_synth::{synthesize, SynthOptions};
+//! use chipforge_sta::{analyze, TimingOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let module = designs::alu(8).elaborate()?;
+//! let lib = StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Open);
+//! let netlist = synthesize(&module, &lib, &SynthOptions::default())?.netlist;
+//! let report = analyze(&netlist, &lib, &TimingOptions::new(10_000.0))?;
+//! assert!(report.max_arrival_ps > 0.0);
+//! assert!(report.wns_ps > 0.0, "10 ns is generous at 130 nm");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corners;
+mod sizing;
+
+pub use corners::{analyze_at_corner, analyze_corners, Corner, CornerReport};
+pub use sizing::{size_cells, SizingOutcome};
+
+use chipforge_netlist::{NetDriver, NetId, Netlist, NetlistError};
+use chipforge_pdk::StdCellLibrary;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Options for [`analyze`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingOptions {
+    /// Clock period constraint in picoseconds.
+    pub clock_period_ps: f64,
+    /// Arrival time of primary inputs relative to the clock edge, in ps.
+    pub input_delay_ps: f64,
+    /// Extra wire capacitance per fanout, in fF. When `None`, a default is
+    /// derived from the library's node (fanout-based wire-load model); pass
+    /// explicit per-net capacitances via [`TimingOptions::net_wire_cap_ff`]
+    /// after routing for back-annotated analysis.
+    pub wire_cap_per_fanout_ff: Option<f64>,
+    /// Post-route per-net wire capacitance in fF, keyed by net.
+    pub net_wire_cap_ff: HashMap<NetId, f64>,
+    /// Worst clock skew between any launching and capturing flip-flop, in
+    /// ps (e.g. from clock-tree synthesis). Tightens both setup and hold.
+    pub clock_skew_ps: f64,
+}
+
+impl TimingOptions {
+    /// Creates options with the given clock period and defaults otherwise.
+    #[must_use]
+    pub fn new(clock_period_ps: f64) -> Self {
+        Self {
+            clock_period_ps,
+            input_delay_ps: 0.0,
+            wire_cap_per_fanout_ff: None,
+            net_wire_cap_ff: HashMap::new(),
+            clock_skew_ps: 0.0,
+        }
+    }
+
+    /// Sets the clock skew (builder style).
+    #[must_use]
+    pub fn with_clock_skew_ps(mut self, skew_ps: f64) -> Self {
+        self.clock_skew_ps = skew_ps;
+        self
+    }
+}
+
+/// One step of the critical path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathStep {
+    /// Instance name of the driving cell, or the port name for PIs.
+    pub through: String,
+    /// Library cell, empty for ports.
+    pub lib_cell: String,
+    /// Arrival time at this step's output, in ps.
+    pub arrival_ps: f64,
+}
+
+/// Result of a timing analysis run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingReport {
+    /// Worst negative slack (positive value = constraint met), in ps.
+    pub wns_ps: f64,
+    /// Total negative slack (sum over violating endpoints), in ps.
+    pub tns_ps: f64,
+    /// Latest arrival anywhere in the design, in ps.
+    pub max_arrival_ps: f64,
+    /// Number of timing endpoints (FF D pins + primary outputs).
+    pub endpoints: usize,
+    /// Endpoints with negative slack.
+    pub violations: usize,
+    /// Smallest clock period that would meet timing, in ps.
+    pub min_period_ps: f64,
+    /// Maximum achievable clock frequency in MHz.
+    pub fmax_mhz: f64,
+    /// Worst hold slack at flip-flop data pins, in ps (positive = met).
+    /// Hold checks are period-independent: they compare the *shortest*
+    /// register-to-register path against the hold window plus clock skew.
+    pub hold_wns_ps: f64,
+    /// Flip-flop data pins violating hold.
+    pub hold_violations: usize,
+    /// The critical path, source to endpoint.
+    pub critical_path: Vec<PathStep>,
+}
+
+/// Errors from timing analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StaError {
+    /// A netlist cell references a library cell that does not exist.
+    UnknownLibCell {
+        /// The instance referencing the missing cell.
+        instance: String,
+        /// The missing library cell name.
+        lib_cell: String,
+    },
+    /// The netlist failed validation (e.g. combinational loop).
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for StaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaError::UnknownLibCell { instance, lib_cell } => {
+                write!(
+                    f,
+                    "instance `{instance}` uses unknown library cell `{lib_cell}`"
+                )
+            }
+            StaError::Netlist(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl Error for StaError {}
+
+impl From<NetlistError> for StaError {
+    fn from(e: NetlistError) -> Self {
+        StaError::Netlist(e)
+    }
+}
+
+/// Setup time of a flip-flop, derived from its intrinsic delay.
+fn setup_time_ps(lib: &StdCellLibrary) -> f64 {
+    lib.smallest(chipforge_pdk::CellClass::Dff)
+        .map_or(0.0, |dff| dff.intrinsic_ps() * 0.3)
+}
+
+/// Hold time of a flip-flop, derived from its intrinsic delay.
+fn hold_time_ps(lib: &StdCellLibrary) -> f64 {
+    lib.smallest(chipforge_pdk::CellClass::Dff)
+        .map_or(0.0, |dff| dff.intrinsic_ps() * 0.1)
+}
+
+/// Capacitive load on a net in fF.
+fn net_load_ff(
+    netlist: &Netlist,
+    lib: &StdCellLibrary,
+    net: NetId,
+    options: &TimingOptions,
+) -> Result<f64, StaError> {
+    let mut load = 0.0;
+    let net_ref = netlist.net(net);
+    for &(sink, _) in net_ref.sinks() {
+        let cell = netlist.cell(sink);
+        let lib_cell = lib
+            .cell(cell.lib_cell())
+            .ok_or_else(|| StaError::UnknownLibCell {
+                instance: cell.name().to_string(),
+                lib_cell: cell.lib_cell().to_string(),
+            })?;
+        load += lib_cell.input_cap_ff();
+    }
+    if let Some(&wire) = options.net_wire_cap_ff.get(&net) {
+        load += wire;
+    } else {
+        let per_fanout = options
+            .wire_cap_per_fanout_ff
+            .unwrap_or_else(|| lib.node().wire_cap_ff_per_um() * 5.0 * lib.row_height_um());
+        load += per_fanout * net_ref.fanout() as f64;
+    }
+    Ok(load)
+}
+
+/// Runs setup timing analysis.
+///
+/// # Errors
+///
+/// Returns [`StaError::UnknownLibCell`] if an instance references a cell
+/// absent from `lib`, or [`StaError::Netlist`] for invalid netlists.
+pub fn analyze(
+    netlist: &Netlist,
+    lib: &StdCellLibrary,
+    options: &TimingOptions,
+) -> Result<TimingReport, StaError> {
+    let order = netlist.combinational_order()?;
+    let mut arrival: Vec<f64> = vec![0.0; netlist.net_count()];
+    let mut min_arrival: Vec<f64> = vec![0.0; netlist.net_count()];
+    // `prev[net]`: the input net through which the worst arrival came.
+    let mut prev: Vec<Option<NetId>> = vec![None; netlist.net_count()];
+
+    // Sources: primary inputs and flip-flop outputs.
+    for (_, net) in netlist.inputs() {
+        arrival[net.index()] = options.input_delay_ps;
+        min_arrival[net.index()] = options.input_delay_ps;
+    }
+    for cell in netlist.cells() {
+        if cell.is_sequential() {
+            let lib_cell = lib
+                .cell(cell.lib_cell())
+                .ok_or_else(|| StaError::UnknownLibCell {
+                    instance: cell.name().to_string(),
+                    lib_cell: cell.lib_cell().to_string(),
+                })?;
+            // Clock-to-Q: intrinsic plus load-dependent drive delay.
+            let load = net_load_ff(netlist, lib, cell.output(), options)?;
+            arrival[cell.output().index()] = lib_cell.delay_ps(load);
+            min_arrival[cell.output().index()] = lib_cell.delay_ps(load);
+        }
+    }
+
+    for id in order {
+        let cell = netlist.cell(id);
+        let lib_cell = lib
+            .cell(cell.lib_cell())
+            .ok_or_else(|| StaError::UnknownLibCell {
+                instance: cell.name().to_string(),
+                lib_cell: cell.lib_cell().to_string(),
+            })?;
+        let mut worst_in = 0.0f64;
+        let mut best_in = f64::INFINITY;
+        let mut worst_net = None;
+        for &input in cell.inputs() {
+            if arrival[input.index()] >= worst_in {
+                worst_in = arrival[input.index()];
+                worst_net = Some(input);
+            }
+            best_in = best_in.min(min_arrival[input.index()]);
+        }
+        if !best_in.is_finite() {
+            best_in = 0.0; // constant cells have no inputs
+        }
+        let load = net_load_ff(netlist, lib, cell.output(), options)?;
+        let delay = lib_cell.delay_ps(load);
+        arrival[cell.output().index()] = worst_in + delay;
+        min_arrival[cell.output().index()] = best_in + delay;
+        prev[cell.output().index()] = worst_net;
+    }
+
+    // Endpoints: FF D inputs (setup) and primary outputs.
+    let setup = setup_time_ps(lib);
+    let mut endpoints = 0usize;
+    let mut violations = 0usize;
+    let mut wns = f64::INFINITY;
+    let mut tns = 0.0f64;
+    let mut worst_endpoint_net: Option<NetId> = None;
+    let mut max_arrival = 0.0f64;
+    let mut endpoint_nets: Vec<(NetId, f64)> = Vec::new();
+    for cell in netlist.cells() {
+        if cell.is_sequential() {
+            // Pin 0 is D for both DFF and DFFE; EN is also timed.
+            for &input in cell.inputs() {
+                endpoint_nets.push((input, setup));
+            }
+        }
+    }
+    for (_, net) in netlist.outputs() {
+        endpoint_nets.push((*net, 0.0));
+    }
+    for (net, margin) in endpoint_nets {
+        let arr = arrival[net.index()];
+        endpoints += 1;
+        max_arrival = max_arrival.max(arr);
+        let slack = options.clock_period_ps - margin - arr - options.clock_skew_ps;
+        if slack < 0.0 {
+            violations += 1;
+            tns += slack;
+        }
+        if slack < wns {
+            wns = slack;
+            worst_endpoint_net = Some(net);
+        }
+    }
+    if endpoints == 0 {
+        wns = options.clock_period_ps;
+    }
+
+    // Hold: shortest path into every flip-flop data pin must exceed the
+    // hold window plus the skew a late-clocked capture flop may see.
+    let hold = hold_time_ps(lib);
+    let mut hold_wns = f64::INFINITY;
+    let mut hold_violations = 0usize;
+    for cell in netlist.cells() {
+        if !cell.is_sequential() {
+            continue;
+        }
+        for &input in cell.inputs() {
+            let slack = min_arrival[input.index()] - hold - options.clock_skew_ps;
+            if slack < 0.0 {
+                hold_violations += 1;
+            }
+            hold_wns = hold_wns.min(slack);
+        }
+    }
+    if !hold_wns.is_finite() {
+        hold_wns = 0.0; // purely combinational designs have no hold checks
+    }
+
+    // Walk the critical path backwards.
+    let mut critical_path = Vec::new();
+    if let Some(mut net) = worst_endpoint_net {
+        loop {
+            let net_ref = netlist.net(net);
+            let step = match net_ref.driver() {
+                Some(NetDriver::Cell(cell)) => {
+                    let cell = netlist.cell(cell);
+                    PathStep {
+                        through: cell.name().to_string(),
+                        lib_cell: cell.lib_cell().to_string(),
+                        arrival_ps: arrival[net.index()],
+                    }
+                }
+                Some(NetDriver::Input(port)) => PathStep {
+                    through: netlist.inputs()[port].0.clone(),
+                    lib_cell: String::new(),
+                    arrival_ps: arrival[net.index()],
+                },
+                None => break,
+            };
+            critical_path.push(step);
+            // Stop at sequential or primary-input sources.
+            let stop = match net_ref.driver() {
+                Some(NetDriver::Cell(cell)) => netlist.cell(cell).is_sequential(),
+                _ => true,
+            };
+            if stop {
+                break;
+            }
+            match prev[net.index()] {
+                Some(p) => net = p,
+                None => break,
+            }
+        }
+        critical_path.reverse();
+    }
+
+    // Slack = clock - margin - arrival, so the worst endpoint meets timing
+    // exactly at period = clock - wns.
+    let min_period = if endpoints == 0 {
+        0.0
+    } else {
+        (options.clock_period_ps - wns).max(0.0)
+    };
+    let fmax = if min_period > 0.0 {
+        1e6 / min_period
+    } else {
+        f64::INFINITY
+    };
+    Ok(TimingReport {
+        wns_ps: wns,
+        tns_ps: tns,
+        max_arrival_ps: max_arrival,
+        endpoints,
+        violations,
+        min_period_ps: min_period,
+        fmax_mhz: fmax,
+        hold_wns_ps: hold_wns,
+        hold_violations,
+        critical_path,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipforge_netlist::CellFunction;
+    use chipforge_pdk::{LibraryKind, TechnologyNode};
+
+    fn lib() -> StdCellLibrary {
+        StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Open)
+    }
+
+    fn inverter_chain(n: usize) -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let mut prev = nl.add_input("a");
+        for i in 0..n {
+            let next = nl.add_net(format!("w{i}"));
+            nl.add_cell(format!("u{i}"), CellFunction::Inv, "INV_X1", &[prev], next)
+                .unwrap();
+            prev = next;
+        }
+        nl.mark_output("y", prev).unwrap();
+        nl
+    }
+
+    #[test]
+    fn longer_chains_have_later_arrivals() {
+        let lib = lib();
+        let opts = TimingOptions::new(10_000.0);
+        let short = analyze(&inverter_chain(2), &lib, &opts).unwrap();
+        let long = analyze(&inverter_chain(10), &lib, &opts).unwrap();
+        assert!(long.max_arrival_ps > short.max_arrival_ps * 3.0);
+    }
+
+    #[test]
+    fn critical_path_traverses_chain() {
+        let lib = lib();
+        let report = analyze(&inverter_chain(5), &lib, &TimingOptions::new(10_000.0)).unwrap();
+        // PI + 5 inverters.
+        assert_eq!(report.critical_path.len(), 6);
+        assert_eq!(report.critical_path[0].through, "a");
+        assert_eq!(report.critical_path[5].through, "u4");
+        // Arrivals strictly increase along the path.
+        for pair in report.critical_path.windows(2) {
+            assert!(pair[1].arrival_ps > pair[0].arrival_ps);
+        }
+    }
+
+    #[test]
+    fn tight_clock_causes_violations() {
+        let lib = lib();
+        let netlist = inverter_chain(20);
+        let relaxed = analyze(&netlist, &lib, &TimingOptions::new(1e6)).unwrap();
+        assert_eq!(relaxed.violations, 0);
+        assert!(relaxed.wns_ps > 0.0);
+        let tight = analyze(&netlist, &lib, &TimingOptions::new(10.0)).unwrap();
+        assert!(tight.violations > 0);
+        assert!(tight.wns_ps < 0.0);
+        assert!(tight.tns_ps < 0.0);
+    }
+
+    #[test]
+    fn min_period_is_self_consistent() {
+        let lib = lib();
+        let netlist = inverter_chain(8);
+        let report = analyze(&netlist, &lib, &TimingOptions::new(5_000.0)).unwrap();
+        // Re-analyzing at exactly min_period must meet timing.
+        let at_min = analyze(&netlist, &lib, &TimingOptions::new(report.min_period_ps)).unwrap();
+        assert!(
+            at_min.wns_ps >= -1e-9,
+            "wns at min period: {}",
+            at_min.wns_ps
+        );
+        // And 1% below must violate.
+        let below = analyze(
+            &netlist,
+            &lib,
+            &TimingOptions::new(report.min_period_ps * 0.99),
+        )
+        .unwrap();
+        assert!(below.wns_ps < 0.0);
+    }
+
+    #[test]
+    fn sequential_paths_include_clk_to_q_and_setup() {
+        let lib = lib();
+        // FF -> INV -> FF
+        let mut nl = Netlist::new("seq");
+        let q = nl.add_net("q");
+        let d2 = nl.add_net("d2");
+        let q2 = nl.add_net("q2");
+        nl.add_cell("ff1", CellFunction::Dff, "DFF_X1", &[q2], q)
+            .unwrap();
+        nl.add_cell("inv", CellFunction::Inv, "INV_X1", &[q], d2)
+            .unwrap();
+        nl.add_cell("ff2", CellFunction::Dff, "DFF_X1", &[d2], q2)
+            .unwrap();
+        nl.mark_output("q2", q2).unwrap();
+        let report = analyze(&nl, &lib, &TimingOptions::new(10_000.0)).unwrap();
+        let clk_q = lib
+            .smallest(chipforge_pdk::CellClass::Dff)
+            .unwrap()
+            .intrinsic_ps();
+        assert!(
+            report.max_arrival_ps > clk_q,
+            "path must include clock-to-Q ({clk_q} ps), got {}",
+            report.max_arrival_ps
+        );
+        assert!(report.endpoints >= 2);
+    }
+
+    #[test]
+    fn unknown_lib_cell_is_reported() {
+        let lib = lib();
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input("a");
+        let y = nl.add_net("y");
+        nl.add_cell("u0", CellFunction::Inv, "MYSTERY_X9", &[a], y)
+            .unwrap();
+        nl.mark_output("y", y).unwrap();
+        let err = analyze(&nl, &lib, &TimingOptions::new(1000.0)).unwrap_err();
+        assert!(matches!(err, StaError::UnknownLibCell { .. }));
+    }
+
+    #[test]
+    fn back_annotated_wire_caps_slow_the_path() {
+        let lib = lib();
+        let netlist = inverter_chain(4);
+        let base = analyze(&netlist, &lib, &TimingOptions::new(10_000.0)).unwrap();
+        let mut opts = TimingOptions::new(10_000.0);
+        for net in netlist.nets() {
+            opts.net_wire_cap_ff.insert(net.id(), 50.0);
+        }
+        let loaded = analyze(&netlist, &lib, &opts).unwrap();
+        assert!(loaded.max_arrival_ps > 2.0 * base.max_arrival_ps);
+    }
+
+    #[test]
+    fn hold_is_met_without_skew_and_fails_with_large_skew() {
+        let lib = lib();
+        // FF -> INV -> FF: one gate of min-path delay.
+        let mut nl = Netlist::new("seq");
+        let q = nl.add_net("q");
+        let d2 = nl.add_net("d2");
+        let q2 = nl.add_net("q2");
+        nl.add_cell("ff1", CellFunction::Dff, "DFF_X1", &[q2], q)
+            .unwrap();
+        nl.add_cell("inv", CellFunction::Inv, "INV_X1", &[q], d2)
+            .unwrap();
+        nl.add_cell("ff2", CellFunction::Dff, "DFF_X1", &[d2], q2)
+            .unwrap();
+        nl.mark_output("q2", q2).unwrap();
+        let clean = analyze(&nl, &lib, &TimingOptions::new(10_000.0)).unwrap();
+        assert!(
+            clean.hold_wns_ps > 0.0,
+            "clk-to-Q + INV covers the hold window"
+        );
+        assert_eq!(clean.hold_violations, 0);
+        // A huge skew breaks hold on the shortest path.
+        let skewed = analyze(
+            &nl,
+            &lib,
+            &TimingOptions::new(10_000.0).with_clock_skew_ps(500.0),
+        )
+        .unwrap();
+        assert!(skewed.hold_wns_ps < 0.0);
+        assert!(skewed.hold_violations > 0);
+        // Skew also eats into setup.
+        assert!(skewed.wns_ps < clean.wns_ps);
+    }
+
+    #[test]
+    fn combinational_designs_have_no_hold_checks() {
+        let lib = lib();
+        let report = analyze(&inverter_chain(3), &lib, &TimingOptions::new(1_000.0)).unwrap();
+        assert_eq!(report.hold_violations, 0);
+        assert_eq!(report.hold_wns_ps, 0.0);
+    }
+
+    #[test]
+    fn combinational_loop_is_an_error() {
+        let lib = lib();
+        let mut nl = Netlist::new("loop");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        nl.add_cell("u1", CellFunction::Inv, "INV_X1", &[a], b)
+            .unwrap();
+        nl.add_cell("u2", CellFunction::Inv, "INV_X1", &[b], a)
+            .unwrap();
+        let err = analyze(&nl, &lib, &TimingOptions::new(1000.0)).unwrap_err();
+        assert!(matches!(err, StaError::Netlist(_)));
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests: timing analysis monotonicity and self-consistency on
+//! random gate trees.
+
+use chipforge_netlist::{CellFunction, NetId, Netlist};
+use chipforge_pdk::{LibraryKind, StdCellLibrary, TechnologyNode};
+use chipforge_sta::{analyze, size_cells, TimingOptions};
+use proptest::prelude::*;
+
+/// Strategy: a random combinational tree netlist over mapped gates.
+fn random_netlist() -> impl Strategy<Value = Netlist> {
+    let gate = prop_oneof![
+        Just((CellFunction::Inv, "INV_X1")),
+        Just((CellFunction::Nand2, "NAND2_X1")),
+        Just((CellFunction::Nor2, "NOR2_X1")),
+        Just((CellFunction::Xor2, "XOR2_X1")),
+        Just((CellFunction::And2, "AND2_X1")),
+    ];
+    (
+        2usize..5,
+        proptest::collection::vec((gate, any::<u64>()), 1..30),
+    )
+        .prop_map(|(inputs, gates)| {
+            let mut nl = Netlist::new("rand");
+            let mut pool: Vec<NetId> = (0..inputs)
+                .map(|i| nl.add_input(format!("in{i}")))
+                .collect();
+            for (i, ((function, lib_cell), seed)) in gates.into_iter().enumerate() {
+                let out = nl.add_net(format!("w{i}"));
+                let picks: Vec<NetId> = (0..function.input_count())
+                    .map(|k| pool[((seed >> (8 * k)) as usize) % pool.len()])
+                    .collect();
+                nl.add_cell(format!("g{i}"), function, lib_cell, &picks, out)
+                    .expect("valid by construction");
+                pool.push(out);
+            }
+            let last = *pool.last().expect("nonempty");
+            nl.mark_output("y", last).expect("exists");
+            nl
+        })
+}
+
+fn lib() -> StdCellLibrary {
+    StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Open)
+}
+
+proptest! {
+    #[test]
+    fn longer_clock_period_never_decreases_slack(nl in random_netlist(), period in 100.0f64..10_000.0) {
+        let lib = lib();
+        let short = analyze(&nl, &lib, &TimingOptions::new(period)).expect("analyzes");
+        let long = analyze(&nl, &lib, &TimingOptions::new(period * 2.0)).expect("analyzes");
+        prop_assert!(long.wns_ps >= short.wns_ps);
+        prop_assert!(long.violations <= short.violations);
+        // Arrivals are period-independent.
+        prop_assert!((long.max_arrival_ps - short.max_arrival_ps).abs() < 1e-9);
+        prop_assert!((long.min_period_ps - short.min_period_ps).abs() < 1e-6);
+    }
+
+    #[test]
+    fn extra_wire_cap_never_speeds_up(nl in random_netlist(), cap in 0.5f64..50.0) {
+        let lib = lib();
+        // Baseline: zero wire (pin caps only); adding explicit wire cap on
+        // every net can then only slow the design down.
+        let mut base_opts = TimingOptions::new(1e6);
+        base_opts.wire_cap_per_fanout_ff = Some(0.0);
+        let base = analyze(&nl, &lib, &base_opts).expect("analyzes");
+        let mut opts = TimingOptions::new(1e6);
+        opts.wire_cap_per_fanout_ff = Some(0.0);
+        for net in nl.nets() {
+            opts.net_wire_cap_ff.insert(net.id(), cap);
+        }
+        let loaded = analyze(&nl, &lib, &opts).expect("analyzes");
+        prop_assert!(loaded.max_arrival_ps >= base.max_arrival_ps - 1e-9);
+    }
+
+    #[test]
+    fn critical_path_arrivals_increase(nl in random_netlist()) {
+        let lib = lib();
+        let report = analyze(&nl, &lib, &TimingOptions::new(1e6)).expect("analyzes");
+        for pair in report.critical_path.windows(2) {
+            prop_assert!(pair[1].arrival_ps >= pair[0].arrival_ps);
+        }
+        if let Some(last) = report.critical_path.last() {
+            prop_assert!(last.arrival_ps <= report.max_arrival_ps + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sizing_never_worsens_min_period(nl in random_netlist()) {
+        let lib = StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Commercial);
+        let mut netlist = nl;
+        let before = analyze(&netlist, &lib, &TimingOptions::new(1.0)).expect("analyzes");
+        let outcome = size_cells(&mut netlist, &lib, &TimingOptions::new(1.0), 5).expect("sizes");
+        prop_assert!(
+            outcome.final_report.min_period_ps <= before.min_period_ps * 1.0001,
+            "{} -> {}",
+            before.min_period_ps,
+            outcome.final_report.min_period_ps
+        );
+    }
+
+    #[test]
+    fn skew_tightens_setup_monotonically(nl in random_netlist(), skew in 0.0f64..200.0) {
+        let lib = lib();
+        let clean = analyze(&nl, &lib, &TimingOptions::new(5_000.0)).expect("analyzes");
+        let skewed = analyze(
+            &nl,
+            &lib,
+            &TimingOptions::new(5_000.0).with_clock_skew_ps(skew),
+        )
+        .expect("analyzes");
+        prop_assert!(skewed.wns_ps <= clean.wns_ps + 1e-9);
+    }
+}

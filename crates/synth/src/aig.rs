@@ -1,0 +1,524 @@
+//! And-inverter graph with structural hashing and constant folding.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of an AIG node. Node 0 is the constant-false node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The constant-false node.
+    pub const FALSE: NodeId = NodeId(0);
+
+    /// Dense index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a node id from a dense index (for external tools walking
+    /// the graph, e.g. the equivalence checker in `chipforge-verify`).
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+/// A literal: a node reference with an optional complement.
+///
+/// Encoded as `node << 1 | complement`, the classic AIGER convention.
+///
+/// ```
+/// use chipforge_synth::Lit;
+/// let a = Lit::FALSE;
+/// assert_eq!(!a, Lit::TRUE);
+/// assert!(Lit::TRUE.is_complemented());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Constant false.
+    pub const FALSE: Lit = Lit(0);
+    /// Constant true (complemented false).
+    pub const TRUE: Lit = Lit(1);
+
+    /// Creates a literal from a node and complement flag.
+    #[must_use]
+    pub fn new(node: NodeId, complement: bool) -> Self {
+        Lit(node.0 << 1 | u32::from(complement))
+    }
+
+    /// The referenced node.
+    #[must_use]
+    pub fn node(self) -> NodeId {
+        NodeId(self.0 >> 1)
+    }
+
+    /// Whether the literal is complemented.
+    #[must_use]
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// True if this is the constant-false or constant-true literal.
+    #[must_use]
+    pub fn is_constant(self) -> bool {
+        self.node() == NodeId::FALSE
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complemented() {
+            write!(f, "!{}", self.node().index())
+        } else {
+            write!(f, "{}", self.node().index())
+        }
+    }
+}
+
+/// Node payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) enum AigNode {
+    /// Constant false (node 0 only).
+    False,
+    /// Primary input or latch output.
+    Input,
+    /// Two-input AND of two literals (ordered `a <= b` for hashing).
+    And(Lit, Lit),
+}
+
+/// A latch (D flip-flop): output node `q`, next-state literal `d`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Latch {
+    /// Latch output node (appears as an input to combinational logic).
+    pub q: NodeId,
+    /// Next-state literal.
+    pub d: Lit,
+    /// Register name, bit-indexed (e.g. `count[3]`).
+    pub name: String,
+}
+
+/// Statistics of an AIG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AigStats {
+    /// Number of AND nodes.
+    pub ands: usize,
+    /// Number of primary inputs (excluding latch outputs).
+    pub inputs: usize,
+    /// Number of latches.
+    pub latches: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Depth in AND levels of the deepest output/latch cone.
+    pub depth: usize,
+}
+
+/// An and-inverter graph with named inputs, outputs and latches.
+///
+/// Construction performs structural hashing and constant folding, so the
+/// graph never contains duplicate or trivially simplifiable AND nodes.
+///
+/// ```
+/// use chipforge_synth::Aig;
+///
+/// let mut aig = Aig::new("xor");
+/// let a = aig.add_input("a");
+/// let b = aig.add_input("b");
+/// let y = aig.xor(a, b);
+/// aig.add_output("y", y);
+/// assert_eq!(aig.stats().ands, 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Aig {
+    name: String,
+    pub(crate) nodes: Vec<AigNode>,
+    pub(crate) inputs: Vec<(String, NodeId)>,
+    pub(crate) latches: Vec<Latch>,
+    pub(crate) outputs: Vec<(String, Lit)>,
+    #[serde(skip)]
+    strash: HashMap<(Lit, Lit), NodeId>,
+}
+
+impl Aig {
+    /// Creates an empty AIG.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nodes: vec![AigNode::False],
+            inputs: Vec::new(),
+            latches: Vec::new(),
+            outputs: Vec::new(),
+            strash: HashMap::new(),
+        }
+    }
+
+    /// Graph name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a primary input and returns its (uncomplemented) literal.
+    pub fn add_input(&mut self, name: impl Into<String>) -> Lit {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(AigNode::Input);
+        self.inputs.push((name.into(), id));
+        Lit::new(id, false)
+    }
+
+    /// Adds a latch; its output literal can be used immediately, the
+    /// next-state function is set later with [`Aig::set_latch_next`].
+    pub fn add_latch(&mut self, name: impl Into<String>) -> Lit {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(AigNode::Input);
+        self.latches.push(Latch {
+            q: id,
+            d: Lit::FALSE,
+            name: name.into(),
+        });
+        Lit::new(id, false)
+    }
+
+    /// Sets the next-state literal of the latch with output `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a latch output.
+    pub fn set_latch_next(&mut self, q: NodeId, d: Lit) {
+        let latch = self
+            .latches
+            .iter_mut()
+            .find(|l| l.q == q)
+            .expect("q must be a latch output");
+        latch.d = d;
+    }
+
+    /// Registers a named output.
+    pub fn add_output(&mut self, name: impl Into<String>, lit: Lit) {
+        self.outputs.push((name.into(), lit));
+    }
+
+    /// Named primary inputs.
+    #[must_use]
+    pub fn inputs(&self) -> &[(String, NodeId)] {
+        &self.inputs
+    }
+
+    /// Latches.
+    #[must_use]
+    pub fn latches(&self) -> &[Latch] {
+        &self.latches
+    }
+
+    /// Named outputs.
+    #[must_use]
+    pub fn outputs(&self) -> &[(String, Lit)] {
+        &self.outputs
+    }
+
+    /// Number of nodes including constants and inputs.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns the AND fanins of a node, if it is an AND.
+    #[must_use]
+    pub fn and_fanins(&self, node: NodeId) -> Option<(Lit, Lit)> {
+        match self.nodes[node.index()] {
+            AigNode::And(a, b) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// Whether the node is an input or latch output.
+    #[must_use]
+    pub fn is_input(&self, node: NodeId) -> bool {
+        matches!(self.nodes[node.index()], AigNode::Input)
+    }
+
+    /// AND with structural hashing and constant folding.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        // Constant folding.
+        if a == Lit::FALSE || b == Lit::FALSE {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if b == Lit::TRUE {
+            return a;
+        }
+        if a == b {
+            return a;
+        }
+        if a == !b {
+            return Lit::FALSE;
+        }
+        // Canonical order for hashing.
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&node) = self.strash.get(&(a, b)) {
+            return Lit::new(node, false);
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(AigNode::And(a, b));
+        self.strash.insert((a, b), id);
+        Lit::new(id, false)
+    }
+
+    /// OR via De Morgan.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// XOR (three AND nodes).
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let ab = self.and(a, !b);
+        let ba = self.and(!a, b);
+        self.or(ab, ba)
+    }
+
+    /// Two-way multiplexer: `s ? t : e`.
+    pub fn mux(&mut self, s: Lit, t: Lit, e: Lit) -> Lit {
+        let st = self.and(s, t);
+        let se = self.and(!s, e);
+        self.or(st, se)
+    }
+
+    /// Conjunction of many literals (balanced tree).
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => Lit::TRUE,
+            [single] => *single,
+            _ => {
+                let mut layer: Vec<Lit> = lits.to_vec();
+                while layer.len() > 1 {
+                    let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                    for pair in layer.chunks(2) {
+                        next.push(match pair {
+                            [a, b] => self.and(*a, *b),
+                            [a] => *a,
+                            _ => unreachable!("chunks(2)"),
+                        });
+                    }
+                    layer = next;
+                }
+                layer[0]
+            }
+        }
+    }
+
+    /// Disjunction of many literals (balanced tree).
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        let inverted: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+        !self.and_many(&inverted)
+    }
+
+    /// Statistics (counts and depth).
+    #[must_use]
+    pub fn stats(&self) -> AigStats {
+        let mut level = vec![0usize; self.nodes.len()];
+        let mut depth = 0;
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let AigNode::And(a, b) = node {
+                level[i] = 1 + level[a.node().index()].max(level[b.node().index()]);
+            }
+        }
+        for (_, lit) in &self.outputs {
+            depth = depth.max(level[lit.node().index()]);
+        }
+        for latch in &self.latches {
+            depth = depth.max(level[latch.d.node().index()]);
+        }
+        AigStats {
+            ands: self
+                .nodes
+                .iter()
+                .filter(|n| matches!(n, AigNode::And(..)))
+                .count(),
+            inputs: self.inputs.len(),
+            latches: self.latches.len(),
+            outputs: self.outputs.len(),
+            depth,
+        }
+    }
+
+    /// Simulates one combinational evaluation. `input_values` must match
+    /// [`Aig::inputs`] order; `latch_values` matches [`Aig::latches`] order.
+    /// Returns the value of every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value slices have wrong lengths.
+    #[must_use]
+    pub fn simulate(&self, input_values: &[bool], latch_values: &[bool]) -> Vec<bool> {
+        assert_eq!(input_values.len(), self.inputs.len());
+        assert_eq!(latch_values.len(), self.latches.len());
+        let mut values = vec![false; self.nodes.len()];
+        for ((_, id), &v) in self.inputs.iter().zip(input_values) {
+            values[id.index()] = v;
+        }
+        for (latch, &v) in self.latches.iter().zip(latch_values) {
+            values[latch.q.index()] = v;
+        }
+        // Nodes are created in topological order (fanins precede fanouts).
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let AigNode::And(a, b) = node {
+                let va = values[a.node().index()] ^ a.is_complemented();
+                let vb = values[b.node().index()] ^ b.is_complemented();
+                values[i] = va && vb;
+            }
+        }
+        values
+    }
+
+    /// Reads a literal's value from a [`Aig::simulate`] result.
+    #[must_use]
+    pub fn lit_value(values: &[bool], lit: Lit) -> bool {
+        values[lit.node().index()] ^ lit.is_complemented()
+    }
+
+    /// Reference counts: how many times each node is used as a fanin
+    /// (including outputs and latch next-states).
+    #[must_use]
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        let mut refs = vec![0u32; self.nodes.len()];
+        for node in &self.nodes {
+            if let AigNode::And(a, b) = node {
+                refs[a.node().index()] += 1;
+                refs[b.node().index()] += 1;
+            }
+        }
+        for (_, lit) in &self.outputs {
+            refs[lit.node().index()] += 1;
+        }
+        for latch in &self.latches {
+            refs[latch.d.node().index()] += 1;
+        }
+        refs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        assert_eq!(aig.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(aig.and(a, Lit::TRUE), a);
+        assert_eq!(aig.and(a, a), a);
+        assert_eq!(aig.and(a, !a), Lit::FALSE);
+        assert_eq!(aig.stats().ands, 0, "no AND nodes created");
+    }
+
+    #[test]
+    fn structural_hashing_dedups() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let x = aig.and(a, b);
+        let y = aig.and(b, a);
+        assert_eq!(x, y);
+        assert_eq!(aig.stats().ands, 1);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let y = aig.xor(a, b);
+        aig.add_output("y", y);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let values = aig.simulate(&[va, vb], &[]);
+            assert_eq!(Aig::lit_value(&values, y), va ^ vb);
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut aig = Aig::new("t");
+        let s = aig.add_input("s");
+        let t = aig.add_input("t");
+        let e = aig.add_input("e");
+        let y = aig.mux(s, t, e);
+        for (vs, vt, ve) in [
+            (false, true, false),
+            (true, true, false),
+            (true, false, true),
+        ] {
+            let values = aig.simulate(&[vs, vt, ve], &[]);
+            assert_eq!(Aig::lit_value(&values, y), if vs { vt } else { ve });
+        }
+    }
+
+    #[test]
+    fn and_many_is_balanced() {
+        let mut aig = Aig::new("t");
+        let lits: Vec<Lit> = (0..8).map(|i| aig.add_input(format!("i{i}"))).collect();
+        let y = aig.and_many(&lits);
+        aig.add_output("y", y);
+        assert_eq!(aig.stats().depth, 3, "8-way AND should be 3 levels");
+        let values = aig.simulate(&[true; 8], &[]);
+        assert!(Aig::lit_value(&values, y));
+        let mut one_false = [true; 8];
+        one_false[5] = false;
+        let values = aig.simulate(&one_false, &[]);
+        assert!(!Aig::lit_value(&values, y));
+    }
+
+    #[test]
+    fn latch_round_trip() {
+        let mut aig = Aig::new("toggle");
+        let q = aig.add_latch("q");
+        aig.set_latch_next(q.node(), !q);
+        aig.add_output("q", q);
+        let values = aig.simulate(&[], &[false]);
+        let next = Aig::lit_value(&values, aig.latches()[0].d);
+        assert!(next, "toggle from 0 goes to 1");
+    }
+
+    #[test]
+    fn lit_not_involution() {
+        let l = Lit::new(NodeId(5), false);
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+        assert_eq!((!l).node(), l.node());
+    }
+
+    #[test]
+    fn or_many_empty_is_false() {
+        let mut aig = Aig::new("t");
+        assert_eq!(aig.or_many(&[]), Lit::FALSE);
+        assert_eq!(aig.and_many(&[]), Lit::TRUE);
+    }
+
+    #[test]
+    fn fanout_counts_track_uses() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let x = aig.and(a, b);
+        let y = aig.and(x, a);
+        aig.add_output("y", y);
+        let refs = aig.fanout_counts();
+        assert_eq!(refs[a.node().index()], 2);
+        assert_eq!(refs[x.node().index()], 1);
+        assert_eq!(refs[y.node().index()], 1);
+    }
+}

@@ -1,0 +1,265 @@
+//! Design-for-test: scan-chain insertion.
+//!
+//! Testability is part of a production-ready enablement flow (academic
+//! chips still need bring-up). This pass stitches every flip-flop into a
+//! single scan chain: each D input is replaced by a 2:1 mux selecting
+//! between functional data and the previous element of the chain, driven
+//! by new `scan_en` / `scan_in` ports, with the last flip-flop exported as
+//! `scan_out`.
+
+use crate::SynthError;
+use chipforge_netlist::{CellFunction, CellId, Netlist};
+use chipforge_pdk::{CellClass, StdCellLibrary};
+use serde::{Deserialize, Serialize};
+
+/// Report of a scan-insertion pass.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanReport {
+    /// Flip-flops stitched into the chain, in chain order.
+    pub chain: Vec<CellId>,
+    /// Mux cells added.
+    pub muxes_added: usize,
+}
+
+impl ScanReport {
+    /// Chain length.
+    #[must_use]
+    pub fn chain_length(&self) -> usize {
+        self.chain.len()
+    }
+}
+
+/// Inserts a scan chain over every flip-flop of `netlist`.
+///
+/// Because netlists are append-only (cells cannot be rewired in place),
+/// the pass rebuilds the netlist with the scan muxes inserted; the
+/// returned netlist replaces the input. Flip-flops are chained in id
+/// order, which placement-aware flows can re-order later.
+///
+/// Returns `None` if the design has no flip-flops.
+///
+/// # Errors
+///
+/// Returns [`SynthError::MissingLibraryCell`] if the library lacks MUX2.
+pub fn insert_scan_chain(
+    netlist: &Netlist,
+    lib: &StdCellLibrary,
+) -> Result<Option<(Netlist, ScanReport)>, SynthError> {
+    let ffs: Vec<CellId> = netlist
+        .cells()
+        .filter(|c| c.is_sequential())
+        .map(|c| c.id())
+        .collect();
+    if ffs.is_empty() {
+        return Ok(None);
+    }
+    let mux_cell = lib
+        .smallest(CellClass::Mux2)
+        .ok_or_else(|| SynthError::MissingLibraryCell("MUX2".into()))?
+        .name()
+        .to_string();
+
+    let mut out = Netlist::new(netlist.name());
+    // Copy primary inputs, then add the scan ports.
+    let mut net_map = vec![None; netlist.net_count()];
+    for (port, net) in netlist.inputs() {
+        net_map[net.index()] = Some(out.add_input(port.clone()));
+    }
+    let scan_in = out.add_input("scan_in");
+    let scan_en = out.add_input("scan_en");
+    // Create all remaining nets up front so cells can connect freely.
+    for net in netlist.nets() {
+        if net_map[net.id().index()].is_none() {
+            net_map[net.id().index()] = Some(out.add_net(net.name().to_string()));
+        }
+    }
+    let resolve = |map: &Vec<Option<chipforge_netlist::NetId>>, id: chipforge_netlist::NetId| {
+        map[id.index()].expect("all nets pre-created")
+    };
+
+    // Scan stitching: FF i captures mux(scan_en ? prev_chain : D).
+    let mut prev_chain = scan_in;
+    let mut muxes_added = 0usize;
+    for cell in netlist.cells() {
+        let inputs: Vec<chipforge_netlist::NetId> = cell
+            .inputs()
+            .iter()
+            .map(|&n| resolve(&net_map, n))
+            .collect();
+        let output = resolve(&net_map, cell.output());
+        if cell.is_sequential() {
+            let d = inputs[0];
+            let scan_d = out.add_net(format!("scan_d_{}", cell.name()));
+            out.add_cell(
+                format!("scan_mux_{}", cell.name()),
+                CellFunction::Mux2,
+                &mux_cell,
+                &[d, prev_chain, scan_en],
+                scan_d,
+            )?;
+            muxes_added += 1;
+            let mut new_inputs = inputs.clone();
+            new_inputs[0] = scan_d;
+            out.add_cell(
+                cell.name(),
+                cell.function(),
+                cell.lib_cell(),
+                &new_inputs,
+                output,
+            )?;
+            prev_chain = output;
+        } else {
+            out.add_cell(
+                cell.name(),
+                cell.function(),
+                cell.lib_cell(),
+                &inputs,
+                output,
+            )?;
+        }
+    }
+    // Outputs, plus the chain tail.
+    for (port, net) in netlist.outputs() {
+        out.mark_output(port.clone(), resolve(&net_map, *net))?;
+    }
+    out.mark_output("scan_out", prev_chain)?;
+    let report = ScanReport {
+        chain: out
+            .cells()
+            .filter(|c| c.is_sequential())
+            .map(|c| c.id())
+            .collect(),
+        muxes_added,
+    };
+    Ok(Some((out, report)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synthesize, SynthOptions};
+    use chipforge_hdl::designs;
+    use chipforge_pdk::{LibraryKind, TechnologyNode};
+    use std::collections::HashMap;
+
+    fn scan_netlist(design: chipforge_hdl::designs::Design) -> (Netlist, Netlist, ScanReport) {
+        let lib = StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Open);
+        let module = design.elaborate().unwrap();
+        let base = synthesize(&module, &lib, &SynthOptions::default())
+            .unwrap()
+            .netlist;
+        let (scanned, report) = insert_scan_chain(&base, &lib).unwrap().unwrap();
+        scanned.validate().unwrap();
+        (base, scanned, report)
+    }
+
+    /// Drives the scanned netlist; `extra` maps the scan port values.
+    fn eval(
+        nl: &Netlist,
+        inputs: &HashMap<&str, u64>,
+        state: &HashMap<CellId, bool>,
+    ) -> (Vec<bool>, HashMap<CellId, bool>) {
+        let bit_values: Vec<bool> = nl
+            .inputs()
+            .iter()
+            .map(|(port, _)| {
+                let (base, bit) = match port.rfind('[') {
+                    Some(i) => (
+                        &port[..i],
+                        port[i + 1..port.len() - 1].parse::<u32>().unwrap(),
+                    ),
+                    None => (port.as_str(), 0),
+                };
+                (inputs.get(base).copied().unwrap_or(0) >> bit) & 1 == 1
+            })
+            .collect();
+        let values = nl.eval_combinational(&bit_values, state).unwrap();
+        let next = nl.next_state(&values, state);
+        (values, next)
+    }
+
+    #[test]
+    fn chain_covers_all_flip_flops() {
+        let (base, scanned, report) = scan_netlist(designs::counter(8));
+        assert_eq!(report.chain_length(), 8);
+        assert_eq!(report.muxes_added, 8);
+        assert_eq!(
+            scanned.stats().sequential_cells,
+            base.stats().sequential_cells
+        );
+        assert!(scanned.find_net("scan_in").is_some());
+        assert!(scanned.outputs().iter().any(|(p, _)| p == "scan_out"));
+    }
+
+    #[test]
+    fn functional_mode_is_unchanged() {
+        // With scan_en = 0 the scanned counter must still count.
+        let (_, scanned, _) = scan_netlist(designs::counter(8));
+        let mut state = HashMap::new();
+        let mut inputs = HashMap::new();
+        inputs.insert("rst", 0u64);
+        inputs.insert("en", 1);
+        inputs.insert("scan_en", 0);
+        inputs.insert("scan_in", 0);
+        for _ in 0..5 {
+            let (_, next) = eval(&scanned, &inputs, &state);
+            state = next;
+        }
+        let (values, _) = eval(&scanned, &inputs, &state);
+        // Read back count[] outputs.
+        let mut count = 0u64;
+        for (port, net) in scanned.outputs() {
+            if let Some(rest) = port.strip_prefix("count[") {
+                let bit: u32 = rest.trim_end_matches(']').parse().unwrap();
+                if values[net.index()] {
+                    count |= 1 << bit;
+                }
+            }
+        }
+        assert_eq!(count, 5, "counter must still count in functional mode");
+    }
+
+    #[test]
+    fn shift_mode_propagates_a_pattern() {
+        let (_, scanned, report) = scan_netlist(designs::counter(8));
+        let n = report.chain_length();
+        let mut state = HashMap::new();
+        // Shift in an alternating pattern.
+        let pattern: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let mut inputs = HashMap::new();
+        inputs.insert("rst", 0u64);
+        inputs.insert("en", 0);
+        inputs.insert("scan_en", 1);
+        for &bit in &pattern {
+            inputs.insert("scan_in", u64::from(bit));
+            let (_, next) = eval(&scanned, &inputs, &state);
+            state = next;
+        }
+        // The chain now holds the pattern; shift it out and compare.
+        inputs.insert("scan_in", 0);
+        let mut seen = Vec::new();
+        for _ in 0..n {
+            let (values, next) = eval(&scanned, &inputs, &state);
+            let (_, out_net) = scanned
+                .outputs()
+                .iter()
+                .find(|(p, _)| p == "scan_out")
+                .unwrap();
+            seen.push(values[out_net.index()]);
+            state = next;
+        }
+        // The chain is a FIFO: after exactly `n` shifts the first bit sits
+        // at `scan_out`, so bits emerge in insertion order.
+        assert_eq!(seen, pattern);
+    }
+
+    #[test]
+    fn combinational_designs_are_left_alone() {
+        let lib = StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Open);
+        let module = designs::gray_encoder(8).elaborate().unwrap();
+        let base = synthesize(&module, &lib, &SynthOptions::default())
+            .unwrap()
+            .netlist;
+        assert!(insert_scan_chain(&base, &lib).unwrap().is_none());
+    }
+}

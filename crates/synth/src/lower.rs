@@ -1,0 +1,468 @@
+//! RTL-to-AIG lowering (bit blasting).
+
+use crate::aig::{Aig, Lit};
+use chipforge_hdl::{BinaryOp, Expr, RtlModule, SignalId, SignalKind, UnaryOp};
+use std::collections::HashMap;
+
+/// Lowers an elaborated RTL module to an and-inverter graph.
+///
+/// Every signal becomes a vector of literals (LSB first); word-level
+/// operators expand into ripple-carry adders, array multipliers, barrel
+/// shifters, comparators and mux trees.
+#[must_use]
+pub fn lower_to_aig(module: &RtlModule) -> Aig {
+    let mut ctx = Lower {
+        aig: Aig::new(module.name()),
+        module,
+        bits: HashMap::new(),
+    };
+    // Primary inputs and latch outputs first so all reads resolve.
+    for signal in module.signals() {
+        match signal.kind() {
+            SignalKind::Input => {
+                let bits: Vec<Lit> = (0..signal.width())
+                    .map(|i| ctx.aig.add_input(format!("{}[{i}]", signal.name())))
+                    .collect();
+                ctx.bits.insert(signal.id(), bits);
+            }
+            SignalKind::Reg => {
+                let bits: Vec<Lit> = (0..signal.width())
+                    .map(|i| ctx.aig.add_latch(format!("{}[{i}]", signal.name())))
+                    .collect();
+                ctx.bits.insert(signal.id(), bits);
+            }
+            SignalKind::Wire => {}
+        }
+    }
+    // Continuous assignments are already in topological order.
+    for (target, expr) in module.assigns() {
+        let width = module.signal(*target).width();
+        let value = ctx.lower_expr(expr);
+        let value = resize(value, width);
+        ctx.bits.insert(*target, value);
+    }
+    // Register next-state functions.
+    for (reg, next) in module.registers() {
+        let width = module.signal(*reg).width();
+        let value = resize(ctx.lower_expr(next), width);
+        let q_bits = ctx.bits[reg].clone();
+        for (q, d) in q_bits.iter().zip(value) {
+            ctx.aig.set_latch_next(q.node(), d);
+        }
+    }
+    // Outputs.
+    for signal in module.outputs() {
+        let bits = ctx.bits[&signal.id()].clone();
+        for (i, lit) in bits.iter().enumerate() {
+            ctx.aig.add_output(format!("{}[{i}]", signal.name()), *lit);
+        }
+    }
+    ctx.aig
+}
+
+struct Lower<'m> {
+    aig: Aig,
+    module: &'m RtlModule,
+    bits: HashMap<SignalId, Vec<Lit>>,
+}
+
+/// Truncates or zero-extends a bit vector.
+fn resize(mut bits: Vec<Lit>, width: u8) -> Vec<Lit> {
+    bits.resize(usize::from(width), Lit::FALSE);
+    bits
+}
+
+impl Lower<'_> {
+    fn lower_expr(&mut self, expr: &Expr) -> Vec<Lit> {
+        match expr {
+            Expr::Const { value, width } => (0..*width)
+                .map(|i| {
+                    if (value >> i) & 1 == 1 {
+                        Lit::TRUE
+                    } else {
+                        Lit::FALSE
+                    }
+                })
+                .collect(),
+            Expr::Signal(id) => self.bits[id].clone(),
+            Expr::Slice { signal, msb, lsb } => {
+                let bits = &self.bits[signal];
+                bits[usize::from(*lsb)..=usize::from(*msb)].to_vec()
+            }
+            Expr::Unary { op, width, arg } => {
+                let a = self.lower_expr(arg);
+                let result = match op {
+                    UnaryOp::Not => a.iter().map(|&l| !l).collect(),
+                    UnaryOp::Negate => self.negate(&a),
+                    UnaryOp::LogicalNot => vec![!self.aig.or_many(&a)],
+                    UnaryOp::ReduceAnd => vec![self.aig.and_many(&a)],
+                    UnaryOp::ReduceOr => vec![self.aig.or_many(&a)],
+                    UnaryOp::ReduceXor => vec![self.xor_many(&a)],
+                };
+                resize(result, *width)
+            }
+            Expr::Binary {
+                op,
+                width,
+                lhs,
+                rhs,
+            } => {
+                let lw = lhs.width(self.module);
+                let rw = rhs.width(self.module);
+                let a = self.lower_expr(lhs);
+                let b = self.lower_expr(rhs);
+                let result = match op {
+                    BinaryOp::Add => {
+                        let w = lw.max(rw);
+                        let (sum, _) = self.adder(&resize(a, w), &resize(b, w), Lit::FALSE, false);
+                        sum
+                    }
+                    BinaryOp::Sub => {
+                        let w = lw.max(rw);
+                        let (diff, _) = self.subtract(&resize(a, w), &resize(b, w));
+                        diff
+                    }
+                    BinaryOp::Mul => self.multiply(&a, &b, *width),
+                    BinaryOp::And => self.bitwise(&a, &b, lw.max(rw), Aig::and),
+                    BinaryOp::Or => self.bitwise(&a, &b, lw.max(rw), Aig::or),
+                    BinaryOp::Xor => self.bitwise(&a, &b, lw.max(rw), Aig::xor),
+                    BinaryOp::LogicalAnd => {
+                        let la = self.aig.or_many(&a);
+                        let lb = self.aig.or_many(&b);
+                        vec![self.aig.and(la, lb)]
+                    }
+                    BinaryOp::LogicalOr => {
+                        let la = self.aig.or_many(&a);
+                        let lb = self.aig.or_many(&b);
+                        vec![self.aig.or(la, lb)]
+                    }
+                    BinaryOp::Eq => vec![self.equal(&a, &b, lw.max(rw))],
+                    BinaryOp::Ne => vec![!self.equal(&a, &b, lw.max(rw))],
+                    BinaryOp::Lt => vec![self.less_than(&a, &b, lw.max(rw))],
+                    BinaryOp::Ge => vec![!self.less_than(&a, &b, lw.max(rw))],
+                    BinaryOp::Gt => vec![self.less_than(&b, &a, lw.max(rw))],
+                    BinaryOp::Le => vec![!self.less_than(&b, &a, lw.max(rw))],
+                    BinaryOp::Shl => self.shift(&a, rhs, &b, true),
+                    BinaryOp::Shr => self.shift(&a, rhs, &b, false),
+                };
+                resize(result, *width)
+            }
+            Expr::Mux {
+                width,
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                let c_bits = self.lower_expr(cond);
+                let c = self.aig.or_many(&c_bits);
+                let t = resize(self.lower_expr(then_expr), *width);
+                let e = resize(self.lower_expr(else_expr), *width);
+                t.iter()
+                    .zip(e.iter())
+                    .map(|(&tb, &eb)| self.aig.mux(c, tb, eb))
+                    .collect()
+            }
+            Expr::Concat { width, parts } => {
+                // Parts are MSB-first; the result vector is LSB-first.
+                let mut bits = Vec::new();
+                for part in parts.iter().rev() {
+                    bits.extend(self.lower_expr(part));
+                }
+                resize(bits, *width)
+            }
+        }
+    }
+
+    fn bitwise(
+        &mut self,
+        a: &[Lit],
+        b: &[Lit],
+        width: u8,
+        op: fn(&mut Aig, Lit, Lit) -> Lit,
+    ) -> Vec<Lit> {
+        let a = resize(a.to_vec(), width);
+        let b = resize(b.to_vec(), width);
+        a.iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| op(&mut self.aig, x, y))
+            .collect()
+    }
+
+    /// Ripple-carry adder; returns (sum, carry_out).
+    fn adder(&mut self, a: &[Lit], b: &[Lit], cin: Lit, _signed: bool) -> (Vec<Lit>, Lit) {
+        debug_assert_eq!(a.len(), b.len());
+        let mut sum = Vec::with_capacity(a.len());
+        let mut carry = cin;
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            let xy = self.aig.xor(x, y);
+            let s = self.aig.xor(xy, carry);
+            // carry' = (x & y) | (carry & (x ^ y))
+            let and_xy = self.aig.and(x, y);
+            let and_cx = self.aig.and(carry, xy);
+            carry = self.aig.or(and_xy, and_cx);
+            sum.push(s);
+        }
+        (sum, carry)
+    }
+
+    /// `a - b`; returns (difference, no_borrow) where `no_borrow` is the
+    /// adder carry-out of `a + !b + 1` (set iff `a >= b`).
+    fn subtract(&mut self, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Lit) {
+        let nb: Vec<Lit> = b.iter().map(|&l| !l).collect();
+        self.adder(a, &nb, Lit::TRUE, false)
+    }
+
+    fn negate(&mut self, a: &[Lit]) -> Vec<Lit> {
+        let zero = vec![Lit::FALSE; a.len()];
+        let (diff, _) = self.subtract(&zero, a);
+        diff
+    }
+
+    fn equal(&mut self, a: &[Lit], b: &[Lit], width: u8) -> Lit {
+        let a = resize(a.to_vec(), width);
+        let b = resize(b.to_vec(), width);
+        let diffs: Vec<Lit> = a
+            .iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| self.aig.xor(x, y))
+            .collect();
+        !self.aig.or_many(&diffs)
+    }
+
+    /// Unsigned `a < b` via the borrow of `a - b`.
+    fn less_than(&mut self, a: &[Lit], b: &[Lit], width: u8) -> Lit {
+        let a = resize(a.to_vec(), width);
+        let b = resize(b.to_vec(), width);
+        let (_, no_borrow) = self.subtract(&a, &b);
+        !no_borrow
+    }
+
+    /// Array multiplier truncated to `width` bits.
+    fn multiply(&mut self, a: &[Lit], b: &[Lit], width: u8) -> Vec<Lit> {
+        let w = usize::from(width);
+        let mut acc = vec![Lit::FALSE; w];
+        for (j, &bj) in b.iter().enumerate() {
+            if j >= w {
+                break;
+            }
+            // Partial product row: (a << j) & bj, truncated to w bits.
+            let mut row = vec![Lit::FALSE; w];
+            for (i, &ai) in a.iter().enumerate() {
+                if i + j < w {
+                    row[i + j] = self.aig.and(ai, bj);
+                }
+            }
+            let (sum, _) = self.adder(&acc, &row, Lit::FALSE, false);
+            acc = sum;
+        }
+        acc
+    }
+
+    /// Shift left/right. Constant shift amounts become pure wiring; variable
+    /// amounts build a barrel shifter with an overflow guard.
+    fn shift(&mut self, a: &[Lit], rhs_expr: &Expr, b: &[Lit], left: bool) -> Vec<Lit> {
+        let w = a.len();
+        if let Expr::Const { value, .. } = rhs_expr {
+            return shift_const(a, *value as usize, left);
+        }
+        // Barrel shifter: one mux layer per rhs bit that matters.
+        let needed = usize::BITS - (w.max(1) - 1).leading_zeros(); // ceil(log2(w))
+        let mut current = a.to_vec();
+        for (j, &bj) in b.iter().enumerate().take(needed as usize) {
+            let amount = 1usize << j;
+            let shifted = shift_const(&current, amount, left);
+            current = current
+                .iter()
+                .zip(shifted.iter())
+                .map(|(&keep, &sh)| self.aig.mux(bj, sh, keep))
+                .collect();
+        }
+        // Guard: any rhs bit at or above `needed` zeroes the result if that
+        // bit alone already shifts everything out.
+        let high_bits: Vec<Lit> = b
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| {
+                let amount = 1u128 << j;
+                *j >= needed as usize && amount >= w as u128
+            })
+            .map(|(_, &l)| l)
+            .collect();
+        if !high_bits.is_empty() {
+            let overflow = self.aig.or_many(&high_bits);
+            current = current
+                .iter()
+                .map(|&bit| self.aig.and(bit, !overflow))
+                .collect();
+        }
+        current
+    }
+
+    fn xor_many(&mut self, lits: &[Lit]) -> Lit {
+        let mut acc = Lit::FALSE;
+        for &l in lits {
+            acc = self.aig.xor(acc, l);
+        }
+        acc
+    }
+}
+
+fn shift_const(a: &[Lit], amount: usize, left: bool) -> Vec<Lit> {
+    let w = a.len();
+    if amount >= w {
+        return vec![Lit::FALSE; w];
+    }
+    if left {
+        let mut out = vec![Lit::FALSE; amount];
+        out.extend_from_slice(&a[..w - amount]);
+        out
+    } else {
+        let mut out = a[amount..].to_vec();
+        out.extend(std::iter::repeat_n(Lit::FALSE, amount));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipforge_hdl::{designs, parse, Simulator};
+
+    /// Drives the RTL simulator and the AIG side by side with the same
+    /// pseudo-random stimulus and compares all outputs every cycle.
+    fn check_equivalence(src: &str, cycles: u64, seed: u64) {
+        let module = parse(src).unwrap();
+        let aig = lower_to_aig(&module);
+        let mut rtl = Simulator::new(&module);
+        let mut latch_state = vec![false; aig.latches().len()];
+        let mut rng = seed | 1;
+        for _ in 0..cycles {
+            // Random inputs.
+            let mut input_values = Vec::new();
+            for signal in module.inputs() {
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let value = rng >> 16;
+                rtl.set(signal.name(), value);
+                for i in 0..signal.width() {
+                    input_values.push((value >> i) & 1 == 1);
+                }
+            }
+            let values = aig.simulate(&input_values, &latch_state);
+            // Compare every output bit.
+            for (name, lit) in aig.outputs() {
+                let (sig, bit) = split_bit_name(name);
+                let expected = (rtl.get(sig) >> bit) & 1 == 1;
+                assert_eq!(
+                    crate::Aig::lit_value(&values, *lit),
+                    expected,
+                    "output {name} mismatch"
+                );
+            }
+            // Advance both.
+            latch_state = aig
+                .latches()
+                .iter()
+                .map(|l| crate::Aig::lit_value(&values, l.d))
+                .collect();
+            rtl.step();
+        }
+    }
+
+    fn split_bit_name(name: &str) -> (&str, u32) {
+        let open = name.rfind('[').unwrap();
+        let bit: u32 = name[open + 1..name.len() - 1].parse().unwrap();
+        (&name[..open], bit)
+    }
+
+    #[test]
+    fn adder_equivalence() {
+        check_equivalence(
+            "module m() { input [7:0] a; input [7:0] b; output [7:0] y; assign y = a + b; }",
+            64,
+            1,
+        );
+    }
+
+    #[test]
+    fn subtract_and_compares_equivalence() {
+        check_equivalence(
+            "module m() { input [6:0] a; input [6:0] b; output [6:0] d; output lt; output le; output gt; output ge; output eq; output ne; \
+             assign d = a - b; assign lt = a < b; assign le = a <= b; assign gt = a > b; assign ge = a >= b; assign eq = a == b; assign ne = a != b; }",
+            128,
+            2,
+        );
+    }
+
+    #[test]
+    fn multiplier_equivalence() {
+        check_equivalence(
+            "module m() { input [5:0] a; input [5:0] b; output [11:0] p; assign p = a * b; }",
+            128,
+            3,
+        );
+    }
+
+    #[test]
+    fn variable_shift_equivalence() {
+        check_equivalence(
+            "module m() { input [7:0] a; input [3:0] s; output [7:0] l; output [7:0] r; assign l = a << s; assign r = a >> s; }",
+            256,
+            4,
+        );
+    }
+
+    #[test]
+    fn constant_shift_equivalence() {
+        check_equivalence(
+            "module m() { input [7:0] a; output [7:0] l; output [7:0] r; assign l = a << 3; assign r = a >> 2; }",
+            32,
+            5,
+        );
+    }
+
+    #[test]
+    fn negate_and_reductions_equivalence() {
+        check_equivalence(
+            "module m() { input [4:0] a; output [4:0] n; output ra; output ro; output rx; output ln; \
+             assign n = -a; assign ra = &a; assign ro = |a; assign rx = ^a; assign ln = !a; }",
+            64,
+            6,
+        );
+    }
+
+    #[test]
+    fn sequential_counter_equivalence() {
+        check_equivalence(
+            "module c() { input rst; input en; output [7:0] q; reg [7:0] q; always { if (rst) { q <= 0; } else if (en) { q <= q + 1; } } }",
+            128,
+            7,
+        );
+    }
+
+    #[test]
+    fn suite_designs_lower_and_match() {
+        for design in designs::suite() {
+            check_equivalence(design.source(), 48, 0xBEEF);
+        }
+    }
+
+    #[test]
+    fn logical_ops_equivalence() {
+        check_equivalence(
+            "module m() { input [3:0] a; input [3:0] b; output x; output o; assign x = a && b; assign o = a || b; }",
+            64,
+            9,
+        );
+    }
+
+    #[test]
+    fn concat_and_slice_equivalence() {
+        check_equivalence(
+            "module m() { input [7:0] a; output [7:0] y; output [3:0] hi; assign y = {a[3:0], a[7:4]}; assign hi = a[7:4]; }",
+            64,
+            10,
+        );
+    }
+}

@@ -1,0 +1,610 @@
+//! Technology mapping: covering the AIG with library cells.
+//!
+//! A classic priority-cut mapper: for every AND node, cuts of up to three
+//! leaves are enumerated; each cut's truth table is matched against the
+//! library's gate functions; dynamic programming with area flow picks the
+//! cheapest cover. Complemented signals are realized with inverters that
+//! are cached per node, and a guaranteed NAND/AND+INV fallback keeps the
+//! mapper total for any AIG.
+
+use crate::aig::{Aig, Lit, NodeId};
+use crate::SynthError;
+use chipforge_netlist::{CellFunction, NetId, Netlist};
+use chipforge_pdk::{CellClass, StdCellLibrary};
+use std::collections::HashMap;
+
+const MAX_CUT_INPUTS: usize = 3;
+const MAX_CUTS_PER_NODE: usize = 8;
+
+/// Truth-table projections of the three cut-leaf variables.
+const PROJ: [u8; 3] = [0xAA, 0xCC, 0xF0];
+
+/// A single library match: which function implements a truth table and how
+/// its pins map onto cut-leaf positions.
+#[derive(Debug, Clone)]
+struct Match {
+    function: CellFunction,
+    /// `pins[i]` = index of the cut leaf wired to the cell's pin `i`.
+    pins: Vec<usize>,
+    area: f64,
+}
+
+/// Table from (truth table over 3 vars, support size) to the cheapest match.
+struct MatchTable {
+    by_tt: HashMap<u8, Match>,
+    inv_area: f64,
+    and2_area: f64,
+}
+
+fn class_for(function: CellFunction) -> CellClass {
+    match function {
+        CellFunction::Const0 => CellClass::TieLo,
+        CellFunction::Const1 => CellClass::TieHi,
+        CellFunction::Buf => CellClass::Buf,
+        CellFunction::Inv => CellClass::Inv,
+        CellFunction::And2 => CellClass::And2,
+        CellFunction::Nand2 => CellClass::Nand2,
+        CellFunction::Or2 => CellClass::Or2,
+        CellFunction::Nor2 => CellClass::Nor2,
+        CellFunction::Xor2 => CellClass::Xor2,
+        CellFunction::Xnor2 => CellClass::Xnor2,
+        CellFunction::And3 => CellClass::And3,
+        CellFunction::Nand3 => CellClass::Nand3,
+        CellFunction::Or3 => CellClass::Or3,
+        CellFunction::Nor3 => CellClass::Nor3,
+        CellFunction::Aoi21 => CellClass::Aoi21,
+        CellFunction::Oai21 => CellClass::Oai21,
+        CellFunction::Mux2 => CellClass::Mux2,
+        CellFunction::Maj3 => CellClass::Maj3,
+        CellFunction::Xor3 => CellClass::Xor3,
+        CellFunction::Dff => CellClass::Dff,
+        CellFunction::DffEn => CellClass::DffEn,
+    }
+}
+
+/// The combinational functions the matcher tries, smallest-area first
+/// preference handled by the table construction.
+const MAPPABLE: [CellFunction; 17] = [
+    CellFunction::Buf,
+    CellFunction::Inv,
+    CellFunction::And2,
+    CellFunction::Nand2,
+    CellFunction::Or2,
+    CellFunction::Nor2,
+    CellFunction::Xor2,
+    CellFunction::Xnor2,
+    CellFunction::And3,
+    CellFunction::Nand3,
+    CellFunction::Or3,
+    CellFunction::Nor3,
+    CellFunction::Aoi21,
+    CellFunction::Oai21,
+    CellFunction::Mux2,
+    CellFunction::Maj3,
+    CellFunction::Xor3,
+];
+
+impl MatchTable {
+    fn build(lib: &StdCellLibrary) -> Result<Self, SynthError> {
+        let area_of = |class: CellClass| -> Result<f64, SynthError> {
+            lib.smallest(class)
+                .map(|c| c.area_um2())
+                .ok_or_else(|| SynthError::MissingLibraryCell(class.prefix().to_string()))
+        };
+        let inv_area = area_of(CellClass::Inv)?;
+        let and2_area = area_of(CellClass::And2)?;
+        let mut by_tt: HashMap<u8, Match> = HashMap::new();
+        for function in MAPPABLE {
+            let class = class_for(function);
+            let Some(cell) = lib.smallest(class) else {
+                continue; // library variant without this gate
+            };
+            let n = function.input_count();
+            // Enumerate injective pin -> leaf-position assignments.
+            for assignment in injective_assignments(n, MAX_CUT_INPUTS) {
+                let mut tt = 0u8;
+                for k in 0..8u8 {
+                    let inputs: Vec<bool> =
+                        (0..n).map(|pin| (k >> assignment[pin]) & 1 == 1).collect();
+                    if function.eval(&inputs) {
+                        tt |= 1 << k;
+                    }
+                }
+                let candidate = Match {
+                    function,
+                    pins: assignment.clone(),
+                    area: cell.area_um2(),
+                };
+                match by_tt.get(&tt) {
+                    Some(existing) if existing.area <= candidate.area => {}
+                    _ => {
+                        by_tt.insert(tt, candidate);
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            by_tt,
+            inv_area,
+            and2_area,
+        })
+    }
+}
+
+/// All injective maps from `pins` pin indices into `slots` leaf positions.
+fn injective_assignments(pins: usize, slots: usize) -> Vec<Vec<usize>> {
+    let mut result = Vec::new();
+    let mut current = Vec::new();
+    fn recurse(pins: usize, slots: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if current.len() == pins {
+            out.push(current.clone());
+            return;
+        }
+        for slot in 0..slots {
+            if !current.contains(&slot) {
+                current.push(slot);
+                recurse(pins, slots, current, out);
+                current.pop();
+            }
+        }
+    }
+    recurse(pins, slots, &mut current, &mut result);
+    result
+}
+
+/// How one polarity of a node's value gets realized.
+#[derive(Debug, Clone)]
+enum Choice {
+    /// Matched library cell over a cut (computes this polarity directly).
+    Cell {
+        cut: Vec<NodeId>,
+        function: CellFunction,
+        pins: Vec<usize>,
+    },
+    /// Structural fallback over the node's two fanin literals: AND2 for the
+    /// positive phase, NAND2 for the negative phase.
+    Fallback(CellFunction),
+    /// Realize the opposite polarity and append an inverter.
+    InvertOther,
+}
+
+/// Maps an optimized AIG onto a standard-cell library.
+///
+/// # Errors
+///
+/// Returns [`SynthError::MissingLibraryCell`] if the library lacks the
+/// inverter/AND fallback gates, and propagates netlist construction errors.
+pub fn map_to_netlist(aig: &Aig, lib: &StdCellLibrary) -> Result<Netlist, SynthError> {
+    let table = MatchTable::build(lib)?;
+    let refs = aig.fanout_counts();
+    let n = aig.node_count();
+
+    // --- cut enumeration + truth tables + dual-polarity DP (area flow) ---
+    let mut cuts: Vec<Vec<Vec<NodeId>>> = vec![Vec::new(); n];
+    // cost/choice per polarity: [0] = positive phase, [1] = negative phase.
+    let mut cost: Vec<[f64; 2]> = vec![[0.0, 0.0]; n];
+    let mut choice: Vec<[Option<Choice>; 2]> = vec![[None, None]; n];
+    let nand2_area = lib
+        .smallest(CellClass::Nand2)
+        .map(|c| c.area_um2())
+        .ok_or_else(|| SynthError::MissingLibraryCell("NAND2".into()))?;
+
+    for index in 0..n {
+        let node = NodeId(index as u32);
+        let Some((fa, fb)) = aig.and_fanins(node) else {
+            cuts[index] = vec![vec![node]];
+            // Inputs/constants: positive phase is free, negative costs INV.
+            cost[index] = [0.0, table.inv_area];
+            choice[index] = [None, Some(Choice::InvertOther)];
+            continue;
+        };
+        // Merge fanin cuts.
+        let mut node_cuts: Vec<Vec<NodeId>> = vec![vec![node]];
+        for ca in &cuts[fa.node().index()] {
+            for cb in &cuts[fb.node().index()] {
+                if let Some(cut) = merge_cuts(ca, cb) {
+                    if !node_cuts.contains(&cut) {
+                        node_cuts.push(cut);
+                    }
+                }
+            }
+        }
+        node_cuts.sort_by_key(|c| c.len());
+        node_cuts.truncate(MAX_CUTS_PER_NODE);
+
+        let mut best_cost = [f64::INFINITY, f64::INFINITY];
+        let mut best: [Option<Choice>; 2] = [None, None];
+        for cut in &node_cuts {
+            if cut.len() == 1 && cut[0] == node {
+                continue; // trivial cut: not a cover
+            }
+            let Some(tt) = cone_truth_table(aig, node, cut) else {
+                continue;
+            };
+            // Leaves are used in their positive phase.
+            let leaf_cost: f64 = cut
+                .iter()
+                .map(|l| cost[l.index()][0] / f64::from(refs[l.index()].max(1)))
+                .sum();
+            for (phase, tt_key) in [(0usize, tt), (1, !tt)] {
+                if let Some(m) = table.by_tt.get(&tt_key) {
+                    let total = m.area + leaf_cost;
+                    if total < best_cost[phase] {
+                        best_cost[phase] = total;
+                        best[phase] = Some(Choice::Cell {
+                            cut: cut.clone(),
+                            function: m.function,
+                            pins: m.pins.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        // Guaranteed fallbacks over fanin literals: AND2 (pos), NAND2 (neg).
+        let fanin_cost: f64 = [fa, fb]
+            .iter()
+            .map(|fanin| {
+                let i = fanin.node().index();
+                let phase = usize::from(fanin.is_complemented());
+                cost[i][phase] / f64::from(refs[i].max(1))
+            })
+            .sum();
+        for (phase, area, function) in [
+            (0usize, table.and2_area, CellFunction::And2),
+            (1, nand2_area, CellFunction::Nand2),
+        ] {
+            let total = area + fanin_cost;
+            if total < best_cost[phase] {
+                best_cost[phase] = total;
+                best[phase] = Some(Choice::Fallback(function));
+            }
+        }
+        // Cross-polarity improvement (at most one side can win).
+        if best_cost[1] + table.inv_area < best_cost[0] {
+            best_cost[0] = best_cost[1] + table.inv_area;
+            best[0] = Some(Choice::InvertOther);
+        } else if best_cost[0] + table.inv_area < best_cost[1] {
+            best_cost[1] = best_cost[0] + table.inv_area;
+            best[1] = Some(Choice::InvertOther);
+        }
+        cost[index] = best_cost;
+        choice[index] = [
+            Some(best[0].clone().expect("AND2 fallback always applies")),
+            Some(best[1].clone().expect("NAND2 fallback always applies")),
+        ];
+        cuts[index] = node_cuts;
+    }
+
+    // --- extraction ---
+    let mut extractor = Extractor {
+        aig,
+        lib,
+        choice: &choice,
+        netlist: Netlist::new(aig.name()),
+        node_net: HashMap::new(),
+        const_nets: [None, None],
+        counter: 0,
+    };
+
+    // Primary inputs and latch outputs become nets up front.
+    for (name, id) in aig.inputs() {
+        let net = extractor.netlist.add_input(name.clone());
+        extractor.node_net.insert((*id, false), net);
+    }
+    let mut latch_q_nets = Vec::new();
+    for latch in aig.latches() {
+        let net = extractor.netlist.add_net(latch.name.clone());
+        extractor.node_net.insert((latch.q, false), net);
+        latch_q_nets.push(net);
+    }
+    // Logic cones.
+    for (_, lit) in aig.outputs() {
+        extractor.lit_net(*lit)?;
+    }
+    for latch in aig.latches() {
+        extractor.lit_net(latch.d)?;
+    }
+    // Flip-flops.
+    for (latch, q_net) in aig.latches().iter().zip(latch_q_nets) {
+        let d_net = extractor.lit_net(latch.d)?;
+        let cell = extractor.lib_cell_name(CellFunction::Dff)?;
+        let name = format!("ff_{}", latch.name.replace(['[', ']'], "_"));
+        extractor
+            .netlist
+            .add_cell(name, CellFunction::Dff, cell, &[d_net], q_net)?;
+    }
+    // Outputs.
+    for (name, lit) in aig.outputs() {
+        let net = extractor.lit_net(*lit)?;
+        extractor.netlist.mark_output(name.clone(), net)?;
+    }
+    Ok(extractor.netlist)
+}
+
+/// Merges two cuts; `None` if the union exceeds the input limit.
+fn merge_cuts(a: &[NodeId], b: &[NodeId]) -> Option<Vec<NodeId>> {
+    let mut merged: Vec<NodeId> = a.to_vec();
+    for &x in b {
+        if !merged.contains(&x) {
+            merged.push(x);
+        }
+    }
+    if merged.len() > MAX_CUT_INPUTS {
+        return None;
+    }
+    merged.sort();
+    Some(merged)
+}
+
+/// Truth table of `node` as a function of the cut leaves (3-variable
+/// projections), or `None` if the cone escapes the cut.
+fn cone_truth_table(aig: &Aig, node: NodeId, cut: &[NodeId]) -> Option<u8> {
+    fn tt_of(
+        aig: &Aig,
+        node: NodeId,
+        cut: &[NodeId],
+        memo: &mut HashMap<NodeId, u8>,
+    ) -> Option<u8> {
+        if let Some(pos) = cut.iter().position(|&l| l == node) {
+            return Some(PROJ[pos]);
+        }
+        if let Some(&tt) = memo.get(&node) {
+            return Some(tt);
+        }
+        let (a, b) = aig.and_fanins(node)?;
+        let ta = tt_of(aig, a.node(), cut, memo)?;
+        let tb = tt_of(aig, b.node(), cut, memo)?;
+        let va = if a.is_complemented() { !ta } else { ta };
+        let vb = if b.is_complemented() { !tb } else { tb };
+        let tt = va & vb;
+        memo.insert(node, tt);
+        Some(tt)
+    }
+    let mut memo = HashMap::new();
+    tt_of(aig, node, cut, &mut memo)
+}
+
+struct Extractor<'a> {
+    aig: &'a Aig,
+    lib: &'a StdCellLibrary,
+    choice: &'a [[Option<Choice>; 2]],
+    netlist: Netlist,
+    /// `(node, negated)` -> net carrying that phase of the node's value.
+    node_net: HashMap<(NodeId, bool), NetId>,
+    const_nets: [Option<NetId>; 2],
+    counter: usize,
+}
+
+impl Extractor<'_> {
+    fn lib_cell_name(&self, function: CellFunction) -> Result<String, SynthError> {
+        self.lib
+            .smallest(class_for(function))
+            .map(|c| c.name().to_string())
+            .ok_or_else(|| SynthError::MissingLibraryCell(function.to_string()))
+    }
+
+    fn fresh_net(&mut self) -> NetId {
+        self.counter += 1;
+        self.netlist.add_net(format!("n{}", self.counter))
+    }
+
+    fn fresh_cell_name(&mut self) -> String {
+        self.counter += 1;
+        format!("g{}", self.counter)
+    }
+
+    /// Net carrying the requested phase of `node`, instantiating its chosen
+    /// cover on first use.
+    fn extract(&mut self, node: NodeId, negated: bool) -> Result<NetId, SynthError> {
+        if let Some(&net) = self.node_net.get(&(node, negated)) {
+            return Ok(net);
+        }
+        if node == NodeId::FALSE {
+            return self.const_net(negated);
+        }
+        let phase = usize::from(negated);
+        let choice = match &self.choice[node.index()][phase] {
+            Some(c) => c.clone(),
+            // Inputs/latch outputs have no positive choice: net is preset.
+            None => {
+                return Ok(*self
+                    .node_net
+                    .get(&(node, false))
+                    .expect("input nets are preset"))
+            }
+        };
+        let net = match choice {
+            Choice::Cell {
+                cut,
+                function,
+                pins,
+            } => {
+                let mut leaf_nets = Vec::with_capacity(cut.len());
+                for leaf in &cut {
+                    leaf_nets.push(self.extract(*leaf, false)?);
+                }
+                let inputs: Vec<NetId> = pins.iter().map(|&p| leaf_nets[p]).collect();
+                let out = self.fresh_net();
+                let cell = self.lib_cell_name(function)?;
+                let name = self.fresh_cell_name();
+                self.netlist.add_cell(name, function, cell, &inputs, out)?;
+                out
+            }
+            Choice::Fallback(function) => {
+                let (a, b) = self
+                    .aig
+                    .and_fanins(node)
+                    .expect("fallback only on AND nodes");
+                let na = self.lit_net(a)?;
+                let nb = self.lit_net(b)?;
+                let out = self.fresh_net();
+                let cell = self.lib_cell_name(function)?;
+                let name = self.fresh_cell_name();
+                self.netlist
+                    .add_cell(name, function, cell, &[na, nb], out)?;
+                out
+            }
+            Choice::InvertOther => {
+                let other = self.extract(node, !negated)?;
+                let out = self.fresh_net();
+                let cell = self.lib_cell_name(CellFunction::Inv)?;
+                let name = self.fresh_cell_name();
+                self.netlist
+                    .add_cell(name, CellFunction::Inv, cell, &[other], out)?;
+                out
+            }
+        };
+        self.node_net.insert((node, negated), net);
+        Ok(net)
+    }
+
+    /// Net carrying a literal's value.
+    fn lit_net(&mut self, lit: Lit) -> Result<NetId, SynthError> {
+        self.extract(lit.node(), lit.is_complemented())
+    }
+
+    fn const_net(&mut self, value: bool) -> Result<NetId, SynthError> {
+        let slot = usize::from(value);
+        if let Some(net) = self.const_nets[slot] {
+            return Ok(net);
+        }
+        let function = if value {
+            CellFunction::Const1
+        } else {
+            CellFunction::Const0
+        };
+        let class = if value {
+            CellClass::TieHi
+        } else {
+            CellClass::TieLo
+        };
+        let cell = self
+            .lib
+            .smallest(class)
+            .map(|c| c.name().to_string())
+            .ok_or_else(|| SynthError::MissingLibraryCell(class.prefix().to_string()))?;
+        let net = self.fresh_net();
+        let name = self.fresh_cell_name();
+        self.netlist.add_cell(name, function, cell, &[], net)?;
+        self.const_nets[slot] = Some(net);
+        Ok(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_to_aig;
+    use crate::simulate_equivalent;
+    use chipforge_hdl::parse;
+    use chipforge_pdk::{LibraryKind, TechnologyNode};
+
+    fn lib() -> StdCellLibrary {
+        StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Open)
+    }
+
+    fn map_src(src: &str) -> (chipforge_hdl::RtlModule, Netlist) {
+        let module = parse(src).unwrap();
+        let aig = lower_to_aig(&module);
+        let netlist = map_to_netlist(&aig, &lib()).unwrap();
+        netlist.validate().unwrap();
+        (module, netlist)
+    }
+
+    #[test]
+    fn xor_maps_to_single_gate() {
+        let (module, netlist) =
+            map_src("module m() { input a; input b; output y; assign y = a ^ b; }");
+        assert!(simulate_equivalent(&module, &netlist, 16, 1));
+        // One XOR2 (or XNOR2+INV, but area prefers XOR2).
+        assert_eq!(netlist.cell_count(), 1, "{:?}", netlist.stats());
+        assert_eq!(
+            netlist.cells().next().unwrap().function(),
+            CellFunction::Xor2
+        );
+    }
+
+    #[test]
+    fn mux_maps_compactly() {
+        let (module, netlist) =
+            map_src("module m() { input a; input b; input s; output y; assign y = s ? b : a; }");
+        assert!(simulate_equivalent(&module, &netlist, 32, 2));
+        assert!(
+            netlist.cell_count() <= 2,
+            "mux should map to at most MUX2 (+INV), got {}",
+            netlist.cell_count()
+        );
+    }
+
+    #[test]
+    fn constants_map_to_tie_cells() {
+        let (module, netlist) = map_src(
+            "module m() { input a; output y; output z; assign y = 1'd1; assign z = a & 1'd0; }",
+        );
+        assert!(simulate_equivalent(&module, &netlist, 8, 3));
+        let functions: Vec<CellFunction> = netlist.cells().map(|c| c.function()).collect();
+        assert!(functions.contains(&CellFunction::Const1));
+        assert!(functions.contains(&CellFunction::Const0));
+    }
+
+    #[test]
+    fn full_adder_uses_complex_gates() {
+        let (module, netlist) = map_src(
+            "module m() { input a; input b; input c; output [1:0] s; assign s = {1'd0, a} + {1'd0, b} + {1'd0, c}; }",
+        );
+        assert!(simulate_equivalent(&module, &netlist, 64, 4));
+        // XOR3 + MAJ3 (or close): far fewer cells than the ~12 NAND mapping.
+        assert!(
+            netlist.cell_count() <= 6,
+            "full adder mapped to {} cells",
+            netlist.cell_count()
+        );
+    }
+
+    #[test]
+    fn sequential_mapping_places_dffs() {
+        let (module, netlist) = map_src(
+            "module c() { input en; output [3:0] q; reg [3:0] q; always { if (en) { q <= q + 1; } } }",
+        );
+        assert!(simulate_equivalent(&module, &netlist, 64, 5));
+        assert_eq!(netlist.stats().sequential_cells, 4);
+    }
+
+    #[test]
+    fn inverters_are_shared() {
+        let (module, netlist) = map_src(
+            "module m() { input a; input b; input c; output x; output y; assign x = (a == 0) & b; assign y = (a == 0) & c; }",
+        );
+        assert!(simulate_equivalent(&module, &netlist, 32, 6));
+        let inv_count = netlist
+            .cells()
+            .filter(|c| c.function() == CellFunction::Inv)
+            .count();
+        assert!(
+            inv_count <= 1,
+            "!a must be shared, found {inv_count} inverters"
+        );
+    }
+
+    #[test]
+    fn match_table_covers_basic_tts() {
+        let table = MatchTable::build(&lib()).unwrap();
+        // AND of leaves 0,1 -> 0xAA & 0xCC = 0x88.
+        assert!(table.by_tt.contains_key(&0x88));
+        // XOR -> 0x66.
+        assert!(table.by_tt.contains_key(&0x66));
+        // NAND -> 0x77.
+        assert!(table.by_tt.contains_key(&0x77));
+        // Projection (BUF) -> 0xAA.
+        assert!(table.by_tt.contains_key(&0xAA));
+        // MAJ3 -> 0xE8.
+        assert!(table.by_tt.contains_key(&0xE8));
+    }
+
+    #[test]
+    fn injective_assignments_counts() {
+        assert_eq!(injective_assignments(1, 3).len(), 3);
+        assert_eq!(injective_assignments(2, 3).len(), 6);
+        assert_eq!(injective_assignments(3, 3).len(), 6);
+    }
+}

@@ -1,0 +1,490 @@
+//! AIG optimization passes: sweep (dead-node removal), balance (AND-tree
+//! depth reduction) and cut-based simplification (local redundancy
+//! removal).
+//!
+//! Constant folding and structural hashing are performed eagerly by
+//! [`Aig::and`], so these passes focus on restructuring that spans more
+//! than one node.
+
+use crate::aig::{Aig, AigNode, Lit, NodeId};
+use std::collections::HashMap;
+
+/// Removes logic not reachable from any output or latch next-state.
+///
+/// Rebuilds the graph, so node ids change; names and port order are
+/// preserved.
+pub fn sweep(aig: &mut Aig) {
+    let mut reachable = vec![false; aig.nodes.len()];
+    let mut stack: Vec<NodeId> = Vec::new();
+    for (_, lit) in &aig.outputs {
+        stack.push(lit.node());
+    }
+    for latch in &aig.latches {
+        stack.push(latch.d.node());
+        stack.push(latch.q);
+    }
+    while let Some(node) = stack.pop() {
+        if reachable[node.index()] {
+            continue;
+        }
+        reachable[node.index()] = true;
+        if let Some((a, b)) = aig.and_fanins(node) {
+            stack.push(a.node());
+            stack.push(b.node());
+        }
+    }
+    rebuild(aig, |old, new, map| {
+        for (i, node) in old.nodes.iter().enumerate() {
+            if !reachable[i] {
+                continue;
+            }
+            if let AigNode::And(a, b) = node {
+                let na = translate(*a, map);
+                let nb = translate(*b, map);
+                map[i] = Some(new.and(na, nb));
+            }
+        }
+    });
+}
+
+/// Rebalances AND trees to reduce depth.
+///
+/// Fanout-free, uncomplemented chains of AND nodes are flattened into
+/// multi-input conjunctions and rebuilt as balanced trees. Equivalence is
+/// preserved exactly (AND is associative and commutative).
+pub fn balance(aig: &mut Aig) {
+    let refs = aig.fanout_counts();
+    let n = aig.nodes.len();
+    // leaves[i]: flattened conjunction leaves for AND node i.
+    let mut leaves: Vec<Option<Vec<Lit>>> = vec![None; n];
+    let mut inlined = vec![false; n];
+    for i in 0..n {
+        let (a, b) = match aig.nodes[i] {
+            AigNode::And(a, b) => (a, b),
+            _ => continue,
+        };
+        let mut list = Vec::new();
+        for child in [a, b] {
+            let ci = child.node().index();
+            let inlinable = !child.is_complemented()
+                && matches!(aig.nodes[ci], AigNode::And(..))
+                && refs[ci] == 1;
+            if inlinable {
+                let child_leaves = leaves[ci].take().expect("children precede parents");
+                inlined[ci] = true;
+                list.extend(child_leaves);
+            } else {
+                list.push(child);
+            }
+        }
+        leaves[i] = Some(list);
+    }
+    rebuild(aig, |old, new, map| {
+        for i in 0..old.nodes.len() {
+            if !matches!(old.nodes[i], AigNode::And(..)) || inlined[i] {
+                continue;
+            }
+            let list = leaves[i].take().expect("kept nodes retain their leaves");
+            let mapped: Vec<Lit> = list.iter().map(|&l| translate(l, map)).collect();
+            map[i] = Some(new.and_many(&mapped));
+        }
+    });
+}
+
+/// Cut-based simplification: redundancies that span several AND nodes.
+///
+/// For every node, 3-input cuts are enumerated and the node's local truth
+/// table computed. When the function collapses — constant, equal to a
+/// leaf, or equal to a leaf's complement (classic shapes like
+/// `(a & b) | (a & !b) = a`) — the node is replaced by the simpler
+/// literal. Structural hashing alone cannot see these because the
+/// redundancy only appears at the cut level.
+pub fn simplify(aig: &mut Aig) {
+    const PROJ: [u8; 3] = [0xAA, 0xCC, 0xF0];
+    let n = aig.nodes.len();
+    // Per node: up to a handful of cuts (sorted leaf lists).
+    let mut cuts: Vec<Vec<Vec<NodeId>>> = vec![Vec::new(); n];
+    // Replacement literal per node in the *old* graph, if collapsed.
+    let mut replacement: Vec<Option<Lit>> = vec![None; n];
+
+    // Follows replacement chains to a fixpoint (replacements can point at
+    // nodes that were themselves replaced later in the pass).
+    let resolve = |replacement: &Vec<Option<Lit>>, mut lit: Lit| -> Lit {
+        for _ in 0..64 {
+            match replacement[lit.node().index()] {
+                Some(target) => {
+                    lit = if lit.is_complemented() {
+                        !target
+                    } else {
+                        target
+                    };
+                }
+                None => break,
+            }
+        }
+        lit
+    };
+
+    for index in 0..n {
+        let node = NodeId(index as u32);
+        let Some((fa, fb)) = aig.and_fanins(node) else {
+            cuts[index] = vec![vec![node]];
+            continue;
+        };
+        let fa = resolve(&replacement, fa);
+        let fb = resolve(&replacement, fb);
+        let mut node_cuts: Vec<Vec<NodeId>> = vec![vec![node]];
+        for ca in cuts[fa.node().index()].clone() {
+            for cb in cuts[fb.node().index()].clone() {
+                let mut merged = ca.clone();
+                for leaf in &cb {
+                    if !merged.contains(leaf) {
+                        merged.push(*leaf);
+                    }
+                }
+                if merged.len() <= 3 {
+                    merged.sort();
+                    if !node_cuts.contains(&merged) {
+                        node_cuts.push(merged);
+                    }
+                }
+            }
+        }
+        node_cuts.truncate(8);
+
+        'cuts: for cut in &node_cuts {
+            if cut.len() == 1 && cut[0] == node {
+                continue;
+            }
+            let Some(tt) = cut_tt(aig, node, cut, &PROJ, &replacement) else {
+                continue;
+            };
+            let candidates: Vec<(u8, Lit)> = std::iter::once((0x00u8, Lit::FALSE))
+                .chain(std::iter::once((0xFF, Lit::TRUE)))
+                .chain(cut.iter().enumerate().flat_map(|(i, &leaf)| {
+                    [
+                        (PROJ[i], Lit::new(leaf, false)),
+                        (!PROJ[i], Lit::new(leaf, true)),
+                    ]
+                }))
+                .collect();
+            for (pattern, lit) in candidates {
+                if tt == pattern {
+                    replacement[index] = Some(lit);
+                    cuts[index] = cuts[lit.node().index()].clone();
+                    break 'cuts;
+                }
+            }
+        }
+        if replacement[index].is_none() {
+            cuts[index] = node_cuts;
+        }
+    }
+
+    if replacement.iter().all(Option::is_none) {
+        // Nothing collapsed; still clean out dead logic.
+        sweep(aig);
+        return;
+    }
+    // Rebuild with replacements applied.
+    rebuild(aig, |old, new, map| {
+        for i in 0..old.nodes.len() {
+            let AigNode::And(a, b) = old.nodes[i] else {
+                continue;
+            };
+            if let Some(target) = replacement[i] {
+                // Point at the replacement's new literal.
+                let resolved = resolve(&replacement, target);
+                let base = map[resolved.node().index()].expect("leaves precede");
+                map[i] = Some(if resolved.is_complemented() {
+                    !base
+                } else {
+                    base
+                });
+            } else {
+                let ra = resolve(&replacement, a);
+                let rb = resolve(&replacement, b);
+                let na = translate(ra, map);
+                let nb = translate(rb, map);
+                map[i] = Some(new.and(na, nb));
+            }
+        }
+    });
+    // Replacements can strand dead logic.
+    sweep(aig);
+}
+
+/// Truth table of `node` over the cut leaves, following replacements.
+fn cut_tt(
+    aig: &Aig,
+    node: NodeId,
+    cut: &[NodeId],
+    proj: &[u8; 3],
+    replacement: &Vec<Option<Lit>>,
+) -> Option<u8> {
+    fn go(
+        aig: &Aig,
+        node: NodeId,
+        cut: &[NodeId],
+        proj: &[u8; 3],
+        replacement: &Vec<Option<Lit>>,
+        memo: &mut HashMap<NodeId, u8>,
+        depth: usize,
+    ) -> Option<u8> {
+        if depth > 64 {
+            return None;
+        }
+        if let Some(pos) = cut.iter().position(|&l| l == node) {
+            return Some(proj[pos]);
+        }
+        if let Some(&tt) = memo.get(&node) {
+            return Some(tt);
+        }
+        let (a, b) = aig.and_fanins(node)?;
+        let follow = |mut lit: Lit| -> Lit {
+            for _ in 0..64 {
+                match replacement[lit.node().index()] {
+                    Some(t) => lit = if lit.is_complemented() { !t } else { t },
+                    None => break,
+                }
+            }
+            lit
+        };
+        let a = follow(a);
+        let b = follow(b);
+        let ta = match a.node() {
+            n if n == NodeId::FALSE => 0x00,
+            n => go(aig, n, cut, proj, replacement, memo, depth + 1)?,
+        };
+        let tb = match b.node() {
+            n if n == NodeId::FALSE => 0x00,
+            n => go(aig, n, cut, proj, replacement, memo, depth + 1)?,
+        };
+        let va = if a.is_complemented() { !ta } else { ta };
+        let vb = if b.is_complemented() { !tb } else { tb };
+        let tt = va & vb;
+        memo.insert(node, tt);
+        Some(tt)
+    }
+    let mut memo = HashMap::new();
+    go(aig, node, cut, proj, replacement, &mut memo, 0)
+}
+
+fn translate(lit: Lit, map: &[Option<Lit>]) -> Lit {
+    let base = map[lit.node().index()].expect("fanins are mapped before fanouts");
+    if lit.is_complemented() {
+        !base
+    } else {
+        base
+    }
+}
+
+/// Shared rebuild scaffolding: copies inputs/latches, lets `body` translate
+/// the AND nodes, then reconnects latches and outputs.
+fn rebuild(aig: &mut Aig, body: impl FnOnce(&mut Aig, &mut Aig, &mut Vec<Option<Lit>>)) {
+    let mut old = std::mem::replace(aig, Aig::new(""));
+    let mut new = Aig::new(old.name());
+    let mut map: Vec<Option<Lit>> = vec![None; old.nodes.len()];
+    map[NodeId::FALSE.index()] = Some(Lit::FALSE);
+    for (name, id) in old.inputs.clone() {
+        map[id.index()] = Some(new.add_input(name));
+    }
+    for latch in old.latches.clone() {
+        map[latch.q.index()] = Some(new.add_latch(latch.name.clone()));
+    }
+    body(&mut old, &mut new, &mut map);
+    for latch in &old.latches {
+        let q = map[latch.q.index()].expect("latch copied").node();
+        let d = translate(latch.d, &map);
+        new.set_latch_next(q, d);
+    }
+    for (name, lit) in &old.outputs {
+        new.add_output(name.clone(), translate(*lit, &map));
+    }
+    *aig = new;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_to_aig;
+    use chipforge_hdl::{designs, parse};
+
+    /// Exhaustively compares two AIGs on all inputs (inputs + latches must
+    /// be few enough to enumerate).
+    fn exhaustive_equal(a: &Aig, b: &Aig) {
+        assert_eq!(a.inputs().len(), b.inputs().len());
+        assert_eq!(a.latches().len(), b.latches().len());
+        let n_in = a.inputs().len();
+        let n_latch = a.latches().len();
+        assert!(n_in + n_latch <= 16, "too many inputs for exhaustive check");
+        for pattern in 0u32..(1 << (n_in + n_latch)) {
+            let inputs: Vec<bool> = (0..n_in).map(|i| (pattern >> i) & 1 == 1).collect();
+            let latches: Vec<bool> = (0..n_latch)
+                .map(|i| (pattern >> (n_in + i)) & 1 == 1)
+                .collect();
+            let va = a.simulate(&inputs, &latches);
+            let vb = b.simulate(&inputs, &latches);
+            for ((name, la), (_, lb)) in a.outputs().iter().zip(b.outputs()) {
+                assert_eq!(
+                    Aig::lit_value(&va, *la),
+                    Aig::lit_value(&vb, *lb),
+                    "output {name} pattern {pattern:#b}"
+                );
+            }
+            for (la, lb) in a.latches().iter().zip(b.latches()) {
+                assert_eq!(
+                    Aig::lit_value(&va, la.d),
+                    Aig::lit_value(&vb, lb.d),
+                    "latch {} pattern {pattern:#b}",
+                    la.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_removes_dead_logic() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let used = aig.and(a, b);
+        let _dead = aig.and(a, !b);
+        aig.add_output("y", used);
+        let before = aig.stats().ands;
+        assert_eq!(before, 2);
+        let reference = aig.clone();
+        sweep(&mut aig);
+        assert_eq!(aig.stats().ands, 1);
+        exhaustive_equal(&reference, &aig);
+    }
+
+    #[test]
+    fn balance_reduces_chain_depth() {
+        // A linear 8-input AND chain: depth 7 -> balanced depth 3.
+        let mut aig = Aig::new("chain");
+        let inputs: Vec<Lit> = (0..8).map(|i| aig.add_input(format!("i{i}"))).collect();
+        let mut acc = inputs[0];
+        for &l in &inputs[1..] {
+            acc = aig.and(acc, l);
+        }
+        aig.add_output("y", acc);
+        assert_eq!(aig.stats().depth, 7);
+        let reference = aig.clone();
+        balance(&mut aig);
+        assert_eq!(aig.stats().depth, 3);
+        exhaustive_equal(&reference, &aig);
+    }
+
+    #[test]
+    fn balance_preserves_shared_nodes() {
+        // A shared AND must not be duplicated into both fanouts.
+        let mut aig = Aig::new("shared");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let shared = aig.and(a, b);
+        let y1 = aig.and(shared, c);
+        let y2 = aig.and(shared, !c);
+        aig.add_output("y1", y1);
+        aig.add_output("y2", y2);
+        let reference = aig.clone();
+        balance(&mut aig);
+        exhaustive_equal(&reference, &aig);
+        assert!(aig.stats().ands <= 3);
+    }
+
+    #[test]
+    fn passes_preserve_suite_semantics() {
+        for design in designs::suite() {
+            let module = parse(design.source()).unwrap();
+            let aig = lower_to_aig(&module);
+            if aig.inputs().len() + aig.latches().len() > 16 {
+                continue; // exhaustive check infeasible; covered by lib tests
+            }
+            let mut optimized = aig.clone();
+            balance(&mut optimized);
+            sweep(&mut optimized);
+            exhaustive_equal(&aig, &optimized);
+        }
+    }
+
+    #[test]
+    fn simplify_collapses_shannon_redundancy() {
+        // (a & b) | (a & !b) = a — invisible to structural hashing.
+        let mut aig = Aig::new("shannon");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let ab = aig.and(a, b);
+        let anb = aig.and(a, !b);
+        let y = aig.or(ab, anb);
+        aig.add_output("y", y);
+        assert_eq!(aig.stats().ands, 3);
+        let reference = aig.clone();
+        simplify(&mut aig);
+        assert_eq!(aig.stats().ands, 0, "must collapse to the input");
+        exhaustive_equal(&reference, &aig);
+    }
+
+    #[test]
+    fn simplify_finds_cut_level_constants() {
+        // (a | b) & (!a & !b) = 0 across three nodes.
+        let mut aig = Aig::new("const");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let or = aig.or(a, b);
+        let nor = aig.and(!a, !b);
+        let y = aig.and(or, nor);
+        aig.add_output("y", y);
+        let reference = aig.clone();
+        simplify(&mut aig);
+        assert_eq!(aig.stats().ands, 0, "constant false cone must vanish");
+        exhaustive_equal(&reference, &aig);
+    }
+
+    #[test]
+    fn simplify_collapses_mux_with_equal_branches() {
+        // s ? a : a = a (three mux nodes).
+        let mut aig = Aig::new("mux");
+        let s = aig.add_input("s");
+        let a = aig.add_input("a");
+        let y = aig.mux(s, a, a);
+        aig.add_output("y", y);
+        let reference = aig.clone();
+        simplify(&mut aig);
+        assert_eq!(aig.stats().ands, 0);
+        exhaustive_equal(&reference, &aig);
+    }
+
+    #[test]
+    fn simplify_preserves_suite_semantics() {
+        for design in designs::suite() {
+            let module = parse(design.source()).unwrap();
+            let aig = lower_to_aig(&module);
+            if aig.inputs().len() + aig.latches().len() > 16 {
+                continue;
+            }
+            let mut optimized = aig.clone();
+            simplify(&mut optimized);
+            assert!(
+                optimized.stats().ands <= aig.stats().ands,
+                "{}: simplify must not grow the graph",
+                design.name()
+            );
+            exhaustive_equal(&aig, &optimized);
+        }
+    }
+
+    #[test]
+    fn balance_keeps_latch_structure() {
+        let module = parse(
+            "module c() { input en; output [3:0] q; reg [3:0] q; always { if (en) { q <= q + 1; } } }",
+        )
+        .unwrap();
+        let aig = lower_to_aig(&module);
+        let mut optimized = aig.clone();
+        balance(&mut optimized);
+        assert_eq!(optimized.latches().len(), 4);
+        exhaustive_equal(&aig, &optimized);
+    }
+}

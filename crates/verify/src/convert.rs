@@ -1,0 +1,182 @@
+//! Mapped-netlist → AIG semantic conversion.
+
+use chipforge_netlist::{CellFunction, NetDriver, Netlist, NetlistError};
+use chipforge_synth::{Aig, Lit};
+
+/// Converts a mapped gate-level netlist into an and-inverter graph using
+/// the semantic definition of each [`CellFunction`].
+///
+/// Primary inputs keep their (bit-blasted) port names; flip-flops become
+/// AIG latches named after their output nets, matching the naming the
+/// RTL lowering in `chipforge-synth` produces — which is what makes
+/// output-by-name equivalence checking possible.
+///
+/// # Errors
+///
+/// Returns [`NetlistError`] if the netlist has undriven nets or
+/// combinational loops.
+pub fn netlist_to_aig(netlist: &Netlist) -> Result<Aig, NetlistError> {
+    netlist.validate()?;
+    let mut aig = Aig::new(netlist.name());
+    let mut net_lit: Vec<Option<Lit>> = vec![None; netlist.net_count()];
+
+    for (name, net) in netlist.inputs() {
+        net_lit[net.index()] = Some(aig.add_input(name.clone()));
+    }
+    // Latch outputs first so combinational logic can read them.
+    let mut latch_cells = Vec::new();
+    for cell in netlist.cells() {
+        if cell.is_sequential() {
+            let q_name = netlist.net(cell.output()).name().to_string();
+            net_lit[cell.output().index()] = Some(aig.add_latch(q_name));
+            latch_cells.push(cell.id());
+        }
+    }
+    // Combinational cells in topological order.
+    for id in netlist.combinational_order()? {
+        let cell = netlist.cell(id);
+        let inputs: Vec<Lit> = cell
+            .inputs()
+            .iter()
+            .map(|n| net_lit[n.index()].expect("topological order resolves inputs"))
+            .collect();
+        let out = eval_function(&mut aig, cell.function(), &inputs);
+        net_lit[cell.output().index()] = Some(out);
+    }
+    // Latch next-state functions.
+    for id in latch_cells {
+        let cell = netlist.cell(id);
+        let q = net_lit[cell.output().index()]
+            .expect("latch output allocated")
+            .node();
+        let d = net_lit[cell.inputs()[0].index()].expect("D net resolved");
+        let next = match cell.function() {
+            CellFunction::Dff => d,
+            CellFunction::DffEn => {
+                let en = net_lit[cell.inputs()[1].index()].expect("EN net resolved");
+                let hold = Lit::new(q, false);
+                aig.mux(en, d, hold)
+            }
+            _ => unreachable!("only flops are sequential"),
+        };
+        aig.set_latch_next(q, next);
+    }
+    // Outputs by port name.
+    for (port, net) in netlist.outputs() {
+        let lit = match netlist.net(*net).driver() {
+            Some(NetDriver::Cell(_) | NetDriver::Input(_)) => {
+                net_lit[net.index()].expect("driven net resolved")
+            }
+            None => unreachable!("validated netlists have no undriven nets"),
+        };
+        aig.add_output(port.clone(), lit);
+    }
+    Ok(aig)
+}
+
+fn eval_function(aig: &mut Aig, function: CellFunction, inputs: &[Lit]) -> Lit {
+    match function {
+        CellFunction::Const0 => Lit::FALSE,
+        CellFunction::Const1 => Lit::TRUE,
+        CellFunction::Buf => inputs[0],
+        CellFunction::Inv => !inputs[0],
+        CellFunction::And2 => aig.and(inputs[0], inputs[1]),
+        CellFunction::Nand2 => !aig.and(inputs[0], inputs[1]),
+        CellFunction::Or2 => aig.or(inputs[0], inputs[1]),
+        CellFunction::Nor2 => !aig.or(inputs[0], inputs[1]),
+        CellFunction::Xor2 => aig.xor(inputs[0], inputs[1]),
+        CellFunction::Xnor2 => !aig.xor(inputs[0], inputs[1]),
+        CellFunction::And3 => {
+            let ab = aig.and(inputs[0], inputs[1]);
+            aig.and(ab, inputs[2])
+        }
+        CellFunction::Nand3 => {
+            let ab = aig.and(inputs[0], inputs[1]);
+            !aig.and(ab, inputs[2])
+        }
+        CellFunction::Or3 => {
+            let ab = aig.or(inputs[0], inputs[1]);
+            aig.or(ab, inputs[2])
+        }
+        CellFunction::Nor3 => {
+            let ab = aig.or(inputs[0], inputs[1]);
+            !aig.or(ab, inputs[2])
+        }
+        CellFunction::Aoi21 => {
+            let ab = aig.and(inputs[0], inputs[1]);
+            !aig.or(ab, inputs[2])
+        }
+        CellFunction::Oai21 => {
+            let ab = aig.or(inputs[0], inputs[1]);
+            !aig.and(ab, inputs[2])
+        }
+        CellFunction::Mux2 => aig.mux(inputs[2], inputs[1], inputs[0]),
+        CellFunction::Maj3 => {
+            let ab = aig.and(inputs[0], inputs[1]);
+            let ac = aig.and(inputs[0], inputs[2]);
+            let bc = aig.and(inputs[1], inputs[2]);
+            let or1 = aig.or(ab, ac);
+            aig.or(or1, bc)
+        }
+        CellFunction::Xor3 => {
+            let ab = aig.xor(inputs[0], inputs[1]);
+            aig.xor(ab, inputs[2])
+        }
+        CellFunction::Dff | CellFunction::DffEn => {
+            unreachable!("sequential cells handled separately")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipforge_netlist::Netlist;
+
+    #[test]
+    fn converts_combinational_gates_faithfully() {
+        // y = MAJ3(a, b, c) — check all 8 patterns.
+        let mut nl = Netlist::new("maj");
+        let a = nl.add_input("a[0]");
+        let b = nl.add_input("b[0]");
+        let c = nl.add_input("c[0]");
+        let y = nl.add_net("y");
+        nl.add_cell("u", CellFunction::Maj3, "MAJ3_X1", &[a, b, c], y)
+            .unwrap();
+        nl.mark_output("y[0]", y).unwrap();
+        let aig = netlist_to_aig(&nl).unwrap();
+        for pattern in 0u32..8 {
+            let inputs: Vec<bool> = (0..3).map(|i| (pattern >> i) & 1 == 1).collect();
+            let values = aig.simulate(&inputs, &[]);
+            let expected = inputs.iter().filter(|&&b| b).count() >= 2;
+            assert_eq!(
+                Aig::lit_value(&values, aig.outputs()[0].1),
+                expected,
+                "pattern {pattern:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn latches_carry_names_and_nextstate() {
+        let mut nl = Netlist::new("ff");
+        let d = nl.add_input("d[0]");
+        let q = nl.add_net("q[0]");
+        nl.add_cell("ff0", CellFunction::Dff, "DFF_X1", &[d], q)
+            .unwrap();
+        nl.mark_output("q[0]", q).unwrap();
+        let aig = netlist_to_aig(&nl).unwrap();
+        assert_eq!(aig.latches().len(), 1);
+        assert_eq!(aig.latches()[0].name, "q[0]");
+    }
+
+    #[test]
+    fn invalid_netlists_are_rejected() {
+        let mut nl = Netlist::new("bad");
+        let floating = nl.add_net("w");
+        let y = nl.add_net("y");
+        nl.add_cell("u", CellFunction::Inv, "INV_X1", &[floating], y)
+            .unwrap();
+        assert!(netlist_to_aig(&nl).is_err());
+    }
+}

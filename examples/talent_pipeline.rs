@@ -1,0 +1,67 @@
+//! The European chip-design talent funnel and the effect of the paper's
+//! Recommendations 1-3 (Sec. III-A).
+//!
+//! Run with `cargo run --example talent_pipeline`.
+
+use chipforge::econ::workforce::{cumulative_gap, simulate, Interventions, PipelineConfig};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let config = PipelineConfig::europe_baseline();
+    let years = 12;
+    let seed = 7;
+
+    let scenarios: Vec<(&str, Interventions)> = vec![
+        ("baseline (status quo)", Interventions::none()),
+        (
+            "R1 school programs",
+            Interventions {
+                low_barrier_programs: true,
+                ..Interventions::none()
+            },
+        ),
+        (
+            "R2 info campaigns",
+            Interventions {
+                information_campaigns: true,
+                ..Interventions::none()
+            },
+        ),
+        (
+            "R3 coordinated funding",
+            Interventions {
+                coordinated_funding: true,
+                ..Interventions::none()
+            },
+        ),
+        ("R1+R2+R3 combined", Interventions::all()),
+    ];
+
+    println!("graduates entering the European chip industry per year:");
+    print!("{:<24}", "scenario");
+    for year in [0, 3, 6, 9, 11] {
+        print!("  y{year:<6}");
+    }
+    println!("  cum. gap");
+    for (name, levers) in &scenarios {
+        let outcomes = simulate(&config, *levers, years, seed);
+        print!("{name:<24}");
+        for year in [0usize, 3, 6, 9, 11] {
+            print!("  {:<7.0}", outcomes[year].graduates);
+        }
+        println!("  {:>8.0}", cumulative_gap(&outcomes));
+    }
+
+    let base = simulate(&config, Interventions::none(), years, seed);
+    let all = simulate(&config, Interventions::all(), years, seed);
+    println!(
+        "\ndemand grows {:.0}% per year; the baseline leaves {:.0} positions unfilled\n\
+         over {} years, the combined interventions {:.0} ({:.0}% of the gap closed).",
+        config.demand_growth * 100.0,
+        cumulative_gap(&base),
+        years,
+        cumulative_gap(&all),
+        (1.0 - cumulative_gap(&all) / cumulative_gap(&base)) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! A TinyTapeout-style community shuttle: many tiny student designs share
+//! one 130 nm MPW run.
+//!
+//! Demonstrates the beginner tier (Recommendation 8), the shuttle cost
+//! amortization of Sec. III-C, and that every submitted design really goes
+//! through the full flow to DRC-checked GDSII.
+//!
+//! Run with `cargo run --example tinytapeout_shuttle`.
+
+use chipforge::cloud::ShuttleSchedule;
+use chipforge::econ::mpw::MpwPricing;
+use chipforge::hdl::designs;
+use chipforge::pdk::TechnologyNode;
+use chipforge::{EnablementHub, Tier};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let hub = EnablementHub::new();
+
+    // Eight student projects of the kind TinyTapeout attracts.
+    let submissions = vec![
+        designs::counter(8),
+        designs::pwm(8),
+        designs::lfsr(8),
+        designs::gray_encoder(8),
+        designs::traffic_light(),
+        designs::shift_register(16),
+        designs::popcount(8),
+        designs::alu(8),
+    ];
+
+    println!(
+        "== running {} designs through the beginner flow ==",
+        submissions.len()
+    );
+    let mut total_area_um2 = 0.0;
+    for design in &submissions {
+        let report = hub.run(design.source(), Tier::Beginner)?;
+        total_area_um2 += report.flow.ppa.core_area_um2;
+        println!(
+            "  {:<12} {:>5} cells  {:>9.1} um2  fmax {:>7.1} MHz  DRC {}",
+            design.name(),
+            report.flow.ppa.cells,
+            report.flow.ppa.core_area_um2,
+            report.flow.ppa.fmax_mhz,
+            report.flow.ppa.drc_violations
+        );
+    }
+
+    // Shuttle economics: quarterly departures, 16 seats, 130 nm masks.
+    let pricing = MpwPricing::reference();
+    let node = TechnologyNode::N130;
+    let shuttle = ShuttleSchedule::new(13.0, 16, 26.0, pricing.mask_set_eur(node));
+    // Students submit over the first ten weeks of a semester.
+    let submit_weeks: Vec<f64> = (0..submissions.len()).map(|i| i as f64 * 1.3).collect();
+    let outcome = shuttle.run(&submit_weeks, total_area_um2 * 1e-6);
+
+    println!("\n== shuttle economics ({node}) ==");
+    println!("  shuttle runs used:      {}", outcome.runs_used);
+    println!(
+        "  mean cost per design:   {:>10.0} EUR",
+        outcome.mean_cost_per_seat()
+    );
+    println!(
+        "  dedicated mask set:     {:>10.0} EUR",
+        pricing.mask_set_eur(node)
+    );
+    println!(
+        "  amortization factor:    {:>10.1}x",
+        pricing.mask_set_eur(node) / outcome.mean_cost_per_seat()
+    );
+    println!(
+        "  mean time to silicon:   {:>10.1} weeks (a 12-week course ends first: {:.0}% of designs late)",
+        outcome.mean_latency_weeks(),
+        outcome.fraction_exceeding(12.0) * 100.0
+    );
+    Ok(())
+}
