@@ -20,6 +20,10 @@ pub struct WorkloadSpec {
     /// Tier mix as probabilities `[beginner, intermediate, advanced]`
     /// (normalized internally).
     pub tier_mix: [f64; 3],
+    /// Measured mean service hours per tier, overriding the tiers'
+    /// modelled [`AccessTier::mean_job_hours`]. Set by the E14
+    /// calibration path from batch-engine measurements.
+    pub service_hours_override: Option<[f64; 3]>,
 }
 
 impl WorkloadSpec {
@@ -37,6 +41,25 @@ impl WorkloadSpec {
             mean_interarrival_h,
             seed,
             tier_mix: [0.6, 0.3, 0.1],
+            service_hours_override: None,
+        }
+    }
+
+    /// Replaces the modelled per-tier mean service hours with measured
+    /// values `[beginner, intermediate, advanced]`.
+    #[must_use]
+    pub fn with_tier_service_hours(mut self, hours: [f64; 3]) -> Self {
+        self.service_hours_override = Some(hours);
+        self
+    }
+
+    /// Mean service hours for a tier: the measured override when
+    /// calibrated, the tier's modelled value otherwise.
+    #[must_use]
+    pub fn mean_service_hours(&self, tier: AccessTier) -> f64 {
+        match self.service_hours_override {
+            Some(hours) => hours[tier.priority() as usize],
+            None => tier.mean_job_hours(),
         }
     }
 
@@ -57,7 +80,7 @@ impl WorkloadSpec {
                 } else {
                     AccessTier::Advanced
                 };
-                let service = exponential(&mut rng, tier.mean_job_hours());
+                let service = exponential(&mut rng, self.mean_service_hours(tier));
                 jobs.push((u, t, tier, service));
             }
         }
@@ -310,6 +333,26 @@ mod tests {
         let b = simulate_hub(&beginners, 2, 0.0, 1.0);
         let a = simulate_hub(&advanced, 2, 0.0, 1.0);
         assert!(b.mean_turnaround_h < a.mean_turnaround_h);
+    }
+
+    #[test]
+    fn measured_service_hours_override_the_tier_model() {
+        let s = spec();
+        let calibrated = spec().with_tier_service_hours([0.05, 0.4, 2.4]);
+        assert_eq!(
+            calibrated.mean_service_hours(AccessTier::Advanced),
+            2.4,
+            "override wins"
+        );
+        assert_eq!(
+            s.mean_service_hours(AccessTier::Advanced),
+            AccessTier::Advanced.mean_job_hours(),
+            "uncalibrated specs keep the modelled hours"
+        );
+        // Shorter measured jobs must shorten simulated turnaround.
+        let modelled = simulate_hub(&s, 4, 0.0, 1.0);
+        let faster = simulate_hub(&calibrated, 4, 0.0, 1.0);
+        assert!(faster.mean_turnaround_h < modelled.mean_turnaround_h);
     }
 
     #[test]

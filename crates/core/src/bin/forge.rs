@@ -4,26 +4,39 @@
 //! forge run <file.fhdl> [--node <nm>] [--profile open|commercial|quick]
 //!           [--clock <MHz>] [--gds <out.gds>] [--verilog <out.v>]
 //!           [--liberty <out.lib>]
+//! forge batch <manifest.json> [--workers <n>] [--timeout-ms <ms>]
+//!           [--retries <n>] [--report <out.json>] [--strict]
 //! forge tiers <file.fhdl>          # run all three tier strategies
 //! forge catalog                    # nodes, tiers and their envelopes
 //! forge designs                    # built-in benchmark designs
 //! ```
 
+use chipforge::exec::{BatchEngine, EngineConfig, Fault, JobSpec, JobStatus};
 use chipforge::flow::{run_flow, FlowConfig, OptimizationProfile};
 use chipforge::hdl::designs;
 use chipforge::netlist::verilog;
 use chipforge::pdk::{liberty, LibraryKind, Pdk, TechnologyNode};
 use chipforge::{EnablementHub, Tier, TierStrategy};
+use serde::json;
+use serde::Value;
+use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("tiers") => cmd_tiers(&args[1..]),
-        Some("catalog") => cmd_catalog(),
-        Some("designs") => cmd_designs(),
-        _ => {
+        Some("catalog") => cmd_catalog(&args[1..]),
+        Some("designs") => cmd_designs(&args[1..]),
+        Some(unknown) => {
+            eprintln!("forge: unknown subcommand `{unknown}`\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+        None => {
             eprint!("{USAGE}");
             return ExitCode::from(2);
         }
@@ -43,22 +56,88 @@ forge — open chip-design enablement platform
 USAGE:
   forge run <file.fhdl> [--node <nm>] [--profile open|commercial|quick]
             [--clock <MHz>] [--gds <out>] [--verilog <out>] [--liberty <out>]
+  forge batch <manifest.json> [--workers <n>] [--timeout-ms <ms>]
+            [--retries <n>] [--report <out.json>] [--strict]
   forge tiers <file.fhdl>
   forge catalog
   forge designs
 ";
 
-fn flag(args: &[String], name: &str) -> Result<Option<String>, String> {
-    for (i, arg) in args.iter().enumerate() {
-        if arg == name {
-            return args
-                .get(i + 1)
-                .cloned()
-                .map(Some)
-                .ok_or_else(|| format!("{name} needs a value"));
+/// One accepted flag: its name and whether it takes a value.
+struct FlagSpec {
+    name: &'static str,
+    takes_value: bool,
+}
+
+const fn value_flag(name: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        takes_value: true,
+    }
+}
+
+const fn switch(name: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        takes_value: false,
+    }
+}
+
+/// Splits `args` into positionals and flag values, rejecting any flag
+/// not in `spec` and any flag missing its value.
+fn parse_args(
+    args: &[String],
+    command: &str,
+    spec: &[FlagSpec],
+) -> Result<(Vec<String>, HashMap<String, String>), String> {
+    let mut positionals = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if let Some(stripped) = arg.strip_prefix("--") {
+            let Some(flag) = spec.iter().find(|f| f.name == stripped) else {
+                return Err(format!(
+                    "unrecognized flag `{arg}` for `forge {command}` (run `forge` for usage)"
+                ));
+            };
+            if flag.takes_value {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("`{arg}` needs a value"))?;
+                flags.insert(flag.name.to_string(), value.clone());
+                i += 2;
+            } else {
+                flags.insert(flag.name.to_string(), String::new());
+                i += 1;
+            }
+        } else {
+            positionals.push(arg.clone());
+            i += 1;
         }
     }
-    Ok(None)
+    Ok((positionals, flags))
+}
+
+fn one_positional(positionals: &[String], what: &str) -> Result<String, String> {
+    match positionals {
+        [] => Err(format!("missing {what}")),
+        [only] => Ok(only.clone()),
+        [_, extra, ..] => Err(format!("unexpected argument `{extra}`")),
+    }
+}
+
+fn parse_number<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("bad value `{raw}` for --{name}")),
+    }
 }
 
 fn load_source(path: &str) -> Result<String, String> {
@@ -69,50 +148,200 @@ fn load_source(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
 }
 
+fn parse_node(flags: &HashMap<String, String>) -> Result<TechnologyNode, String> {
+    let node_nm: u32 = parse_number(flags, "node", 130)?;
+    TechnologyNode::from_feature_nm(node_nm).ok_or_else(|| format!("unknown node {node_nm} nm"))
+}
+
+fn parse_profile(name: Option<&str>) -> Result<OptimizationProfile, String> {
+    match name {
+        None | Some("open") => Ok(OptimizationProfile::open()),
+        Some("commercial") => Ok(OptimizationProfile::commercial()),
+        Some("quick") => Ok(OptimizationProfile::quick()),
+        Some(other) => Err(format!("unknown profile `{other}`")),
+    }
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("missing input file")?;
-    let source = load_source(path)?;
-    let node_nm: u32 = flag(args, "--node")?
-        .map(|s| s.parse().map_err(|_| format!("bad node `{s}`")))
-        .transpose()?
-        .unwrap_or(130);
-    let node = TechnologyNode::from_feature_nm(node_nm)
-        .ok_or_else(|| format!("unknown node {node_nm} nm"))?;
-    let profile = match flag(args, "--profile")?.as_deref() {
-        None | Some("open") => OptimizationProfile::open(),
-        Some("commercial") => OptimizationProfile::commercial(),
-        Some("quick") => OptimizationProfile::quick(),
-        Some(other) => return Err(format!("unknown profile `{other}`")),
-    };
-    let clock: f64 = flag(args, "--clock")?
-        .map(|s| s.parse().map_err(|_| format!("bad clock `{s}`")))
-        .transpose()?
-        .unwrap_or(100.0);
+    const FLAGS: &[FlagSpec] = &[
+        value_flag("node"),
+        value_flag("profile"),
+        value_flag("clock"),
+        value_flag("gds"),
+        value_flag("verilog"),
+        value_flag("liberty"),
+    ];
+    let (positionals, flags) = parse_args(args, "run", FLAGS)?;
+    let path = one_positional(&positionals, "input file")?;
+    let source = load_source(&path)?;
+    let node = parse_node(&flags)?;
+    let profile = parse_profile(flags.get("profile").map(String::as_str))?;
+    let clock: f64 = parse_number(&flags, "clock", 100.0)?;
     let config = FlowConfig::new(node, profile).with_clock_mhz(clock);
     let outcome = run_flow(&source, &config).map_err(|e| e.to_string())?;
     print!("{}", outcome.report);
-    if let Some(out) = flag(args, "--gds")? {
-        std::fs::write(&out, &outcome.gds).map_err(|e| format!("write {out}: {e}"))?;
+    if let Some(out) = flags.get("gds") {
+        std::fs::write(out, &outcome.gds).map_err(|e| format!("write {out}: {e}"))?;
         println!("wrote {out}");
     }
-    if let Some(out) = flag(args, "--verilog")? {
-        std::fs::write(&out, verilog::write_verilog(&outcome.netlist))
+    if let Some(out) = flags.get("verilog") {
+        std::fs::write(out, verilog::write_verilog(&outcome.netlist))
             .map_err(|e| format!("write {out}: {e}"))?;
         println!("wrote {out}");
     }
-    if let Some(out) = flag(args, "--liberty")? {
+    if let Some(out) = flags.get("liberty") {
         let pdk = config.pdk();
         let lib = pdk.library(config.profile.library);
-        std::fs::write(&out, liberty::write_liberty(&lib))
+        std::fs::write(out, liberty::write_liberty(&lib))
             .map_err(|e| format!("write {out}: {e}"))?;
         println!("wrote {out}");
     }
     Ok(())
 }
 
+/// Parses one manifest entry into (possibly repeated) job specs.
+fn manifest_job(entry: &Value, index: usize) -> Result<Vec<JobSpec>, String> {
+    let context = || format!("manifest job {index}");
+    let mut flags = HashMap::new();
+    if let Some(nm) = entry.get("node").as_u64() {
+        flags.insert("node".to_string(), nm.to_string());
+    }
+    let node = parse_node(&flags)?;
+    let profile = parse_profile(entry.get("profile").as_str())?;
+    let (name, source) = if let Some(design) = entry.get("design").as_str() {
+        let source = designs::suite()
+            .into_iter()
+            .find(|d| d.name() == design)
+            .map(|d| d.source().to_string())
+            .ok_or_else(|| {
+                format!(
+                    "{}: unknown design `{design}` (run `forge designs` to list built-ins)",
+                    context()
+                )
+            })?;
+        (design.to_string(), source)
+    } else if let Some(file) = entry.get("file").as_str() {
+        (file.to_string(), load_source(file)?)
+    } else {
+        return Err(format!("{}: needs `design` or `file`", context()));
+    };
+    let mut spec = JobSpec::new(name, source, node, profile);
+    if let Some(clock) = entry.get("clock_mhz").as_f64() {
+        spec = spec.with_clock_mhz(clock);
+    }
+    if let Some(seed) = entry.get("seed").as_u64() {
+        spec = spec.with_seed(seed);
+    }
+    match entry.get("fault").as_str() {
+        None => {}
+        Some("panic") => spec = spec.with_fault(Fault::Panic),
+        Some("hang") => spec = spec.with_fault(Fault::Hang(3_600_000)),
+        Some(other) => return Err(format!("{}: unknown fault `{other}`", context())),
+    }
+    // `copies` models resubmissions: identical specs that should be
+    // served from the artifact cache after the first run.
+    let copies = entry.get("copies").as_u64().unwrap_or(1).max(1) as usize;
+    Ok(vec![spec; copies])
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    const FLAGS: &[FlagSpec] = &[
+        value_flag("workers"),
+        value_flag("timeout-ms"),
+        value_flag("retries"),
+        value_flag("report"),
+        switch("strict"),
+    ];
+    let (positionals, flags) = parse_args(args, "batch", FLAGS)?;
+    let path = one_positional(&positionals, "manifest file")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let manifest = json::parse(&text).map_err(|e| format!("bad manifest `{path}`: {e}"))?;
+    let entries = manifest
+        .get("jobs")
+        .seq()
+        .map_err(|_| format!("bad manifest `{path}`: expected a top-level `jobs` array"))?;
+    let mut jobs = Vec::new();
+    for (index, entry) in entries.iter().enumerate() {
+        jobs.extend(manifest_job(entry, index)?);
+    }
+    if jobs.is_empty() {
+        return Err(format!("manifest `{path}` contains no jobs"));
+    }
+
+    let config = EngineConfig {
+        workers: parse_number(&flags, "workers", EngineConfig::default().workers)?,
+        job_timeout: Duration::from_millis(parse_number(&flags, "timeout-ms", 30_000u64)?),
+        max_retries: parse_number(&flags, "retries", 2u32)?,
+        ..EngineConfig::default()
+    };
+    let workers = config.workers;
+    let engine = BatchEngine::new(config);
+    let batch = engine.run_batch(jobs);
+
+    println!("batch: {} jobs on {} workers", batch.results.len(), workers);
+    for result in &batch.results {
+        let note = match (&result.error, result.cache_hit) {
+            (Some(error), _) => format!("  ({error})"),
+            (None, true) => "  (cache hit)".to_string(),
+            (None, false) => String::new(),
+        };
+        println!(
+            "  [{:>3}] {:<16} {:<9} worker {} wait {:>7.1} ms run {:>8.1} ms{}",
+            result.index,
+            result.name,
+            result.status.to_string(),
+            result.worker,
+            result.queue_wait_ms,
+            result.run_ms,
+            note,
+        );
+    }
+    let totals = &batch.report.totals;
+    let cache = &batch.report.cache;
+    println!(
+        "totals: {} ok, {} failed, {} timed out, {} cancelled in {:.1} ms ({:.2} jobs/s)",
+        totals.succeeded,
+        totals.failed,
+        totals.timed_out,
+        totals.cancelled,
+        totals.makespan_ms,
+        totals.throughput_jobs_per_s,
+    );
+    println!(
+        "cache:  {} hits / {} misses ({:.0}% hit rate), {} artifacts resident",
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0,
+        cache.entries,
+    );
+    for worker in &batch.report.workers {
+        println!(
+            "worker {}: {} jobs, busy {:>8.1} ms, {:>5.1}% utilized",
+            worker.worker,
+            worker.jobs_run,
+            worker.busy_ms,
+            worker.utilization * 100.0,
+        );
+    }
+    if let Some(out) = flags.get("report") {
+        std::fs::write(out, batch.report.to_json()).map_err(|e| format!("write {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    let unsuccessful = batch
+        .results
+        .iter()
+        .filter(|r| r.status != JobStatus::Succeeded)
+        .count();
+    if flags.contains_key("strict") && unsuccessful > 0 {
+        return Err(format!("{unsuccessful} job(s) did not succeed"));
+    }
+    Ok(())
+}
+
 fn cmd_tiers(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("missing input file")?;
-    let source = load_source(path)?;
+    let (positionals, _) = parse_args(args, "tiers", &[])?;
+    let path = one_positional(&positionals, "input file")?;
+    let source = load_source(&path)?;
     let hub = EnablementHub::new();
     for tier in Tier::ALL {
         let report = hub.run(&source, tier).map_err(|e| e.to_string())?;
@@ -130,7 +359,11 @@ fn cmd_tiers(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_catalog() -> Result<(), String> {
+fn cmd_catalog(args: &[String]) -> Result<(), String> {
+    let (positionals, _) = parse_args(args, "catalog", &[])?;
+    if let Some(extra) = positionals.first() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
     println!("tier strategies (Recommendation 8):");
     for tier in Tier::ALL {
         println!("  {}", TierStrategy::recommended(tier));
@@ -152,7 +385,11 @@ fn cmd_catalog() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_designs() -> Result<(), String> {
+fn cmd_designs(args: &[String]) -> Result<(), String> {
+    let (positionals, _) = parse_args(args, "designs", &[])?;
+    if let Some(extra) = positionals.first() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
     println!("built-in benchmark designs (usable as `forge run <name>`):");
     for design in designs::suite() {
         let module = design.elaborate().map_err(|e| e.to_string())?;

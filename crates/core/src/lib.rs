@@ -27,6 +27,7 @@
 //! | [`layout`] | `chipforge-layout` | layout DB, GDSII, DRC |
 //! | [`power`] | `chipforge-power` | power estimation |
 //! | [`flow`] | `chipforge-flow` | RTL→GDSII orchestration |
+//! | [`exec`] | `chipforge-exec` | concurrent batch execution + artifact cache |
 //! | [`cloud`] | `chipforge-cloud` | enablement-platform simulation |
 //! | [`econ`] | `chipforge-econ` | cost/value-chain/workforce models |
 //! | [`verify`] | `chipforge-verify` | BDD-based formal equivalence |
@@ -62,6 +63,8 @@ pub use tiers::{Tier, TierStrategy};
 pub use chipforge_cloud as cloud;
 /// Re-export: economics models.
 pub use chipforge_econ as econ;
+/// Re-export: batch execution engine.
+pub use chipforge_exec as exec;
 /// Re-export: flow orchestration.
 pub use chipforge_flow as flow;
 /// Re-export: FPGA mapping and prototyping models.

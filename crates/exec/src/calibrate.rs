@@ -1,0 +1,92 @@
+//! Feeding measured execution times into the cloud-platform model.
+//!
+//! The queueing model in `chipforge-cloud` assumes per-tier mean service
+//! times (0.5 h / 4 h / 24 h). This module replaces that assumption with
+//! *measurement*: run representative jobs per tier through the
+//! [`crate::BatchEngine`], take the mean computed run time per tier, and
+//! scale to wall-clock hours. The model kernels finish in milliseconds
+//! where production tools take hours, so the scale factor is explicit —
+//! what calibration contributes is the measured *ratio* between tiers,
+//! which replaces the modelled 0.5/4/24 guess (experiment E14).
+
+use crate::job::JobResult;
+use chipforge_cloud::WorkloadSpec;
+
+/// Default model-to-production scale: measured kernel milliseconds to
+/// cluster wall-clock hours. Chosen so a beginner-tier quick flow
+/// (a few ms) lands near the modelled 0.5 h baseline, keeping the
+/// calibrated and modelled scenarios comparable in magnitude while the
+/// *ratios* between tiers come entirely from measurement.
+pub const DEFAULT_MS_TO_HOURS: f64 = 0.15;
+
+/// Mean run time in ms over jobs that actually computed an artifact
+/// (succeeded, not served from the cache). `None` when no job qualifies.
+#[must_use]
+pub fn mean_computed_run_ms(results: &[JobResult]) -> Option<f64> {
+    let computed: Vec<f64> = results
+        .iter()
+        .filter(|r| r.status.is_success() && !r.cache_hit)
+        .map(|r| r.run_ms)
+        .collect();
+    if computed.is_empty() {
+        None
+    } else {
+        Some(computed.iter().sum::<f64>() / computed.len() as f64)
+    }
+}
+
+/// Converts measured per-tier mean run times (ms) into per-tier service
+/// hours with an explicit scale factor.
+#[must_use]
+pub fn tier_hours_from_measured_ms(measured_ms: [f64; 3], ms_to_hours: f64) -> [f64; 3] {
+    measured_ms.map(|ms| (ms * ms_to_hours).max(1e-6))
+}
+
+/// A workload spec whose service times come from measurement instead of
+/// the tier model.
+#[must_use]
+pub fn calibrated_spec(base: &WorkloadSpec, tier_hours: [f64; 3]) -> WorkloadSpec {
+    base.clone().with_tier_service_hours(tier_hours)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobResult, JobStatus};
+
+    fn result(status: JobStatus, cache_hit: bool, run_ms: f64) -> JobResult {
+        JobResult {
+            index: 0,
+            name: "j".into(),
+            status,
+            attempts: 1,
+            cache_hit,
+            worker: 0,
+            queue_wait_ms: 0.0,
+            run_ms,
+            error: None,
+            outcome: None,
+        }
+    }
+
+    #[test]
+    fn mean_skips_cache_hits_and_failures() {
+        let results = vec![
+            result(JobStatus::Succeeded, false, 10.0),
+            result(JobStatus::Succeeded, false, 30.0),
+            result(JobStatus::Succeeded, true, 0.01),
+            result(JobStatus::Failed, false, 500.0),
+        ];
+        assert_eq!(mean_computed_run_ms(&results), Some(20.0));
+        assert_eq!(mean_computed_run_ms(&[]), None);
+    }
+
+    #[test]
+    fn calibration_overrides_the_spec() {
+        let base = WorkloadSpec::new(4, 10, 24.0, 1);
+        let hours = tier_hours_from_measured_ms([5.0, 40.0, 240.0], DEFAULT_MS_TO_HOURS);
+        assert!(hours[0] < hours[1] && hours[1] < hours[2]);
+        let spec = calibrated_spec(&base, hours);
+        assert_eq!(spec.service_hours_override, Some(hours));
+    }
+}

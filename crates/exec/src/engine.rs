@@ -1,0 +1,477 @@
+//! The batch execution engine: a fixed worker pool over a shared queue.
+//!
+//! Concurrency model: jobs are pushed into an `mpsc` channel that all
+//! workers drain through a shared `Mutex<Receiver>`; each worker runs
+//! every attempt of a job on a dedicated attempt thread so the per-job
+//! timeout can abandon a wedged flow (`recv_timeout`) without killing
+//! the worker. Panics inside a job are contained by `catch_unwind` and
+//! surface as a retryable attempt failure, never as a dead worker.
+
+use crate::cache::{ArtifactCache, CacheKey};
+use crate::job::{Fault, JobResult, JobSpec, JobStatus};
+use crate::metrics::{ExecutionReport, WorkerRecord};
+use chipforge_flow::{run_flow, FlowOutcome};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads in the pool (at least 1).
+    pub workers: usize,
+    /// Wall-time budget per attempt; exceeding it reports
+    /// [`JobStatus::TimedOut`].
+    pub job_timeout: Duration,
+    /// Extra attempts after a panicked attempt (flow *errors* are
+    /// deterministic and never retried; neither are timeouts, which
+    /// would only double the damage).
+    pub max_retries: u32,
+    /// Sleep before the first retry; doubles per subsequent retry.
+    pub retry_backoff: Duration,
+    /// Batch-wide deadline: jobs not yet started when it expires are
+    /// reported as [`JobStatus::Cancelled`].
+    pub batch_deadline: Option<Duration>,
+    /// Artifact-cache capacity.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+                .clamp(1, 8),
+            job_timeout: Duration::from_secs(30),
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(25),
+            batch_deadline: None,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A config with `workers` threads and defaults elsewhere.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        EngineConfig {
+            workers: workers.max(1),
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// Everything [`BatchEngine::run_batch`] returns.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-job results in submission order, artifacts included.
+    pub results: Vec<JobResult>,
+    /// The serializable instrumentation report.
+    pub report: ExecutionReport,
+}
+
+impl BatchReport {
+    /// A digest over the deterministic parts of the batch — job names,
+    /// statuses, PPA reports and GDS bytes, in submission order — equal
+    /// across runs and worker counts for the same job list. Wall-clock
+    /// fields are deliberately excluded.
+    #[must_use]
+    pub fn deterministic_digest(&self) -> String {
+        use std::fmt::Write as _;
+        let mut digest = String::new();
+        for result in &self.results {
+            let _ = write!(digest, "{}:{}:", result.name, result.status);
+            match &result.outcome {
+                Some(outcome) => {
+                    let _ = writeln!(
+                        digest,
+                        "{}:{}",
+                        serde::json::to_string(&outcome.report.ppa),
+                        fnv64(&outcome.gds)
+                    );
+                }
+                None => digest.push_str("-\n"),
+            }
+        }
+        digest
+    }
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// A multi-threaded batch executor with a persistent artifact cache.
+///
+/// The cache lives as long as the engine, so consecutive
+/// [`run_batch`](Self::run_batch) calls share artifacts — resubmitting a
+/// manifest is almost entirely cache hits.
+pub struct BatchEngine {
+    config: EngineConfig,
+    cache: Arc<ArtifactCache>,
+}
+
+struct WorkItem {
+    index: usize,
+    spec: JobSpec,
+    enqueued: Instant,
+}
+
+enum Message {
+    Job(JobResult),
+    Worker(WorkerRecord),
+}
+
+impl BatchEngine {
+    /// An engine with the given configuration.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        let capacity = config.cache_capacity;
+        BatchEngine {
+            config,
+            cache: Arc::new(ArtifactCache::new(capacity)),
+        }
+    }
+
+    /// The engine's artifact cache.
+    #[must_use]
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// Runs `jobs` to completion across the worker pool and returns
+    /// per-job results (in submission order) plus the execution report.
+    #[must_use]
+    pub fn run_batch(&self, jobs: Vec<JobSpec>) -> BatchReport {
+        let started = Instant::now();
+        let deadline = self.config.batch_deadline.map(|d| started + d);
+        let job_count = jobs.len();
+
+        let (work_tx, work_rx) = mpsc::channel::<WorkItem>();
+        for (index, spec) in jobs.into_iter().enumerate() {
+            work_tx
+                .send(WorkItem {
+                    index,
+                    spec,
+                    enqueued: Instant::now(),
+                })
+                .expect("queue open");
+        }
+        drop(work_tx);
+        let work_rx = Arc::new(Mutex::new(work_rx));
+
+        let (result_tx, result_rx) = mpsc::channel::<Message>();
+        let mut handles = Vec::new();
+        for worker_id in 0..self.config.workers.max(1) {
+            let work_rx = Arc::clone(&work_rx);
+            let result_tx = result_tx.clone();
+            let cache = Arc::clone(&self.cache);
+            let config = self.config.clone();
+            let handle = thread::Builder::new()
+                .name(format!("exec-worker-{worker_id}"))
+                .spawn(move || {
+                    worker_loop(worker_id, &work_rx, &result_tx, &cache, &config, deadline)
+                })
+                .expect("spawn worker");
+            handles.push(handle);
+        }
+        drop(result_tx);
+
+        let mut results = Vec::with_capacity(job_count);
+        let mut workers = Vec::new();
+        while let Ok(message) = result_rx.recv() {
+            match message {
+                Message::Job(result) => results.push(result),
+                Message::Worker(record) => workers.push(record),
+            }
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        results.sort_by_key(|r| r.index);
+
+        let makespan_ms = started.elapsed().as_secs_f64() * 1_000.0;
+        let report = ExecutionReport::build(&results, workers, self.cache.stats(), makespan_ms);
+        BatchReport { results, report }
+    }
+}
+
+fn worker_loop(
+    worker_id: usize,
+    work_rx: &Mutex<mpsc::Receiver<WorkItem>>,
+    result_tx: &mpsc::Sender<Message>,
+    cache: &ArtifactCache,
+    config: &EngineConfig,
+    deadline: Option<Instant>,
+) {
+    let mut busy = Duration::ZERO;
+    let mut jobs_run = 0u64;
+    loop {
+        // Take one item with the queue lock held, then release it before
+        // doing any work so other workers keep draining.
+        let item = {
+            let receiver = work_rx.lock().expect("queue lock");
+            receiver.recv()
+        };
+        let Ok(item) = item else { break };
+        let picked_up = Instant::now();
+        let queue_wait_ms = picked_up.duration_since(item.enqueued).as_secs_f64() * 1_000.0;
+        let result = run_one(worker_id, item, queue_wait_ms, cache, config, deadline);
+        busy += picked_up.elapsed();
+        jobs_run += 1;
+        if result_tx.send(Message::Job(result)).is_err() {
+            break;
+        }
+    }
+    let _ = result_tx.send(Message::Worker(WorkerRecord {
+        worker: worker_id,
+        jobs_run,
+        busy_ms: busy.as_secs_f64() * 1_000.0,
+        utilization: 0.0, // filled in by ExecutionReport::build
+    }));
+}
+
+fn run_one(
+    worker: usize,
+    item: WorkItem,
+    queue_wait_ms: f64,
+    cache: &ArtifactCache,
+    config: &EngineConfig,
+    deadline: Option<Instant>,
+) -> JobResult {
+    let base = JobResult {
+        index: item.index,
+        name: item.spec.name.clone(),
+        status: JobStatus::Cancelled,
+        attempts: 0,
+        cache_hit: false,
+        worker,
+        queue_wait_ms,
+        run_ms: 0.0,
+        error: None,
+        outcome: None,
+    };
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return JobResult {
+            error: Some("batch deadline expired before the job started".into()),
+            ..base
+        };
+    }
+
+    let picked_up = Instant::now();
+    let key = CacheKey::of(&item.spec);
+    if let Some(outcome) = cache.lookup(key) {
+        return JobResult {
+            status: JobStatus::Succeeded,
+            cache_hit: true,
+            run_ms: picked_up.elapsed().as_secs_f64() * 1_000.0,
+            outcome: Some(outcome),
+            ..base
+        };
+    }
+
+    let mut attempts = 0u32;
+    let mut backoff = config.retry_backoff;
+    loop {
+        attempts += 1;
+        match run_attempt(&item.spec, config.job_timeout) {
+            Attempt::Done(outcome) => {
+                let outcome = Arc::new(*outcome);
+                cache.insert(key, Arc::clone(&outcome));
+                return JobResult {
+                    status: JobStatus::Succeeded,
+                    attempts,
+                    run_ms: picked_up.elapsed().as_secs_f64() * 1_000.0,
+                    outcome: Some(outcome),
+                    ..base
+                };
+            }
+            Attempt::FlowError(message) => {
+                return JobResult {
+                    status: JobStatus::Failed,
+                    attempts,
+                    run_ms: picked_up.elapsed().as_secs_f64() * 1_000.0,
+                    error: Some(message),
+                    ..base
+                };
+            }
+            Attempt::Panicked(message) => {
+                if attempts <= config.max_retries {
+                    thread::sleep(backoff);
+                    backoff *= 2;
+                    continue;
+                }
+                return JobResult {
+                    status: JobStatus::Failed,
+                    attempts,
+                    run_ms: picked_up.elapsed().as_secs_f64() * 1_000.0,
+                    error: Some(format!("panicked on all {attempts} attempts: {message}")),
+                    ..base
+                };
+            }
+            Attempt::TimedOut => {
+                return JobResult {
+                    status: JobStatus::TimedOut,
+                    attempts,
+                    run_ms: picked_up.elapsed().as_secs_f64() * 1_000.0,
+                    error: Some(format!(
+                        "exceeded the {} ms job timeout",
+                        config.job_timeout.as_millis()
+                    )),
+                    ..base
+                };
+            }
+        }
+    }
+}
+
+enum Attempt {
+    Done(Box<FlowOutcome>),
+    FlowError(String),
+    Panicked(String),
+    TimedOut,
+}
+
+/// Runs one attempt on a dedicated thread so a wedged flow can be
+/// abandoned. On timeout the attempt thread is detached: it finishes (or
+/// dies) on its own and its late result is discarded.
+fn run_attempt(spec: &JobSpec, timeout: Duration) -> Attempt {
+    let spec = spec.clone();
+    let (tx, rx) = mpsc::channel();
+    let builder = thread::Builder::new().name(format!("exec-job-{}", spec.name));
+    let handle = builder
+        .spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| execute(&spec)));
+            let _ = tx.send(result);
+        })
+        .expect("spawn attempt thread");
+    match rx.recv_timeout(timeout) {
+        Ok(finished) => {
+            let _ = handle.join();
+            match finished {
+                Ok(Ok(outcome)) => Attempt::Done(Box::new(outcome)),
+                Ok(Err(message)) => Attempt::FlowError(message),
+                Err(payload) => Attempt::Panicked(panic_message(payload.as_ref())),
+            }
+        }
+        Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => Attempt::TimedOut,
+    }
+}
+
+fn execute(spec: &JobSpec) -> Result<FlowOutcome, String> {
+    match spec.fault {
+        Fault::None => {}
+        Fault::Panic => panic!("injected fault in job `{}`", spec.name),
+        Fault::Hang(ms) => thread::sleep(Duration::from_millis(ms)),
+    }
+    run_flow(&spec.source, &spec.flow_config()).map_err(|e| e.to_string())
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipforge_flow::OptimizationProfile;
+    use chipforge_hdl::designs;
+    use chipforge_pdk::TechnologyNode;
+
+    fn job(name: &str, seed: u64) -> JobSpec {
+        JobSpec::new(
+            name,
+            designs::counter(4).source(),
+            TechnologyNode::N130,
+            OptimizationProfile::quick(),
+        )
+        .with_seed(seed)
+    }
+
+    #[test]
+    fn single_worker_runs_a_batch_in_order() {
+        let engine = BatchEngine::new(EngineConfig::with_workers(1));
+        let batch = engine.run_batch(vec![job("a", 1), job("b", 2), job("c", 3)]);
+        assert_eq!(batch.results.len(), 3);
+        assert!(batch.results.iter().all(|r| r.status.is_success()));
+        assert_eq!(
+            batch.results.iter().map(|r| r.index).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(batch.report.totals.succeeded, 3);
+    }
+
+    #[test]
+    fn same_spec_twice_hits_the_cache_within_one_batch() {
+        let engine = BatchEngine::new(EngineConfig::with_workers(1));
+        let batch = engine.run_batch(vec![job("first", 7), job("second", 7)]);
+        assert!(batch.results[1].cache_hit);
+        assert_eq!(engine.cache().stats().hits, 1);
+    }
+
+    #[test]
+    fn flow_errors_fail_without_retry() {
+        let mut bad = job("broken", 1);
+        bad.source = "this is not forgehdl".into();
+        let engine = BatchEngine::new(EngineConfig::with_workers(1));
+        let batch = engine.run_batch(vec![bad]);
+        assert_eq!(batch.results[0].status, JobStatus::Failed);
+        assert_eq!(batch.results[0].attempts, 1);
+        assert!(batch.results[0].error.is_some());
+    }
+
+    #[test]
+    fn injected_panic_retries_then_fails() {
+        let engine = BatchEngine::new(EngineConfig {
+            workers: 1,
+            max_retries: 1,
+            retry_backoff: Duration::from_millis(1),
+            ..EngineConfig::default()
+        });
+        let batch = engine.run_batch(vec![job("boom", 1).with_fault(Fault::Panic)]);
+        assert_eq!(batch.results[0].status, JobStatus::Failed);
+        assert_eq!(batch.results[0].attempts, 2);
+    }
+
+    #[test]
+    fn hang_times_out_while_others_complete() {
+        let engine = BatchEngine::new(EngineConfig {
+            workers: 2,
+            job_timeout: Duration::from_millis(150),
+            ..EngineConfig::default()
+        });
+        let batch = engine.run_batch(vec![
+            job("stuck", 1).with_fault(Fault::Hang(5_000)),
+            job("fine", 2),
+        ]);
+        assert_eq!(batch.results[0].status, JobStatus::TimedOut);
+        assert_eq!(batch.results[1].status, JobStatus::Succeeded);
+    }
+
+    #[test]
+    fn expired_batch_deadline_cancels_unstarted_jobs() {
+        let engine = BatchEngine::new(EngineConfig {
+            workers: 1,
+            batch_deadline: Some(Duration::ZERO),
+            ..EngineConfig::default()
+        });
+        let batch = engine.run_batch(vec![job("late", 1)]);
+        assert_eq!(batch.results[0].status, JobStatus::Cancelled);
+        assert_eq!(batch.report.totals.cancelled, 1);
+    }
+}

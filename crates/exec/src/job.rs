@@ -1,0 +1,213 @@
+//! Job specifications and results.
+
+use chipforge_flow::{FlowConfig, FlowOutcome, OptimizationProfile};
+use chipforge_pdk::TechnologyNode;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A fault injected into a job's execution path.
+///
+/// Faults model the failure modes a shared batch service must absorb —
+/// a flow crash, a wedged tool — and let tests (and manifest authors)
+/// exercise the engine's isolation without a genuinely broken design.
+/// Faults fire only when the job actually executes; a cache hit serves
+/// the stored artifact without entering the execution path.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fault {
+    /// No fault: run the flow normally.
+    #[default]
+    None,
+    /// Panic inside the job (exercises `catch_unwind` isolation).
+    Panic,
+    /// Sleep this many milliseconds before running (exercises timeouts).
+    Hang(u64),
+}
+
+/// One unit of batch work: an HDL source plus a full flow configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Display name (typically the design name; not part of the cache key).
+    pub name: String,
+    /// ForgeHDL source text.
+    pub source: String,
+    /// Target technology node.
+    pub node: TechnologyNode,
+    /// Optimization profile.
+    pub profile: OptimizationProfile,
+    /// Target clock in MHz.
+    pub clock_mhz: f64,
+    /// Flow seed.
+    pub seed: u64,
+    /// Insert a scan chain after synthesis.
+    pub insert_scan: bool,
+    /// Injected fault, if any.
+    pub fault: Fault,
+}
+
+impl JobSpec {
+    /// A job with the default 100 MHz clock, seed 1, no scan, no fault.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        source: impl Into<String>,
+        node: TechnologyNode,
+        profile: OptimizationProfile,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            source: source.into(),
+            node,
+            profile,
+            clock_mhz: 100.0,
+            seed: 1,
+            insert_scan: false,
+            fault: Fault::None,
+        }
+    }
+
+    /// Sets the target clock.
+    #[must_use]
+    pub fn with_clock_mhz(mut self, clock_mhz: f64) -> Self {
+        self.clock_mhz = clock_mhz;
+        self
+    }
+
+    /// Sets the flow seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables scan-chain insertion.
+    #[must_use]
+    pub fn with_scan(mut self) -> Self {
+        self.insert_scan = true;
+        self
+    }
+
+    /// Injects a fault into the execution path.
+    #[must_use]
+    pub fn with_fault(mut self, fault: Fault) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// The flow configuration this job runs under.
+    #[must_use]
+    pub fn flow_config(&self) -> FlowConfig {
+        let mut config = FlowConfig::new(self.node, self.profile.clone())
+            .with_clock_mhz(self.clock_mhz)
+            .with_seed(self.seed);
+        if self.insert_scan {
+            config = config.with_scan();
+        }
+        config
+    }
+}
+
+/// Terminal state of one batch job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// The flow completed (possibly served from the artifact cache).
+    Succeeded,
+    /// The flow returned an error or panicked on every attempt.
+    Failed,
+    /// The job exceeded the per-job timeout.
+    TimedOut,
+    /// The batch deadline expired before the job started.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// Whether the job produced an artifact.
+    #[must_use]
+    pub fn is_success(self) -> bool {
+        self == JobStatus::Succeeded
+    }
+}
+
+impl fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JobStatus::Succeeded => "succeeded",
+            JobStatus::Failed => "failed",
+            JobStatus::TimedOut => "timed-out",
+            JobStatus::Cancelled => "cancelled",
+        })
+    }
+}
+
+/// Outcome of one batch job, including the artifact when it succeeded.
+///
+/// The flow outcome is shared via [`Arc`] so cache hits are free; the
+/// serializable view of a result lives in [`crate::metrics::JobRecord`].
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Position in the submitted batch (results are returned in order).
+    pub index: usize,
+    /// Job display name.
+    pub name: String,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Flow attempts made (0 for cache hits and cancellations).
+    pub attempts: u32,
+    /// Whether the artifact came from the cache.
+    pub cache_hit: bool,
+    /// Worker thread that processed the job.
+    pub worker: usize,
+    /// Time spent queued before a worker picked the job up, in ms.
+    pub queue_wait_ms: f64,
+    /// Time from pickup to terminal status, in ms (includes retries).
+    pub run_ms: f64,
+    /// Error description for non-succeeded jobs.
+    pub error: Option<String>,
+    /// The artifact, when `status` is [`JobStatus::Succeeded`].
+    pub outcome: Option<Arc<FlowOutcome>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec::new(
+            "t",
+            "module t;",
+            TechnologyNode::N130,
+            OptimizationProfile::quick(),
+        )
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let job = spec()
+            .with_clock_mhz(250.0)
+            .with_seed(9)
+            .with_scan()
+            .with_fault(Fault::Hang(5));
+        assert_eq!(job.clock_mhz, 250.0);
+        assert_eq!(job.seed, 9);
+        assert!(job.insert_scan);
+        assert_eq!(job.fault, Fault::Hang(5));
+        let config = job.flow_config();
+        assert_eq!(config.seed, 9);
+        assert!(config.insert_scan);
+    }
+
+    #[test]
+    fn status_display_and_success() {
+        assert!(JobStatus::Succeeded.is_success());
+        assert!(!JobStatus::TimedOut.is_success());
+        assert_eq!(JobStatus::Cancelled.to_string(), "cancelled");
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let job = spec().with_fault(Fault::Panic);
+        let json = serde::json::to_string(&job);
+        let parsed: JobSpec = serde::json::from_str(&json).expect("round trips");
+        assert_eq!(parsed, job);
+    }
+}

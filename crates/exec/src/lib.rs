@@ -1,0 +1,36 @@
+//! Batch flow execution: a fixed worker pool that drains a queue of
+//! [`JobSpec`]s through the RTL-to-GDSII flow.
+//!
+//! A university hub (ROADMAP: Recommendation 7) does not run one flow at a
+//! time: course deadlines and shuttle closings produce *batches* — dozens
+//! of student designs submitted together, many of them identical
+//! resubmissions. This crate supplies the hub's execution layer:
+//!
+//! - [`BatchEngine`] — a pool of OS worker threads fed from a shared
+//!   queue, with per-job timeouts, panic isolation and bounded retries,
+//!   so one broken design never takes down a batch.
+//! - [`ArtifactCache`] — content-addressed results keyed by a canonical
+//!   hash of everything that affects the artifact (source, node, profile
+//!   knobs, clock, seed), so resubmissions are served in microseconds.
+//! - [`ExecutionReport`] — JSON-serializable instrumentation: per-job
+//!   queue wait and run time, per-stage wall time, worker utilization,
+//!   cache hit rate and batch throughput. [`calibrate`] feeds these
+//!   measured times back into the cloud-platform queueing model (E14).
+//!
+//! Determinism: job outcomes depend only on `(source, config)` — never on
+//! worker count or scheduling order — and batch results are returned in
+//! submission order, so reports are reproducible across pool sizes (see
+//! `tests/determinism.rs` at the workspace root).
+
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod calibrate;
+pub mod engine;
+pub mod job;
+pub mod metrics;
+
+pub use cache::{ArtifactCache, CacheKey, CacheStats};
+pub use engine::{BatchEngine, BatchReport, EngineConfig};
+pub use job::{Fault, JobResult, JobSpec, JobStatus};
+pub use metrics::{BatchTotals, ExecutionReport, JobRecord, StageTime, WorkerRecord};

@@ -1,0 +1,260 @@
+//! Serializable execution instrumentation.
+//!
+//! Everything a hub operator needs to answer "where did the batch's time
+//! go": per-job queue wait and run time, per-stage wall time, per-worker
+//! utilization, cache effectiveness and overall throughput. The report
+//! is a plain data structure rendered to JSON via `serde::json`; the
+//! measured stage times also drive the E14 calibration
+//! ([`crate::calibrate`]).
+
+use crate::cache::CacheStats;
+use crate::job::{JobResult, JobStatus};
+use serde::Serialize;
+
+/// Wall time of one flow stage.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StageTime {
+    /// Stage name (`elaborate`, `synthesize`, `place`, ...).
+    pub step: String,
+    /// Wall time in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Serializable view of one job's execution.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobRecord {
+    /// Position in the submitted batch.
+    pub index: usize,
+    /// Job display name.
+    pub name: String,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Flow attempts made.
+    pub attempts: u32,
+    /// Whether the artifact came from the cache.
+    pub cache_hit: bool,
+    /// Worker that processed the job.
+    pub worker: usize,
+    /// Queue wait in milliseconds.
+    pub queue_wait_ms: f64,
+    /// Pickup-to-terminal time in milliseconds.
+    pub run_ms: f64,
+    /// Per-stage wall times (empty for cache hits and failures: the
+    /// stages were not executed by *this* job).
+    pub stages: Vec<StageTime>,
+    /// Error description for non-succeeded jobs.
+    pub error: Option<String>,
+}
+
+/// One worker thread's share of the batch.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkerRecord {
+    /// Worker id (0-based).
+    pub worker: usize,
+    /// Jobs this worker processed.
+    pub jobs_run: u64,
+    /// Time spent processing jobs, in milliseconds.
+    pub busy_ms: f64,
+    /// `busy_ms` over the batch makespan.
+    pub utilization: f64,
+}
+
+/// Batch-level aggregates.
+#[derive(Debug, Clone, Serialize)]
+pub struct BatchTotals {
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Jobs that produced an artifact.
+    pub succeeded: usize,
+    /// Jobs that failed every attempt.
+    pub failed: usize,
+    /// Jobs that hit the per-job timeout.
+    pub timed_out: usize,
+    /// Jobs cancelled by the batch deadline.
+    pub cancelled: usize,
+    /// Submission-to-last-result wall time, in milliseconds.
+    pub makespan_ms: f64,
+    /// Completed jobs per second of makespan.
+    pub throughput_jobs_per_s: f64,
+    /// Mean queue wait across jobs, in milliseconds.
+    pub mean_queue_wait_ms: f64,
+    /// Mean run time across executed (non-cache-hit) jobs, in ms.
+    pub mean_run_ms: f64,
+    /// Mean wall time per flow stage across executed jobs.
+    pub stage_means_ms: Vec<StageTime>,
+}
+
+/// The full JSON-serializable batch execution report.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExecutionReport {
+    /// Batch-level aggregates.
+    pub totals: BatchTotals,
+    /// Cache counters at the end of the batch.
+    pub cache: CacheStats,
+    /// Per-worker accounting.
+    pub workers: Vec<WorkerRecord>,
+    /// Per-job records, in submission order.
+    pub jobs: Vec<JobRecord>,
+}
+
+impl ExecutionReport {
+    /// Builds the report from ordered results and worker accounting.
+    #[must_use]
+    pub fn build(
+        results: &[JobResult],
+        mut workers: Vec<WorkerRecord>,
+        cache: CacheStats,
+        makespan_ms: f64,
+    ) -> Self {
+        let jobs: Vec<JobRecord> = results.iter().map(job_record).collect();
+        workers.sort_by_key(|w| w.worker);
+        for worker in &mut workers {
+            worker.utilization = if makespan_ms > 0.0 {
+                (worker.busy_ms / makespan_ms).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+        }
+        ExecutionReport {
+            totals: totals(&jobs, makespan_ms),
+            cache,
+            workers,
+            jobs,
+        }
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+}
+
+fn job_record(result: &JobResult) -> JobRecord {
+    // Stage times are attributed only to the job that actually executed
+    // the flow; a cache hit's artifact carries the *original* run's
+    // timings and would double-count.
+    let stages = match (&result.outcome, result.cache_hit) {
+        (Some(outcome), false) => outcome
+            .report
+            .steps
+            .iter()
+            .map(|s| StageTime {
+                step: s.step.to_string(),
+                wall_ms: s.wall_ms,
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+    JobRecord {
+        index: result.index,
+        name: result.name.clone(),
+        status: result.status,
+        attempts: result.attempts,
+        cache_hit: result.cache_hit,
+        worker: result.worker,
+        queue_wait_ms: result.queue_wait_ms,
+        run_ms: result.run_ms,
+        stages,
+        error: result.error.clone(),
+    }
+}
+
+fn totals(jobs: &[JobRecord], makespan_ms: f64) -> BatchTotals {
+    let count = |status: JobStatus| jobs.iter().filter(|j| j.status == status).count();
+    let succeeded = count(JobStatus::Succeeded);
+    let executed: Vec<&JobRecord> = jobs.iter().filter(|j| !j.stages.is_empty()).collect();
+    let mean = |values: &mut dyn Iterator<Item = f64>, n: usize| {
+        if n == 0 {
+            0.0
+        } else {
+            values.sum::<f64>() / n as f64
+        }
+    };
+    let mut stage_sums: Vec<StageTime> = Vec::new();
+    for job in &executed {
+        for stage in &job.stages {
+            match stage_sums.iter_mut().find(|s| s.step == stage.step) {
+                Some(sum) => sum.wall_ms += stage.wall_ms,
+                None => stage_sums.push(stage.clone()),
+            }
+        }
+    }
+    for sum in &mut stage_sums {
+        sum.wall_ms /= executed.len().max(1) as f64;
+    }
+    BatchTotals {
+        jobs: jobs.len(),
+        succeeded,
+        failed: count(JobStatus::Failed),
+        timed_out: count(JobStatus::TimedOut),
+        cancelled: count(JobStatus::Cancelled),
+        makespan_ms,
+        throughput_jobs_per_s: if makespan_ms > 0.0 {
+            succeeded as f64 / (makespan_ms / 1_000.0)
+        } else {
+            0.0
+        },
+        mean_queue_wait_ms: mean(&mut jobs.iter().map(|j| j.queue_wait_ms), jobs.len()),
+        mean_run_ms: mean(&mut executed.iter().map(|j| j.run_ms), executed.len()),
+        stage_means_ms: stage_sums,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(index: usize, status: JobStatus) -> JobResult {
+        JobResult {
+            index,
+            name: format!("job{index}"),
+            status,
+            attempts: 1,
+            cache_hit: false,
+            worker: 0,
+            queue_wait_ms: 2.0,
+            run_ms: 10.0,
+            error: None,
+            outcome: None,
+        }
+    }
+
+    #[test]
+    fn totals_count_statuses_and_throughput() {
+        let results = vec![
+            result(0, JobStatus::Succeeded),
+            result(1, JobStatus::Failed),
+            result(2, JobStatus::TimedOut),
+            result(3, JobStatus::Succeeded),
+        ];
+        let workers = vec![WorkerRecord {
+            worker: 0,
+            jobs_run: 4,
+            busy_ms: 40.0,
+            utilization: 0.0,
+        }];
+        let stats = CacheStats {
+            hits: 0,
+            misses: 4,
+            evictions: 0,
+            entries: 2,
+        };
+        let report = ExecutionReport::build(&results, workers, stats, 100.0);
+        assert_eq!(report.totals.succeeded, 2);
+        assert_eq!(report.totals.failed, 1);
+        assert_eq!(report.totals.timed_out, 1);
+        assert!((report.totals.throughput_jobs_per_s - 20.0).abs() < 1e-9);
+        assert!((report.workers[0].utilization - 0.4).abs() < 1e-9);
+        let json = report.to_json();
+        for key in [
+            "makespan_ms",
+            "stage_means_ms",
+            "utilization",
+            "queue_wait_ms",
+            "hits",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! End-to-end batch execution: a classroom-sized job queue on a real
+//! worker pool, with fault isolation, resubmission caching and the JSON
+//! execution report.
+
+use chipforge::exec::{BatchEngine, EngineConfig, Fault, JobSpec, JobStatus};
+use chipforge::flow::OptimizationProfile;
+use chipforge::hdl::designs;
+use chipforge::pdk::TechnologyNode;
+use std::time::Duration;
+
+fn classroom_jobs() -> Vec<JobSpec> {
+    [
+        designs::counter(8),
+        designs::counter(16),
+        designs::gray_encoder(8),
+        designs::popcount(8),
+        designs::lfsr(8),
+        designs::pwm(8),
+        designs::traffic_light(),
+        designs::shift_register(16),
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, design)| {
+        JobSpec::new(
+            design.name(),
+            design.source(),
+            TechnologyNode::N130,
+            OptimizationProfile::quick(),
+        )
+        .with_seed(i as u64 + 1)
+    })
+    .collect()
+}
+
+#[test]
+fn eight_jobs_across_four_workers_all_succeed() {
+    let engine = BatchEngine::new(EngineConfig::with_workers(4));
+    let batch = engine.run_batch(classroom_jobs());
+    assert_eq!(batch.results.len(), 8);
+    assert!(batch.results.iter().all(|r| r.status.is_success()));
+    assert_eq!(batch.report.totals.succeeded, 8);
+    // Every worker reported in; ids are 0..4.
+    assert_eq!(batch.report.workers.len(), 4);
+    assert!(batch.report.workers.iter().any(|w| w.jobs_run > 0));
+}
+
+#[test]
+fn resubmitting_the_same_batch_is_mostly_cache_hits() {
+    let engine = BatchEngine::new(EngineConfig::with_workers(4));
+    let first = engine.run_batch(classroom_jobs());
+    assert!(first.results.iter().all(|r| !r.cache_hit));
+    let second = engine.run_batch(classroom_jobs());
+    assert!(second.results.iter().all(|r| r.cache_hit));
+    let stats = engine.cache().stats();
+    // 8 misses (first run) + 8 hits (second run) = 50% lifetime rate;
+    // the resubmitted batch itself is 100% > 90% hits.
+    let resubmission_hit_rate =
+        second.results.iter().filter(|r| r.cache_hit).count() as f64 / second.results.len() as f64;
+    assert!(resubmission_hit_rate > 0.9);
+    assert_eq!(stats.hits, 8);
+    assert_eq!(stats.misses, 8);
+    // Identical artifacts either way.
+    assert_eq!(first.deterministic_digest(), second.deterministic_digest());
+}
+
+#[test]
+fn faulty_jobs_are_isolated_from_the_rest_of_the_batch() {
+    let engine = BatchEngine::new(EngineConfig {
+        workers: 4,
+        job_timeout: Duration::from_millis(250),
+        max_retries: 1,
+        retry_backoff: Duration::from_millis(1),
+        ..EngineConfig::default()
+    });
+    let mut jobs = classroom_jobs();
+    jobs[2] = jobs[2].clone().with_fault(Fault::Panic);
+    jobs[5] = jobs[5].clone().with_fault(Fault::Hang(10_000));
+    let batch = engine.run_batch(jobs);
+    assert_eq!(batch.results[2].status, JobStatus::Failed);
+    assert_eq!(batch.results[2].attempts, 2, "one retry after the panic");
+    assert_eq!(batch.results[5].status, JobStatus::TimedOut);
+    for (i, result) in batch.results.iter().enumerate() {
+        if i != 2 && i != 5 {
+            assert!(result.status.is_success(), "job {i} must be unaffected");
+        }
+    }
+    assert_eq!(batch.report.totals.failed, 1);
+    assert_eq!(batch.report.totals.timed_out, 1);
+    assert_eq!(batch.report.totals.succeeded, 6);
+}
+
+#[test]
+fn json_report_carries_stage_times_and_worker_utilization() {
+    let engine = BatchEngine::new(EngineConfig::with_workers(2));
+    let batch = engine.run_batch(classroom_jobs());
+    let json = batch.report.to_json();
+    let parsed = serde::json::parse(&json).expect("report is valid JSON");
+    let jobs = parsed.get("jobs").seq().expect("jobs array");
+    assert_eq!(jobs.len(), 8);
+    let stages = jobs[0].get("stages").seq().expect("stage array");
+    assert!(!stages.is_empty(), "computed jobs carry stage timings");
+    let steps: Vec<&str> = stages
+        .iter()
+        .filter_map(|s| s.get("step").as_str())
+        .collect();
+    assert!(steps.contains(&"synthesize"), "steps: {steps:?}");
+    assert!(stages.iter().all(|s| s.get("wall_ms").as_f64().is_some()));
+    let workers = parsed.get("workers").seq().expect("workers array");
+    assert_eq!(workers.len(), 2);
+    for worker in workers {
+        let utilization = worker.get("utilization").as_f64().expect("utilization");
+        assert!((0.0..=1.0).contains(&utilization));
+    }
+    assert!(parsed.get("totals").get("makespan_ms").as_f64().is_some());
+    assert!(parsed.get("cache").get("hits").as_u64().is_some());
+}

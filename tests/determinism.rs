@@ -4,6 +4,7 @@
 
 use chipforge::cloud::{simulate_hub, WorkloadSpec};
 use chipforge::econ::workforce::{simulate, Interventions, PipelineConfig};
+use chipforge::exec::{BatchEngine, EngineConfig, JobSpec};
 use chipforge::flow::{run_flow, FlowConfig, OptimizationProfile};
 use chipforge::hdl::designs;
 use chipforge::layout::gds;
@@ -62,6 +63,56 @@ fn simulations_are_seed_deterministic() {
         simulate(&config, Interventions::all(), 8, 3),
         simulate(&config, Interventions::all(), 8, 3)
     );
+}
+
+#[test]
+fn batch_results_are_identical_across_worker_counts() {
+    // Scheduling order must never leak into artifacts: the same job list
+    // gives byte-identical GDS and PPA whether it runs on 1, 2 or 8
+    // workers, and whether artifacts are computed or served from cache.
+    let jobs = || -> Vec<JobSpec> {
+        [
+            (designs::counter(8), 1u64),
+            (designs::gray_encoder(8), 2),
+            (designs::popcount(8), 3),
+            (designs::counter(8), 4),
+            (designs::lfsr(8), 5),
+            (designs::counter(8), 1), // duplicate of job 0: cache hit
+        ]
+        .into_iter()
+        .map(|(design, seed)| {
+            JobSpec::new(
+                design.name(),
+                design.source(),
+                TechnologyNode::N130,
+                OptimizationProfile::quick(),
+            )
+            .with_seed(seed)
+        })
+        .collect()
+    };
+    let mut digests = Vec::new();
+    let mut gds_streams = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let engine = BatchEngine::new(EngineConfig::with_workers(workers));
+        let batch = engine.run_batch(jobs());
+        assert!(batch.results.iter().all(|r| r.status.is_success()));
+        digests.push(batch.deterministic_digest());
+        gds_streams.push(
+            batch
+                .results
+                .iter()
+                .map(|r| r.outcome.as_ref().expect("succeeded").gds.clone())
+                .collect::<Vec<_>>(),
+        );
+        // A warm re-run of the same engine must not change outcomes.
+        let warm = engine.run_batch(jobs());
+        assert_eq!(warm.deterministic_digest(), digests[0], "warm cache run");
+    }
+    assert_eq!(digests[0], digests[1], "1 vs 2 workers");
+    assert_eq!(digests[0], digests[2], "1 vs 8 workers");
+    assert_eq!(gds_streams[0], gds_streams[1], "GDS bytes, 1 vs 2 workers");
+    assert_eq!(gds_streams[0], gds_streams[2], "GDS bytes, 1 vs 8 workers");
 }
 
 #[test]

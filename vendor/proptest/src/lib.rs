@@ -1,0 +1,681 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the strategy combinators and the `proptest!` macro surface
+//! this workspace uses, backed by the vendored `rand` crate. Two
+//! deliberate simplifications versus upstream:
+//!
+//! - **No shrinking.** A failing case panics with the plain assertion
+//!   message; inputs are deterministic per test, so failures reproduce
+//!   exactly on re-run.
+//! - **Deterministic seeding.** Each generated test derives its RNG seed
+//!   from the test function's name, so runs are stable across machines
+//!   and repeat runs — reproducibility is a core requirement of this
+//!   repository (see `tests/determinism.rs`).
+//!
+//! `*.proptest-regressions` files from upstream proptest are ignored.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::ops::Range;
+use std::sync::Arc;
+
+pub mod collection;
+pub mod sample;
+
+/// The commonly-imported surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 48 keeps the heavier flow properties
+        // fast while still exploring a meaningful input set.
+        ProptestConfig { cases: 48 }
+    }
+}
+
+/// The RNG handed to strategies. Seeded per test from the test name.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates the deterministic RNG for a named test.
+    #[must_use]
+    pub fn for_test(test_name: &str) -> Self {
+        // FNV-1a over the name gives every test its own stable stream.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(hash))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        self.0.gen::<f64>()
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        self.0.gen_range(0..bound)
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds recursive strategies: `expand` receives the strategy for
+    /// depth *n* and returns the strategy for depth *n + 1*; generation
+    /// picks a random depth up to `depth`.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        expand: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut levels: Vec<BoxedStrategy<Self::Value>> = vec![self.boxed()];
+        for _ in 0..depth {
+            let deeper = expand(levels.last().expect("nonempty").clone());
+            levels.push(deeper.boxed());
+        }
+        Recursive { levels }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    levels: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for Recursive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let level = rng.below(self.levels.len());
+        self.levels[level].generate(rng)
+    }
+}
+
+/// Uniform choice between strategies (the `prop_oneof!` backend).
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds from pre-boxed options.
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one case");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.options.len());
+        self.options[pick].generate(rng)
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite values spanning a broad magnitude range (upstream's `any`
+    /// includes NaN/∞; every use here wants ordinary numbers).
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let magnitude = rng.unit_f64() * 200.0 - 100.0;
+        let scale = rng.unit_f64();
+        magnitude * scale
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// Strategy over the whole domain of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// `&str` patterns are regex-like string strategies, as in upstream
+/// proptest. Supported subset: literal characters, `.` (printable
+/// ASCII), character classes `[a-z0-9_]` with ranges and `\`-escapes,
+/// the class shorthands `\d` / `\w` / `\s`, and the quantifiers
+/// `{n}`, `{m,n}`, `?`, `*`, `+` (unbounded repeats cap at 8).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = pattern::parse(self);
+        let mut out = String::new();
+        for (ranges, (min, max)) in &atoms {
+            let count = if min == max {
+                *min
+            } else {
+                min + rng.below(max - min + 1)
+            };
+            for _ in 0..count {
+                out.push(pattern::pick(ranges, rng));
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+mod pattern {
+    //! Tiny regex-subset compiler backing the `&str` strategy.
+
+    use super::TestRng;
+
+    /// Inclusive character ranges; a literal is a single-char range.
+    type Ranges = Vec<(char, char)>;
+
+    /// Longest repeat drawn for the unbounded quantifiers `*` and `+`.
+    const UNBOUNDED_CAP: usize = 8;
+
+    fn printable_ascii() -> Ranges {
+        vec![(' ', '~')]
+    }
+
+    fn shorthand(c: char) -> Option<Ranges> {
+        match c {
+            'd' => Some(vec![('0', '9')]),
+            'w' => Some(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+            's' => Some(vec![(' ', ' '), ('\t', '\t')]),
+            _ => None,
+        }
+    }
+
+    /// Compiles `pattern` into (character ranges, repeat bounds) atoms.
+    pub(crate) fn parse(pattern: &str) -> Vec<(Ranges, (usize, usize))> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let ranges = match c {
+                '.' => printable_ascii(),
+                '[' => parse_class(&mut chars, pattern),
+                '\\' => {
+                    let esc = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                    shorthand(esc).unwrap_or_else(|| vec![(esc, esc)])
+                }
+                '(' | ')' | '|' | '^' | '$' => {
+                    panic!("unsupported regex construct {c:?} in pattern {pattern:?}")
+                }
+                literal => vec![(literal, literal)],
+            };
+            let repeat = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    parse_braced_repeat(&mut chars, pattern)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, UNBOUNDED_CAP)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, UNBOUNDED_CAP)
+                }
+                _ => (1, 1),
+            };
+            atoms.push((ranges, repeat));
+        }
+        atoms
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Ranges {
+        let mut ranges = Ranges::new();
+        loop {
+            let c = chars
+                .next()
+                .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+            match c {
+                ']' => break,
+                '\\' => {
+                    let esc = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                    match shorthand(esc) {
+                        Some(mut extra) => ranges.append(&mut extra),
+                        None => ranges.push((esc, esc)),
+                    }
+                }
+                lo => {
+                    // `a-z` forms a range unless `-` is the closer.
+                    if chars.peek() == Some(&'-') {
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        match ahead.peek() {
+                            Some(&hi) if hi != ']' => {
+                                chars.next();
+                                chars.next();
+                                assert!(lo <= hi, "reversed range in pattern {pattern:?}");
+                                ranges.push((lo, hi));
+                                continue;
+                            }
+                            _ => {}
+                        }
+                    }
+                    ranges.push((lo, lo));
+                }
+            }
+        }
+        assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+        ranges
+    }
+
+    fn parse_braced_repeat(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> (usize, usize) {
+        let mut min = String::new();
+        let mut max = String::new();
+        let mut saw_comma = false;
+        loop {
+            match chars.next() {
+                Some('}') => break,
+                Some(',') => saw_comma = true,
+                Some(d) if d.is_ascii_digit() => {
+                    if saw_comma {
+                        max.push(d);
+                    } else {
+                        min.push(d);
+                    }
+                }
+                other => panic!("bad repeat {other:?} in pattern {pattern:?}"),
+            }
+        }
+        let lo: usize = min
+            .parse()
+            .unwrap_or_else(|_| panic!("bad repeat in pattern {pattern:?}"));
+        let hi = if !saw_comma {
+            lo
+        } else if max.is_empty() {
+            lo + UNBOUNDED_CAP
+        } else {
+            max.parse()
+                .unwrap_or_else(|_| panic!("bad repeat in pattern {pattern:?}"))
+        };
+        assert!(lo <= hi, "reversed repeat in pattern {pattern:?}");
+        (lo, hi)
+    }
+
+    /// Draws one character uniformly from the flattened ranges.
+    pub(crate) fn pick(ranges: &Ranges, rng: &mut TestRng) -> char {
+        let total: u32 = ranges
+            .iter()
+            .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+            .sum();
+        let mut index = rng.below(total as usize) as u32;
+        for (lo, hi) in ranges {
+            let span = *hi as u32 - *lo as u32 + 1;
+            if index < span {
+                return char::from_u32(*lo as u32 + index).expect("range stays in valid chars");
+            }
+            index -= span;
+        }
+        unreachable!("index within total span")
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!(
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+);
+
+/// Uniform choice between equally-weighted strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Property assertion; in this stand-in a failure panics immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` (keep the `#[test]` attribute on each fn, as with
+/// upstream proptest) that runs the body over `config.cases` random
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); ) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let ($($arg,)+) = ($($crate::Strategy::generate(&($strategy), &mut __rng),)+);
+                $body
+            }
+        }
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_and_oneof_stay_in_domain() {
+        let mut rng = TestRng::for_test("ranges");
+        let s = prop_oneof![Just(1u32), Just(2u32), (10u32..20).prop_map(|x| x)];
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v == 1 || v == 2 || (10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        let leaf = prop_oneof![Just("x".to_string()), Just("y".to_string())];
+        let expr = leaf.prop_recursive(4, 64, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a} {b})"))
+        });
+        let mut rng = TestRng::for_test("recursive");
+        for _ in 0..100 {
+            let e = expr.generate(&mut rng);
+            assert!(e.contains('x') || e.contains('y'));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = TestRng::for_test("same");
+        let mut b = TestRng::for_test("same");
+        let mut c = TestRng::for_test("different");
+        let s = 0u64..1_000_000;
+        for _ in 0..32 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+        let draws_a: Vec<u64> = (0..8).map(|_| s.generate(&mut a)).collect();
+        let draws_c: Vec<u64> = (0..8).map(|_| s.generate(&mut c)).collect();
+        assert_ne!(draws_a, draws_c);
+    }
+
+    #[test]
+    fn string_patterns_match_their_own_shape() {
+        let mut rng = TestRng::for_test("patterns");
+        for _ in 0..100 {
+            let ident = "[a-zA-Z][a-zA-Z0-9_]{0,12}".generate(&mut rng);
+            assert!((1..=13).contains(&ident.chars().count()), "{ident:?}");
+            let mut chars = ident.chars();
+            assert!(chars.next().expect("nonempty").is_ascii_alphabetic());
+            assert!(chars.all(|c| c.is_ascii_alphanumeric() || c == '_'));
+
+            let free = ".{0,200}".generate(&mut rng);
+            assert!(free.chars().count() <= 200);
+            assert!(free.chars().all(|c| (' '..='~').contains(&c)));
+
+            let soup = "[a-z0-9<>=;(){}\\[\\] ]{0,10}".generate(&mut rng);
+            assert!(soup.chars().count() <= 10);
+            assert!(soup.chars().all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || "<>=;(){}[] ".contains(c)));
+
+            let digits = "\\d{3}x?z+".generate(&mut rng);
+            assert!(digits.starts_with(|c: char| c.is_ascii_digit()));
+            assert!(digits.ends_with('z'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_multiple_args(x in 0usize..10, (a, b) in (0u8..4, any::<bool>())) {
+            prop_assert!(x < 10);
+            prop_assert!(a < 4);
+            let _ = b;
+        }
+
+        #[test]
+        fn collection_vec_sizes(items in crate::collection::vec(0i64..5, 3..7)) {
+            prop_assert!((3..7).contains(&items.len()));
+            prop_assert!(items.iter().all(|v| (0..5).contains(v)));
+        }
+
+        #[test]
+        fn select_picks_members(node in crate::sample::select(vec![2u32, 3, 5, 7])) {
+            prop_assert!([2u32, 3, 5, 7].contains(&node));
+        }
+    }
+}

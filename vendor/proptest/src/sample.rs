@@ -1,0 +1,24 @@
+//! Sampling strategies (`proptest::sample::select`).
+
+use crate::{Strategy, TestRng};
+
+/// Strategy choosing uniformly from a fixed set of values.
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+/// Uniform choice from `options` (must be nonempty).
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        use rand::Rng as _;
+        let pick: usize = rng.gen_range(0..self.options.len());
+        self.options[pick].clone()
+    }
+}

@@ -1,0 +1,506 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls against the
+//! vendored Value-model `serde` crate. Implemented directly on
+//! `proc_macro` token trees (no `syn`/`quote`, which are unavailable
+//! offline). Supports the shapes this workspace derives on:
+//!
+//! - structs with named fields (honouring `#[serde(skip)]`)
+//! - tuple structs (newtypes serialize transparently)
+//! - unit structs
+//! - enums with unit, tuple and struct variants (externally tagged)
+//!
+//! Generics are not supported — no derived type in the workspace needs
+//! them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the Value-model `Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives the Value-model `Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let source = match parse(input) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            return format!("::std::compile_error!({message:?});")
+                .parse()
+                .expect("literal compile_error parses");
+        }
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&source),
+        Mode::Deserialize => gen_deserialize(&source),
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("::std::compile_error!(\"serde_derive internal codegen error: {e}\");")
+            .parse()
+            .expect("fallback parses")
+    })
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Source {
+    name: String,
+    shape: Shape,
+}
+
+// --- token parsing ---
+
+struct Cursor {
+    trees: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            trees: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.trees.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let tree = self.trees.get(self.pos).cloned();
+        if tree.is_some() {
+            self.pos += 1;
+        }
+        tree
+    }
+
+    /// Consumes leading `#[...]` attributes; returns true if one of them
+    /// is `#[serde(skip)]` (or `skip_serializing`/`skip_deserializing`,
+    /// which this stand-in treats identically).
+    fn skip_attributes(&mut self) -> bool {
+        let mut skip = false;
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next();
+            if let Some(TokenTree::Group(group)) = self.next() {
+                skip |= attribute_is_serde_skip(&group.stream());
+            }
+        }
+        skip
+    }
+
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.next();
+            if matches!(
+                self.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(ident)) => Ok(ident.to_string()),
+            other => Err(format!("expected identifier, got {other:?}")),
+        }
+    }
+
+    /// Consumes tokens until a top-level comma (outside `<...>`), and
+    /// eats the comma. Returns false when the cursor was already at the
+    /// end.
+    fn skip_until_comma(&mut self) -> bool {
+        let mut angle_depth = 0i32;
+        let mut consumed = false;
+        while let Some(tree) = self.peek() {
+            if let TokenTree::Punct(p) = tree {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        self.next();
+                        return true;
+                    }
+                    _ => {}
+                }
+            }
+            self.next();
+            consumed = true;
+        }
+        consumed
+    }
+}
+
+fn attribute_is_serde_skip(stream: &TokenStream) -> bool {
+    let trees: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match trees.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string().starts_with("skip"))),
+        _ => false,
+    }
+}
+
+fn parse(input: TokenStream) -> Result<Source, String> {
+    let mut cursor = Cursor::new(input);
+    cursor.skip_attributes();
+    cursor.skip_visibility();
+    let keyword = cursor.expect_ident()?;
+    let name = cursor.expect_ident()?;
+    if matches!(cursor.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match cursor.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(group.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match cursor.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(group.stream())?)
+            }
+            other => return Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Source { name, shape })
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        let skip = cursor.skip_attributes();
+        cursor.skip_visibility();
+        let Some(TokenTree::Ident(ident)) = cursor.next() else {
+            break;
+        };
+        fields.push(Field {
+            name: ident.to_string(),
+            skip,
+        });
+        // Consume `: Type,`.
+        if !cursor.skip_until_comma() {
+            break;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cursor = Cursor::new(stream);
+    let mut count = 0;
+    loop {
+        cursor.skip_attributes();
+        cursor.skip_visibility();
+        if cursor.peek().is_none() {
+            break;
+        }
+        count += 1;
+        if !cursor.skip_until_comma() {
+            break;
+        }
+        if cursor.peek().is_none() {
+            break; // trailing comma
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cursor = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        cursor.skip_attributes();
+        let Some(tree) = cursor.next() else { break };
+        let TokenTree::Ident(ident) = tree else {
+            return Err(format!("expected variant name, got {tree:?}"));
+        };
+        let kind = match cursor.peek() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(group.stream());
+                cursor.next();
+                VariantKind::Tuple(count)
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(group.stream());
+                cursor.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant {
+            name: ident.to_string(),
+            kind,
+        });
+        // Consume a possible discriminant and the separating comma.
+        cursor.skip_until_comma();
+    }
+    Ok(variants)
+}
+
+// --- code generation ---
+
+fn str_value(text: &str) -> String {
+    format!("::serde::Value::Str(::std::string::String::from({text:?}))")
+}
+
+fn gen_serialize(source: &Source) -> String {
+    let name = &source.name;
+    let body = match &source.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "({}, ::serde::Serialize::to_value(&self.{}))",
+                        str_value(&f.name),
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(0) | Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|variant| {
+                    let v = &variant.name;
+                    match &variant.kind {
+                        VariantKind::Unit => {
+                            format!("{name}::{v} => {},", str_value(v))
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{v}(__a0) => ::serde::Value::Map(::std::vec![({}, \
+                             ::serde::Serialize::to_value(__a0))]),",
+                            str_value(v)
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__a{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__a{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{v}({}) => ::serde::Value::Map(::std::vec![({}, \
+                                 ::serde::Value::Seq(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                str_value(v),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .filter(|f| !f.skip)
+                                .map(|f| {
+                                    format!(
+                                        "({}, ::serde::Serialize::to_value({}))",
+                                        str_value(&f.name),
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{v} {{ {} }} => ::serde::Value::Map(::std::vec![({}, \
+                                 ::serde::Value::Map(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                str_value(v),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(source: &Source) -> String {
+    let name = &source.name;
+    let body = match &source.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default()", f.name)
+                    } else {
+                        format!(
+                            "{}: ::serde::Deserialize::from_value(__value.field({:?})?)?",
+                            f.name, f.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::TupleStruct(0) => format!("::std::result::Result::Ok({name}())"),
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(__items.get({i}).unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __items = __value.seq()?; ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "{:?} => ::std::result::Result::Ok({name}::{}),",
+                        v.name, v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|variant| {
+                    let v = &variant.name;
+                    match &variant.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::from_value(_inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(__items.get({i}).unwrap_or(&::serde::Value::Null))?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{v:?} => {{ let __items = _inner.seq()?; \
+                                 ::std::result::Result::Ok({name}::{v}({})) }}",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    if f.skip {
+                                        format!(
+                                            "{}: ::std::default::Default::default()",
+                                            f.name
+                                        )
+                                    } else {
+                                        format!(
+                                            "{}: ::serde::Deserialize::from_value(_inner.field({:?})?)?",
+                                            f.name, f.name
+                                        )
+                                    }
+                                })
+                                .collect();
+                            Some(format!(
+                                "{v:?} => ::std::result::Result::Ok({name}::{v} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __value {{ \
+                   ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                     {} \
+                     __other => ::std::result::Result::Err(::serde::Error::new(\
+                       ::std::format!(\"unknown variant `{{__other}}` of {name}\"))), \
+                   }}, \
+                   ::serde::Value::Map(__pairs) if __pairs.len() == 1 => {{ \
+                     let (_key, _inner) = &__pairs[0]; \
+                     match _key.as_str().unwrap_or(\"\") {{ \
+                       {} \
+                       __other => ::std::result::Result::Err(::serde::Error::new(\
+                         ::std::format!(\"unknown variant `{{__other}}` of {name}\"))), \
+                     }} \
+                   }}, \
+                   __other => ::std::result::Result::Err(::serde::Error::new(\
+                     ::std::format!(\"expected {name} variant, got {{}}\", __other.kind()))), \
+                 }}",
+                unit_arms.join(" "),
+                data_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_value(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+}
