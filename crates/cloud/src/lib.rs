@@ -38,7 +38,10 @@ mod queue;
 mod shuttle;
 mod tier;
 
-pub use platform::{simulate_hub, simulate_local, ScenarioResult, WorkloadSpec};
+pub use platform::{
+    simulate_hub, simulate_hub_traced, simulate_local, ScenarioResult, WorkloadSpec,
+    VIRTUAL_US_PER_HOUR,
+};
 pub use queue::EventQueue;
 pub use shuttle::{ShuttleOutcome, ShuttleSchedule};
 pub use tier::AccessTier;

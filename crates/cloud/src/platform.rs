@@ -2,9 +2,14 @@
 
 use crate::queue::EventQueue;
 use crate::tier::AccessTier;
+use chipforge_obs::{SpanId, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Scale for mapping simulated hours onto trace-time microseconds: one
+/// virtual hour renders as one second in a trace viewer.
+pub const VIRTUAL_US_PER_HOUR: f64 = 1_000_000.0;
 
 /// Workload description shared by both scenarios.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -157,10 +162,49 @@ pub fn simulate_hub(
     hub_setup_hours: f64,
     compute_speed: f64,
 ) -> ScenarioResult {
+    simulate_hub_traced(
+        spec,
+        servers,
+        hub_setup_hours,
+        compute_speed,
+        &Tracer::disabled(),
+    )
+}
+
+/// [`simulate_hub`] with trace recording: queue waits and service
+/// intervals become virtual-time spans (one trace track per
+/// university, [`VIRTUAL_US_PER_HOUR`] microseconds per simulated
+/// hour), arrivals become instants, and turnarounds feed the
+/// `cloud.turnaround_h` histogram. With a disabled tracer this is
+/// exactly [`simulate_hub`].
+#[must_use]
+pub fn simulate_hub_traced(
+    spec: &WorkloadSpec,
+    servers: usize,
+    hub_setup_hours: f64,
+    compute_speed: f64,
+    tracer: &Tracer,
+) -> ScenarioResult {
     let jobs = spec.jobs();
+    let root = tracer.reserve_span();
+    if tracer.is_enabled() {
+        tracer.set_track_name(0, "hub");
+        for u in 0..spec.universities {
+            tracer.set_track_name(u + 1, &format!("uni-{u}"));
+        }
+    }
     let mut queue: EventQueue<HubEvent> = EventQueue::new();
-    for (i, (_, arrival, _, _)) in jobs.iter().enumerate() {
+    for (i, (u, arrival, tier, _)) in jobs.iter().enumerate() {
         queue.push(*arrival, HubEvent::Arrival(i));
+        if tracer.is_enabled() {
+            tracer.virtual_instant(
+                "arrival",
+                "des",
+                u + 1,
+                arrival * VIRTUAL_US_PER_HOUR,
+                &format!("job {i}, priority {}", tier.priority()),
+            );
+        }
     }
     // Waiting jobs: (priority, fifo seq, job index).
     let mut waiting: Vec<(u8, usize, usize)> = Vec::new();
@@ -181,6 +225,8 @@ pub fn simulate_hub(
         busy: &mut f64,
         turnarounds: &mut [f64],
         queue: &mut EventQueue<HubEvent>,
+        tracer: &Tracer,
+        root: SpanId,
     ) {
         while *free > 0 && !waiting.is_empty() {
             let best = waiting
@@ -190,11 +236,39 @@ pub fn simulate_hub(
                 .map(|(i, _)| i)
                 .expect("nonempty");
             let (_, _, job_index) = waiting.remove(best);
-            let service = jobs[job_index].3 / compute_speed.max(1e-9);
+            let (university, arrival, tier, raw_service) = jobs[job_index];
+            let service = raw_service / compute_speed.max(1e-9);
             *free -= 1;
             *busy += service;
-            turnarounds[job_index] = now + service - jobs[job_index].1;
+            turnarounds[job_index] = now + service - arrival;
             queue.push(now + service, HubEvent::Departure);
+            if tracer.is_enabled() {
+                let track = university + 1;
+                let wait = now - arrival;
+                if wait > 0.0 {
+                    tracer.virtual_span(
+                        root,
+                        "queue",
+                        "des",
+                        track,
+                        arrival * VIRTUAL_US_PER_HOUR,
+                        wait * VIRTUAL_US_PER_HOUR,
+                        &format!("job {job_index}"),
+                    );
+                }
+                tracer.virtual_span(
+                    root,
+                    "service",
+                    "des",
+                    track,
+                    now * VIRTUAL_US_PER_HOUR,
+                    service * VIRTUAL_US_PER_HOUR,
+                    &format!("job {job_index}, priority {}", tier.priority()),
+                );
+                tracer.observe("cloud.queue_wait_h", wait);
+                tracer.observe("cloud.turnaround_h", turnarounds[job_index]);
+                tracer.add("cloud.jobs", 1);
+            }
         }
     }
     while let Some((now, event)) = queue.pop() {
@@ -218,6 +292,20 @@ pub fn simulate_hub(
             &mut busy,
             &mut turnarounds,
             &mut queue,
+            tracer,
+            root,
+        );
+    }
+    if tracer.is_enabled() {
+        tracer.record_virtual_span(
+            root,
+            SpanId::NONE,
+            "hub",
+            "des",
+            0,
+            0.0,
+            horizon * VIRTUAL_US_PER_HOUR,
+            &format!("{servers} servers, {} jobs", jobs.len()),
         );
     }
     summarize(
@@ -353,6 +441,53 @@ mod tests {
         let modelled = simulate_hub(&s, 4, 0.0, 1.0);
         let faster = simulate_hub(&calibrated, 4, 0.0, 1.0);
         assert!(faster.mean_turnaround_h < modelled.mean_turnaround_h);
+    }
+
+    #[test]
+    fn traced_hub_emits_virtual_time_spans() {
+        let s = WorkloadSpec::new(3, 5, 12.0, 7);
+        let tracer = Tracer::new();
+        let traced = simulate_hub_traced(&s, 2, 0.0, 1.0, &tracer);
+        assert_eq!(traced, simulate_hub(&s, 2, 0.0, 1.0), "tracing is inert");
+
+        let spans = tracer.spans();
+        let hub = spans
+            .iter()
+            .find(|sp| sp.category == "des" && sp.name == "hub")
+            .expect("hub root span");
+        let services: Vec<_> = spans
+            .iter()
+            .filter(|sp| sp.category == "des" && sp.name == "service")
+            .collect();
+        assert_eq!(services.len(), 15, "one service span per job");
+        for service in &services {
+            assert_eq!(service.parent, hub.id);
+            assert!(service.track >= 1 && service.track <= 3);
+            assert!(service.dur_us > 0.0);
+            assert!(service.end_us() <= hub.end_us() + 1e-6);
+        }
+        // Queue spans only exist for jobs that actually waited, and
+        // always precede their service on the same virtual timeline.
+        for q in spans.iter().filter(|sp| sp.name == "queue") {
+            assert!(q.dur_us > 0.0);
+        }
+        assert_eq!(tracer.instants().len(), 15, "one arrival per job");
+        let snap = tracer.snapshot();
+        assert_eq!(
+            snap.counters
+                .iter()
+                .find(|c| c.name == "cloud.jobs")
+                .unwrap()
+                .value,
+            15
+        );
+        let turnaround = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "cloud.turnaround_h")
+            .expect("turnaround histogram");
+        assert_eq!(turnaround.summary.count, 15);
+        assert!((turnaround.summary.mean - traced.mean_turnaround_h).abs() < 1e-6);
     }
 
     #[test]

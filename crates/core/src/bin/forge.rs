@@ -3,18 +3,21 @@
 //! ```text
 //! forge run <file.fhdl> [--node <nm>] [--profile open|commercial|quick]
 //!           [--clock <MHz>] [--gds <out.gds>] [--verilog <out.v>]
-//!           [--liberty <out.lib>]
+//!           [--liberty <out.lib>] [--trace <out.json>] [--flame <out.txt>]
 //! forge batch <manifest.json> [--workers <n>] [--timeout-ms <ms>]
 //!           [--retries <n>] [--report <out.json>] [--strict]
+//!           [--trace <out.json>] [--flame <out.txt>]
+//! forge report <trace.json>        # per-stage breakdown of a trace
 //! forge tiers <file.fhdl>          # run all three tier strategies
 //! forge catalog                    # nodes, tiers and their envelopes
 //! forge designs                    # built-in benchmark designs
 //! ```
 
 use chipforge::exec::{BatchEngine, EngineConfig, Fault, JobSpec, JobStatus};
-use chipforge::flow::{run_flow, FlowConfig, OptimizationProfile};
+use chipforge::flow::{run_flow_traced, FlowConfig, OptimizationProfile};
 use chipforge::hdl::designs;
 use chipforge::netlist::verilog;
+use chipforge::obs::{self, Tracer};
 use chipforge::pdk::{liberty, LibraryKind, Pdk, TechnologyNode};
 use chipforge::{EnablementHub, Tier, TierStrategy};
 use serde::json;
@@ -28,6 +31,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("tiers") => cmd_tiers(&args[1..]),
         Some("catalog") => cmd_catalog(&args[1..]),
         Some("designs") => cmd_designs(&args[1..]),
@@ -56,11 +60,18 @@ forge — open chip-design enablement platform
 USAGE:
   forge run <file.fhdl> [--node <nm>] [--profile open|commercial|quick]
             [--clock <MHz>] [--gds <out>] [--verilog <out>] [--liberty <out>]
+            [--trace <out.json>] [--flame <out.txt>]
   forge batch <manifest.json> [--workers <n>] [--timeout-ms <ms>]
             [--retries <n>] [--report <out.json>] [--strict]
+            [--trace <out.json>] [--flame <out.txt>]
+  forge report <trace.json> [--flame <out.txt>]
   forge tiers <file.fhdl>
   forge catalog
   forge designs
+
+`--trace` writes Chrome trace-event JSON (open in Perfetto or
+about://tracing); `--flame` writes flamegraph folded stacks; `forge
+report` summarizes a trace with p50/p90/p99 per stage.
 ";
 
 /// One accepted flag: its name and whether it takes a value.
@@ -162,6 +173,30 @@ fn parse_profile(name: Option<&str>) -> Result<OptimizationProfile, String> {
     }
 }
 
+/// An enabled tracer when `--trace` or `--flame` was given, a disabled
+/// (zero-overhead) one otherwise.
+fn tracer_for(flags: &HashMap<String, String>) -> Tracer {
+    if flags.contains_key("trace") || flags.contains_key("flame") {
+        Tracer::new()
+    } else {
+        Tracer::disabled()
+    }
+}
+
+/// Writes the `--trace` / `--flame` outputs a command collected.
+fn write_trace_outputs(tracer: &Tracer, flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(out) = flags.get("trace") {
+        std::fs::write(out, obs::trace_json(tracer)).map_err(|e| format!("write {out}: {e}"))?;
+        println!("wrote {out} (chrome trace, see `forge report {out}`)");
+    }
+    if let Some(out) = flags.get("flame") {
+        std::fs::write(out, obs::folded_stacks(&tracer.spans()))
+            .map_err(|e| format!("write {out}: {e}"))?;
+        println!("wrote {out} (flamegraph folded stacks)");
+    }
+    Ok(())
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     const FLAGS: &[FlagSpec] = &[
         value_flag("node"),
@@ -170,6 +205,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         value_flag("gds"),
         value_flag("verilog"),
         value_flag("liberty"),
+        value_flag("trace"),
+        value_flag("flame"),
     ];
     let (positionals, flags) = parse_args(args, "run", FLAGS)?;
     let path = one_positional(&positionals, "input file")?;
@@ -178,8 +215,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let profile = parse_profile(flags.get("profile").map(String::as_str))?;
     let clock: f64 = parse_number(&flags, "clock", 100.0)?;
     let config = FlowConfig::new(node, profile).with_clock_mhz(clock);
-    let outcome = run_flow(&source, &config).map_err(|e| e.to_string())?;
+    let tracer = tracer_for(&flags);
+    let outcome = run_flow_traced(&source, &config, &tracer).map_err(|e| e.to_string())?;
     print!("{}", outcome.report);
+    write_trace_outputs(&tracer, &flags)?;
     if let Some(out) = flags.get("gds") {
         std::fs::write(out, &outcome.gds).map_err(|e| format!("write {out}: {e}"))?;
         println!("wrote {out}");
@@ -250,6 +289,8 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         value_flag("timeout-ms"),
         value_flag("retries"),
         value_flag("report"),
+        value_flag("trace"),
+        value_flag("flame"),
         switch("strict"),
     ];
     let (positionals, flags) = parse_args(args, "batch", FLAGS)?;
@@ -275,7 +316,8 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         ..EngineConfig::default()
     };
     let workers = config.workers;
-    let engine = BatchEngine::new(config);
+    let tracer = tracer_for(&flags);
+    let engine = BatchEngine::with_tracer(config, tracer.clone());
     let batch = engine.run_batch(jobs);
 
     println!("batch: {} jobs on {} workers", batch.results.len(), workers);
@@ -308,11 +350,12 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         totals.throughput_jobs_per_s,
     );
     println!(
-        "cache:  {} hits / {} misses ({:.0}% hit rate), {} artifacts resident",
+        "cache:  {} hits / {} misses ({:.0}% hit rate), {} artifacts resident, {} evicted",
         cache.hits,
         cache.misses,
         cache.hit_rate() * 100.0,
         cache.entries,
+        cache.evictions,
     );
     for worker in &batch.report.workers {
         println!(
@@ -327,6 +370,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         std::fs::write(out, batch.report.to_json()).map_err(|e| format!("write {out}: {e}"))?;
         println!("wrote {out}");
     }
+    write_trace_outputs(&tracer, &flags)?;
     let unsuccessful = batch
         .results
         .iter()
@@ -334,6 +378,24 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         .count();
     if flags.contains_key("strict") && unsuccessful > 0 {
         return Err(format!("{unsuccessful} job(s) did not succeed"));
+    }
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    const FLAGS: &[FlagSpec] = &[value_flag("flame")];
+    let (positionals, flags) = parse_args(args, "report", FLAGS)?;
+    let path = one_positional(&positionals, "trace file")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let trace = obs::parse_chrome_json(&text).map_err(|e| format!("bad trace `{path}`: {e}"))?;
+    if trace.spans.is_empty() {
+        return Err(format!("trace `{path}` contains no span events"));
+    }
+    print!("{}", obs::render_trace_report(&trace));
+    if let Some(out) = flags.get("flame") {
+        std::fs::write(out, obs::folded_stacks(&trace.spans))
+            .map_err(|e| format!("write {out}: {e}"))?;
+        println!("wrote {out} (flamegraph folded stacks)");
     }
     Ok(())
 }

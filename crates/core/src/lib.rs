@@ -28,6 +28,7 @@
 //! | [`power`] | `chipforge-power` | power estimation |
 //! | [`flow`] | `chipforge-flow` | RTL→GDSII orchestration |
 //! | [`exec`] | `chipforge-exec` | concurrent batch execution + artifact cache |
+//! | [`obs`] | `chipforge-obs` | tracing, metrics and profiling |
 //! | [`cloud`] | `chipforge-cloud` | enablement-platform simulation |
 //! | [`econ`] | `chipforge-econ` | cost/value-chain/workforce models |
 //! | [`verify`] | `chipforge-verify` | BDD-based formal equivalence |
@@ -75,6 +76,8 @@ pub use chipforge_hdl as hdl;
 pub use chipforge_layout as layout;
 /// Re-export: netlist database.
 pub use chipforge_netlist as netlist;
+/// Re-export: tracing, metrics and profiling.
+pub use chipforge_obs as obs;
 /// Re-export: PDK models.
 pub use chipforge_pdk as pdk;
 /// Re-export: placement.

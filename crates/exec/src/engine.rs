@@ -10,7 +10,8 @@
 use crate::cache::{ArtifactCache, CacheKey};
 use crate::job::{Fault, JobResult, JobSpec, JobStatus};
 use crate::metrics::{ExecutionReport, WorkerRecord};
-use chipforge_flow::{run_flow, FlowOutcome};
+use chipforge_flow::{run_flow_traced, FlowOutcome};
+use chipforge_obs::Tracer;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
@@ -118,6 +119,7 @@ fn fnv64(bytes: &[u8]) -> u64 {
 pub struct BatchEngine {
     config: EngineConfig,
     cache: Arc<ArtifactCache>,
+    tracer: Tracer,
 }
 
 struct WorkItem {
@@ -132,13 +134,22 @@ enum Message {
 }
 
 impl BatchEngine {
-    /// An engine with the given configuration.
+    /// An engine with the given configuration and tracing disabled.
     #[must_use]
     pub fn new(config: EngineConfig) -> Self {
+        Self::with_tracer(config, Tracer::disabled())
+    }
+
+    /// An engine that records batch/job spans and execution metrics into
+    /// `tracer`. Worker `w` gets trace track `w + 1`; track 0 is the
+    /// coordinator.
+    #[must_use]
+    pub fn with_tracer(config: EngineConfig, tracer: Tracer) -> Self {
         let capacity = config.cache_capacity;
         BatchEngine {
             config,
             cache: Arc::new(ArtifactCache::new(capacity)),
+            tracer,
         }
     }
 
@@ -156,8 +167,19 @@ impl BatchEngine {
         let deadline = self.config.batch_deadline.map(|d| started + d);
         let job_count = jobs.len();
 
+        let batch_span = self.tracer.span("batch", "exec");
+        if self.tracer.is_enabled() {
+            self.tracer.set_track_name(0, "coordinator");
+            for worker_id in 0..self.config.workers.max(1) {
+                self.tracer
+                    .set_track_name(worker_id + 1, &format!("worker-{worker_id}"));
+            }
+            self.tracer.add("exec.jobs_submitted", job_count as u64);
+        }
+
         let (work_tx, work_rx) = mpsc::channel::<WorkItem>();
         for (index, spec) in jobs.into_iter().enumerate() {
+            self.tracer.instant("enqueue", "exec", &spec.name);
             work_tx
                 .send(WorkItem {
                     index,
@@ -176,10 +198,13 @@ impl BatchEngine {
             let result_tx = result_tx.clone();
             let cache = Arc::clone(&self.cache);
             let config = self.config.clone();
+            let tracer = self.tracer.at(batch_span.id(), worker_id + 1);
             let handle = thread::Builder::new()
                 .name(format!("exec-worker-{worker_id}"))
                 .spawn(move || {
-                    worker_loop(worker_id, &work_rx, &result_tx, &cache, &config, deadline)
+                    worker_loop(
+                        worker_id, &work_rx, &result_tx, &cache, &config, deadline, &tracer,
+                    )
                 })
                 .expect("spawn worker");
             handles.push(handle);
@@ -200,11 +225,13 @@ impl BatchEngine {
         results.sort_by_key(|r| r.index);
 
         let makespan_ms = started.elapsed().as_secs_f64() * 1_000.0;
+        batch_span.finish_with_detail(&format!("{job_count} jobs"));
         let report = ExecutionReport::build(&results, workers, self.cache.stats(), makespan_ms);
         BatchReport { results, report }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     worker_id: usize,
     work_rx: &Mutex<mpsc::Receiver<WorkItem>>,
@@ -212,6 +239,7 @@ fn worker_loop(
     cache: &ArtifactCache,
     config: &EngineConfig,
     deadline: Option<Instant>,
+    tracer: &Tracer,
 ) {
     let mut busy = Duration::ZERO;
     let mut jobs_run = 0u64;
@@ -225,7 +253,15 @@ fn worker_loop(
         let Ok(item) = item else { break };
         let picked_up = Instant::now();
         let queue_wait_ms = picked_up.duration_since(item.enqueued).as_secs_f64() * 1_000.0;
-        let result = run_one(worker_id, item, queue_wait_ms, cache, config, deadline);
+        let result = run_one(
+            worker_id,
+            item,
+            queue_wait_ms,
+            cache,
+            config,
+            deadline,
+            tracer,
+        );
         busy += picked_up.elapsed();
         jobs_run += 1;
         if result_tx.send(Message::Job(result)).is_err() {
@@ -240,6 +276,8 @@ fn worker_loop(
     }));
 }
 
+/// Wraps one job in a `job` span and records its lifecycle metrics.
+#[allow(clippy::too_many_arguments)]
 fn run_one(
     worker: usize,
     item: WorkItem,
@@ -247,6 +285,37 @@ fn run_one(
     cache: &ArtifactCache,
     config: &EngineConfig,
     deadline: Option<Instant>,
+    tracer: &Tracer,
+) -> JobResult {
+    let span = tracer.span(&item.spec.name, "job");
+    let job_tracer = tracer.at(span.id(), tracer.default_track());
+    let result = run_one_inner(
+        worker,
+        item,
+        queue_wait_ms,
+        cache,
+        config,
+        deadline,
+        &job_tracer,
+    );
+    if tracer.is_enabled() {
+        tracer.observe("exec.queue_wait_ms", result.queue_wait_ms);
+        tracer.observe("exec.run_ms", result.run_ms);
+        tracer.add(&format!("exec.status.{}", result.status), 1);
+        span.finish_with_detail(&result.status.to_string());
+    }
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_one_inner(
+    worker: usize,
+    item: WorkItem,
+    queue_wait_ms: f64,
+    cache: &ArtifactCache,
+    config: &EngineConfig,
+    deadline: Option<Instant>,
+    tracer: &Tracer,
 ) -> JobResult {
     let base = JobResult {
         index: item.index,
@@ -270,6 +339,8 @@ fn run_one(
     let picked_up = Instant::now();
     let key = CacheKey::of(&item.spec);
     if let Some(outcome) = cache.lookup(key) {
+        tracer.instant("cache-hit", "exec", &item.spec.name);
+        tracer.add("exec.cache.hits", 1);
         return JobResult {
             status: JobStatus::Succeeded,
             cache_hit: true,
@@ -278,12 +349,14 @@ fn run_one(
             ..base
         };
     }
+    tracer.instant("cache-miss", "exec", &item.spec.name);
+    tracer.add("exec.cache.misses", 1);
 
     let mut attempts = 0u32;
     let mut backoff = config.retry_backoff;
     loop {
         attempts += 1;
-        match run_attempt(&item.spec, config.job_timeout) {
+        match run_attempt(&item.spec, config.job_timeout, tracer) {
             Attempt::Done(outcome) => {
                 let outcome = Arc::new(*outcome);
                 cache.insert(key, Arc::clone(&outcome));
@@ -306,6 +379,8 @@ fn run_one(
             }
             Attempt::Panicked(message) => {
                 if attempts <= config.max_retries {
+                    tracer.instant("retry", "exec", &item.spec.name);
+                    tracer.add("exec.retries", 1);
                     thread::sleep(backoff);
                     backoff *= 2;
                     continue;
@@ -344,13 +419,14 @@ enum Attempt {
 /// Runs one attempt on a dedicated thread so a wedged flow can be
 /// abandoned. On timeout the attempt thread is detached: it finishes (or
 /// dies) on its own and its late result is discarded.
-fn run_attempt(spec: &JobSpec, timeout: Duration) -> Attempt {
+fn run_attempt(spec: &JobSpec, timeout: Duration, tracer: &Tracer) -> Attempt {
     let spec = spec.clone();
+    let tracer = tracer.clone();
     let (tx, rx) = mpsc::channel();
     let builder = thread::Builder::new().name(format!("exec-job-{}", spec.name));
     let handle = builder
         .spawn(move || {
-            let result = catch_unwind(AssertUnwindSafe(|| execute(&spec)));
+            let result = catch_unwind(AssertUnwindSafe(|| execute(&spec, &tracer)));
             let _ = tx.send(result);
         })
         .expect("spawn attempt thread");
@@ -367,13 +443,13 @@ fn run_attempt(spec: &JobSpec, timeout: Duration) -> Attempt {
     }
 }
 
-fn execute(spec: &JobSpec) -> Result<FlowOutcome, String> {
+fn execute(spec: &JobSpec, tracer: &Tracer) -> Result<FlowOutcome, String> {
     match spec.fault {
         Fault::None => {}
         Fault::Panic => panic!("injected fault in job `{}`", spec.name),
         Fault::Hang(ms) => thread::sleep(Duration::from_millis(ms)),
     }
-    run_flow(&spec.source, &spec.flow_config()).map_err(|e| e.to_string())
+    run_flow_traced(&spec.source, &spec.flow_config(), tracer).map_err(|e| e.to_string())
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -461,6 +537,62 @@ mod tests {
         ]);
         assert_eq!(batch.results[0].status, JobStatus::TimedOut);
         assert_eq!(batch.results[1].status, JobStatus::Succeeded);
+    }
+
+    #[test]
+    fn traced_batch_records_lifecycle_spans_and_metrics() {
+        let tracer = Tracer::new();
+        let engine = BatchEngine::with_tracer(EngineConfig::with_workers(1), tracer.clone());
+        let batch = engine.run_batch(vec![job("cold", 3), job("warm", 3)]);
+        assert!(batch.results[1].cache_hit);
+
+        let spans = tracer.spans();
+        let batch_span = spans
+            .iter()
+            .find(|s| s.category == "exec" && s.name == "batch")
+            .expect("batch span");
+        let cold = spans
+            .iter()
+            .find(|s| s.category == "job" && s.name == "cold")
+            .expect("cold job span");
+        assert_eq!(cold.parent, batch_span.id);
+        assert_eq!(cold.track, 1, "worker 0 records on track 1");
+        // The executed job's flow spans hang off its job span.
+        let flow_root = spans
+            .iter()
+            .find(|s| s.category == "flow" && s.name == "flow")
+            .expect("flow root span");
+        assert_eq!(flow_root.parent, cold.id);
+        assert!(spans
+            .iter()
+            .any(|s| s.category == "flow" && s.name == "synthesize"));
+
+        let instants = tracer.instants();
+        assert!(instants.iter().any(|i| i.name == "enqueue"));
+        assert!(instants
+            .iter()
+            .any(|i| i.name == "cache-miss" && i.detail == "cold"));
+        assert!(instants
+            .iter()
+            .any(|i| i.name == "cache-hit" && i.detail == "warm"));
+
+        let snap = tracer.snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|c| c.name == name)
+                .map_or(0, |c| c.value)
+        };
+        assert_eq!(counter("exec.jobs_submitted"), 2);
+        assert_eq!(counter("exec.cache.hits"), 1);
+        assert_eq!(counter("exec.cache.misses"), 1);
+        assert_eq!(counter("exec.status.succeeded"), 2);
+        let run_ms = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "exec.run_ms")
+            .expect("run_ms histogram");
+        assert_eq!(run_ms.summary.count, 2);
     }
 
     #[test]

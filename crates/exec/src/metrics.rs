@@ -9,6 +9,7 @@
 
 use crate::cache::CacheStats;
 use crate::job::{JobResult, JobStatus};
+use chipforge_obs::MetricsRegistry;
 use serde::Serialize;
 
 /// Wall time of one flow stage.
@@ -161,28 +162,38 @@ fn job_record(result: &JobResult) -> JobRecord {
 }
 
 fn totals(jobs: &[JobRecord], makespan_ms: f64) -> BatchTotals {
-    let count = |status: JobStatus| jobs.iter().filter(|j| j.status == status).count();
-    let succeeded = count(JobStatus::Succeeded);
-    let executed: Vec<&JobRecord> = jobs.iter().filter(|j| !j.stages.is_empty()).collect();
-    let mean = |values: &mut dyn Iterator<Item = f64>, n: usize| {
-        if n == 0 {
-            0.0
-        } else {
-            values.sum::<f64>() / n as f64
-        }
-    };
-    let mut stage_sums: Vec<StageTime> = Vec::new();
-    for job in &executed {
-        for stage in &job.stages {
-            match stage_sums.iter_mut().find(|s| s.step == stage.step) {
-                Some(sum) => sum.wall_ms += stage.wall_ms,
-                None => stage_sums.push(stage.clone()),
+    // All aggregation flows through one obs registry: status counters,
+    // queue-wait/run-time histograms, one histogram per flow stage. The
+    // registry preserves first-encounter order, so `stage_means_ms`
+    // still lists stages in flow order.
+    let registry = MetricsRegistry::new();
+    for job in jobs {
+        registry.add(&format!("status.{}", job.status), 1);
+        registry.observe("queue_wait_ms", job.queue_wait_ms);
+        if !job.stages.is_empty() {
+            registry.observe("run_ms", job.run_ms);
+            for stage in &job.stages {
+                registry.observe(&format!("stage.{}", stage.step), stage.wall_ms);
             }
         }
     }
-    for sum in &mut stage_sums {
-        sum.wall_ms /= executed.len().max(1) as f64;
-    }
+    // Every executed job records the full stage set, so dividing each
+    // stage's sum by the executed-job count gives the per-job mean.
+    let executed = registry.histogram("run_ms").map_or(0, |h| h.count());
+    let count = |status: JobStatus| {
+        usize::try_from(registry.counter(&format!("status.{status}"))).unwrap_or(0)
+    };
+    let succeeded = count(JobStatus::Succeeded);
+    let stage_means_ms = registry
+        .histograms()
+        .into_iter()
+        .filter_map(|(name, hist)| {
+            name.strip_prefix("stage.").map(|step| StageTime {
+                step: step.to_string(),
+                wall_ms: hist.sum() / executed.max(1) as f64,
+            })
+        })
+        .collect();
     BatchTotals {
         jobs: jobs.len(),
         succeeded,
@@ -195,9 +206,11 @@ fn totals(jobs: &[JobRecord], makespan_ms: f64) -> BatchTotals {
         } else {
             0.0
         },
-        mean_queue_wait_ms: mean(&mut jobs.iter().map(|j| j.queue_wait_ms), jobs.len()),
-        mean_run_ms: mean(&mut executed.iter().map(|j| j.run_ms), executed.len()),
-        stage_means_ms: stage_sums,
+        mean_queue_wait_ms: registry
+            .histogram("queue_wait_ms")
+            .map_or(0.0, |h| h.mean()),
+        mean_run_ms: registry.histogram("run_ms").map_or(0.0, |h| h.mean()),
+        stage_means_ms,
     }
 }
 

@@ -6,6 +6,7 @@ use crate::template::{FlowStep, FlowTemplate};
 use chipforge_hdl::RtlModule;
 use chipforge_layout::{build_layout, drc, gds, Layout};
 use chipforge_netlist::Netlist;
+use chipforge_obs::{SpanGuard, Tracer};
 use chipforge_pdk::{DesignRules, Pdk, StdCellLibrary, TechnologyNode};
 use chipforge_place::{place, Placement, PlacementOptions};
 use chipforge_power::{estimate, PowerOptions};
@@ -14,7 +15,6 @@ use chipforge_sta::{analyze, size_cells, TimingOptions, TimingReport};
 use chipforge_synth::{synthesize, SynthOptions};
 use std::error::Error;
 use std::fmt;
-use std::time::Instant;
 
 /// Configuration of one flow run.
 #[derive(Debug, Clone, PartialEq)]
@@ -158,11 +158,42 @@ impl_from!(Power, chipforge_power::PowerError);
 ///
 /// Propagates the first failing step as [`FlowError`].
 pub fn run_flow(source: &str, config: &FlowConfig) -> Result<FlowOutcome, FlowError> {
-    let start = Instant::now();
+    run_flow_traced(source, config, &Tracer::disabled())
+}
+
+/// Runs the complete flow on ForgeHDL source, recording one span per
+/// stage (plus a `flow` root span) into `tracer`. With a disabled
+/// tracer this is exactly [`run_flow`].
+///
+/// # Errors
+///
+/// Propagates the first failing step as [`FlowError`].
+pub fn run_flow_traced(
+    source: &str,
+    config: &FlowConfig,
+    tracer: &Tracer,
+) -> Result<FlowOutcome, FlowError> {
+    let mut root = tracer.span("flow", "flow");
+    let scoped = tracer.at(root.id(), tracer.default_track());
+    let elab = scoped.span(FlowStep::Elaborate.name(), "flow");
     let module = chipforge_hdl::parse(source)?;
-    let elaborate_ms = start.elapsed().as_secs_f64() * 1e3;
     let rtl_lines = chipforge_hdl::rtl_line_count(source);
-    run_inner(&module, config, rtl_lines, Some(elaborate_ms))
+    let detail = format!("{} signals, {} lines", module.signals().len(), rtl_lines);
+    let elaborate_ms = elab.finish_with_detail(&detail);
+    if scoped.is_enabled() {
+        scoped.observe(
+            &format!("flow.stage_ms.{}", FlowStep::Elaborate.name()),
+            elaborate_ms,
+        );
+    }
+    root.set_detail(module.name());
+    run_inner(
+        &module,
+        config,
+        rtl_lines,
+        Some((elaborate_ms, detail)),
+        &scoped,
+    )
 }
 
 /// Runs the flow on an already elaborated module (skips the parse step).
@@ -174,29 +205,66 @@ pub fn run_flow_on_module(
     module: &RtlModule,
     config: &FlowConfig,
 ) -> Result<FlowOutcome, FlowError> {
-    run_inner(module, config, module.source_lines(), None)
+    run_flow_on_module_traced(module, config, &Tracer::disabled())
+}
+
+/// Traced variant of [`run_flow_on_module`]; see [`run_flow_traced`].
+///
+/// # Errors
+///
+/// Propagates the first failing step as [`FlowError`].
+pub fn run_flow_on_module_traced(
+    module: &RtlModule,
+    config: &FlowConfig,
+    tracer: &Tracer,
+) -> Result<FlowOutcome, FlowError> {
+    let mut root = tracer.span("flow", "flow");
+    root.set_detail(module.name());
+    let scoped = tracer.at(root.id(), tracer.default_track());
+    run_inner(module, config, module.source_lines(), None, &scoped)
+}
+
+/// Closes a stage span, records its duration in the `flow.stage_ms.*`
+/// histogram, and appends the matching [`StepRecord`].
+fn finish_stage(
+    tracer: &Tracer,
+    span: SpanGuard,
+    step: FlowStep,
+    detail: String,
+    steps: &mut Vec<StepRecord>,
+) {
+    let wall_ms = span.finish_with_detail(&detail);
+    if tracer.is_enabled() {
+        tracer.observe(&format!("flow.stage_ms.{}", step.name()), wall_ms);
+    }
+    steps.push(StepRecord {
+        step,
+        wall_ms,
+        detail,
+    });
 }
 
 fn run_inner(
     module: &RtlModule,
     config: &FlowConfig,
     rtl_lines: usize,
-    elaborate_ms: Option<f64>,
+    elaborated: Option<(f64, String)>,
+    tracer: &Tracer,
 ) -> Result<FlowOutcome, FlowError> {
     let pdk = config.pdk();
     let lib: StdCellLibrary = pdk.library(config.profile.library);
     let clock_ps = 1e6 / config.clock_mhz;
     let mut steps = Vec::new();
-    if let Some(ms) = elaborate_ms {
+    if let Some((wall_ms, detail)) = elaborated {
         steps.push(StepRecord {
             step: FlowStep::Elaborate,
-            wall_ms: ms,
-            detail: format!("{} signals, {} lines", module.signals().len(), rtl_lines),
+            wall_ms,
+            detail,
         });
     }
 
     // --- synthesize ---
-    let t = Instant::now();
+    let span = tracer.span(FlowStep::Synthesize.name(), "flow");
     let synth_result = synthesize(
         module,
         &lib,
@@ -221,14 +289,10 @@ fn run_inner(
             ));
         }
     }
-    steps.push(StepRecord {
-        step: FlowStep::Synthesize,
-        wall_ms: t.elapsed().as_secs_f64() * 1e3,
-        detail: synth_detail,
-    });
+    finish_stage(tracer, span, FlowStep::Synthesize, synth_detail, &mut steps);
 
     // --- pre-route sizing ---
-    let t = Instant::now();
+    let span = tracer.span(FlowStep::Size.name(), "flow");
     let sized = if config.profile.sizing_iterations > 0 {
         size_cells(
             &mut netlist,
@@ -240,14 +304,16 @@ fn run_inner(
     } else {
         0
     };
-    steps.push(StepRecord {
-        step: FlowStep::Size,
-        wall_ms: t.elapsed().as_secs_f64() * 1e3,
-        detail: format!("{sized} cells upsized"),
-    });
+    finish_stage(
+        tracer,
+        span,
+        FlowStep::Size,
+        format!("{sized} cells upsized"),
+        &mut steps,
+    );
 
     // --- place ---
-    let t = Instant::now();
+    let span = tracer.span(FlowStep::Place.name(), "flow");
     let placement = place(
         &netlist,
         &lib,
@@ -257,18 +323,20 @@ fn run_inner(
             moves_per_cell: config.profile.placement_moves_per_cell,
         },
     )?;
-    steps.push(StepRecord {
-        step: FlowStep::Place,
-        wall_ms: t.elapsed().as_secs_f64() * 1e3,
-        detail: format!(
+    finish_stage(
+        tracer,
+        span,
+        FlowStep::Place,
+        format!(
             "hpwl {:.1} um ({} rows)",
             placement.hpwl_um(),
             placement.floorplan().rows()
         ),
-    });
+        &mut steps,
+    );
 
     // --- clock-tree synthesis ---
-    let t = Instant::now();
+    let span = tracer.span(FlowStep::ClockTree.name(), "flow");
     let flip_flops = netlist.stats().sequential_cells;
     let clock_tree = crate::cts::synthesize_clock_tree(
         &netlist,
@@ -291,14 +359,10 @@ fn run_inner(
         ),
         None => (0, 0.0, "no sequential cells".to_string()),
     };
-    steps.push(StepRecord {
-        step: FlowStep::ClockTree,
-        wall_ms: t.elapsed().as_secs_f64() * 1e3,
-        detail: cts_detail,
-    });
+    finish_stage(tracer, span, FlowStep::ClockTree, cts_detail, &mut steps);
 
     // --- route ---
-    let t = Instant::now();
+    let span = tracer.span(FlowStep::Route.name(), "flow");
     let routing = route(
         &netlist,
         &placement,
@@ -308,19 +372,21 @@ fn run_inner(
             max_iterations: config.profile.route_iterations,
         },
     )?;
-    steps.push(StepRecord {
-        step: FlowStep::Route,
-        wall_ms: t.elapsed().as_secs_f64() * 1e3,
-        detail: format!(
+    finish_stage(
+        tracer,
+        span,
+        FlowStep::Route,
+        format!(
             "wl {:.1} um, {} vias, peak congestion {:.2}",
             routing.total_wirelength_um(),
             routing.total_vias(),
             routing.peak_congestion()
         ),
-    });
+        &mut steps,
+    );
 
     // --- signoff: back-annotated STA, power, DRC ---
-    let t = Instant::now();
+    let span = tracer.span(FlowStep::Signoff.name(), "flow");
     let mut timing_options = TimingOptions::new(clock_ps).with_clock_skew_ps(clock_skew_ps);
     timing_options.net_wire_cap_ff = routing.wire_caps_ff(&lib);
     let timing = analyze(&netlist, &lib, &timing_options)?;
@@ -356,26 +422,30 @@ fn run_inner(
             other => format!("EC FAILED: {other:?}"),
         }
     };
-    steps.push(StepRecord {
-        step: FlowStep::Signoff,
-        wall_ms: t.elapsed().as_secs_f64() * 1e3,
-        detail: format!(
+    finish_stage(
+        tracer,
+        span,
+        FlowStep::Signoff,
+        format!(
             "wns {:.1} ps, {:.1} uW, {} DRC violations, {}",
             timing.wns_ps,
             power.total_uw(),
             drc_report.violations.len(),
             ec_detail
         ),
-    });
+        &mut steps,
+    );
 
     // --- export ---
-    let t = Instant::now();
+    let span = tracer.span(FlowStep::Export.name(), "flow");
     let gds_bytes = gds::write_gds(&layout);
-    steps.push(StepRecord {
-        step: FlowStep::Export,
-        wall_ms: t.elapsed().as_secs_f64() * 1e3,
-        detail: format!("{} bytes GDSII", gds_bytes.len()),
-    });
+    finish_stage(
+        tracer,
+        span,
+        FlowStep::Export,
+        format!("{} bytes GDSII", gds_bytes.len()),
+        &mut steps,
+    );
 
     let cell_area: f64 = netlist
         .cells()
@@ -561,6 +631,46 @@ mod tests {
         let comb = run_flow(designs::gray_encoder(8).source(), &config).unwrap();
         assert_eq!(comb.report.ppa.clock_buffers, 0);
         assert_eq!(comb.report.ppa.clock_skew_ps, 0.0);
+    }
+
+    #[test]
+    fn traced_flow_records_one_span_per_stage() {
+        let tracer = Tracer::new();
+        let config = FlowConfig::new(TechnologyNode::N130, OptimizationProfile::quick());
+        let outcome = run_flow_traced(designs::counter(8).source(), &config, &tracer).unwrap();
+        let spans = tracer.spans();
+        let root = spans
+            .iter()
+            .find(|s| s.category == "flow" && s.name == "flow")
+            .expect("root flow span");
+        for step in FlowStep::ALL {
+            let stage = spans
+                .iter()
+                .find(|s| s.category == "flow" && s.name == step.name())
+                .unwrap_or_else(|| panic!("missing span for {step}"));
+            assert_eq!(stage.parent, root.id, "{step} parented to flow root");
+            assert!(stage.dur_us >= 0.0);
+        }
+        // Span durations are the same numbers the report carries.
+        let synth_span = spans.iter().find(|s| s.name == "synthesize").unwrap();
+        let synth_step = outcome
+            .report
+            .steps
+            .iter()
+            .find(|s| s.step == FlowStep::Synthesize)
+            .unwrap();
+        assert!((synth_span.dur_us / 1e3 - synth_step.wall_ms).abs() < 1e-6);
+        // And the registry saw one sample per stage.
+        let snap = tracer.snapshot();
+        for step in FlowStep::ALL {
+            let name = format!("flow.stage_ms.{}", step.name());
+            let hist = snap
+                .histograms
+                .iter()
+                .find(|h| h.name == name)
+                .unwrap_or_else(|| panic!("missing histogram {name}"));
+            assert_eq!(hist.summary.count, 1);
+        }
     }
 
     #[test]

@@ -37,11 +37,12 @@ impl FlowStep {
         FlowStep::Signoff,
         FlowStep::Export,
     ];
-}
 
-impl fmt::Display for FlowStep {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+    /// Stable lower-case step name (also the `Display` text), used as
+    /// span and metric names in traces.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
             FlowStep::Elaborate => "elaborate",
             FlowStep::Synthesize => "synthesize",
             FlowStep::Size => "size",
@@ -50,8 +51,13 @@ impl fmt::Display for FlowStep {
             FlowStep::Route => "route",
             FlowStep::Signoff => "signoff",
             FlowStep::Export => "export",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for FlowStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 

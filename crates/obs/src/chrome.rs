@@ -1,0 +1,225 @@
+//! Chrome trace-event JSON exporter and parser.
+//!
+//! Emits the [trace-event format] consumed by `about://tracing` and
+//! Perfetto: complete events (`ph: "X"`) for spans, instant events
+//! (`ph: "i"`) for markers, and metadata events (`ph: "M"`) naming each
+//! track. Timestamps are microseconds, matching the tracer's native
+//! unit. The metrics snapshot rides along under a top-level `metrics`
+//! key, which trace viewers ignore and `forge report` reads back.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::span::{InstantRecord, SpanRecord};
+use crate::tracer::Tracer;
+use serde::{Error, Serialize, Value};
+
+const PID: u64 = 1;
+
+fn str_val(s: &str) -> Value {
+    Value::Str(s.to_string())
+}
+
+fn map(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Map(pairs.into_iter().map(|(k, v)| (str_val(k), v)).collect())
+}
+
+fn span_event(span: &SpanRecord) -> Value {
+    map(vec![
+        ("name", str_val(&span.name)),
+        ("cat", str_val(&span.category)),
+        ("ph", str_val("X")),
+        ("ts", Value::F64(span.start_us)),
+        ("dur", Value::F64(span.dur_us)),
+        ("pid", Value::U64(PID)),
+        ("tid", Value::U64(span.track as u64)),
+        (
+            "args",
+            map(vec![
+                ("id", Value::U64(span.id)),
+                ("parent", Value::U64(span.parent)),
+                ("detail", str_val(&span.detail)),
+            ]),
+        ),
+    ])
+}
+
+fn instant_event(instant: &InstantRecord) -> Value {
+    map(vec![
+        ("name", str_val(&instant.name)),
+        ("cat", str_val(&instant.category)),
+        ("ph", str_val("i")),
+        ("s", str_val("t")),
+        ("ts", Value::F64(instant.at_us)),
+        ("pid", Value::U64(PID)),
+        ("tid", Value::U64(instant.track as u64)),
+        ("args", map(vec![("detail", str_val(&instant.detail))])),
+    ])
+}
+
+fn thread_name_event(track: usize, name: &str) -> Value {
+    map(vec![
+        ("name", str_val("thread_name")),
+        ("ph", str_val("M")),
+        ("pid", Value::U64(PID)),
+        ("tid", Value::U64(track as u64)),
+        ("args", map(vec![("name", str_val(name))])),
+    ])
+}
+
+/// Renders everything a tracer collected as Chrome trace-event JSON.
+#[must_use]
+pub fn trace_json(tracer: &Tracer) -> String {
+    let mut events: Vec<Value> = Vec::new();
+    for (track, name) in tracer.track_names() {
+        events.push(thread_name_event(track, &name));
+    }
+    let mut spans = tracer.spans();
+    spans.sort_by(|a, b| a.start_us.total_cmp(&b.start_us));
+    events.extend(spans.iter().map(span_event));
+    let mut instants = tracer.instants();
+    instants.sort_by(|a, b| a.at_us.total_cmp(&b.at_us));
+    events.extend(instants.iter().map(instant_event));
+    let doc = map(vec![
+        ("traceEvents", Value::Seq(events)),
+        ("displayTimeUnit", str_val("ms")),
+        ("metrics", tracer.snapshot().to_value()),
+    ]);
+    serde::json::to_string_pretty(&doc)
+}
+
+/// Span and instant events read back from a Chrome trace file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedTrace {
+    /// All complete (`ph: "X"`) events.
+    pub spans: Vec<SpanRecord>,
+    /// All instant (`ph: "i"`) events.
+    pub instants: Vec<InstantRecord>,
+}
+
+fn field_f64(event: &Value, key: &str) -> f64 {
+    event.get(key).as_f64().unwrap_or(0.0)
+}
+
+fn field_str(event: &Value, key: &str) -> String {
+    event.get(key).as_str().unwrap_or("").to_string()
+}
+
+/// Parses Chrome trace-event JSON produced by [`trace_json`] (or any
+/// file using the same format: either `{"traceEvents": [...]}` or a
+/// bare event array).
+///
+/// # Errors
+///
+/// Returns an error when the text is not valid JSON or has neither a
+/// `traceEvents` array nor a top-level array.
+pub fn parse_chrome_json(text: &str) -> Result<ParsedTrace, Error> {
+    let doc = serde::json::parse(text)?;
+    let events = match &doc {
+        Value::Seq(_) => doc.seq()?,
+        _ => doc
+            .get("traceEvents")
+            .seq()
+            .map_err(|_| Error::new("expected a traceEvents array or a bare event array"))?,
+    };
+    let mut trace = ParsedTrace::default();
+    for event in events {
+        let ph = event.get("ph").as_str().unwrap_or("");
+        let track = event.get("tid").as_u64().unwrap_or(0) as usize;
+        match ph {
+            "X" => trace.spans.push(SpanRecord {
+                id: event.get("args").get("id").as_u64().unwrap_or(0),
+                parent: event.get("args").get("parent").as_u64().unwrap_or(0),
+                name: field_str(event, "name"),
+                category: field_str(event, "cat"),
+                track,
+                start_us: field_f64(event, "ts"),
+                dur_us: field_f64(event, "dur"),
+                detail: field_str(event.get("args"), "detail"),
+            }),
+            "i" | "I" => trace.instants.push(InstantRecord {
+                name: field_str(event, "name"),
+                category: field_str(event, "cat"),
+                track,
+                at_us: field_f64(event, "ts"),
+                detail: field_str(event.get("args"), "detail"),
+            }),
+            _ => {}
+        }
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanId;
+
+    fn sample_tracer() -> Tracer {
+        let tracer = Tracer::new();
+        tracer.set_track_name(0, "coordinator");
+        tracer.set_track_name(1, "worker-0");
+        let root = tracer.reserve_span();
+        tracer.record_virtual_span(root, SpanId::NONE, "batch", "exec", 0, 0.0, 900.0, "");
+        tracer.virtual_span(root, "synthesize", "flow", 1, 100.0, 400.0, "cells=12");
+        tracer.virtual_instant("cache-hit", "exec", 1, 550.0, "counter8");
+        tracer.add("exec.cache.hits", 1);
+        tracer.observe("flow.stage_ms.synthesize", 0.4);
+        tracer
+    }
+
+    #[test]
+    fn trace_round_trips_through_the_parser() {
+        let tracer = sample_tracer();
+        let json = trace_json(&tracer);
+        let parsed = parse_chrome_json(&json).expect("parses");
+        assert_eq!(parsed.spans.len(), 2);
+        assert_eq!(parsed.instants.len(), 1);
+        let synth = parsed
+            .spans
+            .iter()
+            .find(|s| s.name == "synthesize")
+            .expect("synthesize span");
+        assert_eq!(synth.category, "flow");
+        assert_eq!(synth.track, 1);
+        assert_eq!(synth.detail, "cells=12");
+        assert!((synth.start_us - 100.0).abs() < 1e-9);
+        assert!((synth.dur_us - 400.0).abs() < 1e-9);
+        let batch = parsed
+            .spans
+            .iter()
+            .find(|s| s.name == "batch")
+            .expect("batch");
+        assert_eq!(synth.parent, batch.id);
+        assert_eq!(parsed.instants[0].name, "cache-hit");
+    }
+
+    #[test]
+    fn document_carries_metadata_and_metrics() {
+        let json = trace_json(&sample_tracer());
+        let doc = serde::json::parse(&json).expect("valid json");
+        assert_eq!(doc.get("displayTimeUnit").as_str(), Some("ms"));
+        let events = doc.get("traceEvents").seq().expect("events");
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").as_str() == Some("M"))
+            .filter_map(|e| e.get("args").get("name").as_str())
+            .collect();
+        assert_eq!(names, vec!["coordinator", "worker-0"]);
+        let counters = doc.get("metrics").get("counters").seq().expect("counters");
+        assert_eq!(counters[0].get("name").as_str(), Some("exec.cache.hits"));
+    }
+
+    #[test]
+    fn bare_event_arrays_parse_too() {
+        let json = r#"[{"name":"a","cat":"c","ph":"X","ts":1.0,"dur":2.0,"pid":1,"tid":0}]"#;
+        let parsed = parse_chrome_json(json).expect("parses");
+        assert_eq!(parsed.spans.len(), 1);
+        assert_eq!(parsed.spans[0].name, "a");
+    }
+
+    #[test]
+    fn garbage_input_is_an_error() {
+        assert!(parse_chrome_json("not json").is_err());
+        assert!(parse_chrome_json(r#"{"foo": 1}"#).is_err());
+    }
+}

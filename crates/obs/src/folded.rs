@@ -1,0 +1,116 @@
+//! Flamegraph folded-stack exporter.
+//!
+//! Produces the `a;b;c <count>` text format consumed by
+//! `flamegraph.pl` / inferno and speedscope's "folded" importer. Each
+//! line is a root-to-leaf span name chain and the span's *self* time in
+//! microseconds (its duration minus the duration of its direct
+//! children), aggregated across identical stacks.
+
+use crate::span::SpanRecord;
+use std::collections::{BTreeMap, HashMap};
+
+const MAX_DEPTH: usize = 64;
+
+/// Renders spans as folded stacks, one `path;to;span <self_us>` line
+/// per distinct stack, sorted lexicographically for stable output.
+#[must_use]
+pub fn folded_stacks(spans: &[SpanRecord]) -> String {
+    let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    let mut child_us: HashMap<u64, f64> = HashMap::new();
+    for span in spans {
+        if span.parent != 0 && by_id.contains_key(&span.parent) {
+            *child_us.entry(span.parent).or_insert(0.0) += span.dur_us;
+        }
+    }
+    let mut folded: BTreeMap<String, f64> = BTreeMap::new();
+    for span in spans {
+        let mut chain = vec![span.name.as_str()];
+        let mut cursor = span.parent;
+        while cursor != 0 && chain.len() < MAX_DEPTH {
+            match by_id.get(&cursor) {
+                Some(parent) => {
+                    chain.push(parent.name.as_str());
+                    cursor = parent.parent;
+                }
+                None => break,
+            }
+        }
+        chain.reverse();
+        let self_us = (span.dur_us - child_us.get(&span.id).copied().unwrap_or(0.0)).max(0.0);
+        *folded.entry(chain.join(";")).or_insert(0.0) += self_us;
+    }
+    let mut out = String::new();
+    for (stack, us) in folded {
+        out.push_str(&format!("{stack} {}\n", us.round() as u64));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: u64, name: &str, start_us: f64, dur_us: f64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            category: "test".to_string(),
+            track: 0,
+            start_us,
+            dur_us,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let spans = vec![
+            span(1, 0, "flow", 0.0, 1000.0),
+            span(2, 1, "synthesize", 0.0, 600.0),
+            span(3, 1, "route", 600.0, 300.0),
+        ];
+        let text = folded_stacks(&spans);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.contains(&"flow 100"), "{text}");
+        assert!(lines.contains(&"flow;synthesize 600"), "{text}");
+        assert!(lines.contains(&"flow;route 300"), "{text}");
+    }
+
+    #[test]
+    fn identical_stacks_aggregate() {
+        let spans = vec![
+            span(1, 0, "batch", 0.0, 100.0),
+            span(2, 1, "job", 0.0, 40.0),
+            span(3, 1, "job", 40.0, 35.0),
+        ];
+        let text = folded_stacks(&spans);
+        assert!(text.lines().any(|l| l == "batch;job 75"), "{text}");
+        assert!(text.lines().any(|l| l == "batch 25"), "{text}");
+    }
+
+    #[test]
+    fn oversubscribed_parent_clamps_to_zero_self_time() {
+        // Children overlapping in time can sum past the parent; self
+        // time must not go negative.
+        let spans = vec![
+            span(1, 0, "parent", 0.0, 100.0),
+            span(2, 1, "a", 0.0, 80.0),
+            span(3, 1, "b", 0.0, 80.0),
+        ];
+        let text = folded_stacks(&spans);
+        assert!(text.lines().any(|l| l == "parent 0"), "{text}");
+    }
+
+    #[test]
+    fn orphan_parents_truncate_the_chain() {
+        let spans = vec![span(5, 99, "lost", 0.0, 10.0)];
+        let text = folded_stacks(&spans);
+        assert_eq!(text, "lost 10\n");
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert_eq!(folded_stacks(&[]), "");
+    }
+}

@@ -1,0 +1,41 @@
+//! chipforge-obs: unified tracing, metrics and profiling.
+//!
+//! The paper's enablement argument rests on *measured* effort, runtime
+//! and turnaround; this crate is the substrate that turns every
+//! chipforge layer — the RTL→GDSII flow, the batch execution engine and
+//! the cloud discrete-event simulation — into structured, exportable
+//! telemetry instead of scattered ad-hoc timers.
+//!
+//! Pieces:
+//!
+//! - [`Tracer`] / [`SpanGuard`]: hierarchical RAII spans with explicit
+//!   parent ids and a thread-safe collector; disabled tracers make
+//!   every call a no-op so instrumentation can stay always-on.
+//! - [`MetricsRegistry`]: counters, gauges and fixed-bucket
+//!   [`Histogram`]s with p50/p90/p99 summaries.
+//! - Exporters: Chrome trace-event JSON ([`trace_json`], loadable in
+//!   Perfetto / `about://tracing`), flamegraph folded stacks
+//!   ([`folded_stacks`]) and a serializable [`MetricsSnapshot`].
+//! - [`render_trace_report`]: the `forge report` per-stage breakdown.
+//!
+//! No external dependencies beyond the workspace-vendored serde.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod folded;
+pub mod metrics;
+pub mod report;
+pub mod span;
+pub mod tracer;
+
+pub use chrome::{parse_chrome_json, trace_json, ParsedTrace};
+pub use folded::folded_stacks;
+pub use metrics::{
+    CounterSample, GaugeSample, Histogram, HistogramSample, HistogramSummary, MetricsRegistry,
+    MetricsSnapshot, HISTOGRAM_BUCKETS,
+};
+pub use report::render_trace_report;
+pub use span::{InstantRecord, SpanId, SpanRecord};
+pub use tracer::{SpanGuard, Tracer};

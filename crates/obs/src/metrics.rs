@@ -1,0 +1,467 @@
+//! Metrics: counters, gauges and fixed-bucket histograms.
+//!
+//! The registry is thread-safe (`&self` everywhere) and preserves the
+//! insertion order of metric names, so exported snapshots list metrics
+//! in the order the instrumented code first touched them — flow stages
+//! come out in flow order, not alphabetically.
+//!
+//! Histograms use fixed power-of-two buckets: bucket 0 holds values in
+//! `[0, 1)`, bucket *i* holds `[2^(i-1), 2^i)`. Fixed boundaries make
+//! merging two histograms an element-wise add, which is exact and
+//! associative on the bucket counts (the floating-point `sum` is
+//! associative only up to rounding).
+
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+
+/// Number of histogram buckets; the last bucket is open-ended.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A fixed-bucket histogram of non-negative samples.
+///
+/// Negative observations are clamped to zero (durations can round to
+/// tiny negatives on some clocks; they carry no information).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: f64) {
+        let value = if value.is_finite() {
+            value.max(0.0)
+        } else {
+            0.0
+        };
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    fn bucket_index(value: f64) -> usize {
+        let mut bound = 1.0;
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            if value < bound {
+                return i;
+            }
+            bound *= 2.0;
+        }
+        HISTOGRAM_BUCKETS - 1
+    }
+
+    /// Lower and upper bound of bucket `i` (bucket 0 is `[0, 1)`).
+    #[must_use]
+    pub fn bucket_bounds(i: usize) -> (f64, f64) {
+        if i == 0 {
+            (0.0, 1.0)
+        } else {
+            (2f64.powi(i as i32 - 1), 2f64.powi(i as i32))
+        }
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Bucket counts, for exporters and tests.
+    #[must_use]
+    pub fn bucket_counts(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.counts
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`) by linear interpolation
+    /// within the covering bucket, clamped to the observed `[min, max]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c as f64;
+            if next >= target {
+                let (lo, hi) = Self::bucket_bounds(i);
+                let frac = ((target - cum) / c as f64).clamp(0.0, 1.0);
+                return (lo + (hi - lo) * frac).clamp(self.min, self.max);
+            }
+            cum = next;
+        }
+        self.max
+    }
+
+    /// Merges `other` into `self` (element-wise bucket add).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Merged copy of two histograms.
+    #[must_use]
+    pub fn merged(&self, other: &Histogram) -> Histogram {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+
+    /// Compact serializable summary with the standard percentiles.
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Serializable percentile summary of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 90th-percentile estimate.
+    pub p90: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+}
+
+/// One named counter in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Metric name.
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+/// One named gauge in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: String,
+    /// Current value.
+    pub value: f64,
+}
+
+/// One named histogram in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: String,
+    /// Percentile summary.
+    pub summary: HistogramSummary,
+}
+
+/// A serializable point-in-time view of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters, in insertion order.
+    pub counters: Vec<CounterSample>,
+    /// All gauges, in insertion order.
+    pub gauges: Vec<GaugeSample>,
+    /// All histogram summaries, in insertion order.
+    pub histograms: Vec<HistogramSample>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+fn slot<'a, T: Default>(entries: &'a mut Vec<(String, T)>, name: &str) -> &'a mut T {
+    // Linear scan: registries hold tens of metrics, and insertion order
+    // must be preserved for stable exports.
+    if let Some(i) = entries.iter().position(|(n, _)| n == name) {
+        return &mut entries[i].1;
+    }
+    entries.push((name.to_string(), T::default()));
+    &mut entries.last_mut().expect("just pushed").1
+}
+
+/// Thread-safe, insertion-ordered registry of counters, gauges and
+/// histograms. All methods take `&self`; metrics are created on first
+/// touch.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        *slot(&mut inner.counters, name) += delta;
+    }
+
+    /// Current value of a counter (0 when never touched).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        let inner = self.inner.lock().expect("metrics lock");
+        inner
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Sets the named gauge.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        *slot(&mut inner.gauges, name) = value;
+    }
+
+    /// Current value of a gauge (0 when never set).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> f64 {
+        let inner = self.inner.lock().expect("metrics lock");
+        inner
+            .gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0.0, |(_, v)| *v)
+    }
+
+    /// Records one sample into the named histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        slot(&mut inner.histograms, name).observe(value);
+    }
+
+    /// A copy of the named histogram, if any sample was recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        let inner = self.inner.lock().expect("metrics lock");
+        inner
+            .histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h.clone())
+    }
+
+    /// All histograms in insertion order.
+    #[must_use]
+    pub fn histograms(&self) -> Vec<(String, Histogram)> {
+        self.inner.lock().expect("metrics lock").histograms.clone()
+    }
+
+    /// A serializable snapshot of every metric, in insertion order.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics lock");
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(name, value)| CounterSample {
+                    name: name.clone(),
+                    value: *value,
+                })
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(name, value)| GaugeSample {
+                    name: name.clone(),
+                    value: *value,
+                })
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(name, histogram)| HistogramSample {
+                    name: name.clone(),
+                    summary: histogram.summary(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 2.5).abs() < 1e-12);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 4.0);
+        let s = h.summary();
+        assert!(s.p50 >= 1.0 && s.p50 <= 4.0);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+        assert!(s.p99 <= 4.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn negative_and_non_finite_samples_are_clamped() {
+        let mut h = Histogram::new();
+        h.observe(-5.0);
+        h.observe(f64::NAN);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_widens_range() {
+        let mut a = Histogram::new();
+        a.observe(1.0);
+        a.observe(100.0);
+        let mut b = Histogram::new();
+        b.observe(0.5);
+        b.observe(5000.0);
+        let m = a.merged(&b);
+        assert_eq!(m.count(), 4);
+        assert_eq!(m.min(), 0.5);
+        assert_eq!(m.max(), 5000.0);
+        assert!((m.sum() - 5101.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        let mut h = Histogram::new();
+        for i in 0..1000 {
+            h.observe(f64::from(i));
+        }
+        // Buckets are power-of-two wide, so percentile estimates are
+        // coarse; they must still land in the right region.
+        let p50 = h.quantile(0.5);
+        assert!((250.0..=750.0).contains(&p50), "p50 {p50}");
+        assert!(h.quantile(0.99) >= p50);
+        assert!(h.quantile(1.0) <= 999.0);
+    }
+
+    #[test]
+    fn registry_preserves_insertion_order() {
+        let r = MetricsRegistry::new();
+        r.observe("zulu", 1.0);
+        r.observe("alpha", 2.0);
+        r.add("hits", 3);
+        r.set_gauge("load", 0.5);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.histograms.iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(names, vec!["zulu", "alpha"]);
+        assert_eq!(r.counter("hits"), 3);
+        assert_eq!(r.counter("misses"), 0);
+        assert!((r.gauge("load") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let r = MetricsRegistry::new();
+        r.add("jobs", 8);
+        r.observe("run_ms", 12.5);
+        r.observe("run_ms", 30.0);
+        let snap = r.snapshot();
+        let json = serde::json::to_string(&snap);
+        let back: MetricsSnapshot = serde::json::from_str(&json).expect("round trips");
+        assert_eq!(back, snap);
+    }
+}

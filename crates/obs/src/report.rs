@@ -1,0 +1,148 @@
+//! Human-readable trace summaries for `forge report`.
+//!
+//! Rebuilds per-stage histograms from a parsed Chrome trace and renders
+//! a breakdown table: flow stages first (in first-occurrence order, so
+//! they read in pipeline order), then every other span category. All
+//! percentiles come from the [`Histogram`](crate::Histogram) registry —
+//! the same estimator the live metrics path uses.
+
+use crate::chrome::ParsedTrace;
+use crate::metrics::MetricsRegistry;
+
+fn push_row(out: &mut String, name: &str, summary: &crate::metrics::HistogramSummary) {
+    out.push_str(&format!(
+        "  {name:<14} {count:>5} {total:>12.2} {mean:>10.2} {p50:>10.2} {p90:>10.2} {p99:>10.2}\n",
+        name = name,
+        count = summary.count,
+        total = summary.mean * summary.count as f64,
+        mean = summary.mean,
+        p50 = summary.p50,
+        p90 = summary.p90,
+        p99 = summary.p99,
+    ));
+}
+
+fn section(out: &mut String, title: &str, rows: &[(String, crate::metrics::HistogramSummary)]) {
+    if rows.is_empty() {
+        return;
+    }
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "  {:<14} {:>5} {:>12} {:>10} {:>10} {:>10} {:>10}\n",
+        "span", "count", "total ms", "mean ms", "p50 ms", "p90 ms", "p99 ms"
+    ));
+    for (name, summary) in rows {
+        push_row(out, name, summary);
+    }
+    out.push('\n');
+}
+
+/// Renders a per-stage time breakdown of a parsed trace.
+///
+/// Spans are grouped by `category/name`; durations are reported in
+/// milliseconds with p50/p90/p99 percentile estimates.
+#[must_use]
+pub fn render_trace_report(trace: &ParsedTrace) -> String {
+    let registry = MetricsRegistry::new();
+    let mut spans = trace.spans.clone();
+    spans.sort_by(|a, b| a.start_us.total_cmp(&b.start_us));
+    let mut total_span_ms = 0.0;
+    for span in &spans {
+        let dur_ms = span.dur_us / 1e3;
+        registry.observe(&format!("{}/{}", span.category, span.name), dur_ms);
+        total_span_ms += dur_ms;
+    }
+
+    let mut flow_rows = Vec::new();
+    let mut other_rows = Vec::new();
+    for (key, histogram) in registry.histograms() {
+        let (category, name) = key.split_once('/').unwrap_or(("", key.as_str()));
+        let row = (name.to_string(), histogram.summary());
+        if category == "flow" {
+            flow_rows.push(row);
+        } else {
+            other_rows.push((format!("{category}/{name}"), row.1));
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace summary: {} spans, {} instants, {:.2} ms total span time\n\n",
+        spans.len(),
+        trace.instants.len(),
+        total_span_ms
+    ));
+    section(&mut out, "flow stages", &flow_rows);
+    section(&mut out, "other spans", &other_rows);
+    if !trace.instants.is_empty() {
+        let counts = {
+            let r = MetricsRegistry::new();
+            for instant in &trace.instants {
+                r.add(&format!("{}/{}", instant.category, instant.name), 1);
+            }
+            r.snapshot().counters
+        };
+        out.push_str("events\n");
+        for counter in counts {
+            out.push_str(&format!("  {:<24} {:>6}\n", counter.name, counter.value));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{InstantRecord, SpanRecord};
+
+    fn span(id: u64, name: &str, category: &str, start_us: f64, dur_us: f64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent: 0,
+            name: name.to_string(),
+            category: category.to_string(),
+            track: 0,
+            start_us,
+            dur_us,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn flow_stages_lead_with_percentiles() {
+        let trace = ParsedTrace {
+            spans: vec![
+                span(1, "synthesize", "flow", 0.0, 2000.0),
+                span(2, "route", "flow", 2000.0, 3000.0),
+                span(3, "counter8", "job", 0.0, 5000.0),
+                span(4, "synthesize", "flow", 5000.0, 2500.0),
+            ],
+            instants: vec![InstantRecord {
+                name: "cache-hit".to_string(),
+                category: "exec".to_string(),
+                track: 0,
+                at_us: 10.0,
+                detail: String::new(),
+            }],
+        };
+        let text = render_trace_report(&trace);
+        assert!(text.contains("flow stages"), "{text}");
+        assert!(text.contains("p50 ms"), "{text}");
+        assert!(text.contains("p90 ms"), "{text}");
+        assert!(text.contains("p99 ms"), "{text}");
+        assert!(text.contains("synthesize"), "{text}");
+        assert!(text.contains("job/counter8"), "{text}");
+        assert!(text.contains("exec/cache-hit"), "{text}");
+        // synthesize appears before route: first-occurrence order.
+        let synth = text.find("synthesize").expect("synth row");
+        let route = text.find("route").expect("route row");
+        assert!(synth < route);
+    }
+
+    #[test]
+    fn empty_trace_renders_header_only() {
+        let text = render_trace_report(&ParsedTrace::default());
+        assert!(text.contains("0 spans"));
+        assert!(!text.contains("flow stages"));
+    }
+}

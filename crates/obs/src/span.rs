@@ -1,0 +1,97 @@
+//! Span and instant-event records.
+//!
+//! A *span* is a named interval of (wall-clock or virtual) time with an
+//! explicit parent, forming trees that exporters render as nested bars
+//! (Chrome trace viewer) or folded stacks (flamegraphs). An *instant* is
+//! a zero-duration marker — a cache hit, a retry, a job arrival.
+//!
+//! All timestamps are microseconds relative to the owning
+//! [`Tracer`](crate::Tracer)'s epoch, so traces from concurrent threads
+//! share one time axis.
+
+use serde::Serialize;
+
+/// Identity of a recorded span; `SpanId::NONE` means "no parent".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The absent parent (root spans).
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Whether this id refers to an actual span.
+    #[must_use]
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SpanRecord {
+    /// Unique id within the trace (monotonic, 1-based; 0 is reserved).
+    pub id: u64,
+    /// Parent span id, or 0 for roots.
+    pub parent: u64,
+    /// Span name (e.g. a flow stage or job name).
+    pub name: String,
+    /// Category: `flow`, `job`, `exec`, `des`, ...
+    pub category: String,
+    /// Track (Chrome `tid`): 0 = coordinator, workers/universities above.
+    pub track: usize,
+    /// Start, in microseconds since the tracer epoch.
+    pub start_us: f64,
+    /// Duration in microseconds (never negative).
+    pub dur_us: f64,
+    /// Free-form result annotation.
+    pub detail: String,
+}
+
+impl SpanRecord {
+    /// End timestamp, in microseconds since the tracer epoch.
+    #[must_use]
+    pub fn end_us(&self) -> f64 {
+        self.start_us + self.dur_us
+    }
+}
+
+/// One instantaneous event.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct InstantRecord {
+    /// Event name (e.g. `cache-hit`, `retry`, `arrival`).
+    pub name: String,
+    /// Category, as for spans.
+    pub category: String,
+    /// Track the event belongs to.
+    pub track: usize,
+    /// Timestamp, in microseconds since the tracer epoch.
+    pub at_us: f64,
+    /// Free-form annotation.
+    pub detail: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_id_none_is_absent() {
+        assert!(!SpanId::NONE.is_some());
+        assert!(SpanId(3).is_some());
+    }
+
+    #[test]
+    fn end_is_start_plus_duration() {
+        let record = SpanRecord {
+            id: 1,
+            parent: 0,
+            name: "s".into(),
+            category: "c".into(),
+            track: 0,
+            start_us: 10.0,
+            dur_us: 5.5,
+            detail: String::new(),
+        };
+        assert!((record.end_us() - 15.5).abs() < 1e-12);
+    }
+}

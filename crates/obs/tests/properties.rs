@@ -1,0 +1,201 @@
+//! Property tests for the observability substrate: span trees produced
+//! by arbitrarily interleaved guard open/close sequences stay
+//! well-formed, histogram merge behaves like a commutative monoid, and
+//! Chrome trace JSON round-trips losslessly through the vendored serde.
+
+use chipforge_obs::{
+    folded_stacks, parse_chrome_json, trace_json, Histogram, SpanGuard, SpanId, Tracer,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Drives real `SpanGuard`s from a random open/close script. `true`
+/// opens a span (child of the innermost open one), `false` closes the
+/// innermost. Closes on an empty stack and the final drain keep every
+/// script balanced.
+fn run_script(tracer: &Tracer, ops: &[bool]) -> usize {
+    let mut stack: Vec<SpanGuard> = Vec::new();
+    let mut opened = 0;
+    for (i, &open) in ops.iter().enumerate() {
+        if open || stack.is_empty() {
+            let name = format!("op{i}");
+            let span = match stack.last() {
+                Some(parent) => tracer.child_span(&name, "prop", parent.id()),
+                None => tracer.span(&name, "prop"),
+            };
+            stack.push(span);
+            opened += 1;
+        } else {
+            stack.pop().expect("stack checked non-empty").finish();
+        }
+    }
+    while let Some(span) = stack.pop() {
+        span.finish();
+    }
+    opened
+}
+
+/// Values that survive a JSON round-trip exactly: non-negative with a
+/// fixed thousandth resolution, far inside f64's exact-integer range.
+fn any_values(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    vec(
+        (0u64..4_000_000_000).prop_map(|v| v as f64 / 1000.0),
+        0..max_len,
+    )
+}
+
+fn histogram_of(values: &[f64]) -> Histogram {
+    let mut hist = Histogram::new();
+    for &v in values {
+        hist.observe(v);
+    }
+    hist
+}
+
+fn assert_histograms_equal(a: &Histogram, b: &Histogram) {
+    assert_eq!(a.bucket_counts(), b.bucket_counts());
+    assert_eq!(a.count(), b.count());
+    assert_eq!(a.min(), b.min());
+    assert_eq!(a.max(), b.max());
+    // f64 addition is only approximately associative.
+    let scale = a.sum().abs().max(b.sum().abs()).max(1.0);
+    assert!(
+        (a.sum() - b.sum()).abs() <= scale * 1e-9,
+        "sums diverge: {} vs {}",
+        a.sum(),
+        b.sum()
+    );
+}
+
+proptest! {
+    #[test]
+    fn span_scripts_produce_balanced_well_formed_trees(ops in vec(any::<bool>(), 1..64)) {
+        let tracer = Tracer::new();
+        let opened = run_script(&tracer, &ops);
+        let spans = tracer.spans();
+        // Balanced: every opened guard recorded exactly one span.
+        prop_assert_eq!(spans.len(), opened);
+
+        let by_id: HashMap<u64, _> = spans.iter().map(|s| (s.id, s)).collect();
+        prop_assert_eq!(by_id.len(), spans.len(), "span ids are unique");
+        for span in &spans {
+            prop_assert!(span.dur_us >= 0.0, "negative duration on {}", span.name);
+            if span.parent == SpanId::NONE.0 {
+                continue;
+            }
+            let parent = by_id
+                .get(&span.parent)
+                .expect("parent id refers to a recorded span");
+            // Ids are allocated at open, so a parent always precedes its
+            // children.
+            prop_assert!(parent.id < span.id, "parent allocated before child");
+            // A child opens after its parent and is closed (by the
+            // stack discipline) before it; tolerance covers f64
+            // microsecond rounding only.
+            let eps = 0.5;
+            prop_assert!(span.start_us + eps >= parent.start_us);
+            prop_assert!(span.end_us() <= parent.end_us() + eps);
+        }
+    }
+
+    #[test]
+    fn span_scripts_never_break_the_folded_stack_export(ops in vec(any::<bool>(), 1..64)) {
+        let tracer = Tracer::new();
+        let opened = run_script(&tracer, &ops);
+        let folded = folded_stacks(&tracer.spans());
+        for line in folded.lines() {
+            let (stack, self_us) = line.rsplit_once(' ').expect("`stack self_us` shape");
+            prop_assert!(!stack.is_empty());
+            let parsed: f64 = self_us.parse().expect("numeric self time");
+            prop_assert!(parsed >= 0.0);
+        }
+        prop_assert!(opened == 0 || !folded.is_empty());
+    }
+
+    #[test]
+    fn histogram_merge_is_associative(
+        a in any_values(40),
+        b in any_values(40),
+        c in any_values(40),
+    ) {
+        let (a, b, c) = (histogram_of(&a), histogram_of(&b), histogram_of(&c));
+        let left = a.merged(&b).merged(&c);
+        let right = a.merged(&b.merged(&c));
+        assert_histograms_equal(&left, &right);
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative_with_empty_identity(
+        a in any_values(40),
+        b in any_values(40),
+    ) {
+        let (a, b) = (histogram_of(&a), histogram_of(&b));
+        assert_histograms_equal(&a.merged(&b), &b.merged(&a));
+        assert_histograms_equal(&a.merged(&Histogram::new()), &a);
+    }
+
+    #[test]
+    fn histogram_merge_matches_observing_the_concatenation(
+        a in any_values(60),
+        b in any_values(60),
+    ) {
+        let merged = histogram_of(&a).merged(&histogram_of(&b));
+        let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        let whole = histogram_of(&all);
+        assert_histograms_equal(&merged, &whole);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn chrome_trace_json_round_trips_virtual_spans(
+        spans in vec(
+            (
+                "[a-z][a-z0-9_]{0,8}",
+                0usize..4,
+                0u32..10_000_000,
+                0u32..10_000_000,
+            ),
+            1..24,
+        ),
+        instants in vec(("[a-z][a-z0-9_]{0,8}", 0usize..4, 0u32..10_000_000), 0..12),
+    ) {
+        let tracer = Tracer::new();
+        let mut recorded = Vec::new();
+        let mut parent = SpanId::NONE;
+        for (name, track, start, dur) in &spans {
+            let id = tracer.virtual_span(
+                parent,
+                name,
+                "prop",
+                *track,
+                f64::from(*start),
+                f64::from(*dur),
+                "detail",
+            );
+            recorded.push((id.0, parent.0, name.clone(), *track, *start, *dur));
+            parent = id;
+        }
+        for (name, track, at) in &instants {
+            tracer.virtual_instant(name, "prop", *track, f64::from(*at), "");
+        }
+
+        let parsed = parse_chrome_json(&trace_json(&tracer)).expect("own output parses");
+        prop_assert_eq!(parsed.spans.len(), recorded.len());
+        prop_assert_eq!(parsed.instants.len(), instants.len());
+        for (id, parent, name, track, start, dur) in &recorded {
+            let span = parsed
+                .spans
+                .iter()
+                .find(|s| s.id == *id)
+                .expect("span survives the round trip");
+            prop_assert_eq!(span.parent, *parent);
+            prop_assert_eq!(&span.name, name);
+            prop_assert_eq!(span.track, *track);
+            prop_assert_eq!(span.start_us, f64::from(*start));
+            prop_assert_eq!(span.dur_us, f64::from(*dur));
+        }
+    }
+}

@@ -91,6 +91,27 @@ fn faulty_jobs_are_isolated_from_the_rest_of_the_batch() {
 }
 
 #[test]
+fn lru_evictions_surface_in_the_json_report() {
+    // A 2-artifact cache over 8 distinct jobs must evict 6 times; the
+    // count is part of the serialized execution report.
+    let engine = BatchEngine::new(EngineConfig {
+        workers: 1,
+        cache_capacity: 2,
+        ..EngineConfig::default()
+    });
+    let batch = engine.run_batch(classroom_jobs());
+    assert_eq!(batch.report.cache.evictions, 6);
+    assert_eq!(batch.report.cache.entries, 2);
+    let parsed = serde::json::parse(&batch.report.to_json()).expect("report is valid JSON");
+    let evictions = parsed
+        .get("cache")
+        .get("evictions")
+        .as_u64()
+        .expect("evictions field present in JSON");
+    assert_eq!(evictions, batch.report.cache.evictions);
+}
+
+#[test]
 fn json_report_carries_stage_times_and_worker_utilization() {
     let engine = BatchEngine::new(EngineConfig::with_workers(2));
     let batch = engine.run_batch(classroom_jobs());

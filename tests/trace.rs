@@ -1,0 +1,187 @@
+//! End-to-end tracing through the `forge` binary: `run --trace` and
+//! `batch --trace` must emit Chrome trace-event JSON that round-trips
+//! through the vendored serde parser, and `forge report` must summarize
+//! it with per-stage percentiles.
+
+use chipforge::obs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn forge() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_forge"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("chipforge-trace-{}-{name}", std::process::id()))
+}
+
+const STAGES: [&str; 8] = [
+    "elaborate",
+    "synthesize",
+    "size",
+    "place",
+    "cts",
+    "route",
+    "signoff",
+    "export",
+];
+
+#[test]
+fn run_trace_emits_chrome_json_with_every_stage() {
+    let out = temp_path("run.json");
+    let output = forge()
+        .args(["run", "counter8", "--profile", "quick", "--trace"])
+        .arg(&out)
+        .output()
+        .expect("forge run executes");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = std::fs::read_to_string(&out).expect("trace file written");
+    std::fs::remove_file(&out).ok();
+
+    let trace = obs::parse_chrome_json(&text).expect("valid Chrome trace JSON");
+    for stage in STAGES {
+        assert!(
+            trace
+                .spans
+                .iter()
+                .any(|s| s.category == "flow" && s.name == stage),
+            "missing flow span `{stage}`"
+        );
+    }
+    let root = trace
+        .spans
+        .iter()
+        .find(|s| s.category == "flow" && s.name == "flow")
+        .expect("flow root span");
+    for stage in trace.spans.iter().filter(|s| s.name != "flow") {
+        assert_eq!(
+            stage.parent, root.id,
+            "{} parented to flow root",
+            stage.name
+        );
+        assert!(stage.dur_us >= 0.0);
+    }
+    // The metrics snapshot rides along in the same document.
+    let doc = serde::json::parse(&text).expect("parses as a JSON document");
+    let histograms = doc
+        .get("metrics")
+        .get("histograms")
+        .seq()
+        .expect("metrics histograms");
+    assert!(
+        histograms
+            .iter()
+            .any(|h| h.get("name").as_str() == Some("flow.stage_ms.synthesize")),
+        "stage histogram exported"
+    );
+}
+
+#[test]
+fn batch_trace_and_report_round_trip() {
+    let manifest = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/manifests/classroom.json"
+    );
+    let out = temp_path("batch.json");
+    let output = forge()
+        .args(["batch", manifest, "--workers", "2", "--trace"])
+        .arg(&out)
+        .output()
+        .expect("forge batch executes");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = std::fs::read_to_string(&out).expect("trace file written");
+
+    let trace = obs::parse_chrome_json(&text).expect("valid Chrome trace JSON");
+    assert!(
+        trace
+            .spans
+            .iter()
+            .any(|s| s.category == "exec" && s.name == "batch"),
+        "batch root span"
+    );
+    assert!(
+        trace.spans.iter().filter(|s| s.category == "job").count() >= 9,
+        "one span per job"
+    );
+    for stage in STAGES {
+        assert!(
+            trace
+                .spans
+                .iter()
+                .any(|s| s.category == "flow" && s.name == stage),
+            "missing flow span `{stage}`"
+        );
+    }
+    // The classroom manifest resubmits counter8, so the trace must show
+    // the cache serving it.
+    assert!(
+        trace.instants.iter().any(|i| i.name == "cache-hit"),
+        "cache-hit instants present"
+    );
+    assert!(trace.instants.iter().any(|i| i.name == "enqueue"));
+
+    let report = forge()
+        .arg("report")
+        .arg(&out)
+        .output()
+        .expect("forge report executes");
+    std::fs::remove_file(&out).ok();
+    assert!(
+        report.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&report.stdout);
+    for needle in [
+        "flow stages",
+        "p50 ms",
+        "p90 ms",
+        "p99 ms",
+        "synthesize",
+        "cache-hit",
+    ] {
+        assert!(
+            stdout.contains(needle),
+            "report missing `{needle}`:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn report_rejects_traces_without_spans() {
+    let out = temp_path("empty.json");
+    std::fs::write(&out, r#"{"traceEvents": []}"#).expect("write empty trace");
+    let output = forge()
+        .arg("report")
+        .arg(&out)
+        .output()
+        .expect("forge report executes");
+    std::fs::remove_file(&out).ok();
+    assert!(!output.status.success(), "empty traces must be rejected");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("no span events"),
+        "unexpected error: {stderr}"
+    );
+}
+
+#[test]
+fn report_rejects_unparseable_input() {
+    let out = temp_path("garbage.json");
+    std::fs::write(&out, "not json at all").expect("write garbage");
+    let output = forge()
+        .arg("report")
+        .arg(&out)
+        .output()
+        .expect("forge report executes");
+    std::fs::remove_file(&out).ok();
+    assert!(!output.status.success());
+}
