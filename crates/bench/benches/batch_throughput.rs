@@ -8,7 +8,7 @@
 //! On single-core runners the two cold regimes coincide (the pool can
 //! only time-slice); the warm-cache speedup is machine-independent.
 
-use chipforge::exec::{BatchEngine, EngineConfig, JobSpec};
+use chipforge::exec::{BatchEngine, EngineConfig, JobSpec, ResilienceOptions};
 use chipforge::flow::OptimizationProfile;
 use chipforge::hdl::designs;
 use chipforge::pdk::TechnologyNode;
@@ -62,6 +62,17 @@ fn bench_batch_throughput(c: &mut Criterion) {
         b.iter(|| {
             let engine = BatchEngine::new(EngineConfig::with_workers(workers));
             engine.run_batch(batch())
+        });
+    });
+
+    // The resilience plumbing (fault plan, quarantine set, journal
+    // hooks) must cost nothing when inert: this regime is the same cold
+    // pool run through `run_batch_resilient` with everything disabled,
+    // and should stay within noise of `12_jobs_pool_cold` (budget: 5%).
+    group.bench_function("12_jobs_pool_cold_inert_resilience", |b| {
+        b.iter(|| {
+            let engine = BatchEngine::new(EngineConfig::with_workers(workers));
+            engine.run_batch_resilient(batch(), ResilienceOptions::default())
         });
     });
 

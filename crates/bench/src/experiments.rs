@@ -20,9 +20,9 @@ use chipforge::synth::{synthesize, SynthEffort, SynthOptions};
 use chipforge::{EnablementComparison, EnablementHub, Tier, TierStrategy};
 
 /// All experiment identifiers accepted by [`run_experiment`].
-pub const EXPERIMENT_IDS: [&str; 17] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "a1",
-    "a2", "a5",
+pub const EXPERIMENT_IDS: [&str; 18] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "a1", "a2", "a5",
 ];
 
 /// Runs one experiment by id (`"e1"`..`"e10"`, `"a1"`, `"a2"`).
@@ -45,6 +45,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "e12" => e12_funding(),
         "e13" => e13_fpga_vs_asic(),
         "e14" => e14_calibrated_hub(),
+        "e15" => e15_resilience(),
         "a1" => a1_synth_effort(),
         "a2" => a2_placement_moves(),
         "a5" => a5_scan_overhead(),
@@ -784,6 +785,181 @@ pub fn e14_calibrated_hub() -> String {
     ));
     t.note("calibration replaces the 0.5/4/24 h tier guess with measured stage times");
     t.render()
+}
+
+/// E15 — resilience: injected faults, checkpoint/resume and graceful
+/// degradation in the batch engine, plus server outages in the hub
+/// simulation.
+///
+/// The exec half sweeps a seeded transient-fault rate across three
+/// policies (plain retry, quarantine, quarantine + degraded route/CTS
+/// retry) over a 24-job batch, then proves the checkpoint path: a run
+/// killed after 12 journaled jobs and resumed from its journal must
+/// reproduce the uninterrupted run's canonical report byte-for-byte.
+/// The cloud half sweeps server mean-uptime with and without requeueing
+/// interrupted jobs. Counts and turnarounds are fully deterministic,
+/// but wall-clock attempt timing keeps E15 out of the stable-table
+/// determinism test alongside E14.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn e15_resilience() -> String {
+    use chipforge::cloud::{simulate_hub, simulate_hub_resilient, HubResilience};
+    use chipforge::exec::{BatchEngine, EngineConfig, JobSpec, ResilienceOptions};
+    use chipforge::obs::Tracer;
+    use chipforge::resil::{FaultPlan, Journal, JournalWriter, OutagePlan, ResiliencePolicy};
+    use std::time::Duration;
+
+    let jobs = || -> Vec<JobSpec> {
+        let suite = designs::suite();
+        (0..24usize)
+            .map(|i| {
+                let design = &suite[i % suite.len()];
+                JobSpec::new(
+                    format!("{}-{i:02}", design.name()),
+                    design.source(),
+                    TechnologyNode::N130,
+                    OptimizationProfile::quick(),
+                )
+                .with_seed(3_000 + i as u64)
+            })
+            .collect()
+    };
+    let config = || EngineConfig {
+        workers: 4,
+        retry_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(5),
+        ..EngineConfig::default()
+    };
+
+    let mut t = Table::new(
+        "E15: batch resilience under seeded transient faults (24 jobs, seed 42)",
+        &[
+            "fault rate",
+            "policy",
+            "ok",
+            "degraded",
+            "quarantined",
+            "mean attempts",
+        ],
+    );
+    for rate in [0.0, 0.1, 0.2, 0.4] {
+        for (label, policy) in [
+            ("retry", ResiliencePolicy::inert()),
+            (
+                "quarantine",
+                ResiliencePolicy::resilient(2).without_degrade(),
+            ),
+            ("quarantine+degrade", ResiliencePolicy::resilient(2)),
+        ] {
+            let engine = BatchEngine::new(config());
+            let plan = if rate > 0.0 {
+                FaultPlan::transient(42, rate)
+            } else {
+                FaultPlan::disabled()
+            };
+            let batch = engine.run_batch_resilient(
+                jobs(),
+                ResilienceOptions {
+                    plan,
+                    policy,
+                    ..ResilienceOptions::default()
+                },
+            );
+            let totals = &batch.report.totals;
+            let attempts: u32 = batch.results.iter().map(|r| r.attempts).sum();
+            t.row(vec![
+                f(rate, 2),
+                label.to_string(),
+                totals.succeeded.to_string(),
+                totals.degraded.to_string(),
+                totals.quarantined.to_string(),
+                f(f64::from(attempts) / batch.results.len() as f64, 2),
+            ]);
+        }
+    }
+    // Checkpoint/resume proof at the 20% fault rate: kill after half
+    // the batch, resume from the journal, compare canonical reports.
+    let dir = std::env::temp_dir();
+    let clean_path = dir.join(format!("chipforge-e15-clean-{}.jsonl", std::process::id()));
+    let chaos_path = dir.join(format!("chipforge-e15-chaos-{}.jsonl", std::process::id()));
+    let options = |journal, resume, halt_after| ResilienceOptions {
+        plan: FaultPlan::transient(42, 0.2),
+        policy: ResiliencePolicy::resilient(2),
+        journal,
+        resume,
+        halt_after,
+    };
+    let clean = BatchEngine::new(config()).run_batch_resilient(
+        jobs(),
+        options(JournalWriter::create(&clean_path).ok(), None, None),
+    );
+    let halted = BatchEngine::new(config()).run_batch_resilient(
+        jobs(),
+        options(JournalWriter::create(&chaos_path).ok(), None, Some(12)),
+    );
+    let resumed = BatchEngine::new(config())
+        .run_batch_resilient(jobs(), options(None, Journal::load(&chaos_path).ok(), None));
+    t.note(format!(
+        "kill-at-12/resume reproduces the clean canonical report byte-for-byte: {}",
+        if clean.canonical_report() == resumed.canonical_report() {
+            "yes"
+        } else {
+            "NO"
+        }
+    ));
+    t.note(format!(
+        "the halted run reached {} of 24 jobs before the simulated kill",
+        halted.results.len()
+    ));
+    let _ = std::fs::remove_file(&clean_path);
+    let _ = std::fs::remove_file(&chaos_path);
+    let mut out = t.render();
+
+    let spec = WorkloadSpec::new(8, 30, 48.0, 7);
+    let mut c = Table::new(
+        "E15b: hub server outages — requeue vs lose (240 jobs, 4 servers)",
+        &[
+            "mean uptime h",
+            "requeue",
+            "completed",
+            "lost",
+            "outages",
+            "mean turnaround h",
+            "p95 h",
+        ],
+    );
+    let healthy = simulate_hub(&spec, 4, 0.0, 1.0);
+    c.row(vec![
+        "(no outages)".to_string(),
+        "-".to_string(),
+        healthy.completed.to_string(),
+        "0".to_string(),
+        "0".to_string(),
+        f(healthy.mean_turnaround_h, 1),
+        f(healthy.p95_turnaround_h, 1),
+    ]);
+    for uptime in [400.0, 200.0, 100.0] {
+        for requeue in [true, false] {
+            let resilience = HubResilience {
+                outage: Some(OutagePlan::new(9, uptime, 24.0)),
+                requeue,
+            };
+            let r = simulate_hub_resilient(&spec, 4, 0.0, 1.0, &resilience, &Tracer::disabled());
+            c.row(vec![
+                f(uptime, 0),
+                if requeue { "yes" } else { "no" }.to_string(),
+                r.completed.to_string(),
+                r.lost.to_string(),
+                r.outages.to_string(),
+                f(r.mean_turnaround_h, 1),
+                f(r.p95_turnaround_h, 1),
+            ]);
+        }
+    }
+    c.note("requeueing trades turnaround for zero lost jobs; without it, outages lose work");
+    out.push('\n');
+    out.push_str(&c.render());
+    out
 }
 
 #[cfg(test)]

@@ -39,8 +39,8 @@ mod shuttle;
 mod tier;
 
 pub use platform::{
-    simulate_hub, simulate_hub_traced, simulate_local, ScenarioResult, WorkloadSpec,
-    VIRTUAL_US_PER_HOUR,
+    simulate_hub, simulate_hub_resilient, simulate_hub_traced, simulate_local, HubResilience,
+    ScenarioResult, WorkloadSpec, VIRTUAL_US_PER_HOUR,
 };
 pub use queue::EventQueue;
 pub use shuttle::{ShuttleOutcome, ShuttleSchedule};

@@ -3,6 +3,7 @@
 use crate::queue::EventQueue;
 use crate::tier::AccessTier;
 use chipforge_obs::{SpanId, Tracer};
+use chipforge_resil::OutagePlan;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -113,6 +114,11 @@ pub struct ScenarioResult {
     pub setup_hours_total: f64,
     /// Mean busy fraction of the compute resources.
     pub utilization: f64,
+    /// Jobs lost to server outages (only nonzero when requeueing is
+    /// disabled in [`HubResilience`]).
+    pub lost: usize,
+    /// Server outage episodes over the simulated horizon.
+    pub outages: usize,
 }
 
 /// Simulates per-university local setups: each group runs its own
@@ -142,13 +148,59 @@ pub fn simulate_local(
         turnarounds,
         setup_hours_per_university * spec.universities as f64,
         busy.iter().sum::<f64>() / (horizon.max(1e-9) * spec.universities as f64),
+        0,
+        0,
     )
+}
+
+/// Resilience configuration for the hub simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HubResilience {
+    /// Seeded server outage/repair plan; `None` disables outages.
+    pub outage: Option<OutagePlan>,
+    /// Whether a job interrupted by an outage is requeued (keeping its
+    /// FIFO position within its priority class) or lost.
+    pub requeue: bool,
+}
+
+impl Default for HubResilience {
+    fn default() -> Self {
+        HubResilience {
+            outage: None,
+            requeue: true,
+        }
+    }
 }
 
 #[derive(Debug)]
 enum HubEvent {
     Arrival(usize),
-    Departure,
+    /// A service completion on `server`. Stale departures — scheduled
+    /// before the server's last outage — carry an old `epoch` and are
+    /// ignored.
+    Departure {
+        server: usize,
+        epoch: u64,
+    },
+    ServerDown(usize),
+    ServerUp(usize),
+}
+
+/// One hub flow server in the discrete-event simulation.
+struct Server {
+    up: bool,
+    /// Bumped on every outage so in-flight departures become stale.
+    epoch: u64,
+    /// Completed outage/repair cycles, indexing into the outage plan.
+    episodes: u64,
+    running: Option<Running>,
+}
+
+struct Running {
+    job: usize,
+    start: f64,
+    /// The job's original FIFO sequence number, kept across requeues.
+    seq: usize,
 }
 
 /// Simulates a centralized hub with `servers` parallel flow servers and a
@@ -185,6 +237,32 @@ pub fn simulate_hub_traced(
     compute_speed: f64,
     tracer: &Tracer,
 ) -> ScenarioResult {
+    simulate_hub_resilient(
+        spec,
+        servers,
+        hub_setup_hours,
+        compute_speed,
+        &HubResilience::default(),
+        tracer,
+    )
+}
+
+/// [`simulate_hub_traced`] under a [`HubResilience`] configuration:
+/// servers alternate seeded up/repair episodes, an outage interrupts
+/// the running job (requeued with its original FIFO position, or lost),
+/// and stale completion events from before the outage are discarded.
+/// With the default (no-outage) configuration this is numerically
+/// identical to [`simulate_hub`].
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn simulate_hub_resilient(
+    spec: &WorkloadSpec,
+    servers: usize,
+    hub_setup_hours: f64,
+    compute_speed: f64,
+    resilience: &HubResilience,
+    tracer: &Tracer,
+) -> ScenarioResult {
     let jobs = spec.jobs();
     let root = tracer.reserve_span();
     if tracer.is_enabled() {
@@ -206,72 +284,36 @@ pub fn simulate_hub_traced(
             );
         }
     }
+    let mut pool: Vec<Server> = (0..servers)
+        .map(|_| Server {
+            up: true,
+            epoch: 0,
+            episodes: 0,
+            running: None,
+        })
+        .collect();
+    if let Some(plan) = resilience.outage {
+        for s in 0..servers {
+            queue.push(plan.uptime_h(s, 0), HubEvent::ServerDown(s));
+        }
+    }
     // Waiting jobs: (priority, fifo seq, job index).
     let mut waiting: Vec<(u8, usize, usize)> = Vec::new();
-    let mut free_servers = servers;
-    let mut turnarounds = vec![0.0f64; jobs.len()];
+    let mut turnarounds: Vec<Option<f64>> = vec![None; jobs.len()];
+    // When each job last became dispatchable: its arrival, or the
+    // moment an outage requeued it.
+    let mut ready: Vec<f64> = jobs.iter().map(|j| j.1).collect();
     let mut busy = 0.0f64;
     let mut horizon = 0.0f64;
     let mut fifo = 0usize;
-    // Dispatches waiting jobs onto free servers: lowest priority value
-    // first (interactive tiers), FIFO within a class.
-    #[allow(clippy::too_many_arguments)] // internal helper threading sim state
-    fn dispatch(
-        now: f64,
-        jobs: &[(usize, f64, AccessTier, f64)],
-        compute_speed: f64,
-        waiting: &mut Vec<(u8, usize, usize)>,
-        free: &mut usize,
-        busy: &mut f64,
-        turnarounds: &mut [f64],
-        queue: &mut EventQueue<HubEvent>,
-        tracer: &Tracer,
-        root: SpanId,
-    ) {
-        while *free > 0 && !waiting.is_empty() {
-            let best = waiting
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, (p, s, _))| (*p, *s))
-                .map(|(i, _)| i)
-                .expect("nonempty");
-            let (_, _, job_index) = waiting.remove(best);
-            let (university, arrival, tier, raw_service) = jobs[job_index];
-            let service = raw_service / compute_speed.max(1e-9);
-            *free -= 1;
-            *busy += service;
-            turnarounds[job_index] = now + service - arrival;
-            queue.push(now + service, HubEvent::Departure);
-            if tracer.is_enabled() {
-                let track = university + 1;
-                let wait = now - arrival;
-                if wait > 0.0 {
-                    tracer.virtual_span(
-                        root,
-                        "queue",
-                        "des",
-                        track,
-                        arrival * VIRTUAL_US_PER_HOUR,
-                        wait * VIRTUAL_US_PER_HOUR,
-                        &format!("job {job_index}"),
-                    );
-                }
-                tracer.virtual_span(
-                    root,
-                    "service",
-                    "des",
-                    track,
-                    now * VIRTUAL_US_PER_HOUR,
-                    service * VIRTUAL_US_PER_HOUR,
-                    &format!("job {job_index}, priority {}", tier.priority()),
-                );
-                tracer.observe("cloud.queue_wait_h", wait);
-                tracer.observe("cloud.turnaround_h", turnarounds[job_index]);
-                tracer.add("cloud.jobs", 1);
-            }
-        }
-    }
-    while let Some((now, event)) = queue.pop() {
+    let mut remaining = jobs.len();
+    let mut lost = 0usize;
+    let mut outages = 0usize;
+
+    while remaining > 0 {
+        let Some((now, event)) = queue.pop() else {
+            break;
+        };
         horizon = horizon.max(now);
         match event {
             HubEvent::Arrival(i) => {
@@ -279,22 +321,155 @@ pub fn simulate_hub_traced(
                 waiting.push((tier.priority(), fifo, i));
                 fifo += 1;
             }
-            HubEvent::Departure => {
-                free_servers += 1;
+            HubEvent::Departure { server, epoch } => {
+                // Only the epoch the departure was scheduled under may
+                // complete it; outages have bumped it otherwise.
+                if pool[server].epoch == epoch {
+                    if let Some(run) = pool[server].running.take() {
+                        let (university, arrival, tier, raw_service) = jobs[run.job];
+                        let service = raw_service / compute_speed.max(1e-9);
+                        busy += service;
+                        let turnaround = now - arrival;
+                        turnarounds[run.job] = Some(turnaround);
+                        remaining -= 1;
+                        if tracer.is_enabled() {
+                            tracer.virtual_span(
+                                root,
+                                "service",
+                                "des",
+                                university + 1,
+                                run.start * VIRTUAL_US_PER_HOUR,
+                                service * VIRTUAL_US_PER_HOUR,
+                                &format!("job {}, priority {}", run.job, tier.priority()),
+                            );
+                            tracer.observe("cloud.turnaround_h", turnaround);
+                            tracer.add("cloud.jobs", 1);
+                        }
+                    }
+                }
+            }
+            HubEvent::ServerDown(s) => {
+                if pool[s].up {
+                    pool[s].up = false;
+                    pool[s].epoch += 1;
+                    outages += 1;
+                    if tracer.is_enabled() {
+                        tracer.virtual_instant(
+                            "server-down",
+                            "des",
+                            0,
+                            now * VIRTUAL_US_PER_HOUR,
+                            &format!("server {s}"),
+                        );
+                        tracer.add("cloud.outages", 1);
+                    }
+                    if let Some(run) = pool[s].running.take() {
+                        busy += now - run.start;
+                        if resilience.requeue {
+                            ready[run.job] = now;
+                            waiting.push((jobs[run.job].2.priority(), run.seq, run.job));
+                            if tracer.is_enabled() {
+                                tracer.virtual_instant(
+                                    "requeue",
+                                    "des",
+                                    jobs[run.job].0 + 1,
+                                    now * VIRTUAL_US_PER_HOUR,
+                                    &format!("job {}", run.job),
+                                );
+                                tracer.add("cloud.requeued", 1);
+                            }
+                        } else {
+                            lost += 1;
+                            remaining -= 1;
+                            if tracer.is_enabled() {
+                                tracer.virtual_instant(
+                                    "job-lost",
+                                    "des",
+                                    jobs[run.job].0 + 1,
+                                    now * VIRTUAL_US_PER_HOUR,
+                                    &format!("job {}", run.job),
+                                );
+                                tracer.add("cloud.jobs_lost", 1);
+                            }
+                        }
+                    }
+                    if let Some(plan) = resilience.outage {
+                        queue.push(
+                            now + plan.repair_h(s, pool[s].episodes),
+                            HubEvent::ServerUp(s),
+                        );
+                    }
+                }
+            }
+            HubEvent::ServerUp(s) => {
+                if !pool[s].up {
+                    pool[s].up = true;
+                    pool[s].episodes += 1;
+                    if tracer.is_enabled() {
+                        tracer.virtual_instant(
+                            "server-up",
+                            "des",
+                            0,
+                            now * VIRTUAL_US_PER_HOUR,
+                            &format!("server {s}"),
+                        );
+                    }
+                    // Only chain the next outage while work remains, so
+                    // an idle simulation terminates.
+                    if let Some(plan) = resilience.outage {
+                        if remaining > 0 {
+                            queue.push(
+                                now + plan.uptime_h(s, pool[s].episodes),
+                                HubEvent::ServerDown(s),
+                            );
+                        }
+                    }
+                }
             }
         }
-        dispatch(
-            now,
-            &jobs,
-            compute_speed,
-            &mut waiting,
-            &mut free_servers,
-            &mut busy,
-            &mut turnarounds,
-            &mut queue,
-            tracer,
-            root,
-        );
+        // Dispatch waiting jobs onto free up servers: lowest priority
+        // value first (interactive tiers), FIFO within a class.
+        while !waiting.is_empty() {
+            let Some(server) = pool.iter().position(|s| s.up && s.running.is_none()) else {
+                break;
+            };
+            let best = waiting
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (p, s, _))| (*p, *s))
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            let (_, seq, job_index) = waiting.remove(best);
+            let (university, _, _, raw_service) = jobs[job_index];
+            let service = raw_service / compute_speed.max(1e-9);
+            pool[server].running = Some(Running {
+                job: job_index,
+                start: now,
+                seq,
+            });
+            queue.push(
+                now + service,
+                HubEvent::Departure {
+                    server,
+                    epoch: pool[server].epoch,
+                },
+            );
+            if tracer.is_enabled() {
+                let wait = now - ready[job_index];
+                if wait > 0.0 {
+                    tracer.virtual_span(
+                        root,
+                        "queue",
+                        "des",
+                        university + 1,
+                        ready[job_index] * VIRTUAL_US_PER_HOUR,
+                        wait * VIRTUAL_US_PER_HOUR,
+                        &format!("job {job_index}"),
+                    );
+                }
+                tracer.observe("cloud.queue_wait_h", wait);
+            }
+        }
     }
     if tracer.is_enabled() {
         tracer.record_virtual_span(
@@ -309,13 +484,21 @@ pub fn simulate_hub_traced(
         );
     }
     summarize(
-        turnarounds,
+        turnarounds.into_iter().flatten().collect(),
         hub_setup_hours,
         busy / (horizon.max(1e-9) * servers as f64),
+        lost,
+        outages,
     )
 }
 
-fn summarize(mut turnarounds: Vec<f64>, setup_hours: f64, utilization: f64) -> ScenarioResult {
+fn summarize(
+    mut turnarounds: Vec<f64>,
+    setup_hours: f64,
+    utilization: f64,
+    lost: usize,
+    outages: usize,
+) -> ScenarioResult {
     let completed = turnarounds.len();
     let mean = if completed == 0 {
         0.0
@@ -334,6 +517,8 @@ fn summarize(mut turnarounds: Vec<f64>, setup_hours: f64, utilization: f64) -> S
         p95_turnaround_h: p95,
         setup_hours_total: setup_hours,
         utilization: utilization.clamp(0.0, 1.0),
+        lost,
+        outages,
     }
 }
 
@@ -495,5 +680,67 @@ mod tests {
         let s = spec();
         let r = simulate_hub(&s, 3, 0.0, 1.0);
         assert!((0.0..=1.0).contains(&r.utilization));
+    }
+
+    #[test]
+    fn default_resilience_is_numerically_inert() {
+        let s = spec();
+        let plain = simulate_hub(&s, 4, 10.0, 1.0);
+        let resilient = simulate_hub_resilient(
+            &s,
+            4,
+            10.0,
+            1.0,
+            &HubResilience::default(),
+            &Tracer::disabled(),
+        );
+        assert_eq!(plain, resilient);
+        assert_eq!(plain.lost, 0);
+        assert_eq!(plain.outages, 0);
+    }
+
+    #[test]
+    fn outages_with_requeue_complete_every_job_but_slower() {
+        let s = spec();
+        let healthy = simulate_hub(&s, 4, 0.0, 1.0);
+        let shaky = HubResilience {
+            outage: Some(OutagePlan::new(9, 150.0, 24.0)),
+            requeue: true,
+        };
+        let r = simulate_hub_resilient(&s, 4, 0.0, 1.0, &shaky, &Tracer::disabled());
+        assert_eq!(r.completed, 8 * 30, "requeueing loses no jobs");
+        assert_eq!(r.lost, 0);
+        assert!(r.outages > 0, "the outage plan fired");
+        assert!(
+            r.mean_turnaround_h > healthy.mean_turnaround_h,
+            "outages cost turnaround: {} vs {}",
+            r.mean_turnaround_h,
+            healthy.mean_turnaround_h
+        );
+    }
+
+    #[test]
+    fn outages_without_requeue_lose_interrupted_jobs() {
+        let s = spec();
+        let brittle = HubResilience {
+            outage: Some(OutagePlan::new(9, 150.0, 24.0)),
+            requeue: false,
+        };
+        let r = simulate_hub_resilient(&s, 4, 0.0, 1.0, &brittle, &Tracer::disabled());
+        assert!(r.lost > 0, "interrupted jobs are lost without requeue");
+        assert_eq!(r.completed + r.lost, 8 * 30, "every job is accounted for");
+    }
+
+    #[test]
+    fn outage_simulation_is_deterministic() {
+        let s = spec();
+        let shaky = HubResilience {
+            outage: Some(OutagePlan::new(9, 150.0, 24.0)),
+            requeue: true,
+        };
+        assert_eq!(
+            simulate_hub_resilient(&s, 4, 0.0, 1.0, &shaky, &Tracer::disabled()),
+            simulate_hub_resilient(&s, 4, 0.0, 1.0, &shaky, &Tracer::disabled())
+        );
     }
 }

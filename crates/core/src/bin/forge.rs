@@ -6,6 +6,10 @@
 //!           [--liberty <out.lib>] [--trace <out.json>] [--flame <out.txt>]
 //! forge batch <manifest.json> [--workers <n>] [--timeout-ms <ms>]
 //!           [--retries <n>] [--report <out.json>] [--strict]
+//!           [--journal <out.jsonl>] [--resume <journal.jsonl>]
+//!           [--fault-rate <p>] [--fault-seed <n>] [--quarantine-after <n>]
+//!           [--failure-budget <n>] [--no-degrade] [--halt-after <k>]
+//!           [--canonical-report <out.json>]
 //!           [--trace <out.json>] [--flame <out.txt>]
 //! forge report <trace.json>        # per-stage breakdown of a trace
 //! forge tiers <file.fhdl>          # run all three tier strategies
@@ -13,12 +17,13 @@
 //! forge designs                    # built-in benchmark designs
 //! ```
 
-use chipforge::exec::{BatchEngine, EngineConfig, Fault, JobSpec, JobStatus};
+use chipforge::exec::{BatchEngine, EngineConfig, Fault, JobSpec, JobStatus, ResilienceOptions};
 use chipforge::flow::{run_flow_traced, FlowConfig, OptimizationProfile};
 use chipforge::hdl::designs;
 use chipforge::netlist::verilog;
 use chipforge::obs::{self, Tracer};
 use chipforge::pdk::{liberty, LibraryKind, Pdk, TechnologyNode};
+use chipforge::resil::{FaultPlan, Journal, JournalWriter, ResiliencePolicy};
 use chipforge::{EnablementHub, Tier, TierStrategy};
 use serde::json;
 use serde::Value;
@@ -63,6 +68,10 @@ USAGE:
             [--trace <out.json>] [--flame <out.txt>]
   forge batch <manifest.json> [--workers <n>] [--timeout-ms <ms>]
             [--retries <n>] [--report <out.json>] [--strict]
+            [--journal <out.jsonl>] [--resume <journal.jsonl>]
+            [--fault-rate <p>] [--fault-seed <n>] [--quarantine-after <n>]
+            [--failure-budget <n>] [--no-degrade] [--halt-after <k>]
+            [--canonical-report <out.json>]
             [--trace <out.json>] [--flame <out.txt>]
   forge report <trace.json> [--flame <out.txt>]
   forge tiers <file.fhdl>
@@ -72,6 +81,15 @@ USAGE:
 `--trace` writes Chrome trace-event JSON (open in Perfetto or
 about://tracing); `--flame` writes flamegraph folded stacks; `forge
 report` summarizes a trace with p50/p90/p99 per stage.
+
+Resilience: `--journal` checkpoints completed jobs to an fsynced JSONL
+file and `--resume` skips jobs already recorded there; `--fault-rate`
+injects seeded transient faults (deterministic per `--fault-seed`);
+`--quarantine-after` caps attempts before a job is quarantined;
+`--failure-budget` fail-fasts the batch; `--no-degrade` disables the
+relaxed route/CTS retry; `--halt-after <k>` stops after k journaled
+jobs (simulates a mid-batch kill); `--canonical-report` writes the
+scheduling-independent JSON report used to verify resumed runs.
 ";
 
 /// One accepted flag: its name and whether it takes a value.
@@ -275,6 +293,7 @@ fn manifest_job(entry: &Value, index: usize) -> Result<Vec<JobSpec>, String> {
         None => {}
         Some("panic") => spec = spec.with_fault(Fault::Panic),
         Some("hang") => spec = spec.with_fault(Fault::Hang(3_600_000)),
+        Some("transient") => spec = spec.with_fault(Fault::Transient(1)),
         Some(other) => return Err(format!("{}: unknown fault `{other}`", context())),
     }
     // `copies` models resubmissions: identical specs that should be
@@ -283,6 +302,7 @@ fn manifest_job(entry: &Value, index: usize) -> Result<Vec<JobSpec>, String> {
     Ok(vec![spec; copies])
 }
 
+#[allow(clippy::too_many_lines)]
 fn cmd_batch(args: &[String]) -> Result<(), String> {
     const FLAGS: &[FlagSpec] = &[
         value_flag("workers"),
@@ -292,6 +312,15 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         value_flag("trace"),
         value_flag("flame"),
         switch("strict"),
+        value_flag("journal"),
+        value_flag("resume"),
+        value_flag("fault-rate"),
+        value_flag("fault-seed"),
+        value_flag("quarantine-after"),
+        value_flag("failure-budget"),
+        switch("no-degrade"),
+        value_flag("halt-after"),
+        value_flag("canonical-report"),
     ];
     let (positionals, flags) = parse_args(args, "batch", FLAGS)?;
     let path = one_positional(&positionals, "manifest file")?;
@@ -316,17 +345,87 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         ..EngineConfig::default()
     };
     let workers = config.workers;
+
+    // Resilience policy is active only when one of its flags is given,
+    // so the default CLI behavior is unchanged.
+    let resilience_requested = [
+        "journal",
+        "resume",
+        "fault-rate",
+        "quarantine-after",
+        "failure-budget",
+        "no-degrade",
+        "halt-after",
+    ]
+    .iter()
+    .any(|f| flags.contains_key(*f));
+    let mut policy = if resilience_requested {
+        ResiliencePolicy::resilient(parse_number(&flags, "quarantine-after", 3u32)?)
+    } else {
+        ResiliencePolicy::inert()
+    };
+    if flags.contains_key("no-degrade") {
+        policy = policy.without_degrade();
+    }
+    if flags.contains_key("failure-budget") {
+        policy = policy.with_failure_budget(parse_number(&flags, "failure-budget", 0usize)?);
+    }
+    let fault_rate: f64 = parse_number(&flags, "fault-rate", 0.0)?;
+    let plan = if fault_rate > 0.0 {
+        FaultPlan::transient(parse_number(&flags, "fault-seed", 42u64)?, fault_rate)
+            .with_corrupt_rate(fault_rate / 4.0)
+    } else {
+        FaultPlan::disabled()
+    };
+    let journal = match flags.get("journal") {
+        Some(out) => {
+            Some(JournalWriter::create(out).map_err(|e| format!("create journal `{out}`: {e}"))?)
+        }
+        None => None,
+    };
+    let resume = match flags.get("resume") {
+        Some(from) => Some(Journal::load(from).map_err(|e| format!("read journal `{from}`: {e}"))?),
+        None => None,
+    };
+    if let Some(journal) = &resume {
+        if journal.skipped_lines > 0 {
+            println!(
+                "note: skipped {} corrupt/torn journal line(s); those jobs re-run",
+                journal.skipped_lines
+            );
+        }
+    }
+    let halt_after = match flags.get("halt-after") {
+        Some(_) => Some(parse_number(&flags, "halt-after", 0usize)?),
+        None => None,
+    };
+
     let tracer = tracer_for(&flags);
     let engine = BatchEngine::with_tracer(config, tracer.clone());
-    let batch = engine.run_batch(jobs);
+    let batch = engine.run_batch_resilient(
+        jobs,
+        ResilienceOptions {
+            plan,
+            policy,
+            journal,
+            resume,
+            halt_after,
+        },
+    );
 
     println!("batch: {} jobs on {} workers", batch.results.len(), workers);
     for result in &batch.results {
-        let note = match (&result.error, result.cache_hit) {
+        let mut note = match (&result.error, result.cache_hit) {
             (Some(error), _) => format!("  ({error})"),
             (None, true) => "  (cache hit)".to_string(),
             (None, false) => String::new(),
         };
+        if result.resumed {
+            note.push_str("  (resumed)");
+        }
+        if result.degraded {
+            note.push_str("  (degraded)");
+        }
         println!(
             "  [{:>3}] {:<16} {:<9} worker {} wait {:>7.1} ms run {:>8.1} ms{}",
             result.index,
@@ -357,6 +456,22 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         cache.entries,
         cache.evictions,
     );
+    if resilience_requested {
+        println!(
+            "resil:  {} quarantined, {} degraded, {} resumed, {} corrupt cache entr{} healed",
+            totals.quarantined,
+            totals.degraded,
+            totals.resumed,
+            cache.corrupted,
+            if cache.corrupted == 1 { "y" } else { "ies" },
+        );
+    }
+    if batch.report.detached_threads > 0 {
+        println!(
+            "warning: {} detached attempt thread(s) from timed-out jobs still running",
+            batch.report.detached_threads
+        );
+    }
     for worker in &batch.report.workers {
         println!(
             "worker {}: {} jobs, busy {:>8.1} ms, {:>5.1}% utilized",
@@ -370,7 +485,15 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         std::fs::write(out, batch.report.to_json()).map_err(|e| format!("write {out}: {e}"))?;
         println!("wrote {out}");
     }
+    if let Some(out) = flags.get("canonical-report") {
+        std::fs::write(out, batch.canonical_report()).map_err(|e| format!("write {out}: {e}"))?;
+        println!("wrote {out} (canonical report)");
+    }
     write_trace_outputs(&tracer, &flags)?;
+    if batch.halted {
+        println!("halted early by --halt-after; rerun with --resume <journal> to finish");
+        return Ok(());
+    }
     let unsuccessful = batch
         .results
         .iter()

@@ -28,6 +28,7 @@
 //! | [`power`] | `chipforge-power` | power estimation |
 //! | [`flow`] | `chipforge-flow` | RTL→GDSII orchestration |
 //! | [`exec`] | `chipforge-exec` | concurrent batch execution + artifact cache |
+//! | [`resil`] | `chipforge-resil` | fault injection, checkpoint/resume, degradation |
 //! | [`obs`] | `chipforge-obs` | tracing, metrics and profiling |
 //! | [`cloud`] | `chipforge-cloud` | enablement-platform simulation |
 //! | [`econ`] | `chipforge-econ` | cost/value-chain/workforce models |
@@ -84,6 +85,8 @@ pub use chipforge_pdk as pdk;
 pub use chipforge_place as place;
 /// Re-export: power estimation.
 pub use chipforge_power as power;
+/// Re-export: fault injection, checkpoint/resume and degradation.
+pub use chipforge_resil as resil;
 /// Re-export: routing.
 pub use chipforge_route as route;
 /// Re-export: static timing analysis.

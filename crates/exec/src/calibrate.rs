@@ -64,8 +64,11 @@ mod tests {
             worker: 0,
             queue_wait_ms: 0.0,
             run_ms,
+            degraded: false,
+            resumed: false,
             error: None,
             outcome: None,
+            restored: None,
         }
     }
 

@@ -6,13 +6,28 @@
 //! timeout can abandon a wedged flow (`recv_timeout`) without killing
 //! the worker. Panics inside a job are contained by `catch_unwind` and
 //! surface as a retryable attempt failure, never as a dead worker.
+//!
+//! Resilience (chipforge-resil): [`run_batch_resilient`] adds a seeded
+//! fault-injection plane, an fsynced checkpoint journal with resume,
+//! graceful route/CTS degradation, per-job quarantine and a batch
+//! failure budget on top of the plain engine. [`run_batch`] is the
+//! inert special case — no plan, no policy, no journal.
+//!
+//! [`run_batch`]: BatchEngine::run_batch
+//! [`run_batch_resilient`]: BatchEngine::run_batch_resilient
 
-use crate::cache::{ArtifactCache, CacheKey};
-use crate::job::{Fault, JobResult, JobSpec, JobStatus};
+use crate::cache::{ArtifactCache, CacheKey, Lookup};
+use crate::job::{JobResult, JobSpec, JobStatus, RestoredArtifact};
 use crate::metrics::{ExecutionReport, WorkerRecord};
-use chipforge_flow::{run_flow_traced, FlowOutcome};
+use chipforge_flow::{run_flow_traced, FlowConfig, FlowOutcome};
 use chipforge_obs::Tracer;
+use chipforge_resil::{
+    is_degradable_stage, Backoff, Disruption, FaultPlan, Journal, JournalRecord, JournalWriter,
+    ResiliencePolicy,
+};
+use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -26,12 +41,18 @@ pub struct EngineConfig {
     /// Wall-time budget per attempt; exceeding it reports
     /// [`JobStatus::TimedOut`].
     pub job_timeout: Duration,
-    /// Extra attempts after a panicked attempt (flow *errors* are
-    /// deterministic and never retried; neither are timeouts, which
-    /// would only double the damage).
+    /// Extra attempts after a retryable (panicked or transient) attempt
+    /// failure (flow *errors* are deterministic and never retried;
+    /// neither are timeouts, which would only double the damage). A
+    /// quarantining [`ResiliencePolicy`] overrides this with its own
+    /// `max_attempts`.
     pub max_retries: u32,
-    /// Sleep before the first retry; doubles per subsequent retry.
+    /// Sleep before the first retry; doubles per subsequent retry up to
+    /// `max_backoff`, with deterministic jitter in `[0.5, 1.0)` of the
+    /// clamped delay.
     pub retry_backoff: Duration,
+    /// Ceiling on any single retry delay.
+    pub max_backoff: Duration,
     /// Batch-wide deadline: jobs not yet started when it expires are
     /// reported as [`JobStatus::Cancelled`].
     pub batch_deadline: Option<Duration>,
@@ -49,6 +70,7 @@ impl Default for EngineConfig {
             job_timeout: Duration::from_secs(30),
             max_retries: 2,
             retry_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(2),
             batch_deadline: None,
             cache_capacity: 4096,
         }
@@ -66,13 +88,35 @@ impl EngineConfig {
     }
 }
 
+/// Resilience inputs for one batch run. The default is fully inert:
+/// no injected faults, the historical retry policy, no journal.
+#[derive(Debug, Default)]
+pub struct ResilienceOptions {
+    /// Seeded fault-injection plan.
+    pub plan: FaultPlan,
+    /// Quarantine / failure-budget / degradation policy.
+    pub policy: ResiliencePolicy,
+    /// Checkpoint journal to append completed jobs to.
+    pub journal: Option<JournalWriter>,
+    /// A previously written journal: matching completed jobs are
+    /// restored instead of re-executed.
+    pub resume: Option<Journal>,
+    /// Stop pulling work after this many jobs have been journaled — a
+    /// deterministic in-process stand-in for `kill -9` mid-batch, used
+    /// by the resume tests and `forge batch --halt-after`.
+    pub halt_after: Option<usize>,
+}
+
 /// Everything [`BatchEngine::run_batch`] returns.
 #[derive(Debug)]
 pub struct BatchReport {
-    /// Per-job results in submission order, artifacts included.
+    /// Per-job results in submission order, artifacts included. A
+    /// halted run only contains the jobs that reached a terminal state.
     pub results: Vec<JobResult>,
     /// The serializable instrumentation report.
     pub report: ExecutionReport,
+    /// Whether the run stopped early via `halt_after`.
+    pub halted: bool,
 }
 
 impl BatchReport {
@@ -86,29 +130,22 @@ impl BatchReport {
         let mut digest = String::new();
         for result in &self.results {
             let _ = write!(digest, "{}:{}:", result.name, result.status);
-            match &result.outcome {
-                Some(outcome) => {
-                    let _ = writeln!(
-                        digest,
-                        "{}:{}",
-                        serde::json::to_string(&outcome.report.ppa),
-                        fnv64(&outcome.gds)
-                    );
+            match result.artifact_digests() {
+                Some((ppa, gds_fnv)) => {
+                    let _ = writeln!(digest, "{}:{}", serde::json::to_string(&ppa), gds_fnv);
                 }
                 None => digest.push_str("-\n"),
             }
         }
         digest
     }
-}
 
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    /// The canonical (wall-clock-free) JSON report; see
+    /// [`crate::metrics::canonical_report`].
+    #[must_use]
+    pub fn canonical_report(&self) -> String {
+        crate::metrics::canonical_report(&self.results)
     }
-    hash
 }
 
 /// A multi-threaded batch executor with a persistent artifact cache.
@@ -120,17 +157,42 @@ pub struct BatchEngine {
     config: EngineConfig,
     cache: Arc<ArtifactCache>,
     tracer: Tracer,
+    /// Attempt threads abandoned by timeouts that are still running.
+    /// Incremented when an attempt is detached, decremented when the
+    /// stray thread eventually exits; persists across batches.
+    detached: Arc<AtomicI64>,
 }
 
 struct WorkItem {
     index: usize,
     spec: JobSpec,
+    key: CacheKey,
     enqueued: Instant,
 }
 
 enum Message {
     Job(JobResult),
     Worker(WorkerRecord),
+}
+
+/// Batch-wide mutable resilience state shared by all workers.
+struct BatchControl {
+    journal: Option<Mutex<JournalWriter>>,
+    seq: AtomicU64,
+    journaled: AtomicUsize,
+    halt_after: Option<usize>,
+    halted: AtomicBool,
+    quarantined: Mutex<HashSet<CacheKey>>,
+    failures: AtomicUsize,
+    budget_blown: AtomicBool,
+}
+
+/// Immutable per-batch context shared by all workers.
+struct Shared {
+    config: EngineConfig,
+    plan: FaultPlan,
+    policy: ResiliencePolicy,
+    control: BatchControl,
 }
 
 impl BatchEngine {
@@ -150,6 +212,7 @@ impl BatchEngine {
             config,
             cache: Arc::new(ArtifactCache::new(capacity)),
             tracer,
+            detached: Arc::new(AtomicI64::new(0)),
         }
     }
 
@@ -159,10 +222,28 @@ impl BatchEngine {
         &self.cache
     }
 
+    /// Attempt threads abandoned by timeouts that are still running.
+    #[must_use]
+    pub fn detached_threads(&self) -> u64 {
+        u64::try_from(self.detached.load(Ordering::SeqCst).max(0)).unwrap_or(0)
+    }
+
     /// Runs `jobs` to completion across the worker pool and returns
     /// per-job results (in submission order) plus the execution report.
     #[must_use]
     pub fn run_batch(&self, jobs: Vec<JobSpec>) -> BatchReport {
+        self.run_batch_resilient(jobs, ResilienceOptions::default())
+    }
+
+    /// [`run_batch`](Self::run_batch) under a fault plan and resilience
+    /// policy, optionally journaling completions and resuming from a
+    /// prior journal.
+    #[must_use]
+    pub fn run_batch_resilient(
+        &self,
+        jobs: Vec<JobSpec>,
+        options: ResilienceOptions,
+    ) -> BatchReport {
         let started = Instant::now();
         let deadline = self.config.batch_deadline.map(|d| started + d);
         let job_count = jobs.len();
@@ -177,16 +258,71 @@ impl BatchEngine {
             self.tracer.add("exec.jobs_submitted", job_count as u64);
         }
 
+        // Restoration pass: jobs whose (index, key) match a verified
+        // journal record are not re-executed. Matching on the content-
+        // addressed key means an edited design re-runs transparently.
+        let mut restored: Vec<(String, JobResult)> = Vec::new();
+        let mut quarantined_keys: HashSet<CacheKey> = HashSet::new();
+        let mut work: Vec<WorkItem> = Vec::new();
         let (work_tx, work_rx) = mpsc::channel::<WorkItem>();
         for (index, spec) in jobs.into_iter().enumerate() {
             self.tracer.instant("enqueue", "exec", &spec.name);
-            work_tx
-                .send(WorkItem {
+            let key = CacheKey::of(&spec);
+            let record = options
+                .resume
+                .as_ref()
+                .and_then(|journal| journal.find(index, &key.to_string()));
+            match record.and_then(|r| restore_result(index, r)) {
+                Some(result) => {
+                    self.tracer.instant("resume-skip", "exec", &spec.name);
+                    self.tracer.add("exec.resumed", 1);
+                    if result.status == JobStatus::Quarantined {
+                        quarantined_keys.insert(key);
+                    }
+                    restored.push((key.to_string(), result));
+                }
+                None => work.push(WorkItem {
                     index,
                     spec,
+                    key,
                     enqueued: Instant::now(),
-                })
-                .expect("queue open");
+                }),
+            }
+        }
+
+        // When a resumed run is itself journaled, re-append the restored
+        // records first so the new journal is complete and a later
+        // resume can chain off it.
+        let mut seq = 0u64;
+        let mut journal = options.journal;
+        if let Some(writer) = journal.as_mut() {
+            for (key_hex, result) in &restored {
+                let record = journal_record(seq, key_hex.clone(), result);
+                if writer.append(&record).is_err() {
+                    self.tracer.add("exec.journal_errors", 1);
+                }
+                seq += 1;
+            }
+        }
+
+        let shared = Arc::new(Shared {
+            config: self.config.clone(),
+            plan: options.plan,
+            policy: options.policy,
+            control: BatchControl {
+                journal: journal.map(Mutex::new),
+                seq: AtomicU64::new(seq),
+                journaled: AtomicUsize::new(0),
+                halt_after: options.halt_after,
+                halted: AtomicBool::new(options.halt_after == Some(0)),
+                quarantined: Mutex::new(quarantined_keys),
+                failures: AtomicUsize::new(0),
+                budget_blown: AtomicBool::new(false),
+            },
+        });
+
+        for item in work {
+            work_tx.send(item).expect("queue open");
         }
         drop(work_tx);
         let work_rx = Arc::new(Mutex::new(work_rx));
@@ -197,13 +333,15 @@ impl BatchEngine {
             let work_rx = Arc::clone(&work_rx);
             let result_tx = result_tx.clone();
             let cache = Arc::clone(&self.cache);
-            let config = self.config.clone();
+            let shared = Arc::clone(&shared);
+            let detached = Arc::clone(&self.detached);
             let tracer = self.tracer.at(batch_span.id(), worker_id + 1);
             let handle = thread::Builder::new()
                 .name(format!("exec-worker-{worker_id}"))
                 .spawn(move || {
                     worker_loop(
-                        worker_id, &work_rx, &result_tx, &cache, &config, deadline, &tracer,
+                        worker_id, &work_rx, &result_tx, &cache, &shared, deadline, &tracer,
+                        &detached,
                     )
                 })
                 .expect("spawn worker");
@@ -211,7 +349,8 @@ impl BatchEngine {
         }
         drop(result_tx);
 
-        let mut results = Vec::with_capacity(job_count);
+        let mut results: Vec<JobResult> = restored.into_iter().map(|(_, r)| r).collect();
+        results.reserve(job_count.saturating_sub(results.len()));
         let mut workers = Vec::new();
         while let Ok(message) = result_rx.recv() {
             match message {
@@ -224,10 +363,72 @@ impl BatchEngine {
         }
         results.sort_by_key(|r| r.index);
 
+        let halted = shared.control.halted.load(Ordering::SeqCst);
+        let detached_threads = self.detached_threads();
+        if self.tracer.is_enabled() {
+            self.tracer
+                .set_gauge("exec.detached_threads", detached_threads as f64);
+        }
         let makespan_ms = started.elapsed().as_secs_f64() * 1_000.0;
         batch_span.finish_with_detail(&format!("{job_count} jobs"));
-        let report = ExecutionReport::build(&results, workers, self.cache.stats(), makespan_ms);
-        BatchReport { results, report }
+        let report = ExecutionReport::build(
+            &results,
+            workers,
+            self.cache.stats(),
+            makespan_ms,
+            detached_threads,
+        );
+        BatchReport {
+            results,
+            report,
+            halted,
+        }
+    }
+}
+
+/// Rebuilds a [`JobResult`] from a verified journal record. Returns
+/// `None` for records whose status is unknown (future schema) so the
+/// job falls back to execution.
+fn restore_result(index: usize, record: &JournalRecord) -> Option<JobResult> {
+    let status = JobStatus::from_name(&record.status)?;
+    let restored = match (record.ppa.clone(), record.gds_fnv) {
+        (Some(ppa), Some(gds_fnv)) => Some(RestoredArtifact { ppa, gds_fnv }),
+        _ => None,
+    };
+    if status == JobStatus::Succeeded && restored.is_none() {
+        return None; // a succeeded record must carry its digests
+    }
+    Some(JobResult {
+        index,
+        name: record.name.clone(),
+        status,
+        attempts: record.attempts,
+        cache_hit: false,
+        worker: 0,
+        queue_wait_ms: 0.0,
+        run_ms: 0.0,
+        degraded: record.degraded,
+        resumed: true,
+        error: record.error.clone(),
+        outcome: None,
+        restored,
+    })
+}
+
+/// Builds the journal record for a terminal result.
+fn journal_record(seq: u64, key: String, result: &JobResult) -> JournalRecord {
+    let digests = result.artifact_digests();
+    JournalRecord {
+        seq,
+        index: result.index,
+        key,
+        name: result.name.clone(),
+        status: result.status.to_string(),
+        attempts: result.attempts,
+        degraded: result.degraded,
+        error: result.error.clone(),
+        ppa: digests.as_ref().map(|(ppa, _)| ppa.clone()),
+        gds_fnv: digests.map(|(_, fnv)| fnv),
     }
 }
 
@@ -237,13 +438,20 @@ fn worker_loop(
     work_rx: &Mutex<mpsc::Receiver<WorkItem>>,
     result_tx: &mpsc::Sender<Message>,
     cache: &ArtifactCache,
-    config: &EngineConfig,
+    shared: &Shared,
     deadline: Option<Instant>,
     tracer: &Tracer,
+    detached: &Arc<AtomicI64>,
 ) {
     let mut busy = Duration::ZERO;
     let mut jobs_run = 0u64;
     loop {
+        // A halted batch (halt_after) stops pulling work: in-flight jobs
+        // finish and are journaled, queued jobs are simply dropped —
+        // exactly what a kill -9 leaves behind, minus the torn line.
+        if shared.control.halted.load(Ordering::SeqCst) {
+            break;
+        }
         // Take one item with the queue lock held, then release it before
         // doing any work so other workers keep draining.
         let item = {
@@ -251,6 +459,7 @@ fn worker_loop(
             receiver.recv()
         };
         let Ok(item) = item else { break };
+        let key = item.key;
         let picked_up = Instant::now();
         let queue_wait_ms = picked_up.duration_since(item.enqueued).as_secs_f64() * 1_000.0;
         let result = run_one(
@@ -258,10 +467,13 @@ fn worker_loop(
             item,
             queue_wait_ms,
             cache,
-            config,
+            shared,
             deadline,
             tracer,
+            detached,
         );
+        track_failure_budget(&result, shared, tracer);
+        journal_result(key, &result, shared, tracer);
         busy += picked_up.elapsed();
         jobs_run += 1;
         if result_tx.send(Message::Job(result)).is_err() {
@@ -276,6 +488,51 @@ fn worker_loop(
     }));
 }
 
+/// Counts a terminal failure against the batch failure budget and trips
+/// the fail-fast latch when it is exceeded.
+fn track_failure_budget(result: &JobResult, shared: &Shared, tracer: &Tracer) {
+    if !matches!(
+        result.status,
+        JobStatus::Failed | JobStatus::TimedOut | JobStatus::Quarantined
+    ) {
+        return;
+    }
+    let failures = shared.control.failures.fetch_add(1, Ordering::SeqCst) + 1;
+    if shared.policy.failure_budget.is_some_and(|b| failures > b)
+        && !shared.control.budget_blown.swap(true, Ordering::SeqCst)
+    {
+        tracer.instant("budget-exhausted", "exec", &result.name);
+        tracer.add("exec.budget_exhausted", 1);
+    }
+}
+
+/// Appends a terminal result to the checkpoint journal (cancellations
+/// are not completed work and are skipped) and trips the halt latch
+/// once `halt_after` records are on disk.
+fn journal_result(key: CacheKey, result: &JobResult, shared: &Shared, tracer: &Tracer) {
+    let Some(journal) = &shared.control.journal else {
+        return;
+    };
+    if result.status == JobStatus::Cancelled {
+        return;
+    }
+    let seq = shared.control.seq.fetch_add(1, Ordering::SeqCst);
+    let record = journal_record(seq, key.to_string(), result);
+    let appended = {
+        let mut writer = journal.lock().expect("journal lock");
+        writer.append(&record).is_ok()
+    };
+    if !appended {
+        tracer.add("exec.journal_errors", 1);
+        return;
+    }
+    tracer.instant("journal-append", "exec", &result.name);
+    let journaled = shared.control.journaled.fetch_add(1, Ordering::SeqCst) + 1;
+    if shared.control.halt_after.is_some_and(|k| journaled >= k) {
+        shared.control.halted.store(true, Ordering::SeqCst);
+    }
+}
+
 /// Wraps one job in a `job` span and records its lifecycle metrics.
 #[allow(clippy::too_many_arguments)]
 fn run_one(
@@ -283,9 +540,10 @@ fn run_one(
     item: WorkItem,
     queue_wait_ms: f64,
     cache: &ArtifactCache,
-    config: &EngineConfig,
+    shared: &Shared,
     deadline: Option<Instant>,
     tracer: &Tracer,
+    detached: &Arc<AtomicI64>,
 ) -> JobResult {
     let span = tracer.span(&item.spec.name, "job");
     let job_tracer = tracer.at(span.id(), tracer.default_track());
@@ -294,9 +552,10 @@ fn run_one(
         item,
         queue_wait_ms,
         cache,
-        config,
+        shared,
         deadline,
         &job_tracer,
+        detached,
     );
     if tracer.is_enabled() {
         tracer.observe("exec.queue_wait_ms", result.queue_wait_ms);
@@ -307,15 +566,16 @@ fn run_one(
     result
 }
 
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
 fn run_one_inner(
     worker: usize,
     item: WorkItem,
     queue_wait_ms: f64,
     cache: &ArtifactCache,
-    config: &EngineConfig,
+    shared: &Shared,
     deadline: Option<Instant>,
     tracer: &Tracer,
+    detached: &Arc<AtomicI64>,
 ) -> JobResult {
     let base = JobResult {
         index: item.index,
@@ -326,9 +586,18 @@ fn run_one_inner(
         worker,
         queue_wait_ms,
         run_ms: 0.0,
+        degraded: false,
+        resumed: false,
         error: None,
         outcome: None,
+        restored: None,
     };
+    if shared.control.budget_blown.load(Ordering::SeqCst) {
+        return JobResult {
+            error: Some("batch failure budget exhausted before the job started".into()),
+            ..base
+        };
+    }
     if deadline.is_some_and(|d| Instant::now() >= d) {
         return JobResult {
             error: Some("batch deadline expired before the job started".into()),
@@ -337,32 +606,106 @@ fn run_one_inner(
     }
 
     let picked_up = Instant::now();
-    let key = CacheKey::of(&item.spec);
-    if let Some(outcome) = cache.lookup(key) {
-        tracer.instant("cache-hit", "exec", &item.spec.name);
-        tracer.add("exec.cache.hits", 1);
+    let key = item.key;
+    if shared.policy.quarantine
+        && shared
+            .control
+            .quarantined
+            .lock()
+            .expect("quarantine lock")
+            .contains(&key)
+    {
+        tracer.instant("quarantine-skip", "exec", &item.spec.name);
+        tracer.add("exec.quarantine.skipped", 1);
         return JobResult {
-            status: JobStatus::Succeeded,
-            cache_hit: true,
-            run_ms: picked_up.elapsed().as_secs_f64() * 1_000.0,
-            outcome: Some(outcome),
+            status: JobStatus::Quarantined,
+            error: Some("identical inputs already quarantined in this batch".into()),
             ..base
         };
     }
-    tracer.instant("cache-miss", "exec", &item.spec.name);
-    tracer.add("exec.cache.misses", 1);
 
+    match cache.lookup_checked(key) {
+        Lookup::Hit(outcome) => {
+            tracer.instant("cache-hit", "exec", &item.spec.name);
+            tracer.add("exec.cache.hits", 1);
+            return JobResult {
+                status: JobStatus::Succeeded,
+                cache_hit: true,
+                run_ms: picked_up.elapsed().as_secs_f64() * 1_000.0,
+                outcome: Some(outcome),
+                ..base
+            };
+        }
+        Lookup::Corrupt => {
+            // The entry is already evicted; fall through and recompute
+            // (self-healing).
+            tracer.instant("cache-corrupt", "exec", &item.spec.name);
+            tracer.add("exec.cache.corrupt", 1);
+        }
+        Lookup::Miss => {
+            tracer.instant("cache-miss", "exec", &item.spec.name);
+            tracer.add("exec.cache.misses", 1);
+        }
+    }
+
+    let key_hex = key.to_string();
+    let backoff = Backoff {
+        base: shared.config.retry_backoff,
+        max: shared.config.max_backoff,
+        seed: shared.plan.seed,
+    };
+    // A quarantining policy owns the attempt budget; otherwise the
+    // engine's historical retry knob applies.
+    let allowed_attempts = if shared.policy.quarantine {
+        shared.policy.max_attempts.max(1)
+    } else {
+        shared.config.max_retries + 1
+    };
     let mut attempts = 0u32;
-    let mut backoff = config.retry_backoff;
+    let mut degraded = false;
     loop {
         attempts += 1;
-        match run_attempt(&item.spec, config.job_timeout, tracer) {
+        // A degraded attempt runs with relief parameters and no further
+        // injected disruption, so its outcome is deterministic.
+        let disruption = if degraded {
+            Disruption::none()
+        } else {
+            let mut disruption = shared.plan.disruption(&key_hex, attempts);
+            item.spec.fault.apply(&mut disruption, attempts);
+            disruption
+        };
+        let flow_config = if degraded {
+            item.spec.flow_config().degraded()
+        } else {
+            item.spec.flow_config()
+        };
+        match run_attempt(
+            &item.spec,
+            &flow_config,
+            &disruption,
+            shared.config.job_timeout,
+            tracer,
+            detached,
+        ) {
             Attempt::Done(outcome) => {
                 let outcome = Arc::new(*outcome);
-                cache.insert(key, Arc::clone(&outcome));
+                if degraded {
+                    // Degraded artifacts are never cached: a relaxed-
+                    // parameter rerun must not alias the full-effort
+                    // artifact under the same content key.
+                    tracer.instant("degraded-success", "exec", &item.spec.name);
+                } else {
+                    cache.insert(key, Arc::clone(&outcome));
+                    if let Some((offset, xor)) = shared.plan.corrupt_artifact(&key_hex) {
+                        if cache.corrupt(key, offset, xor) {
+                            tracer.add("exec.faults.corrupt_injected", 1);
+                        }
+                    }
+                }
                 return JobResult {
                     status: JobStatus::Succeeded,
                     attempts,
+                    degraded,
                     run_ms: picked_up.elapsed().as_secs_f64() * 1_000.0,
                     outcome: Some(outcome),
                     ..base
@@ -377,21 +720,36 @@ fn run_one_inner(
                     ..base
                 };
             }
-            Attempt::Panicked(message) => {
-                if attempts <= config.max_retries {
-                    tracer.instant("retry", "exec", &item.spec.name);
-                    tracer.add("exec.retries", 1);
-                    thread::sleep(backoff);
-                    backoff *= 2;
+            Attempt::Transient(stage) => {
+                tracer.instant(
+                    "transient-fault",
+                    "exec",
+                    &format!("{}: {stage}", item.spec.name),
+                );
+                tracer.add("exec.faults.transient", 1);
+                if shared.policy.degrade && !degraded && is_degradable_stage(stage) {
+                    // Graceful degradation: retry the congestion-prone
+                    // stage once with relaxed parameters instead of
+                    // burning the whole job.
+                    degraded = true;
+                    tracer.instant("degrade", "exec", &item.spec.name);
+                    tracer.add("exec.degraded", 1);
                     continue;
                 }
-                return JobResult {
-                    status: JobStatus::Failed,
-                    attempts,
-                    run_ms: picked_up.elapsed().as_secs_f64() * 1_000.0,
-                    error: Some(format!("panicked on all {attempts} attempts: {message}")),
-                    ..base
-                };
+                if attempts < allowed_attempts {
+                    retry(&backoff, &key_hex, attempts, &item.spec.name, tracer);
+                    continue;
+                }
+                let message = format!("transient fault at {stage} on all {attempts} attempts");
+                return exhausted(base, attempts, picked_up, message, key, shared, tracer);
+            }
+            Attempt::Panicked(message) => {
+                if attempts < allowed_attempts {
+                    retry(&backoff, &key_hex, attempts, &item.spec.name, tracer);
+                    continue;
+                }
+                let message = format!("panicked on all {attempts} attempts: {message}");
+                return exhausted(base, attempts, picked_up, message, key, shared, tracer);
             }
             Attempt::TimedOut => {
                 return JobResult {
@@ -400,7 +758,7 @@ fn run_one_inner(
                     run_ms: picked_up.elapsed().as_secs_f64() * 1_000.0,
                     error: Some(format!(
                         "exceeded the {} ms job timeout",
-                        config.job_timeout.as_millis()
+                        shared.config.job_timeout.as_millis()
                     )),
                     ..base
                 };
@@ -409,24 +767,102 @@ fn run_one_inner(
     }
 }
 
+fn retry(backoff: &Backoff, key_hex: &str, attempts: u32, name: &str, tracer: &Tracer) {
+    tracer.instant("retry", "exec", name);
+    tracer.add("exec.retries", 1);
+    thread::sleep(backoff.delay(key_hex, attempts));
+}
+
+/// Terminal handling for a job that exhausted its retryable attempts:
+/// quarantined under a quarantining policy, plain `Failed` otherwise.
+fn exhausted(
+    base: JobResult,
+    attempts: u32,
+    picked_up: Instant,
+    message: String,
+    key: CacheKey,
+    shared: &Shared,
+    tracer: &Tracer,
+) -> JobResult {
+    let run_ms = picked_up.elapsed().as_secs_f64() * 1_000.0;
+    if shared.policy.quarantine {
+        shared
+            .control
+            .quarantined
+            .lock()
+            .expect("quarantine lock")
+            .insert(key);
+        tracer.instant("quarantine", "exec", &base.name);
+        tracer.add("exec.quarantined", 1);
+        return JobResult {
+            status: JobStatus::Quarantined,
+            attempts,
+            run_ms,
+            error: Some(format!(
+                "quarantined after {attempts} failed attempts: {message}"
+            )),
+            ..base
+        };
+    }
+    JobResult {
+        status: JobStatus::Failed,
+        attempts,
+        run_ms,
+        error: Some(message),
+        ..base
+    }
+}
+
 enum Attempt {
     Done(Box<FlowOutcome>),
     FlowError(String),
+    Transient(&'static str),
     Panicked(String),
     TimedOut,
 }
 
+enum ExecError {
+    Transient(&'static str),
+    Flow(String),
+}
+
+/// Attempt-thread lifecycle states for the detached-thread gauge.
+const ATTEMPT_RUNNING: u8 = 0;
+const ATTEMPT_FINISHED: u8 = 1;
+const ATTEMPT_ABANDONED: u8 = 2;
+
 /// Runs one attempt on a dedicated thread so a wedged flow can be
-/// abandoned. On timeout the attempt thread is detached: it finishes (or
-/// dies) on its own and its late result is discarded.
-fn run_attempt(spec: &JobSpec, timeout: Duration, tracer: &Tracer) -> Attempt {
+/// abandoned. On timeout the attempt thread is detached: it finishes
+/// (or dies) on its own and its late result is discarded — but it is
+/// counted on the `exec.detached_threads` gauge until it exits, so
+/// leaked threads are visible instead of silent.
+fn run_attempt(
+    spec: &JobSpec,
+    flow_config: &FlowConfig,
+    disruption: &Disruption,
+    timeout: Duration,
+    tracer: &Tracer,
+    detached: &Arc<AtomicI64>,
+) -> Attempt {
     let spec = spec.clone();
+    let flow_config = flow_config.clone();
+    let disruption = disruption.clone();
     let tracer = tracer.clone();
     let (tx, rx) = mpsc::channel();
+    let state = Arc::new(AtomicU8::new(ATTEMPT_RUNNING));
+    let thread_state = Arc::clone(&state);
+    let gauge = Arc::clone(detached);
     let builder = thread::Builder::new().name(format!("exec-job-{}", spec.name));
     let handle = builder
         .spawn(move || {
-            let result = catch_unwind(AssertUnwindSafe(|| execute(&spec, &tracer)));
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                execute(&spec, &flow_config, &disruption, &tracer)
+            }));
+            // If the waiter already abandoned us, the gauge counted this
+            // thread; un-count it on the way out.
+            if thread_state.swap(ATTEMPT_FINISHED, Ordering::SeqCst) == ATTEMPT_ABANDONED {
+                gauge.fetch_sub(1, Ordering::SeqCst);
+            }
             let _ = tx.send(result);
         })
         .expect("spawn attempt thread");
@@ -435,21 +871,38 @@ fn run_attempt(spec: &JobSpec, timeout: Duration, tracer: &Tracer) -> Attempt {
             let _ = handle.join();
             match finished {
                 Ok(Ok(outcome)) => Attempt::Done(Box::new(outcome)),
-                Ok(Err(message)) => Attempt::FlowError(message),
+                Ok(Err(ExecError::Transient(stage))) => Attempt::Transient(stage),
+                Ok(Err(ExecError::Flow(message))) => Attempt::FlowError(message),
                 Err(payload) => Attempt::Panicked(panic_message(payload.as_ref())),
             }
         }
-        Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => Attempt::TimedOut,
+        Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+            // Detach: if the thread has not finished yet, it is now
+            // leaked until it exits on its own — make that visible.
+            if state.swap(ATTEMPT_ABANDONED, Ordering::SeqCst) != ATTEMPT_FINISHED {
+                detached.fetch_add(1, Ordering::SeqCst);
+            }
+            Attempt::TimedOut
+        }
     }
 }
 
-fn execute(spec: &JobSpec, tracer: &Tracer) -> Result<FlowOutcome, String> {
-    match spec.fault {
-        Fault::None => {}
-        Fault::Panic => panic!("injected fault in job `{}`", spec.name),
-        Fault::Hang(ms) => thread::sleep(Duration::from_millis(ms)),
+fn execute(
+    spec: &JobSpec,
+    flow_config: &FlowConfig,
+    disruption: &Disruption,
+    tracer: &Tracer,
+) -> Result<FlowOutcome, ExecError> {
+    if let Some(ms) = disruption.slow_ms {
+        thread::sleep(Duration::from_millis(ms));
     }
-    run_flow_traced(&spec.source, &spec.flow_config(), tracer).map_err(|e| e.to_string())
+    if disruption.panic {
+        panic!("injected fault in job `{}`", spec.name);
+    }
+    if let Some(stage) = disruption.transient_stage {
+        return Err(ExecError::Transient(stage));
+    }
+    run_flow_traced(&spec.source, flow_config, tracer).map_err(|e| ExecError::Flow(e.to_string()))
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -465,6 +918,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::job::Fault;
     use chipforge_flow::OptimizationProfile;
     use chipforge_hdl::designs;
     use chipforge_pdk::TechnologyNode;
@@ -479,6 +933,15 @@ mod tests {
         .with_seed(seed)
     }
 
+    fn temp_journal(name: &str) -> std::path::PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "chipforge-engine-{}-{name}.jsonl",
+            std::process::id()
+        ));
+        path
+    }
+
     #[test]
     fn single_worker_runs_a_batch_in_order() {
         let engine = BatchEngine::new(EngineConfig::with_workers(1));
@@ -490,6 +953,7 @@ mod tests {
             vec![0, 1, 2]
         );
         assert_eq!(batch.report.totals.succeeded, 3);
+        assert!(!batch.halted);
     }
 
     #[test]
@@ -605,5 +1069,175 @@ mod tests {
         let batch = engine.run_batch(vec![job("late", 1)]);
         assert_eq!(batch.results[0].status, JobStatus::Cancelled);
         assert_eq!(batch.report.totals.cancelled, 1);
+    }
+
+    #[test]
+    fn transient_fault_retries_then_succeeds() {
+        let engine = BatchEngine::new(EngineConfig {
+            workers: 1,
+            retry_backoff: Duration::from_millis(1),
+            ..EngineConfig::default()
+        });
+        let batch = engine.run_batch(vec![job("flaky", 1).with_fault(Fault::Transient(1))]);
+        assert_eq!(batch.results[0].status, JobStatus::Succeeded);
+        assert_eq!(batch.results[0].attempts, 2);
+        assert!(!batch.results[0].degraded);
+    }
+
+    #[test]
+    fn degrade_policy_relaxes_a_transient_route_failure() {
+        let engine = BatchEngine::new(EngineConfig::with_workers(1));
+        let options = ResilienceOptions {
+            policy: ResiliencePolicy::resilient(2),
+            ..ResilienceOptions::default()
+        };
+        // Transient(3) would fail the first three attempts, but the
+        // degraded retry runs disruption-free with relaxed parameters.
+        let batch = engine.run_batch_resilient(
+            vec![job("congested", 1).with_fault(Fault::Transient(3))],
+            options,
+        );
+        assert_eq!(batch.results[0].status, JobStatus::Succeeded);
+        assert!(batch.results[0].degraded);
+        assert_eq!(batch.results[0].attempts, 2);
+        assert_eq!(batch.report.totals.degraded, 1);
+        // Degraded artifacts must not be cached.
+        assert_eq!(engine.cache().stats().entries, 0);
+    }
+
+    #[test]
+    fn exhausted_jobs_are_quarantined_and_resubmissions_skipped() {
+        let engine = BatchEngine::new(EngineConfig {
+            workers: 1,
+            retry_backoff: Duration::from_millis(1),
+            ..EngineConfig::default()
+        });
+        let options = ResilienceOptions {
+            policy: ResiliencePolicy::resilient(1).without_degrade(),
+            ..ResilienceOptions::default()
+        };
+        let batch = engine.run_batch_resilient(
+            vec![
+                job("sick", 5).with_fault(Fault::Transient(9)),
+                job("sick-again", 5).with_fault(Fault::Transient(9)),
+            ],
+            options,
+        );
+        assert_eq!(batch.results[0].status, JobStatus::Quarantined);
+        assert!(batch.results[0]
+            .error
+            .as_deref()
+            .is_some_and(|e| e.starts_with("quarantined after 1 failed attempts")));
+        assert_eq!(batch.results[1].status, JobStatus::Quarantined);
+        assert_eq!(
+            batch.results[1].error.as_deref(),
+            Some("identical inputs already quarantined in this batch")
+        );
+        assert_eq!(batch.results[1].attempts, 0, "skipped without executing");
+        assert_eq!(batch.report.totals.quarantined, 2);
+    }
+
+    #[test]
+    fn blown_failure_budget_cancels_jobs_not_yet_started() {
+        let engine = BatchEngine::new(EngineConfig {
+            workers: 1,
+            retry_backoff: Duration::from_millis(1),
+            ..EngineConfig::default()
+        });
+        let options = ResilienceOptions {
+            policy: ResiliencePolicy::resilient(1)
+                .without_degrade()
+                .with_failure_budget(0),
+            ..ResilienceOptions::default()
+        };
+        let batch = engine.run_batch_resilient(
+            vec![
+                job("dead", 1).with_fault(Fault::Transient(9)),
+                job("never", 2),
+            ],
+            options,
+        );
+        assert_eq!(batch.results[0].status, JobStatus::Quarantined);
+        assert_eq!(batch.results[1].status, JobStatus::Cancelled);
+        assert_eq!(
+            batch.results[1].error.as_deref(),
+            Some("batch failure budget exhausted before the job started")
+        );
+    }
+
+    #[test]
+    fn corrupted_cache_entries_are_detected_and_recomputed() {
+        let engine = BatchEngine::new(EngineConfig::with_workers(1));
+        let options = ResilienceOptions {
+            plan: FaultPlan::disabled().with_corrupt_rate(1.0),
+            ..ResilienceOptions::default()
+        };
+        let batch = engine.run_batch_resilient(vec![job("a", 7), job("a-dup", 7)], options);
+        assert!(batch.results.iter().all(|r| r.status.is_success()));
+        assert!(!batch.results[1].cache_hit, "corrupt entry is not a hit");
+        assert_eq!(engine.cache().stats().corrupted, 1);
+    }
+
+    #[test]
+    fn journal_then_resume_restores_results_byte_for_byte() {
+        let path = temp_journal("resume");
+        let jobs = || vec![job("a", 1), job("b", 2), job("c", 3)];
+        let engine = BatchEngine::new(EngineConfig::with_workers(1));
+        let writer = JournalWriter::create(&path).expect("create journal");
+        let clean = engine.run_batch_resilient(
+            jobs(),
+            ResilienceOptions {
+                journal: Some(writer),
+                ..ResilienceOptions::default()
+            },
+        );
+        assert!(!clean.halted);
+        let journal = Journal::load(&path).expect("load journal");
+        assert_eq!(journal.records.len(), 3);
+        assert_eq!(journal.skipped_lines, 0);
+
+        let fresh = BatchEngine::new(EngineConfig::with_workers(1));
+        let resumed = fresh.run_batch_resilient(
+            jobs(),
+            ResilienceOptions {
+                resume: Some(journal),
+                ..ResilienceOptions::default()
+            },
+        );
+        assert!(resumed.results.iter().all(|r| r.resumed));
+        assert_eq!(resumed.report.totals.resumed, 3);
+        assert_eq!(clean.canonical_report(), resumed.canonical_report());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn halt_after_zero_executes_nothing() {
+        let path = temp_journal("halt0");
+        let engine = BatchEngine::new(EngineConfig::with_workers(1));
+        let writer = JournalWriter::create(&path).expect("create journal");
+        let batch = engine.run_batch_resilient(
+            vec![job("a", 1)],
+            ResilienceOptions {
+                journal: Some(writer),
+                halt_after: Some(0),
+                ..ResilienceOptions::default()
+            },
+        );
+        assert!(batch.halted);
+        assert!(batch.results.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn detached_threads_gauge_counts_abandoned_attempts() {
+        let engine = BatchEngine::new(EngineConfig {
+            workers: 1,
+            job_timeout: Duration::from_millis(50),
+            ..EngineConfig::default()
+        });
+        let batch = engine.run_batch(vec![job("wedged", 1).with_fault(Fault::Hang(60_000))]);
+        assert_eq!(batch.results[0].status, JobStatus::TimedOut);
+        assert!(engine.detached_threads() >= 1);
+        assert_eq!(batch.report.detached_threads, engine.detached_threads());
     }
 }

@@ -1,28 +1,15 @@
 //! Job specifications and results.
 
-use chipforge_flow::{FlowConfig, FlowOutcome, OptimizationProfile};
+use chipforge_flow::{FlowConfig, FlowOutcome, OptimizationProfile, PpaReport};
 use chipforge_pdk::TechnologyNode;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
-/// A fault injected into a job's execution path.
-///
-/// Faults model the failure modes a shared batch service must absorb —
-/// a flow crash, a wedged tool — and let tests (and manifest authors)
-/// exercise the engine's isolation without a genuinely broken design.
-/// Faults fire only when the job actually executes; a cache hit serves
-/// the stored artifact without entering the execution path.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Fault {
-    /// No fault: run the flow normally.
-    #[default]
-    None,
-    /// Panic inside the job (exercises `catch_unwind` isolation).
-    Panic,
-    /// Sleep this many milliseconds before running (exercises timeouts).
-    Hang(u64),
-}
+/// Re-exported from `chipforge-resil`, which owns the fault taxonomy:
+/// spec-level faults here, plan-level seeded injection in
+/// [`chipforge_resil::FaultPlan`].
+pub use chipforge_resil::Fault;
 
 /// One unit of batch work: an HDL source plus a full flow configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -116,8 +103,13 @@ pub enum JobStatus {
     Failed,
     /// The job exceeded the per-job timeout.
     TimedOut,
-    /// The batch deadline expired before the job started.
+    /// The batch deadline expired (or the failure budget was exhausted)
+    /// before the job started.
     Cancelled,
+    /// The job exhausted the resilience policy's attempt limit and was
+    /// quarantined; identical resubmissions in the same batch are
+    /// short-circuited.
+    Quarantined,
 }
 
 impl JobStatus {
@@ -125,6 +117,19 @@ impl JobStatus {
     #[must_use]
     pub fn is_success(self) -> bool {
         self == JobStatus::Succeeded
+    }
+
+    /// Parses a status from its display name (journal restoration).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "succeeded" => JobStatus::Succeeded,
+            "failed" => JobStatus::Failed,
+            "timed-out" => JobStatus::TimedOut,
+            "cancelled" => JobStatus::Cancelled,
+            "quarantined" => JobStatus::Quarantined,
+            _ => return None,
+        })
     }
 }
 
@@ -135,8 +140,21 @@ impl fmt::Display for JobStatus {
             JobStatus::Failed => "failed",
             JobStatus::TimedOut => "timed-out",
             JobStatus::Cancelled => "cancelled",
+            JobStatus::Quarantined => "quarantined",
         })
     }
+}
+
+/// The artifact digests restored from a checkpoint journal for a job
+/// that was *not* re-executed on resume. The full [`FlowOutcome`] is
+/// gone (it lived in the killed process), but the PPA report and GDS
+/// digest are enough to reproduce the canonical batch report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestoredArtifact {
+    /// The journaled PPA report.
+    pub ppa: PpaReport,
+    /// FNV-1a digest of the GDS bytes.
+    pub gds_fnv: u64,
 }
 
 /// Outcome of one batch job, including the artifact when it succeeded.
@@ -151,7 +169,8 @@ pub struct JobResult {
     pub name: String,
     /// Terminal status.
     pub status: JobStatus,
-    /// Flow attempts made (0 for cache hits and cancellations).
+    /// Flow attempts made (0 for cache hits, cancellations and resumed
+    /// jobs' restorations record the original run's count).
     pub attempts: u32,
     /// Whether the artifact came from the cache.
     pub cache_hit: bool,
@@ -161,10 +180,36 @@ pub struct JobResult {
     pub queue_wait_ms: f64,
     /// Time from pickup to terminal status, in ms (includes retries).
     pub run_ms: f64,
+    /// Whether the job succeeded via a degraded (relaxed) retry after a
+    /// transient route/CTS failure.
+    pub degraded: bool,
+    /// Whether this result was restored from a checkpoint journal
+    /// instead of executed.
+    pub resumed: bool,
     /// Error description for non-succeeded jobs.
     pub error: Option<String>,
-    /// The artifact, when `status` is [`JobStatus::Succeeded`].
+    /// The artifact, when `status` is [`JobStatus::Succeeded`] and the
+    /// job executed (or hit the cache) in this process.
     pub outcome: Option<Arc<FlowOutcome>>,
+    /// Journal-restored artifact digests when `resumed` and the
+    /// original run succeeded.
+    pub restored: Option<RestoredArtifact>,
+}
+
+impl JobResult {
+    /// The deterministic artifact view: the PPA report plus the GDS
+    /// digest, from the live outcome or the journal restoration.
+    #[must_use]
+    pub fn artifact_digests(&self) -> Option<(PpaReport, u64)> {
+        match (&self.outcome, &self.restored) {
+            (Some(outcome), _) => Some((
+                outcome.report.ppa.clone(),
+                chipforge_resil::fnv64(&outcome.gds),
+            )),
+            (None, Some(restored)) => Some((restored.ppa.clone(), restored.gds_fnv)),
+            (None, None) => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -200,7 +245,22 @@ mod tests {
     fn status_display_and_success() {
         assert!(JobStatus::Succeeded.is_success());
         assert!(!JobStatus::TimedOut.is_success());
+        assert!(!JobStatus::Quarantined.is_success());
         assert_eq!(JobStatus::Cancelled.to_string(), "cancelled");
+    }
+
+    #[test]
+    fn status_round_trips_through_its_name() {
+        for status in [
+            JobStatus::Succeeded,
+            JobStatus::Failed,
+            JobStatus::TimedOut,
+            JobStatus::Cancelled,
+            JobStatus::Quarantined,
+        ] {
+            assert_eq!(JobStatus::from_name(&status.to_string()), Some(status));
+        }
+        assert_eq!(JobStatus::from_name("exploded"), None);
     }
 
     #[test]

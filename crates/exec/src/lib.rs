@@ -16,6 +16,11 @@
 //!   queue wait and run time, per-stage wall time, worker utilization,
 //!   cache hit rate and batch throughput. [`calibrate`] feeds these
 //!   measured times back into the cloud-platform queueing model (E14).
+//! - Resilience ([`ResilienceOptions`], built on `chipforge-resil`):
+//!   seeded fault injection, an fsynced checkpoint journal with
+//!   `--resume`, graceful route/CTS degradation, per-job quarantine,
+//!   batch failure budgets and checksum-verified (self-healing) cache
+//!   reads.
 //!
 //! Determinism: job outcomes depend only on `(source, config)` — never on
 //! worker count or scheduling order — and batch results are returned in
@@ -30,7 +35,9 @@ pub mod engine;
 pub mod job;
 pub mod metrics;
 
-pub use cache::{ArtifactCache, CacheKey, CacheStats};
-pub use engine::{BatchEngine, BatchReport, EngineConfig};
-pub use job::{Fault, JobResult, JobSpec, JobStatus};
-pub use metrics::{BatchTotals, ExecutionReport, JobRecord, StageTime, WorkerRecord};
+pub use cache::{ArtifactCache, CacheKey, CacheStats, Lookup};
+pub use engine::{BatchEngine, BatchReport, EngineConfig, ResilienceOptions};
+pub use job::{Fault, JobResult, JobSpec, JobStatus, RestoredArtifact};
+pub use metrics::{
+    canonical_report, BatchTotals, ExecutionReport, JobRecord, StageTime, WorkerRecord,
+};

@@ -9,6 +9,7 @@
 
 use crate::cache::CacheStats;
 use crate::job::{JobResult, JobStatus};
+use chipforge_flow::PpaReport;
 use chipforge_obs::MetricsRegistry;
 use serde::Serialize;
 
@@ -40,6 +41,10 @@ pub struct JobRecord {
     pub queue_wait_ms: f64,
     /// Pickup-to-terminal time in milliseconds.
     pub run_ms: f64,
+    /// Whether the job succeeded via a degraded (relaxed) retry.
+    pub degraded: bool,
+    /// Whether the result was restored from a checkpoint journal.
+    pub resumed: bool,
     /// Per-stage wall times (empty for cache hits and failures: the
     /// stages were not executed by *this* job).
     pub stages: Vec<StageTime>,
@@ -71,8 +76,14 @@ pub struct BatchTotals {
     pub failed: usize,
     /// Jobs that hit the per-job timeout.
     pub timed_out: usize,
-    /// Jobs cancelled by the batch deadline.
+    /// Jobs cancelled by the batch deadline or failure budget.
     pub cancelled: usize,
+    /// Jobs quarantined by the resilience policy's attempt limit.
+    pub quarantined: usize,
+    /// Jobs that succeeded via a degraded (relaxed) retry.
+    pub degraded: usize,
+    /// Jobs restored from a checkpoint journal instead of executed.
+    pub resumed: usize,
     /// Submission-to-last-result wall time, in milliseconds.
     pub makespan_ms: f64,
     /// Completed jobs per second of makespan.
@@ -92,6 +103,9 @@ pub struct ExecutionReport {
     pub totals: BatchTotals,
     /// Cache counters at the end of the batch.
     pub cache: CacheStats,
+    /// Attempt threads abandoned by timeouts and still running when the
+    /// batch finished (the `exec.detached_threads` gauge).
+    pub detached_threads: u64,
     /// Per-worker accounting.
     pub workers: Vec<WorkerRecord>,
     /// Per-job records, in submission order.
@@ -106,6 +120,7 @@ impl ExecutionReport {
         mut workers: Vec<WorkerRecord>,
         cache: CacheStats,
         makespan_ms: f64,
+        detached_threads: u64,
     ) -> Self {
         let jobs: Vec<JobRecord> = results.iter().map(job_record).collect();
         workers.sort_by_key(|w| w.worker);
@@ -119,6 +134,7 @@ impl ExecutionReport {
         ExecutionReport {
             totals: totals(&jobs, makespan_ms),
             cache,
+            detached_threads,
             workers,
             jobs,
         }
@@ -156,9 +172,81 @@ fn job_record(result: &JobResult) -> JobRecord {
         worker: result.worker,
         queue_wait_ms: result.queue_wait_ms,
         run_ms: result.run_ms,
+        degraded: result.degraded,
+        resumed: result.resumed,
         stages,
         error: result.error.clone(),
     }
+}
+
+/// The canonical (wall-clock-free) view of one job in a batch.
+///
+/// Everything here is a pure function of the job list, the fault plan
+/// and the resilience policy — never of timing, worker count or whether
+/// the batch was interrupted and resumed. Scheduling-dependent fields
+/// (attempts, cache hits, worker ids, durations) are deliberately
+/// excluded: a resumed duplicate re-executes where the clean run hit
+/// the cache, yet both produce the same canonical record.
+#[derive(Debug, Clone, Serialize)]
+struct CanonicalJob {
+    index: usize,
+    name: String,
+    status: String,
+    degraded: bool,
+    error: Option<String>,
+    ppa: Option<PpaReport>,
+    gds_fnv: Option<String>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct CanonicalReport {
+    jobs: usize,
+    succeeded: usize,
+    failed: usize,
+    timed_out: usize,
+    cancelled: usize,
+    quarantined: usize,
+    degraded: usize,
+    results: Vec<CanonicalJob>,
+}
+
+/// Renders the canonical batch report as pretty-printed JSON.
+///
+/// This is the byte-for-byte reproducibility contract of checkpoint/
+/// resume: a batch killed after any number of completed jobs and
+/// resumed from its journal renders the same canonical report as the
+/// uninterrupted run (`tests/resilience.rs`, CI chaos smoke).
+#[must_use]
+pub fn canonical_report(results: &[JobResult]) -> String {
+    let count = |status: JobStatus| results.iter().filter(|r| r.status == status).count();
+    let canonical: Vec<CanonicalJob> = results
+        .iter()
+        .map(|result| {
+            let digests = result.artifact_digests();
+            CanonicalJob {
+                index: result.index,
+                name: result.name.clone(),
+                status: result.status.to_string(),
+                degraded: result.degraded,
+                error: result.error.clone(),
+                ppa: digests.as_ref().map(|(ppa, _)| ppa.clone()),
+                gds_fnv: digests.map(|(_, fnv)| format!("{fnv:016x}")),
+            }
+        })
+        .collect();
+    let report = CanonicalReport {
+        jobs: results.len(),
+        succeeded: count(JobStatus::Succeeded),
+        failed: count(JobStatus::Failed),
+        timed_out: count(JobStatus::TimedOut),
+        cancelled: count(JobStatus::Cancelled),
+        quarantined: count(JobStatus::Quarantined),
+        degraded: results.iter().filter(|r| r.degraded).count(),
+        results: canonical,
+    };
+    let mut json = serde::json::to_string_pretty(&report);
+    json.push('\n');
+    json
 }
 
 fn totals(jobs: &[JobRecord], makespan_ms: f64) -> BatchTotals {
@@ -200,6 +288,9 @@ fn totals(jobs: &[JobRecord], makespan_ms: f64) -> BatchTotals {
         failed: count(JobStatus::Failed),
         timed_out: count(JobStatus::TimedOut),
         cancelled: count(JobStatus::Cancelled),
+        quarantined: count(JobStatus::Quarantined),
+        degraded: jobs.iter().filter(|j| j.degraded).count(),
+        resumed: jobs.iter().filter(|j| j.resumed).count(),
         makespan_ms,
         throughput_jobs_per_s: if makespan_ms > 0.0 {
             succeeded as f64 / (makespan_ms / 1_000.0)
@@ -228,8 +319,11 @@ mod tests {
             worker: 0,
             queue_wait_ms: 2.0,
             run_ms: 10.0,
+            degraded: false,
+            resumed: false,
             error: None,
             outcome: None,
+            restored: None,
         }
     }
 
@@ -251,12 +345,15 @@ mod tests {
             hits: 0,
             misses: 4,
             evictions: 0,
+            corrupted: 0,
             entries: 2,
         };
-        let report = ExecutionReport::build(&results, workers, stats, 100.0);
+        let report = ExecutionReport::build(&results, workers, stats, 100.0, 0);
         assert_eq!(report.totals.succeeded, 2);
         assert_eq!(report.totals.failed, 1);
         assert_eq!(report.totals.timed_out, 1);
+        assert_eq!(report.totals.quarantined, 0);
+        assert_eq!(report.detached_threads, 0);
         assert!((report.totals.throughput_jobs_per_s - 20.0).abs() < 1e-9);
         assert!((report.workers[0].utilization - 0.4).abs() < 1e-9);
         let json = report.to_json();
@@ -266,8 +363,31 @@ mod tests {
             "utilization",
             "queue_wait_ms",
             "hits",
+            "corrupted",
+            "detached_threads",
+            "quarantined",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn canonical_report_ignores_scheduling_dependent_fields() {
+        let clean = result(0, JobStatus::Succeeded);
+        let mut rescheduled = result(0, JobStatus::Succeeded);
+        rescheduled.worker = 3;
+        rescheduled.attempts = 5;
+        rescheduled.cache_hit = true;
+        rescheduled.resumed = true;
+        rescheduled.queue_wait_ms = 777.0;
+        rescheduled.run_ms = 999.0;
+        assert_eq!(
+            canonical_report(&[clean]),
+            canonical_report(&[rescheduled]),
+            "scheduling noise must not leak into the canonical report"
+        );
+        let quarantined = canonical_report(&[result(1, JobStatus::Quarantined)]);
+        assert!(quarantined.contains("quarantined"));
+        assert!(quarantined.ends_with('\n'));
     }
 }

@@ -59,6 +59,23 @@ impl OptimizationProfile {
         }
     }
 
+    /// A relaxed variant of this profile for degraded retries: lower
+    /// placement utilization and reduced optimization effort, trading
+    /// PPA for closure when a route or clock-tree stage fails
+    /// transiently (chipforge-resil's graceful-degradation path).
+    #[must_use]
+    pub fn relaxed(&self) -> Self {
+        Self {
+            name: format!("{}-relaxed", self.name),
+            library: self.library,
+            synth_effort: self.synth_effort,
+            placement_moves_per_cell: (self.placement_moves_per_cell / 2).max(10),
+            utilization: (self.utilization - 0.10).max(0.40),
+            route_iterations: self.route_iterations.max(2),
+            sizing_iterations: self.sizing_iterations / 2,
+        }
+    }
+
     /// A minimal-effort profile for fast smoke runs and beginner tiers.
     #[must_use]
     pub fn quick() -> Self {
@@ -87,6 +104,23 @@ mod tests {
         assert!(comm.sizing_iterations > open.sizing_iterations);
         assert!(comm.utilization > open.utilization);
         assert_eq!(comm.library, LibraryKind::Commercial);
+    }
+
+    #[test]
+    fn relaxed_lowers_effort_but_keeps_the_library() {
+        for profile in [
+            OptimizationProfile::open(),
+            OptimizationProfile::commercial(),
+            OptimizationProfile::quick(),
+        ] {
+            let relaxed = profile.relaxed();
+            assert!(relaxed.utilization < profile.utilization);
+            assert!(relaxed.placement_moves_per_cell <= profile.placement_moves_per_cell);
+            assert!(relaxed.sizing_iterations <= profile.sizing_iterations);
+            assert_eq!(relaxed.library, profile.library);
+            assert_eq!(relaxed.name, format!("{}-relaxed", profile.name));
+            assert!(relaxed.utilization >= 0.40, "floor keeps layouts legal");
+        }
     }
 
     #[test]

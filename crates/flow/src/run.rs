@@ -68,6 +68,16 @@ impl FlowConfig {
         self
     }
 
+    /// A relaxed-parameter copy of this configuration for degraded
+    /// retries: same node, clock, seed and template, but the profile is
+    /// swapped for its [`OptimizationProfile::relaxed`] variant.
+    #[must_use]
+    pub fn degraded(&self) -> Self {
+        let mut config = self.clone();
+        config.profile = self.profile.relaxed();
+        config
+    }
+
     /// The PDK implied by node + profile: open where available, commercial
     /// otherwise.
     #[must_use]

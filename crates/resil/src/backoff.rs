@@ -1,0 +1,106 @@
+//! Bounded exponential backoff with deterministic jitter.
+
+use crate::{fnv64, hash_fraction};
+use std::time::Duration;
+
+/// Retry delay schedule: exponential growth from `base`, clamped to
+/// `max`, jittered into `[0.5, 1.0)` of the clamped delay.
+///
+/// The jitter is a pure hash of `(seed, key, attempt)` — retries of the
+/// same job are spread out the same way on every run, and concurrent
+/// retries of *different* jobs never stampede in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Hard ceiling on any single delay.
+    pub max: Duration,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Backoff {
+    /// The delay to sleep before retrying `key` after `attempt` failed
+    /// attempts (1-based).
+    #[must_use]
+    pub fn delay(&self, key: &str, attempt: u32) -> Duration {
+        if self.base.is_zero() || self.max.is_zero() {
+            return Duration::ZERO;
+        }
+        let exponent = attempt.saturating_sub(1).min(32);
+        let raw_ms = self.base.as_secs_f64() * 1_000.0 * 2f64.powi(exponent as i32);
+        let capped_ms = raw_ms.min(self.max.as_secs_f64() * 1_000.0);
+        let mut bytes = Vec::with_capacity(key.len() + 12);
+        bytes.extend_from_slice(&self.seed.to_le_bytes());
+        bytes.extend_from_slice(key.as_bytes());
+        bytes.extend_from_slice(&attempt.to_le_bytes());
+        let jitter = 0.5 + 0.5 * hash_fraction(fnv64(&bytes));
+        Duration::from_secs_f64(capped_ms * jitter / 1_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backoff() -> Backoff {
+        Backoff {
+            base: Duration::from_millis(25),
+            max: Duration::from_millis(400),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn delays_are_deterministic() {
+        for attempt in 1..=10 {
+            assert_eq!(
+                backoff().delay("job", attempt),
+                backoff().delay("job", attempt)
+            );
+        }
+    }
+
+    #[test]
+    fn delays_never_exceed_the_cap() {
+        let b = backoff();
+        for attempt in 1..=64 {
+            assert!(b.delay("job", attempt) <= b.max, "attempt {attempt}");
+        }
+    }
+
+    #[test]
+    fn early_delays_grow_roughly_exponentially() {
+        let b = backoff();
+        // Jitter is in [0.5, 1.0) of the clamped delay, so attempt n+2
+        // always outgrows attempt n even in the worst jitter case.
+        for attempt in 1..=3 {
+            assert!(b.delay("job", attempt + 2) > b.delay("job", attempt));
+        }
+        assert!(b.delay("job", 1) >= b.base / 2);
+    }
+
+    #[test]
+    fn different_keys_get_different_jitter() {
+        let b = backoff();
+        let spread: std::collections::HashSet<Duration> =
+            (0..16).map(|i| b.delay(&format!("job-{i}"), 1)).collect();
+        assert!(spread.len() > 8, "jitter must spread retries out");
+    }
+
+    #[test]
+    fn zero_base_means_no_sleep() {
+        let b = Backoff {
+            base: Duration::ZERO,
+            max: Duration::from_secs(1),
+            seed: 0,
+        };
+        assert_eq!(b.delay("job", 5), Duration::ZERO);
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow() {
+        let b = backoff();
+        assert!(b.delay("job", u32::MAX) <= b.max);
+    }
+}

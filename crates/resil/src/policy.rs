@@ -1,0 +1,91 @@
+//! Batch-level protection policy.
+
+/// How a batch engine reacts to repeated failures.
+///
+/// The inert policy reproduces the engine's historical behavior
+/// (bounded retry, terminal `Failed`); the resilient policy adds
+/// per-job quarantine, an optional batch failure budget and graceful
+/// stage degradation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResiliencePolicy {
+    /// Quarantine a job (terminal `Quarantined` status, identical
+    /// resubmissions short-circuited) once it exhausts `max_attempts`.
+    pub quarantine: bool,
+    /// Attempt ceiling per job when `quarantine` is on (at least 1).
+    pub max_attempts: u32,
+    /// Fail fast once this many jobs have terminally failed: remaining
+    /// unstarted jobs are cancelled instead of burning worker time.
+    pub failure_budget: Option<usize>,
+    /// Retry a transiently-failed route/CTS stage once with relaxed
+    /// parameters instead of failing the job (tagged `degraded`).
+    pub degrade: bool,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy::inert()
+    }
+}
+
+impl ResiliencePolicy {
+    /// The no-op policy: engine behavior is unchanged.
+    #[must_use]
+    pub fn inert() -> Self {
+        ResiliencePolicy {
+            quarantine: false,
+            max_attempts: 0,
+            failure_budget: None,
+            degrade: false,
+        }
+    }
+
+    /// Full protection: quarantine after `max_attempts`, degradation on.
+    #[must_use]
+    pub fn resilient(max_attempts: u32) -> Self {
+        ResiliencePolicy {
+            quarantine: true,
+            max_attempts: max_attempts.max(1),
+            failure_budget: None,
+            degrade: true,
+        }
+    }
+
+    /// Sets the batch failure budget.
+    #[must_use]
+    pub fn with_failure_budget(mut self, budget: usize) -> Self {
+        self.failure_budget = Some(budget);
+        self
+    }
+
+    /// Disables graceful degradation.
+    #[must_use]
+    pub fn without_degrade(mut self) -> Self {
+        self.degrade = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_inert() {
+        let policy = ResiliencePolicy::default();
+        assert!(!policy.quarantine);
+        assert!(!policy.degrade);
+        assert!(policy.failure_budget.is_none());
+    }
+
+    #[test]
+    fn resilient_clamps_attempts_to_at_least_one() {
+        assert_eq!(ResiliencePolicy::resilient(0).max_attempts, 1);
+        let policy = ResiliencePolicy::resilient(3)
+            .with_failure_budget(5)
+            .without_degrade();
+        assert!(policy.quarantine);
+        assert_eq!(policy.max_attempts, 3);
+        assert_eq!(policy.failure_budget, Some(5));
+        assert!(!policy.degrade);
+    }
+}
