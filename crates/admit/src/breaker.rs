@@ -1,0 +1,203 @@
+//! A deterministic closed/open/half-open circuit breaker.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Breaker state. Gauge encoding: closed = 0, half-open = 1, open = 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Numeric encoding for metrics gauges.
+    pub fn as_gauge(self) -> f64 {
+        match self {
+            BreakerState::Closed => 0.0,
+            BreakerState::HalfOpen => 1.0,
+            BreakerState::Open => 2.0,
+        }
+    }
+}
+
+impl fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        })
+    }
+}
+
+/// Circuit breaker keyed on *consecutive* failures, with a count-based
+/// cooldown instead of a wall-clock one so that simulations and resumed
+/// batches reproduce exactly.
+///
+/// Lifecycle: `Closed` trips to `Open` after `threshold` consecutive
+/// failures. While `Open`, [`CircuitBreaker::admit`] fast-fails the
+/// next `cooldown` admissions, then transitions to `HalfOpen` and lets
+/// exactly one probe through. A success while probing closes the
+/// breaker; a failure re-opens it for another cooldown round.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: u32,
+    consecutive_failures: u32,
+    blocked: u32,
+    state: BreakerState,
+    trips: u64,
+    fast_fails: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that trips after `threshold` consecutive
+    /// failures and fast-fails `cooldown` admissions per open period.
+    pub fn new(threshold: u32, cooldown: u32) -> Self {
+        assert!(threshold > 0, "threshold must be at least one failure");
+        Self {
+            threshold,
+            cooldown,
+            consecutive_failures: 0,
+            blocked: 0,
+            state: BreakerState::Closed,
+            trips: 0,
+            fast_fails: 0,
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Admissions fast-failed while open.
+    pub fn fast_fails(&self) -> u64 {
+        self.fast_fails
+    }
+
+    /// Ask to run one unit of work. `false` means fast-fail without
+    /// executing. While open this also advances the cooldown counter;
+    /// once the cooldown is spent the breaker half-opens and admits a
+    /// single probe.
+    pub fn admit(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if self.blocked < self.cooldown {
+                    self.blocked += 1;
+                    self.fast_fails += 1;
+                    false
+                } else {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Record a successful unit of work.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Closed;
+        }
+    }
+
+    /// Record a failed unit of work.
+    pub fn record_failure(&mut self) {
+        match self.state {
+            BreakerState::HalfOpen => {
+                // The probe failed: straight back to open for another
+                // cooldown round.
+                self.trip();
+            }
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.threshold {
+                    self.trip();
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.blocked = 0;
+        self.consecutive_failures = 0;
+        self.trips += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(3, 2);
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let mut b = CircuitBreaker::new(2, 1);
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed,
+            "non-consecutive failures must not trip"
+        );
+    }
+
+    #[test]
+    fn open_fast_fails_through_cooldown_then_probes() {
+        let mut b = CircuitBreaker::new(1, 2);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.admit());
+        assert!(!b.admit());
+        assert_eq!(b.fast_fails(), 2);
+        assert!(b.admit(), "cooldown spent: half-open probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn probe_success_closes_probe_failure_reopens() {
+        let mut b = CircuitBreaker::new(1, 1);
+        b.record_failure();
+        assert!(!b.admit());
+        assert!(b.admit());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open, "failed probe re-opens");
+        assert_eq!(b.trips(), 2);
+        assert!(!b.admit());
+        assert!(b.admit());
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed, "successful probe closes");
+    }
+
+    #[test]
+    fn zero_cooldown_goes_straight_to_half_open() {
+        let mut b = CircuitBreaker::new(1, 0);
+        b.record_failure();
+        assert!(b.admit(), "no cooldown: first admission is the probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the admission plane.
+//!
+//! The headline property is **no starvation**: under a saturating
+//! high-tier load, fair-share with a positive aging rate serves every
+//! admitted low-tier job in bounded time — for *any* positive weights,
+//! any service times and any backlog size. This is the contract that
+//! lets the hub promise beginners a turn no matter how hard the
+//! advanced tier presses.
+
+use chipforge_admit::{
+    interleave_by_weight, Admission, ClassQueues, FairShare, OverflowPolicy, RateLimit, TokenBucket,
+};
+use proptest::prelude::*;
+
+const BEGINNER: usize = 0;
+const ADVANCED: usize = 1;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fair-share + aging never starves the light tier: a single-server
+    /// loop under a saturating advanced-tier queue (always refilled)
+    /// still serves every queued beginner job within a bounded number
+    /// of dispatches.
+    #[test]
+    fn aging_fair_share_never_starves_beginners(
+        beginner_weight in 0.05f64..2.0,
+        advanced_weight in 0.5f64..50.0,
+        aging_rate in 0.01f64..2.0,
+        beginner_service in 0.1f64..1.0,
+        advanced_service in 1.0f64..50.0,
+        backlog in 1usize..12,
+    ) {
+        let mut queues: ClassQueues<usize> = ClassQueues::new(2);
+        let mut fair = FairShare::new(vec![beginner_weight, advanced_weight], aging_rate);
+        let mut now = 0.0;
+        // The whole beginner backlog is queued up front…
+        for i in 0..backlog {
+            queues.offer(BEGINNER, i, now, None, OverflowPolicy::Reject);
+        }
+        // …against an advanced tier that never drains.
+        queues.offer(ADVANCED, usize::MAX, now, None, OverflowPolicy::Reject);
+
+        let mut beginners_served = 0;
+        let mut dispatches = 0;
+        let budget = 200 * backlog;
+        while beginners_served < backlog {
+            dispatches += 1;
+            prop_assert!(
+                dispatches <= budget,
+                "starvation: only {beginners_served}/{backlog} beginner jobs served after {dispatches} dispatches"
+            );
+            let class = fair.pick(&queues, now).expect("queues are never empty");
+            queues.pop_front(class).expect("picked class has work");
+            let service = if class == BEGINNER { beginner_service } else { advanced_service };
+            now += service;
+            fair.charge(class, service);
+            if class == BEGINNER {
+                beginners_served += 1;
+            } else {
+                // Saturating load: the advanced tier refills instantly.
+                queues.offer(ADVANCED, usize::MAX, now, None, OverflowPolicy::Reject);
+            }
+        }
+    }
+
+    /// A bounded queue never exceeds its capacity, under any interleaving
+    /// of offers and pops and either overflow policy, and no item is
+    /// lost or duplicated: admitted = served + shed + still-queued.
+    #[test]
+    fn bounded_depth_and_conservation(
+        capacity in 0usize..6,
+        shed in 0u8..2,
+        ops in proptest::collection::vec(0u8..3, 1..80),
+    ) {
+        let policy = if shed == 1 { OverflowPolicy::ShedOldest } else { OverflowPolicy::Reject };
+        let mut queues: ClassQueues<u32> = ClassQueues::new(1);
+        let (mut offered, mut admitted, mut rejected, mut shed_count, mut served) = (0u32, 0u32, 0u32, 0u32, 0u32);
+        for (step, op) in ops.iter().enumerate() {
+            if *op < 2 {
+                let outcome = queues.offer(0, offered, step as f64, Some(capacity), policy);
+                offered += 1;
+                match outcome {
+                    Admission::Admitted => admitted += 1,
+                    Admission::Rejected(_) => rejected += 1,
+                    Admission::Shed(_) => { admitted += 1; shed_count += 1; }
+                }
+            } else if queues.pop_front(0).is_some() {
+                served += 1;
+            }
+            prop_assert!(queues.depth(0) <= capacity, "depth {} exceeds capacity {capacity}", queues.depth(0));
+        }
+        prop_assert!(queues.peak_depth(0) <= capacity);
+        prop_assert_eq!(offered, admitted + rejected);
+        prop_assert_eq!(admitted, served + shed_count + queues.depth(0) as u32);
+    }
+
+    /// Weighted interleave is a permutation that preserves FIFO order
+    /// within each class.
+    #[test]
+    fn interleave_is_an_order_preserving_permutation(
+        a_len in 0usize..20,
+        b_len in 0usize..20,
+        wa in 0.1f64..8.0,
+        wb in 0.1f64..8.0,
+    ) {
+        let a: Vec<i64> = (0..a_len as i64).collect();
+        let b: Vec<i64> = (100..100 + b_len as i64).collect();
+        let out = interleave_by_weight(vec![a.clone(), b.clone()], &[wa, wb]);
+        prop_assert_eq!(out.len(), a_len + b_len);
+        let a_out: Vec<i64> = out.iter().copied().filter(|x| *x < 100).collect();
+        let b_out: Vec<i64> = out.iter().copied().filter(|x| *x >= 100).collect();
+        prop_assert_eq!(a_out, a);
+        prop_assert_eq!(b_out, b);
+    }
+
+    /// A token bucket never admits more than burst + rate·T (+1 for the
+    /// token accruing exactly at the horizon) over any horizon.
+    #[test]
+    fn token_bucket_respects_long_run_rate(
+        rate in 0.1f64..10.0,
+        burst in 1.0f64..8.0,
+        horizon in 1.0f64..50.0,
+        attempts in 1usize..400,
+    ) {
+        let mut bucket = TokenBucket::new(RateLimit { rate, burst });
+        let mut admitted = 0usize;
+        for i in 0..attempts {
+            let now = horizon * (i as f64) / (attempts as f64);
+            if bucket.try_acquire(now) {
+                admitted += 1;
+            }
+        }
+        let ceiling = burst + rate * horizon + 1.0;
+        prop_assert!(
+            (admitted as f64) <= ceiling,
+            "admitted {admitted} exceeds rate ceiling {ceiling}"
+        );
+    }
+}

@@ -8,7 +8,7 @@
 //! On single-core runners the two cold regimes coincide (the pool can
 //! only time-slice); the warm-cache speedup is machine-independent.
 
-use chipforge::exec::{BatchEngine, EngineConfig, JobSpec, ResilienceOptions};
+use chipforge::exec::{AdmissionControl, BatchEngine, EngineConfig, JobSpec, ResilienceOptions};
 use chipforge::flow::OptimizationProfile;
 use chipforge::hdl::designs;
 use chipforge::pdk::TechnologyNode;
@@ -73,6 +73,29 @@ fn bench_batch_throughput(c: &mut Criterion) {
         b.iter(|| {
             let engine = BatchEngine::new(EngineConfig::with_workers(workers));
             engine.run_batch_resilient(batch(), ResilienceOptions::default())
+        });
+    });
+
+    // Admission control configured but never triggering: a queue window
+    // far larger than the batch, flat tier weights and a breaker that
+    // cannot trip. Exercises the interleave/window/breaker plumbing
+    // without a single rejection; must also stay within 5% of
+    // `12_jobs_pool_cold`.
+    group.bench_function("12_jobs_pool_cold_permissive_admission", |b| {
+        b.iter(|| {
+            let engine = BatchEngine::new(EngineConfig::with_workers(workers));
+            engine.run_batch_resilient(
+                batch(),
+                ResilienceOptions {
+                    admission: AdmissionControl {
+                        max_queue: Some(64),
+                        tier_weights: Some([1.0, 1.0, 1.0]),
+                        breaker_threshold: Some(1_000),
+                        ..AdmissionControl::default()
+                    },
+                    ..ResilienceOptions::default()
+                },
+            )
         });
     });
 

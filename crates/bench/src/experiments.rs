@@ -20,9 +20,9 @@ use chipforge::synth::{synthesize, SynthEffort, SynthOptions};
 use chipforge::{EnablementComparison, EnablementHub, Tier, TierStrategy};
 
 /// All experiment identifiers accepted by [`run_experiment`].
-pub const EXPERIMENT_IDS: [&str; 18] = [
+pub const EXPERIMENT_IDS: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "a1", "a2", "a5",
+    "e16", "a1", "a2", "a5",
 ];
 
 /// Runs one experiment by id (`"e1"`..`"e10"`, `"a1"`, `"a2"`).
@@ -46,6 +46,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "e13" => e13_fpga_vs_asic(),
         "e14" => e14_calibrated_hub(),
         "e15" => e15_resilience(),
+        "e16" => e16_overload(),
         "a1" => a1_synth_effort(),
         "a2" => a2_placement_moves(),
         "a5" => a5_scan_overhead(),
@@ -888,6 +889,7 @@ pub fn e15_resilience() -> String {
         journal,
         resume,
         halt_after,
+        ..ResilienceOptions::default()
     };
     let clean = BatchEngine::new(config()).run_batch_resilient(
         jobs(),
@@ -962,6 +964,117 @@ pub fn e15_resilience() -> String {
     out
 }
 
+/// One E16 sweep cell: `(arrival multiplier, policy name, result)`.
+///
+/// Shared by the table renderer and the acceptance test so both see
+/// exactly the same runs. The grid is 3 arrival-rate multipliers of
+/// the 6-server saturation point × 3 admission policies.
+#[must_use]
+pub fn e16_sweep() -> Vec<(f64, &'static str, chipforge::cloud::AdmittedResult)> {
+    use chipforge::admit::AdmissionPolicy;
+    use chipforge::cloud::simulate_hub_admitted;
+    use chipforge::obs::Tracer;
+
+    // Default tier mix 0.6/0.3/0.1 over 0.5/4/24 h services gives a
+    // 3.9 h mean job; 12 universities saturate 6 servers when each
+    // group's mean inter-arrival is 12 * 3.9 / 6 = 7.8 h.
+    let saturation_interarrival_h = 7.8;
+    let policies: [(&'static str, AdmissionPolicy); 3] = [
+        ("unbounded", AdmissionPolicy::unbounded(3)),
+        (
+            "bounded-reject",
+            AdmissionPolicy::bounded(3, 4)
+                .with_weights(vec![2.0, 1.5, 1.0])
+                .with_aging(0.25),
+        ),
+        (
+            "bounded-shed",
+            AdmissionPolicy::bounded(3, 4)
+                .with_shed_oldest()
+                .with_weights(vec![2.0, 1.5, 1.0])
+                .with_aging(0.25),
+        ),
+    ];
+    let mut cells = Vec::new();
+    for multiplier in [0.5, 1.0, 2.0] {
+        let spec = WorkloadSpec::new(12, 150, saturation_interarrival_h / multiplier, 416);
+        for (name, policy) in &policies {
+            let result = simulate_hub_admitted(&spec, 6, 0.0, 1.0, policy, &Tracer::disabled())
+                .expect("valid workload and 3-tier policy");
+            cells.push((multiplier, *name, result));
+        }
+    }
+    cells
+}
+
+/// E16 — overload robustness: admission control keeps tail latency
+/// bounded past saturation (Rec. 7).
+///
+/// Sweeps the hub DES across arrival-rate multipliers {0.5×, 1×, 2×}
+/// of the 6-server saturation point and three admission policies: the
+/// legacy unbounded FIFO (an inert [`AdmissionPolicy`]), bounded
+/// per-tier queues (4 deep) rejecting overflow, and the same bound
+/// shedding the oldest entry instead. Both bounded policies dispatch
+/// by weighted fair share with anti-starvation aging. At 2× saturation
+/// the unbounded p99 turnaround diverges to well over 10× the
+/// uncontended baseline while the bounded policies hold it within 2×
+/// by turning surplus work away; goodput and rejection fractions
+/// quantify the price. Pure DES — no wall clock — so the table is in
+/// the stable-table determinism test.
+///
+/// [`AdmissionPolicy`]: chipforge::admit::AdmissionPolicy
+#[must_use]
+pub fn e16_overload() -> String {
+    let mut t = Table::new(
+        "E16: overload — admission policy vs arrival rate (Rec. 7)",
+        &[
+            "load xsat",
+            "policy",
+            "completed",
+            "rejected %",
+            "shed %",
+            "goodput j/h",
+            "p99 turnaround h",
+            "beginner max wait h",
+        ],
+    );
+    let cells = e16_sweep();
+    let mut baseline_p99 = 0.0;
+    let mut overloaded: Vec<(&str, f64)> = Vec::new();
+    for (multiplier, name, r) in &cells {
+        let offered: usize = r.tiers.iter().map(|s| s.offered).sum();
+        let rejected: usize = r.tiers.iter().map(|s| s.rejected).sum();
+        let shed: usize = r.tiers.iter().map(|s| s.shed).sum();
+        if (*multiplier - 0.5).abs() < f64::EPSILON && *name == "unbounded" {
+            baseline_p99 = r.p99_turnaround_h;
+        }
+        if (*multiplier - 2.0).abs() < f64::EPSILON {
+            overloaded.push((name, r.p99_turnaround_h));
+        }
+        t.row(vec![
+            f(*multiplier, 1),
+            (*name).to_string(),
+            r.scenario.completed.to_string(),
+            f(rejected as f64 * 100.0 / offered.max(1) as f64, 1),
+            f(shed as f64 * 100.0 / offered.max(1) as f64, 1),
+            f(r.scenario.completed as f64 / r.horizon_h.max(1e-9), 2),
+            f(r.p99_turnaround_h, 1),
+            f(r.tiers[0].max_wait_h, 1),
+        ]);
+    }
+    t.note(format!(
+        "uncontended baseline p99 = {baseline_p99:.1} h (unbounded at 0.5x saturation)"
+    ));
+    for (name, p99) in overloaded {
+        t.note(format!(
+            "at 2x saturation, {name} p99 is {:.1}x baseline",
+            p99 / baseline_p99.max(1e-9)
+        ));
+    }
+    t.note("bounded queues trade admission for a flat tail: rejected work fails fast instead of aging in queue");
+    t.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -978,6 +1091,46 @@ mod tests {
     #[test]
     fn unknown_experiment_is_none() {
         assert!(run_experiment("e99").is_none());
+    }
+
+    #[test]
+    fn e16_bounded_policies_hold_p99_under_overload() {
+        let cells = e16_sweep();
+        let p99 = |mult: f64, name: &str| {
+            cells
+                .iter()
+                .find(|(m, n, _)| (*m - mult).abs() < f64::EPSILON && *n == name)
+                .map(|(_, _, r)| r.p99_turnaround_h)
+                .expect("sweep cell present")
+        };
+        let baseline = p99(0.5, "unbounded");
+        assert!(baseline > 0.0);
+        // At 2x saturation the unbounded queue's tail diverges while
+        // both bounded policies stay within 2x of the uncontended
+        // baseline — the E16 acceptance criterion.
+        assert!(
+            p99(2.0, "unbounded") > 10.0 * baseline,
+            "unbounded p99 {} vs baseline {baseline}",
+            p99(2.0, "unbounded")
+        );
+        for policy in ["bounded-reject", "bounded-shed"] {
+            assert!(
+                p99(2.0, policy) < 2.0 * baseline,
+                "{policy} p99 {} vs baseline {baseline}",
+                p99(2.0, policy)
+            );
+        }
+        // Overload is absorbed by rejection, not unbounded queueing.
+        let overloaded = cells
+            .iter()
+            .find(|(m, n, _)| (*m - 2.0).abs() < f64::EPSILON && *n == "bounded-reject")
+            .map(|(_, _, r)| r)
+            .expect("cell");
+        let rejected: usize = overloaded.tiers.iter().map(|s| s.rejected).sum();
+        assert!(rejected > 0, "saturated bounded queue must reject");
+        for stats in &overloaded.tiers {
+            assert!(stats.peak_depth <= 4, "queue depth bounded by capacity");
+        }
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Typed configuration errors for the simulation layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// A workload or policy configuration that cannot be simulated.
+///
+/// Historically a bad [`crate::WorkloadSpec`] — a NaN inter-arrival
+/// time, a negative tier share — panicked deep inside the
+/// discrete-event loop (`partial_cmp(..).expect("finite times")`) long
+/// after the mistake was made. Validation now happens up front and
+/// reports *which* field is broken.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A numeric field is NaN or infinite.
+    NonFinite {
+        /// The offending field, e.g. `mean_interarrival_h`.
+        field: &'static str,
+        /// The value found.
+        value: f64,
+    },
+    /// A field that must be strictly positive is zero or negative.
+    NonPositive {
+        /// The offending field.
+        field: &'static str,
+        /// The value found.
+        value: f64,
+    },
+    /// A field that must be non-negative is negative.
+    Negative {
+        /// The offending field.
+        field: &'static str,
+        /// The value found.
+        value: f64,
+    },
+    /// The tier mix sums to zero: no tier can ever be drawn.
+    EmptyTierMix,
+    /// An admission policy covers the wrong number of classes for the
+    /// three-tier hub.
+    TierClassMismatch {
+        /// Classes the policy was built for.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NonFinite { field, value } => {
+                write!(f, "config error: `{field}` must be finite, got {value}")
+            }
+            ConfigError::NonPositive { field, value } => {
+                write!(f, "config error: `{field}` must be positive, got {value}")
+            }
+            ConfigError::Negative { field, value } => {
+                write!(
+                    f,
+                    "config error: `{field}` must be non-negative, got {value}"
+                )
+            }
+            ConfigError::EmptyTierMix => {
+                write!(
+                    f,
+                    "config error: `tier_mix` sums to zero; no tier can be drawn"
+                )
+            }
+            ConfigError::TierClassMismatch { got } => {
+                write!(
+                    f,
+                    "config error: admission policy covers {got} classes, the hub has 3 tiers"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}

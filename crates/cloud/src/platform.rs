@@ -1,7 +1,9 @@
 //! Local-vs-centralized enablement queueing simulation (Rec. 7).
 
+use crate::error::ConfigError;
 use crate::queue::EventQueue;
 use crate::tier::AccessTier;
+use chipforge_admit::{Admission, AdmissionPolicy, ClassQueues, FairShare, TokenBucket};
 use chipforge_obs::{SpanId, Tracer};
 use chipforge_resil::OutagePlan;
 use rand::rngs::StdRng;
@@ -59,6 +61,64 @@ impl WorkloadSpec {
         self
     }
 
+    /// Validates every numeric field up front, so a NaN rate or a
+    /// negative service time is reported as a typed [`ConfigError`]
+    /// naming the field instead of panicking (or asserting) somewhere
+    /// inside the event loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first offending field found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let rate = self.mean_interarrival_h;
+        if !rate.is_finite() {
+            return Err(ConfigError::NonFinite {
+                field: "mean_interarrival_h",
+                value: rate,
+            });
+        }
+        if rate <= 0.0 {
+            return Err(ConfigError::NonPositive {
+                field: "mean_interarrival_h",
+                value: rate,
+            });
+        }
+        for (i, share) in self.tier_mix.iter().enumerate() {
+            if !share.is_finite() {
+                return Err(ConfigError::NonFinite {
+                    field: TIER_MIX_FIELDS[i],
+                    value: *share,
+                });
+            }
+            if *share < 0.0 {
+                return Err(ConfigError::Negative {
+                    field: TIER_MIX_FIELDS[i],
+                    value: *share,
+                });
+            }
+        }
+        if self.tier_mix.iter().sum::<f64>() <= 0.0 {
+            return Err(ConfigError::EmptyTierMix);
+        }
+        if let Some(hours) = self.service_hours_override {
+            for (i, h) in hours.iter().enumerate() {
+                if !h.is_finite() {
+                    return Err(ConfigError::NonFinite {
+                        field: SERVICE_FIELDS[i],
+                        value: *h,
+                    });
+                }
+                if *h <= 0.0 {
+                    return Err(ConfigError::NonPositive {
+                        field: SERVICE_FIELDS[i],
+                        value: *h,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Mean service hours for a tier: the measured override when
     /// calibrated, the tier's modelled value otherwise.
     #[must_use]
@@ -90,10 +150,23 @@ impl WorkloadSpec {
                 jobs.push((u, t, tier, service));
             }
         }
-        jobs.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+        // `total_cmp` keeps the sort total even on adversarial inputs;
+        // `validate()` is how callers reject them with a useful error.
+        jobs.sort_by(|a, b| a.1.total_cmp(&b.1));
         jobs
     }
 }
+
+const TIER_MIX_FIELDS: [&str; 3] = [
+    "tier_mix[beginner]",
+    "tier_mix[intermediate]",
+    "tier_mix[advanced]",
+];
+const SERVICE_FIELDS: [&str; 3] = [
+    "service_hours_override[beginner]",
+    "service_hours_override[intermediate]",
+    "service_hours_override[advanced]",
+];
 
 fn exponential(rng: &mut StdRng, mean: f64) -> f64 {
     let u: f64 = rng.gen_range(1e-12..1.0);
@@ -492,6 +565,206 @@ pub fn simulate_hub_resilient(
     )
 }
 
+/// Per-tier admission accounting from [`simulate_hub_admitted`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct TierAdmitStats {
+    /// Jobs that arrived for this tier.
+    pub offered: usize,
+    /// Jobs admitted into the queue (including ones later shed).
+    pub admitted: usize,
+    /// Jobs turned away — rate-limited or queue-full under
+    /// [`chipforge_admit::OverflowPolicy::Reject`].
+    pub rejected: usize,
+    /// Admitted jobs displaced by newer arrivals under
+    /// [`chipforge_admit::OverflowPolicy::ShedOldest`].
+    pub shed: usize,
+    /// Jobs that ran to completion.
+    pub completed: usize,
+    /// Longest queue wait any completed job of this tier endured, in
+    /// hours — the starvation indicator.
+    pub max_wait_h: f64,
+    /// High-water mark of this tier's queue depth.
+    pub peak_depth: usize,
+}
+
+/// Result of an admission-controlled hub run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmittedResult {
+    /// Turnaround/utilization summary over the *completed* jobs.
+    pub scenario: ScenarioResult,
+    /// 99th-percentile turnaround in hours — the overload experiment's
+    /// headline statistic (p95 hides a diverging tail for longer).
+    pub p99_turnaround_h: f64,
+    /// Simulated horizon (last event time) in hours; goodput is
+    /// `scenario.completed / horizon_h`.
+    pub horizon_h: f64,
+    /// Per-tier admission statistics, indexed by
+    /// [`AccessTier::priority`].
+    pub tiers: [TierAdmitStats; 3],
+}
+
+/// Simulates the centralized hub under an [`AdmissionPolicy`]: bounded
+/// per-tier queues (reject or shed-oldest on overflow), optional
+/// per-tier token-bucket rate limiting, and weighted fair-share
+/// dispatch with an anti-starvation aging bonus in place of the strict
+/// priority rule of [`simulate_hub`].
+///
+/// This is the overload-robust counterpart of [`simulate_hub_traced`]:
+/// where the legacy scheduler grows its queue without bound and lets
+/// the heaviest tier monopolize servers, this one sheds load it cannot
+/// carry and shares service time by weight, so p99 turnaround stays
+/// bounded at arrival rates where the unbounded baseline diverges
+/// (experiment E16). Outage injection is deliberately not composed
+/// here; use [`simulate_hub_resilient`] for availability experiments.
+///
+/// With a tracer enabled, admission decisions surface as
+/// `admit.rejected` / `admit.shed` counters and per-tier
+/// `admit.queue_depth.<tier>` gauges.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] if the workload fails
+/// [`WorkloadSpec::validate`] or the policy does not cover exactly the
+/// three hub tiers.
+pub fn simulate_hub_admitted(
+    spec: &WorkloadSpec,
+    servers: usize,
+    hub_setup_hours: f64,
+    compute_speed: f64,
+    policy: &AdmissionPolicy,
+    tracer: &Tracer,
+) -> Result<AdmittedResult, ConfigError> {
+    spec.validate()?;
+    if policy.classes() != 3 {
+        return Err(ConfigError::TierClassMismatch {
+            got: policy.classes(),
+        });
+    }
+    let jobs = spec.jobs();
+    let mut queue: EventQueue<HubEvent> = EventQueue::new();
+    for (i, (_, arrival, _, _)) in jobs.iter().enumerate() {
+        queue.push(*arrival, HubEvent::Arrival(i));
+    }
+    let mut buckets: Vec<Option<TokenBucket>> = policy
+        .rate_limits
+        .iter()
+        .map(|limit| limit.map(TokenBucket::new))
+        .collect();
+    let mut waiting: ClassQueues<usize> = ClassQueues::new(3);
+    let mut fair = FairShare::new(policy.weights.clone(), policy.aging_rate);
+    let mut stats = [TierAdmitStats::default(); 3];
+    let mut server_running: Vec<Option<usize>> = vec![None; servers];
+    let mut turnarounds: Vec<f64> = Vec::new();
+    let mut busy = 0.0f64;
+    let mut horizon = 0.0f64;
+
+    while let Some((now, event)) = queue.pop() {
+        horizon = horizon.max(now);
+        match event {
+            HubEvent::Arrival(i) => {
+                let tier = jobs[i].2;
+                let class = tier.priority() as usize;
+                stats[class].offered += 1;
+                let within_rate = buckets[class]
+                    .as_mut()
+                    .is_none_or(|bucket| bucket.try_acquire(now));
+                if !within_rate {
+                    stats[class].rejected += 1;
+                    if tracer.is_enabled() {
+                        tracer.add("admit.rejected", 1);
+                    }
+                } else {
+                    match waiting.offer(class, i, now, policy.queue_capacity, policy.overflow) {
+                        Admission::Admitted => stats[class].admitted += 1,
+                        Admission::Rejected(_) => {
+                            stats[class].rejected += 1;
+                            if tracer.is_enabled() {
+                                tracer.add("admit.rejected", 1);
+                            }
+                        }
+                        Admission::Shed(_) => {
+                            stats[class].admitted += 1;
+                            stats[class].shed += 1;
+                            if tracer.is_enabled() {
+                                tracer.add("admit.shed", 1);
+                            }
+                        }
+                    }
+                }
+            }
+            HubEvent::Departure { server, .. } => {
+                if let Some(job) = server_running[server].take() {
+                    let (_, arrival, tier, raw_service) = jobs[job];
+                    let service = raw_service / compute_speed.max(1e-9);
+                    busy += service;
+                    turnarounds.push(now - arrival);
+                    stats[tier.priority() as usize].completed += 1;
+                    if tracer.is_enabled() {
+                        tracer.observe("cloud.turnaround_h", now - arrival);
+                        tracer.add("cloud.jobs", 1);
+                    }
+                }
+            }
+            HubEvent::ServerDown(_) | HubEvent::ServerUp(_) => {
+                unreachable!("no outage events are scheduled in the admitted path")
+            }
+        }
+        // Dispatch by weighted fair share with aging.
+        while let Some(server) = server_running.iter().position(Option::is_none) {
+            let Some(class) = fair.pick(&waiting, now) else {
+                break;
+            };
+            let (job, enqueued_at) = waiting.pop_front(class).expect("picked class has work");
+            let wait = now - enqueued_at;
+            stats[class].max_wait_h = stats[class].max_wait_h.max(wait);
+            let service = jobs[job].3 / compute_speed.max(1e-9);
+            fair.charge(class, service);
+            server_running[server] = Some(job);
+            queue.push(now + service, HubEvent::Departure { server, epoch: 0 });
+            if tracer.is_enabled() {
+                tracer.observe("cloud.queue_wait_h", wait);
+            }
+        }
+        if tracer.is_enabled() {
+            for tier in AccessTier::ALL {
+                let class = tier.priority() as usize;
+                tracer.set_gauge(
+                    &format!("admit.queue_depth.{tier}"),
+                    waiting.depth(class) as f64,
+                );
+            }
+        }
+    }
+    for tier in AccessTier::ALL {
+        let class = tier.priority() as usize;
+        stats[class].peak_depth = waiting.peak_depth(class);
+    }
+    let scenario = summarize(
+        turnarounds.clone(),
+        hub_setup_hours,
+        busy / (horizon.max(1e-9) * servers.max(1) as f64),
+        0,
+        0,
+    );
+    turnarounds.sort_by(f64::total_cmp);
+    let p99 = percentile(&turnarounds, 0.99);
+    Ok(AdmittedResult {
+        scenario,
+        p99_turnaround_h: p99,
+        horizon_h: horizon,
+        tiers: stats,
+    })
+}
+
+/// Percentile of an ascending-sorted sample (nearest-rank, matching
+/// the p95 computed by `summarize`).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[((sorted.len() as f64 * q) as usize).min(sorted.len() - 1)]
+}
+
 fn summarize(
     mut turnarounds: Vec<f64>,
     setup_hours: f64,
@@ -505,7 +778,7 @@ fn summarize(
     } else {
         turnarounds.iter().sum::<f64>() / completed as f64
     };
-    turnarounds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    turnarounds.sort_by(f64::total_cmp);
     let p95 = if completed == 0 {
         0.0
     } else {
@@ -729,6 +1002,196 @@ mod tests {
         let r = simulate_hub_resilient(&s, 4, 0.0, 1.0, &brittle, &Tracer::disabled());
         assert!(r.lost > 0, "interrupted jobs are lost without requeue");
         assert_eq!(r.completed + r.lost, 8 * 30, "every job is accounted for");
+    }
+
+    #[test]
+    fn validate_names_the_broken_field() {
+        let mut s = spec();
+        s.mean_interarrival_h = f64::NAN;
+        assert!(matches!(
+            s.validate(),
+            Err(ConfigError::NonFinite {
+                field: "mean_interarrival_h",
+                ..
+            })
+        ));
+        let mut s = spec();
+        s.mean_interarrival_h = -2.0;
+        assert!(matches!(
+            s.validate(),
+            Err(ConfigError::NonPositive {
+                field: "mean_interarrival_h",
+                ..
+            })
+        ));
+        let mut s = spec();
+        s.tier_mix = [0.5, -0.1, 0.6];
+        assert!(matches!(
+            s.validate(),
+            Err(ConfigError::Negative {
+                field: "tier_mix[intermediate]",
+                ..
+            })
+        ));
+        let mut s = spec();
+        s.tier_mix = [0.0, 0.0, 0.0];
+        assert_eq!(s.validate(), Err(ConfigError::EmptyTierMix));
+        let s = spec().with_tier_service_hours([0.05, f64::INFINITY, 2.4]);
+        assert!(matches!(
+            s.validate(),
+            Err(ConfigError::NonFinite {
+                field: "service_hours_override[intermediate]",
+                ..
+            })
+        ));
+        assert_eq!(spec().validate(), Ok(()));
+    }
+
+    #[test]
+    fn admitted_rejects_bad_specs_instead_of_panicking() {
+        let mut bad = spec();
+        bad.mean_interarrival_h = f64::NAN;
+        let policy = AdmissionPolicy::unbounded(3);
+        let err = simulate_hub_admitted(&bad, 4, 0.0, 1.0, &policy, &Tracer::disabled());
+        assert!(err.is_err(), "NaN spec must be a typed error, not a panic");
+        let wrong = AdmissionPolicy::unbounded(2);
+        assert_eq!(
+            simulate_hub_admitted(&spec(), 4, 0.0, 1.0, &wrong, &Tracer::disabled()),
+            Err(ConfigError::TierClassMismatch { got: 2 })
+        );
+    }
+
+    #[test]
+    fn unbounded_admission_completes_every_job() {
+        let s = spec();
+        let policy = AdmissionPolicy::unbounded(3);
+        let r = simulate_hub_admitted(&s, 4, 10.0, 1.0, &policy, &Tracer::disabled()).unwrap();
+        assert_eq!(r.scenario.completed, 8 * 30);
+        let offered: usize = r.tiers.iter().map(|t| t.offered).sum();
+        assert_eq!(offered, 8 * 30);
+        assert_eq!(r.tiers.iter().map(|t| t.rejected).sum::<usize>(), 0);
+        assert!(r.p99_turnaround_h >= r.scenario.p95_turnaround_h);
+    }
+
+    #[test]
+    fn bounded_queues_shed_load_under_saturation() {
+        // 2 servers, fast arrivals: far more work than capacity.
+        let s = WorkloadSpec::new(8, 40, 2.0, 13);
+        let bounded = AdmissionPolicy::bounded(3, 4).with_aging(0.1);
+        let r = simulate_hub_admitted(&s, 2, 0.0, 1.0, &bounded, &Tracer::disabled()).unwrap();
+        let rejected: usize = r.tiers.iter().map(|t| t.rejected).sum();
+        assert!(rejected > 0, "saturation must reject work");
+        for t in &r.tiers {
+            assert!(t.peak_depth <= 4, "queue depth bounded by capacity");
+            assert_eq!(
+                t.offered,
+                t.admitted + t.rejected,
+                "every arrival accounted"
+            );
+            assert_eq!(
+                t.completed + t.shed,
+                t.admitted,
+                "every admitted job accounted"
+            );
+        }
+        let unbounded = AdmissionPolicy::unbounded(3);
+        let u = simulate_hub_admitted(&s, 2, 0.0, 1.0, &unbounded, &Tracer::disabled()).unwrap();
+        assert!(
+            r.p99_turnaround_h < u.p99_turnaround_h,
+            "bounded p99 {} must beat unbounded {}",
+            r.p99_turnaround_h,
+            u.p99_turnaround_h
+        );
+    }
+
+    #[test]
+    fn shed_oldest_prefers_fresh_work() {
+        let s = WorkloadSpec::new(8, 40, 2.0, 13);
+        let policy = AdmissionPolicy::bounded(3, 4).with_shed_oldest();
+        let r = simulate_hub_admitted(&s, 2, 0.0, 1.0, &policy, &Tracer::disabled()).unwrap();
+        let shed: usize = r.tiers.iter().map(|t| t.shed).sum();
+        assert!(shed > 0, "saturation must shed work");
+        assert_eq!(
+            r.tiers.iter().map(|t| t.rejected).sum::<usize>(),
+            0,
+            "shed-oldest admits every newcomer"
+        );
+    }
+
+    #[test]
+    fn rate_limit_throttles_one_tier() {
+        let mut s = WorkloadSpec::new(6, 30, 4.0, 17);
+        s.tier_mix = [0.0, 0.0, 1.0];
+        let limited = AdmissionPolicy::unbounded(3).with_rate_limit(
+            2,
+            chipforge_admit::RateLimit {
+                rate: 0.05,
+                burst: 2.0,
+            },
+        );
+        let r = simulate_hub_admitted(&s, 4, 0.0, 1.0, &limited, &Tracer::disabled()).unwrap();
+        assert!(
+            r.tiers[2].rejected > 0,
+            "rate limiter must throttle the flood"
+        );
+        assert_eq!(r.tiers[0].rejected + r.tiers[1].rejected, 0);
+    }
+
+    #[test]
+    fn fair_share_with_aging_bounds_beginner_waits() {
+        // Advanced-heavy saturating mix: strict priority would serve
+        // beginners first anyway, but fair share must ALSO keep the
+        // advanced tier moving; weights favoring beginners must keep
+        // their max wait well under the advanced one.
+        let mut s = WorkloadSpec::new(8, 40, 3.0, 19);
+        s.tier_mix = [0.3, 0.1, 0.6];
+        let policy = AdmissionPolicy::unbounded(3)
+            .with_weights(vec![6.0, 3.0, 1.0])
+            .with_aging(0.2);
+        let r = simulate_hub_admitted(&s, 2, 0.0, 1.0, &policy, &Tracer::disabled()).unwrap();
+        assert_eq!(r.scenario.completed, 8 * 40);
+        assert!(
+            r.tiers[0].max_wait_h < r.tiers[2].max_wait_h,
+            "beginner max wait {} must stay below advanced {}",
+            r.tiers[0].max_wait_h,
+            r.tiers[2].max_wait_h
+        );
+    }
+
+    #[test]
+    fn admitted_simulation_is_deterministic() {
+        let s = WorkloadSpec::new(8, 40, 2.0, 13);
+        let policy = AdmissionPolicy::bounded(3, 4)
+            .with_shed_oldest()
+            .with_aging(0.1);
+        assert_eq!(
+            simulate_hub_admitted(&s, 2, 0.0, 1.0, &policy, &Tracer::disabled()),
+            simulate_hub_admitted(&s, 2, 0.0, 1.0, &policy, &Tracer::disabled())
+        );
+    }
+
+    #[test]
+    fn admitted_tracing_is_inert_and_counts_decisions() {
+        let s = WorkloadSpec::new(6, 20, 2.0, 13);
+        let policy = AdmissionPolicy::bounded(3, 3);
+        let tracer = Tracer::new();
+        let traced = simulate_hub_admitted(&s, 2, 0.0, 1.0, &policy, &tracer).unwrap();
+        let quiet = simulate_hub_admitted(&s, 2, 0.0, 1.0, &policy, &Tracer::disabled()).unwrap();
+        assert_eq!(traced, quiet, "tracing is inert");
+        let snap = tracer.snapshot();
+        let rejected: usize = traced.tiers.iter().map(|t| t.rejected).sum();
+        let counted = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "admit.rejected")
+            .map_or(0, |c| c.value);
+        assert_eq!(counted as usize, rejected);
+        assert!(
+            snap.gauges
+                .iter()
+                .any(|g| g.name.starts_with("admit.queue_depth.")),
+            "per-tier queue depth gauges are exported"
+        );
     }
 
     #[test]

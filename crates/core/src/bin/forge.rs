@@ -17,7 +17,10 @@
 //! forge designs                    # built-in benchmark designs
 //! ```
 
-use chipforge::exec::{BatchEngine, EngineConfig, Fault, JobSpec, JobStatus, ResilienceOptions};
+use chipforge::cloud::AccessTier;
+use chipforge::exec::{
+    AdmissionControl, BatchEngine, EngineConfig, Fault, JobSpec, JobStatus, ResilienceOptions,
+};
 use chipforge::flow::{run_flow_traced, FlowConfig, OptimizationProfile};
 use chipforge::hdl::designs;
 use chipforge::netlist::verilog;
@@ -30,6 +33,24 @@ use serde::Value;
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::Duration;
+
+/// A CLI failure paired with its exit code.
+///
+/// The contract (documented in USAGE and relied on by CI):
+/// 0 — success; 1 — one or more jobs failed; 2 — configuration,
+/// usage or manifest error; 3 — the batch was deliberately cut short
+/// (failure budget exhausted or a circuit breaker fast-failed jobs).
+enum CliError {
+    Config(String),
+    Jobs(String),
+    FailFast(String),
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Config(message)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,9 +73,17 @@ fn main() -> ExitCode {
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        Err(CliError::Jobs(message)) => {
             eprintln!("forge: {message}");
-            ExitCode::FAILURE
+            ExitCode::from(1)
+        }
+        Err(CliError::Config(message)) => {
+            eprintln!("forge: {message}");
+            ExitCode::from(2)
+        }
+        Err(CliError::FailFast(message)) => {
+            eprintln!("forge: {message}");
+            ExitCode::from(3)
         }
     }
 }
@@ -71,6 +100,8 @@ USAGE:
             [--journal <out.jsonl>] [--resume <journal.jsonl>]
             [--fault-rate <p>] [--fault-seed <n>] [--quarantine-after <n>]
             [--failure-budget <n>] [--no-degrade] [--halt-after <k>]
+            [--max-queue <n>] [--shed-oldest] [--deadline <ms>]
+            [--tier-quota <b,i,a>] [--breaker-threshold <n>]
             [--canonical-report <out.json>]
             [--trace <out.json>] [--flame <out.txt>]
   forge report <trace.json> [--flame <out.txt>]
@@ -90,6 +121,18 @@ injects seeded transient faults (deterministic per `--fault-seed`);
 relaxed route/CTS retry; `--halt-after <k>` stops after k journaled
 jobs (simulates a mid-batch kill); `--canonical-report` writes the
 scheduling-independent JSON report used to verify resumed runs.
+
+Overload: `--max-queue <n>` bounds the waiting room to workers + n
+jobs, rejecting the overflow (`--shed-oldest` displaces the oldest
+submissions instead); `--deadline <ms>` cancels jobs cooperatively
+between flow stages once the budget from batch start expires;
+`--tier-quota <b,i,a>` interleaves admission by access-tier weights
+(beginner,intermediate,advanced — e.g. 2,1,1); `--breaker-threshold
+<n>` trips a per-stage circuit breaker after n consecutive transient
+stage failures and fast-fails jobs while it is open.
+
+Exit codes: 0 success; 1 job failure(s) under --strict; 2 config or
+manifest error; 3 batch cut short (failure budget or open breaker).
 ";
 
 /// One accepted flag: its name and whether it takes a value.
@@ -215,7 +258,7 @@ fn write_trace_outputs(tracer: &Tracer, flags: &HashMap<String, String>) -> Resu
     Ok(())
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
     const FLAGS: &[FlagSpec] = &[
         value_flag("node"),
         value_flag("profile"),
@@ -234,7 +277,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let clock: f64 = parse_number(&flags, "clock", 100.0)?;
     let config = FlowConfig::new(node, profile).with_clock_mhz(clock);
     let tracer = tracer_for(&flags);
-    let outcome = run_flow_traced(&source, &config, &tracer).map_err(|e| e.to_string())?;
+    let outcome =
+        run_flow_traced(&source, &config, &tracer).map_err(|e| CliError::Jobs(e.to_string()))?;
     print!("{}", outcome.report);
     write_trace_outputs(&tracer, &flags)?;
     if let Some(out) = flags.get("gds") {
@@ -296,14 +340,49 @@ fn manifest_job(entry: &Value, index: usize) -> Result<Vec<JobSpec>, String> {
         Some("transient") => spec = spec.with_fault(Fault::Transient(1)),
         Some(other) => return Err(format!("{}: unknown fault `{other}`", context())),
     }
+    match entry.get("tier").as_str() {
+        None => {}
+        Some("beginner") => spec = spec.with_tier(AccessTier::Beginner),
+        Some("intermediate") => spec = spec.with_tier(AccessTier::Intermediate),
+        Some("advanced") => spec = spec.with_tier(AccessTier::Advanced),
+        Some(other) => return Err(format!("{}: unknown tier `{other}`", context())),
+    }
+    if let Some(deadline_ms) = entry.get("deadline_ms").as_u64() {
+        spec = spec.with_deadline_ms(deadline_ms);
+    }
     // `copies` models resubmissions: identical specs that should be
     // served from the artifact cache after the first run.
     let copies = entry.get("copies").as_u64().unwrap_or(1).max(1) as usize;
     Ok(vec![spec; copies])
 }
 
+/// Parses `--tier-quota b,i,a` into per-tier fair-share weights.
+fn parse_tier_quota(raw: &str) -> Result<[f64; 3], String> {
+    let parts: Vec<&str> = raw.split(',').collect();
+    let [b, i, a] = parts.as_slice() else {
+        return Err(format!(
+            "bad value `{raw}` for --tier-quota (expected three weights \
+             beginner,intermediate,advanced — e.g. 2,1,1)"
+        ));
+    };
+    let mut weights = [0.0f64; 3];
+    for (slot, text) in weights.iter_mut().zip([b, i, a]) {
+        let weight: f64 = text
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad weight `{text}` in --tier-quota"))?;
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err(format!(
+                "--tier-quota weights must be finite and positive, got `{text}`"
+            ));
+        }
+        *slot = weight;
+    }
+    Ok(weights)
+}
+
 #[allow(clippy::too_many_lines)]
-fn cmd_batch(args: &[String]) -> Result<(), String> {
+fn cmd_batch(args: &[String]) -> Result<(), CliError> {
     const FLAGS: &[FlagSpec] = &[
         value_flag("workers"),
         value_flag("timeout-ms"),
@@ -320,6 +399,11 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         value_flag("failure-budget"),
         switch("no-degrade"),
         value_flag("halt-after"),
+        value_flag("max-queue"),
+        switch("shed-oldest"),
+        value_flag("deadline"),
+        value_flag("tier-quota"),
+        value_flag("breaker-threshold"),
         value_flag("canonical-report"),
     ];
     let (positionals, flags) = parse_args(args, "batch", FLAGS)?;
@@ -335,7 +419,9 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         jobs.extend(manifest_job(entry, index)?);
     }
     if jobs.is_empty() {
-        return Err(format!("manifest `{path}` contains no jobs"));
+        return Err(CliError::Config(format!(
+            "manifest `{path}` contains no jobs"
+        )));
     }
 
     let config = EngineConfig {
@@ -400,6 +486,40 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         None => None,
     };
 
+    let admission_requested = [
+        "max-queue",
+        "shed-oldest",
+        "deadline",
+        "tier-quota",
+        "breaker-threshold",
+    ]
+    .iter()
+    .any(|f| flags.contains_key(*f));
+    let mut admission = AdmissionControl {
+        shed_oldest: flags.contains_key("shed-oldest"),
+        ..AdmissionControl::default()
+    };
+    if flags.contains_key("max-queue") {
+        admission.max_queue = Some(parse_number(&flags, "max-queue", 0usize)?);
+    }
+    if flags.contains_key("deadline") {
+        admission.deadline = Some(Duration::from_millis(parse_number(
+            &flags, "deadline", 0u64,
+        )?));
+    }
+    if let Some(raw) = flags.get("tier-quota") {
+        admission.tier_weights = Some(parse_tier_quota(raw)?);
+    }
+    if flags.contains_key("breaker-threshold") {
+        let threshold: u32 = parse_number(&flags, "breaker-threshold", 3u32)?;
+        if threshold == 0 {
+            return Err(CliError::Config(
+                "--breaker-threshold must be at least 1".into(),
+            ));
+        }
+        admission.breaker_threshold = Some(threshold);
+    }
+
     let tracer = tracer_for(&flags);
     let engine = BatchEngine::with_tracer(config, tracer.clone());
     let batch = engine.run_batch_resilient(
@@ -407,6 +527,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         ResilienceOptions {
             plan,
             policy,
+            admission,
             journal,
             resume,
             halt_after,
@@ -466,6 +587,17 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             if cache.corrupted == 1 { "y" } else { "ies" },
         );
     }
+    if admission_requested {
+        let admit = &batch.report.admission;
+        println!(
+            "admit:  {} admitted, {} rejected, {} shed, {} deadline-exceeded, peak queue depth {}",
+            admit.admitted,
+            totals.rejected,
+            admit.shed,
+            totals.deadline_exceeded,
+            admit.peak_queue_depth,
+        );
+    }
     if batch.report.detached_threads > 0 {
         println!(
             "warning: {} detached attempt thread(s) from timed-out jobs still running",
@@ -494,25 +626,34 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         println!("halted early by --halt-after; rerun with --resume <journal> to finish");
         return Ok(());
     }
+    if batch.fail_fast {
+        return Err(CliError::FailFast(
+            "batch cut short: failure budget exhausted or circuit breaker fast-failed jobs".into(),
+        ));
+    }
     let unsuccessful = batch
         .results
         .iter()
         .filter(|r| r.status != JobStatus::Succeeded)
         .count();
     if flags.contains_key("strict") && unsuccessful > 0 {
-        return Err(format!("{unsuccessful} job(s) did not succeed"));
+        return Err(CliError::Jobs(format!(
+            "{unsuccessful} job(s) did not succeed"
+        )));
     }
     Ok(())
 }
 
-fn cmd_report(args: &[String]) -> Result<(), String> {
+fn cmd_report(args: &[String]) -> Result<(), CliError> {
     const FLAGS: &[FlagSpec] = &[value_flag("flame")];
     let (positionals, flags) = parse_args(args, "report", FLAGS)?;
     let path = one_positional(&positionals, "trace file")?;
     let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let trace = obs::parse_chrome_json(&text).map_err(|e| format!("bad trace `{path}`: {e}"))?;
     if trace.spans.is_empty() {
-        return Err(format!("trace `{path}` contains no span events"));
+        return Err(CliError::Config(format!(
+            "trace `{path}` contains no span events"
+        )));
     }
     print!("{}", obs::render_trace_report(&trace));
     if let Some(out) = flags.get("flame") {
@@ -523,7 +664,7 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_tiers(args: &[String]) -> Result<(), String> {
+fn cmd_tiers(args: &[String]) -> Result<(), CliError> {
     let (positionals, _) = parse_args(args, "tiers", &[])?;
     let path = one_positional(&positionals, "input file")?;
     let source = load_source(&path)?;
@@ -544,10 +685,10 @@ fn cmd_tiers(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_catalog(args: &[String]) -> Result<(), String> {
+fn cmd_catalog(args: &[String]) -> Result<(), CliError> {
     let (positionals, _) = parse_args(args, "catalog", &[])?;
     if let Some(extra) = positionals.first() {
-        return Err(format!("unexpected argument `{extra}`"));
+        return Err(CliError::Config(format!("unexpected argument `{extra}`")));
     }
     println!("tier strategies (Recommendation 8):");
     for tier in Tier::ALL {
@@ -570,10 +711,10 @@ fn cmd_catalog(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_designs(args: &[String]) -> Result<(), String> {
+fn cmd_designs(args: &[String]) -> Result<(), CliError> {
     let (positionals, _) = parse_args(args, "designs", &[])?;
     if let Some(extra) = positionals.first() {
-        return Err(format!("unexpected argument `{extra}`"));
+        return Err(CliError::Config(format!("unexpected argument `{extra}`")));
     }
     println!("built-in benchmark designs (usable as `forge run <name>`):");
     for design in designs::suite() {

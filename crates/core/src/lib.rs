@@ -61,6 +61,8 @@ pub use enablement::{EnablementComparison, EnablementPlan};
 pub use hub::{EnablementHub, HubError, TierRunReport};
 pub use tiers::{Tier, TierStrategy};
 
+/// Re-export: admission control, fair-share scheduling and breakers.
+pub use chipforge_admit as admit;
 /// Re-export: cloud-platform simulation.
 pub use chipforge_cloud as cloud;
 /// Re-export: economics models.

@@ -18,14 +18,15 @@
 
 use crate::cache::{ArtifactCache, CacheKey, Lookup};
 use crate::job::{JobResult, JobSpec, JobStatus, RestoredArtifact};
-use crate::metrics::{ExecutionReport, WorkerRecord};
-use chipforge_flow::{run_flow_traced, FlowConfig, FlowOutcome};
+use crate::metrics::{AdmissionRecord, ExecutionReport, WorkerRecord};
+use chipforge_admit::{interleave_by_weight, CircuitBreaker};
+use chipforge_flow::{run_flow_deadline, FlowConfig, FlowError, FlowOutcome};
 use chipforge_obs::Tracer;
 use chipforge_resil::{
     is_degradable_stage, Backoff, Disruption, FaultPlan, Journal, JournalRecord, JournalWriter,
     ResiliencePolicy,
 };
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
@@ -88,6 +89,55 @@ impl EngineConfig {
     }
 }
 
+/// Admission-control knobs for one batch (built on `chipforge-admit`).
+/// The default is fully inert: unbounded queue, no deadline, no tier
+/// weighting, no circuit breaker.
+///
+/// A batch arrives as one burst, so admission decisions are made at
+/// submission time — before any worker runs — which keeps rejections
+/// deterministic across worker counts and scheduling orders.
+#[derive(Debug, Clone)]
+pub struct AdmissionControl {
+    /// Waiting-room capacity beyond the worker pool: at most
+    /// `workers + max_queue` jobs are admitted per batch. The rest are
+    /// reported [`JobStatus::Rejected`] (or, under `shed_oldest`, the
+    /// oldest submissions are displaced instead).
+    pub max_queue: Option<usize>,
+    /// When the queue window is full, shed the oldest submissions in
+    /// favor of newer ones instead of rejecting the newcomers.
+    pub shed_oldest: bool,
+    /// Deadline applied to every job, measured from batch start and
+    /// combined (tightest wins) with each spec's own `deadline_ms`.
+    /// Expired jobs are cooperatively cancelled *between* flow stages
+    /// and reported [`JobStatus::DeadlineExceeded`] — never cached.
+    pub deadline: Option<Duration>,
+    /// Fair-share interleave weights per access tier (beginner,
+    /// intermediate, advanced). Jobs are reordered at admission with
+    /// smooth weighted round-robin so a saturating advanced-tier burst
+    /// cannot monopolize the head of the queue. Must be finite and
+    /// positive; callers validate before building the batch.
+    pub tier_weights: Option<[f64; 3]>,
+    /// Consecutive transient failures at one flow stage before that
+    /// stage's circuit breaker trips open and fast-fails later jobs.
+    pub breaker_threshold: Option<u32>,
+    /// Admissions fast-failed while a breaker is open before it
+    /// half-opens and lets one probe job through.
+    pub breaker_cooldown: u32,
+}
+
+impl Default for AdmissionControl {
+    fn default() -> Self {
+        AdmissionControl {
+            max_queue: None,
+            shed_oldest: false,
+            deadline: None,
+            tier_weights: None,
+            breaker_threshold: None,
+            breaker_cooldown: 2,
+        }
+    }
+}
+
 /// Resilience inputs for one batch run. The default is fully inert:
 /// no injected faults, the historical retry policy, no journal.
 #[derive(Debug, Default)]
@@ -96,6 +146,9 @@ pub struct ResilienceOptions {
     pub plan: FaultPlan,
     /// Quarantine / failure-budget / degradation policy.
     pub policy: ResiliencePolicy,
+    /// Overload admission control: bounded queue, deadlines, tier
+    /// fair-share and the per-stage circuit breaker.
+    pub admission: AdmissionControl,
     /// Checkpoint journal to append completed jobs to.
     pub journal: Option<JournalWriter>,
     /// A previously written journal: matching completed jobs are
@@ -117,6 +170,10 @@ pub struct BatchReport {
     pub report: ExecutionReport,
     /// Whether the run stopped early via `halt_after`.
     pub halted: bool,
+    /// Whether the batch was cut short deliberately: the failure budget
+    /// blew, or an open circuit breaker fast-failed at least one job.
+    /// `forge batch` maps this to its own exit code.
+    pub fail_fast: bool,
 }
 
 impl BatchReport {
@@ -167,6 +224,9 @@ struct WorkItem {
     index: usize,
     spec: JobSpec,
     key: CacheKey,
+    /// Absolute deadline for this job, if any — the tighter of the
+    /// batch admission deadline and the spec's own `deadline_ms`.
+    deadline: Option<Instant>,
     enqueued: Instant,
 }
 
@@ -185,6 +245,7 @@ struct BatchControl {
     quarantined: Mutex<HashSet<CacheKey>>,
     failures: AtomicUsize,
     budget_blown: AtomicBool,
+    breaker_fast_fails: AtomicUsize,
 }
 
 /// Immutable per-batch context shared by all workers.
@@ -192,6 +253,10 @@ struct Shared {
     config: EngineConfig,
     plan: FaultPlan,
     policy: ResiliencePolicy,
+    admission: AdmissionControl,
+    /// Per-stage circuit breakers, keyed by the transient stage name.
+    /// `None` when no breaker threshold is configured.
+    breakers: Option<Mutex<HashMap<&'static str, CircuitBreaker>>>,
     control: BatchControl,
 }
 
@@ -281,22 +346,83 @@ impl BatchEngine {
                     }
                     restored.push((key.to_string(), result));
                 }
-                None => work.push(WorkItem {
-                    index,
-                    spec,
-                    key,
-                    enqueued: Instant::now(),
-                }),
+                None => {
+                    let deadline =
+                        effective_deadline(started, options.admission.deadline, spec.deadline_ms);
+                    work.push(WorkItem {
+                        index,
+                        spec,
+                        key,
+                        deadline,
+                        enqueued: Instant::now(),
+                    });
+                }
             }
         }
 
+        // Admission control: tier-weighted fair-share ordering, then a
+        // bounded waiting room. Jobs turned away here never reach a
+        // worker; they are journaled so a resumed run does not
+        // re-admit them as duplicates.
+        if let Some(weights) = options.admission.tier_weights {
+            work = interleave_tiers(work, weights);
+        }
+        let mut turned_away: Vec<(String, JobResult)> = Vec::new();
+        let workers = self.config.workers.max(1);
+        if let Some(max_queue) = options.admission.max_queue {
+            let window = workers + max_queue;
+            if work.len() > window {
+                let excess = work.len() - window;
+                let overflow: Vec<WorkItem> = if options.admission.shed_oldest {
+                    work.drain(..excess).collect()
+                } else {
+                    work.split_off(window)
+                };
+                for item in overflow {
+                    self.tracer.instant("admit-reject", "exec", &item.spec.name);
+                    self.tracer.add(
+                        if options.admission.shed_oldest {
+                            "admit.shed"
+                        } else {
+                            "admit.rejected"
+                        },
+                        1,
+                    );
+                    turned_away.push((
+                        item.key.to_string(),
+                        turned_away_result(&item, options.admission.shed_oldest, window),
+                    ));
+                }
+            }
+        }
+        let admission_record = AdmissionRecord {
+            admitted: work.len(),
+            rejected: if options.admission.shed_oldest {
+                0
+            } else {
+                turned_away.len()
+            },
+            shed: if options.admission.shed_oldest {
+                turned_away.len()
+            } else {
+                0
+            },
+            peak_queue_depth: work.len().saturating_sub(workers),
+        };
+        if self.tracer.is_enabled() {
+            self.tracer.set_gauge(
+                "admit.peak_queue_depth",
+                admission_record.peak_queue_depth as f64,
+            );
+        }
+
         // When a resumed run is itself journaled, re-append the restored
-        // records first so the new journal is complete and a later
-        // resume can chain off it.
+        // records first (admission rejections alongside them) so the new
+        // journal is complete and a later resume can chain off it.
         let mut seq = 0u64;
         let mut journal = options.journal;
         if let Some(writer) = journal.as_mut() {
-            for (key_hex, result) in &restored {
+            for (key_hex, result) in restored.iter().chain(turned_away.iter()) {
                 let record = journal_record(seq, key_hex.clone(), result);
                 if writer.append(&record).is_err() {
                     self.tracer.add("exec.journal_errors", 1);
@@ -309,6 +435,11 @@ impl BatchEngine {
             config: self.config.clone(),
             plan: options.plan,
             policy: options.policy,
+            breakers: options
+                .admission
+                .breaker_threshold
+                .map(|_| Mutex::new(HashMap::new())),
+            admission: options.admission,
             control: BatchControl {
                 journal: journal.map(Mutex::new),
                 seq: AtomicU64::new(seq),
@@ -318,6 +449,7 @@ impl BatchEngine {
                 quarantined: Mutex::new(quarantined_keys),
                 failures: AtomicUsize::new(0),
                 budget_blown: AtomicBool::new(false),
+                breaker_fast_fails: AtomicUsize::new(0),
             },
         });
 
@@ -349,7 +481,11 @@ impl BatchEngine {
         }
         drop(result_tx);
 
-        let mut results: Vec<JobResult> = restored.into_iter().map(|(_, r)| r).collect();
+        let mut results: Vec<JobResult> = restored
+            .into_iter()
+            .chain(turned_away)
+            .map(|(_, r)| r)
+            .collect();
         results.reserve(job_count.saturating_sub(results.len()));
         let mut workers = Vec::new();
         while let Ok(message) = result_rx.recv() {
@@ -371,18 +507,73 @@ impl BatchEngine {
         }
         let makespan_ms = started.elapsed().as_secs_f64() * 1_000.0;
         batch_span.finish_with_detail(&format!("{job_count} jobs"));
+        let fail_fast = shared.control.budget_blown.load(Ordering::SeqCst)
+            || shared.control.breaker_fast_fails.load(Ordering::SeqCst) > 0;
         let report = ExecutionReport::build(
             &results,
             workers,
             self.cache.stats(),
             makespan_ms,
             detached_threads,
+            admission_record,
         );
         BatchReport {
             results,
             report,
             halted,
+            fail_fast,
         }
+    }
+}
+
+/// The tighter of the batch-wide admission deadline and the spec's own
+/// `deadline_ms`, as an absolute instant (both measured from batch
+/// start). `None` when neither is set.
+fn effective_deadline(
+    started: Instant,
+    admission: Option<Duration>,
+    spec_ms: Option<u64>,
+) -> Option<Instant> {
+    let spec = spec_ms.map(Duration::from_millis);
+    let tightest = match (admission, spec) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    tightest.map(|d| started + d)
+}
+
+/// Reorders a burst of work by access tier with smooth weighted
+/// round-robin (beginner/intermediate/advanced as classes 0/1/2), so
+/// one tier's flood cannot monopolize the head of the queue. FIFO
+/// order within each tier is preserved.
+fn interleave_tiers(work: Vec<WorkItem>, weights: [f64; 3]) -> Vec<WorkItem> {
+    let mut classes: Vec<Vec<WorkItem>> = (0..3).map(|_| Vec::new()).collect();
+    for item in work {
+        classes[usize::from(item.spec.tier.priority())].push(item);
+    }
+    interleave_by_weight(classes, &weights)
+}
+
+/// The terminal result for a job turned away at admission.
+fn turned_away_result(item: &WorkItem, shed: bool, window: usize) -> JobResult {
+    JobResult {
+        index: item.index,
+        name: item.spec.name.clone(),
+        status: JobStatus::Rejected,
+        attempts: 0,
+        cache_hit: false,
+        worker: 0,
+        queue_wait_ms: 0.0,
+        run_ms: 0.0,
+        degraded: false,
+        resumed: false,
+        error: Some(if shed {
+            format!("shed at admission: displaced by newer submissions (queue window {window})")
+        } else {
+            format!("rejected at admission: queue full (queue window {window})")
+        }),
+        outcome: None,
+        restored: None,
     }
 }
 
@@ -533,6 +724,68 @@ fn journal_result(key: CacheKey, result: &JobResult, shared: &Shared, tracer: &T
     }
 }
 
+/// Checks every tracked stage breaker (in stage-name order, so multi-
+/// breaker behavior is deterministic) and returns the stage whose open
+/// breaker refuses this job, if any. An open breaker fast-fails
+/// `breaker_cooldown` jobs, then half-opens and lets one probe through.
+fn breaker_fast_fail(shared: &Shared) -> Option<&'static str> {
+    let breakers = shared.breakers.as_ref()?;
+    let mut map = breakers.lock().expect("breaker lock");
+    let mut stages: Vec<&'static str> = map.keys().copied().collect();
+    stages.sort_unstable();
+    for stage in stages {
+        let breaker = map.get_mut(stage).expect("stage present");
+        if !breaker.admit() {
+            return Some(stage);
+        }
+    }
+    None
+}
+
+/// Counts one transient failure at `stage` against its breaker,
+/// creating the breaker on first failure.
+fn breaker_record_failure(shared: &Shared, stage: &'static str, tracer: &Tracer) {
+    let Some(breakers) = &shared.breakers else {
+        return;
+    };
+    let threshold = shared.admission.breaker_threshold.unwrap_or(1).max(1);
+    let cooldown = shared.admission.breaker_cooldown;
+    let mut map = breakers.lock().expect("breaker lock");
+    let breaker = map
+        .entry(stage)
+        .or_insert_with(|| CircuitBreaker::new(threshold, cooldown));
+    let before = breaker.state();
+    breaker.record_failure();
+    let after = breaker.state();
+    if tracer.is_enabled() {
+        tracer.set_gauge(&format!("admit.breaker_state.{stage}"), after.as_gauge());
+        if after != before {
+            tracer.instant("breaker-open", "exec", stage);
+            tracer.add("admit.breaker_trips", 1);
+        }
+    }
+}
+
+/// Reports a fully successful job to every tracked breaker (a success
+/// exercises all stages, so it resets or closes them all).
+fn breaker_record_success(shared: &Shared, tracer: &Tracer) {
+    let Some(breakers) = &shared.breakers else {
+        return;
+    };
+    let mut map = breakers.lock().expect("breaker lock");
+    for (stage, breaker) in map.iter_mut() {
+        let before = breaker.state();
+        breaker.record_success();
+        if tracer.is_enabled() && breaker.state() != before {
+            tracer.set_gauge(
+                &format!("admit.breaker_state.{stage}"),
+                breaker.state().as_gauge(),
+            );
+            tracer.instant("breaker-close", "exec", stage);
+        }
+    }
+}
+
 /// Wraps one job in a `job` span and records its lifecycle metrics.
 #[allow(clippy::too_many_arguments)]
 fn run_one(
@@ -601,6 +854,28 @@ fn run_one_inner(
     if deadline.is_some_and(|d| Instant::now() >= d) {
         return JobResult {
             error: Some("batch deadline expired before the job started".into()),
+            ..base
+        };
+    }
+    if item.deadline.is_some_and(|d| Instant::now() >= d) {
+        tracer.instant("deadline-exceeded", "exec", &item.spec.name);
+        tracer.add("admit.deadline_exceeded", 1);
+        return JobResult {
+            status: JobStatus::DeadlineExceeded,
+            error: Some("deadline expired before the job started".into()),
+            ..base
+        };
+    }
+    if let Some(stage) = breaker_fast_fail(shared) {
+        shared
+            .control
+            .breaker_fast_fails
+            .fetch_add(1, Ordering::SeqCst);
+        tracer.instant("breaker-fast-fail", "exec", &item.spec.name);
+        tracer.add("admit.breaker_fast_fail", 1);
+        return JobResult {
+            status: JobStatus::Rejected,
+            error: Some(format!("circuit breaker open at `{stage}`")),
             ..base
         };
     }
@@ -684,10 +959,12 @@ fn run_one_inner(
             &flow_config,
             &disruption,
             shared.config.job_timeout,
+            item.deadline,
             tracer,
             detached,
         ) {
             Attempt::Done(outcome) => {
+                breaker_record_success(shared, tracer);
                 let outcome = Arc::new(*outcome);
                 if degraded {
                     // Degraded artifacts are never cached: a relaxed-
@@ -720,6 +997,20 @@ fn run_one_inner(
                     ..base
                 };
             }
+            Attempt::DeadlineExceeded(stage) => {
+                tracer.instant("deadline-exceeded", "exec", &item.spec.name);
+                tracer.add("admit.deadline_exceeded", 1);
+                // Cooperative cancellation between stages: the partial
+                // work is discarded, never cached and never retried —
+                // a retry could not finish either.
+                return JobResult {
+                    status: JobStatus::DeadlineExceeded,
+                    attempts,
+                    run_ms: picked_up.elapsed().as_secs_f64() * 1_000.0,
+                    error: Some(format!("deadline exceeded before {stage}")),
+                    ..base
+                };
+            }
             Attempt::Transient(stage) => {
                 tracer.instant(
                     "transient-fault",
@@ -727,6 +1018,7 @@ fn run_one_inner(
                     &format!("{}: {stage}", item.spec.name),
                 );
                 tracer.add("exec.faults.transient", 1);
+                breaker_record_failure(shared, stage, tracer);
                 if shared.policy.degrade && !degraded && is_degradable_stage(stage) {
                     // Graceful degradation: retry the congestion-prone
                     // stage once with relaxed parameters instead of
@@ -817,12 +1109,16 @@ enum Attempt {
     Done(Box<FlowOutcome>),
     FlowError(String),
     Transient(&'static str),
+    /// The flow cancelled itself between stages; the name is the stage
+    /// it declined to start.
+    DeadlineExceeded(&'static str),
     Panicked(String),
     TimedOut,
 }
 
 enum ExecError {
     Transient(&'static str),
+    Deadline(&'static str),
     Flow(String),
 }
 
@@ -841,6 +1137,7 @@ fn run_attempt(
     flow_config: &FlowConfig,
     disruption: &Disruption,
     timeout: Duration,
+    job_deadline: Option<Instant>,
     tracer: &Tracer,
     detached: &Arc<AtomicI64>,
 ) -> Attempt {
@@ -856,7 +1153,7 @@ fn run_attempt(
     let handle = builder
         .spawn(move || {
             let result = catch_unwind(AssertUnwindSafe(|| {
-                execute(&spec, &flow_config, &disruption, &tracer)
+                execute(&spec, &flow_config, &disruption, job_deadline, &tracer)
             }));
             // If the waiter already abandoned us, the gauge counted this
             // thread; un-count it on the way out.
@@ -872,6 +1169,7 @@ fn run_attempt(
             match finished {
                 Ok(Ok(outcome)) => Attempt::Done(Box::new(outcome)),
                 Ok(Err(ExecError::Transient(stage))) => Attempt::Transient(stage),
+                Ok(Err(ExecError::Deadline(stage))) => Attempt::DeadlineExceeded(stage),
                 Ok(Err(ExecError::Flow(message))) => Attempt::FlowError(message),
                 Err(payload) => Attempt::Panicked(panic_message(payload.as_ref())),
             }
@@ -891,6 +1189,7 @@ fn execute(
     spec: &JobSpec,
     flow_config: &FlowConfig,
     disruption: &Disruption,
+    deadline: Option<Instant>,
     tracer: &Tracer,
 ) -> Result<FlowOutcome, ExecError> {
     if let Some(ms) = disruption.slow_ms {
@@ -902,7 +1201,10 @@ fn execute(
     if let Some(stage) = disruption.transient_stage {
         return Err(ExecError::Transient(stage));
     }
-    run_flow_traced(&spec.source, flow_config, tracer).map_err(|e| ExecError::Flow(e.to_string()))
+    run_flow_deadline(&spec.source, flow_config, tracer, deadline).map_err(|e| match e {
+        FlowError::DeadlineExceeded { stage } => ExecError::Deadline(stage),
+        other => ExecError::Flow(other.to_string()),
+    })
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -1225,6 +1527,211 @@ mod tests {
         );
         assert!(batch.halted);
         assert!(batch.results.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bounded_admission_rejects_overflow_deterministically() {
+        let engine = BatchEngine::new(EngineConfig::with_workers(1));
+        let options = ResilienceOptions {
+            admission: AdmissionControl {
+                max_queue: Some(1),
+                ..AdmissionControl::default()
+            },
+            ..ResilienceOptions::default()
+        };
+        let jobs: Vec<JobSpec> = (0..5).map(|i| job(&format!("j{i}"), i)).collect();
+        let batch = engine.run_batch_resilient(jobs, options);
+        // Window = 1 worker + 1 queue slot: j0 and j1 run, the rest are
+        // rejected at submission — independent of scheduling.
+        assert_eq!(batch.results.len(), 5);
+        assert_eq!(batch.results[0].status, JobStatus::Succeeded);
+        assert_eq!(batch.results[1].status, JobStatus::Succeeded);
+        for rejected in &batch.results[2..] {
+            assert_eq!(rejected.status, JobStatus::Rejected);
+            assert!(rejected
+                .error
+                .as_deref()
+                .is_some_and(|e| e.starts_with("rejected at admission")));
+        }
+        assert_eq!(batch.report.admission.admitted, 2);
+        assert_eq!(batch.report.admission.rejected, 3);
+        assert_eq!(batch.report.admission.shed, 0);
+        assert_eq!(batch.report.admission.peak_queue_depth, 1);
+        assert_eq!(batch.report.totals.rejected, 3);
+        assert!(!batch.fail_fast, "admission rejects are not fail-fast");
+    }
+
+    #[test]
+    fn shed_oldest_displaces_the_earliest_submissions() {
+        let engine = BatchEngine::new(EngineConfig::with_workers(1));
+        let options = ResilienceOptions {
+            admission: AdmissionControl {
+                max_queue: Some(1),
+                shed_oldest: true,
+                ..AdmissionControl::default()
+            },
+            ..ResilienceOptions::default()
+        };
+        let jobs: Vec<JobSpec> = (0..4).map(|i| job(&format!("j{i}"), i)).collect();
+        let batch = engine.run_batch_resilient(jobs, options);
+        assert_eq!(batch.results[0].status, JobStatus::Rejected);
+        assert_eq!(batch.results[1].status, JobStatus::Rejected);
+        assert!(batch.results[0]
+            .error
+            .as_deref()
+            .is_some_and(|e| e.starts_with("shed at admission")));
+        assert_eq!(batch.results[2].status, JobStatus::Succeeded);
+        assert_eq!(batch.results[3].status, JobStatus::Succeeded);
+        assert_eq!(batch.report.admission.shed, 2);
+        assert_eq!(batch.report.admission.rejected, 0);
+    }
+
+    #[test]
+    fn tier_weights_keep_beginners_in_a_bounded_window() {
+        use chipforge_cloud::AccessTier;
+        let engine = BatchEngine::new(EngineConfig::with_workers(1));
+        let options = ResilienceOptions {
+            admission: AdmissionControl {
+                max_queue: Some(1),
+                tier_weights: Some([2.0, 1.0, 1.0]),
+                ..AdmissionControl::default()
+            },
+            ..ResilienceOptions::default()
+        };
+        // Four advanced jobs submitted ahead of one beginner job: strict
+        // FIFO would reject the beginner, but the weighted interleave
+        // moves it to the head of the queue before the window applies.
+        let mut jobs: Vec<JobSpec> = (0..4)
+            .map(|i| job(&format!("adv{i}"), i).with_tier(AccessTier::Advanced))
+            .collect();
+        jobs.push(job("newbie", 9).with_tier(AccessTier::Beginner));
+        let batch = engine.run_batch_resilient(jobs, options);
+        let newbie = batch
+            .results
+            .iter()
+            .find(|r| r.name == "newbie")
+            .expect("beginner job present");
+        assert_eq!(newbie.status, JobStatus::Succeeded);
+        assert_eq!(batch.report.admission.rejected, 3);
+    }
+
+    #[test]
+    fn expired_job_deadline_is_reported_not_cached() {
+        let engine = BatchEngine::new(EngineConfig::with_workers(1));
+        let options = ResilienceOptions {
+            admission: AdmissionControl {
+                deadline: Some(Duration::ZERO),
+                ..AdmissionControl::default()
+            },
+            ..ResilienceOptions::default()
+        };
+        let batch = engine.run_batch_resilient(vec![job("late", 1)], options);
+        assert_eq!(batch.results[0].status, JobStatus::DeadlineExceeded);
+        assert_eq!(
+            batch.results[0].error.as_deref(),
+            Some("deadline expired before the job started")
+        );
+        assert_eq!(batch.report.totals.deadline_exceeded, 1);
+        assert_eq!(engine.cache().stats().entries, 0);
+    }
+
+    #[test]
+    fn deadline_cancels_cooperatively_between_stages() {
+        let engine = BatchEngine::new(EngineConfig::with_workers(1));
+        // The job passes the admission gate (200 ms is generous for
+        // pickup) but sleeps 500 ms before the flow starts, so the
+        // first between-stage check cancels it.
+        let batch = engine.run_batch_resilient(
+            vec![job("slow", 1)
+                .with_deadline_ms(200)
+                .with_fault(Fault::Hang(500))],
+            ResilienceOptions::default(),
+        );
+        assert_eq!(batch.results[0].status, JobStatus::DeadlineExceeded);
+        assert_eq!(
+            batch.results[0].error.as_deref(),
+            Some("deadline exceeded before elaborate")
+        );
+        assert_eq!(batch.results[0].attempts, 1, "deadlines are never retried");
+        assert_eq!(engine.cache().stats().entries, 0, "never cached");
+    }
+
+    #[test]
+    fn breaker_trips_fast_fails_then_recovers_via_probe() {
+        let engine = BatchEngine::new(EngineConfig {
+            workers: 1,
+            max_retries: 0,
+            retry_backoff: Duration::from_millis(1),
+            ..EngineConfig::default()
+        });
+        let options = ResilienceOptions {
+            admission: AdmissionControl {
+                breaker_threshold: Some(1),
+                breaker_cooldown: 1,
+                ..AdmissionControl::default()
+            },
+            ..ResilienceOptions::default()
+        };
+        let batch = engine.run_batch_resilient(
+            vec![
+                // Trips the `route` breaker on its only attempt.
+                job("sick", 1).with_fault(Fault::Transient(9)),
+                // Fast-failed while the breaker is open (cooldown 1).
+                job("unlucky", 2),
+                // The half-open probe: runs, succeeds, closes the breaker.
+                job("probe", 3),
+                job("healthy", 4),
+            ],
+            options,
+        );
+        assert_eq!(batch.results[0].status, JobStatus::Failed);
+        assert_eq!(batch.results[1].status, JobStatus::Rejected);
+        assert_eq!(
+            batch.results[1].error.as_deref(),
+            Some("circuit breaker open at `route`")
+        );
+        assert_eq!(batch.results[2].status, JobStatus::Succeeded);
+        assert_eq!(batch.results[3].status, JobStatus::Succeeded);
+        assert!(batch.fail_fast, "a breaker fast-fail flags the batch");
+    }
+
+    #[test]
+    fn rejected_jobs_are_journaled_and_not_readmitted_on_resume() {
+        let path = temp_journal("admit-resume");
+        let jobs = || vec![job("a", 1), job("b", 2), job("c", 3)];
+        let admission = || AdmissionControl {
+            max_queue: Some(0),
+            ..AdmissionControl::default()
+        };
+        let engine = BatchEngine::new(EngineConfig::with_workers(1));
+        let writer = JournalWriter::create(&path).expect("create journal");
+        let clean = engine.run_batch_resilient(
+            jobs(),
+            ResilienceOptions {
+                admission: admission(),
+                journal: Some(writer),
+                ..ResilienceOptions::default()
+            },
+        );
+        assert_eq!(clean.report.admission.rejected, 2);
+        let journal = Journal::load(&path).expect("load journal");
+        assert_eq!(journal.records.len(), 3, "rejections are journaled too");
+
+        // Resuming under the same policy restores all three records —
+        // the rejected jobs are not re-admitted as fresh duplicates.
+        let fresh = BatchEngine::new(EngineConfig::with_workers(1));
+        let resumed = fresh.run_batch_resilient(
+            jobs(),
+            ResilienceOptions {
+                admission: admission(),
+                resume: Some(journal),
+                ..ResilienceOptions::default()
+            },
+        );
+        assert!(resumed.results.iter().all(|r| r.resumed));
+        assert_eq!(resumed.report.admission.admitted, 0);
+        assert_eq!(clean.canonical_report(), resumed.canonical_report());
         let _ = std::fs::remove_file(&path);
     }
 

@@ -1,5 +1,6 @@
 //! Job specifications and results.
 
+use chipforge_cloud::AccessTier;
 use chipforge_flow::{FlowConfig, FlowOutcome, OptimizationProfile, PpaReport};
 use chipforge_pdk::TechnologyNode;
 use serde::{Deserialize, Serialize};
@@ -30,6 +31,13 @@ pub struct JobSpec {
     pub insert_scan: bool,
     /// Injected fault, if any.
     pub fault: Fault,
+    /// Access tier of the submitting user; drives fair-share admission
+    /// ordering, never the artifact (not part of the cache key).
+    pub tier: AccessTier,
+    /// Per-job deadline in milliseconds from batch start; the flow is
+    /// cooperatively cancelled between stages once it expires. Not part
+    /// of the cache key.
+    pub deadline_ms: Option<u64>,
 }
 
 impl JobSpec {
@@ -50,6 +58,8 @@ impl JobSpec {
             seed: 1,
             insert_scan: false,
             fault: Fault::None,
+            tier: AccessTier::Intermediate,
+            deadline_ms: None,
         }
     }
 
@@ -78,6 +88,20 @@ impl JobSpec {
     #[must_use]
     pub fn with_fault(mut self, fault: Fault) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Tags the job with the submitting user's access tier.
+    #[must_use]
+    pub fn with_tier(mut self, tier: AccessTier) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// Sets a per-job deadline, in milliseconds from batch start.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
         self
     }
 
@@ -110,6 +134,13 @@ pub enum JobStatus {
     /// quarantined; identical resubmissions in the same batch are
     /// short-circuited.
     Quarantined,
+    /// Admission control turned the job away: the bounded queue was
+    /// full (or a newer submission displaced it under shed-oldest), or
+    /// an open circuit breaker fast-failed it.
+    Rejected,
+    /// The job's deadline expired; the flow was cooperatively cancelled
+    /// between stages (or never started). Never cached.
+    DeadlineExceeded,
 }
 
 impl JobStatus {
@@ -128,6 +159,8 @@ impl JobStatus {
             "timed-out" => JobStatus::TimedOut,
             "cancelled" => JobStatus::Cancelled,
             "quarantined" => JobStatus::Quarantined,
+            "rejected" => JobStatus::Rejected,
+            "deadline-exceeded" => JobStatus::DeadlineExceeded,
             _ => return None,
         })
     }
@@ -141,6 +174,8 @@ impl fmt::Display for JobStatus {
             JobStatus::TimedOut => "timed-out",
             JobStatus::Cancelled => "cancelled",
             JobStatus::Quarantined => "quarantined",
+            JobStatus::Rejected => "rejected",
+            JobStatus::DeadlineExceeded => "deadline-exceeded",
         })
     }
 }
@@ -257,6 +292,8 @@ mod tests {
             JobStatus::TimedOut,
             JobStatus::Cancelled,
             JobStatus::Quarantined,
+            JobStatus::Rejected,
+            JobStatus::DeadlineExceeded,
         ] {
             assert_eq!(JobStatus::from_name(&status.to_string()), Some(status));
         }
@@ -265,7 +302,10 @@ mod tests {
 
     #[test]
     fn spec_round_trips_through_json() {
-        let job = spec().with_fault(Fault::Panic);
+        let job = spec()
+            .with_fault(Fault::Panic)
+            .with_tier(AccessTier::Beginner)
+            .with_deadline_ms(5_000);
         let json = serde::json::to_string(&job);
         let parsed: JobSpec = serde::json::from_str(&json).expect("round trips");
         assert_eq!(parsed, job);

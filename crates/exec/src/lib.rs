@@ -36,8 +36,9 @@ pub mod job;
 pub mod metrics;
 
 pub use cache::{ArtifactCache, CacheKey, CacheStats, Lookup};
-pub use engine::{BatchEngine, BatchReport, EngineConfig, ResilienceOptions};
+pub use engine::{AdmissionControl, BatchEngine, BatchReport, EngineConfig, ResilienceOptions};
 pub use job::{Fault, JobResult, JobSpec, JobStatus, RestoredArtifact};
 pub use metrics::{
-    canonical_report, BatchTotals, ExecutionReport, JobRecord, StageTime, WorkerRecord,
+    canonical_report, AdmissionRecord, BatchTotals, ExecutionReport, JobRecord, StageTime,
+    WorkerRecord,
 };

@@ -11,7 +11,7 @@ use crate::cache::CacheStats;
 use crate::job::{JobResult, JobStatus};
 use chipforge_flow::PpaReport;
 use chipforge_obs::MetricsRegistry;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Wall time of one flow stage.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -80,6 +80,11 @@ pub struct BatchTotals {
     pub cancelled: usize,
     /// Jobs quarantined by the resilience policy's attempt limit.
     pub quarantined: usize,
+    /// Jobs turned away by admission control (bounded queue, shed-oldest
+    /// displacement, or an open circuit breaker).
+    pub rejected: usize,
+    /// Jobs cooperatively cancelled when their deadline expired.
+    pub deadline_exceeded: usize,
     /// Jobs that succeeded via a degraded (relaxed) retry.
     pub degraded: usize,
     /// Jobs restored from a checkpoint journal instead of executed.
@@ -96,11 +101,30 @@ pub struct BatchTotals {
     pub stage_means_ms: Vec<StageTime>,
 }
 
+/// Admission-control accounting for one batch. Decisions are made at
+/// submission time, so every field is deterministic across worker
+/// counts; `peak_queue_depth` is bounded by `max_queue` whenever a
+/// queue capacity is set (the CI overload smoke asserts this).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionRecord {
+    /// Jobs admitted into the work queue.
+    pub admitted: usize,
+    /// Jobs rejected because the queue window was full.
+    pub rejected: usize,
+    /// Admitted-then-displaced jobs under the shed-oldest policy.
+    pub shed: usize,
+    /// Admitted jobs beyond worker capacity — the waiting-room
+    /// high-water mark.
+    pub peak_queue_depth: usize,
+}
+
 /// The full JSON-serializable batch execution report.
 #[derive(Debug, Clone, Serialize)]
 pub struct ExecutionReport {
     /// Batch-level aggregates.
     pub totals: BatchTotals,
+    /// Admission-control accounting.
+    pub admission: AdmissionRecord,
     /// Cache counters at the end of the batch.
     pub cache: CacheStats,
     /// Attempt threads abandoned by timeouts and still running when the
@@ -121,6 +145,7 @@ impl ExecutionReport {
         cache: CacheStats,
         makespan_ms: f64,
         detached_threads: u64,
+        admission: AdmissionRecord,
     ) -> Self {
         let jobs: Vec<JobRecord> = results.iter().map(job_record).collect();
         workers.sort_by_key(|w| w.worker);
@@ -133,6 +158,7 @@ impl ExecutionReport {
         }
         ExecutionReport {
             totals: totals(&jobs, makespan_ms),
+            admission,
             cache,
             detached_threads,
             workers,
@@ -206,6 +232,8 @@ struct CanonicalReport {
     timed_out: usize,
     cancelled: usize,
     quarantined: usize,
+    rejected: usize,
+    deadline_exceeded: usize,
     degraded: usize,
     results: Vec<CanonicalJob>,
 }
@@ -241,6 +269,8 @@ pub fn canonical_report(results: &[JobResult]) -> String {
         timed_out: count(JobStatus::TimedOut),
         cancelled: count(JobStatus::Cancelled),
         quarantined: count(JobStatus::Quarantined),
+        rejected: count(JobStatus::Rejected),
+        deadline_exceeded: count(JobStatus::DeadlineExceeded),
         degraded: results.iter().filter(|r| r.degraded).count(),
         results: canonical,
     };
@@ -289,6 +319,8 @@ fn totals(jobs: &[JobRecord], makespan_ms: f64) -> BatchTotals {
         timed_out: count(JobStatus::TimedOut),
         cancelled: count(JobStatus::Cancelled),
         quarantined: count(JobStatus::Quarantined),
+        rejected: count(JobStatus::Rejected),
+        deadline_exceeded: count(JobStatus::DeadlineExceeded),
         degraded: jobs.iter().filter(|j| j.degraded).count(),
         resumed: jobs.iter().filter(|j| j.resumed).count(),
         makespan_ms,
@@ -348,7 +380,14 @@ mod tests {
             corrupted: 0,
             entries: 2,
         };
-        let report = ExecutionReport::build(&results, workers, stats, 100.0, 0);
+        let report = ExecutionReport::build(
+            &results,
+            workers,
+            stats,
+            100.0,
+            0,
+            AdmissionRecord::default(),
+        );
         assert_eq!(report.totals.succeeded, 2);
         assert_eq!(report.totals.failed, 1);
         assert_eq!(report.totals.timed_out, 1);

@@ -50,7 +50,7 @@ pub use cts::{synthesize_clock_tree, ClockBuffer, ClockTree, CtsOptions};
 pub use profile::OptimizationProfile;
 pub use report::{FlowReport, PpaReport, StepRecord};
 pub use run::{
-    run_flow, run_flow_on_module, run_flow_on_module_traced, run_flow_traced, FlowConfig,
-    FlowError, FlowOutcome,
+    run_flow, run_flow_deadline, run_flow_on_module, run_flow_on_module_traced, run_flow_traced,
+    FlowConfig, FlowError, FlowOutcome,
 };
 pub use template::{FlowStep, FlowTemplate, StepSpec};

@@ -15,6 +15,7 @@ use chipforge_sta::{analyze, size_cells, TimingOptions, TimingReport};
 use chipforge_synth::{synthesize, SynthOptions};
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 /// Configuration of one flow run.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,6 +128,14 @@ pub enum FlowError {
     Layout(chipforge_layout::BuildError),
     /// Power estimation failed.
     Power(chipforge_power::PowerError),
+    /// The run's deadline expired before `stage` could start. Emitted
+    /// by the per-stage budget check of [`run_flow_deadline`]; the
+    /// stages already finished are abandoned (cooperative
+    /// cancellation), so the partial work never leaves the flow.
+    DeadlineExceeded {
+        /// The stage that was about to run when the budget ran out.
+        stage: &'static str,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -139,6 +148,9 @@ impl fmt::Display for FlowError {
             FlowError::Route(e) => write!(f, "route: {e}"),
             FlowError::Layout(e) => write!(f, "layout: {e}"),
             FlowError::Power(e) => write!(f, "power: {e}"),
+            FlowError::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded before {stage}")
+            }
         }
     }
 }
@@ -183,8 +195,31 @@ pub fn run_flow_traced(
     config: &FlowConfig,
     tracer: &Tracer,
 ) -> Result<FlowOutcome, FlowError> {
+    run_flow_deadline(source, config, tracer, None)
+}
+
+/// [`run_flow_traced`] under an absolute deadline: before each stage
+/// starts, the remaining budget is checked, and an expired deadline
+/// aborts the run with [`FlowError::DeadlineExceeded`] naming the stage
+/// that would have run next. This is cooperative cancellation — a stage
+/// already in flight finishes — so the check costs nothing on the happy
+/// path and a cancelled job releases its worker at the next stage
+/// boundary rather than burning through the whole flow. `None` disables
+/// the checks entirely.
+///
+/// # Errors
+///
+/// Propagates the first failing step as [`FlowError`], or
+/// [`FlowError::DeadlineExceeded`] once `deadline` has passed.
+pub fn run_flow_deadline(
+    source: &str,
+    config: &FlowConfig,
+    tracer: &Tracer,
+    deadline: Option<Instant>,
+) -> Result<FlowOutcome, FlowError> {
     let mut root = tracer.span("flow", "flow");
     let scoped = tracer.at(root.id(), tracer.default_track());
+    check_deadline(deadline, FlowStep::Elaborate)?;
     let elab = scoped.span(FlowStep::Elaborate.name(), "flow");
     let module = chipforge_hdl::parse(source)?;
     let rtl_lines = chipforge_hdl::rtl_line_count(source);
@@ -203,6 +238,7 @@ pub fn run_flow_traced(
         rtl_lines,
         Some((elaborate_ms, detail)),
         &scoped,
+        deadline,
     )
 }
 
@@ -231,7 +267,16 @@ pub fn run_flow_on_module_traced(
     let mut root = tracer.span("flow", "flow");
     root.set_detail(module.name());
     let scoped = tracer.at(root.id(), tracer.default_track());
-    run_inner(module, config, module.source_lines(), None, &scoped)
+    run_inner(module, config, module.source_lines(), None, &scoped, None)
+}
+
+/// Fails with [`FlowError::DeadlineExceeded`] once `deadline` is in the
+/// past; `None` always passes.
+fn check_deadline(deadline: Option<Instant>, next: FlowStep) -> Result<(), FlowError> {
+    match deadline {
+        Some(at) if Instant::now() >= at => Err(FlowError::DeadlineExceeded { stage: next.name() }),
+        _ => Ok(()),
+    }
 }
 
 /// Closes a stage span, records its duration in the `flow.stage_ms.*`
@@ -260,6 +305,7 @@ fn run_inner(
     rtl_lines: usize,
     elaborated: Option<(f64, String)>,
     tracer: &Tracer,
+    deadline: Option<Instant>,
 ) -> Result<FlowOutcome, FlowError> {
     let pdk = config.pdk();
     let lib: StdCellLibrary = pdk.library(config.profile.library);
@@ -274,6 +320,7 @@ fn run_inner(
     }
 
     // --- synthesize ---
+    check_deadline(deadline, FlowStep::Synthesize)?;
     let span = tracer.span(FlowStep::Synthesize.name(), "flow");
     let synth_result = synthesize(
         module,
@@ -302,6 +349,7 @@ fn run_inner(
     finish_stage(tracer, span, FlowStep::Synthesize, synth_detail, &mut steps);
 
     // --- pre-route sizing ---
+    check_deadline(deadline, FlowStep::Size)?;
     let span = tracer.span(FlowStep::Size.name(), "flow");
     let sized = if config.profile.sizing_iterations > 0 {
         size_cells(
@@ -323,6 +371,7 @@ fn run_inner(
     );
 
     // --- place ---
+    check_deadline(deadline, FlowStep::Place)?;
     let span = tracer.span(FlowStep::Place.name(), "flow");
     let placement = place(
         &netlist,
@@ -346,6 +395,7 @@ fn run_inner(
     );
 
     // --- clock-tree synthesis ---
+    check_deadline(deadline, FlowStep::ClockTree)?;
     let span = tracer.span(FlowStep::ClockTree.name(), "flow");
     let flip_flops = netlist.stats().sequential_cells;
     let clock_tree = crate::cts::synthesize_clock_tree(
@@ -372,6 +422,7 @@ fn run_inner(
     finish_stage(tracer, span, FlowStep::ClockTree, cts_detail, &mut steps);
 
     // --- route ---
+    check_deadline(deadline, FlowStep::Route)?;
     let span = tracer.span(FlowStep::Route.name(), "flow");
     let routing = route(
         &netlist,
@@ -396,6 +447,7 @@ fn run_inner(
     );
 
     // --- signoff: back-annotated STA, power, DRC ---
+    check_deadline(deadline, FlowStep::Signoff)?;
     let span = tracer.span(FlowStep::Signoff.name(), "flow");
     let mut timing_options = TimingOptions::new(clock_ps).with_clock_skew_ps(clock_skew_ps);
     timing_options.net_wire_cap_ff = routing.wire_caps_ff(&lib);
@@ -447,6 +499,7 @@ fn run_inner(
     );
 
     // --- export ---
+    check_deadline(deadline, FlowStep::Export)?;
     let span = tracer.span(FlowStep::Export.name(), "flow");
     let gds_bytes = gds::write_gds(&layout);
     finish_stage(
@@ -681,6 +734,42 @@ mod tests {
                 .unwrap_or_else(|| panic!("missing histogram {name}"));
             assert_eq!(hist.summary.count, 1);
         }
+    }
+
+    #[test]
+    fn expired_deadline_cancels_before_the_first_stage() {
+        let config = FlowConfig::new(TechnologyNode::N130, OptimizationProfile::quick());
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let err = run_flow_deadline(
+            designs::counter(8).source(),
+            &config,
+            &Tracer::disabled(),
+            Some(past),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, FlowError::DeadlineExceeded { stage: "elaborate" }),
+            "got {err}"
+        );
+        assert_eq!(err.to_string(), "deadline exceeded before elaborate");
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let config = FlowConfig::new(TechnologyNode::N130, OptimizationProfile::quick());
+        let far = Instant::now() + std::time::Duration::from_secs(3600);
+        let with = run_flow_deadline(
+            designs::counter(8).source(),
+            &config,
+            &Tracer::disabled(),
+            Some(far),
+        )
+        .unwrap();
+        let without = run_flow(designs::counter(8).source(), &config).unwrap();
+        assert_eq!(
+            with.gds, without.gds,
+            "deadline checks are inert when the budget holds"
+        );
     }
 
     #[test]

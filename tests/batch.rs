@@ -6,6 +6,8 @@ use chipforge::exec::{BatchEngine, EngineConfig, Fault, JobSpec, JobStatus};
 use chipforge::flow::OptimizationProfile;
 use chipforge::hdl::designs;
 use chipforge::pdk::TechnologyNode;
+use std::path::PathBuf;
+use std::process::Command;
 use std::time::Duration;
 
 fn classroom_jobs() -> Vec<JobSpec> {
@@ -135,4 +137,211 @@ fn json_report_carries_stage_times_and_worker_utilization() {
     }
     assert!(parsed.get("totals").get("makespan_ms").as_f64().is_some());
     assert!(parsed.get("cache").get("hits").as_u64().is_some());
+}
+
+// ---------------------------------------------------------------------------
+// CLI exit-code contract: 0 success, 1 job failures under --strict,
+// 2 config/manifest error, 3 batch cut short (failure budget / breaker).
+// ---------------------------------------------------------------------------
+
+fn forge() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_forge"))
+}
+
+fn temp_file(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("chipforge-batch-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp file");
+    path
+}
+
+#[test]
+fn clean_batch_exits_zero() {
+    let manifest = temp_file(
+        "ok.json",
+        r#"{"jobs": [{"design": "counter8", "profile": "quick"}]}"#,
+    );
+    let output = forge()
+        .args(["batch", manifest.to_str().unwrap(), "--workers", "1"])
+        .output()
+        .expect("forge batch executes");
+    std::fs::remove_file(&manifest).ok();
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn strict_job_failure_exits_one() {
+    let manifest = temp_file(
+        "strict.json",
+        r#"{"jobs": [
+            {"design": "counter8", "profile": "quick"},
+            {"design": "gray8", "profile": "quick", "fault": "panic"}
+        ]}"#,
+    );
+    let output = forge()
+        .args([
+            "batch",
+            manifest.to_str().unwrap(),
+            "--workers",
+            "1",
+            "--retries",
+            "0",
+            "--strict",
+        ])
+        .output()
+        .expect("forge batch executes");
+    std::fs::remove_file(&manifest).ok();
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("did not succeed"),
+        "stderr names the failing jobs: {stderr}"
+    );
+}
+
+#[test]
+fn config_errors_exit_two() {
+    // Manifest without a top-level `jobs` array.
+    let manifest = temp_file("bad.json", r#"{"not_jobs": []}"#);
+    let output = forge()
+        .args(["batch", manifest.to_str().unwrap()])
+        .output()
+        .expect("forge batch executes");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("jobs"),
+        "stderr explains the shape: {stderr}"
+    );
+
+    // Unknown flag.
+    let output = forge()
+        .args(["batch", manifest.to_str().unwrap(), "--no-such-flag"])
+        .output()
+        .expect("forge batch executes");
+    assert_eq!(output.status.code(), Some(2));
+
+    // Invalid admission knob.
+    let output = forge()
+        .args([
+            "batch",
+            manifest.to_str().unwrap(),
+            "--breaker-threshold",
+            "0",
+        ])
+        .output()
+        .expect("forge batch executes");
+    std::fs::remove_file(&manifest).ok();
+    assert_eq!(output.status.code(), Some(2));
+}
+
+#[test]
+fn breaker_fast_fail_exits_three() {
+    // One transient failure trips a threshold-1 breaker; the remaining
+    // jobs fast-fail, which cuts the batch short (exit 3).
+    let manifest = temp_file(
+        "breaker.json",
+        r#"{"jobs": [
+            {"design": "counter8", "profile": "quick", "fault": "transient"},
+            {"design": "gray8", "profile": "quick"},
+            {"design": "lfsr8", "profile": "quick"}
+        ]}"#,
+    );
+    let output = forge()
+        .args([
+            "batch",
+            manifest.to_str().unwrap(),
+            "--workers",
+            "1",
+            "--retries",
+            "0",
+            "--breaker-threshold",
+            "1",
+        ])
+        .output()
+        .expect("forge batch executes");
+    std::fs::remove_file(&manifest).ok();
+    assert_eq!(
+        output.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("cut short"),
+        "stderr explains the fast-fail: {stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("circuit breaker open"),
+        "per-job lines name the open breaker: {stdout}"
+    );
+}
+
+#[test]
+fn rejected_jobs_are_journaled_and_resume_composes_with_admission() {
+    // Queue window = workers + max_queue = 1, so two of three jobs are
+    // rejected at admission. A resumed run restores all three outcomes
+    // from the journal instead of re-admitting (0 newly admitted).
+    let manifest = temp_file(
+        "resume.json",
+        r#"{"jobs": [
+            {"design": "counter8", "profile": "quick", "tier": "beginner"},
+            {"design": "gray8", "profile": "quick"},
+            {"design": "lfsr8", "profile": "quick"}
+        ]}"#,
+    );
+    let journal = std::env::temp_dir().join(format!(
+        "chipforge-batch-journal-{}.jsonl",
+        std::process::id()
+    ));
+    let args = |journal_flag: &str| {
+        vec![
+            "batch".to_string(),
+            manifest.to_str().unwrap().to_string(),
+            "--workers".to_string(),
+            "1".to_string(),
+            "--max-queue".to_string(),
+            "0".to_string(),
+            journal_flag.to_string(),
+            journal.to_str().unwrap().to_string(),
+        ]
+    };
+    let first = forge()
+        .args(args("--journal"))
+        .output()
+        .expect("forge batch executes");
+    assert_eq!(
+        first.status.code(),
+        Some(0),
+        "rejections alone are not strict failures: {}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&first.stdout);
+    assert!(
+        stdout.contains("admit:  1 admitted, 2 rejected"),
+        "admission summary line: {stdout}"
+    );
+
+    let second = forge()
+        .args(args("--resume"))
+        .output()
+        .expect("forge batch executes");
+    std::fs::remove_file(&manifest).ok();
+    std::fs::remove_file(&journal).ok();
+    assert_eq!(second.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&second.stdout);
+    assert!(
+        stdout.contains("admit:  0 admitted, 2 rejected"),
+        "resume restores rejections instead of re-admitting: {stdout}"
+    );
+    assert!(
+        stdout.contains("(resumed)"),
+        "restored jobs tagged: {stdout}"
+    );
 }

@@ -58,6 +58,7 @@ fn chaos_options(
         journal,
         resume,
         halt_after,
+        ..ResilienceOptions::default()
     }
 }
 
