@@ -8,7 +8,9 @@
 //! On single-core runners the two cold regimes coincide (the pool can
 //! only time-slice); the warm-cache speedup is machine-independent.
 
-use chipforge::exec::{AdmissionControl, BatchEngine, EngineConfig, JobSpec, ResilienceOptions};
+use chipforge::exec::{
+    AdmissionControl, BatchEngine, EngineConfig, JobSpec, ResilienceOptions, StageCacheMode,
+};
 use chipforge::flow::OptimizationProfile;
 use chipforge::hdl::designs;
 use chipforge::pdk::TechnologyNode;
@@ -96,6 +98,21 @@ fn bench_batch_throughput(c: &mut Criterion) {
                     ..ResilienceOptions::default()
                 },
             )
+        });
+    });
+
+    // A cold in-memory stage cache per iteration: every stage misses,
+    // is snapshotted and stored, and each seed-2 job restores the
+    // seed-1 front-end. Bounds the overhead of stage snapshotting on a
+    // batch that barely reuses anything; must stay within 5% of
+    // `12_jobs_pool_cold`.
+    group.bench_function("12_jobs_pool_cold_stage_cache", |b| {
+        b.iter(|| {
+            let engine = BatchEngine::new(EngineConfig {
+                stage_cache: StageCacheMode::Memory,
+                ..EngineConfig::with_workers(workers)
+            });
+            engine.run_batch(batch())
         });
     });
 

@@ -9,7 +9,7 @@
 //!           [--journal <out.jsonl>] [--resume <journal.jsonl>]
 //!           [--fault-rate <p>] [--fault-seed <n>] [--quarantine-after <n>]
 //!           [--failure-budget <n>] [--no-degrade] [--halt-after <k>]
-//!           [--canonical-report <out.json>]
+//!           [--stage-cache <dir>] [--canonical-report <out.json>]
 //!           [--trace <out.json>] [--flame <out.txt>]
 //! forge report <trace.json>        # per-stage breakdown of a trace
 //! forge tiers <file.fhdl>          # run all three tier strategies
@@ -20,6 +20,7 @@
 use chipforge::cloud::AccessTier;
 use chipforge::exec::{
     AdmissionControl, BatchEngine, EngineConfig, Fault, JobSpec, JobStatus, ResilienceOptions,
+    StageCacheMode,
 };
 use chipforge::flow::{run_flow_traced, FlowConfig, OptimizationProfile};
 use chipforge::hdl::designs;
@@ -102,7 +103,7 @@ USAGE:
             [--failure-budget <n>] [--no-degrade] [--halt-after <k>]
             [--max-queue <n>] [--shed-oldest] [--deadline <ms>]
             [--tier-quota <b,i,a>] [--breaker-threshold <n>]
-            [--canonical-report <out.json>]
+            [--stage-cache <dir>] [--canonical-report <out.json>]
             [--trace <out.json>] [--flame <out.txt>]
   forge report <trace.json> [--flame <out.txt>]
   forge tiers <file.fhdl>
@@ -130,6 +131,11 @@ between flow stages once the budget from batch start expires;
 (beginner,intermediate,advanced — e.g. 2,1,1); `--breaker-threshold
 <n>` trips a per-stage circuit breaker after n consecutive transient
 stage failures and fast-fails jobs while it is open.
+
+Incremental: `--stage-cache <dir>` keeps per-stage flow snapshots in
+<dir> (created if missing), so jobs sharing a front end — clock or
+profile sweeps, edited resubmissions — restore the unchanged stage
+prefix instead of recomputing it, across runs and processes.
 
 Exit codes: 0 success; 1 job failure(s) under --strict; 2 config or
 manifest error; 3 batch cut short (failure budget or open breaker).
@@ -404,6 +410,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         value_flag("deadline"),
         value_flag("tier-quota"),
         value_flag("breaker-threshold"),
+        value_flag("stage-cache"),
         value_flag("canonical-report"),
     ];
     let (positionals, flags) = parse_args(args, "batch", FLAGS)?;
@@ -428,6 +435,10 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         workers: parse_number(&flags, "workers", EngineConfig::default().workers)?,
         job_timeout: Duration::from_millis(parse_number(&flags, "timeout-ms", 30_000u64)?),
         max_retries: parse_number(&flags, "retries", 2u32)?,
+        stage_cache: match flags.get("stage-cache") {
+            Some(dir) => StageCacheMode::Disk(dir.into()),
+            None => StageCacheMode::Disabled,
+        },
         ..EngineConfig::default()
     };
     let workers = config.workers;
@@ -577,6 +588,12 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         cache.entries,
         cache.evictions,
     );
+    if let Some(stages) = &batch.report.stage_cache {
+        println!(
+            "stages: {} restored / {} computed, {} job(s) fully restored, {} recomputed",
+            stages.hits, stages.misses, stages.full_restores, stages.recomputes,
+        );
+    }
     if resilience_requested {
         println!(
             "resil:  {} quarantined, {} degraded, {} resumed, {} corrupt cache entr{} healed",

@@ -19,13 +19,17 @@
 use crate::cache::{ArtifactCache, CacheKey, Lookup};
 use crate::job::{JobResult, JobSpec, JobStatus, RestoredArtifact};
 use crate::metrics::{AdmissionRecord, ExecutionReport, WorkerRecord};
+use crate::stage_cache::{StageCache, StageCacheMode};
 use chipforge_admit::{interleave_by_weight, CircuitBreaker};
-use chipforge_flow::{run_flow_deadline, FlowConfig, FlowError, FlowOutcome};
+use chipforge_flow::{
+    FlowConfig, FlowCtx, FlowError, FlowOutcome, FlowStep, Pipeline, StageHooks, StageStore,
+};
 use chipforge_obs::Tracer;
 use chipforge_resil::{
     is_degradable_stage, Backoff, Disruption, FaultPlan, Journal, JournalRecord, JournalWriter,
     ResiliencePolicy,
 };
+use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -59,6 +63,9 @@ pub struct EngineConfig {
     pub batch_deadline: Option<Duration>,
     /// Artifact-cache capacity.
     pub cache_capacity: usize,
+    /// Per-stage snapshot caching: restores the shared prefix of a
+    /// parameter sweep instead of recomputing every stage.
+    pub stage_cache: StageCacheMode,
 }
 
 impl Default for EngineConfig {
@@ -74,6 +81,7 @@ impl Default for EngineConfig {
             max_backoff: Duration::from_secs(2),
             batch_deadline: None,
             cache_capacity: 4096,
+            stage_cache: StageCacheMode::Disabled,
         }
     }
 }
@@ -213,6 +221,7 @@ impl BatchReport {
 pub struct BatchEngine {
     config: EngineConfig,
     cache: Arc<ArtifactCache>,
+    stage_cache: Option<Arc<StageCache>>,
     tracer: Tracer,
     /// Attempt threads abandoned by timeouts that are still running.
     /// Incremented when an attempt is detached, decremented when the
@@ -246,6 +255,11 @@ struct BatchControl {
     failures: AtomicUsize,
     budget_blown: AtomicBool,
     breaker_fast_fails: AtomicUsize,
+    /// Executed jobs whose every stage was restored from the stage
+    /// cache / that computed at least one stage. Only tallied when a
+    /// stage cache is attached.
+    stage_full_restores: AtomicUsize,
+    stage_recomputes: AtomicUsize,
 }
 
 /// Immutable per-batch context shared by all workers.
@@ -254,9 +268,11 @@ struct Shared {
     plan: FaultPlan,
     policy: ResiliencePolicy,
     admission: AdmissionControl,
-    /// Per-stage circuit breakers, keyed by the transient stage name.
+    /// Per-stage circuit breakers, keyed by the typed flow stage.
     /// `None` when no breaker threshold is configured.
-    breakers: Option<Mutex<HashMap<&'static str, CircuitBreaker>>>,
+    breakers: Option<Mutex<HashMap<FlowStep, CircuitBreaker>>>,
+    /// The engine's stage cache, when one is attached.
+    stage_cache: Option<Arc<StageCache>>,
     control: BatchControl,
 }
 
@@ -273,18 +289,36 @@ impl BatchEngine {
     #[must_use]
     pub fn with_tracer(config: EngineConfig, tracer: Tracer) -> Self {
         let capacity = config.cache_capacity;
+        let stage_cache = StageCache::from_mode(&config.stage_cache);
         BatchEngine {
             config,
             cache: Arc::new(ArtifactCache::new(capacity)),
+            stage_cache,
             tracer,
             detached: Arc::new(AtomicI64::new(0)),
         }
+    }
+
+    /// An engine that shares an existing stage cache instead of building
+    /// one from `config.stage_cache` — a fresh engine warmed by another
+    /// engine's snapshots (E17's warm pass).
+    #[must_use]
+    pub fn with_stage_cache(config: EngineConfig, stage_cache: Arc<StageCache>) -> Self {
+        let mut engine = Self::new(config);
+        engine.stage_cache = Some(stage_cache);
+        engine
     }
 
     /// The engine's artifact cache.
     #[must_use]
     pub fn cache(&self) -> &ArtifactCache {
         &self.cache
+    }
+
+    /// The engine's per-stage snapshot cache, if one is attached.
+    #[must_use]
+    pub fn stage_cache(&self) -> Option<&Arc<StageCache>> {
+        self.stage_cache.as_ref()
     }
 
     /// Attempt threads abandoned by timeouts that are still running.
@@ -312,6 +346,9 @@ impl BatchEngine {
         let started = Instant::now();
         let deadline = self.config.batch_deadline.map(|d| started + d);
         let job_count = jobs.len();
+        // The stage cache can outlive the batch (and be shared between
+        // engines); snapshot its counters so the report carries deltas.
+        let stage_counters = self.stage_cache.as_ref().map(|sc| sc.counters());
 
         let batch_span = self.tracer.span("batch", "exec");
         if self.tracer.is_enabled() {
@@ -440,6 +477,7 @@ impl BatchEngine {
                 .breaker_threshold
                 .map(|_| Mutex::new(HashMap::new())),
             admission: options.admission,
+            stage_cache: self.stage_cache.clone(),
             control: BatchControl {
                 journal: journal.map(Mutex::new),
                 seq: AtomicU64::new(seq),
@@ -450,6 +488,8 @@ impl BatchEngine {
                 failures: AtomicUsize::new(0),
                 budget_blown: AtomicBool::new(false),
                 breaker_fast_fails: AtomicUsize::new(0),
+                stage_full_restores: AtomicUsize::new(0),
+                stage_recomputes: AtomicUsize::new(0),
             },
         });
 
@@ -509,6 +549,14 @@ impl BatchEngine {
         batch_span.finish_with_detail(&format!("{job_count} jobs"));
         let fail_fast = shared.control.budget_blown.load(Ordering::SeqCst)
             || shared.control.breaker_fast_fails.load(Ordering::SeqCst) > 0;
+        let stage_cache_record = match (&self.stage_cache, stage_counters) {
+            (Some(sc), Some(base)) => Some(sc.record(
+                &base,
+                shared.control.stage_full_restores.load(Ordering::SeqCst) as u64,
+                shared.control.stage_recomputes.load(Ordering::SeqCst) as u64,
+            )),
+            _ => None,
+        };
         let report = ExecutionReport::build(
             &results,
             workers,
@@ -516,6 +564,7 @@ impl BatchEngine {
             makespan_ms,
             detached_threads,
             admission_record,
+            stage_cache_record,
         );
         BatchReport {
             results,
@@ -728,13 +777,13 @@ fn journal_result(key: CacheKey, result: &JobResult, shared: &Shared, tracer: &T
 /// breaker behavior is deterministic) and returns the stage whose open
 /// breaker refuses this job, if any. An open breaker fast-fails
 /// `breaker_cooldown` jobs, then half-opens and lets one probe through.
-fn breaker_fast_fail(shared: &Shared) -> Option<&'static str> {
+fn breaker_fast_fail(shared: &Shared) -> Option<FlowStep> {
     let breakers = shared.breakers.as_ref()?;
     let mut map = breakers.lock().expect("breaker lock");
-    let mut stages: Vec<&'static str> = map.keys().copied().collect();
-    stages.sort_unstable();
+    let mut stages: Vec<FlowStep> = map.keys().copied().collect();
+    stages.sort_unstable_by_key(|stage| stage.name());
     for stage in stages {
-        let breaker = map.get_mut(stage).expect("stage present");
+        let breaker = map.get_mut(&stage).expect("stage present");
         if !breaker.admit() {
             return Some(stage);
         }
@@ -744,7 +793,7 @@ fn breaker_fast_fail(shared: &Shared) -> Option<&'static str> {
 
 /// Counts one transient failure at `stage` against its breaker,
 /// creating the breaker on first failure.
-fn breaker_record_failure(shared: &Shared, stage: &'static str, tracer: &Tracer) {
+fn breaker_record_failure(shared: &Shared, stage: FlowStep, tracer: &Tracer) {
     let Some(breakers) = &shared.breakers else {
         return;
     };
@@ -760,7 +809,7 @@ fn breaker_record_failure(shared: &Shared, stage: &'static str, tracer: &Tracer)
     if tracer.is_enabled() {
         tracer.set_gauge(&format!("admit.breaker_state.{stage}"), after.as_gauge());
         if after != before {
-            tracer.instant("breaker-open", "exec", stage);
+            tracer.instant("breaker-open", "exec", stage.name());
             tracer.add("admit.breaker_trips", 1);
         }
     }
@@ -781,7 +830,7 @@ fn breaker_record_success(shared: &Shared, tracer: &Tracer) {
                 &format!("admit.breaker_state.{stage}"),
                 breaker.state().as_gauge(),
             );
-            tracer.instant("breaker-close", "exec", stage);
+            tracer.instant("breaker-close", "exec", stage.name());
         }
     }
 }
@@ -954,17 +1003,44 @@ fn run_one_inner(
         } else {
             item.spec.flow_config()
         };
+        // Degraded attempts run without the stage store: a relaxed-
+        // parameter rerun must not seed snapshots other jobs could
+        // restore, mirroring the whole-flow no-caching rule below.
+        let stage_store = if degraded {
+            None
+        } else {
+            shared.stage_cache.clone()
+        };
         match run_attempt(
             &item.spec,
             &flow_config,
             &disruption,
+            stage_store,
             shared.config.job_timeout,
             item.deadline,
             tracer,
             detached,
         ) {
-            Attempt::Done(outcome) => {
+            Attempt::Done(outcome, tally) => {
                 breaker_record_success(shared, tracer);
+                if !degraded && shared.stage_cache.is_some() {
+                    if tally.executed == 0 && tally.restored > 0 {
+                        shared
+                            .control
+                            .stage_full_restores
+                            .fetch_add(1, Ordering::SeqCst);
+                        tracer.instant("stage-full-restore", "exec", &item.spec.name);
+                    } else if tally.executed > 0 {
+                        shared
+                            .control
+                            .stage_recomputes
+                            .fetch_add(1, Ordering::SeqCst);
+                    }
+                    if tracer.is_enabled() {
+                        tracer.add("exec.stage_cache.restored", u64::from(tally.restored));
+                        tracer.add("exec.stage_cache.executed", u64::from(tally.executed));
+                    }
+                }
                 let outcome = Arc::new(*outcome);
                 if degraded {
                     // Degraded artifacts are never cached: a relaxed-
@@ -1105,20 +1181,75 @@ fn exhausted(
     }
 }
 
+/// How many stages an attempt computed versus restored from the stage
+/// cache — the engine's view of how incremental the flow run was.
+#[derive(Clone, Copy, Default)]
+struct StageTally {
+    executed: u32,
+    restored: u32,
+}
+
+/// The engine's [`StageHooks`]: fires the injected transient fault at
+/// its named stage boundary (instead of string-matching outside the
+/// flow) and tallies executed-versus-restored stages for the report.
+struct AttemptHooks {
+    transient_stage: Option<FlowStep>,
+    executed: Cell<u32>,
+    restored: Cell<u32>,
+}
+
+impl AttemptHooks {
+    fn new(transient_stage: Option<FlowStep>) -> Self {
+        AttemptHooks {
+            transient_stage,
+            executed: Cell::new(0),
+            restored: Cell::new(0),
+        }
+    }
+
+    fn tally(&self) -> StageTally {
+        StageTally {
+            executed: self.executed.get(),
+            restored: self.restored.get(),
+        }
+    }
+}
+
+impl StageHooks for AttemptHooks {
+    fn before_stage(&self, step: FlowStep) -> Result<(), FlowError> {
+        if self.transient_stage == Some(step) {
+            return Err(FlowError::Interrupted {
+                stage: step,
+                reason: "injected transient fault".into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn stage_finished(&self, _step: FlowStep, restored: bool) {
+        let counter = if restored {
+            &self.restored
+        } else {
+            &self.executed
+        };
+        counter.set(counter.get() + 1);
+    }
+}
+
 enum Attempt {
-    Done(Box<FlowOutcome>),
+    Done(Box<FlowOutcome>, StageTally),
     FlowError(String),
-    Transient(&'static str),
-    /// The flow cancelled itself between stages; the name is the stage
-    /// it declined to start.
-    DeadlineExceeded(&'static str),
+    Transient(FlowStep),
+    /// The flow cancelled itself between stages; the payload is the
+    /// stage it declined to start.
+    DeadlineExceeded(FlowStep),
     Panicked(String),
     TimedOut,
 }
 
 enum ExecError {
-    Transient(&'static str),
-    Deadline(&'static str),
+    Transient(FlowStep),
+    Deadline(FlowStep),
     Flow(String),
 }
 
@@ -1132,10 +1263,12 @@ const ATTEMPT_ABANDONED: u8 = 2;
 /// (or dies) on its own and its late result is discarded — but it is
 /// counted on the `exec.detached_threads` gauge until it exits, so
 /// leaked threads are visible instead of silent.
+#[allow(clippy::too_many_arguments)]
 fn run_attempt(
     spec: &JobSpec,
     flow_config: &FlowConfig,
     disruption: &Disruption,
+    stage_store: Option<Arc<StageCache>>,
     timeout: Duration,
     job_deadline: Option<Instant>,
     tracer: &Tracer,
@@ -1153,7 +1286,14 @@ fn run_attempt(
     let handle = builder
         .spawn(move || {
             let result = catch_unwind(AssertUnwindSafe(|| {
-                execute(&spec, &flow_config, &disruption, job_deadline, &tracer)
+                execute(
+                    &spec,
+                    &flow_config,
+                    &disruption,
+                    job_deadline,
+                    stage_store.as_deref().map(|s| s as &dyn StageStore),
+                    &tracer,
+                )
             }));
             // If the waiter already abandoned us, the gauge counted this
             // thread; un-count it on the way out.
@@ -1167,7 +1307,7 @@ fn run_attempt(
         Ok(finished) => {
             let _ = handle.join();
             match finished {
-                Ok(Ok(outcome)) => Attempt::Done(Box::new(outcome)),
+                Ok(Ok((outcome, tally))) => Attempt::Done(Box::new(outcome), tally),
                 Ok(Err(ExecError::Transient(stage))) => Attempt::Transient(stage),
                 Ok(Err(ExecError::Deadline(stage))) => Attempt::DeadlineExceeded(stage),
                 Ok(Err(ExecError::Flow(message))) => Attempt::FlowError(message),
@@ -1190,21 +1330,32 @@ fn execute(
     flow_config: &FlowConfig,
     disruption: &Disruption,
     deadline: Option<Instant>,
+    stage_store: Option<&dyn StageStore>,
     tracer: &Tracer,
-) -> Result<FlowOutcome, ExecError> {
+) -> Result<(FlowOutcome, StageTally), ExecError> {
     if let Some(ms) = disruption.slow_ms {
         thread::sleep(Duration::from_millis(ms));
     }
     if disruption.panic {
         panic!("injected fault in job `{}`", spec.name);
     }
-    if let Some(stage) = disruption.transient_stage {
-        return Err(ExecError::Transient(stage));
+    // Injected transient faults fire *inside* the pipeline, at their
+    // named stage boundary, via the hooks — so a faulted attempt still
+    // snapshots (and on retry restores) the stages before the fault.
+    let hooks = AttemptHooks::new(disruption.transient_stage);
+    let mut ctx = FlowCtx::new(tracer)
+        .with_deadline(deadline)
+        .with_hooks(&hooks);
+    if let Some(store) = stage_store {
+        ctx = ctx.with_stages(store);
     }
-    run_flow_deadline(&spec.source, flow_config, tracer, deadline).map_err(|e| match e {
-        FlowError::DeadlineExceeded { stage } => ExecError::Deadline(stage),
-        other => ExecError::Flow(other.to_string()),
-    })
+    let result = Pipeline::standard().run(&spec.source, flow_config, &ctx);
+    match result {
+        Ok(outcome) => Ok((outcome, hooks.tally())),
+        Err(FlowError::Interrupted { stage, .. }) => Err(ExecError::Transient(stage)),
+        Err(FlowError::DeadlineExceeded { stage }) => Err(ExecError::Deadline(stage)),
+        Err(other) => Err(ExecError::Flow(other.to_string())),
+    }
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -1733,6 +1884,86 @@ mod tests {
         assert_eq!(resumed.report.admission.admitted, 0);
         assert_eq!(clean.canonical_report(), resumed.canonical_report());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stage_cache_restores_the_shared_prefix_of_a_clock_sweep() {
+        let cached = BatchEngine::new(EngineConfig {
+            workers: 1,
+            stage_cache: StageCacheMode::Memory,
+            ..EngineConfig::default()
+        });
+        let sweep = || {
+            vec![
+                job("clk-50", 1).with_clock_mhz(50.0),
+                job("clk-100", 1).with_clock_mhz(100.0),
+            ]
+        };
+        let batch = cached.run_batch(sweep());
+        assert!(batch.results.iter().all(|r| r.status.is_success()));
+        let record = batch.report.stage_cache.as_ref().expect("stage cache on");
+        // The quick profile does no clock-driven sizing, so the second
+        // clock point restores everything up to and including route (6
+        // stages) and recomputes only signoff and export.
+        assert_eq!(record.hits, 6);
+        assert_eq!(record.misses, 10, "8 cold misses + signoff + export");
+        assert_eq!(record.full_restores, 0);
+        assert_eq!(record.recomputes, 2);
+        let hits_for = |stage: &str| {
+            record
+                .stages
+                .iter()
+                .find(|s| s.stage == stage)
+                .map_or(0, |s| s.hits)
+        };
+        assert_eq!(hits_for("synthesize"), 1);
+        assert_eq!(hits_for("signoff"), 0);
+
+        // Incremental execution must be invisible in the artifacts.
+        let plain = BatchEngine::new(EngineConfig::with_workers(1));
+        let cold = plain.run_batch(sweep());
+        assert_eq!(batch.canonical_report(), cold.canonical_report());
+    }
+
+    #[test]
+    fn warm_engine_fully_restores_and_matches_cold_bytes() {
+        let cold_engine = BatchEngine::new(EngineConfig {
+            workers: 1,
+            stage_cache: StageCacheMode::Memory,
+            ..EngineConfig::default()
+        });
+        let jobs = || vec![job("a", 1), job("b", 2)];
+        let cold = cold_engine.run_batch(jobs());
+        let snapshots = Arc::clone(cold_engine.stage_cache().expect("attached"));
+
+        // A fresh engine (empty whole-flow cache) sharing the snapshots:
+        // every job re-runs its flow, but every stage is restored.
+        let warm_engine = BatchEngine::with_stage_cache(EngineConfig::with_workers(1), snapshots);
+        let warm = warm_engine.run_batch(jobs());
+        let record = warm.report.stage_cache.as_ref().expect("stage cache on");
+        assert_eq!(record.full_restores, 2);
+        assert_eq!(record.recomputes, 0);
+        assert_eq!(record.misses, 0);
+        assert!(warm.results.iter().all(|r| !r.cache_hit));
+        assert_eq!(cold.canonical_report(), warm.canonical_report());
+    }
+
+    #[test]
+    fn transient_retry_restores_the_stages_before_the_fault() {
+        let engine = BatchEngine::new(EngineConfig {
+            workers: 1,
+            retry_backoff: Duration::from_millis(1),
+            stage_cache: StageCacheMode::Memory,
+            ..EngineConfig::default()
+        });
+        // The injected fault fires at the route boundary, so the first
+        // attempt snapshots elaborate..cts and the retry restores them.
+        let batch = engine.run_batch(vec![job("flaky", 1).with_fault(Fault::Transient(1))]);
+        assert_eq!(batch.results[0].status, JobStatus::Succeeded);
+        assert_eq!(batch.results[0].attempts, 2);
+        let record = batch.report.stage_cache.as_ref().expect("stage cache on");
+        assert_eq!(record.hits, 5, "elaborate..cts restored on the retry");
+        assert_eq!(record.recomputes, 1);
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //! - [`ArtifactCache`] — content-addressed results keyed by a canonical
 //!   hash of everything that affects the artifact (source, node, profile
 //!   knobs, clock, seed), so resubmissions are served in microseconds.
+//! - [`StageCache`] — the second cache level: per-stage flow snapshots
+//!   keyed by the pipeline's chained stage keys, so jobs that share a
+//!   front end (a clock or profile sweep over one design) restore the
+//!   common prefix instead of recomputing it (`--stage-cache`, E17).
 //! - [`ExecutionReport`] — JSON-serializable instrumentation: per-job
 //!   queue wait and run time, per-stage wall time, worker utilization,
 //!   cache hit rate and batch throughput. [`calibrate`] feeds these
@@ -34,11 +38,13 @@ pub mod calibrate;
 pub mod engine;
 pub mod job;
 pub mod metrics;
+pub mod stage_cache;
 
 pub use cache::{ArtifactCache, CacheKey, CacheStats, Lookup};
 pub use engine::{AdmissionControl, BatchEngine, BatchReport, EngineConfig, ResilienceOptions};
 pub use job::{Fault, JobResult, JobSpec, JobStatus, RestoredArtifact};
 pub use metrics::{
-    canonical_report, AdmissionRecord, BatchTotals, ExecutionReport, JobRecord, StageTime,
-    WorkerRecord,
+    canonical_report, AdmissionRecord, BatchTotals, ExecutionReport, JobRecord, StageCacheRecord,
+    StageCounter, StageTime, WorkerRecord,
 };
+pub use stage_cache::{StageCache, StageCacheMode, StageCounters};

@@ -118,6 +118,34 @@ pub struct AdmissionRecord {
     pub peak_queue_depth: usize,
 }
 
+/// One stage's share of the per-stage snapshot cache counters.
+#[derive(Debug, Clone, Serialize)]
+pub struct StageCounter {
+    /// Stage name (`elaborate`, `synthesize`, ...).
+    pub stage: String,
+    /// Snapshot loads served from the cache.
+    pub hits: u64,
+    /// Snapshot loads that missed and forced the stage to execute.
+    pub misses: u64,
+}
+
+/// Per-batch accounting for the two-level stage cache. Present in the
+/// report only when the engine ran with a stage cache attached.
+#[derive(Debug, Clone, Serialize)]
+pub struct StageCacheRecord {
+    /// Stage snapshot loads served, across all stages.
+    pub hits: u64,
+    /// Stage snapshot loads that missed, across all stages.
+    pub misses: u64,
+    /// Executed jobs whose every stage was restored from a snapshot —
+    /// the flow ran without computing anything.
+    pub full_restores: u64,
+    /// Executed jobs that computed at least one stage.
+    pub recomputes: u64,
+    /// Per-stage hit/miss counts, in canonical flow order.
+    pub stages: Vec<StageCounter>,
+}
+
 /// The full JSON-serializable batch execution report.
 #[derive(Debug, Clone, Serialize)]
 pub struct ExecutionReport {
@@ -127,6 +155,9 @@ pub struct ExecutionReport {
     pub admission: AdmissionRecord,
     /// Cache counters at the end of the batch.
     pub cache: CacheStats,
+    /// Stage-cache accounting for this batch; `None` when per-stage
+    /// caching is disabled.
+    pub stage_cache: Option<StageCacheRecord>,
     /// Attempt threads abandoned by timeouts and still running when the
     /// batch finished (the `exec.detached_threads` gauge).
     pub detached_threads: u64,
@@ -146,6 +177,7 @@ impl ExecutionReport {
         makespan_ms: f64,
         detached_threads: u64,
         admission: AdmissionRecord,
+        stage_cache: Option<StageCacheRecord>,
     ) -> Self {
         let jobs: Vec<JobRecord> = results.iter().map(job_record).collect();
         workers.sort_by_key(|w| w.worker);
@@ -160,6 +192,7 @@ impl ExecutionReport {
             totals: totals(&jobs, makespan_ms),
             admission,
             cache,
+            stage_cache,
             detached_threads,
             workers,
             jobs,
@@ -387,6 +420,7 @@ mod tests {
             100.0,
             0,
             AdmissionRecord::default(),
+            None,
         );
         assert_eq!(report.totals.succeeded, 2);
         assert_eq!(report.totals.failed, 1);

@@ -1,0 +1,261 @@
+//! The per-stage snapshot cache behind incremental flow execution.
+//!
+//! This is the second level of the engine's two-level cache. The first
+//! level ([`crate::cache::ArtifactCache`]) is keyed by everything that
+//! affects the *whole* flow, so two jobs that differ in one backend knob
+//! share nothing. The [`StageCache`] is keyed by the pipeline's chained
+//! stage keys ([`chipforge_flow::Pipeline::stage_keys`]): a key for
+//! stage N pins only the inputs that can influence stage N's artifact,
+//! so a clock or profile sweep over one RTL source restores the shared
+//! front-end (elaborate/synthesize) from snapshots and recomputes only
+//! the stages its knobs actually reach.
+//!
+//! Storage is memory-first with an optional disk tier. Disk entries are
+//! one canonical-JSON [`StageSnapshot`] per file, named by the 128-bit
+//! stage key, written via a temp file and an atomic rename so concurrent
+//! workers (or a killed run) never leave a torn entry; unreadable or
+//! mismatched files are treated as misses and rewritten. The memory map
+//! is unbounded — snapshots live as long as the cache, which is the
+//! point of sharing one [`Arc<StageCache>`] across engines (E17's warm
+//! pass) or batches.
+
+use crate::metrics::{StageCacheRecord, StageCounter};
+use chipforge_flow::{FlowStep, StageSnapshot, StageStore};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Where the engine keeps per-stage flow snapshots.
+#[derive(Debug, Clone, Default)]
+pub enum StageCacheMode {
+    /// No per-stage caching: every attempt recomputes every stage (the
+    /// historical behavior, and still the default).
+    #[default]
+    Disabled,
+    /// In-memory snapshots, shared by every batch the engine runs.
+    Memory,
+    /// Memory-backed snapshots with a disk tier that persists across
+    /// processes (`forge batch --stage-cache <dir>`).
+    Disk(PathBuf),
+}
+
+/// A monotonic snapshot of the per-stage hit/miss counters, taken at
+/// batch start so the report can carry per-batch deltas even when the
+/// cache outlives the batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageCounters {
+    hits: [u64; 8],
+    misses: [u64; 8],
+}
+
+/// Content-addressed storage for finished flow-stage snapshots.
+///
+/// Implements [`StageStore`], so the flow pipeline restores and stores
+/// snapshots directly; the engine only decides *whether* a cache is
+/// attached to an attempt (degraded retries run without one, mirroring
+/// the whole-flow rule that degraded artifacts are never cached).
+pub struct StageCache {
+    memory: Mutex<HashMap<u128, StageSnapshot>>,
+    disk: Option<PathBuf>,
+    hits: [AtomicU64; 8],
+    misses: [AtomicU64; 8],
+    tmp_seq: AtomicU64,
+}
+
+impl StageCache {
+    fn new(disk: Option<PathBuf>) -> Arc<Self> {
+        Arc::new(StageCache {
+            memory: Mutex::new(HashMap::new()),
+            disk,
+            hits: Default::default(),
+            misses: Default::default(),
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// A memory-only cache.
+    #[must_use]
+    pub fn in_memory() -> Arc<Self> {
+        Self::new(None)
+    }
+
+    /// A memory-backed cache with a disk tier rooted at `dir` (created
+    /// if missing; on failure the disk tier degrades to a no-op and the
+    /// cache keeps working from memory).
+    #[must_use]
+    pub fn on_disk(dir: &Path) -> Arc<Self> {
+        let _ = std::fs::create_dir_all(dir);
+        Self::new(Some(dir.to_path_buf()))
+    }
+
+    /// Builds the cache an [`crate::EngineConfig`] asks for, or `None`
+    /// when per-stage caching is disabled.
+    pub(crate) fn from_mode(mode: &StageCacheMode) -> Option<Arc<Self>> {
+        match mode {
+            StageCacheMode::Disabled => None,
+            StageCacheMode::Memory => Some(Self::in_memory()),
+            StageCacheMode::Disk(dir) => Some(Self::on_disk(dir)),
+        }
+    }
+
+    /// Snapshots currently held in memory.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.memory.lock().expect("stage cache lock").len()
+    }
+
+    /// The current monotonic counter values; subtract two snapshots to
+    /// get per-batch deltas.
+    #[must_use]
+    pub fn counters(&self) -> StageCounters {
+        let mut snapshot = StageCounters::default();
+        for i in 0..8 {
+            snapshot.hits[i] = self.hits[i].load(Ordering::SeqCst);
+            snapshot.misses[i] = self.misses[i].load(Ordering::SeqCst);
+        }
+        snapshot
+    }
+
+    /// The serializable per-batch accounting: counter deltas since
+    /// `since`, plus the job-level restore/recompute split the engine
+    /// tallied.
+    #[must_use]
+    pub fn record(
+        &self,
+        since: &StageCounters,
+        full_restores: u64,
+        recomputes: u64,
+    ) -> StageCacheRecord {
+        let now = self.counters();
+        let stages: Vec<StageCounter> = FlowStep::ALL
+            .iter()
+            .map(|step| StageCounter {
+                stage: step.name().to_string(),
+                hits: now.hits[step.index()] - since.hits[step.index()],
+                misses: now.misses[step.index()] - since.misses[step.index()],
+            })
+            .collect();
+        StageCacheRecord {
+            hits: stages.iter().map(|s| s.hits).sum(),
+            misses: stages.iter().map(|s| s.misses).sum(),
+            full_restores,
+            recomputes,
+            stages,
+        }
+    }
+
+    fn disk_path(&self, key: u128) -> Option<PathBuf> {
+        self.disk
+            .as_ref()
+            .map(|dir| dir.join(format!("{key:032x}.json")))
+    }
+
+    fn load_from_disk(&self, key: u128, step: FlowStep) -> Option<StageSnapshot> {
+        let path = self.disk_path(key)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        let snapshot: StageSnapshot = serde::json::from_str(&text).ok()?;
+        (snapshot.step == step).then_some(snapshot)
+    }
+}
+
+impl StageStore for StageCache {
+    fn load(&self, key: u128, step: FlowStep) -> Option<StageSnapshot> {
+        let from_memory = {
+            let memory = self.memory.lock().expect("stage cache lock");
+            memory.get(&key).filter(|s| s.step == step).cloned()
+        };
+        let snapshot = from_memory.or_else(|| {
+            // Promote disk entries so repeat loads stay in memory.
+            let snapshot = self.load_from_disk(key, step)?;
+            self.memory
+                .lock()
+                .expect("stage cache lock")
+                .insert(key, snapshot.clone());
+            Some(snapshot)
+        });
+        match &snapshot {
+            Some(_) => self.hits[step.index()].fetch_add(1, Ordering::SeqCst),
+            None => self.misses[step.index()].fetch_add(1, Ordering::SeqCst),
+        };
+        snapshot
+    }
+
+    fn store(&self, key: u128, snapshot: &StageSnapshot) {
+        self.memory
+            .lock()
+            .expect("stage cache lock")
+            .insert(key, snapshot.clone());
+        if let Some(path) = self.disk_path(key) {
+            // Unique temp name per write: two workers finishing the same
+            // stage concurrently must not interleave into one temp file.
+            let seq = self.tmp_seq.fetch_add(1, Ordering::SeqCst);
+            let tmp = path.with_extension(format!("{seq}.tmp"));
+            let text = serde::json::to_string(snapshot);
+            if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+                let _ = std::fs::remove_file(&tmp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipforge_flow::StageArtifact;
+
+    fn snapshot(step: FlowStep) -> StageSnapshot {
+        StageSnapshot {
+            step,
+            detail: "42 bytes GDSII".to_string(),
+            artifact: StageArtifact::Export { gds: vec![1, 2, 3] },
+        }
+    }
+
+    #[test]
+    fn memory_roundtrip_counts_hits_and_misses() {
+        let cache = StageCache::in_memory();
+        assert!(cache.load(7, FlowStep::Export).is_none());
+        cache.store(7, &snapshot(FlowStep::Export));
+        let restored = cache.load(7, FlowStep::Export).expect("stored");
+        assert_eq!(restored.detail, "42 bytes GDSII");
+        let record = cache.record(&StageCounters::default(), 0, 0);
+        assert_eq!(record.hits, 1);
+        assert_eq!(record.misses, 1);
+        let export = record.stages.iter().find(|s| s.stage == "export").unwrap();
+        assert_eq!((export.hits, export.misses), (1, 1));
+    }
+
+    #[test]
+    fn mismatched_step_is_a_miss() {
+        let cache = StageCache::in_memory();
+        cache.store(9, &snapshot(FlowStep::Export));
+        assert!(cache.load(9, FlowStep::Route).is_none());
+    }
+
+    #[test]
+    fn disk_tier_survives_a_fresh_cache() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("chipforge-stage-cache-{}", std::process::id()));
+        let cache = StageCache::on_disk(&dir);
+        cache.store(11, &snapshot(FlowStep::Export));
+        drop(cache);
+        let fresh = StageCache::on_disk(&dir);
+        assert_eq!(fresh.entries(), 0, "nothing promoted yet");
+        assert!(fresh.load(11, FlowStep::Export).is_some());
+        assert_eq!(fresh.entries(), 1, "disk hit promoted to memory");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn counter_deltas_are_relative_to_the_snapshot() {
+        let cache = StageCache::in_memory();
+        cache.store(1, &snapshot(FlowStep::Export));
+        let _ = cache.load(1, FlowStep::Export);
+        let base = cache.counters();
+        let _ = cache.load(1, FlowStep::Export);
+        let record = cache.record(&base, 1, 0);
+        assert_eq!(record.hits, 1, "only the post-snapshot load counts");
+        assert_eq!(record.full_restores, 1);
+    }
+}

@@ -41,12 +41,18 @@
 #![warn(missing_docs)]
 
 mod cts;
+mod pipeline;
 mod profile;
 mod report;
 mod run;
+mod stages;
 mod template;
 
 pub use cts::{synthesize_clock_tree, ClockBuffer, ClockTree, CtsOptions};
+pub use pipeline::{
+    canonical_outcome_json, FlowCtx, Pipeline, StageArtifact, StageHooks, StageSnapshot,
+    StageStore, STAGE_KEY_SCHEMA,
+};
 pub use profile::OptimizationProfile;
 pub use report::{FlowReport, PpaReport, StepRecord};
 pub use run::{

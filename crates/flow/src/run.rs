@@ -1,18 +1,20 @@
-//! Flow execution.
+//! Flow configuration, outcome and error types, plus the public
+//! `run_flow*` entry points — all thin wrappers over the one
+//! [`Pipeline`] driver in [`crate::pipeline`].
 
+use crate::pipeline::{FlowCtx, Pipeline};
 use crate::profile::OptimizationProfile;
-use crate::report::{FlowReport, PpaReport, StepRecord};
+use crate::report::FlowReport;
 use crate::template::{FlowStep, FlowTemplate};
 use chipforge_hdl::RtlModule;
-use chipforge_layout::{build_layout, drc, gds, Layout};
+use chipforge_layout::Layout;
 use chipforge_netlist::Netlist;
-use chipforge_obs::{SpanGuard, Tracer};
-use chipforge_pdk::{DesignRules, Pdk, StdCellLibrary, TechnologyNode};
-use chipforge_place::{place, Placement, PlacementOptions};
-use chipforge_power::{estimate, PowerOptions};
-use chipforge_route::{route, RouteOptions, Routing};
-use chipforge_sta::{analyze, size_cells, TimingOptions, TimingReport};
-use chipforge_synth::{synthesize, SynthOptions};
+use chipforge_obs::Tracer;
+use chipforge_pdk::{Pdk, TechnologyNode};
+use chipforge_place::Placement;
+use chipforge_route::Routing;
+use chipforge_sta::TimingReport;
+use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 use std::time::Instant;
@@ -92,7 +94,7 @@ impl FlowConfig {
 }
 
 /// Everything a flow run produces.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FlowOutcome {
     /// The mapped (and sized) netlist.
     pub netlist: Netlist,
@@ -129,12 +131,20 @@ pub enum FlowError {
     /// Power estimation failed.
     Power(chipforge_power::PowerError),
     /// The run's deadline expired before `stage` could start. Emitted
-    /// by the per-stage budget check of [`run_flow_deadline`]; the
-    /// stages already finished are abandoned (cooperative
-    /// cancellation), so the partial work never leaves the flow.
+    /// by the pipeline's per-stage budget check; the stages already
+    /// finished are abandoned (cooperative cancellation), so the
+    /// partial work never leaves the flow.
     DeadlineExceeded {
         /// The stage that was about to run when the budget ran out.
-        stage: &'static str,
+        stage: FlowStep,
+    },
+    /// A [`crate::StageHooks`] implementation aborted the run at a stage
+    /// boundary — the carrier for injected faults fired inside the flow.
+    Interrupted {
+        /// The stage that was about to run when the hook fired.
+        stage: FlowStep,
+        /// Why the hook aborted.
+        reason: String,
     },
 }
 
@@ -150,6 +160,9 @@ impl fmt::Display for FlowError {
             FlowError::Power(e) => write!(f, "power: {e}"),
             FlowError::DeadlineExceeded { stage } => {
                 write!(f, "deadline exceeded before {stage}")
+            }
+            FlowError::Interrupted { stage, reason } => {
+                write!(f, "interrupted before {stage}: {reason}")
             }
         }
     }
@@ -180,7 +193,7 @@ impl_from!(Power, chipforge_power::PowerError);
 ///
 /// Propagates the first failing step as [`FlowError`].
 pub fn run_flow(source: &str, config: &FlowConfig) -> Result<FlowOutcome, FlowError> {
-    run_flow_traced(source, config, &Tracer::disabled())
+    Pipeline::standard().run(source, config, &FlowCtx::new(&Tracer::disabled()))
 }
 
 /// Runs the complete flow on ForgeHDL source, recording one span per
@@ -195,7 +208,7 @@ pub fn run_flow_traced(
     config: &FlowConfig,
     tracer: &Tracer,
 ) -> Result<FlowOutcome, FlowError> {
-    run_flow_deadline(source, config, tracer, None)
+    Pipeline::standard().run(source, config, &FlowCtx::new(tracer))
 }
 
 /// [`run_flow_traced`] under an absolute deadline: before each stage
@@ -217,28 +230,10 @@ pub fn run_flow_deadline(
     tracer: &Tracer,
     deadline: Option<Instant>,
 ) -> Result<FlowOutcome, FlowError> {
-    let mut root = tracer.span("flow", "flow");
-    let scoped = tracer.at(root.id(), tracer.default_track());
-    check_deadline(deadline, FlowStep::Elaborate)?;
-    let elab = scoped.span(FlowStep::Elaborate.name(), "flow");
-    let module = chipforge_hdl::parse(source)?;
-    let rtl_lines = chipforge_hdl::rtl_line_count(source);
-    let detail = format!("{} signals, {} lines", module.signals().len(), rtl_lines);
-    let elaborate_ms = elab.finish_with_detail(&detail);
-    if scoped.is_enabled() {
-        scoped.observe(
-            &format!("flow.stage_ms.{}", FlowStep::Elaborate.name()),
-            elaborate_ms,
-        );
-    }
-    root.set_detail(module.name());
-    run_inner(
-        &module,
+    Pipeline::standard().run(
+        source,
         config,
-        rtl_lines,
-        Some((elaborate_ms, detail)),
-        &scoped,
-        deadline,
+        &FlowCtx::new(tracer).with_deadline(deadline),
     )
 }
 
@@ -251,7 +246,7 @@ pub fn run_flow_on_module(
     module: &RtlModule,
     config: &FlowConfig,
 ) -> Result<FlowOutcome, FlowError> {
-    run_flow_on_module_traced(module, config, &Tracer::disabled())
+    Pipeline::standard().run_on_module(module, config, &FlowCtx::new(&Tracer::disabled()))
 }
 
 /// Traced variant of [`run_flow_on_module`]; see [`run_flow_traced`].
@@ -264,289 +259,7 @@ pub fn run_flow_on_module_traced(
     config: &FlowConfig,
     tracer: &Tracer,
 ) -> Result<FlowOutcome, FlowError> {
-    let mut root = tracer.span("flow", "flow");
-    root.set_detail(module.name());
-    let scoped = tracer.at(root.id(), tracer.default_track());
-    run_inner(module, config, module.source_lines(), None, &scoped, None)
-}
-
-/// Fails with [`FlowError::DeadlineExceeded`] once `deadline` is in the
-/// past; `None` always passes.
-fn check_deadline(deadline: Option<Instant>, next: FlowStep) -> Result<(), FlowError> {
-    match deadline {
-        Some(at) if Instant::now() >= at => Err(FlowError::DeadlineExceeded { stage: next.name() }),
-        _ => Ok(()),
-    }
-}
-
-/// Closes a stage span, records its duration in the `flow.stage_ms.*`
-/// histogram, and appends the matching [`StepRecord`].
-fn finish_stage(
-    tracer: &Tracer,
-    span: SpanGuard,
-    step: FlowStep,
-    detail: String,
-    steps: &mut Vec<StepRecord>,
-) {
-    let wall_ms = span.finish_with_detail(&detail);
-    if tracer.is_enabled() {
-        tracer.observe(&format!("flow.stage_ms.{}", step.name()), wall_ms);
-    }
-    steps.push(StepRecord {
-        step,
-        wall_ms,
-        detail,
-    });
-}
-
-fn run_inner(
-    module: &RtlModule,
-    config: &FlowConfig,
-    rtl_lines: usize,
-    elaborated: Option<(f64, String)>,
-    tracer: &Tracer,
-    deadline: Option<Instant>,
-) -> Result<FlowOutcome, FlowError> {
-    let pdk = config.pdk();
-    let lib: StdCellLibrary = pdk.library(config.profile.library);
-    let clock_ps = 1e6 / config.clock_mhz;
-    let mut steps = Vec::new();
-    if let Some((wall_ms, detail)) = elaborated {
-        steps.push(StepRecord {
-            step: FlowStep::Elaborate,
-            wall_ms,
-            detail,
-        });
-    }
-
-    // --- synthesize ---
-    check_deadline(deadline, FlowStep::Synthesize)?;
-    let span = tracer.span(FlowStep::Synthesize.name(), "flow");
-    let synth_result = synthesize(
-        module,
-        &lib,
-        &SynthOptions {
-            effort: config.profile.synth_effort,
-        },
-    )?;
-    let mut netlist = synth_result.netlist;
-    let mut synth_detail = format!(
-        "{} cells, {} AIG nodes, depth {}",
-        netlist.cell_count(),
-        synth_result.aig_stats.ands,
-        synth_result.aig_stats.depth
-    );
-    if config.insert_scan {
-        if let Some((scanned, scan_report)) = chipforge_synth::insert_scan_chain(&netlist, &lib)? {
-            netlist = scanned;
-            synth_detail.push_str(&format!(
-                ", scan chain of {} ({} muxes)",
-                scan_report.chain_length(),
-                scan_report.muxes_added
-            ));
-        }
-    }
-    finish_stage(tracer, span, FlowStep::Synthesize, synth_detail, &mut steps);
-
-    // --- pre-route sizing ---
-    check_deadline(deadline, FlowStep::Size)?;
-    let span = tracer.span(FlowStep::Size.name(), "flow");
-    let sized = if config.profile.sizing_iterations > 0 {
-        size_cells(
-            &mut netlist,
-            &lib,
-            &TimingOptions::new(clock_ps),
-            config.profile.sizing_iterations,
-        )?
-        .upsized_cells
-    } else {
-        0
-    };
-    finish_stage(
-        tracer,
-        span,
-        FlowStep::Size,
-        format!("{sized} cells upsized"),
-        &mut steps,
-    );
-
-    // --- place ---
-    check_deadline(deadline, FlowStep::Place)?;
-    let span = tracer.span(FlowStep::Place.name(), "flow");
-    let placement = place(
-        &netlist,
-        &lib,
-        &PlacementOptions {
-            utilization: config.profile.utilization,
-            seed: config.seed,
-            moves_per_cell: config.profile.placement_moves_per_cell,
-        },
-    )?;
-    finish_stage(
-        tracer,
-        span,
-        FlowStep::Place,
-        format!(
-            "hpwl {:.1} um ({} rows)",
-            placement.hpwl_um(),
-            placement.floorplan().rows()
-        ),
-        &mut steps,
-    );
-
-    // --- clock-tree synthesis ---
-    check_deadline(deadline, FlowStep::ClockTree)?;
-    let span = tracer.span(FlowStep::ClockTree.name(), "flow");
-    let flip_flops = netlist.stats().sequential_cells;
-    let clock_tree = crate::cts::synthesize_clock_tree(
-        &netlist,
-        &placement,
-        &lib,
-        &crate::cts::CtsOptions::default(),
-    );
-    let (clock_buffers, clock_skew_ps, cts_detail) = match &clock_tree {
-        Some(tree) => (
-            tree.buffer_count(),
-            tree.skew_ps(),
-            format!(
-                "{} sinks, {} buffers, {} levels, skew {:.1} ps, {:.1} um clock wire",
-                flip_flops,
-                tree.buffer_count(),
-                tree.levels(),
-                tree.skew_ps(),
-                tree.wirelength_um()
-            ),
-        ),
-        None => (0, 0.0, "no sequential cells".to_string()),
-    };
-    finish_stage(tracer, span, FlowStep::ClockTree, cts_detail, &mut steps);
-
-    // --- route ---
-    check_deadline(deadline, FlowStep::Route)?;
-    let span = tracer.span(FlowStep::Route.name(), "flow");
-    let routing = route(
-        &netlist,
-        &placement,
-        &lib,
-        &RouteOptions {
-            gcell_um: 0.0,
-            max_iterations: config.profile.route_iterations,
-        },
-    )?;
-    finish_stage(
-        tracer,
-        span,
-        FlowStep::Route,
-        format!(
-            "wl {:.1} um, {} vias, peak congestion {:.2}",
-            routing.total_wirelength_um(),
-            routing.total_vias(),
-            routing.peak_congestion()
-        ),
-        &mut steps,
-    );
-
-    // --- signoff: back-annotated STA, power, DRC ---
-    check_deadline(deadline, FlowStep::Signoff)?;
-    let span = tracer.span(FlowStep::Signoff.name(), "flow");
-    let mut timing_options = TimingOptions::new(clock_ps).with_clock_skew_ps(clock_skew_ps);
-    timing_options.net_wire_cap_ff = routing.wire_caps_ff(&lib);
-    let timing = analyze(&netlist, &lib, &timing_options)?;
-    let mut power_options = PowerOptions::new(config.clock_mhz);
-    power_options.net_wire_cap_ff = routing.wire_caps_ff(&lib);
-    let mut power = estimate(&netlist, &lib, &power_options)?;
-    // Clock-tree buffers toggle every cycle; add their switching power.
-    if let Some(tree) = &clock_tree {
-        let vdd = lib.node().supply_v();
-        let wire_ff = tree.wirelength_um() * lib.node().wire_cap_ff_per_um();
-        let buf_ff = tree.buffer_count() as f64 * 2.0; // internal + input caps
-        power.clock_uw += (wire_ff + buf_ff) * 1e-15 * vdd * vdd * config.clock_mhz * 1e6 * 1e6;
-    }
-    let layout = build_layout(&netlist, &placement, &routing, &lib)?;
-    let rules = DesignRules::for_node(config.node);
-    let drc_report = drc::check(&layout, &rules);
-    // Formal equivalence against the RTL (skipped for scan-inserted
-    // netlists, whose interface intentionally differs in shift mode).
-    let ec_detail = if config.insert_scan {
-        "EC skipped (scan)".to_string()
-    } else {
-        let ec = chipforge_verify::check_equivalence(module, &netlist, 500_000);
-        match ec.verdict {
-            chipforge_verify::Verdict::Equivalent => {
-                format!("EC proven ({}/{})", ec.proven, ec.total)
-            }
-            chipforge_verify::Verdict::Aborted => {
-                format!(
-                    "EC aborted at {} BDD nodes ({}/{} proven)",
-                    ec.bdd_nodes, ec.proven, ec.total
-                )
-            }
-            other => format!("EC FAILED: {other:?}"),
-        }
-    };
-    finish_stage(
-        tracer,
-        span,
-        FlowStep::Signoff,
-        format!(
-            "wns {:.1} ps, {:.1} uW, {} DRC violations, {}",
-            timing.wns_ps,
-            power.total_uw(),
-            drc_report.violations.len(),
-            ec_detail
-        ),
-        &mut steps,
-    );
-
-    // --- export ---
-    check_deadline(deadline, FlowStep::Export)?;
-    let span = tracer.span(FlowStep::Export.name(), "flow");
-    let gds_bytes = gds::write_gds(&layout);
-    finish_stage(
-        tracer,
-        span,
-        FlowStep::Export,
-        format!("{} bytes GDSII", gds_bytes.len()),
-        &mut steps,
-    );
-
-    let cell_area: f64 = netlist
-        .cells()
-        .filter_map(|c| lib.cell(c.lib_cell()).map(|l| l.area_um2()))
-        .sum();
-    let report = FlowReport {
-        design: module.name().to_string(),
-        node: config.node.name(),
-        profile: config.profile.name.clone(),
-        steps,
-        ppa: PpaReport {
-            cell_area_um2: cell_area,
-            core_area_um2: placement.floorplan().core_area_um2(),
-            cells: netlist.cell_count(),
-            flip_flops,
-            fmax_mhz: timing.fmax_mhz,
-            wns_ps: timing.wns_ps,
-            hold_wns_ps: timing.hold_wns_ps,
-            power_uw: power.total_uw(),
-            leakage_uw: power.leakage_uw,
-            clock_buffers,
-            clock_skew_ps,
-            wirelength_um: routing.total_wirelength_um(),
-            overflowed_edges: routing.overflowed_edges(),
-            drc_violations: drc_report.violations.len(),
-            gds_bytes: gds_bytes.len(),
-        },
-        rtl_lines,
-    };
-    Ok(FlowOutcome {
-        netlist,
-        placement,
-        routing,
-        layout,
-        gds: gds_bytes,
-        timing,
-        report,
-    })
+    Pipeline::standard().run_on_module(module, config, &FlowCtx::new(tracer))
 }
 
 #[cfg(test)]
@@ -748,7 +461,12 @@ mod tests {
         )
         .unwrap_err();
         assert!(
-            matches!(err, FlowError::DeadlineExceeded { stage: "elaborate" }),
+            matches!(
+                err,
+                FlowError::DeadlineExceeded {
+                    stage: FlowStep::Elaborate
+                }
+            ),
             "got {err}"
         );
         assert_eq!(err.to_string(), "deadline exceeded before elaborate");

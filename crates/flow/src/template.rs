@@ -38,6 +38,21 @@ impl FlowStep {
         FlowStep::Export,
     ];
 
+    /// Position of this step in [`FlowStep::ALL`] (canonical order).
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            FlowStep::Elaborate => 0,
+            FlowStep::Synthesize => 1,
+            FlowStep::Size => 2,
+            FlowStep::Place => 3,
+            FlowStep::ClockTree => 4,
+            FlowStep::Route => 5,
+            FlowStep::Signoff => 6,
+            FlowStep::Export => 7,
+        }
+    }
+
     /// Stable lower-case step name (also the `Display` text), used as
     /// span and metric names in traces.
     #[must_use]

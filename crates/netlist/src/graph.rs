@@ -6,7 +6,7 @@ use crate::ids::{CellId, NetId};
 use crate::net::{Net, NetDriver};
 use crate::stats::NetlistStats;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A flat, mapped, single-clock gate-level netlist.
 ///
@@ -25,7 +25,10 @@ pub struct Netlist {
     inputs: Vec<(String, NetId)>,
     /// Primary outputs as `(port_name, net)` in declaration order.
     outputs: Vec<(String, NetId)>,
-    names: HashMap<String, ()>,
+    /// Used-name set for uniquification. A sorted map rather than a hash
+    /// map so netlist JSON serializes deterministically (snapshot and
+    /// byte-identity checks depend on stable field ordering).
+    names: BTreeMap<String, ()>,
 }
 
 impl Netlist {
@@ -38,7 +41,7 @@ impl Netlist {
             nets: Vec::new(),
             inputs: Vec::new(),
             outputs: Vec::new(),
-            names: HashMap::new(),
+            names: BTreeMap::new(),
         }
     }
 

@@ -82,8 +82,11 @@ pub struct PowerReport {
     pub clock_uw: f64,
     /// Static leakage, µW.
     pub leakage_uw: f64,
-    /// Per-net toggle rates (transitions per cycle).
-    pub net_activity: HashMap<NetId, f64>,
+    /// Per-net toggle rates (transitions per cycle), sorted by net id.
+    /// A sorted vec rather than a map so the report serializes
+    /// deterministically and roundtrips through JSON (integer map keys
+    /// do not survive JSON object keys).
+    pub net_activity: Vec<(NetId, f64)>,
 }
 
 impl PowerReport {
@@ -283,10 +286,11 @@ pub fn estimate(
         }
     }
 
-    let net_activity = netlist
+    let mut net_activity: Vec<(NetId, f64)> = netlist
         .nets()
         .map(|n| (n.id(), activity[n.id().index()]))
         .collect();
+    net_activity.sort_by_key(|(id, _)| *id);
     Ok(PowerReport {
         switching_uw: switching_w * 1e6,
         clock_uw: clock_w * 1e6,
@@ -410,7 +414,7 @@ mod tests {
         let netlist = netlist_of(designs::fir4(8));
         let lib = lib();
         let report = estimate(&netlist, &lib, &PowerOptions::new(100.0)).unwrap();
-        for a in report.net_activity.values() {
+        for (_, a) in &report.net_activity {
             assert!((0.0..=1.0).contains(a), "activity {a}");
         }
     }

@@ -67,7 +67,7 @@ proptest! {
         opts.input_probability = prob;
         opts.input_activity = act;
         let report = estimate(&netlist, &lib, &opts).expect("estimates");
-        for a in report.net_activity.values() {
+        for (_, a) in &report.net_activity {
             prop_assert!((0.0..=1.0).contains(a), "activity {a}");
         }
         prop_assert!(report.switching_uw >= 0.0);

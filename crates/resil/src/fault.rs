@@ -7,19 +7,27 @@
 //! scheduling order, or whether the batch was interrupted and resumed.
 
 use crate::{fnv64, hash_fraction};
+use chipforge_flow::FlowStep;
 use serde::{Deserialize, Serialize};
 
-/// Flow stages a transient fault can fire at.
-pub const TRANSIENT_STAGES: [&str; 4] = ["synthesize", "place", "clock-tree", "route"];
+/// Flow stages a transient fault can fire at, in the plan's historical
+/// pick order (the order is part of the seeded-determinism contract:
+/// `FaultPlan::disruption` indexes into it by hash).
+pub const TRANSIENT_STAGES: [FlowStep; 4] = [
+    FlowStep::Synthesize,
+    FlowStep::Place,
+    FlowStep::ClockTree,
+    FlowStep::Route,
+];
 
 /// Stages whose transient failures can be absorbed by a degraded retry
 /// with relaxed parameters (lower utilization, reduced effort): routing
 /// and clock-tree synthesis, the classic congestion-sensitive stages.
-pub const DEGRADABLE_STAGES: [&str; 2] = ["clock-tree", "route"];
+pub const DEGRADABLE_STAGES: [FlowStep; 2] = [FlowStep::ClockTree, FlowStep::Route];
 
 /// Whether a transiently-failed stage qualifies for a degraded retry.
 #[must_use]
-pub fn is_degradable_stage(stage: &str) -> bool {
+pub fn is_degradable_stage(stage: FlowStep) -> bool {
     DEGRADABLE_STAGES.contains(&stage)
 }
 
@@ -57,7 +65,7 @@ impl Fault {
             }
             Fault::Transient(n) => {
                 if attempt <= n && disruption.transient_stage.is_none() {
-                    disruption.transient_stage = Some("route");
+                    disruption.transient_stage = Some(FlowStep::Route);
                 }
             }
         }
@@ -75,7 +83,7 @@ pub struct Disruption {
     /// Panic inside the attempt thread.
     pub panic: bool,
     /// Fail with a transient error at this stage instead of running.
-    pub transient_stage: Option<&'static str>,
+    pub transient_stage: Option<FlowStep>,
 }
 
 impl Disruption {
@@ -341,7 +349,7 @@ mod tests {
         assert_eq!(d.slow_ms, Some(50));
         let mut d = Disruption::none();
         Fault::Transient(2).apply(&mut d, 2);
-        assert_eq!(d.transient_stage, Some("route"));
+        assert_eq!(d.transient_stage, Some(FlowStep::Route));
         let mut d = Disruption::none();
         Fault::Transient(2).apply(&mut d, 3);
         assert!(d.transient_stage.is_none(), "third attempt succeeds");
@@ -360,10 +368,10 @@ mod tests {
 
     #[test]
     fn degradable_stages_are_route_and_cts() {
-        assert!(is_degradable_stage("route"));
-        assert!(is_degradable_stage("clock-tree"));
-        assert!(!is_degradable_stage("synthesize"));
-        assert!(!is_degradable_stage("place"));
+        assert!(is_degradable_stage(FlowStep::Route));
+        assert!(is_degradable_stage(FlowStep::ClockTree));
+        assert!(!is_degradable_stage(FlowStep::Synthesize));
+        assert!(!is_degradable_stage(FlowStep::Place));
     }
 
     #[test]
