@@ -41,9 +41,9 @@ mod tier;
 
 pub use error::ConfigError;
 pub use platform::{
-    simulate_hub, simulate_hub_admitted, simulate_hub_resilient, simulate_hub_traced,
-    simulate_local, AdmittedResult, HubResilience, ScenarioResult, TierAdmitStats, WorkloadSpec,
-    VIRTUAL_US_PER_HOUR,
+    simulate_hub, simulate_hub_admitted, simulate_hub_admitted_trace, simulate_hub_resilient,
+    simulate_hub_traced, simulate_local, AdmittedResult, HubArrival, HubResilience, ScenarioResult,
+    TierAdmitStats, WorkloadSpec, VIRTUAL_US_PER_HOUR,
 };
 pub use queue::EventQueue;
 pub use shuttle::{ShuttleOutcome, ShuttleSchedule};

@@ -129,6 +129,24 @@ impl WorkloadSpec {
         }
     }
 
+    /// The workload's arrival trace, sorted by arrival time. This is
+    /// the public face of the internal job generator: a load generator
+    /// can replay exactly the trace the DES consumed against a live
+    /// `forge serve` hub, making the model and the real system
+    /// comparable event for event (experiment E18).
+    #[must_use]
+    pub fn arrival_trace(&self) -> Vec<HubArrival> {
+        self.jobs()
+            .into_iter()
+            .map(|(university, arrival_h, tier, service_h)| HubArrival {
+                university,
+                arrival_h,
+                tier,
+                service_h,
+            })
+            .collect()
+    }
+
     /// Generates the job list: `(university, arrival_h, tier, service_h)`.
     fn jobs(&self) -> Vec<(usize, f64, AccessTier, f64)> {
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -565,6 +583,20 @@ pub fn simulate_hub_resilient(
     )
 }
 
+/// One job arrival in a hub workload trace: who submits, when, at
+/// which access tier, and how much service it needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HubArrival {
+    /// Submitting university group (0-based).
+    pub university: usize,
+    /// Arrival time in simulated hours from workload start.
+    pub arrival_h: f64,
+    /// Access tier the job is billed against.
+    pub tier: AccessTier,
+    /// Service demand in simulated hours (before compute speedup).
+    pub service_h: f64,
+}
+
 /// Per-tier admission accounting from [`simulate_hub_admitted`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct TierAdmitStats {
@@ -635,12 +667,44 @@ pub fn simulate_hub_admitted(
     tracer: &Tracer,
 ) -> Result<AdmittedResult, ConfigError> {
     spec.validate()?;
+    simulate_hub_admitted_trace(
+        &spec.arrival_trace(),
+        servers,
+        hub_setup_hours,
+        compute_speed,
+        policy,
+        tracer,
+    )
+}
+
+/// [`simulate_hub_admitted`] over an explicit arrival trace instead of
+/// a generative [`WorkloadSpec`]. E18 uses this to feed the DES the
+/// *same* trace a load generator replays against a live `forge serve`
+/// hub — with per-tier measured service times substituted in — so the
+/// model's per-tier p99/rejection predictions can be checked against
+/// the running service.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] if the policy does not cover exactly the
+/// three hub tiers.
+pub fn simulate_hub_admitted_trace(
+    trace: &[HubArrival],
+    servers: usize,
+    hub_setup_hours: f64,
+    compute_speed: f64,
+    policy: &AdmissionPolicy,
+    tracer: &Tracer,
+) -> Result<AdmittedResult, ConfigError> {
     if policy.classes() != 3 {
         return Err(ConfigError::TierClassMismatch {
             got: policy.classes(),
         });
     }
-    let jobs = spec.jobs();
+    let jobs: Vec<(usize, f64, AccessTier, f64)> = trace
+        .iter()
+        .map(|a| (a.university, a.arrival_h, a.tier, a.service_h))
+        .collect();
     let mut queue: EventQueue<HubEvent> = EventQueue::new();
     for (i, (_, arrival, _, _)) in jobs.iter().enumerate() {
         queue.push(*arrival, HubEvent::Arrival(i));

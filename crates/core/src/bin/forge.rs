@@ -15,8 +15,11 @@
 //! forge tiers <file.fhdl>          # run all three tier strategies
 //! forge catalog                    # nodes, tiers and their envelopes
 //! forge designs                    # built-in benchmark designs
+//! forge serve [--addr <host:port>] # live multi-tenant job hub
+//! forge client <action> ...        # talk to a running hub
 //! ```
 
+use chipforge::admit::{OverflowPolicy, RateLimit};
 use chipforge::cloud::AccessTier;
 use chipforge::exec::{
     AdmissionControl, BatchEngine, EngineConfig, Fault, JobSpec, JobStatus, ResilienceOptions,
@@ -28,10 +31,12 @@ use chipforge::netlist::verilog;
 use chipforge::obs::{self, Tracer};
 use chipforge::pdk::{liberty, LibraryKind, Pdk, TechnologyNode};
 use chipforge::resil::{FaultPlan, Journal, JournalWriter, ResiliencePolicy};
+use chipforge::serve::{Client, Hub, HubConfig, KeyRegistry, Server};
 use chipforge::{EnablementHub, Tier, TierStrategy};
 use serde::json;
 use serde::Value;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -62,6 +67,8 @@ fn main() -> ExitCode {
         Some("tiers") => cmd_tiers(&args[1..]),
         Some("catalog") => cmd_catalog(&args[1..]),
         Some("designs") => cmd_designs(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some(unknown) => {
             eprintln!("forge: unknown subcommand `{unknown}`\n");
             eprint!("{USAGE}");
@@ -109,6 +116,14 @@ USAGE:
   forge tiers <file.fhdl>
   forge catalog
   forge designs
+  forge serve [--addr <host:port>] [--workers <n>] [--max-queue <n>]
+            [--shed-oldest] [--tier-quota <b,i,a>] [--aging <rate>]
+            [--tier-rate <b,i,a>] [--timeout-ms <ms>]
+            [--journal <out.jsonl>] [--stage-cache <dir>]
+            [--no-stage-cache] [--keys <keys.json>]
+  forge client submit <manifest.json> [--server <addr>] [--key <key>]
+  forge client status|wait|cancel <id> [--server] [--key] [--timeout-ms <ms>]
+  forge client list|metrics [--server <addr>] [--key <key>]
 
 `--trace` writes Chrome trace-event JSON (open in Perfetto or
 about://tracing); `--flame` writes flamegraph folded stacks; `forge
@@ -136,6 +151,16 @@ Incremental: `--stage-cache <dir>` keeps per-stage flow snapshots in
 <dir> (created if missing), so jobs sharing a front end — clock or
 profile sweeps, edited resubmissions — restore the unchanged stage
 prefix instead of recomputing it, across runs and processes.
+
+Hub: `forge serve` runs the live multi-tenant job service (HTTP/1.1 on
+--addr, default 127.0.0.1:8317). API keys map universities to access
+tiers; without `--keys` a demo registry is loaded (demo-beginner /
+demo-intermediate / demo-advanced). Admission reuses the batch
+machinery: bounded per-tier queues (`--max-queue`, `--shed-oldest`),
+fair-share weights (`--tier-quota`) with aging (`--aging`), per-tier
+token-bucket rates (`--tier-rate`, tokens/s, 0 = unlimited). With
+`--journal` completed jobs survive a crash: a restarted hub re-lists
+them. `forge client` submits manifests to a hub and polls job state.
 
 Exit codes: 0 success; 1 job failure(s) under --strict; 2 config or
 manifest error; 3 batch cut short (failure budget or open breaker).
@@ -306,59 +331,105 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Reads an optional manifest field, erroring when it is present but
+/// of the wrong JSON type. A silently dropped `"clock_mhz": "fast"`
+/// would otherwise produce a default-clock GDS with no warning.
+fn manifest_field<'a, T>(
+    entry: &'a Value,
+    context: &str,
+    name: &str,
+    kind: &str,
+    read: impl Fn(&'a Value) -> Option<T>,
+) -> Result<Option<T>, String> {
+    let value = entry.get(name);
+    if matches!(value, Value::Null) {
+        return Ok(None);
+    }
+    read(value)
+        .map(Some)
+        .ok_or_else(|| format!("{context}: `{name}` must be a {kind}, got {}", value.kind()))
+}
+
 /// Parses one manifest entry into (possibly repeated) job specs.
 fn manifest_job(entry: &Value, index: usize) -> Result<Vec<JobSpec>, String> {
-    let context = || format!("manifest job {index}");
+    let context = format!("manifest job {index}");
+    if !matches!(entry, Value::Map(_)) {
+        return Err(format!(
+            "{context}: must be a JSON object, got {}",
+            entry.kind()
+        ));
+    }
     let mut flags = HashMap::new();
-    if let Some(nm) = entry.get("node").as_u64() {
+    if let Some(nm) = manifest_field(
+        entry,
+        &context,
+        "node",
+        "number (feature nm)",
+        Value::as_u64,
+    )? {
         flags.insert("node".to_string(), nm.to_string());
     }
     let node = parse_node(&flags)?;
-    let profile = parse_profile(entry.get("profile").as_str())?;
-    let (name, source) = if let Some(design) = entry.get("design").as_str() {
-        let source = designs::suite()
-            .into_iter()
-            .find(|d| d.name() == design)
-            .map(|d| d.source().to_string())
-            .ok_or_else(|| {
-                format!(
-                    "{}: unknown design `{design}` (run `forge designs` to list built-ins)",
-                    context()
-                )
-            })?;
-        (design.to_string(), source)
-    } else if let Some(file) = entry.get("file").as_str() {
-        (file.to_string(), load_source(file)?)
-    } else {
-        return Err(format!("{}: needs `design` or `file`", context()));
+    let profile = parse_profile(manifest_field(
+        entry,
+        &context,
+        "profile",
+        "string",
+        Value::as_str,
+    )?)?;
+    let design = manifest_field(entry, &context, "design", "string", Value::as_str)?;
+    let file = manifest_field(entry, &context, "file", "string", Value::as_str)?;
+    let (name, source) = match (design, file) {
+        (Some(_), Some(_)) => {
+            return Err(format!("{context}: give `design` or `file`, not both"));
+        }
+        (None, None) => return Err(format!("{context}: needs `design` or `file`")),
+        (Some(design), None) => {
+            let source = designs::suite()
+                .into_iter()
+                .find(|d| d.name() == design)
+                .map(|d| d.source().to_string())
+                .ok_or_else(|| {
+                    format!(
+                        "{context}: unknown design `{design}` \
+                         (run `forge designs` to list built-ins)"
+                    )
+                })?;
+            (design.to_string(), source)
+        }
+        (None, Some(file)) => (file.to_string(), load_source(file)?),
     };
     let mut spec = JobSpec::new(name, source, node, profile);
-    if let Some(clock) = entry.get("clock_mhz").as_f64() {
+    if let Some(clock) = manifest_field(entry, &context, "clock_mhz", "number", Value::as_f64)? {
         spec = spec.with_clock_mhz(clock);
     }
-    if let Some(seed) = entry.get("seed").as_u64() {
+    if let Some(seed) = manifest_field(entry, &context, "seed", "number", Value::as_u64)? {
         spec = spec.with_seed(seed);
     }
-    match entry.get("fault").as_str() {
+    match manifest_field(entry, &context, "fault", "string", Value::as_str)? {
         None => {}
         Some("panic") => spec = spec.with_fault(Fault::Panic),
         Some("hang") => spec = spec.with_fault(Fault::Hang(3_600_000)),
         Some("transient") => spec = spec.with_fault(Fault::Transient(1)),
-        Some(other) => return Err(format!("{}: unknown fault `{other}`", context())),
+        Some(other) => return Err(format!("{context}: unknown fault `{other}`")),
     }
-    match entry.get("tier").as_str() {
+    match manifest_field(entry, &context, "tier", "string", Value::as_str)? {
         None => {}
         Some("beginner") => spec = spec.with_tier(AccessTier::Beginner),
         Some("intermediate") => spec = spec.with_tier(AccessTier::Intermediate),
         Some("advanced") => spec = spec.with_tier(AccessTier::Advanced),
-        Some(other) => return Err(format!("{}: unknown tier `{other}`", context())),
+        Some(other) => return Err(format!("{context}: unknown tier `{other}`")),
     }
-    if let Some(deadline_ms) = entry.get("deadline_ms").as_u64() {
+    if let Some(deadline_ms) =
+        manifest_field(entry, &context, "deadline_ms", "number", Value::as_u64)?
+    {
         spec = spec.with_deadline_ms(deadline_ms);
     }
     // `copies` models resubmissions: identical specs that should be
     // served from the artifact cache after the first run.
-    let copies = entry.get("copies").as_u64().unwrap_or(1).max(1) as usize;
+    let copies = manifest_field(entry, &context, "copies", "number", Value::as_u64)?
+        .unwrap_or(1)
+        .max(1) as usize;
     Ok(vec![spec; copies])
 }
 
@@ -726,6 +797,223 @@ fn cmd_catalog(args: &[String]) -> Result<(), CliError> {
         }
     }
     Ok(())
+}
+
+/// Parses `--tier-rate b,i,a` (tokens per second, 0 = unlimited).
+fn parse_tier_rates(raw: &str) -> Result<[Option<RateLimit>; 3], String> {
+    let parts: Vec<&str> = raw.split(',').collect();
+    let [b, i, a] = parts.as_slice() else {
+        return Err(format!(
+            "bad value `{raw}` for --tier-rate (expected three rates \
+             beginner,intermediate,advanced in tokens/s — e.g. 2,1,0.5)"
+        ));
+    };
+    let mut limits = [None, None, None];
+    for (slot, text) in limits.iter_mut().zip([b, i, a]) {
+        let rate: f64 = text
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad rate `{text}` in --tier-rate"))?;
+        if !rate.is_finite() || rate < 0.0 {
+            return Err(format!(
+                "--tier-rate rates must be finite and non-negative, got `{text}`"
+            ));
+        }
+        *slot = (rate > 0.0).then(|| RateLimit {
+            rate,
+            burst: rate.max(1.0),
+        });
+    }
+    Ok(limits)
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    const FLAGS: &[FlagSpec] = &[
+        value_flag("addr"),
+        value_flag("workers"),
+        value_flag("max-queue"),
+        switch("shed-oldest"),
+        value_flag("tier-quota"),
+        value_flag("aging"),
+        value_flag("tier-rate"),
+        value_flag("timeout-ms"),
+        value_flag("journal"),
+        value_flag("stage-cache"),
+        switch("no-stage-cache"),
+        value_flag("keys"),
+    ];
+    let (positionals, flags) = parse_args(args, "serve", FLAGS)?;
+    if let Some(extra) = positionals.first() {
+        return Err(CliError::Config(format!("unexpected argument `{extra}`")));
+    }
+    let mut config = HubConfig::default();
+    config.workers = parse_number(&flags, "workers", config.workers)?;
+    if config.workers == 0 {
+        return Err(CliError::Config("--workers must be at least 1".into()));
+    }
+    if flags.contains_key("max-queue") {
+        config.queue_capacity = Some(parse_number(&flags, "max-queue", 0usize)?);
+    }
+    if flags.contains_key("shed-oldest") {
+        config.overflow = OverflowPolicy::ShedOldest;
+    }
+    if let Some(raw) = flags.get("tier-quota") {
+        config.weights = parse_tier_quota(raw)?;
+    }
+    config.aging_rate = parse_number(&flags, "aging", config.aging_rate)?;
+    if let Some(raw) = flags.get("tier-rate") {
+        config.rate_limits = parse_tier_rates(raw)?;
+    }
+    config.job_timeout = Duration::from_millis(parse_number(&flags, "timeout-ms", 30_000u64)?);
+    config.journal = flags.get("journal").map(PathBuf::from);
+    config.stage_cache_dir = flags.get("stage-cache").map(PathBuf::from);
+    if flags.contains_key("no-stage-cache") {
+        config.stage_cache = false;
+    }
+
+    let keys = match flags.get("keys") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            KeyRegistry::from_json(&text).map_err(|e| format!("bad key file `{path}`: {e}"))?
+        }
+        None => KeyRegistry::demo(),
+    };
+    if keys.is_empty() {
+        return Err(CliError::Config("key file contains no keys".into()));
+    }
+    let tenants = keys.len();
+    let demo_keys = !flags.contains_key("keys");
+
+    let addr = flags.get("addr").map_or("127.0.0.1:8317", String::as_str);
+    let hub = Hub::new(config.clone()).map_err(CliError::Config)?;
+    let recovered = hub.recovered_jobs();
+    let server = Server::start(hub, keys, addr).map_err(CliError::Config)?;
+    println!("hub listening on http://{}", server.addr());
+    println!(
+        "workers {}, queue capacity {}, weights {:?}, aging {}/s",
+        config.workers,
+        config
+            .queue_capacity
+            .map_or("unbounded".to_string(), |c| c.to_string()),
+        config.weights,
+        config.aging_rate,
+    );
+    if demo_keys {
+        println!(
+            "tenants: {tenants} demo key(s) (demo-beginner / demo-intermediate / demo-advanced)"
+        );
+    } else {
+        println!("tenants: {tenants} API key(s) loaded");
+    }
+    if let Some(journal) = &config.journal {
+        println!(
+            "journal: {} ({recovered} job(s) recovered)",
+            journal.display()
+        );
+    }
+    // Serve until killed (the CI smoke test SIGKILLs us mid-load and
+    // restarts on the same journal to exercise recovery).
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn client_job_id(positionals: &[String]) -> Result<u64, String> {
+    let raw = one_positional(positionals, "job id")?;
+    raw.parse().map_err(|_| format!("bad job id `{raw}`"))
+}
+
+fn cmd_client(args: &[String]) -> Result<(), CliError> {
+    const FLAGS: &[FlagSpec] = &[
+        value_flag("server"),
+        value_flag("key"),
+        value_flag("timeout-ms"),
+    ];
+    let (positionals, flags) = parse_args(args, "client", FLAGS)?;
+    let server = flags.get("server").map_or("127.0.0.1:8317", String::as_str);
+    let key = flags.get("key").map_or("demo-beginner", String::as_str);
+    let client = Client::new(server, key);
+    let action = positionals.first().map(String::as_str).ok_or_else(|| {
+        "missing client action (submit|status|wait|cancel|list|metrics)".to_string()
+    })?;
+    match action {
+        "submit" => {
+            let path = one_positional(&positionals[1..], "manifest file")?;
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let doc = json::parse(&text).map_err(|e| format!("bad manifest `{path}`: {e}"))?;
+            // Either a whole batch manifest ({"jobs": [...]}) or a
+            // single job body.
+            let bodies: Vec<String> = match doc.get("jobs") {
+                Value::Null => vec![json::to_string(&doc)],
+                jobs => jobs
+                    .seq()
+                    .map_err(|_| format!("bad manifest `{path}`: `jobs` must be an array"))?
+                    .iter()
+                    .map(json::to_string)
+                    .collect(),
+            };
+            let mut refused = 0usize;
+            for body in &bodies {
+                match client.submit(body)? {
+                    Ok(id) => println!("job {id} accepted"),
+                    Err(response) => {
+                        refused += 1;
+                        println!(
+                            "refused (HTTP {}): {}",
+                            response.status,
+                            response.body.get("error").as_str().unwrap_or("unknown"),
+                        );
+                    }
+                }
+            }
+            if refused > 0 {
+                return Err(CliError::Jobs(format!("{refused} submission(s) refused")));
+            }
+            Ok(())
+        }
+        "status" => {
+            let id = client_job_id(&positionals[1..])?;
+            println!("{}", json::to_string(&client.job_status(id)?));
+            Ok(())
+        }
+        "wait" => {
+            let id = client_job_id(&positionals[1..])?;
+            let timeout = Duration::from_millis(parse_number(&flags, "timeout-ms", 120_000u64)?);
+            let status = client.wait(id, timeout)?;
+            println!("{}", json::to_string(&status));
+            match status.get("state").as_str() {
+                Some("succeeded") => Ok(()),
+                state => Err(CliError::Jobs(format!(
+                    "job {id} finished as {}",
+                    state.unwrap_or("unknown")
+                ))),
+            }
+        }
+        "cancel" => {
+            let id = client_job_id(&positionals[1..])?;
+            if client.cancel(id)? {
+                println!("cancelled job {id}");
+                Ok(())
+            } else {
+                Err(CliError::Jobs(format!(
+                    "job {id} was not cancelled (unknown, running or finished)"
+                )))
+            }
+        }
+        "list" => {
+            println!("{}", json::to_string(&client.list()?));
+            Ok(())
+        }
+        "metrics" => {
+            println!("{}", json::to_string(&client.metrics()?));
+            Ok(())
+        }
+        other => Err(CliError::Config(format!(
+            "unknown client action `{other}` (submit|status|wait|cancel|list|metrics)"
+        ))),
+    }
 }
 
 fn cmd_designs(args: &[String]) -> Result<(), CliError> {

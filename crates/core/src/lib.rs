@@ -29,6 +29,7 @@
 //! | [`flow`] | `chipforge-flow` | RTL→GDSII orchestration |
 //! | [`exec`] | `chipforge-exec` | concurrent batch execution + artifact cache |
 //! | [`resil`] | `chipforge-resil` | fault injection, checkpoint/resume, degradation |
+//! | [`serve`] | `chipforge-serve` | live multi-tenant HTTP job hub |
 //! | [`obs`] | `chipforge-obs` | tracing, metrics and profiling |
 //! | [`cloud`] | `chipforge-cloud` | enablement-platform simulation |
 //! | [`econ`] | `chipforge-econ` | cost/value-chain/workforce models |
@@ -91,6 +92,8 @@ pub use chipforge_power as power;
 pub use chipforge_resil as resil;
 /// Re-export: routing.
 pub use chipforge_route as route;
+/// Re-export: live multi-tenant enablement hub (HTTP job service).
+pub use chipforge_serve as serve;
 /// Re-export: static timing analysis.
 pub use chipforge_sta as sta;
 /// Re-export: logic synthesis.

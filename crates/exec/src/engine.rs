@@ -309,6 +309,24 @@ impl BatchEngine {
         engine
     }
 
+    /// An engine that shares *both* caches with other engines and
+    /// records into `tracer`. This is the hub-service constructor: each
+    /// `forge serve` worker builds a short-lived engine per job so its
+    /// spans stay isolated, while artifact and stage snapshots are
+    /// served from the hub-wide caches.
+    #[must_use]
+    pub fn with_shared_caches(
+        config: EngineConfig,
+        cache: Arc<ArtifactCache>,
+        stage_cache: Option<Arc<StageCache>>,
+        tracer: Tracer,
+    ) -> Self {
+        let mut engine = Self::with_tracer(config, tracer);
+        engine.cache = cache;
+        engine.stage_cache = stage_cache;
+        engine
+    }
+
     /// The engine's artifact cache.
     #[must_use]
     pub fn cache(&self) -> &ArtifactCache {

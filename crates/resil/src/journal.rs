@@ -58,6 +58,21 @@ impl JournalWriter {
         })
     }
 
+    /// Opens the journal at `path` for appending, creating it when
+    /// missing. Existing records are preserved, so a restarted service
+    /// can keep extending the journal it recovered from; pass the
+    /// loaded [`Journal`]'s length as the caller's starting `seq`.
+    pub fn open_append(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JournalWriter {
+            file: std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path.as_ref())?,
+            path: path.as_ref().to_path_buf(),
+            records: 0,
+        })
+    }
+
     /// Appends one record and forces it to disk before returning.
     pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
         let payload = serde::json::to_string(record);
@@ -229,6 +244,24 @@ mod tests {
         assert_eq!(journal.find(2, &key).expect("found").status, "failed");
         assert!(journal.find(2, "wrongkey").is_none(), "key must match");
         assert!(journal.find(3, &key).is_none(), "index must match");
+    }
+
+    #[test]
+    fn append_mode_preserves_existing_records() {
+        let path = temp_path("append");
+        let mut writer = JournalWriter::create(&path).expect("create");
+        writer.append(&record(0, 0)).expect("append");
+        drop(writer);
+        // A second writer in append mode (a restarted service) extends
+        // the journal instead of truncating it.
+        let mut writer = JournalWriter::open_append(&path).expect("open");
+        writer.append(&record(1, 1)).expect("append");
+        assert_eq!(writer.records(), 1, "counts only this writer's records");
+        let journal = Journal::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(journal.len(), 2);
+        assert_eq!(journal.records[0], record(0, 0));
+        assert_eq!(journal.records[1], record(1, 1));
     }
 
     #[test]

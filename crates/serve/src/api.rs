@@ -1,0 +1,142 @@
+//! Submission body parsing: the `POST /api/v1/jobs` JSON → [`JobSpec`].
+//!
+//! The accepted shape mirrors one `forge batch` manifest entry:
+//!
+//! ```json
+//! {"design": "counter8", "profile": "quick", "clock_mhz": 100, "seed": 7}
+//! {"source": "module m ... end", "name": "lab3", "node": 130}
+//! ```
+//!
+//! Parsing is strict: a field of the wrong JSON type is a named 400,
+//! never silently ignored — a student whose `"clock_mhz": "fast"` was
+//! dropped would otherwise get a default-clock GDS with no warning.
+
+use chipforge_exec::{Fault, JobSpec};
+use chipforge_flow::OptimizationProfile;
+use chipforge_hdl::designs;
+use chipforge_pdk::TechnologyNode;
+use serde::Value;
+
+fn typed<'a, T>(
+    body: &'a Value,
+    name: &str,
+    kind: &str,
+    read: impl Fn(&'a Value) -> Option<T>,
+) -> Result<Option<T>, String> {
+    let value = body.get(name);
+    if matches!(value, Value::Null) {
+        return Ok(None);
+    }
+    read(value)
+        .map(Some)
+        .ok_or_else(|| format!("`{name}` must be a {kind}, got {}", value.kind()))
+}
+
+/// Parses a job submission body into a [`JobSpec`].
+///
+/// # Errors
+///
+/// Returns a message naming the offending field; the server answers
+/// with it as a 400.
+pub fn job_from_json(body: &Value) -> Result<JobSpec, String> {
+    if !matches!(body, Value::Map(_)) {
+        return Err(format!("job must be a JSON object, got {}", body.kind()));
+    }
+    let design = typed(body, "design", "string", Value::as_str)?;
+    let source = typed(body, "source", "string", Value::as_str)?;
+    let (name, source) = match (design, source) {
+        (Some(_), Some(_)) => return Err("give `design` or `source`, not both".to_string()),
+        (None, None) => return Err("needs `design` (a built-in name) or `source`".to_string()),
+        (Some(design), None) => {
+            let found = designs::suite()
+                .into_iter()
+                .find(|d| d.name() == design)
+                .ok_or_else(|| format!("unknown design `{design}`"))?;
+            (design.to_string(), found.source().to_string())
+        }
+        (None, Some(source)) => {
+            let name = typed(body, "name", "string", Value::as_str)?
+                .unwrap_or("inline")
+                .to_string();
+            (name, source.to_string())
+        }
+    };
+
+    let node = match typed(body, "node", "number (feature nm)", Value::as_u64)? {
+        None => TechnologyNode::N130,
+        Some(nm) => {
+            let nm = u32::try_from(nm).map_err(|_| format!("unknown node {nm} nm"))?;
+            TechnologyNode::from_feature_nm(nm).ok_or_else(|| format!("unknown node {nm} nm"))?
+        }
+    };
+    let profile = match typed(body, "profile", "string", Value::as_str)? {
+        None | Some("open") => OptimizationProfile::open(),
+        Some("commercial") => OptimizationProfile::commercial(),
+        Some("quick") => OptimizationProfile::quick(),
+        Some(other) => return Err(format!("unknown profile `{other}`")),
+    };
+
+    let mut spec = JobSpec::new(name, source, node, profile);
+    if let Some(clock) = typed(body, "clock_mhz", "number", Value::as_f64)? {
+        if !clock.is_finite() || clock <= 0.0 {
+            return Err(format!("`clock_mhz` must be positive, got {clock}"));
+        }
+        spec = spec.with_clock_mhz(clock);
+    }
+    if let Some(seed) = typed(body, "seed", "number", Value::as_u64)? {
+        spec = spec.with_seed(seed);
+    }
+    if let Some(deadline_ms) = typed(body, "deadline_ms", "number", Value::as_u64)? {
+        spec = spec.with_deadline_ms(deadline_ms);
+    }
+    match typed(body, "fault", "string", Value::as_str)? {
+        None => {}
+        Some("panic") => spec = spec.with_fault(Fault::Panic),
+        Some("transient") => spec = spec.with_fault(Fault::Transient(1)),
+        Some(other) => return Err(format!("unknown fault `{other}`")),
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<JobSpec, String> {
+        job_from_json(&serde::json::parse(text).expect("test body is valid JSON"))
+    }
+
+    #[test]
+    fn builtin_design_by_name() {
+        let spec = parse(r#"{"design": "counter8", "profile": "quick", "seed": 3}"#).expect("ok");
+        assert_eq!(spec.name, "counter8");
+    }
+
+    #[test]
+    fn inline_source_with_name() {
+        let spec = parse(r#"{"source": "module m\nend", "name": "lab3"}"#).expect("ok");
+        assert_eq!(spec.name, "lab3");
+    }
+
+    #[test]
+    fn wrong_typed_fields_are_named_errors() {
+        assert!(parse(r#"{"design": "counter8", "clock_mhz": "fast"}"#)
+            .unwrap_err()
+            .contains("clock_mhz"));
+        assert!(parse(r#"{"design": "counter8", "node": "x"}"#)
+            .unwrap_err()
+            .contains("node"));
+        assert!(parse(r#"{"design": 42}"#).unwrap_err().contains("design"));
+        assert!(parse("[1]").unwrap_err().contains("object"));
+    }
+
+    #[test]
+    fn unknown_design_and_profile_are_errors() {
+        assert!(parse(r#"{"design": "mystery"}"#)
+            .unwrap_err()
+            .contains("mystery"));
+        assert!(parse(r#"{"design": "counter8", "profile": "turbo"}"#)
+            .unwrap_err()
+            .contains("turbo"));
+    }
+}

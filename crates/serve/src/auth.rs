@@ -1,0 +1,183 @@
+//! Per-university API keys mapped to access tiers.
+//!
+//! A key is the hub's whole notion of identity: it names the
+//! university (the tenant whose jobs it can see) and the access tier
+//! its submissions are billed against — which queue bound, rate limit
+//! and fair-share weight apply (Recommendation 8's tiering, enforced at
+//! the front door).
+
+use chipforge_cloud::AccessTier;
+use serde::Value;
+use std::collections::HashMap;
+
+/// Who a request is acting as.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Identity {
+    /// Tenant name; jobs are scoped per university.
+    pub university: String,
+    /// Access tier the key's submissions are billed against.
+    pub tier: AccessTier,
+}
+
+/// API-key registry: opaque key string → [`Identity`].
+#[derive(Debug, Clone, Default)]
+pub struct KeyRegistry {
+    keys: HashMap<String, Identity>,
+}
+
+impl KeyRegistry {
+    /// An empty registry (every request is a 401).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The built-in demo keys used by CI, tests and the tutorial: one
+    /// university per tier.
+    #[must_use]
+    pub fn demo() -> Self {
+        let mut registry = Self::new();
+        registry.insert("demo-beginner", "tu-demo", AccessTier::Beginner);
+        registry.insert("demo-intermediate", "uni-demo", AccessTier::Intermediate);
+        registry.insert("demo-advanced", "eth-demo", AccessTier::Advanced);
+        registry
+    }
+
+    /// Adds (or replaces) a key.
+    pub fn insert(
+        &mut self,
+        key: impl Into<String>,
+        university: impl Into<String>,
+        tier: AccessTier,
+    ) {
+        self.keys.insert(
+            key.into(),
+            Identity {
+                university: university.into(),
+                tier,
+            },
+        );
+    }
+
+    /// Looks up a presented key.
+    #[must_use]
+    pub fn identify(&self, key: &str) -> Option<&Identity> {
+        self.keys.get(key)
+    }
+
+    /// Number of registered keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether no keys are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Parses a registry from a JSON document of the shape
+    /// `{"keys": [{"key": "...", "university": "...", "tier": "beginner"}]}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed entry.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = serde::json::parse(text).map_err(|e| format!("bad key file: {e}"))?;
+        let entries = doc
+            .get("keys")
+            .seq()
+            .map_err(|_| "key file needs a top-level `keys` array".to_string())?;
+        let mut registry = Self::new();
+        for (i, entry) in entries.iter().enumerate() {
+            let field = |name: &str| -> Result<String, String> {
+                entry
+                    .get(name)
+                    .as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("key entry {i}: missing string `{name}`"))
+            };
+            let tier = parse_tier(&field("tier")?).ok_or_else(|| {
+                format!("key entry {i}: unknown tier (expected beginner|intermediate|advanced)")
+            })?;
+            registry.insert(field("key")?, field("university")?, tier);
+        }
+        Ok(registry)
+    }
+
+    /// Serializes the registry back to the `from_json` document shape
+    /// (keys sorted for stable output).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut keys: Vec<(&String, &Identity)> = self.keys.iter().collect();
+        keys.sort_by_key(|&(k, _)| k.clone());
+        let entries: Vec<Value> = keys
+            .into_iter()
+            .map(|(key, id)| {
+                Value::Map(vec![
+                    (Value::Str("key".into()), Value::Str(key.clone())),
+                    (
+                        Value::Str("university".into()),
+                        Value::Str(id.university.clone()),
+                    ),
+                    (Value::Str("tier".into()), Value::Str(id.tier.to_string())),
+                ])
+            })
+            .collect();
+        serde::json::to_string(&Value::Map(vec![(
+            Value::Str("keys".into()),
+            Value::Seq(entries),
+        )]))
+    }
+}
+
+/// Parses a tier name as used in key files and job manifests.
+#[must_use]
+pub fn parse_tier(name: &str) -> Option<AccessTier> {
+    match name {
+        "beginner" => Some(AccessTier::Beginner),
+        "intermediate" => Some(AccessTier::Intermediate),
+        "advanced" => Some(AccessTier::Advanced),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_keys_cover_all_three_tiers() {
+        let registry = KeyRegistry::demo();
+        assert_eq!(registry.len(), 3);
+        assert_eq!(
+            registry.identify("demo-advanced").map(|id| id.tier),
+            Some(AccessTier::Advanced)
+        );
+        assert!(registry.identify("nope").is_none());
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let registry = KeyRegistry::demo();
+        let restored = KeyRegistry::from_json(&registry.to_json()).expect("parses");
+        assert_eq!(restored.len(), 3);
+        assert_eq!(
+            restored
+                .identify("demo-beginner")
+                .map(|id| id.university.clone()),
+            Some("tu-demo".to_string())
+        );
+    }
+
+    #[test]
+    fn malformed_key_files_are_named_errors() {
+        assert!(KeyRegistry::from_json("{").is_err());
+        assert!(KeyRegistry::from_json("{\"keys\": 3}").is_err());
+        let bad_tier = r#"{"keys": [{"key": "k", "university": "u", "tier": "root"}]}"#;
+        assert!(KeyRegistry::from_json(bad_tier)
+            .unwrap_err()
+            .contains("tier"));
+    }
+}

@@ -1,0 +1,191 @@
+//! A tiny blocking HTTP client for the hub: `forge client`, the load
+//! generator and the integration tests all speak through it, so the
+//! service is exercised over real sockets, never via in-process calls.
+
+use serde::Value;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Hub client: server address plus the API key requests present.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    key: String,
+}
+
+/// One decoded HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Parsed JSON body.
+    pub body: Value,
+}
+
+impl Client {
+    /// A client for the hub at `addr` (e.g. `127.0.0.1:8080`)
+    /// presenting `key`.
+    #[must_use]
+    pub fn new(addr: impl Into<String>, key: impl Into<String>) -> Self {
+        Client {
+            addr: addr.into(),
+            key: key.into(),
+        }
+    }
+
+    /// Sends one request and decodes the JSON response.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on connect/read failures or non-JSON bodies.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Response, String> {
+        let mut stream =
+            TcpStream::connect(&self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| format!("socket: {e}"))?;
+        let payload = body.unwrap_or("");
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\nx-api-key: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{payload}",
+            self.addr,
+            self.key,
+            payload.len(),
+        )
+        .map_err(|e| format!("send: {e}"))?;
+        let mut raw = String::new();
+        stream
+            .read_to_string(&mut raw)
+            .map_err(|e| format!("read: {e}"))?;
+        parse_response(&raw)
+    }
+
+    /// Submits one job body; returns the assigned id on 202, or the
+    /// full refusal response otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; admission refusals are `Ok` responses.
+    pub fn submit(&self, job: &str) -> Result<Result<u64, Response>, String> {
+        let response = self.request("POST", "/api/v1/jobs", Some(job))?;
+        if response.status == 202 {
+            let id = response
+                .body
+                .get("id")
+                .as_u64()
+                .ok_or_else(|| "202 without an id".to_string())?;
+            return Ok(Ok(id));
+        }
+        Ok(Err(response))
+    }
+
+    /// Fetches one job's status JSON.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a non-200 status.
+    pub fn job_status(&self, id: u64) -> Result<Value, String> {
+        let response = self.request("GET", &format!("/api/v1/jobs/{id}"), None)?;
+        if response.status != 200 {
+            return Err(format!("job {id}: HTTP {}", response.status));
+        }
+        Ok(response.body)
+    }
+
+    /// Polls a job until it reaches a terminal state.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or `timeout` elapsing first.
+    pub fn wait(&self, id: u64, timeout: Duration) -> Result<Value, String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let status = self.job_status(id)?;
+            match status.get("state").as_str() {
+                Some("queued" | "running") => {}
+                _ => return Ok(status),
+            }
+            if Instant::now() >= deadline {
+                return Err(format!("job {id} did not finish within {timeout:?}"));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Cancels a queued job; `Ok(true)` if it was cancelled.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn cancel(&self, id: u64) -> Result<bool, String> {
+        let response = self.request("POST", &format!("/api/v1/jobs/{id}/cancel"), None)?;
+        Ok(response.status == 200)
+    }
+
+    /// Lists this tenant's jobs.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a non-200 status.
+    pub fn list(&self) -> Result<Value, String> {
+        let response = self.request("GET", "/api/v1/jobs", None)?;
+        if response.status != 200 {
+            return Err(format!("list: HTTP {}", response.status));
+        }
+        Ok(response.body)
+    }
+
+    /// Fetches the `/metrics` snapshot (no authentication required).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a non-200 status.
+    pub fn metrics(&self) -> Result<Value, String> {
+        let response = self.request("GET", "/metrics", None)?;
+        if response.status != 200 {
+            return Err(format!("metrics: HTTP {}", response.status));
+        }
+        Ok(response.body)
+    }
+}
+
+/// Splits a raw HTTP/1.1 response into status code and JSON body.
+fn parse_response(raw: &str) -> Result<Response, String> {
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "malformed response (no header terminator)".to_string())?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| format!("malformed status line `{status_line}`"))?;
+    let body = serde::json::parse(body).map_err(|e| format!("non-JSON body: {e}"))?;
+    Ok(Response { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_response() {
+        let raw = "HTTP/1.1 202 Accepted\r\ncontent-type: application/json\r\n\r\n{\"id\":7}";
+        let response = parse_response(raw).expect("parses");
+        assert_eq!(response.status, 202);
+        assert_eq!(response.body.get("id").as_u64(), Some(7));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response("not http").is_err());
+        assert!(parse_response("HTTP/1.1 abc\r\n\r\n{}").is_err());
+        assert!(parse_response("HTTP/1.1 200 OK\r\n\r\nnot json").is_err());
+    }
+}

@@ -1,0 +1,307 @@
+//! Minimal HTTP/1.1 framing: request parsing with hard limits and
+//! response writing. No external dependencies — the hub's vendored-only
+//! rule extends to its network layer.
+//!
+//! The parser is deliberately strict and bounded: request lines and
+//! header lines are capped, header count is capped, bodies are capped,
+//! and every violation maps to a specific 4xx status. Those caps are
+//! what the fuzz-style tests in this module lean on — arbitrary bytes
+//! in, clean error out, never a panic.
+
+use std::io::{BufRead, Write};
+
+/// Longest accepted request line (method + path + version), in bytes.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Longest accepted single header line, in bytes.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+/// Largest accepted request body, in bytes.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), as sent.
+    pub method: String,
+    /// Request target, e.g. `/api/v1/jobs/3`.
+    pub path: String,
+    /// Header name/value pairs, in wire order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body (exactly `Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of `name` (ASCII case-insensitive), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let wanted = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == wanted)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A request the parser refused, mapped to the 4xx it answers with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// HTTP status code (400, 401, 404, 405, 409, 413, 429, 431).
+    pub status: u16,
+    /// Human-readable reason included in the JSON error body.
+    pub message: String,
+}
+
+impl HttpError {
+    /// Creates an error with the given status and message.
+    #[must_use]
+    pub fn new(status: u16, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a 400 Bad Request.
+    #[must_use]
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(400, message)
+    }
+}
+
+/// Reads one line terminated by `\n`, refusing lines longer than
+/// `limit` bytes with the given status. Returns `None` on clean EOF
+/// before any byte.
+fn read_limited_line(
+    stream: &mut impl BufRead,
+    limit: usize,
+    too_long_status: u16,
+) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match std::io::Read::read(stream, &mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::bad_request("truncated line (no terminator)"));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let text = String::from_utf8(line)
+                        .map_err(|_| HttpError::bad_request("non-UTF-8 header bytes"))?;
+                    return Ok(Some(text));
+                }
+                line.push(byte[0]);
+                if line.len() > limit {
+                    return Err(HttpError::new(too_long_status, "line exceeds limit"));
+                }
+            }
+            Err(e) => return Err(HttpError::bad_request(format!("read error: {e}"))),
+        }
+    }
+}
+
+/// Parses one HTTP/1.1 request from `stream`, enforcing all limits.
+///
+/// # Errors
+///
+/// Returns an [`HttpError`] carrying the 4xx status the caller should
+/// answer with: 400 for malformed framing, 413 for an oversized body,
+/// 431 for oversized or too many headers.
+pub fn read_request(stream: &mut impl BufRead) -> Result<Request, HttpError> {
+    let request_line = read_limited_line(stream, MAX_REQUEST_LINE, 431)?
+        .ok_or_else(|| HttpError::bad_request("empty request"))?;
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::bad_request(
+            "malformed request line (expected `METHOD PATH VERSION`)",
+        ));
+    };
+    if parts.next().is_some() || method.is_empty() || !path.starts_with('/') {
+        return Err(HttpError::bad_request("malformed request line"));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::bad_request(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+    if !method
+        .bytes()
+        .all(|b| b.is_ascii_uppercase() || b.is_ascii_digit())
+    {
+        return Err(HttpError::bad_request(format!(
+            "malformed method `{method}`"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_limited_line(stream, MAX_HEADER_LINE, 431)?
+            .ok_or_else(|| HttpError::bad_request("truncated headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::new(431, "too many headers"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::bad_request(format!(
+                "malformed header line `{}`",
+                truncate_for_log(&line)
+            )));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::bad_request("malformed header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut body = Vec::new();
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.as_str());
+    if let Some(raw) = content_length {
+        let length: usize = raw
+            .parse()
+            .map_err(|_| HttpError::bad_request(format!("bad content-length `{raw}`")))?;
+        if length > MAX_BODY {
+            return Err(HttpError::new(413, "request body too large"));
+        }
+        body.resize(length, 0);
+        std::io::Read::read_exact(stream, &mut body)
+            .map_err(|_| HttpError::bad_request("body shorter than content-length"))?;
+    }
+
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+    })
+}
+
+fn truncate_for_log(line: &str) -> String {
+    let mut end = line.len().min(40);
+    while !line.is_char_boundary(end) {
+        end -= 1;
+    }
+    line[..end].to_string()
+}
+
+/// The standard reason phrase for the statuses the hub emits.
+#[must_use]
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete `Connection: close` HTTP/1.1 response.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying stream.
+pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        reason_phrase(status),
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+/// Serializes an [`HttpError`] as the JSON error body it is sent with.
+#[must_use]
+pub fn error_body(error: &HttpError) -> String {
+    serde::json::to_string(&serde::Value::Map(vec![(
+        serde::Value::Str("error".into()),
+        serde::Value::Str(error.message.clone()),
+    )]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(bytes))
+    }
+
+    #[test]
+    fn well_formed_request_round_trips() {
+        let req =
+            parse(b"POST /api/v1/jobs HTTP/1.1\r\nX-Api-Key: demo\r\nContent-Length: 2\r\n\r\n{}")
+                .expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/api/v1/jobs");
+        assert_eq!(req.header("x-api-key"), Some("demo"));
+        assert_eq!(req.body, b"{}");
+    }
+
+    #[test]
+    fn truncated_request_line_is_a_400() {
+        assert_eq!(parse(b"GET /healthz").unwrap_err().status, 400);
+        assert_eq!(parse(b"GET\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse(b"\r\n\r\n").unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn oversized_request_line_is_a_431() {
+        let mut raw = b"GET /".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_REQUEST_LINE + 10));
+        raw.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        assert_eq!(parse(&raw).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn too_many_headers_is_a_431() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..(MAX_HEADERS + 1) {
+            raw.extend_from_slice(format!("h{i}: v\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        assert_eq!(parse(&raw).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn bad_content_length_is_a_400_and_oversized_a_413() {
+        let bad = b"POST / HTTP/1.1\r\ncontent-length: banana\r\n\r\n";
+        assert_eq!(parse(bad).unwrap_err().status, 400);
+        let negative = b"POST / HTTP/1.1\r\ncontent-length: -1\r\n\r\n";
+        assert_eq!(parse(negative).unwrap_err().status, 400);
+        let huge = format!(
+            "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert_eq!(parse(huge.as_bytes()).unwrap_err().status, 413);
+        let short = b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc";
+        assert_eq!(parse(short).unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn non_utf8_header_bytes_are_a_400() {
+        let raw = b"GET / HTTP/1.1\r\nx-key: \xff\xfe\r\n\r\n";
+        assert_eq!(parse(raw).unwrap_err().status, 400);
+    }
+}

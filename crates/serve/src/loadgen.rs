@@ -1,0 +1,156 @@
+//! Deterministic trace replay against a live hub.
+//!
+//! Takes the same [`HubArrival`] trace the DES consumes, maps simulated
+//! hours onto wall-clock milliseconds, and submits each arrival over
+//! real HTTP at its scheduled instant (one timer thread per arrival, so
+//! a slow submission never skews later ones). After the last arrival it
+//! polls every accepted job to a terminal state and aggregates per-tier
+//! turnaround and admission statistics — the live-side numbers E18
+//! holds against the DES prediction.
+
+use crate::client::Client;
+use chipforge_cloud::HubArrival;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What to submit for one trace arrival: the API key that decides the
+/// tier/tenant, and the JSON job body.
+#[derive(Debug, Clone)]
+pub struct ReplayJob {
+    /// API key presented for this submission.
+    pub key: String,
+    /// JSON body for `POST /api/v1/jobs`.
+    pub body: String,
+}
+
+/// Per-tier outcome of a replay, indexed by `AccessTier::priority`.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayTierStats {
+    /// Arrivals submitted for this tier.
+    pub offered: usize,
+    /// Submissions answered 202.
+    pub accepted: usize,
+    /// Submissions refused (429: queue full or rate-limited).
+    pub rejected: usize,
+    /// Accepted jobs that reached `succeeded`.
+    pub succeeded: usize,
+    /// Accepted jobs that reached any other terminal state.
+    pub not_succeeded: usize,
+    /// Server-reported turnaround (submit to finish) per completed
+    /// job, milliseconds, ascending.
+    pub turnaround_ms: Vec<f64>,
+}
+
+impl ReplayTierStats {
+    /// Nearest-rank percentile of the completed turnarounds.
+    #[must_use]
+    pub fn percentile_ms(&self, q: f64) -> f64 {
+        if self.turnaround_ms.is_empty() {
+            return 0.0;
+        }
+        let rank =
+            ((self.turnaround_ms.len() as f64 * q) as usize).min(self.turnaround_ms.len() - 1);
+        self.turnaround_ms[rank]
+    }
+}
+
+/// Aggregate outcome of one replay run.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayReport {
+    /// Per-tier statistics.
+    pub tiers: [ReplayTierStats; 3],
+    /// Wall-clock span from first scheduled arrival to last observed
+    /// completion, in milliseconds.
+    pub horizon_ms: f64,
+}
+
+/// Replays `trace` against the hub at `addr`, submitting `jobs[i]` at
+/// `trace[i].arrival_h * ms_per_hour` milliseconds after start.
+///
+/// # Errors
+///
+/// Returns the first transport failure, or a message when `jobs` and
+/// `trace` lengths differ.
+///
+/// # Panics
+///
+/// Panics only on poisoned internal locks (a prior panic in a replay
+/// thread).
+pub fn replay_trace(
+    addr: &str,
+    trace: &[HubArrival],
+    ms_per_hour: f64,
+    jobs: &[ReplayJob],
+    drain_timeout: Duration,
+) -> Result<ReplayReport, String> {
+    if trace.len() != jobs.len() {
+        return Err(format!(
+            "trace has {} arrivals but {} jobs were provided",
+            trace.len(),
+            jobs.len()
+        ));
+    }
+    let start = Instant::now();
+    let accepted: Mutex<Vec<(usize, u64)>> = Mutex::new(Vec::new());
+    let refused: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for (i, (arrival, job)) in trace.iter().zip(jobs).enumerate() {
+            let at = start + Duration::from_secs_f64(arrival.arrival_h * ms_per_hour / 1e3);
+            let (accepted, refused, failures) = (&accepted, &refused, &failures);
+            let client = Client::new(addr, job.key.clone());
+            let body = job.body.clone();
+            scope.spawn(move || {
+                let now = Instant::now();
+                if at > now {
+                    std::thread::sleep(at - now);
+                }
+                match client.submit(&body) {
+                    Ok(Ok(id)) => accepted.lock().expect("replay lock").push((i, id)),
+                    Ok(Err(_refusal)) => refused.lock().expect("replay lock").push(i),
+                    Err(e) => failures.lock().expect("replay lock").push(e),
+                }
+            });
+        }
+    });
+    let transport_failures = failures.into_inner().expect("replay lock");
+    if let Some(first) = transport_failures.first() {
+        return Err(format!(
+            "{} submission(s) failed at the transport level; first: {first}",
+            transport_failures.len()
+        ));
+    }
+
+    let mut report = ReplayReport::default();
+    for arrival in trace {
+        report.tiers[arrival.tier.priority() as usize].offered += 1;
+    }
+    for i in refused.into_inner().expect("replay lock") {
+        report.tiers[trace[i].tier.priority() as usize].rejected += 1;
+    }
+    let mut horizon_ms = 0.0f64;
+    for (i, id) in accepted.into_inner().expect("replay lock") {
+        let tier = &mut report.tiers[trace[i].tier.priority() as usize];
+        tier.accepted += 1;
+        let client = Client::new(addr, jobs[i].key.clone());
+        let status = client.wait(id, drain_timeout)?;
+        let state = status.get("state").as_str().unwrap_or("unknown");
+        if state == "succeeded" {
+            tier.succeeded += 1;
+        } else {
+            tier.not_succeeded += 1;
+        }
+        if let (Some(submitted), Some(finished)) = (
+            status.get("submitted_ms").as_f64(),
+            status.get("finished_ms").as_f64(),
+        ) {
+            tier.turnaround_ms.push(finished - submitted);
+            horizon_ms = horizon_ms.max(finished);
+        }
+    }
+    for tier in &mut report.tiers {
+        tier.turnaround_ms.sort_by(f64::total_cmp);
+    }
+    report.horizon_ms = horizon_ms;
+    Ok(report)
+}

@@ -240,6 +240,63 @@ fn config_errors_exit_two() {
 }
 
 #[test]
+fn missing_or_garbage_manifests_exit_two() {
+    // Nonexistent manifest path: a clean config error, not a panic.
+    let output = forge()
+        .args(["batch", "/nonexistent/chipforge-missing.json"])
+        .output()
+        .expect("forge batch executes");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("cannot read"),
+        "stderr names the unreadable file: {stderr}"
+    );
+
+    // Unparseable JSON.
+    let garbage = temp_file("garbage.json", "this is not json {{{");
+    let output = forge()
+        .args(["batch", garbage.to_str().unwrap()])
+        .output()
+        .expect("forge batch executes");
+    std::fs::remove_file(&garbage).ok();
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("bad manifest"),
+        "stderr names the parse failure: {stderr}"
+    );
+}
+
+#[test]
+fn wrong_typed_manifest_fields_exit_two() {
+    // A mistyped field must be a named error, never silently dropped
+    // in favour of the default value.
+    for (name, body) in [
+        (
+            "clock_mhz",
+            r#"{"jobs": [{"design": "counter8", "clock_mhz": "fast"}]}"#,
+        ),
+        ("node", r#"{"jobs": [{"design": "counter8", "node": "x"}]}"#),
+        ("seed", r#"{"jobs": [{"design": "counter8", "seed": [1]}]}"#),
+        ("design", r#"{"jobs": [{"design": 42}]}"#),
+    ] {
+        let manifest = temp_file(&format!("typed-{name}.json"), body);
+        let output = forge()
+            .args(["batch", manifest.to_str().unwrap()])
+            .output()
+            .expect("forge batch executes");
+        std::fs::remove_file(&manifest).ok();
+        assert_eq!(output.status.code(), Some(2), "field `{name}`");
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains(name),
+            "stderr names the offending field `{name}`: {stderr}"
+        );
+    }
+}
+
+#[test]
 fn breaker_fast_fail_exits_three() {
     // One transient failure trips a threshold-1 breaker; the remaining
     // jobs fast-fail, which cuts the batch short (exit 3).

@@ -119,7 +119,7 @@ fn batch_results_are_identical_across_worker_counts() {
 fn experiment_tables_are_stable() {
     // The harness output is part of the reproduction record; rendering the
     // pure-model experiments twice must give identical text.
-    for id in ["e1", "e4", "e5", "e7", "e8", "e10", "e16"] {
+    for id in ["e1", "e4", "e5", "e7", "e8", "e10", "e16", "e18"] {
         let a = chipforge_bench::run_experiment(id).unwrap();
         let b = chipforge_bench::run_experiment(id).unwrap();
         assert_eq!(a, b, "{id} not stable");

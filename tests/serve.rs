@@ -1,0 +1,282 @@
+//! Live hub integration: every test here talks to a real `Server` over
+//! real TCP sockets — submit, poll, `/metrics`, journal recovery across
+//! a restart, and a malformed-input storm that must never take down the
+//! accept loop.
+
+use chipforge::serve::{Client, Hub, HubConfig, KeyRegistry, Server};
+use proptest::prelude::*;
+use serde::Value;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn temp_path(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("chipforge-serve-{}-{name}", std::process::id()));
+    std::fs::remove_file(&path).ok();
+    path
+}
+
+fn start_hub(config: HubConfig) -> Server {
+    let hub = Hub::new(config).expect("hub starts");
+    Server::start(hub, KeyRegistry::demo(), "127.0.0.1:0").expect("server binds")
+}
+
+fn quick_job(design: &str, seed: u64) -> String {
+    format!(r#"{{"design": "{design}", "profile": "quick", "seed": {seed}}}"#)
+}
+
+/// Writes raw bytes to the server and returns whatever comes back.
+/// Shutting down the write half signals EOF, so truncated requests
+/// terminate instead of waiting out the read timeout.
+fn raw_send(addr: &str, bytes: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("socket");
+    let _ = stream.write_all(bytes);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut response = Vec::new();
+    let _ = stream.read_to_end(&mut response);
+    response
+}
+
+fn metrics_u64(metrics: &Value, group: &str, field: &str) -> u64 {
+    metrics
+        .get(group)
+        .get(field)
+        .as_u64()
+        .unwrap_or_else(|| panic!("metrics has {group}.{field}: {metrics:?}"))
+}
+
+#[test]
+fn submit_poll_and_metrics_over_real_sockets() {
+    let server = start_hub(HubConfig::default());
+    let addr = server.addr().to_string();
+    let client = Client::new(&addr, "demo-beginner");
+
+    let designs = ["counter8", "gray8", "popcount8", "lfsr8"];
+    let ids: Vec<u64> = designs
+        .iter()
+        .enumerate()
+        .map(|(i, design)| {
+            client
+                .submit(&quick_job(design, 100 + i as u64))
+                .expect("transport")
+                .expect("admitted")
+        })
+        .collect();
+    for (&id, design) in ids.iter().zip(&designs) {
+        let status = client.wait(id, WAIT).expect("finishes");
+        assert_eq!(status.get("state").as_str(), Some("succeeded"), "{design}");
+        assert_eq!(status.get("name").as_str(), Some(*design));
+        // Progress streaming: the finished flow-stage spans are
+        // reported back, in flow order.
+        let stages = status.get("stages").seq().expect("stages seq");
+        let names: Vec<&str> = stages
+            .iter()
+            .filter_map(|s| s.get("stage").as_str())
+            .collect();
+        assert!(names.contains(&"synthesize"), "stages: {names:?}");
+        assert!(names.contains(&"export"), "stages: {names:?}");
+        assert!(status
+            .get("ppa")
+            .get("cells")
+            .as_u64()
+            .is_some_and(|c| c > 0));
+    }
+
+    // Live gauges: job counters, admission queue depths and the shared
+    // stage cache all surface in /metrics.
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metrics_u64(&metrics, "jobs", "succeeded"), 4);
+    assert_eq!(metrics_u64(&metrics, "jobs", "completed"), 4);
+    assert_eq!(metrics_u64(&metrics, "jobs", "queued"), 0);
+    let depths = metrics
+        .get("admission")
+        .get("queue_depth")
+        .seq()
+        .expect("depths");
+    assert_eq!(depths.len(), 3);
+    assert!(depths.iter().all(|d| d.as_u64() == Some(0)));
+    assert!(metrics_u64(&metrics, "stage_cache", "misses") > 0);
+    assert_eq!(metrics_u64(&metrics, "artifact_cache", "entries"), 4);
+
+    // Resubmitting an identical job is an artifact-cache hit, visible
+    // both on the job and in the gauges.
+    let id = client
+        .submit(&quick_job("counter8", 100))
+        .expect("transport")
+        .expect("admitted");
+    let status = client.wait(id, WAIT).expect("finishes");
+    assert_eq!(status.get("state").as_str(), Some("succeeded"));
+    assert_eq!(status.get("cache_hit"), &Value::Bool(true));
+    let metrics = client.metrics().expect("metrics");
+    assert!(metrics_u64(&metrics, "artifact_cache", "hits") >= 1);
+
+    server.shutdown();
+}
+
+#[test]
+fn unknown_api_keys_and_foreign_tenants_get_nothing() {
+    let server = start_hub(HubConfig::default());
+    let addr = server.addr().to_string();
+
+    // Wrong key: 401 on every authenticated endpoint.
+    let intruder = Client::new(&addr, "stolen-key");
+    let refusal = intruder
+        .submit(&quick_job("counter8", 1))
+        .expect("transport")
+        .expect_err("refused");
+    assert_eq!(refusal.status, 401);
+    let response = intruder
+        .request("GET", "/api/v1/jobs", None)
+        .expect("transport");
+    assert_eq!(response.status, 401);
+
+    // Missing key header entirely.
+    let response = raw_send(&addr, b"GET /api/v1/jobs HTTP/1.1\r\n\r\n");
+    assert!(String::from_utf8_lossy(&response).starts_with("HTTP/1.1 401"));
+
+    // A valid key still cannot see another tenant's job.
+    let owner = Client::new(&addr, "demo-beginner");
+    let id = owner
+        .submit(&quick_job("counter8", 2))
+        .expect("transport")
+        .expect("admitted");
+    owner.wait(id, WAIT).expect("finishes");
+    let peer = Client::new(&addr, "demo-advanced");
+    let response = peer
+        .request("GET", &format!("/api/v1/jobs/{id}"), None)
+        .expect("transport");
+    assert_eq!(
+        response.status, 404,
+        "foreign job indistinguishable from absent"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn journal_survives_a_server_restart() {
+    let journal = temp_path("restart.jsonl");
+    let config = HubConfig {
+        journal: Some(journal.clone()),
+        ..HubConfig::default()
+    };
+
+    let server = start_hub(config.clone());
+    let addr = server.addr().to_string();
+    let client = Client::new(&addr, "demo-intermediate");
+    for seed in [31, 32] {
+        let id = client
+            .submit(&quick_job("counter8", seed))
+            .expect("transport")
+            .expect("admitted");
+        let status = client.wait(id, WAIT).expect("finishes");
+        assert_eq!(status.get("state").as_str(), Some("succeeded"));
+    }
+    server.shutdown();
+
+    // A fresh server on the same journal re-lists both completed jobs
+    // — no duplicates, no losses — and fresh ids never collide.
+    let server = start_hub(config);
+    let addr = server.addr().to_string();
+    let client = Client::new(&addr, "demo-intermediate");
+    let listing = client.list().expect("list");
+    let jobs = listing.get("jobs").seq().expect("jobs seq");
+    assert_eq!(jobs.len(), 2, "exactly the completed jobs: {listing:?}");
+    let mut recovered_ids = Vec::new();
+    for job in jobs {
+        assert_eq!(job.get("state").as_str(), Some("succeeded"));
+        assert_eq!(job.get("recovered"), &Value::Bool(true));
+        assert!(job.get("ppa").get("cells").as_u64().is_some_and(|c| c > 0));
+        recovered_ids.push(job.get("id").as_u64().expect("id"));
+    }
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metrics_u64(&metrics, "jobs", "recovered"), 2);
+    let fresh = client
+        .submit(&quick_job("gray8", 33))
+        .expect("transport")
+        .expect("admitted");
+    assert!(
+        !recovered_ids.contains(&fresh),
+        "fresh id {fresh} collides with recovered {recovered_ids:?}"
+    );
+    client.wait(fresh, WAIT).expect("finishes");
+
+    server.shutdown();
+    std::fs::remove_file(&journal).ok();
+}
+
+#[test]
+fn malformed_requests_never_take_down_the_accept_loop() {
+    let server = start_hub(HubConfig::default());
+    let addr = server.addr().to_string();
+    let health = Client::new(&addr, "demo-beginner");
+
+    let oversized_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(9000));
+    let header_bomb = format!(
+        "GET /healthz HTTP/1.1\r\n{}\r\n",
+        "x-filler: y\r\n".repeat(100)
+    );
+    let attacks: Vec<Vec<u8>> = vec![
+        b"".to_vec(),
+        b"GARBAGE".to_vec(),
+        b"GET /healthz".to_vec(), // truncated request line
+        b"GET  HTTP/1.1\r\n\r\n".to_vec(),
+        b"GET /healthz SMTP/1.0\r\n\r\n".to_vec(),
+        oversized_line.into_bytes(),
+        header_bomb.into_bytes(),
+        b"POST /api/v1/jobs HTTP/1.1\r\ncontent-length: abc\r\n\r\n".to_vec(),
+        b"POST /api/v1/jobs HTTP/1.1\r\ncontent-length: -5\r\n\r\n".to_vec(),
+        b"POST /api/v1/jobs HTTP/1.1\r\ncontent-length: 9999999\r\n\r\n".to_vec(),
+        b"POST /api/v1/jobs HTTP/1.1\r\nx-api-key: demo-beginner\r\ncontent-length: 7\r\n\r\nnot json".to_vec(),
+        vec![0xff; 64],
+        b"GET /healthz HTTP/1.1\r\nbad header\r\n\r\n".to_vec(),
+    ];
+    for (i, attack) in attacks.iter().enumerate() {
+        let response = String::from_utf8_lossy(&raw_send(&addr, attack)).into_owned();
+        if !response.is_empty() {
+            let status: u16 = response
+                .split(' ')
+                .nth(1)
+                .and_then(|code| code.parse().ok())
+                .unwrap_or_else(|| panic!("attack {i}: unparseable response {response:?}"));
+            assert!(
+                (400..500).contains(&status),
+                "attack {i} got HTTP {status}: {response:?}"
+            );
+        }
+        // The accept loop is still alive after every attack.
+        let alive = health.request("GET", "/healthz", None).expect("healthz");
+        assert_eq!(alive.status, 200, "server died after attack {i}");
+    }
+    server.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary byte storms: whatever a client writes, the server
+    /// answers with a clean 4xx (or closes the connection) and keeps
+    /// serving — the accept loop never panics.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_server(
+        bytes in proptest::collection::vec(0u8..=255, 0..600),
+    ) {
+        // One shared server across all cases would hide a crash behind
+        // reconnect noise; binding per case keeps the check airtight
+        // and is still cheap at 48 cases.
+        let server = start_hub(HubConfig { workers: 1, ..HubConfig::default() });
+        let addr = server.addr().to_string();
+        let _ = raw_send(&addr, &bytes);
+        let alive = Client::new(&addr, "demo-beginner")
+            .request("GET", "/healthz", None)
+            .expect("healthz after storm");
+        assert_eq!(alive.status, 200);
+        server.shutdown();
+    }
+}

@@ -125,6 +125,32 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut
         format_duration(*max),
         bencher.samples.len()
     );
+    record_json(name, mean, *min, *max, bencher.samples.len());
+}
+
+/// Appends one benchmark record to the JSON-lines file named by
+/// `CHIPFORGE_BENCH_JSON`, so successive runs build a perf trajectory
+/// (one `{"name", "mean_ns", "min_ns", "max_ns", "samples"}` object per
+/// line). Off unless the variable is set; write errors are ignored —
+/// a broken trajectory file must never fail the benchmark itself.
+fn record_json(name: &str, mean: Duration, min: Duration, max: Duration, samples: usize) {
+    let Some(path) = std::env::var_os("CHIPFORGE_BENCH_JSON") else {
+        return;
+    };
+    let record = format!(
+        "{{\"name\": \"{name}\", \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {samples}}}\n",
+        mean.as_nanos(),
+        min.as_nanos(),
+        max.as_nanos(),
+    );
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        use std::io::Write;
+        let _ = file.write_all(record.as_bytes());
+    }
 }
 
 fn format_duration(d: Duration) -> String {
@@ -173,6 +199,31 @@ mod tests {
         group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
         group.finish();
         c.bench_function("tiny", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn json_records_append_to_the_named_file() {
+        let path = std::env::temp_dir().join(format!("criterion-json-{}", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        std::env::set_var("CHIPFORGE_BENCH_JSON", &path);
+        let mut c = Criterion::default();
+        c.bench_function("json_probe", |b| b.iter(|| black_box(2 + 2)));
+        std::env::remove_var("CHIPFORGE_BENCH_JSON");
+        let text = std::fs::read_to_string(&path).expect("trajectory file written");
+        std::fs::remove_file(&path).ok();
+        let line = text
+            .lines()
+            .find(|l| l.contains("\"json_probe\""))
+            .expect("probe record present");
+        for field in [
+            "\"name\"",
+            "\"mean_ns\"",
+            "\"min_ns\"",
+            "\"max_ns\"",
+            "\"samples\"",
+        ] {
+            assert!(line.contains(field), "missing {field} in {line}");
+        }
     }
 
     #[test]
