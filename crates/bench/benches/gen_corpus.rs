@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the seeded design-family generator.
+//!
+//! The E19 semester model assumes generation is effectively free next
+//! to the flow itself: the hub can materialize any `gen:` spec on
+//! demand at submission time. These benches pin that down — source
+//! emission alone, emission + elaboration over the reference corpus,
+//! and compiling a 10^4-student population into an arrival trace.
+
+use chipforge::gen::{self, semester::SemesterSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_gen_corpus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gen_corpus");
+    group.sample_size(10);
+
+    // Source emission for the whole 15-spec reference corpus: the cost
+    // a hub pays to turn accepted `gen:` strings into ForgeHDL text.
+    group.bench_function("15_specs_generate", |b| {
+        b.iter(|| {
+            gen::corpus()
+                .iter()
+                .map(|spec| spec.generate().source().len())
+                .sum::<usize>()
+        });
+    });
+
+    // Emission + elaboration: the front-end work before synthesis. The
+    // stage cache keys on the emitted bytes, so this is the per-miss
+    // cost of admitting a never-seen spec.
+    group.bench_function("15_specs_generate_elaborate", |b| {
+        b.iter(|| {
+            gen::corpus()
+                .iter()
+                .map(|spec| {
+                    spec.generate()
+                        .elaborate()
+                        .expect("corpus always elaborates")
+                        .signals()
+                        .len()
+                })
+                .sum::<usize>()
+        });
+    });
+
+    // Population compilation: a 10^4-student tiered semester to a
+    // sorted arrival trace. E19 runs this at 10^6; linear scaling from
+    // this number predicts the table's setup cost.
+    group.bench_function("semester_trace_10k_students", |b| {
+        b.iter(|| SemesterSpec::tiered(10_000, 19).arrival_trace().len());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_gen_corpus);
+criterion_main!(benches);

@@ -20,9 +20,9 @@ use chipforge::synth::{synthesize, SynthEffort, SynthOptions};
 use chipforge::{EnablementComparison, EnablementHub, Tier, TierStrategy};
 
 /// All experiment identifiers accepted by [`run_experiment`].
-pub const EXPERIMENT_IDS: [&str; 21] = [
+pub const EXPERIMENT_IDS: [&str; 22] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "a1", "a2", "a5",
+    "e16", "e17", "e18", "e19", "a1", "a2", "a5",
 ];
 
 /// Runs one experiment by id (`"e1"`..`"e10"`, `"a1"`, `"a2"`).
@@ -49,6 +49,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "e16" => e16_overload(),
         "e17" => e17_incremental(),
         "e18" => e18_hub_validation(),
+        "e19" => e19_semester_scale(),
         "a1" => a1_synth_effort(),
         "a2" => a2_placement_moves(),
         "a5" => a5_scan_overhead(),
@@ -1320,6 +1321,109 @@ pub fn e18_hub_validation() -> String {
     t.render()
 }
 
+/// The E19 semester model at one scale: the reference tiered
+/// population ([`SemesterSpec::tiered`]) with the pinned
+/// corpus-calibrated service hours, simulated on a hub sized for 80%
+/// target utilization. Shared by the table renderer, the determinism
+/// smoke test and CI.
+#[must_use]
+pub fn e19_semester(
+    students: usize,
+    seed: u64,
+) -> (
+    chipforge::gen::semester::SemesterSpec,
+    usize,
+    chipforge::cloud::AdmittedResult,
+) {
+    use chipforge::gen::semester::SemesterSpec;
+    let spec = SemesterSpec::tiered(students, seed);
+    let servers = spec.recommended_servers(0.8);
+    let result = spec
+        .simulate(servers)
+        .expect("3-tier policy always validates");
+    (spec, servers, result)
+}
+
+/// E19 — the semester at scale: generated corpus + tiered population
+/// through the admission-controlled hub DES (Rec. 8).
+///
+/// The paper's R8 calls for tier-oriented enablement from high-school
+/// to PhD level; this experiment quantifies what serving an actual
+/// tiered population costs. A seeded student population (70/25/5
+/// beginner/intermediate/advanced, diurnal submission curves, deadline
+/// spikes at weeks 4/8/13, E17-style incremental resubmissions at 35%
+/// of fresh-run service) is compiled into an arrival trace and pushed
+/// through the same admission machinery as E16/E18, at 10^5 and 10^6
+/// students. Per-tier fresh-run service hours are the generated-corpus
+/// calibration pinned in `gen::E19_SERVICE_HOURS` (measured
+/// `BatchEngine` runtimes of the tier-representative `gen:` specs
+/// through `exec::calibrate`, frozen for byte-stable tables; the
+/// acceptance test re-derives the live values and checks the ordering).
+#[must_use]
+pub fn e19_semester_scale() -> String {
+    use chipforge::econ::infrastructure::InfrastructureCostModel;
+
+    let mut t = Table::new(
+        "E19: million-student semester — tiered hub at scale (Rec. 8)",
+        &[
+            "students",
+            "tier",
+            "offered",
+            "admitted",
+            "rejected %",
+            "mean tat h",
+            "p99 tat h",
+            "eur/student",
+        ],
+    );
+    let model = InfrastructureCostModel::reference();
+    let mut summaries = Vec::new();
+    for students in [100_000usize, 1_000_000] {
+        let (spec, servers, result) = e19_semester(students, 19);
+        let costs = spec.tier_cost_per_enabled_student_eur(servers, &result, &model);
+        for (class, tier) in ["beginner", "intermediate", "advanced"].iter().enumerate() {
+            let stats = &result.tiers[class];
+            t.row(vec![
+                students.to_string(),
+                (*tier).to_string(),
+                stats.offered.to_string(),
+                stats.admitted.to_string(),
+                f(
+                    stats.rejected as f64 / stats.offered.max(1) as f64 * 100.0,
+                    1,
+                ),
+                f(stats.mean_turnaround_h, 1),
+                f(stats.p99_turnaround_h, 1),
+                f(costs[class], 2),
+            ]);
+        }
+        summaries.push(format!(
+            "{students} students: {servers} servers, {:.1}% utilization, \
+             {} of {} submissions completed, €{:.2}/enabled student",
+            result.scenario.utilization * 100.0,
+            result.scenario.completed,
+            result.tiers.iter().map(|s| s.offered).sum::<usize>(),
+            spec.cost_per_enabled_student_eur(servers, &result, &model),
+        ));
+    }
+    for summary in summaries {
+        t.note(summary);
+    }
+    t.note(
+        "population: 70/25/5 tier split, diurnal curves, deadline spikes (weeks 4/8/13), \
+         resubmissions at 35% of fresh service (E17)",
+    );
+    t.note(
+        "service hours calibrated from the generated corpus (gen::E19_SERVICE_HOURS, \
+         measured via BatchEngine + exec::calibrate, pinned for stable tables)",
+    );
+    t.note(
+        "cost per enabled student is flat across a 10x population jump: \
+         the hub scales linearly, so tiered access is not rationed by institution size (R8)",
+    );
+    t.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1646,5 +1750,80 @@ mod tests {
     fn e6_shows_commercial_advantage() {
         let out = e6_ppa_gap();
         assert!(out.contains("commercial wins"));
+    }
+
+    /// E19 acceptance, part 1: the semester model is deterministic —
+    /// two same-seed runs produce identical populations, identical
+    /// admission results and an identical rendered table.
+    #[test]
+    fn e19_semester_is_deterministic() {
+        let (spec_a, servers_a, result_a) = e19_semester(2_000, 19);
+        let (spec_b, servers_b, result_b) = e19_semester(2_000, 19);
+        assert_eq!(servers_a, servers_b);
+        assert_eq!(spec_a.arrival_trace().len(), spec_b.arrival_trace().len());
+        assert_eq!(result_a, result_b, "same-seed DES runs must be identical");
+        // The tiering story holds at smoke scale: fair-share weights
+        // put beginner turnaround below intermediate, and a majority
+        // of offered submissions complete.
+        assert!(
+            result_a.tiers[0].mean_turnaround_h < result_a.tiers[1].mean_turnaround_h,
+            "beginner tat {} vs intermediate {}",
+            result_a.tiers[0].mean_turnaround_h,
+            result_a.tiers[1].mean_turnaround_h
+        );
+        let offered: usize = result_a.tiers.iter().map(|s| s.offered).sum();
+        assert!(
+            result_a.scenario.completed * 2 > offered,
+            "{} of {offered} completed",
+            result_a.scenario.completed
+        );
+    }
+
+    /// E19 acceptance, part 2: the pinned service-hour calibration is
+    /// honest. Re-derive the per-tier hours live — run the
+    /// tier-representative generated specs through the real
+    /// `BatchEngine` and `exec::calibrate` — and require the ordering
+    /// the pinned `gen::E19_SERVICE_HOURS` constants encode: each
+    /// tier's corpus is strictly more expensive than the one below.
+    #[test]
+    fn e19_calibration_ordering_matches_pinned_hours() {
+        use chipforge::exec::{calibrate, BatchEngine, EngineConfig, JobSpec};
+        use chipforge::flow::OptimizationProfile;
+        use chipforge::gen;
+        use chipforge::pdk::TechnologyNode;
+
+        let engine = BatchEngine::new(EngineConfig::with_workers(2));
+        let mut measured = [0.0f64; 3];
+        for (class, specs) in gen::calibration_specs().iter().enumerate() {
+            let jobs: Vec<JobSpec> = specs
+                .iter()
+                .map(|s| {
+                    let design = s.generate();
+                    JobSpec::new(
+                        design.name(),
+                        design.source(),
+                        TechnologyNode::N130,
+                        OptimizationProfile::quick(),
+                    )
+                })
+                .collect();
+            let report = engine.run_batch(jobs);
+            assert!(
+                report.results.iter().all(|r| r.status.is_success()),
+                "tier {class} calibration corpus must survive the flow"
+            );
+            measured[class] =
+                calibrate::mean_computed_run_ms(&report.results).expect("computed jobs");
+        }
+        let hours =
+            calibrate::tier_hours_from_measured_ms(measured, calibrate::DEFAULT_MS_TO_HOURS);
+        for h in &hours {
+            assert!(*h > 0.0);
+        }
+        assert!(
+            hours[0] < hours[1] && hours[1] < hours[2],
+            "live calibration {hours:?} must preserve the pinned tier ordering {:?}",
+            gen::E19_SERVICE_HOURS
+        );
     }
 }

@@ -21,11 +21,13 @@
 
 use chipforge::admit::{OverflowPolicy, RateLimit};
 use chipforge::cloud::AccessTier;
+use chipforge::econ::infrastructure::InfrastructureCostModel;
 use chipforge::exec::{
     AdmissionControl, BatchEngine, EngineConfig, Fault, JobSpec, JobStatus, ResilienceOptions,
     StageCacheMode,
 };
 use chipforge::flow::{run_flow_traced, FlowConfig, OptimizationProfile};
+use chipforge::gen::{self, semester::SemesterSpec, GenSpec};
 use chipforge::hdl::designs;
 use chipforge::netlist::verilog;
 use chipforge::obs::{self, Tracer};
@@ -67,6 +69,8 @@ fn main() -> ExitCode {
         Some("tiers") => cmd_tiers(&args[1..]),
         Some("catalog") => cmd_catalog(&args[1..]),
         Some("designs") => cmd_designs(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("semester") => cmd_semester(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
         Some(unknown) => {
@@ -116,6 +120,10 @@ USAGE:
   forge tiers <file.fhdl>
   forge catalog
   forge designs
+  forge gen <gen:spec> [--out <file.fhdl>]
+  forge gen --list
+  forge semester [--students <n>] [--servers <n>] [--seed <n>]
+            [--utilization <0..1>] [--calibrate]
   forge serve [--addr <host:port>] [--workers <n>] [--max-queue <n>]
             [--shed-oldest] [--tier-quota <b,i,a>] [--aging <rate>]
             [--tier-rate <b,i,a>] [--timeout-ms <ms>]
@@ -151,6 +159,20 @@ Incremental: `--stage-cache <dir>` keeps per-stage flow snapshots in
 <dir> (created if missing), so jobs sharing a front end — clock or
 profile sweeps, edited resubmissions — restore the unchanged stage
 prefix instead of recomputing it, across runs and processes.
+
+Corpus: `forge gen` generates seeded design families — CPU control
+paths, DSP FIR/FFT datapaths, crypto rounds, NoC routers — from spec
+strings like `gen:dsp/fir?width=16&taps=8&seed=3` (knobs: width 4-64,
+depth 1-8 with per-family aliases taps/stages/rounds/vcs, unroll 1-4,
+seed). A `gen:` spec is accepted anywhere a design name is: `forge
+run`, batch manifests, `forge client submit`. Equal specs generate
+byte-identical source, so same-spec jobs share the stage cache.
+`forge semester` compiles a tiered student population (diurnal curves,
+deadline spikes, incremental resubmissions) into an arrival trace and
+runs it through the admission-controlled hub DES, reporting per-tier
+turnaround, rejection and cost per enabled student; `--calibrate`
+re-derives per-tier service hours by running a sampled generated
+corpus through the batch engine first.
 
 Hub: `forge serve` runs the live multi-tenant job service (HTTP/1.1 on
 --addr, default 127.0.0.1:8317). API keys map universities to access
@@ -244,9 +266,10 @@ fn parse_number<T: std::str::FromStr>(
 }
 
 fn load_source(path: &str) -> Result<String, String> {
-    // Built-in design names are accepted in place of files.
-    if let Some(design) = designs::suite().into_iter().find(|d| d.name() == path) {
-        return Ok(design.source().to_string());
+    // Built-in design names and `gen:` specs are accepted in place of
+    // files; anything else is read from disk.
+    if path.starts_with("gen:") || designs::suite().iter().any(|d| d.name() == path) {
+        return Ok(gen::resolve(path)?.source().to_string());
     }
     std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
 }
@@ -351,6 +374,7 @@ fn manifest_field<'a, T>(
 }
 
 /// Parses one manifest entry into (possibly repeated) job specs.
+/// `index` is 1-based so errors read the way people count jobs.
 fn manifest_job(entry: &Value, index: usize) -> Result<Vec<JobSpec>, String> {
     let context = format!("manifest job {index}");
     if !matches!(entry, Value::Map(_)) {
@@ -385,17 +409,11 @@ fn manifest_job(entry: &Value, index: usize) -> Result<Vec<JobSpec>, String> {
         }
         (None, None) => return Err(format!("{context}: needs `design` or `file`")),
         (Some(design), None) => {
-            let source = designs::suite()
-                .into_iter()
-                .find(|d| d.name() == design)
-                .map(|d| d.source().to_string())
-                .ok_or_else(|| {
-                    format!(
-                        "{context}: unknown design `{design}` \
-                         (run `forge designs` to list built-ins)"
-                    )
-                })?;
-            (design.to_string(), source)
+            // Resolved at parse time so an unknown design or malformed
+            // `gen:` spec is a config error (exit 2) naming the design,
+            // not a late opaque job failure inside the engine.
+            let resolved = gen::resolve(design).map_err(|e| format!("{context}: {e}"))?;
+            (resolved.name().to_string(), resolved.source().to_string())
         }
         (None, Some(file)) => (file.to_string(), load_source(file)?),
     };
@@ -494,7 +512,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         .map_err(|_| format!("bad manifest `{path}`: expected a top-level `jobs` array"))?;
     let mut jobs = Vec::new();
     for (index, entry) in entries.iter().enumerate() {
-        jobs.extend(manifest_job(entry, index)?);
+        jobs.extend(manifest_job(entry, index + 1)?);
     }
     if jobs.is_empty() {
         return Err(CliError::Config(format!(
@@ -1016,6 +1034,150 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
     }
 }
 
+fn cmd_gen(args: &[String]) -> Result<(), CliError> {
+    const FLAGS: &[FlagSpec] = &[switch("list"), value_flag("out")];
+    let (positionals, flags) = parse_args(args, "gen", FLAGS)?;
+    if flags.contains_key("list") {
+        if let Some(extra) = positionals.first() {
+            return Err(CliError::Config(format!("unexpected argument `{extra}`")));
+        }
+        println!("generated corpus (usable as `forge run <spec>` or in manifests):");
+        for spec in gen::corpus() {
+            let design = spec.generate();
+            println!(
+                "  {:<42} {:<8} {:>3} lines  {}",
+                spec.to_string(),
+                design.family(),
+                design.rtl_lines(),
+                design.name()
+            );
+        }
+        return Ok(());
+    }
+    let text = one_positional(&positionals, "gen spec (or --list)")?;
+    let spec = GenSpec::parse(&text).map_err(CliError::Config)?;
+    let design = spec.generate();
+    if let Some(out) = flags.get("out") {
+        std::fs::write(out, design.source()).map_err(|e| format!("write {out}: {e}"))?;
+        eprintln!(
+            "wrote {out} ({} · {} · {} lines · flow template {})",
+            design.name(),
+            design.family(),
+            design.rtl_lines(),
+            spec.flow_template().name()
+        );
+    } else {
+        print!("{}", design.source());
+    }
+    Ok(())
+}
+
+fn cmd_semester(args: &[String]) -> Result<(), CliError> {
+    const FLAGS: &[FlagSpec] = &[
+        value_flag("students"),
+        value_flag("servers"),
+        value_flag("seed"),
+        value_flag("utilization"),
+        switch("calibrate"),
+    ];
+    let (positionals, flags) = parse_args(args, "semester", FLAGS)?;
+    if let Some(extra) = positionals.first() {
+        return Err(CliError::Config(format!("unexpected argument `{extra}`")));
+    }
+    let students: usize = parse_number(&flags, "students", 1_000)?;
+    if students == 0 {
+        return Err(CliError::Config("--students must be at least 1".into()));
+    }
+    let seed: u64 = parse_number(&flags, "seed", 1)?;
+    let utilization: f64 = parse_number(&flags, "utilization", 0.8)?;
+    let mut spec = SemesterSpec::tiered(students, seed);
+    if flags.contains_key("calibrate") {
+        let hours = calibrate_service_hours()?;
+        println!(
+            "calibrated service hours from generated corpus: \
+             beginner {:.2} h, intermediate {:.2} h, advanced {:.2} h",
+            hours[0], hours[1], hours[2]
+        );
+        spec = spec.with_service_hours(hours);
+    }
+    let servers: usize = parse_number(&flags, "servers", spec.recommended_servers(utilization))?;
+    if servers == 0 {
+        return Err(CliError::Config("--servers must be at least 1".into()));
+    }
+    let result = spec
+        .simulate(servers)
+        .map_err(|e| CliError::Config(e.to_string()))?;
+    let model = InfrastructureCostModel::reference();
+    let tier_costs = spec.tier_cost_per_enabled_student_eur(servers, &result, &model);
+    println!(
+        "semester: {students} students, {} universities, {} weeks, {servers} servers, seed {seed}",
+        spec.universities, spec.weeks
+    );
+    println!(
+        "  {:<14} {:>8} {:>9} {:>9} {:>9} {:>10} {:>10} {:>10}",
+        "tier", "students", "offered", "admitted", "rejected", "mean-tat", "p99-tat", "eur/stud"
+    );
+    for tier in AccessTier::ALL {
+        let class = tier.priority() as usize;
+        let t = &result.tiers[class];
+        println!(
+            "  {:<14} {:>8} {:>9} {:>9} {:>9} {:>9.2}h {:>9.2}h {:>10.2}",
+            tier.to_string(),
+            spec.students[class],
+            t.offered,
+            t.admitted,
+            t.rejected,
+            t.mean_turnaround_h,
+            t.p99_turnaround_h,
+            tier_costs[class]
+        );
+    }
+    println!(
+        "  completed {} of {} submissions, utilization {:.1}%, cost per enabled student €{:.2}",
+        result.scenario.completed,
+        result.tiers.iter().map(|t| t.offered).sum::<usize>(),
+        result.scenario.utilization * 100.0,
+        spec.cost_per_enabled_student_eur(servers, &result, &model)
+    );
+    Ok(())
+}
+
+/// Runs the tier-representative generated corpus through the batch
+/// engine and maps the measured per-tier mean runtimes to service
+/// hours (the live counterpart of the pinned E19 constants).
+fn calibrate_service_hours() -> Result<[f64; 3], CliError> {
+    use chipforge::exec::calibrate;
+    let engine = BatchEngine::new(EngineConfig::default());
+    let mut measured = [0.0f64; 3];
+    for (class, specs) in gen::calibration_specs().iter().enumerate() {
+        let jobs: Vec<JobSpec> = specs
+            .iter()
+            .map(|s| {
+                let design = s.generate();
+                JobSpec::new(
+                    design.name(),
+                    design.source(),
+                    TechnologyNode::N130,
+                    OptimizationProfile::quick(),
+                )
+            })
+            .collect();
+        let report = engine.run_batch(jobs);
+        if let Some(failed) = report.results.iter().find(|r| !r.status.is_success()) {
+            return Err(CliError::Jobs(format!(
+                "calibration job `{}` failed: {}",
+                failed.name, failed.status
+            )));
+        }
+        measured[class] = calibrate::mean_computed_run_ms(&report.results)
+            .ok_or_else(|| CliError::Jobs("calibration computed no jobs".into()))?;
+    }
+    Ok(calibrate::tier_hours_from_measured_ms(
+        measured,
+        calibrate::DEFAULT_MS_TO_HOURS,
+    ))
+}
+
 fn cmd_designs(args: &[String]) -> Result<(), CliError> {
     let (positionals, _) = parse_args(args, "designs", &[])?;
     if let Some(extra) = positionals.first() {
@@ -1025,8 +1187,9 @@ fn cmd_designs(args: &[String]) -> Result<(), CliError> {
     for design in designs::suite() {
         let module = design.elaborate().map_err(|e| e.to_string())?;
         println!(
-            "  {:<14} {:>3} lines, {:>2} inputs, {:>2} outputs, {:>3} state bits",
+            "  {:<14} {:<10} {:>3} lines, {:>2} inputs, {:>2} outputs, {:>3} state bits",
             design.name(),
+            design.family(),
             design.rtl_lines(),
             module.inputs().count(),
             module.outputs().count(),

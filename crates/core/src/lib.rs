@@ -28,6 +28,7 @@
 //! | [`power`] | `chipforge-power` | power estimation |
 //! | [`flow`] | `chipforge-flow` | RTL→GDSII orchestration |
 //! | [`exec`] | `chipforge-exec` | concurrent batch execution + artifact cache |
+//! | [`gen`] | `chipforge-gen` | seeded design-family generator + semester model |
 //! | [`resil`] | `chipforge-resil` | fault injection, checkpoint/resume, degradation |
 //! | [`serve`] | `chipforge-serve` | live multi-tenant HTTP job hub |
 //! | [`obs`] | `chipforge-obs` | tracing, metrics and profiling |
@@ -74,6 +75,8 @@ pub use chipforge_exec as exec;
 pub use chipforge_flow as flow;
 /// Re-export: FPGA mapping and prototyping models.
 pub use chipforge_fpga as fpga;
+/// Re-export: design-family generator and semester population model.
+pub use chipforge_gen as gen;
 /// Re-export: ForgeHDL frontend.
 pub use chipforge_hdl as hdl;
 /// Re-export: layout, GDSII and DRC.

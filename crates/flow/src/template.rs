@@ -170,6 +170,35 @@ impl FlowTemplate {
         }
     }
 
+    /// A family-specialized template for a generated-corpus family tag
+    /// (`"cpu"`, `"dsp"`, `"crypto"`, `"noc"`; anything else falls back
+    /// to [`FlowTemplate::standard`]).
+    ///
+    /// Each family stresses a different part of the flow, so its
+    /// template carries extra technology items where the family needs
+    /// tuning: control paths in placement (congested branchy logic),
+    /// DSP datapaths in synthesis and sizing (arithmetic mapping),
+    /// crypto rounds in signoff (power/side-channel reporting) and NoC
+    /// routers in routing (channel escape patterns).
+    #[must_use]
+    pub fn for_family(family: &str) -> Self {
+        let mut tpl = Self::standard();
+        let (step, extra) = match family {
+            "cpu" => (FlowStep::Place, 4),
+            "dsp" => (FlowStep::Synthesize, 4),
+            "crypto" => (FlowStep::Signoff, 4),
+            "noc" => (FlowStep::Route, 4),
+            _ => return tpl,
+        };
+        tpl.name = format!("chipforge-{family}");
+        for spec in &mut tpl.steps {
+            if spec.step == step {
+                spec.technology_items += extra;
+            }
+        }
+        tpl
+    }
+
     /// Template name.
     #[must_use]
     pub fn name(&self) -> &str {
@@ -257,6 +286,28 @@ mod tests {
             tpl.setup_expert_hours(TechnologyNode::N7, false)
                 > 1.5 * tpl.setup_expert_hours(TechnologyNode::N130, false)
         );
+    }
+
+    #[test]
+    fn family_templates_specialize_one_step() {
+        for (family, step) in [
+            ("cpu", FlowStep::Place),
+            ("dsp", FlowStep::Synthesize),
+            ("crypto", FlowStep::Signoff),
+            ("noc", FlowStep::Route),
+        ] {
+            let tpl = FlowTemplate::for_family(family);
+            assert_eq!(tpl.name(), format!("chipforge-{family}"));
+            let standard = FlowTemplate::standard();
+            for (spec, base) in tpl.steps().iter().zip(standard.steps()) {
+                if spec.step == step {
+                    assert!(spec.technology_items > base.technology_items);
+                } else {
+                    assert_eq!(spec, base);
+                }
+            }
+        }
+        assert_eq!(FlowTemplate::for_family("misc"), FlowTemplate::standard());
     }
 
     #[test]

@@ -1,0 +1,369 @@
+//! The four ForgeHDL design-family generators.
+//!
+//! Each generator is a pure function of its [`GenSpec`]: the seed drives
+//! a dedicated `StdRng` stream for the family's constant tables (opcode
+//! encodings, FIR coefficients, twiddles, S-boxes, scramble keys) and the
+//! structural knobs unroll into explicit signals, so equal specs emit
+//! byte-identical source. Emitted code stays inside the ForgeHDL subset:
+//! signals of at most 64 bits, sized literals, nonblocking assignments
+//! under the single implicit clock.
+
+use crate::spec::GenSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write;
+
+/// A sized decimal literal, masked to `width` bits.
+fn lit(width: u8, value: u64) -> String {
+    let masked = if width >= 64 {
+        value
+    } else {
+        value & ((1u64 << width) - 1)
+    };
+    format!("{width}'d{masked}")
+}
+
+/// A seeded RNG stream, salted per family so the same seed does not
+/// correlate constants across families.
+fn stream(spec: &GenSpec, salt: u64) -> StdRng {
+    StdRng::seed_from_u64(spec.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt)
+}
+
+/// A seeded permutation of `0..n` (Fisher–Yates).
+fn permutation(rng: &mut StdRng, n: usize) -> Vec<u64> {
+    let mut table: Vec<u64> = (0..n as u64).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        table.swap(i, j);
+    }
+    table
+}
+
+/// CPU-like control path: a 4-bit opcode decoder, a four-entry register
+/// file, a branchy `depth`-state FSM with seeded opcode encodings and
+/// branch targets, and `unroll` parallel ALU units feeding a
+/// `depth`-stage result pipeline.
+#[must_use]
+pub fn cpu_ctrl(spec: &GenSpec) -> String {
+    let mut rng = stream(spec, 0xC9);
+    let name = spec.module_name();
+    let w = spec.width;
+    let msb = w - 1;
+    let states = spec.depth;
+    let ops = ["+", "^", "&", "|"];
+
+    let mut s = String::new();
+    let _ = writeln!(s, "module {name}() {{");
+    let _ = writeln!(s, "    input rst;");
+    let _ = writeln!(s, "    input [{msb}:0] instr;");
+    let _ = writeln!(s, "    output [{msb}:0] result;");
+    for r in 0..4 {
+        let _ = writeln!(s, "    reg [{msb}:0] r{r};");
+    }
+    let _ = writeln!(s, "    reg [2:0] state;");
+    for i in 0..states {
+        let _ = writeln!(s, "    reg [{msb}:0] p{i};");
+    }
+    let _ = writeln!(s, "    wire [3:0] op;");
+    for u in 0..spec.unroll {
+        let _ = writeln!(s, "    wire [{msb}:0] u{u};");
+    }
+    let _ = writeln!(s, "    assign op = instr[3:0];");
+    for u in 0..spec.unroll {
+        let a = rng.gen_range(0..4u8);
+        let b = rng.gen_range(0..4u8);
+        let alu_op = ops[rng.gen_range(0..ops.len())];
+        let key = lit(w, rng.gen_range(0..u64::MAX));
+        let _ = writeln!(s, "    assign u{u} = (r{a} {alu_op} r{b}) ^ {key};");
+    }
+    // Decoder + register file + branchy FSM: each state decodes one
+    // seeded opcode, updates one register and branches three ways.
+    let _ = writeln!(s, "    always {{");
+    let _ = writeln!(s, "        if (rst) {{");
+    let _ = writeln!(s, "            state <= 0;");
+    for r in 0..4 {
+        let _ = writeln!(s, "            r{r} <= 0;");
+    }
+    let _ = writeln!(s, "        }} else {{");
+    let _ = writeln!(s, "            case (state) {{");
+    for st in 0..states {
+        let opcode = rng.gen_range(0..16u64);
+        let reg_a = rng.gen_range(0..4u8);
+        let op_a = ops[rng.gen_range(0..ops.len())];
+        let bit = rng.gen_range(0..w);
+        let reg_b = rng.gen_range(0..4u8);
+        let reg_c = rng.gen_range(0..4u8);
+        let op_b = ops[rng.gen_range(0..ops.len())];
+        let t1 = rng.gen_range(0..states);
+        let t2 = rng.gen_range(0..states);
+        let t3 = rng.gen_range(0..states);
+        let _ = writeln!(s, "                3'd{st}: {{");
+        let _ = writeln!(s, "                    if (op == 4'd{opcode}) {{");
+        let _ = writeln!(
+            s,
+            "                        r{reg_a} <= r{reg_a} {op_a} instr;"
+        );
+        let _ = writeln!(s, "                        state <= 3'd{t1};");
+        let _ = writeln!(s, "                    }} else if (instr[{bit}]) {{");
+        let _ = writeln!(
+            s,
+            "                        r{reg_b} <= r{reg_b} {op_b} r{reg_c};"
+        );
+        let _ = writeln!(s, "                        state <= 3'd{t2};");
+        let _ = writeln!(s, "                    }} else {{");
+        let _ = writeln!(s, "                        state <= 3'd{t3};");
+        let _ = writeln!(s, "                    }}");
+        let _ = writeln!(s, "                }}");
+    }
+    let _ = writeln!(s, "                default: {{ state <= 0; }}");
+    let _ = writeln!(s, "            }}");
+    let _ = writeln!(s, "        }}");
+    let _ = writeln!(s, "    }}");
+    // Result pipeline: xor-join of the ALU units, then one add per stage.
+    let join = (0..spec.unroll)
+        .map(|u| format!("u{u}"))
+        .collect::<Vec<_>>()
+        .join(" ^ ");
+    let _ = writeln!(s, "    always {{");
+    let _ = writeln!(s, "        p0 <= {join};");
+    for i in 1..states {
+        let _ = writeln!(s, "        p{i} <= p{} + r{};", i - 1, i % 4);
+    }
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "    assign result = p{};", states - 1);
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// DSP FIR datapath: `depth` taps with seeded 4-bit coefficients,
+/// replicated across `unroll` independent channels. The accumulator is
+/// widened by 8 bits (capped at 64) like the hand-written `fir4`.
+#[must_use]
+pub fn dsp_fir(spec: &GenSpec) -> String {
+    let mut rng = stream(spec, 0xF1);
+    let name = spec.module_name();
+    let w = spec.width;
+    let msb = w - 1;
+    let taps = spec.depth;
+    let acc_w = (w + 8).min(64);
+    let acc_msb = acc_w - 1;
+    let coeffs: Vec<u64> = (0..taps).map(|_| rng.gen_range(1..16u64)).collect();
+
+    let mut s = String::new();
+    let _ = writeln!(s, "module {name}() {{");
+    for c in 0..spec.unroll {
+        let _ = writeln!(s, "    input [{msb}:0] x{c};");
+        let _ = writeln!(s, "    output [{acc_msb}:0] y{c};");
+    }
+    for c in 0..spec.unroll {
+        for t in 1..taps {
+            let _ = writeln!(s, "    reg [{msb}:0] d{c}_{t};");
+        }
+        let _ = writeln!(s, "    reg [{acc_msb}:0] y{c};");
+    }
+    let _ = writeln!(s, "    always {{");
+    for c in 0..spec.unroll {
+        if taps > 1 {
+            let _ = writeln!(s, "        d{c}_1 <= x{c};");
+            for t in 2..taps {
+                let _ = writeln!(s, "        d{c}_{t} <= d{c}_{};", t - 1);
+            }
+        }
+        let products: Vec<String> = (0..taps)
+            .map(|t| {
+                let coeff = lit(4, coeffs[t as usize]);
+                if t == 0 {
+                    format!("x{c} * {coeff}")
+                } else {
+                    format!("d{c}_{t} * {coeff}")
+                }
+            })
+            .collect();
+        let _ = writeln!(s, "        y{c} <= {};", products.join(" + "));
+    }
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// DSP FFT-style pipeline: `depth` butterfly stages over `unroll`
+/// parallel (a, b) lane pairs, with seeded 4-bit twiddle multipliers and
+/// cross-lane mixing when more than one butterfly runs per stage.
+#[must_use]
+pub fn dsp_fft(spec: &GenSpec) -> String {
+    let mut rng = stream(spec, 0xFF7);
+    let name = spec.module_name();
+    let w = spec.width;
+    let msb = w - 1;
+    let stages = spec.depth;
+    let lanes = spec.unroll;
+    let twiddles: Vec<u64> = (0..stages).map(|_| rng.gen_range(3..16u64)).collect();
+
+    let mut s = String::new();
+    let _ = writeln!(s, "module {name}() {{");
+    for u in 0..lanes {
+        let _ = writeln!(s, "    input [{msb}:0] a{u};");
+        let _ = writeln!(s, "    input [{msb}:0] b{u};");
+        let _ = writeln!(s, "    output [{msb}:0] pa{u};");
+        let _ = writeln!(s, "    output [{msb}:0] pb{u};");
+    }
+    for k in 0..stages {
+        for u in 0..lanes {
+            let _ = writeln!(s, "    reg [{msb}:0] s{k}a{u};");
+            let _ = writeln!(s, "    reg [{msb}:0] s{k}b{u};");
+        }
+    }
+    let _ = writeln!(s, "    always {{");
+    for k in 0..stages {
+        let tw = lit(4, twiddles[k as usize]);
+        for u in 0..lanes {
+            // Butterflies after stage 0 read the previous stage; lanes
+            // mix by taking the partner term from the next lane over.
+            let (sum_a, sum_b) = if k == 0 {
+                (format!("a{u}"), format!("b{u}"))
+            } else {
+                let partner = (u + 1) % lanes;
+                (format!("s{}a{u}", k - 1), format!("s{}b{partner}", k - 1))
+            };
+            let _ = writeln!(s, "        s{k}a{u} <= {sum_a} + {sum_b};");
+            let _ = writeln!(s, "        s{k}b{u} <= ({sum_a} - {sum_b}) * {tw};");
+        }
+    }
+    let _ = writeln!(s, "    }}");
+    let last = stages - 1;
+    for u in 0..lanes {
+        let _ = writeln!(s, "    assign pa{u} = s{last}a{u};");
+        let _ = writeln!(s, "    assign pb{u} = s{last}b{u};");
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Crypto round function: `depth` pipelined rounds of key mix (seeded
+/// round constants), a seeded 4-bit S-box on the low nibble and a seeded
+/// rotation permutation of the word, across `unroll` independent lanes.
+#[must_use]
+pub fn crypto_round(spec: &GenSpec) -> String {
+    let mut rng = stream(spec, 0xC0DE);
+    let name = spec.module_name();
+    let w = spec.width;
+    let msb = w - 1;
+    let rounds = spec.depth;
+    let keys: Vec<u64> = (0..rounds).map(|_| rng.gen_range(0..u64::MAX)).collect();
+    let rotations: Vec<u8> = (0..rounds).map(|_| rng.gen_range(1..w)).collect();
+    let sboxes: Vec<Vec<u64>> = (0..rounds).map(|_| permutation(&mut rng, 16)).collect();
+
+    let mut s = String::new();
+    let _ = writeln!(s, "module {name}() {{");
+    for l in 0..spec.unroll {
+        let _ = writeln!(s, "    input [{msb}:0] blk{l};");
+        let _ = writeln!(s, "    output [{msb}:0] ct{l};");
+    }
+    for l in 0..spec.unroll {
+        for k in 0..rounds {
+            let _ = writeln!(s, "    reg [{msb}:0] r{l}_{k};");
+            let _ = writeln!(s, "    wire [{msb}:0] mix{l}_{k};");
+            let _ = writeln!(s, "    wire [3:0] sb{l}_{k};");
+        }
+    }
+    for l in 0..spec.unroll {
+        for k in 0..rounds {
+            let prev = if k == 0 {
+                format!("blk{l}")
+            } else {
+                format!("r{l}_{}", k - 1)
+            };
+            let key = lit(w, keys[k as usize]);
+            let _ = writeln!(s, "    assign mix{l}_{k} = {prev} ^ {key};");
+            // 4-bit S-box on the low nibble as a ternary chain over the
+            // round's seeded permutation table.
+            let table = &sboxes[k as usize];
+            let mut sbox = String::new();
+            for n in 0..15u64 {
+                let _ = write!(
+                    sbox,
+                    "mix{l}_{k}[3:0] == 4'd{n} ? 4'd{} : ",
+                    table[n as usize]
+                );
+            }
+            let _ = write!(sbox, "4'd{}", table[15]);
+            let _ = writeln!(s, "    assign sb{l}_{k} = {sbox};");
+        }
+    }
+    let _ = writeln!(s, "    always {{");
+    for l in 0..spec.unroll {
+        for k in 0..rounds {
+            let rot = rotations[k as usize];
+            let left = format!("mix{l}_{k} << 7'd{rot}");
+            let right = format!("mix{l}_{k} >> 7'd{}", w - rot);
+            let sub = if w > 4 {
+                format!("{{{}, sb{l}_{k}}}", lit(w - 4, 0))
+            } else {
+                format!("sb{l}_{k}")
+            };
+            let _ = writeln!(s, "        r{l}_{k} <= (({left}) | ({right})) ^ {sub};");
+        }
+    }
+    let _ = writeln!(s, "    }}");
+    for l in 0..spec.unroll {
+        let _ = writeln!(s, "    assign ct{l} = r{l}_{};", rounds - 1);
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// NoC router: `unroll + 1` ports x `depth` virtual channels. Per-port
+/// VC buffer chains, a round-robin arbiter and a rotating crossbar with
+/// seeded per-output scramble keys.
+#[must_use]
+pub fn noc_router(spec: &GenSpec) -> String {
+    let mut rng = stream(spec, 0x40C);
+    let name = spec.module_name();
+    let w = spec.width;
+    let msb = w - 1;
+    let ports = spec.unroll + 1;
+    let vcs = spec.depth;
+    let keys: Vec<u64> = (0..ports).map(|_| rng.gen_range(0..u64::MAX)).collect();
+
+    let mut s = String::new();
+    let _ = writeln!(s, "module {name}() {{");
+    for i in 0..ports {
+        let _ = writeln!(s, "    input [{msb}:0] in{i};");
+        let _ = writeln!(s, "    output [{msb}:0] out{i};");
+    }
+    let _ = writeln!(s, "    reg [2:0] rr;");
+    for i in 0..ports {
+        for v in 0..vcs {
+            let _ = writeln!(s, "    reg [{msb}:0] q{i}_{v};");
+        }
+    }
+    let _ = writeln!(s, "    always {{");
+    let _ = writeln!(
+        s,
+        "        rr <= rr == 3'd{} ? 3'd0 : rr + 3'd1;",
+        ports - 1
+    );
+    for i in 0..ports {
+        let _ = writeln!(s, "        q{i}_0 <= in{i};");
+        for v in 1..vcs {
+            let _ = writeln!(s, "        q{i}_{v} <= q{i}_{};", v - 1);
+        }
+    }
+    let _ = writeln!(s, "    }}");
+    // Rotating crossbar: output j reads the head VC of port (j + rr)
+    // mod ports, scrambled by a per-output seeded key.
+    let head = vcs - 1;
+    for j in 0..ports {
+        let mut select = String::new();
+        for k in 0..ports - 1 {
+            let src = (j + k) % ports;
+            let _ = write!(select, "rr == 3'd{k} ? q{src}_{head} : ");
+        }
+        let last_src = (j + ports - 1) % ports;
+        let _ = write!(select, "q{last_src}_{head}");
+        let key = lit(w, keys[j as usize]);
+        let _ = writeln!(s, "    assign out{j} = ({select}) ^ {key};");
+    }
+    let _ = writeln!(s, "}}");
+    s
+}

@@ -1,0 +1,323 @@
+//! Canonical `gen:` spec strings and their knob space.
+//!
+//! A spec string names one generated design completely:
+//!
+//! ```text
+//! gen:dsp/fir?width=16&taps=8&seed=3
+//! ```
+//!
+//! Parsing is strict (unknown families, knobs or out-of-range values are
+//! named errors) and printing is canonical: every knob is spelled out in
+//! a fixed order, so `parse(print(spec)) == spec` and equal specs always
+//! produce equal strings — the property the content-addressed stage
+//! cache keys rely on.
+
+use crate::families;
+use chipforge_flow::FlowTemplate;
+use chipforge_hdl::designs::Design;
+use std::fmt;
+
+/// The accepted knob ranges, shared by parsing and the proptest sweep.
+pub mod knobs {
+    /// Word width in bits (ForgeHDL signals carry at most 64 bits).
+    pub const WIDTH: std::ops::RangeInclusive<u8> = 4..=64;
+    /// Pipeline depth: FIR taps, FFT/crypto rounds, NoC virtual channels.
+    pub const DEPTH: std::ops::RangeInclusive<u8> = 1..=8;
+    /// Unroll factor: parallel units, channels, lanes or extra ports.
+    pub const UNROLL: std::ops::RangeInclusive<u8> = 1..=4;
+}
+
+/// One of the four generated design families (five kinds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// CPU-like control path: decoder + register file + branchy FSM.
+    CpuCtrl,
+    /// DSP FIR datapath: `depth` taps x `unroll` channels.
+    DspFir,
+    /// DSP FFT butterfly pipeline: `depth` stages x `unroll` butterflies.
+    DspFft,
+    /// Crypto round function: S-box + rotation permutation + key mix.
+    CryptoRound,
+    /// NoC router: `unroll + 1` ports x `depth` virtual channels.
+    NocRouter,
+}
+
+impl Family {
+    /// Every kind, in canonical listing order.
+    pub const ALL: [Family; 5] = [
+        Family::CpuCtrl,
+        Family::DspFir,
+        Family::DspFft,
+        Family::CryptoRound,
+        Family::NocRouter,
+    ];
+
+    /// The `family/kind` path used in spec strings.
+    #[must_use]
+    pub const fn path(self) -> &'static str {
+        match self {
+            Family::CpuCtrl => "cpu/ctrl",
+            Family::DspFir => "dsp/fir",
+            Family::DspFft => "dsp/fft",
+            Family::CryptoRound => "crypto/round",
+            Family::NocRouter => "noc/router",
+        }
+    }
+
+    /// The family tag carried by generated [`Design`]s (the part before
+    /// the `/`), used to select corpora by family.
+    #[must_use]
+    pub const fn tag(self) -> &'static str {
+        match self {
+            Family::CpuCtrl => "cpu",
+            Family::DspFir | Family::DspFft => "dsp",
+            Family::CryptoRound => "crypto",
+            Family::NocRouter => "noc",
+        }
+    }
+
+    /// The family-specific alias accepted for the `depth` knob
+    /// (`taps`, `stages`, `rounds`, `vcs`), if any.
+    #[must_use]
+    const fn depth_alias(self) -> Option<&'static str> {
+        match self {
+            Family::CpuCtrl => None,
+            Family::DspFir => Some("taps"),
+            Family::DspFft => Some("stages"),
+            Family::CryptoRound => Some("rounds"),
+            Family::NocRouter => Some("vcs"),
+        }
+    }
+
+    fn from_path(path: &str) -> Option<Family> {
+        Family::ALL.iter().copied().find(|f| f.path() == path)
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.path())
+    }
+}
+
+/// A fully-resolved generated-design specification.
+///
+/// Equal specs generate byte-identical ForgeHDL (see
+/// [`GenSpec::generate`]), so a spec string is a stable design identity
+/// for caches, manifests and the hub API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GenSpec {
+    /// Design family and kind.
+    pub family: Family,
+    /// Word width in bits.
+    pub width: u8,
+    /// Pipeline depth (taps / stages / rounds / virtual channels).
+    pub depth: u8,
+    /// Unroll factor (units / channels / lanes / extra ports).
+    pub unroll: u8,
+    /// Seed for the family's constant tables (coefficients, S-boxes,
+    /// opcode encodings, scramble keys).
+    pub seed: u64,
+}
+
+impl GenSpec {
+    /// A spec with default knobs (`width=8`, `depth=2`, `unroll=1`,
+    /// `seed=1`).
+    #[must_use]
+    pub fn new(family: Family) -> Self {
+        Self {
+            family,
+            width: 8,
+            depth: 2,
+            unroll: 1,
+            seed: 1,
+        }
+    }
+
+    /// Parses a `gen:` spec string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown family, unknown knob or
+    /// out-of-range value.
+    pub fn parse(text: &str) -> Result<GenSpec, String> {
+        let rest = text
+            .strip_prefix("gen:")
+            .ok_or_else(|| format!("gen spec `{text}` must start with `gen:`"))?;
+        let (path, query) = match rest.split_once('?') {
+            Some((path, query)) => (path, Some(query)),
+            None => (rest, None),
+        };
+        let family = Family::from_path(path).ok_or_else(|| {
+            let known: Vec<&str> = Family::ALL.iter().map(|f| f.path()).collect();
+            format!(
+                "unknown design family `{path}` (known: {})",
+                known.join(", ")
+            )
+        })?;
+        let mut spec = GenSpec::new(family);
+        if let Some(query) = query {
+            for pair in query.split('&').filter(|p| !p.is_empty()) {
+                let (key, value) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("gen spec knob `{pair}` must be `name=value`"))?;
+                let parse_u8 = |range: std::ops::RangeInclusive<u8>| -> Result<u8, String> {
+                    let parsed: u8 = value
+                        .parse()
+                        .map_err(|_| format!("bad value `{value}` for gen knob `{key}`"))?;
+                    if range.contains(&parsed) {
+                        Ok(parsed)
+                    } else {
+                        Err(format!(
+                            "gen knob `{key}` must be {}..={}, got {parsed}",
+                            range.start(),
+                            range.end()
+                        ))
+                    }
+                };
+                match key {
+                    "width" => spec.width = parse_u8(knobs::WIDTH)?,
+                    "depth" => spec.depth = parse_u8(knobs::DEPTH)?,
+                    "unroll" => spec.unroll = parse_u8(knobs::UNROLL)?,
+                    "seed" => {
+                        spec.seed = value
+                            .parse()
+                            .map_err(|_| format!("bad value `{value}` for gen knob `seed`"))?;
+                    }
+                    alias if Some(alias) == family.depth_alias() => {
+                        spec.depth = parse_u8(knobs::DEPTH)?;
+                    }
+                    other => {
+                        let mut known = vec!["width", "depth", "unroll", "seed"];
+                        if let Some(alias) = family.depth_alias() {
+                            known.push(alias);
+                        }
+                        return Err(format!(
+                            "unknown gen knob `{other}` for `{path}` (known: {})",
+                            known.join(", ")
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// The module (and design) name: a plain identifier that encodes
+    /// every knob, e.g. `gen_dsp_fir_w16_d8_u1_s3`.
+    #[must_use]
+    pub fn module_name(&self) -> String {
+        format!(
+            "gen_{}_w{}_d{}_u{}_s{}",
+            self.family.path().replace('/', "_"),
+            self.width,
+            self.depth,
+            self.unroll,
+            self.seed
+        )
+    }
+
+    /// Generates the design: byte-identical for equal specs.
+    #[must_use]
+    pub fn generate(&self) -> Design {
+        let source = match self.family {
+            Family::CpuCtrl => families::cpu_ctrl(self),
+            Family::DspFir => families::dsp_fir(self),
+            Family::DspFft => families::dsp_fft(self),
+            Family::CryptoRound => families::crypto_round(self),
+            Family::NocRouter => families::noc_router(self),
+        };
+        Design::new(self.module_name(), source).with_family(self.family.tag())
+    }
+
+    /// The family-specialized flow template for this design (see
+    /// [`FlowTemplate::for_family`]).
+    #[must_use]
+    pub fn flow_template(&self) -> FlowTemplate {
+        FlowTemplate::for_family(self.family.tag())
+    }
+}
+
+impl fmt::Display for GenSpec {
+    /// The canonical spec string: all knobs, fixed order.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gen:{}?width={}&depth={}&unroll={}&seed={}",
+            self.family.path(),
+            self.width,
+            self.depth,
+            self.unroll,
+            self.seed
+        )
+    }
+}
+
+/// The default generated corpus: for each family kind, a small, a
+/// deeper and an unrolled configuration — 15 designs spanning the
+/// control/datapath/crypto/interconnect spectrum at sizes the full
+/// RTL-to-GDSII flow turns around quickly.
+#[must_use]
+pub fn corpus() -> Vec<GenSpec> {
+    let mut specs = Vec::new();
+    for family in Family::ALL {
+        for (width, depth, unroll) in [(8, 2, 1), (16, 4, 1), (12, 2, 2)] {
+            specs.push(GenSpec {
+                family,
+                width,
+                depth,
+                unroll,
+                seed: 1,
+            });
+        }
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_issue_example_with_taps_alias() {
+        let spec = GenSpec::parse("gen:dsp/fir?width=16&taps=8&seed=3").expect("parses");
+        assert_eq!(spec.family, Family::DspFir);
+        assert_eq!(spec.width, 16);
+        assert_eq!(spec.depth, 8, "taps aliases depth for dsp/fir");
+        assert_eq!(spec.unroll, 1, "default");
+        assert_eq!(spec.seed, 3);
+        assert_eq!(
+            spec.to_string(),
+            "gen:dsp/fir?width=16&depth=8&unroll=1&seed=3"
+        );
+    }
+
+    #[test]
+    fn parse_defaults_and_bare_path() {
+        let spec = GenSpec::parse("gen:noc/router").expect("parses");
+        assert_eq!(spec, GenSpec::new(Family::NocRouter));
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        assert!(GenSpec::parse("gen:dsp/iir").unwrap_err().contains("iir"));
+        assert!(GenSpec::parse("gen:cpu/ctrl?width=128")
+            .unwrap_err()
+            .contains("width"));
+        assert!(GenSpec::parse("gen:cpu/ctrl?taps=3")
+            .unwrap_err()
+            .contains("taps"));
+        assert!(GenSpec::parse("gen:cpu/ctrl?width")
+            .unwrap_err()
+            .contains("name=value"));
+        assert!(GenSpec::parse("counter8").unwrap_err().contains("gen:"));
+    }
+
+    #[test]
+    fn corpus_covers_every_family() {
+        let corpus = corpus();
+        for family in Family::ALL {
+            assert!(corpus.iter().any(|s| s.family == family), "{family}");
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! The default generated corpus survives the full RTL-to-GDSII batch
+//! pipeline, and same-spec jobs share the stage cache exactly like the
+//! hand-written suite does.
+
+use chipforge_exec::{BatchEngine, EngineConfig, JobSpec, StageCacheMode};
+use chipforge_flow::OptimizationProfile;
+use chipforge_gen::corpus;
+use chipforge_pdk::TechnologyNode;
+
+fn corpus_jobs() -> Vec<JobSpec> {
+    corpus()
+        .into_iter()
+        .map(|spec| {
+            let design = spec.generate();
+            JobSpec::new(
+                design.name(),
+                design.source(),
+                TechnologyNode::N130,
+                OptimizationProfile::quick(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_survives_full_rtl_to_gdsii() {
+    let jobs = corpus_jobs();
+    let expected = jobs.len();
+    let report = BatchEngine::new(EngineConfig::with_workers(4)).run_batch(jobs);
+    assert_eq!(report.results.len(), expected);
+    for result in &report.results {
+        assert!(
+            result.status.is_success(),
+            "{} did not survive the flow: {}",
+            result.name,
+            result.status
+        );
+    }
+}
+
+#[test]
+fn same_spec_jobs_hit_the_shared_stage_cache() {
+    let mut config = EngineConfig::with_workers(1);
+    config.stage_cache = StageCacheMode::Memory;
+    let engine = BatchEngine::new(config);
+    // The same gen spec submitted twice at different clocks: under the
+    // quick profile the clock-free front-end stages are shared, so the
+    // second job must restore from the first job's snapshots.
+    let spec = chipforge_gen::GenSpec::parse("gen:crypto/round?width=16&rounds=4&seed=9")
+        .expect("valid spec");
+    let design = spec.generate();
+    let job = |clock: f64| {
+        JobSpec::new(
+            design.name(),
+            design.source(),
+            TechnologyNode::N130,
+            OptimizationProfile::quick(),
+        )
+        .with_clock_mhz(clock)
+    };
+    let report = engine.run_batch(vec![job(100.0), job(200.0)]);
+    for result in &report.results {
+        assert!(result.status.is_success(), "{}", result.status);
+    }
+    let stage = report
+        .report
+        .stage_cache
+        .as_ref()
+        .expect("stage cache enabled");
+    assert!(stage.hits > 0, "same-spec jobs shared no stages: {stage:?}");
+    assert_eq!(stage.recomputes, 2, "both jobs still compute back-ends");
+}

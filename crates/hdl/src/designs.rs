@@ -12,16 +12,34 @@ use crate::{parse, HdlError, RtlModule};
 pub struct Design {
     name: String,
     source: String,
+    family: String,
 }
 
 impl Design {
-    /// Creates a design from a name and ForgeHDL source.
+    /// Creates a design from a name and ForgeHDL source. The family tag
+    /// defaults to `"misc"`; see [`Design::with_family`].
     #[must_use]
     pub fn new(name: impl Into<String>, source: impl Into<String>) -> Self {
         Self {
             name: name.into(),
             source: source.into(),
+            family: "misc".into(),
         }
+    }
+
+    /// Tags the design with a workload family (`"control"`, `"dsp"`,
+    /// `"cpu"`, ...), so corpora can be selected by family instead of
+    /// hard-coded name lists.
+    #[must_use]
+    pub fn with_family(mut self, family: impl Into<String>) -> Self {
+        self.family = family.into();
+        self
+    }
+
+    /// Workload family tag (`"misc"` unless set).
+    #[must_use]
+    pub fn family(&self) -> &str {
+        &self.family
     }
 
     /// Design name.
@@ -396,23 +414,23 @@ pub fn sequence_detector() -> Design {
 #[must_use]
 pub fn suite() -> Vec<Design> {
     vec![
-        counter(8),
-        counter(16),
-        shift_register(16),
-        gray_encoder(8),
-        popcount(8),
-        alu(8),
-        alu(16),
-        fir4(8),
-        traffic_light(),
-        lfsr(8),
-        pwm(8),
-        multiplier(4),
-        multiplier(8),
-        uart_tx(),
-        johnson(8),
-        barrel_rotator(),
-        sequence_detector(),
+        counter(8).with_family("sequential"),
+        counter(16).with_family("sequential"),
+        shift_register(16).with_family("sequential"),
+        gray_encoder(8).with_family("datapath"),
+        popcount(8).with_family("datapath"),
+        alu(8).with_family("datapath"),
+        alu(16).with_family("datapath"),
+        fir4(8).with_family("dsp"),
+        traffic_light().with_family("control"),
+        lfsr(8).with_family("sequential"),
+        pwm(8).with_family("control"),
+        multiplier(4).with_family("datapath"),
+        multiplier(8).with_family("datapath"),
+        uart_tx().with_family("control"),
+        johnson(8).with_family("sequential"),
+        barrel_rotator().with_family("datapath"),
+        sequence_detector().with_family("control"),
     ]
 }
 
@@ -429,7 +447,15 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{} failed: {e}\n{}", design.name(), design.source()));
             assert!(!module.signals().is_empty());
             assert!(design.rtl_lines() > 0);
+            assert_ne!(design.family(), "misc", "{} is untagged", design.name());
         }
+    }
+
+    #[test]
+    fn family_tag_defaults_to_misc_and_is_settable() {
+        let design = Design::new("d", "module d() { }");
+        assert_eq!(design.family(), "misc");
+        assert_eq!(design.with_family("dsp").family(), "dsp");
     }
 
     #[test]

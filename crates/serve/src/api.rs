@@ -13,7 +13,6 @@
 
 use chipforge_exec::{Fault, JobSpec};
 use chipforge_flow::OptimizationProfile;
-use chipforge_hdl::designs;
 use chipforge_pdk::TechnologyNode;
 use serde::Value;
 
@@ -46,13 +45,15 @@ pub fn job_from_json(body: &Value) -> Result<JobSpec, String> {
     let source = typed(body, "source", "string", Value::as_str)?;
     let (name, source) = match (design, source) {
         (Some(_), Some(_)) => return Err("give `design` or `source`, not both".to_string()),
-        (None, None) => return Err("needs `design` (a built-in name) or `source`".to_string()),
+        (None, None) => {
+            return Err("needs `design` (a built-in name or `gen:` spec) or `source`".to_string())
+        }
         (Some(design), None) => {
-            let found = designs::suite()
-                .into_iter()
-                .find(|d| d.name() == design)
-                .ok_or_else(|| format!("unknown design `{design}`"))?;
-            (design.to_string(), found.source().to_string())
+            // Built-in names and generated `gen:` specs resolve
+            // uniformly; an unknown design is a named 400 here, never a
+            // late job failure.
+            let found = chipforge_gen::resolve(design)?;
+            (found.name().to_string(), found.source().to_string())
         }
         (None, Some(source)) => {
             let name = typed(body, "name", "string", Value::as_str)?
@@ -138,5 +139,19 @@ mod tests {
         assert!(parse(r#"{"design": "counter8", "profile": "turbo"}"#)
             .unwrap_err()
             .contains("turbo"));
+    }
+
+    #[test]
+    fn gen_specs_resolve_like_builtin_names() {
+        let spec = parse(r#"{"design": "gen:dsp/fir?width=16&taps=8&seed=3"}"#).expect("ok");
+        assert_eq!(spec.name, "gen_dsp_fir_w16_d8_u1_s3");
+        assert!(spec.source.contains("module gen_dsp_fir_w16_d8_u1_s3"));
+        // A malformed spec is a named 400, not a late job failure.
+        assert!(parse(r#"{"design": "gen:dsp/iir"}"#)
+            .unwrap_err()
+            .contains("iir"));
+        assert!(parse(r#"{"design": "gen:dsp/fir?width=999"}"#)
+            .unwrap_err()
+            .contains("width"));
     }
 }

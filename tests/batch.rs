@@ -269,6 +269,87 @@ fn missing_or_garbage_manifests_exit_two() {
 }
 
 #[test]
+fn unknown_design_in_manifest_exits_two_at_parse_time() {
+    // The typo is in job 2: resolution must happen while the manifest
+    // is parsed, so job 1 never runs and the exit is a config error
+    // naming the unknown design — not a late job failure.
+    let manifest = temp_file(
+        "typo.json",
+        r#"{"jobs": [
+            {"design": "counter8", "profile": "quick"},
+            {"design": "countr8", "profile": "quick"}
+        ]}"#,
+    );
+    let output = forge()
+        .args(["batch", manifest.to_str().unwrap(), "--workers", "1"])
+        .output()
+        .expect("forge batch executes");
+    std::fs::remove_file(&manifest).ok();
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("unknown design `countr8`"),
+        "stderr names the typo: {stderr}"
+    );
+    assert!(
+        stderr.contains("job 2"),
+        "stderr names the offending entry: {stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        !stdout.contains("counter8"),
+        "no job may run before the manifest validates: {stdout}"
+    );
+
+    // A malformed `gen:` spec is the same parse-time config error.
+    let manifest = temp_file(
+        "badspec.json",
+        r#"{"jobs": [{"design": "gen:dsp/fir?width=999", "profile": "quick"}]}"#,
+    );
+    let output = forge()
+        .args(["batch", manifest.to_str().unwrap()])
+        .output()
+        .expect("forge batch executes");
+    std::fs::remove_file(&manifest).ok();
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("width"), "stderr names the knob: {stderr}");
+}
+
+#[test]
+fn gen_specs_run_in_manifests_like_builtin_names() {
+    let manifest = temp_file(
+        "gen.json",
+        r#"{"jobs": [
+            {"design": "gen:cpu/ctrl?width=8&depth=2&seed=5", "profile": "quick"},
+            {"design": "gen:crypto/round?width=8&rounds=2&seed=5", "profile": "quick", "clock_mhz": 200}
+        ]}"#,
+    );
+    let output = forge()
+        .args([
+            "batch",
+            manifest.to_str().unwrap(),
+            "--workers",
+            "1",
+            "--strict",
+        ])
+        .output()
+        .expect("forge batch executes");
+    std::fs::remove_file(&manifest).ok();
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("gen_cpu_ctrl_w8_d2_u1_s5"),
+        "generated module name appears in the report: {stdout}"
+    );
+}
+
+#[test]
 fn wrong_typed_manifest_fields_exit_two() {
     // A mistyped field must be a named error, never silently dropped
     // in favour of the default value.
