@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the remote stage-cache tier (E20, BENCH_8).
+//!
+//! Three regimes of the E17/E20 sweep over real sockets:
+//!
+//! - `cold_sweep_no_remote` — local-only compute, the floor everything
+//!   is compared against.
+//! - `cold_sweep_via_remote` — the first engine: computes every stage
+//!   and publishes it to a freshly started empty hub (publish overhead
+//!   included, hub startup included).
+//! - `warm_sweep_via_remote` — the second engine: local tiers empty,
+//!   every stage fetched from the hub the cold pass warmed,
+//!   checksum-verified and promoted.
+//!
+//! The E20 acceptance claim snapshotted in BENCH_8.json is
+//! `cold_sweep_via_remote / warm_sweep_via_remote >= 1.5`: sharing a
+//! hub's warm cache beats re-deriving it, even paying one HTTP round
+//! trip per restored stage.
+
+use chipforge::exec::{BatchEngine, EngineConfig, RemoteCacheConfig, StageCacheMode};
+use chipforge::serve::{Hub, HubConfig, KeyRegistry, Server};
+use chipforge_bench::experiments::sweep_jobs;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn start_hub() -> Server {
+    let hub = Hub::new(HubConfig {
+        workers: 1,
+        ..HubConfig::default()
+    })
+    .expect("hub without a journal starts");
+    Server::start(hub, KeyRegistry::demo(), "127.0.0.1:0").expect("ephemeral port binds")
+}
+
+fn remote_engine(addr: std::net::SocketAddr) -> BatchEngine {
+    BatchEngine::new(EngineConfig {
+        stage_cache: StageCacheMode::Memory,
+        remote_cache: Some(RemoteCacheConfig::new(format!("http://{addr}"))),
+        ..EngineConfig::with_workers(1)
+    })
+}
+
+fn bench_remote_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remote_cache");
+    group.sample_size(10);
+
+    group.bench_function("cold_sweep_no_remote", |b| {
+        b.iter(|| {
+            let engine = BatchEngine::new(EngineConfig {
+                stage_cache: StageCacheMode::Memory,
+                ..EngineConfig::with_workers(1)
+            });
+            engine.run_batch(sweep_jobs())
+        });
+    });
+
+    // A fresh hub per iteration keeps the remote tier cold: every stage
+    // is computed locally and published over the wire.
+    group.bench_function("cold_sweep_via_remote", |b| {
+        b.iter(|| {
+            let server = start_hub();
+            let report = remote_engine(server.addr()).run_batch(sweep_jobs());
+            server.shutdown();
+            report
+        });
+    });
+
+    // One hub across iterations, warmed once; a fresh engine per
+    // iteration starts with empty local tiers and fetches everything.
+    let server = start_hub();
+    let _ = remote_engine(server.addr()).run_batch(sweep_jobs());
+    group.bench_function("warm_sweep_via_remote", |b| {
+        b.iter(|| remote_engine(server.addr()).run_batch(sweep_jobs()));
+    });
+    server.shutdown();
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_remote_cache);
+criterion_main!(benches);

@@ -20,9 +20,9 @@ use chipforge::synth::{synthesize, SynthEffort, SynthOptions};
 use chipforge::{EnablementComparison, EnablementHub, Tier, TierStrategy};
 
 /// All experiment identifiers accepted by [`run_experiment`].
-pub const EXPERIMENT_IDS: [&str; 22] = [
+pub const EXPERIMENT_IDS: [&str; 23] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "a1", "a2", "a5",
+    "e16", "e17", "e18", "e19", "e20", "a1", "a2", "a5",
 ];
 
 /// Runs one experiment by id (`"e1"`..`"e10"`, `"a1"`, `"a2"`).
@@ -50,6 +50,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "e17" => e17_incremental(),
         "e18" => e18_hub_validation(),
         "e19" => e19_semester_scale(),
+        "e20" => e20_remote_cache(),
         "a1" => a1_synth_effort(),
         "a2" => a2_placement_moves(),
         "a5" => a5_scan_overhead(),
@@ -1082,34 +1083,40 @@ pub fn e16_overload() -> String {
 /// baseline (no stage cache), cold (empty stage cache) and warm (a
 /// fresh engine sharing the cold pass's populated stage cache).
 ///
+/// The E17/E20 sweep: `alu8` at 4 clock targets x {quick, open}
+/// profiles, seed 11 — the shape of an iterative design-space
+/// exploration, where the quick profile's clock-free front-end keys
+/// let every clock variant share six of eight stages.
+#[must_use]
+pub fn sweep_jobs() -> Vec<chipforge::exec::JobSpec> {
+    use chipforge::exec::JobSpec;
+
+    let design = designs::alu(8);
+    let mut jobs = Vec::new();
+    for profile in [OptimizationProfile::quick(), OptimizationProfile::open()] {
+        for clock in [25.0, 50.0, 100.0, 200.0] {
+            jobs.push(
+                JobSpec::new(
+                    format!("{}-{}-{clock}", design.name(), profile.name),
+                    design.source(),
+                    TechnologyNode::N130,
+                    profile.clone(),
+                )
+                .with_clock_mhz(clock)
+                .with_seed(11),
+            );
+        }
+    }
+    jobs
+}
+
 /// Shared by the table renderer and the acceptance test so both see
-/// exactly the same runs. The sweep is `alu8` at 4 clock targets x
-/// {quick, open} profiles on one worker — the shape of an iterative
-/// design-space exploration, where the quick profile's clock-free
-/// front-end keys let every clock variant share six of eight stages.
+/// exactly the same runs. The sweep runs on one worker.
 #[must_use]
 pub fn e17_passes() -> [chipforge::exec::BatchReport; 3] {
-    use chipforge::exec::{BatchEngine, EngineConfig, JobSpec, StageCacheMode};
+    use chipforge::exec::{BatchEngine, EngineConfig, StageCacheMode};
 
-    let jobs = || -> Vec<JobSpec> {
-        let design = designs::alu(8);
-        let mut jobs = Vec::new();
-        for profile in [OptimizationProfile::quick(), OptimizationProfile::open()] {
-            for clock in [25.0, 50.0, 100.0, 200.0] {
-                jobs.push(
-                    JobSpec::new(
-                        format!("{}-{}-{clock}", design.name(), profile.name),
-                        design.source(),
-                        TechnologyNode::N130,
-                        profile.clone(),
-                    )
-                    .with_clock_mhz(clock)
-                    .with_seed(11),
-                );
-            }
-        }
-        jobs
-    };
+    let jobs = sweep_jobs;
 
     let baseline = BatchEngine::new(EngineConfig::with_workers(1)).run_batch(jobs());
     let cold_engine = BatchEngine::new(EngineConfig {
@@ -1424,6 +1431,159 @@ pub fn e19_semester_scale() -> String {
     t.render()
 }
 
+/// The four E20 runs of the E17 sweep, all over real sockets.
+pub struct E20Passes {
+    /// Local-only stage cache — the ground truth everything must match.
+    pub no_remote: chipforge::exec::BatchReport,
+    /// Cold engine publishing into an empty hub over a clean network.
+    pub clean_cold: chipforge::exec::BatchReport,
+    /// Fresh engine whose only warm tier is the hub pass 2 just filled.
+    pub clean_warm: chipforge::exec::BatchReport,
+    /// Fresh engine reaching the same hub through a 30%-fault proxy.
+    pub faulty: chipforge::exec::BatchReport,
+}
+
+/// Shared by the E20 table renderer and the acceptance tests so both
+/// see exactly the same runs: a live `serve` hub, the E17 sweep run
+/// locally, then cold/warm/faulty through its `/cache/stage` protocol
+/// (the faulty pass via a seeded 30%-fault [`FlakyProxy`]). Canonical
+/// reports are asserted byte-identical across all four passes here —
+/// the remote tier may only ever change speed, never outcomes.
+///
+/// [`FlakyProxy`]: chipforge::resil::FlakyProxy
+///
+/// # Panics
+///
+/// Panics when a socket cannot be bound or a canonical report diverges.
+#[must_use]
+pub fn e20_passes() -> E20Passes {
+    use chipforge::exec::{BatchEngine, EngineConfig, RemoteCacheConfig, StageCacheMode};
+    use chipforge::resil::{FlakyProxy, NetFaultPlan};
+    use chipforge::serve::{Hub, HubConfig, KeyRegistry, Server};
+
+    let hub = Hub::new(HubConfig {
+        workers: 1,
+        ..HubConfig::default()
+    })
+    .expect("hub without a journal starts");
+    let server =
+        Server::start(hub, KeyRegistry::demo(), "127.0.0.1:0").expect("ephemeral port binds");
+    let proxy = FlakyProxy::start(server.addr(), NetFaultPlan::flaky(11, 0.30))
+        .expect("proxy binds an ephemeral port");
+
+    let remote_engine = |addr: std::net::SocketAddr| {
+        BatchEngine::new(EngineConfig {
+            stage_cache: StageCacheMode::Memory,
+            remote_cache: Some(RemoteCacheConfig::new(format!("http://{addr}"))),
+            ..EngineConfig::with_workers(1)
+        })
+    };
+
+    let no_remote = BatchEngine::new(EngineConfig {
+        stage_cache: StageCacheMode::Memory,
+        ..EngineConfig::with_workers(1)
+    })
+    .run_batch(sweep_jobs());
+    let clean_cold = remote_engine(server.addr()).run_batch(sweep_jobs());
+    let clean_warm = remote_engine(server.addr()).run_batch(sweep_jobs());
+    let faulty = remote_engine(proxy.addr()).run_batch(sweep_jobs());
+
+    drop(proxy);
+    server.shutdown();
+
+    let truth = no_remote.canonical_report();
+    for (label, pass) in [
+        ("clean-cold", &clean_cold),
+        ("clean-warm", &clean_warm),
+        ("30%-fault", &faulty),
+    ] {
+        assert_eq!(
+            truth,
+            pass.canonical_report(),
+            "{label} remote pass changed job outcomes"
+        );
+    }
+
+    E20Passes {
+        no_remote,
+        clean_cold,
+        clean_warm,
+        faulty,
+    }
+}
+
+/// E20 — remote stage cache under network faults (Rec. 4/7).
+///
+/// A second machine pointing `--remote-cache` at a warm hub should
+/// restore the whole E17 sweep instead of recomputing it, and a campus
+/// network dropping, truncating or corrupting 30% of connections must
+/// cost retries — never correctness. Wall-clock timing keeps E20 out
+/// of the stable-table determinism test alongside E14/E15/E17.
+#[must_use]
+pub fn e20_remote_cache() -> String {
+    use chipforge::exec::calibrate;
+
+    let passes = e20_passes();
+    let labeled = [
+        ("no remote", &passes.no_remote),
+        ("clean cold", &passes.clean_cold),
+        ("clean warm", &passes.clean_warm),
+        ("30% faults", &passes.faulty),
+    ];
+    let mut t = Table::new(
+        "E20: remote stage cache under network faults (8-job sweep, 1 worker)",
+        &[
+            "pass",
+            "stage hits",
+            "remote hits",
+            "stored",
+            "timeouts",
+            "retries",
+            "fast-fails",
+            "corrupt",
+            "mean ms/job",
+            "vs cold",
+        ],
+    );
+    let mut mean_ms = [0.0f64; 4];
+    for (i, (_, pass)) in labeled.iter().enumerate() {
+        mean_ms[i] = calibrate::mean_computed_run_ms(&pass.results).expect("jobs ran");
+    }
+    for (i, (label, pass)) in labeled.iter().enumerate() {
+        let stages = pass.report.stage_cache.as_ref();
+        let remote = pass.report.remote_cache.as_ref();
+        let remote_count = |pick: fn(&chipforge::exec::RemoteCacheRecord) -> u64| {
+            remote.map_or_else(|| "-".into(), |r| pick(r).to_string())
+        };
+        t.row(vec![
+            (*label).to_string(),
+            stages.map_or_else(|| "-".into(), |r| r.hits.to_string()),
+            remote_count(|r| r.hits),
+            remote_count(|r| r.stores),
+            remote_count(|r| r.timeouts),
+            remote_count(|r| r.retries),
+            remote_count(|r| r.breaker_open),
+            remote_count(|r| r.corrupt),
+            f(mean_ms[i], 2),
+            f(mean_ms[1] / mean_ms[i].max(1e-9), 2),
+        ]);
+    }
+    t.note(format!(
+        "second engine via the warm hub: {:.2}x over its own cold pass (acceptance floor 1.5x)",
+        mean_ms[1] / mean_ms[2].max(1e-9)
+    ));
+    t.note("canonical reports byte-identical across all four passes (asserted in e20_passes)");
+    t.note(
+        "clean-warm computes nothing: every stage of every job is fetched from the hub, \
+         checksum-verified and promoted to the local tiers",
+    );
+    t.note(
+        "the 30%-fault pass pays timeouts/retries and discards corrupt bodies as misses; \
+         degradation is visible in counters, never in artifacts",
+    );
+    t.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1440,6 +1600,38 @@ mod tests {
     #[test]
     fn unknown_experiment_is_none() {
         assert!(run_experiment("e99").is_none());
+    }
+
+    #[test]
+    fn e20_warm_remote_sweep_is_faster_and_fault_tolerant() {
+        use chipforge::exec::calibrate;
+
+        // e20_passes itself asserts canonical-report byte-identity
+        // across the no-remote, clean and 30%-fault passes.
+        let passes = e20_passes();
+        let cold = calibrate::mean_computed_run_ms(&passes.clean_cold.results).expect("jobs ran");
+        let warm = calibrate::mean_computed_run_ms(&passes.clean_warm.results).expect("jobs ran");
+        assert!(
+            cold / warm >= 1.5,
+            "warm-via-remote speedup {:.2}x < 1.5x (cold {cold:.2} ms, warm {warm:.2} ms)",
+            cold / warm
+        );
+        let warm_remote = passes
+            .clean_warm
+            .report
+            .remote_cache
+            .expect("remote tier recorded");
+        assert!(warm_remote.hits > 0, "warm pass must fetch from the hub");
+        assert_eq!(warm_remote.corrupt, 0, "clean network corrupts nothing");
+        let cold_remote = passes
+            .clean_cold
+            .report
+            .remote_cache
+            .expect("remote tier recorded");
+        assert!(cold_remote.stores > 0, "cold pass must publish to the hub");
+        // The faulty pass finished every job despite the 30% fault rate.
+        assert_eq!(passes.faulty.report.totals.failed, 0);
+        assert_eq!(passes.faulty.report.totals.timed_out, 0);
     }
 
     #[test]
@@ -1512,6 +1704,7 @@ mod tests {
             journal: None,
             stage_cache_dir: None,
             stage_cache: false,
+            remote_cache: None,
         };
         let start = |config: HubConfig| {
             Server::start(

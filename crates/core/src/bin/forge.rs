@@ -23,8 +23,8 @@ use chipforge::admit::{OverflowPolicy, RateLimit};
 use chipforge::cloud::AccessTier;
 use chipforge::econ::infrastructure::InfrastructureCostModel;
 use chipforge::exec::{
-    AdmissionControl, BatchEngine, EngineConfig, Fault, JobSpec, JobStatus, ResilienceOptions,
-    StageCacheMode,
+    AdmissionControl, BatchEngine, EngineConfig, Fault, JobSpec, JobStatus, RemoteCacheConfig,
+    ResilienceOptions, StageCacheMode,
 };
 use chipforge::flow::{run_flow_traced, FlowConfig, OptimizationProfile};
 use chipforge::gen::{self, semester::SemesterSpec, GenSpec};
@@ -32,7 +32,9 @@ use chipforge::hdl::designs;
 use chipforge::netlist::verilog;
 use chipforge::obs::{self, Tracer};
 use chipforge::pdk::{liberty, LibraryKind, Pdk, TechnologyNode};
-use chipforge::resil::{FaultPlan, Journal, JournalWriter, ResiliencePolicy};
+use chipforge::resil::{
+    FaultPlan, FlakyProxy, Journal, JournalWriter, NetFaultPlan, ResiliencePolicy,
+};
 use chipforge::serve::{Client, Hub, HubConfig, KeyRegistry, Server};
 use chipforge::{EnablementHub, Tier, TierStrategy};
 use serde::json;
@@ -73,6 +75,7 @@ fn main() -> ExitCode {
         Some("semester") => cmd_semester(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
+        Some("proxy") => cmd_proxy(&args[1..]),
         Some(unknown) => {
             eprintln!("forge: unknown subcommand `{unknown}`\n");
             eprint!("{USAGE}");
@@ -115,6 +118,7 @@ USAGE:
             [--max-queue <n>] [--shed-oldest] [--deadline <ms>]
             [--tier-quota <b,i,a>] [--breaker-threshold <n>]
             [--stage-cache <dir>] [--canonical-report <out.json>]
+            [--remote-cache <url>] [--remote-timeout-ms <ms>]
             [--trace <out.json>] [--flame <out.txt>]
   forge report <trace.json> [--flame <out.txt>]
   forge tiers <file.fhdl>
@@ -128,10 +132,14 @@ USAGE:
             [--shed-oldest] [--tier-quota <b,i,a>] [--aging <rate>]
             [--tier-rate <b,i,a>] [--timeout-ms <ms>]
             [--journal <out.jsonl>] [--stage-cache <dir>]
-            [--no-stage-cache] [--keys <keys.json>]
+            [--no-stage-cache] [--remote-cache <url>] [--keys <keys.json>]
   forge client submit <manifest.json> [--server <addr>] [--key <key>]
   forge client status|wait|cancel <id> [--server] [--key] [--timeout-ms <ms>]
   forge client list|metrics [--server <addr>] [--key <key>]
+  forge client ... [--retries <n>] [--retry-ms <ms>]
+  forge proxy --upstream <host:port> [--listen <host:port>]
+            [--net-fault-rate <p>] [--net-fault-seed <n>]
+            [--blackhole-after <n>] [--latency-ms <ms>]
 
 `--trace` writes Chrome trace-event JSON (open in Perfetto or
 about://tracing); `--flame` writes flamegraph folded stacks; `forge
@@ -159,6 +167,23 @@ Incremental: `--stage-cache <dir>` keeps per-stage flow snapshots in
 <dir> (created if missing), so jobs sharing a front end — clock or
 profile sweeps, edited resubmissions — restore the unchanged stage
 prefix instead of recomputing it, across runs and processes.
+
+Remote cache: `--remote-cache <url>` chains the stage cache to a
+running hub's `/cache/stage/<key>` endpoints (e.g.
+`http://127.0.0.1:8317`), so machines share warmed stages. The remote
+tier is strictly best-effort: per-request timeouts
+(`--remote-timeout-ms`, default 1000), capped-backoff retries, a
+per-endpoint circuit breaker and checksum verification on every fetch
+mean a slow, flaky or dead remote only costs speed — job outcomes and
+the canonical report are byte-identical with or without it. `forge
+serve --remote-cache` chains a hub to an upstream hub the same way.
+`forge proxy` runs the seeded fault-injecting TCP proxy used to test
+all of this: it relays `--listen` to `--upstream` while refusing,
+truncating, corrupting, delaying or blackholing a deterministic
+`--net-fault-rate` fraction of connections. `forge client` retries
+transport failures (`--retries`, default 3, backoff base
+`--retry-ms`) and exits 2 with `hub unreachable: ...` when the hub
+stays down.
 
 Corpus: `forge gen` generates seeded design families — CPU control
 paths, DSP FIR/FFT datapaths, crypto rounds, NoC routers — from spec
@@ -501,6 +526,8 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         value_flag("breaker-threshold"),
         value_flag("stage-cache"),
         value_flag("canonical-report"),
+        value_flag("remote-cache"),
+        value_flag("remote-timeout-ms"),
     ];
     let (positionals, flags) = parse_args(args, "batch", FLAGS)?;
     let path = one_positional(&positionals, "manifest file")?;
@@ -527,6 +554,12 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         stage_cache: match flags.get("stage-cache") {
             Some(dir) => StageCacheMode::Disk(dir.into()),
             None => StageCacheMode::Disabled,
+        },
+        remote_cache: match flags.get("remote-cache") {
+            Some(url) => Some(RemoteCacheConfig::new(url.clone()).with_timeout(
+                Duration::from_millis(parse_number(&flags, "remote-timeout-ms", 1_000u64)?),
+            )),
+            None => None,
         },
         ..EngineConfig::default()
     };
@@ -682,6 +715,23 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             "stages: {} restored / {} computed, {} job(s) fully restored, {} recomputed",
             stages.hits, stages.misses, stages.full_restores, stages.recomputes,
         );
+    }
+    if let Some(remote) = &batch.report.remote_cache {
+        println!(
+            "remote: {} hits / {} misses, {} stored, {} timeout(s), {} retry(s), {} fast-fail(s), {} corrupt",
+            remote.hits,
+            remote.misses,
+            remote.stores,
+            remote.timeouts,
+            remote.retries,
+            remote.breaker_open,
+            remote.corrupt,
+        );
+        if remote.is_degraded() {
+            eprintln!(
+                "warning: remote cache degraded (timeouts/breaker/corruption); batch completed on local tiers"
+            );
+        }
     }
     if resilience_requested {
         println!(
@@ -858,6 +908,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         value_flag("journal"),
         value_flag("stage-cache"),
         switch("no-stage-cache"),
+        value_flag("remote-cache"),
         value_flag("keys"),
     ];
     let (positionals, flags) = parse_args(args, "serve", FLAGS)?;
@@ -887,6 +938,12 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     config.stage_cache_dir = flags.get("stage-cache").map(PathBuf::from);
     if flags.contains_key("no-stage-cache") {
         config.stage_cache = false;
+    }
+    config.remote_cache = flags.get("remote-cache").cloned();
+    if config.remote_cache.is_some() && !config.stage_cache {
+        return Err(CliError::Config(
+            "--remote-cache requires the stage cache (drop --no-stage-cache)".into(),
+        ));
     }
 
     let keys = match flags.get("keys") {
@@ -930,6 +987,9 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             journal.display()
         );
     }
+    if let Some(upstream) = &config.remote_cache {
+        println!("remote cache: chained to {upstream} (best-effort)");
+    }
     // Serve until killed (the CI smoke test SIGKILLs us mid-load and
     // restarts on the same journal to exercise recovery).
     loop {
@@ -947,11 +1007,16 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
         value_flag("server"),
         value_flag("key"),
         value_flag("timeout-ms"),
+        value_flag("retries"),
+        value_flag("retry-ms"),
     ];
     let (positionals, flags) = parse_args(args, "client", FLAGS)?;
     let server = flags.get("server").map_or("127.0.0.1:8317", String::as_str);
     let key = flags.get("key").map_or("demo-beginner", String::as_str);
-    let client = Client::new(server, key);
+    let client = Client::new(server, key).with_retries(
+        parse_number(&flags, "retries", 3u32)?,
+        parse_number(&flags, "retry-ms", 250u64)?,
+    );
     let action = positionals.first().map(String::as_str).ok_or_else(|| {
         "missing client action (submit|status|wait|cancel|list|metrics)".to_string()
     })?;
@@ -1031,6 +1096,56 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
         other => Err(CliError::Config(format!(
             "unknown client action `{other}` (submit|status|wait|cancel|list|metrics)"
         ))),
+    }
+}
+
+fn cmd_proxy(args: &[String]) -> Result<(), CliError> {
+    const FLAGS: &[FlagSpec] = &[
+        value_flag("listen"),
+        value_flag("upstream"),
+        value_flag("net-fault-rate"),
+        value_flag("net-fault-seed"),
+        value_flag("blackhole-after"),
+        value_flag("latency-ms"),
+    ];
+    let (positionals, flags) = parse_args(args, "proxy", FLAGS)?;
+    if let Some(extra) = positionals.first() {
+        return Err(CliError::Config(format!("unexpected argument `{extra}`")));
+    }
+    let upstream_raw = flags
+        .get("upstream")
+        .ok_or_else(|| "missing --upstream <host:port>".to_string())?;
+    let upstream = std::net::ToSocketAddrs::to_socket_addrs(upstream_raw.as_str())
+        .map_err(|e| format!("bad --upstream `{upstream_raw}`: {e}"))?
+        .next()
+        .ok_or_else(|| format!("bad --upstream `{upstream_raw}`: no address"))?;
+    let rate: f64 = parse_number(&flags, "net-fault-rate", 0.0)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(CliError::Config(
+            "--net-fault-rate must be between 0 and 1".into(),
+        ));
+    }
+    let seed: u64 = parse_number(&flags, "net-fault-seed", 42u64)?;
+    let mut plan = if rate > 0.0 {
+        NetFaultPlan::flaky(seed, rate)
+    } else {
+        NetFaultPlan::disabled()
+    };
+    if flags.contains_key("latency-ms") {
+        plan = plan.with_latency(rate / 4.0, parse_number(&flags, "latency-ms", 25u64)?);
+    }
+    if flags.contains_key("blackhole-after") {
+        plan = plan.with_blackhole_after(parse_number(&flags, "blackhole-after", 0u64)?);
+    }
+    let listen = flags.get("listen").map_or("127.0.0.1:0", String::as_str);
+    let proxy = FlakyProxy::start_on(listen, upstream, plan)
+        .map_err(|e| format!("start proxy on `{listen}`: {e}"))?;
+    println!("proxy listening on {} -> {upstream}", proxy.addr());
+    println!("fault rate {rate}, seed {seed} (deterministic per connection)");
+    // Relay until killed, like `forge serve` (CI kills us after the
+    // chaos smoke).
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
     }
 }
 

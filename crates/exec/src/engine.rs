@@ -18,7 +18,8 @@
 
 use crate::cache::{ArtifactCache, CacheKey, Lookup};
 use crate::job::{JobResult, JobSpec, JobStatus, RestoredArtifact};
-use crate::metrics::{AdmissionRecord, ExecutionReport, WorkerRecord};
+use crate::metrics::{AdmissionRecord, ExecutionReport, RemoteCacheRecord, WorkerRecord};
+use crate::remote::{RemoteCache, RemoteCacheConfig, RemoteCounters};
 use crate::stage_cache::{StageCache, StageCacheMode};
 use chipforge_admit::{interleave_by_weight, CircuitBreaker};
 use chipforge_flow::{
@@ -66,6 +67,11 @@ pub struct EngineConfig {
     /// Per-stage snapshot caching: restores the shared prefix of a
     /// parameter sweep instead of recomputing every stage.
     pub stage_cache: StageCacheMode,
+    /// Remote stage-cache tier (`--remote-cache <url>`): snapshots are
+    /// fetched from and published to a `forge serve` cache over HTTP,
+    /// behind timeouts, retries and a circuit breaker. Setting this
+    /// with `stage_cache: Disabled` implies an in-memory local tier.
+    pub remote_cache: Option<RemoteCacheConfig>,
 }
 
 impl Default for EngineConfig {
@@ -82,6 +88,7 @@ impl Default for EngineConfig {
             batch_deadline: None,
             cache_capacity: 4096,
             stage_cache: StageCacheMode::Disabled,
+            remote_cache: None,
         }
     }
 }
@@ -289,7 +296,13 @@ impl BatchEngine {
     #[must_use]
     pub fn with_tracer(config: EngineConfig, tracer: Tracer) -> Self {
         let capacity = config.cache_capacity;
-        let stage_cache = StageCache::from_mode(&config.stage_cache);
+        let stage_cache = match &config.remote_cache {
+            Some(remote_config) => Some(StageCache::with_remote(
+                &config.stage_cache,
+                Arc::new(RemoteCache::new(remote_config.clone())),
+            )),
+            None => StageCache::from_mode(&config.stage_cache),
+        };
         BatchEngine {
             config,
             cache: Arc::new(ArtifactCache::new(capacity)),
@@ -367,6 +380,11 @@ impl BatchEngine {
         // The stage cache can outlive the batch (and be shared between
         // engines); snapshot its counters so the report carries deltas.
         let stage_counters = self.stage_cache.as_ref().map(|sc| sc.counters());
+        let remote_counters = self
+            .stage_cache
+            .as_ref()
+            .and_then(|sc| sc.remote())
+            .map(|remote| remote.counters());
 
         let batch_span = self.tracer.span("batch", "exec");
         if self.tracer.is_enabled() {
@@ -575,6 +593,23 @@ impl BatchEngine {
             )),
             _ => None,
         };
+        let remote_cache_record = match (
+            self.stage_cache.as_ref().and_then(|sc| sc.remote()),
+            remote_counters,
+        ) {
+            (Some(remote), Some(base)) => {
+                let record = remote_record_delta(&remote.counters(), &base);
+                if self.tracer.is_enabled() {
+                    self.tracer.add("remote.hits", record.hits);
+                    self.tracer.add("remote.misses", record.misses);
+                    self.tracer.add("remote.timeouts", record.timeouts);
+                    self.tracer.add("remote.retries", record.retries);
+                    self.tracer.add("remote.breaker_open", record.breaker_open);
+                }
+                Some(record)
+            }
+            _ => None,
+        };
         let report = ExecutionReport::build(
             &results,
             workers,
@@ -583,6 +618,7 @@ impl BatchEngine {
             detached_threads,
             admission_record,
             stage_cache_record,
+            remote_cache_record,
         );
         BatchReport {
             results,
@@ -590,6 +626,22 @@ impl BatchEngine {
             halted,
             fail_fast,
         }
+    }
+}
+
+/// Per-batch remote-tier deltas between two monotonic counter
+/// snapshots (the remote client, like the stage cache, can outlive the
+/// batch).
+fn remote_record_delta(now: &RemoteCounters, base: &RemoteCounters) -> RemoteCacheRecord {
+    RemoteCacheRecord {
+        hits: now.hits - base.hits,
+        misses: now.misses - base.misses,
+        timeouts: now.timeouts - base.timeouts,
+        retries: now.retries - base.retries,
+        breaker_open: now.breaker_open - base.breaker_open,
+        trips: now.trips - base.trips,
+        corrupt: now.corrupt - base.corrupt,
+        stores: now.stores - base.stores,
     }
 }
 

@@ -38,13 +38,15 @@ pub mod calibrate;
 pub mod engine;
 pub mod job;
 pub mod metrics;
+pub mod remote;
 pub mod stage_cache;
 
 pub use cache::{ArtifactCache, CacheKey, CacheStats, Lookup};
 pub use engine::{AdmissionControl, BatchEngine, BatchReport, EngineConfig, ResilienceOptions};
 pub use job::{Fault, JobResult, JobSpec, JobStatus, RestoredArtifact};
 pub use metrics::{
-    canonical_report, AdmissionRecord, BatchTotals, ExecutionReport, JobRecord, StageCacheRecord,
-    StageCounter, StageTime, WorkerRecord,
+    canonical_report, AdmissionRecord, BatchTotals, ExecutionReport, JobRecord, RemoteCacheRecord,
+    StageCacheRecord, StageCounter, StageTime, WorkerRecord,
 };
+pub use remote::{RemoteCache, RemoteCacheConfig, RemoteCounters};
 pub use stage_cache::{StageCache, StageCacheMode, StageCounters};

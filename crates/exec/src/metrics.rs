@@ -146,6 +146,41 @@ pub struct StageCacheRecord {
     pub stages: Vec<StageCounter>,
 }
 
+/// Per-batch accounting for the remote stage-cache tier. Present only
+/// when the engine ran with `--remote-cache`; every counter is a delta
+/// over the batch, mirroring [`StageCacheRecord`]. `timeouts`,
+/// `breaker_open` and `corrupt` are the degradation gauges: nonzero
+/// values mean the remote was down, slow or lying and the batch carried
+/// on locally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct RemoteCacheRecord {
+    /// Verified snapshots served by the remote.
+    pub hits: u64,
+    /// Remote lookups that could not be served (404, error, corrupt).
+    pub misses: u64,
+    /// Requests that timed out at the transport layer.
+    pub timeouts: u64,
+    /// Transport retries performed.
+    pub retries: u64,
+    /// Operations fast-failed by an open circuit breaker.
+    pub breaker_open: u64,
+    /// Times an endpoint breaker tripped open.
+    pub trips: u64,
+    /// Fetched bodies rejected by checksum or parse verification.
+    pub corrupt: u64,
+    /// Snapshots accepted by the remote.
+    pub stores: u64,
+}
+
+impl RemoteCacheRecord {
+    /// Whether the batch saw any remote-tier degradation worth warning
+    /// the operator about.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.timeouts > 0 || self.breaker_open > 0 || self.trips > 0 || self.corrupt > 0
+    }
+}
+
 /// The full JSON-serializable batch execution report.
 #[derive(Debug, Clone, Serialize)]
 pub struct ExecutionReport {
@@ -158,6 +193,9 @@ pub struct ExecutionReport {
     /// Stage-cache accounting for this batch; `None` when per-stage
     /// caching is disabled.
     pub stage_cache: Option<StageCacheRecord>,
+    /// Remote stage-cache tier accounting; `None` when no remote cache
+    /// was configured.
+    pub remote_cache: Option<RemoteCacheRecord>,
     /// Attempt threads abandoned by timeouts and still running when the
     /// batch finished (the `exec.detached_threads` gauge).
     pub detached_threads: u64,
@@ -170,6 +208,7 @@ pub struct ExecutionReport {
 impl ExecutionReport {
     /// Builds the report from ordered results and worker accounting.
     #[must_use]
+    #[allow(clippy::too_many_arguments)]
     pub fn build(
         results: &[JobResult],
         mut workers: Vec<WorkerRecord>,
@@ -178,6 +217,7 @@ impl ExecutionReport {
         detached_threads: u64,
         admission: AdmissionRecord,
         stage_cache: Option<StageCacheRecord>,
+        remote_cache: Option<RemoteCacheRecord>,
     ) -> Self {
         let jobs: Vec<JobRecord> = results.iter().map(job_record).collect();
         workers.sort_by_key(|w| w.worker);
@@ -193,6 +233,7 @@ impl ExecutionReport {
             admission,
             cache,
             stage_cache,
+            remote_cache,
             detached_threads,
             workers,
             jobs,
@@ -420,6 +461,7 @@ mod tests {
             100.0,
             0,
             AdmissionRecord::default(),
+            None,
             None,
         );
         assert_eq!(report.totals.succeeded, 2);

@@ -1,0 +1,540 @@
+//! The remote stage-cache tier: a failure-first HTTP client for the
+//! content-addressed `/cache/stage/<key>` protocol `forge serve` hosts.
+//!
+//! A shared network cache turns one course's flow runs into the whole
+//! campus's warm start — but only if the network edge can fail without
+//! taking the flow down. Every operation here is therefore wrapped in
+//! the resilience plane the workspace already has:
+//!
+//! * **per-request timeouts** — connect, read and write are all bounded
+//!   by [`RemoteCacheConfig::timeout`]; a slow remote costs bounded time
+//!   per stage, never a hang;
+//! * **capped-backoff retries** ([`chipforge_resil::Backoff`]) — only on
+//!   transport errors; an HTTP 404 is an answer, not a failure;
+//! * **a per-endpoint circuit breaker**
+//!   ([`chipforge_admit::CircuitBreaker`]) — after `breaker_threshold`
+//!   consecutive transport failures the endpoint fast-fails locally for
+//!   `breaker_cooldown` operations, so a dead remote degrades to a few
+//!   milliseconds of connect timeouts and then to nothing at all;
+//! * **checksum verification on every fetched artifact** — bodies carry
+//!   the workspace-standard `payload|fnv64` frame; a corrupt or
+//!   truncated body is counted and treated as a miss, never
+//!   deserialized.
+//!
+//! The result is the invariant E20 proves: a batch pointed at a remote
+//! cache that is down, slow or lying produces the byte-identical
+//! canonical report of a batch that never had one — the remote tier can
+//! only ever change *speed*.
+
+use chipforge_admit::CircuitBreaker;
+use chipforge_flow::{FlowStep, StageSnapshot};
+use chipforge_resil::{frame_checksummed, verify_checksummed, Backoff};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Tuning for the remote stage-cache tier.
+#[derive(Debug, Clone)]
+pub struct RemoteCacheConfig {
+    /// Remote cache address: `host:port`, with an optional `http://`
+    /// prefix and trailing `/`.
+    pub url: String,
+    /// Per-request budget covering connect, write and read.
+    pub timeout: Duration,
+    /// Transport-error retries per operation (an HTTP status is never
+    /// retried).
+    pub retries: u32,
+    /// Delay schedule between retries.
+    pub backoff: Backoff,
+    /// Consecutive transport failures before an endpoint's breaker
+    /// trips open.
+    pub breaker_threshold: u32,
+    /// Operations fast-failed per open period before a half-open probe.
+    pub breaker_cooldown: u32,
+}
+
+impl RemoteCacheConfig {
+    /// A config for `url` with the defaults the CLI exposes: 1 s
+    /// timeout, 2 retries with 25–250 ms capped backoff, breaker
+    /// tripping after 3 consecutive failures and fast-failing 32
+    /// operations per open period.
+    #[must_use]
+    pub fn new(url: impl Into<String>) -> Self {
+        RemoteCacheConfig {
+            url: url.into(),
+            timeout: Duration::from_millis(1000),
+            retries: 2,
+            backoff: Backoff {
+                base: Duration::from_millis(25),
+                max: Duration::from_millis(250),
+                seed: 0,
+            },
+            breaker_threshold: 3,
+            breaker_cooldown: 32,
+        }
+    }
+
+    /// Overrides the per-request timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The bare `host:port` this config points at.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        let addr = self.url.trim();
+        let addr = addr.strip_prefix("http://").unwrap_or(addr);
+        addr.trim_end_matches('/')
+    }
+}
+
+/// A monotonic snapshot of the remote tier's counters; subtract two
+/// snapshots for per-batch deltas (mirrors
+/// [`crate::stage_cache::StageCounters`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RemoteCounters {
+    /// Verified snapshots served by the remote.
+    pub hits: u64,
+    /// Lookups the remote could not serve (404, error, corrupt).
+    pub misses: u64,
+    /// Requests that timed out at the transport layer.
+    pub timeouts: u64,
+    /// Transport retries performed.
+    pub retries: u64,
+    /// Operations fast-failed by an open breaker.
+    pub breaker_open: u64,
+    /// Times an endpoint breaker tripped open.
+    pub trips: u64,
+    /// Fetched bodies that failed checksum or parse verification.
+    pub corrupt: u64,
+    /// Snapshots accepted by the remote.
+    pub stores: u64,
+}
+
+/// Transport failure classification, for counter accounting.
+enum TransportError {
+    TimedOut,
+    Other,
+}
+
+/// The remote cache client. One instance per engine (or hub), shared
+/// across workers; all state is atomics plus the two endpoint breakers.
+pub struct RemoteCache {
+    config: RemoteCacheConfig,
+    get_breaker: Mutex<CircuitBreaker>,
+    put_breaker: Mutex<CircuitBreaker>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    timeouts: AtomicU64,
+    retries: AtomicU64,
+    corrupt: AtomicU64,
+    stores: AtomicU64,
+}
+
+impl std::fmt::Debug for RemoteCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteCache")
+            .field("url", &self.config.url)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RemoteCache {
+    /// A client for `config`. Construction never touches the network;
+    /// the first operation does.
+    #[must_use]
+    pub fn new(config: RemoteCacheConfig) -> Self {
+        let get_breaker =
+            CircuitBreaker::new(config.breaker_threshold.max(1), config.breaker_cooldown);
+        let put_breaker = get_breaker.clone();
+        RemoteCache {
+            config,
+            get_breaker: Mutex::new(get_breaker),
+            put_breaker: Mutex::new(put_breaker),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured remote address (`host:port`).
+    #[must_use]
+    pub fn addr(&self) -> String {
+        self.config.addr().to_string()
+    }
+
+    /// Current monotonic counter values.
+    #[must_use]
+    pub fn counters(&self) -> RemoteCounters {
+        let (get_trips, get_ff) = {
+            let b = self.get_breaker.lock().expect("breaker lock");
+            (b.trips(), b.fast_fails())
+        };
+        let (put_trips, put_ff) = {
+            let b = self.put_breaker.lock().expect("breaker lock");
+            (b.trips(), b.fast_fails())
+        };
+        RemoteCounters {
+            hits: self.hits.load(Ordering::SeqCst),
+            misses: self.misses.load(Ordering::SeqCst),
+            timeouts: self.timeouts.load(Ordering::SeqCst),
+            retries: self.retries.load(Ordering::SeqCst),
+            breaker_open: get_ff + put_ff,
+            trips: get_trips + put_trips,
+            corrupt: self.corrupt.load(Ordering::SeqCst),
+            stores: self.stores.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Fetches and verifies the snapshot under `key`, or `None` on any
+    /// failure whatsoever — miss, timeout, open breaker, bad checksum,
+    /// wrong step. The caller never sees an unverified byte.
+    #[must_use]
+    pub fn fetch(&self, key: u128, step: FlowStep) -> Option<StageSnapshot> {
+        let path = format!("/cache/stage/{key:032x}");
+        let response = self.exchange(&self.get_breaker, "GET", &path, None, key);
+        let Some((status, body)) = response else {
+            self.misses.fetch_add(1, Ordering::SeqCst);
+            return None;
+        };
+        if status != 200 {
+            self.misses.fetch_add(1, Ordering::SeqCst);
+            return None;
+        }
+        let snapshot = verify_checksummed(&body)
+            .and_then(|payload| serde::json::from_str::<StageSnapshot>(payload).ok());
+        match snapshot {
+            Some(snapshot) if snapshot.step == step => {
+                self.hits.fetch_add(1, Ordering::SeqCst);
+                Some(snapshot)
+            }
+            Some(_) => {
+                // A verified snapshot for a different stage: a key
+                // collision or protocol confusion — a miss either way.
+                self.misses.fetch_add(1, Ordering::SeqCst);
+                None
+            }
+            None => {
+                // 200 with a body that fails its own checksum: the
+                // remote (or the network) is lying.
+                self.corrupt.fetch_add(1, Ordering::SeqCst);
+                self.misses.fetch_add(1, Ordering::SeqCst);
+                None
+            }
+        }
+    }
+
+    /// Publishes `snapshot` under `key`. Failures are absorbed: a cache
+    /// store is an optimization, never an obligation.
+    pub fn publish(&self, key: u128, snapshot: &StageSnapshot) {
+        let path = format!("/cache/stage/{key:032x}");
+        let body = frame_checksummed(&serde::json::to_string(snapshot));
+        let response = self.exchange(&self.put_breaker, "PUT", &path, Some(&body), key);
+        if let Some((200, _)) = response {
+            self.stores.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether the remote holds an entry under `key`.
+    #[must_use]
+    pub fn has(&self, key: u128) -> bool {
+        let path = format!("/cache/stage/{key:032x}");
+        matches!(
+            self.exchange(&self.get_breaker, "HEAD", &path, None, key),
+            Some((200, _))
+        )
+    }
+
+    /// One breaker-guarded, retried operation. `None` means the
+    /// operation never got an HTTP answer (fast-fail or exhausted
+    /// transport retries).
+    fn exchange(
+        &self,
+        breaker: &Mutex<CircuitBreaker>,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        key: u128,
+    ) -> Option<(u16, String)> {
+        if !breaker.lock().expect("breaker lock").admit() {
+            return None;
+        }
+        let key_str = format!("{key:032x}");
+        let mut attempt = 0u32;
+        loop {
+            match self.request(method, path, body) {
+                Ok(answer) => {
+                    // Any HTTP answer proves the endpoint alive.
+                    breaker.lock().expect("breaker lock").record_success();
+                    return Some(answer);
+                }
+                Err(kind) => {
+                    if matches!(kind, TransportError::TimedOut) {
+                        self.timeouts.fetch_add(1, Ordering::SeqCst);
+                    }
+                    attempt += 1;
+                    if attempt > self.config.retries {
+                        breaker.lock().expect("breaker lock").record_failure();
+                        return None;
+                    }
+                    self.retries.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(self.config.backoff.delay(&key_str, attempt));
+                }
+            }
+        }
+    }
+
+    /// One raw HTTP/1.1 exchange under the per-request timeout.
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), TransportError> {
+        let classify = |e: &std::io::Error| {
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+            ) {
+                TransportError::TimedOut
+            } else {
+                TransportError::Other
+            }
+        };
+        let addr: SocketAddr = self
+            .config
+            .addr()
+            .to_socket_addrs()
+            .map_err(|_| TransportError::Other)?
+            .next()
+            .ok_or(TransportError::Other)?;
+        let stream =
+            TcpStream::connect_timeout(&addr, self.config.timeout).map_err(|e| classify(&e))?;
+        stream
+            .set_read_timeout(Some(self.config.timeout))
+            .map_err(|e| classify(&e))?;
+        stream
+            .set_write_timeout(Some(self.config.timeout))
+            .map_err(|e| classify(&e))?;
+        let mut stream = stream;
+        let body = body.unwrap_or("");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            self.config.addr(),
+            body.len(),
+        );
+        stream
+            .write_all(request.as_bytes())
+            .map_err(|e| classify(&e))?;
+        let _ = stream.shutdown(Shutdown::Write);
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).map_err(|e| classify(&e))?;
+        parse_response(&raw).ok_or(TransportError::Other)
+    }
+}
+
+/// Parses `HTTP/1.1 <status> ...` head + body. A truncated or garbled
+/// response is a transport error, not an answer.
+fn parse_response(raw: &str) -> Option<(u16, String)> {
+    let (head, body) = raw.split_once("\r\n\r\n")?;
+    let status_line = head.lines().next()?;
+    let mut parts = status_line.split_whitespace();
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/") {
+        return None;
+    }
+    let status: u16 = parts.next()?.parse().ok()?;
+    Some((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipforge_flow::StageArtifact;
+    use std::net::TcpListener;
+
+    fn snapshot(step: FlowStep) -> StageSnapshot {
+        StageSnapshot {
+            step,
+            detail: "remote test artifact".to_string(),
+            artifact: StageArtifact::Export { gds: vec![9, 9, 9] },
+        }
+    }
+
+    /// Serves `responses` one connection at a time, capturing requests.
+    fn one_shot_server(
+        responses: Vec<String>,
+    ) -> (SocketAddr, std::thread::JoinHandle<Vec<String>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let handle = std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            for response in responses {
+                let (mut conn, _) = listener.accept().expect("accept");
+                let mut raw = Vec::new();
+                let mut buf = [0u8; 4096];
+                loop {
+                    match conn.read(&mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => {
+                            raw.extend_from_slice(&buf[..n]);
+                            // The client half-closes after its request,
+                            // but be robust to a full request in one read.
+                            if raw.windows(4).any(|w| w == b"\r\n\r\n") {
+                                break;
+                            }
+                        }
+                    }
+                }
+                seen.push(String::from_utf8_lossy(&raw).to_string());
+                conn.write_all(response.as_bytes()).expect("respond");
+            }
+            seen
+        });
+        (addr, handle)
+    }
+
+    fn http(status: u16, body: &str) -> String {
+        format!(
+            "HTTP/1.1 {status} X\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+    }
+
+    fn quick_config(addr: SocketAddr) -> RemoteCacheConfig {
+        RemoteCacheConfig {
+            timeout: Duration::from_millis(500),
+            retries: 0,
+            ..RemoteCacheConfig::new(format!("http://{addr}/"))
+        }
+    }
+
+    #[test]
+    fn url_parsing_strips_scheme_and_slash() {
+        assert_eq!(
+            RemoteCacheConfig::new("http://127.0.0.1:8423/").addr(),
+            "127.0.0.1:8423"
+        );
+        assert_eq!(
+            RemoteCacheConfig::new("127.0.0.1:8423").addr(),
+            "127.0.0.1:8423"
+        );
+    }
+
+    #[test]
+    fn fetch_verifies_and_returns_a_framed_snapshot() {
+        let want = snapshot(FlowStep::Export);
+        let framed = frame_checksummed(&serde::json::to_string(&want));
+        let (addr, server) = one_shot_server(vec![http(200, &framed)]);
+        let cache = RemoteCache::new(quick_config(addr));
+        let got = cache.fetch(7, FlowStep::Export).expect("verified hit");
+        assert_eq!(got.detail, want.detail);
+        let counters = cache.counters();
+        assert_eq!(
+            (counters.hits, counters.misses, counters.corrupt),
+            (1, 0, 0)
+        );
+        let seen = server.join().expect("server");
+        assert!(seen[0].starts_with("GET /cache/stage/00000000000000000000000000000007 "));
+    }
+
+    #[test]
+    fn corrupt_body_is_a_counted_miss_never_a_snapshot() {
+        let want = snapshot(FlowStep::Export);
+        let mut framed = frame_checksummed(&serde::json::to_string(&want));
+        // Flip one payload byte: checksum verification must reject it.
+        framed.replace_range(2..3, "X");
+        let (addr, server) = one_shot_server(vec![http(200, &framed)]);
+        let cache = RemoteCache::new(quick_config(addr));
+        assert!(cache.fetch(7, FlowStep::Export).is_none());
+        let counters = cache.counters();
+        assert_eq!(
+            (counters.hits, counters.misses, counters.corrupt),
+            (0, 1, 1)
+        );
+        server.join().expect("server");
+    }
+
+    #[test]
+    fn wrong_step_is_a_miss_and_404_is_not_corruption() {
+        let want = snapshot(FlowStep::Route);
+        let framed = frame_checksummed(&serde::json::to_string(&want));
+        let (addr, server) = one_shot_server(vec![http(200, &framed), http(404, "")]);
+        let cache = RemoteCache::new(quick_config(addr));
+        assert!(cache.fetch(7, FlowStep::Export).is_none(), "wrong step");
+        assert!(cache.fetch(8, FlowStep::Export).is_none(), "404");
+        let counters = cache.counters();
+        assert_eq!((counters.misses, counters.corrupt), (2, 0));
+        server.join().expect("server");
+    }
+
+    #[test]
+    fn publish_counts_accepted_stores_and_frames_the_body() {
+        let (addr, server) = one_shot_server(vec![http(200, "")]);
+        let cache = RemoteCache::new(quick_config(addr));
+        cache.publish(9, &snapshot(FlowStep::Export));
+        assert_eq!(cache.counters().stores, 1);
+        let seen = server.join().expect("server");
+        assert!(seen[0].starts_with("PUT /cache/stage/00000000000000000000000000000009 "));
+        let body = seen[0].split("\r\n\r\n").nth(1).unwrap_or("");
+        assert!(
+            verify_checksummed(body).is_some(),
+            "PUT body must be checksum-framed"
+        );
+    }
+
+    #[test]
+    fn dead_remote_trips_the_breaker_then_fast_fails() {
+        // Bind-then-drop: the port is (almost surely) refused afterward.
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("addr")
+        };
+        let mut config = quick_config(addr);
+        config.breaker_threshold = 2;
+        config.breaker_cooldown = 8;
+        config.backoff = Backoff {
+            base: Duration::ZERO,
+            max: Duration::ZERO,
+            seed: 0,
+        };
+        let cache = RemoteCache::new(config);
+        for key in 0..6u128 {
+            assert!(cache.fetch(key, FlowStep::Export).is_none());
+        }
+        let counters = cache.counters();
+        assert_eq!(counters.hits, 0);
+        assert_eq!(counters.misses, 6, "every fetch degrades to a miss");
+        assert!(counters.trips >= 1, "breaker must trip: {counters:?}");
+        assert!(
+            counters.breaker_open >= 1,
+            "post-trip fetches fast-fail: {counters:?}"
+        );
+    }
+
+    #[test]
+    fn transport_retries_are_counted() {
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("addr")
+        };
+        let mut config = quick_config(addr);
+        config.retries = 2;
+        config.breaker_threshold = 100;
+        config.backoff = Backoff {
+            base: Duration::ZERO,
+            max: Duration::ZERO,
+            seed: 0,
+        };
+        let cache = RemoteCache::new(config);
+        assert!(cache.fetch(1, FlowStep::Export).is_none());
+        assert_eq!(cache.counters().retries, 2, "both retries consumed");
+    }
+}

@@ -10,17 +10,25 @@
 //! front-end (elaborate/synthesize) from snapshots and recomputes only
 //! the stages its knobs actually reach.
 //!
-//! Storage is memory-first with an optional disk tier. Disk entries are
-//! one canonical-JSON [`StageSnapshot`] per file, named by the 128-bit
-//! stage key, written via a temp file and an atomic rename so concurrent
-//! workers (or a killed run) never leave a torn entry; unreadable or
-//! mismatched files are treated as misses and rewritten. The memory map
-//! is unbounded — snapshots live as long as the cache, which is the
-//! point of sharing one [`Arc<StageCache>`] across engines (E17's warm
-//! pass) or batches.
+//! Storage is memory-first with an optional disk tier and an optional
+//! *remote* tier. Disk entries are one checksum-framed canonical-JSON
+//! [`StageSnapshot`] per file (`payload|fnv64`, the workspace-standard
+//! frame), named by the 128-bit stage key, written via a temp file and
+//! an atomic rename so concurrent workers (or a killed run) never leave
+//! a torn entry; unreadable, truncated or bit-flipped files fail the
+//! checksum, are deleted, and count as misses — the self-healing rule
+//! the whole-flow [`crate::cache::ArtifactCache`] already follows. The
+//! remote tier ([`crate::remote::RemoteCache`]) speaks the
+//! `/cache/stage/<key>` protocol a `forge serve` hub hosts; lookups
+//! fall through memory → disk → remote, and remote hits are promoted
+//! into the local tiers. The memory map is unbounded — snapshots live
+//! as long as the cache, which is the point of sharing one
+//! [`Arc<StageCache>`] across engines (E17's warm pass) or batches.
 
 use crate::metrics::{StageCacheRecord, StageCounter};
+use crate::remote::RemoteCache;
 use chipforge_flow::{FlowStep, StageSnapshot, StageStore};
+use chipforge_resil::{frame_checksummed, verify_checksummed};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -58,16 +66,18 @@ pub struct StageCounters {
 pub struct StageCache {
     memory: Mutex<HashMap<u128, StageSnapshot>>,
     disk: Option<PathBuf>,
+    remote: Option<Arc<RemoteCache>>,
     hits: [AtomicU64; 8],
     misses: [AtomicU64; 8],
     tmp_seq: AtomicU64,
 }
 
 impl StageCache {
-    fn new(disk: Option<PathBuf>) -> Arc<Self> {
+    fn new(disk: Option<PathBuf>, remote: Option<Arc<RemoteCache>>) -> Arc<Self> {
         Arc::new(StageCache {
             memory: Mutex::new(HashMap::new()),
             disk,
+            remote,
             hits: Default::default(),
             misses: Default::default(),
             tmp_seq: AtomicU64::new(0),
@@ -77,7 +87,7 @@ impl StageCache {
     /// A memory-only cache.
     #[must_use]
     pub fn in_memory() -> Arc<Self> {
-        Self::new(None)
+        Self::new(None, None)
     }
 
     /// A memory-backed cache with a disk tier rooted at `dir` (created
@@ -86,7 +96,22 @@ impl StageCache {
     #[must_use]
     pub fn on_disk(dir: &Path) -> Arc<Self> {
         let _ = std::fs::create_dir_all(dir);
-        Self::new(Some(dir.to_path_buf()))
+        Self::new(Some(dir.to_path_buf()), None)
+    }
+
+    /// The cache `mode` asks for, with `remote` attached as the third
+    /// tier. A [`StageCacheMode::Disabled`] mode upgrades to memory-only
+    /// local tiers: pointing a run at a remote cache implies per-stage
+    /// caching.
+    #[must_use]
+    pub fn with_remote(mode: &StageCacheMode, remote: Arc<RemoteCache>) -> Arc<Self> {
+        match mode {
+            StageCacheMode::Disabled | StageCacheMode::Memory => Self::new(None, Some(remote)),
+            StageCacheMode::Disk(dir) => {
+                let _ = std::fs::create_dir_all(dir);
+                Self::new(Some(dir.clone()), Some(remote))
+            }
+        }
     }
 
     /// Builds the cache an [`crate::EngineConfig`] asks for, or `None`
@@ -97,6 +122,12 @@ impl StageCache {
             StageCacheMode::Memory => Some(Self::in_memory()),
             StageCacheMode::Disk(dir) => Some(Self::on_disk(dir)),
         }
+    }
+
+    /// The attached remote tier, if any.
+    #[must_use]
+    pub fn remote(&self) -> Option<&Arc<RemoteCache>> {
+        self.remote.as_ref()
     }
 
     /// Snapshots currently held in memory.
@@ -151,37 +182,30 @@ impl StageCache {
             .map(|dir| dir.join(format!("{key:032x}.json")))
     }
 
-    fn load_from_disk(&self, key: u128, step: FlowStep) -> Option<StageSnapshot> {
+    /// Reads and verifies the on-disk entry for `key`. A file that
+    /// fails its checksum frame or its parse — truncated, bit-flipped,
+    /// or written by a pre-frame version — is deleted so the slot heals
+    /// on the next store, and the load is a miss.
+    fn load_from_disk_any(&self, key: u128) -> Option<StageSnapshot> {
         let path = self.disk_path(key)?;
-        let text = std::fs::read_to_string(path).ok()?;
-        let snapshot: StageSnapshot = serde::json::from_str(&text).ok()?;
-        (snapshot.step == step).then_some(snapshot)
-    }
-}
-
-impl StageStore for StageCache {
-    fn load(&self, key: u128, step: FlowStep) -> Option<StageSnapshot> {
-        let from_memory = {
-            let memory = self.memory.lock().expect("stage cache lock");
-            memory.get(&key).filter(|s| s.step == step).cloned()
-        };
-        let snapshot = from_memory.or_else(|| {
-            // Promote disk entries so repeat loads stay in memory.
-            let snapshot = self.load_from_disk(key, step)?;
-            self.memory
-                .lock()
-                .expect("stage cache lock")
-                .insert(key, snapshot.clone());
-            Some(snapshot)
-        });
-        match &snapshot {
-            Some(_) => self.hits[step.index()].fetch_add(1, Ordering::SeqCst),
-            None => self.misses[step.index()].fetch_add(1, Ordering::SeqCst),
-        };
+        let text = std::fs::read_to_string(&path).ok()?;
+        let snapshot = verify_checksummed(&text)
+            .and_then(|payload| serde::json::from_str::<StageSnapshot>(payload).ok());
+        if snapshot.is_none() {
+            let _ = std::fs::remove_file(&path);
+        }
         snapshot
     }
 
-    fn store(&self, key: u128, snapshot: &StageSnapshot) {
+    fn load_from_disk(&self, key: u128, step: FlowStep) -> Option<StageSnapshot> {
+        let snapshot = self.load_from_disk_any(key)?;
+        (snapshot.step == step).then_some(snapshot)
+    }
+
+    /// Writes `snapshot` to the local tiers only (memory, then disk) —
+    /// the promotion path for remote hits, and the body of
+    /// [`StageStore::store`] minus the remote publish.
+    fn store_local(&self, key: u128, snapshot: &StageSnapshot) {
         self.memory
             .lock()
             .expect("stage cache lock")
@@ -191,10 +215,73 @@ impl StageStore for StageCache {
             // stage concurrently must not interleave into one temp file.
             let seq = self.tmp_seq.fetch_add(1, Ordering::SeqCst);
             let tmp = path.with_extension(format!("{seq}.tmp"));
-            let text = serde::json::to_string(snapshot);
+            let text = frame_checksummed(&serde::json::to_string(snapshot));
             if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_err() {
                 let _ = std::fs::remove_file(&tmp);
             }
+        }
+    }
+
+    /// A counter-free local lookup for the serve side of the protocol:
+    /// memory first, then verified disk, any step. The hub uses this to
+    /// answer `/cache/stage/<key>` GET/HEAD without skewing the batch
+    /// hit/miss accounting its own workers produce.
+    #[must_use]
+    pub fn peek(&self, key: u128) -> Option<StageSnapshot> {
+        let from_memory = self
+            .memory
+            .lock()
+            .expect("stage cache lock")
+            .get(&key)
+            .cloned();
+        from_memory.or_else(|| self.load_from_disk_any(key))
+    }
+
+    /// Inserts a snapshot into the local tiers without touching the
+    /// remote — the serve side of a `/cache/stage/<key>` PUT. (Going
+    /// through [`StageStore::store`] would bounce the entry back to the
+    /// remote that just sent it.)
+    pub fn insert_local(&self, key: u128, snapshot: &StageSnapshot) {
+        self.store_local(key, snapshot);
+    }
+}
+
+impl StageStore for StageCache {
+    fn load(&self, key: u128, step: FlowStep) -> Option<StageSnapshot> {
+        let from_memory = {
+            let memory = self.memory.lock().expect("stage cache lock");
+            memory.get(&key).filter(|s| s.step == step).cloned()
+        };
+        let snapshot = from_memory
+            .or_else(|| {
+                // Promote disk entries so repeat loads stay in memory.
+                let snapshot = self.load_from_disk(key, step)?;
+                self.memory
+                    .lock()
+                    .expect("stage cache lock")
+                    .insert(key, snapshot.clone());
+                Some(snapshot)
+            })
+            .or_else(|| {
+                // Remote tier last: every fetched byte is checksum-
+                // verified by the client before it counts as a hit.
+                // Promote into the local tiers so one remote round-trip
+                // serves all later loads.
+                let snapshot = self.remote.as_ref()?.fetch(key, step)?;
+                self.store_local(key, &snapshot);
+                Some(snapshot)
+            });
+        match &snapshot {
+            Some(_) => self.hits[step.index()].fetch_add(1, Ordering::SeqCst),
+            None => self.misses[step.index()].fetch_add(1, Ordering::SeqCst),
+        };
+        snapshot
+    }
+
+    fn store(&self, key: u128, snapshot: &StageSnapshot) {
+        self.store_local(key, snapshot);
+        if let Some(remote) = &self.remote {
+            remote.publish(key, snapshot);
         }
     }
 }
@@ -244,6 +331,71 @@ mod tests {
         assert_eq!(fresh.entries(), 0, "nothing promoted yet");
         assert!(fresh.load(11, FlowStep::Export).is_some());
         assert_eq!(fresh.entries(), 1, "disk hit promoted to memory");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_disk_entry_is_detected_and_healed() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!(
+            "chipforge-stage-cache-trunc-{}",
+            std::process::id()
+        ));
+        let cache = StageCache::on_disk(&dir);
+        cache.store(21, &snapshot(FlowStep::Export));
+        let path = dir.join(format!("{:032x}.json", 21u128));
+        let text = std::fs::read_to_string(&path).expect("entry on disk");
+        // Simulate a torn write / partial copy: drop the tail.
+        std::fs::write(&path, &text[..text.len() - 6]).expect("truncate");
+        let fresh = StageCache::on_disk(&dir);
+        assert!(
+            fresh.load(21, FlowStep::Export).is_none(),
+            "truncated entry must miss, not deserialize garbage"
+        );
+        assert!(!path.exists(), "corrupt entry is removed (self-healing)");
+        // The next store repopulates the slot cleanly.
+        fresh.store(21, &snapshot(FlowStep::Export));
+        let again = StageCache::on_disk(&dir);
+        assert!(again.load(21, FlowStep::Export).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flipped_disk_entry_is_detected_and_healed() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("chipforge-stage-cache-flip-{}", std::process::id()));
+        let cache = StageCache::on_disk(&dir);
+        cache.store(22, &snapshot(FlowStep::Export));
+        let path = dir.join(format!("{:032x}.json", 22u128));
+        let mut bytes = std::fs::read(&path).expect("entry on disk");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&path, &bytes).expect("flip");
+        let fresh = StageCache::on_disk(&dir);
+        assert!(
+            fresh.load(22, FlowStep::Export).is_none(),
+            "bit-flipped entry must fail its checksum"
+        );
+        assert!(!path.exists(), "corrupt entry is removed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn peek_serves_any_step_without_counting() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("chipforge-stage-cache-peek-{}", std::process::id()));
+        let cache = StageCache::on_disk(&dir);
+        cache.store(23, &snapshot(FlowStep::Export));
+        drop(cache);
+        let fresh = StageCache::on_disk(&dir);
+        assert!(fresh.peek(23).is_some(), "peek reads through to disk");
+        assert!(fresh.peek(24).is_none());
+        let record = fresh.record(&StageCounters::default(), 0, 0);
+        assert_eq!(
+            (record.hits, record.misses),
+            (0, 0),
+            "peek never skews batch accounting"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -8,7 +8,6 @@
 //! still matches the resubmitted job, so editing a design between runs
 //! transparently re-executes it.
 
-use crate::fnv64;
 use chipforge_flow::PpaReport;
 use serde::{Deserialize, Serialize};
 use std::fs::File;
@@ -77,7 +76,7 @@ impl JournalWriter {
     pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
         let payload = serde::json::to_string(record);
         debug_assert!(!payload.contains('\n'), "compact JSON is single-line");
-        let line = format!("{payload}|{:016x}\n", fnv64(payload.as_bytes()));
+        let line = format!("{}\n", crate::frame_checksummed(&payload));
         self.file.write_all(line.as_bytes())?;
         self.file.flush()?;
         // One fsync per record is the durability contract: after a kill,
@@ -153,19 +152,10 @@ impl Journal {
 }
 
 fn parse_line(line: &str) -> Option<JournalRecord> {
-    // Layout: `{json}|{16 hex digits}`. Split at the fixed-width digest
-    // suffix rather than searching for `|`, which may occur inside JSON
-    // strings.
-    if line.len() < 18 || !line.is_char_boundary(line.len() - 17) {
-        return None;
-    }
-    let (payload, framed) = line.split_at(line.len() - 17);
-    let digest = framed.strip_prefix('|')?;
-    let expected = u64::from_str_radix(digest, 16).ok()?;
-    if fnv64(payload.as_bytes()) != expected {
-        return None;
-    }
-    serde::json::from_str(payload).ok()
+    // Layout: `{json}|{16 hex digits}` — the workspace-standard frame,
+    // split at the fixed-width digest suffix rather than searching for
+    // `|`, which may occur inside JSON strings.
+    serde::json::from_str(crate::verify_checksummed(line)?).ok()
 }
 
 #[cfg(test)]
@@ -225,7 +215,7 @@ mod tests {
     fn corrupted_payload_fails_the_crc() {
         let mut writer_text = String::new();
         let payload = serde::json::to_string(&record(0, 0));
-        writer_text.push_str(&format!("{payload}|{:016x}\n", fnv64(payload.as_bytes())));
+        writer_text.push_str(&format!("{}\n", crate::frame_checksummed(&payload)));
         let flipped = writer_text.replacen("job0", "jobX", 1);
         assert_eq!(Journal::parse(&writer_text).len(), 1);
         let journal = Journal::parse(&flipped);

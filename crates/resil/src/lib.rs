@@ -36,6 +36,7 @@
 mod backoff;
 mod fault;
 mod journal;
+mod net;
 mod policy;
 
 pub use backoff::Backoff;
@@ -44,6 +45,7 @@ pub use fault::{
     TRANSIENT_STAGES,
 };
 pub use journal::{Journal, JournalRecord, JournalWriter};
+pub use net::{FlakyProxy, NetFault, NetFaultPlan};
 pub use policy::ResiliencePolicy;
 
 /// FNV-1a 64-bit hash, the workspace's standard content digest.
@@ -66,6 +68,40 @@ pub fn fnv64(bytes: &[u8]) -> u64 {
 #[must_use]
 pub fn hash_fraction(hash: u64) -> f64 {
     (hash >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Frames `payload` with its 16-hex-digit FNV-1a digest:
+/// `{payload}|{digest}`.
+///
+/// This is the workspace's standard integrity frame — the journal, the
+/// on-disk stage-cache entries and the remote cache-protocol bodies all
+/// use it, so every persisted or transmitted artifact can be verified
+/// before it is deserialized. The payload must not contain a newline
+/// (compact JSON never does).
+#[must_use]
+pub fn frame_checksummed(payload: &str) -> String {
+    format!("{payload}|{:016x}", fnv64(payload.as_bytes()))
+}
+
+/// Verifies a [`frame_checksummed`] string and returns the payload, or
+/// `None` when the frame is malformed, truncated or fails its digest.
+///
+/// The digest suffix has fixed width, so the split never confuses a `|`
+/// inside a JSON string for the frame separator. A trailing newline is
+/// tolerated (journal lines carry one).
+#[must_use]
+pub fn verify_checksummed(framed: &str) -> Option<&str> {
+    let framed = framed.strip_suffix('\n').unwrap_or(framed);
+    if framed.len() < 17 || !framed.is_char_boundary(framed.len() - 17) {
+        return None;
+    }
+    let (payload, suffix) = framed.split_at(framed.len() - 17);
+    let digest = suffix.strip_prefix('|')?;
+    let expected = u64::from_str_radix(digest, 16).ok()?;
+    if fnv64(payload.as_bytes()) != expected {
+        return None;
+    }
+    Some(payload)
 }
 
 #[cfg(test)]
@@ -92,5 +128,28 @@ mod tests {
             assert!((0.0..1.0).contains(&f), "{f}");
         }
         assert!(hash_fraction(u64::MAX) > 0.999);
+    }
+
+    #[test]
+    fn checksummed_frame_round_trips() {
+        let payload = r#"{"key":"value|with|pipes"}"#;
+        let framed = frame_checksummed(payload);
+        assert_eq!(verify_checksummed(&framed), Some(payload));
+        // Tolerates the journal's trailing newline.
+        assert_eq!(verify_checksummed(&format!("{framed}\n")), Some(payload));
+    }
+
+    #[test]
+    fn checksummed_frame_rejects_tampering() {
+        let framed = frame_checksummed("payload");
+        // Any single flipped payload byte fails verification.
+        let tampered = framed.replacen("payload", "paYload", 1);
+        assert_eq!(verify_checksummed(&tampered), None);
+        // Truncation fails verification.
+        assert_eq!(verify_checksummed(&framed[..framed.len() - 1]), None);
+        // Garbage fails cleanly.
+        assert_eq!(verify_checksummed(""), None);
+        assert_eq!(verify_checksummed("short"), None);
+        assert_eq!(verify_checksummed("|zzzzzzzzzzzzzzzz"), None);
     }
 }

@@ -2,16 +2,23 @@
 //! generator and the integration tests all speak through it, so the
 //! service is exercised over real sockets, never via in-process calls.
 
+use chipforge_resil::Backoff;
 use serde::Value;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 /// Hub client: server address plus the API key requests present.
+///
+/// Transport failures (refused connection, reset, timeout) are retried
+/// with capped exponential backoff before surfacing the named
+/// `hub unreachable` error; HTTP-level refusals are never retried.
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: String,
     key: String,
+    retries: u32,
+    backoff: Backoff,
 }
 
 /// One decoded HTTP response.
@@ -25,21 +32,69 @@ pub struct Response {
 
 impl Client {
     /// A client for the hub at `addr` (e.g. `127.0.0.1:8080`)
-    /// presenting `key`.
+    /// presenting `key`. Defaults to 3 transport retries with a 250 ms
+    /// backoff base.
     #[must_use]
     pub fn new(addr: impl Into<String>, key: impl Into<String>) -> Self {
         Client {
             addr: addr.into(),
             key: key.into(),
+            retries: 3,
+            backoff: Backoff {
+                base: Duration::from_millis(250),
+                max: Duration::from_millis(2_000),
+                seed: 0,
+            },
         }
     }
 
-    /// Sends one request and decodes the JSON response.
+    /// Overrides the transport retry policy: `retries` extra attempts,
+    /// exponential backoff from `retry_ms` capped at 8× the base.
+    /// `retries = 0` fails on the first transport error.
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32, retry_ms: u64) -> Self {
+        self.retries = retries;
+        self.backoff = Backoff {
+            base: Duration::from_millis(retry_ms),
+            max: Duration::from_millis(retry_ms.saturating_mul(8)),
+            seed: 0,
+        };
+        self
+    }
+
+    /// Sends one request and decodes the JSON response, retrying
+    /// transport failures per the retry policy.
     ///
     /// # Errors
     ///
-    /// Returns a message on connect/read failures or non-JSON bodies.
+    /// Returns `hub unreachable: <addr> after <n> attempt(s): <cause>`
+    /// when every attempt fails at the transport layer, or a message
+    /// for non-JSON bodies.
     pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Response, String> {
+        let attempts = self.retries.saturating_add(1);
+        let mut last_error = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.backoff.delay(path, attempt));
+            }
+            match self.request_once(method, path, body) {
+                Ok(response) => return Ok(response),
+                Err(error) => last_error = error,
+            }
+        }
+        Err(format!(
+            "hub unreachable: {} after {attempts} attempt(s): {last_error}",
+            self.addr
+        ))
+    }
+
+    /// One transport attempt, no retries.
+    fn request_once(
         &self,
         method: &str,
         path: &str,

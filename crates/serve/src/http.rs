@@ -163,6 +163,13 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Request, HttpError> {
         headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
     }
 
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        // Only Content-Length framing is supported; silently treating a
+        // chunked body as empty would corrupt cache PUTs.
+        return Err(HttpError::bad_request(
+            "transfer-encoding is not supported (use content-length)",
+        ));
+    }
     let mut body = Vec::new();
     let content_length = headers
         .iter()
@@ -297,6 +304,12 @@ mod tests {
         assert_eq!(parse(huge.as_bytes()).unwrap_err().status, 413);
         let short = b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc";
         assert_eq!(parse(short).unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn chunked_transfer_encoding_is_a_400() {
+        let raw = b"PUT /cache/stage/0 HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n";
+        assert_eq!(parse(raw).unwrap_err().status, 400);
     }
 
     #[test]

@@ -18,13 +18,15 @@ use chipforge_cloud::AccessTier;
 use chipforge_exec::{
     ArtifactCache, BatchEngine, CacheKey, EngineConfig, JobSpec, JobStatus, StageCache,
 };
-use chipforge_flow::PpaReport;
+use chipforge_flow::{PpaReport, StageSnapshot};
 use chipforge_obs::Tracer;
-use chipforge_resil::{Journal, JournalRecord, JournalWriter};
+use chipforge_resil::{
+    frame_checksummed, verify_checksummed, Journal, JournalRecord, JournalWriter,
+};
 use serde::{Serialize, Value};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -56,6 +58,12 @@ pub struct HubConfig {
     pub stage_cache_dir: Option<PathBuf>,
     /// Whether to attach a stage cache at all.
     pub stage_cache: bool,
+    /// Upstream remote stage cache (`forge serve --remote-cache <url>`):
+    /// this hub's stage cache chains to another hub's
+    /// `/cache/stage/<key>` endpoints, so a fleet of hubs shares one
+    /// warm tier. Failure-first like any remote tier — an unreachable
+    /// upstream degrades to local-only caching.
+    pub remote_cache: Option<String>,
 }
 
 impl Default for HubConfig {
@@ -71,6 +79,7 @@ impl Default for HubConfig {
             journal: None,
             stage_cache_dir: None,
             stage_cache: true,
+            remote_cache: None,
         }
     }
 }
@@ -157,6 +166,17 @@ struct HubState {
     shed: [u64; 3],
 }
 
+/// Request counters for the `/cache/stage/<key>` protocol endpoints.
+#[derive(Debug, Default)]
+struct CacheProtocol {
+    gets: AtomicU64,
+    get_hits: AtomicU64,
+    puts: AtomicU64,
+    put_rejects: AtomicU64,
+    heads: AtomicU64,
+    head_hits: AtomicU64,
+}
+
 struct HubInner {
     config: HubConfig,
     started: Instant,
@@ -164,6 +184,7 @@ struct HubInner {
     work_ready: Condvar,
     cache: Arc<ArtifactCache>,
     stage_cache: Option<Arc<StageCache>>,
+    cache_protocol: CacheProtocol,
     shutdown: AtomicBool,
 }
 
@@ -204,9 +225,21 @@ impl Hub {
             );
         }
         let stage_cache = if config.stage_cache {
-            Some(match &config.stage_cache_dir {
-                Some(dir) => StageCache::on_disk(dir),
-                None => StageCache::in_memory(),
+            let mode = match &config.stage_cache_dir {
+                Some(dir) => chipforge_exec::StageCacheMode::Disk(dir.clone()),
+                None => chipforge_exec::StageCacheMode::Memory,
+            };
+            Some(match &config.remote_cache {
+                Some(url) => StageCache::with_remote(
+                    &mode,
+                    Arc::new(chipforge_exec::RemoteCache::new(
+                        chipforge_exec::RemoteCacheConfig::new(url.clone()),
+                    )),
+                ),
+                None => match &config.stage_cache_dir {
+                    Some(dir) => StageCache::on_disk(dir),
+                    None => StageCache::in_memory(),
+                },
             })
         } else {
             None
@@ -217,6 +250,7 @@ impl Hub {
             work_ready: Condvar::new(),
             cache: Arc::new(ArtifactCache::new(256)),
             stage_cache,
+            cache_protocol: CacheProtocol::default(),
             shutdown: AtomicBool::new(false),
             config,
         });
@@ -246,6 +280,83 @@ impl Hub {
     pub fn recovered_jobs(&self) -> usize {
         let state = self.inner.state.lock().expect("hub lock");
         state.jobs.values().filter(|j| j.recovered).count()
+    }
+
+    /// Whether the stage-cache protocol endpoints are live.
+    #[must_use]
+    pub fn cache_enabled(&self) -> bool {
+        self.inner.stage_cache.is_some()
+    }
+
+    /// Serves `GET /cache/stage/<key>`: the checksum-framed snapshot
+    /// body, or `None` on a miss. Counter-free on the engine side
+    /// ([`StageCache::peek`]) so protocol traffic never skews the hub's
+    /// own hit-rate metrics.
+    #[must_use]
+    pub fn cache_get(&self, key: u128) -> Option<String> {
+        let stage_cache = self.inner.stage_cache.as_ref()?;
+        self.inner
+            .cache_protocol
+            .gets
+            .fetch_add(1, Ordering::Relaxed);
+        let snapshot = stage_cache.peek(key)?;
+        self.inner
+            .cache_protocol
+            .get_hits
+            .fetch_add(1, Ordering::Relaxed);
+        Some(frame_checksummed(&serde::json::to_string(&snapshot)))
+    }
+
+    /// Serves `HEAD /cache/stage/<key>`: presence without the body.
+    #[must_use]
+    pub fn cache_has(&self, key: u128) -> bool {
+        let Some(stage_cache) = self.inner.stage_cache.as_ref() else {
+            return false;
+        };
+        self.inner
+            .cache_protocol
+            .heads
+            .fetch_add(1, Ordering::Relaxed);
+        let hit = stage_cache.peek(key).is_some();
+        if hit {
+            self.inner
+                .cache_protocol
+                .head_hits
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Serves `PUT /cache/stage/<key>`: verifies the checksum frame,
+    /// parses the snapshot and stores it in the hub's local tiers only
+    /// (never re-published upstream, so chained hubs cannot loop).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the frame digest or payload is invalid;
+    /// the entry is rejected without touching the cache.
+    pub fn cache_put(&self, key: u128, body: &str) -> Result<(), String> {
+        let Some(stage_cache) = self.inner.stage_cache.as_ref() else {
+            return Err("stage cache disabled".into());
+        };
+        self.inner
+            .cache_protocol
+            .puts
+            .fetch_add(1, Ordering::Relaxed);
+        let stored = verify_checksummed(body)
+            .ok_or_else(|| "checksum mismatch".to_string())
+            .and_then(|payload| {
+                serde::json::from_str::<StageSnapshot>(payload)
+                    .map_err(|e| format!("malformed snapshot: {e}"))
+            })
+            .map(|snapshot| stage_cache.insert_local(key, &snapshot));
+        if stored.is_err() {
+            self.inner
+                .cache_protocol
+                .put_rejects
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        stored
     }
 
     /// Offers one job on behalf of `who`. Admission is decided here:
@@ -435,6 +546,22 @@ impl Hub {
         } else {
             fields.push((Value::Str("stage_cache".into()), Value::Null));
         }
+        let protocol = &self.inner.cache_protocol;
+        let count = |counter: &AtomicU64| Value::U64(counter.load(Ordering::Relaxed));
+        fields.push((
+            Value::Str("cache_protocol".into()),
+            Value::Map(vec![
+                (Value::Str("gets".into()), count(&protocol.gets)),
+                (Value::Str("get_hits".into()), count(&protocol.get_hits)),
+                (Value::Str("puts".into()), count(&protocol.puts)),
+                (
+                    Value::Str("put_rejects".into()),
+                    count(&protocol.put_rejects),
+                ),
+                (Value::Str("heads".into()), count(&protocol.heads)),
+                (Value::Str("head_hits".into()), count(&protocol.head_hits)),
+            ]),
+        ));
         drop(state);
         Value::Map(fields)
     }

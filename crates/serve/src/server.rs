@@ -166,10 +166,57 @@ fn route(request: &Request, hub: &Hub, keys: &KeyRegistry) -> Result<(u16, Strin
         };
     }
 
+    // /cache/stage/<key> — the remote stage-cache protocol. Keyless by
+    // design, like /metrics: cache bodies are checksum-framed snapshots
+    // keyed by a 128-bit content hash, not tenant data.
+    if let Some(rest) = path.strip_prefix("/cache/stage/") {
+        return cache_stage(method, rest, request, hub);
+    }
+
     if matches!(path, "/healthz" | "/metrics" | "/api/v1/jobs") {
         return Err(HttpError::new(405, format!("{method} not allowed here")));
     }
     Err(HttpError::new(404, format!("no route `{path}`")))
+}
+
+/// The content-addressed get/put/has protocol behind
+/// `/cache/stage/<key>`: GET returns the framed snapshot (404 on miss),
+/// HEAD probes presence, PUT stores a verified entry. 409 when the hub
+/// runs without `--stage-cache`.
+fn cache_stage(
+    method: &str,
+    key_text: &str,
+    request: &Request,
+    hub: &Hub,
+) -> Result<(u16, String), HttpError> {
+    let key = u128::from_str_radix(key_text, 16)
+        .map_err(|_| HttpError::new(404, format!("no cache key `{key_text}`")))?;
+    if !hub.cache_enabled() {
+        return Err(HttpError::new(409, "stage cache disabled on this hub"));
+    }
+    match method {
+        "GET" => hub
+            .cache_get(key)
+            .map(|body| (200, body))
+            .ok_or_else(|| HttpError::new(404, format!("cache miss for `{key_text}`"))),
+        "HEAD" => {
+            if hub.cache_has(key) {
+                Ok((200, String::new()))
+            } else {
+                Err(HttpError::new(404, format!("cache miss for `{key_text}`")))
+            }
+        }
+        "PUT" => {
+            let body = std::str::from_utf8(&request.body)
+                .map_err(|_| HttpError::bad_request("body is not UTF-8"))?;
+            hub.cache_put(key, body).map_err(HttpError::bad_request)?;
+            Ok((
+                200,
+                json_field(vec![("stored", Value::Str(key_text.into()))]),
+            ))
+        }
+        _ => Err(HttpError::new(405, format!("{method} not allowed here"))),
+    }
 }
 
 fn submit(request: &Request, hub: &Hub, who: &Identity) -> Result<(u16, String), HttpError> {

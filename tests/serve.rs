@@ -3,6 +3,8 @@
 //! a restart, and a malformed-input storm that must never take down the
 //! accept loop.
 
+use chipforge::flow::{FlowStep, StageArtifact, StageSnapshot};
+use chipforge::resil::frame_checksummed;
 use chipforge::serve::{Client, Hub, HubConfig, KeyRegistry, Server};
 use proptest::prelude::*;
 use serde::Value;
@@ -211,6 +213,121 @@ fn journal_survives_a_server_restart() {
     std::fs::remove_file(&journal).ok();
 }
 
+/// One framed `/cache/stage` body: an Export snapshot, checksummed the
+/// way `RemoteCache::publish` frames it.
+fn framed_snapshot() -> String {
+    let snapshot = StageSnapshot {
+        step: FlowStep::Export,
+        detail: "integration test artifact".to_string(),
+        artifact: StageArtifact::Export { gds: vec![1, 2, 3] },
+    };
+    frame_checksummed(&serde::json::to_string(&snapshot))
+}
+
+fn put_cache(addr: &str, key: &str, body: &str) -> String {
+    let raw = format!(
+        "PUT /cache/stage/{key} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    String::from_utf8_lossy(&raw_send(addr, raw.as_bytes())).into_owned()
+}
+
+fn status_of(response: &str) -> u16 {
+    response
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response {response:?}"))
+}
+
+#[test]
+fn cache_protocol_round_trips_and_rejects_bad_entries() {
+    let server = start_hub(HubConfig::default());
+    let addr = server.addr().to_string();
+    let key = "00000000000000000000000000000abc";
+    let framed = framed_snapshot();
+
+    // Probe/fetch before the entry exists: clean 404s.
+    let probe = raw_send(
+        &addr,
+        format!("HEAD /cache/stage/{key} HTTP/1.1\r\n\r\n").as_bytes(),
+    );
+    assert_eq!(status_of(&String::from_utf8_lossy(&probe)), 404);
+    let fetch = raw_send(
+        &addr,
+        format!("GET /cache/stage/{key} HTTP/1.1\r\n\r\n").as_bytes(),
+    );
+    assert_eq!(status_of(&String::from_utf8_lossy(&fetch)), 404);
+
+    // Store, then read the exact framed bytes back.
+    assert_eq!(status_of(&put_cache(&addr, key, &framed)), 200);
+    let fetch = String::from_utf8_lossy(&raw_send(
+        &addr,
+        format!("GET /cache/stage/{key} HTTP/1.1\r\n\r\n").as_bytes(),
+    ))
+    .into_owned();
+    assert_eq!(status_of(&fetch), 200);
+    let body = fetch.split("\r\n\r\n").nth(1).expect("body");
+    assert_eq!(body, framed, "served body must be the framed snapshot");
+    let probe = raw_send(
+        &addr,
+        format!("HEAD /cache/stage/{key} HTTP/1.1\r\n\r\n").as_bytes(),
+    );
+    assert_eq!(status_of(&String::from_utf8_lossy(&probe)), 200);
+
+    // Rejections: tampered digest, unframed JSON, empty body, non-hex
+    // key, unsupported method.
+    let mut tampered = framed.clone();
+    tampered.replace_range(0..1, "X");
+    assert_eq!(status_of(&put_cache(&addr, key, &tampered)), 400);
+    assert_eq!(
+        status_of(&put_cache(&addr, key, "{\"step\":\"export\"}")),
+        400
+    );
+    assert_eq!(
+        status_of(&put_cache(&addr, key, "")),
+        400,
+        "zero content-length"
+    );
+    assert_eq!(status_of(&put_cache(&addr, "not-hex", &framed)), 404);
+    let posted = raw_send(
+        &addr,
+        format!("POST /cache/stage/{key} HTTP/1.1\r\n\r\n").as_bytes(),
+    );
+    assert_eq!(status_of(&String::from_utf8_lossy(&posted)), 405);
+
+    // Protocol counters surface in /metrics.
+    let metrics = Client::new(&addr, "demo-beginner")
+        .metrics()
+        .expect("metrics");
+    assert_eq!(metrics_u64(&metrics, "cache_protocol", "puts"), 4);
+    assert_eq!(metrics_u64(&metrics, "cache_protocol", "put_rejects"), 3);
+    assert_eq!(metrics_u64(&metrics, "cache_protocol", "gets"), 2);
+    assert_eq!(metrics_u64(&metrics, "cache_protocol", "get_hits"), 1);
+    assert_eq!(metrics_u64(&metrics, "cache_protocol", "heads"), 2);
+    assert_eq!(metrics_u64(&metrics, "cache_protocol", "head_hits"), 1);
+
+    server.shutdown();
+}
+
+#[test]
+fn cache_protocol_is_a_409_without_a_stage_cache() {
+    let server = start_hub(HubConfig {
+        stage_cache: false,
+        ..HubConfig::default()
+    });
+    let addr = server.addr().to_string();
+    for request in [
+        "GET /cache/stage/0 HTTP/1.1\r\n\r\n".to_string(),
+        "HEAD /cache/stage/0 HTTP/1.1\r\n\r\n".to_string(),
+    ] {
+        let response = String::from_utf8_lossy(&raw_send(&addr, request.as_bytes())).into_owned();
+        assert_eq!(status_of(&response), 409, "{request:?}");
+    }
+    assert_eq!(status_of(&put_cache(&addr, "0", &framed_snapshot())), 409);
+    server.shutdown();
+}
+
 #[test]
 fn malformed_requests_never_take_down_the_accept_loop() {
     let server = start_hub(HubConfig::default());
@@ -236,6 +353,15 @@ fn malformed_requests_never_take_down_the_accept_loop() {
         b"POST /api/v1/jobs HTTP/1.1\r\nx-api-key: demo-beginner\r\ncontent-length: 7\r\n\r\nnot json".to_vec(),
         vec![0xff; 64],
         b"GET /healthz HTTP/1.1\r\nbad header\r\n\r\n".to_vec(),
+        // The /cache/stage PUT path gets the same storm treatment.
+        b"PUT /cache/stage/abc HTTP/1.1\r\ncontent-length: 0\r\n\r\n".to_vec(),
+        b"PUT /cache/stage/abc HTTP/1.1\r\ncontent-length: 9999999\r\n\r\n".to_vec(),
+        b"PUT /cache/stage/abc HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n"
+            .to_vec(),
+        b"PUT /cache/stage/abc HTTP/1.1\r\ncontent-length: 12\r\n\r\ngarbage body".to_vec(),
+        b"PUT /cache/stage/zzz-not-hex HTTP/1.1\r\ncontent-length: 2\r\n\r\n{}".to_vec(),
+        b"PUT /cache/stage/ffffffffffffffffffffffffffffffffff HTTP/1.1\r\ncontent-length: 2\r\n\r\n{}"
+            .to_vec(),
     ];
     for (i, attack) in attacks.iter().enumerate() {
         let response = String::from_utf8_lossy(&raw_send(&addr, attack)).into_owned();
@@ -277,6 +403,40 @@ proptest! {
             .request("GET", "/healthz", None)
             .expect("healthz after storm");
         assert_eq!(alive.status, 200);
+        server.shutdown();
+    }
+
+    /// Arbitrary PUT bodies to the cache protocol: anything that is
+    /// not a correctly framed snapshot is a 4xx, never a stored entry
+    /// and never a panic.
+    #[test]
+    fn arbitrary_cache_put_bodies_never_corrupt_the_hub(
+        body in proptest::collection::vec(0u8..=255, 0..400),
+        key in "[0-9a-f]{1,32}",
+    ) {
+        let server = start_hub(HubConfig { workers: 1, ..HubConfig::default() });
+        let addr = server.addr().to_string();
+        let mut raw = format!(
+            "PUT /cache/stage/{key} HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        raw.extend_from_slice(&body);
+        let response = String::from_utf8_lossy(&raw_send(&addr, &raw)).into_owned();
+        if !response.is_empty() {
+            let status = status_of(&response);
+            prop_assert!(
+                (400..500).contains(&status),
+                "random body must be refused, got {status}"
+            );
+        }
+        // The key must not have been stored, and the hub still serves.
+        let fetch = String::from_utf8_lossy(&raw_send(
+            &addr,
+            format!("GET /cache/stage/{key} HTTP/1.1\r\n\r\n").as_bytes(),
+        ))
+        .into_owned();
+        prop_assert_eq!(status_of(&fetch), 404);
         server.shutdown();
     }
 }
