@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the supervised shard fabric (E21, BENCH_9).
+//!
+//! The latency-injected E21 sweep (16 quick-profile jobs, each with a
+//! 120 ms pre-run hang) at four shard counts, plus one chaos regime:
+//!
+//! - `sweep_1_shard` / `sweep_2_shards` / `sweep_4_shards` /
+//!   `sweep_8_shards` — the clean scaling curve. Speedup comes from
+//!   overlapping the injected latency, so it holds on a single core.
+//! - `sweep_4_shards_all_killed` — every shard killed after its first
+//!   claim under a seeded `ShardFaultPlan`; the supervisor quarantines,
+//!   restarts and re-dispatches, and the batch still completes.
+//!
+//! The E21 acceptance claim snapshotted in BENCH_9.json is
+//! `sweep_1_shard / sweep_4_shards >= 1.5`: a sharded engine sustains
+//! at least 1.5x the single-shard throughput on the same machine.
+
+use chipforge::exec::{BatchEngine, EngineConfig, ResilienceOptions};
+use chipforge::resil::ShardFaultPlan;
+use chipforge_bench::experiments::e21_jobs;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_shard_fabric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_fabric");
+    group.sample_size(10);
+
+    for shards in [1usize, 2, 4, 8] {
+        let label = if shards == 1 {
+            "sweep_1_shard".to_string()
+        } else {
+            format!("sweep_{shards}_shards")
+        };
+        group.bench_function(&label, |b| {
+            b.iter(|| BatchEngine::new(EngineConfig::with_shards(shards, 1)).run_batch(e21_jobs()));
+        });
+    }
+
+    group.bench_function("sweep_4_shards_all_killed", |b| {
+        b.iter(|| {
+            BatchEngine::new(EngineConfig::with_shards(4, 1)).run_batch_resilient(
+                e21_jobs(),
+                ResilienceOptions {
+                    shard_plan: ShardFaultPlan::kill(7, 1.0),
+                    ..ResilienceOptions::default()
+                },
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_fabric);
+criterion_main!(benches);

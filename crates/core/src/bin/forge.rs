@@ -33,7 +33,7 @@ use chipforge::netlist::verilog;
 use chipforge::obs::{self, Tracer};
 use chipforge::pdk::{liberty, LibraryKind, Pdk, TechnologyNode};
 use chipforge::resil::{
-    FaultPlan, FlakyProxy, Journal, JournalWriter, NetFaultPlan, ResiliencePolicy,
+    FaultPlan, FlakyProxy, Journal, JournalWriter, NetFaultPlan, ResiliencePolicy, ShardFaultPlan,
 };
 use chipforge::serve::{Client, Hub, HubConfig, KeyRegistry, Server};
 use chipforge::{EnablementHub, Tier, TierStrategy};
@@ -110,11 +110,14 @@ USAGE:
   forge run <file.fhdl> [--node <nm>] [--profile open|commercial|quick]
             [--clock <MHz>] [--gds <out>] [--verilog <out>] [--liberty <out>]
             [--trace <out.json>] [--flame <out.txt>]
-  forge batch <manifest.json> [--workers <n>] [--timeout-ms <ms>]
+  forge batch <manifest.json> [--workers <n>] [--shards <n>]
+            [--timeout-ms <ms>]
             [--retries <n>] [--report <out.json>] [--strict]
             [--journal <out.jsonl>] [--resume <journal.jsonl>]
             [--fault-rate <p>] [--fault-seed <n>] [--quarantine-after <n>]
             [--failure-budget <n>] [--no-degrade] [--halt-after <k>]
+            [--shard-kill-rate <p>] [--shard-wedge-rate <p>]
+            [--shard-fault-seed <n>] [--shard-fault-after <k>]
             [--max-queue <n>] [--shed-oldest] [--deadline <ms>]
             [--tier-quota <b,i,a>] [--breaker-threshold <n>]
             [--stage-cache <dir>] [--canonical-report <out.json>]
@@ -128,7 +131,8 @@ USAGE:
   forge gen --list
   forge semester [--students <n>] [--servers <n>] [--seed <n>]
             [--utilization <0..1>] [--calibrate]
-  forge serve [--addr <host:port>] [--workers <n>] [--max-queue <n>]
+  forge serve [--addr <host:port>] [--workers <n>] [--shards <n>]
+            [--max-queue <n>]
             [--shed-oldest] [--tier-quota <b,i,a>] [--aging <rate>]
             [--tier-rate <b,i,a>] [--timeout-ms <ms>]
             [--journal <out.jsonl>] [--stage-cache <dir>]
@@ -153,6 +157,14 @@ injects seeded transient faults (deterministic per `--fault-seed`);
 relaxed route/CTS retry; `--halt-after <k>` stops after k journaled
 jobs (simulates a mid-batch kill); `--canonical-report` writes the
 scheduling-independent JSON report used to verify resumed runs.
+
+Sharding: `--shards <n>` splits the engine into n supervised shards of
+`--workers` threads each; jobs are partitioned by canonical cache key
+and idle shards steal pending work. `--shard-kill-rate` /
+`--shard-wedge-rate` inject seeded shard crashes and silent hangs
+(deterministic per `--shard-fault-seed`, firing after
+`--shard-fault-after` claims); the supervisor quarantines, restarts and
+re-dispatches, and the canonical report stays byte-identical.
 
 Overload: `--max-queue <n>` bounds the waiting room to workers + n
 jobs, rejecting the overflow (`--shed-oldest` displaces the oldest
@@ -505,6 +517,11 @@ fn parse_tier_quota(raw: &str) -> Result<[f64; 3], String> {
 fn cmd_batch(args: &[String]) -> Result<(), CliError> {
     const FLAGS: &[FlagSpec] = &[
         value_flag("workers"),
+        value_flag("shards"),
+        value_flag("shard-kill-rate"),
+        value_flag("shard-wedge-rate"),
+        value_flag("shard-fault-seed"),
+        value_flag("shard-fault-after"),
         value_flag("timeout-ms"),
         value_flag("retries"),
         value_flag("report"),
@@ -549,6 +566,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
 
     let config = EngineConfig {
         workers: parse_number(&flags, "workers", EngineConfig::default().workers)?,
+        shards: parse_number(&flags, "shards", 1usize)?.max(1),
         job_timeout: Duration::from_millis(parse_number(&flags, "timeout-ms", 30_000u64)?),
         max_retries: parse_number(&flags, "retries", 2u32)?,
         stage_cache: match flags.get("stage-cache") {
@@ -564,6 +582,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         ..EngineConfig::default()
     };
     let workers = config.workers;
+    let shards = config.shards;
 
     // Resilience policy is active only when one of its flags is given,
     // so the default CLI behavior is unchanged.
@@ -618,6 +637,21 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         Some(_) => Some(parse_number(&flags, "halt-after", 0usize)?),
         None => None,
     };
+    let shard_kill_rate: f64 = parse_number(&flags, "shard-kill-rate", 0.0)?;
+    let shard_wedge_rate: f64 = parse_number(&flags, "shard-wedge-rate", 0.0)?;
+    let shard_plan = if shard_kill_rate > 0.0 || shard_wedge_rate > 0.0 {
+        let mut plan = ShardFaultPlan::kill(
+            parse_number(&flags, "shard-fault-seed", 7u64)?,
+            shard_kill_rate,
+        )
+        .with_wedge_rate(shard_wedge_rate);
+        if flags.contains_key("shard-fault-after") {
+            plan = plan.with_after_jobs(parse_number(&flags, "shard-fault-after", 1u64)?);
+        }
+        plan
+    } else {
+        ShardFaultPlan::disabled()
+    };
 
     let admission_requested = [
         "max-queue",
@@ -659,6 +693,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         jobs,
         ResilienceOptions {
             plan,
+            shard_plan,
             policy,
             admission,
             journal,
@@ -667,7 +702,16 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         },
     );
 
-    println!("batch: {} jobs on {} workers", batch.results.len(), workers);
+    if shards > 1 {
+        println!(
+            "batch: {} jobs on {} workers x {} shards",
+            batch.results.len(),
+            workers,
+            shards
+        );
+    } else {
+        println!("batch: {} jobs on {} workers", batch.results.len(), workers);
+    }
     for result in &batch.results {
         let mut note = match (&result.error, result.cache_hit) {
             (Some(error), _) => format!("  ({error})"),
@@ -768,6 +812,20 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             worker.busy_ms,
             worker.utilization * 100.0,
         );
+    }
+    if shards > 1 || shard_plan.is_active() {
+        for shard in &batch.report.shards {
+            println!(
+                "shard {}: {} jobs, {} steal(s), {} quarantine(s), {} restart(s), {} re-dispatched, heartbeat {:>6.1} ms ago",
+                shard.shard,
+                shard.jobs_run,
+                shard.steals,
+                shard.quarantines,
+                shard.restarts,
+                shard.redispatched,
+                shard.heartbeat_age_ms,
+            );
+        }
     }
     if let Some(out) = flags.get("report") {
         std::fs::write(out, batch.report.to_json()).map_err(|e| format!("write {out}: {e}"))?;
@@ -899,6 +957,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     const FLAGS: &[FlagSpec] = &[
         value_flag("addr"),
         value_flag("workers"),
+        value_flag("shards"),
         value_flag("max-queue"),
         switch("shed-oldest"),
         value_flag("tier-quota"),
@@ -919,6 +978,10 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     config.workers = parse_number(&flags, "workers", config.workers)?;
     if config.workers == 0 {
         return Err(CliError::Config("--workers must be at least 1".into()));
+    }
+    config.shards = parse_number(&flags, "shards", config.shards)?;
+    if config.shards == 0 {
+        return Err(CliError::Config("--shards must be at least 1".into()));
     }
     if flags.contains_key("max-queue") {
         config.queue_capacity = Some(parse_number(&flags, "max-queue", 0usize)?);
@@ -966,8 +1029,9 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let server = Server::start(hub, keys, addr).map_err(CliError::Config)?;
     println!("hub listening on http://{}", server.addr());
     println!(
-        "workers {}, queue capacity {}, weights {:?}, aging {}/s",
+        "workers {} across {} shard(s), queue capacity {}, weights {:?}, aging {}/s",
         config.workers,
+        config.shards,
         config
             .queue_capacity
             .map_or("unbounded".to_string(), |c| c.to_string()),

@@ -1,24 +1,43 @@
-//! The batch execution engine: a fixed worker pool over a shared queue.
+//! The batch execution engine: a supervised, sharded work-stealing
+//! fabric.
 //!
-//! Concurrency model: jobs are pushed into an `mpsc` channel that all
-//! workers drain through a shared `Mutex<Receiver>`; each worker runs
-//! every attempt of a job on a dedicated attempt thread so the per-job
+//! Concurrency model: admitted jobs are partitioned across N engine
+//! shards by their canonical cache key (`fnv64(key) % shards`), each
+//! shard owning a deque of pending work and `workers` threads. A worker
+//! drains its own shard's deque first and steals from other shards when
+//! it runs dry, so a slow or dead shard cannot strand queued work. Each
+//! job attempt runs on a dedicated attempt thread so the per-job
 //! timeout can abandon a wedged flow (`recv_timeout`) without killing
 //! the worker. Panics inside a job are contained by `catch_unwind` and
 //! surface as a retryable attempt failure, never as a dead worker.
 //!
+//! Above the shards sits a *supervisor* thread: every shard heartbeats
+//! as it claims and finishes work, and the supervisor quarantines a
+//! shard whose workers have all died (injected kill) or gone silent
+//! (wedge), re-dispatches its claimed-but-unfinished jobs, and restarts
+//! its worker complement one generation up. Results are sent exactly
+//! once per job — a faulted worker orphans its claim *before* any
+//! attempt runs, and the supervisor re-dispatches only orphans absent
+//! from the completed set (the in-memory view of the checkpoint
+//! journal) — so the canonical report is byte-identical across shard
+//! counts and across injected shard faults (`tests/determinism.rs`,
+//! `tests/resilience.rs`).
+//!
 //! Resilience (chipforge-resil): [`run_batch_resilient`] adds a seeded
-//! fault-injection plane, an fsynced checkpoint journal with resume,
+//! fault-injection plane (per-job [`FaultPlan`], per-shard
+//! [`ShardFaultPlan`]), an fsynced checkpoint journal with resume,
 //! graceful route/CTS degradation, per-job quarantine and a batch
 //! failure budget on top of the plain engine. [`run_batch`] is the
-//! inert special case — no plan, no policy, no journal.
+//! inert special case — no plan, no policy, no journal, one shard.
 //!
 //! [`run_batch`]: BatchEngine::run_batch
 //! [`run_batch_resilient`]: BatchEngine::run_batch_resilient
 
 use crate::cache::{ArtifactCache, CacheKey, Lookup};
 use crate::job::{JobResult, JobSpec, JobStatus, RestoredArtifact};
-use crate::metrics::{AdmissionRecord, ExecutionReport, RemoteCacheRecord, WorkerRecord};
+use crate::metrics::{
+    AdmissionRecord, ExecutionReport, RemoteCacheRecord, ShardRecord, WorkerRecord,
+};
 use crate::remote::{RemoteCache, RemoteCacheConfig, RemoteCounters};
 use crate::stage_cache::{StageCache, StageCacheMode};
 use chipforge_admit::{interleave_by_weight, CircuitBreaker};
@@ -27,11 +46,11 @@ use chipforge_flow::{
 };
 use chipforge_obs::Tracer;
 use chipforge_resil::{
-    is_degradable_stage, Backoff, Disruption, FaultPlan, Journal, JournalRecord, JournalWriter,
-    ResiliencePolicy,
+    fnv64, is_degradable_stage, Backoff, Disruption, FaultPlan, Journal, JournalRecord,
+    JournalWriter, ResiliencePolicy, ShardFault, ShardFaultPlan,
 };
 use std::cell::Cell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
@@ -42,8 +61,13 @@ use std::time::{Duration, Instant};
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Worker threads in the pool (at least 1).
+    /// Worker threads *per shard* (at least 1). Total thread capacity
+    /// is `workers * shards`.
     pub workers: usize,
+    /// Engine shards (at least 1). Jobs are partitioned across shards
+    /// by canonical cache key; idle shards steal pending work, and the
+    /// supervisor restarts a shard that dies or goes silent.
+    pub shards: usize,
     /// Wall-time budget per attempt; exceeding it reports
     /// [`JobStatus::TimedOut`].
     pub job_timeout: Duration,
@@ -81,6 +105,7 @@ impl Default for EngineConfig {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(4)
                 .clamp(1, 8),
+            shards: 1,
             job_timeout: Duration::from_secs(30),
             max_retries: 2,
             retry_backoff: Duration::from_millis(25),
@@ -98,6 +123,17 @@ impl EngineConfig {
     #[must_use]
     pub fn with_workers(workers: usize) -> Self {
         EngineConfig {
+            workers: workers.max(1),
+            ..EngineConfig::default()
+        }
+    }
+
+    /// A config with `shards` engine shards of `workers` threads each
+    /// and defaults elsewhere.
+    #[must_use]
+    pub fn with_shards(shards: usize, workers: usize) -> Self {
+        EngineConfig {
+            shards: shards.max(1),
             workers: workers.max(1),
             ..EngineConfig::default()
         }
@@ -159,6 +195,10 @@ impl Default for AdmissionControl {
 pub struct ResilienceOptions {
     /// Seeded fault-injection plan.
     pub plan: FaultPlan,
+    /// Seeded shard-level fault plan: killed, wedged and slow shards.
+    /// Kill and wedge fire once per shard per batch; the supervisor's
+    /// restarted workers run clean.
+    pub shard_plan: ShardFaultPlan,
     /// Quarantine / failure-budget / degradation policy.
     pub policy: ResiliencePolicy,
     /// Overload admission control: bounded queue, deadlines, tier
@@ -251,6 +291,137 @@ enum Message {
     Worker(WorkerRecord),
 }
 
+/// Shard liveness latch states set by injected shard faults.
+const SHARD_OK: u8 = 0;
+const SHARD_KILLED: u8 = 1;
+const SHARD_WEDGED: u8 = 2;
+
+/// Heartbeat staleness (ms) after which the supervisor declares an
+/// idle-but-live shard wedged. Healthy workers beat every claim-loop
+/// iteration (~1 ms idle) and are exempt while busy, so only a shard
+/// that truly went silent crosses this.
+const WEDGE_THRESHOLD_MS: u64 = 60;
+
+/// One shard of the execution fabric: its pending-work deque plus the
+/// liveness and telemetry state the supervisor reads.
+struct ShardState {
+    queue: Mutex<VecDeque<WorkItem>>,
+    /// Jobs claimed by a worker that was killed or wedged before any
+    /// attempt ran. Deliberately *not* stealable: only the supervisor
+    /// re-dispatches them, after checking the completed set.
+    orphans: Mutex<Vec<WorkItem>>,
+    /// Kill/wedge latch: once set, every original-generation worker of
+    /// the shard dies (or goes silent) at its next loop iteration.
+    latch: AtomicU8,
+    /// Jobs claimed by original-generation workers; drives the
+    /// `after_jobs` fault trigger.
+    claims: AtomicU64,
+    /// Milliseconds since batch start at the last worker heartbeat.
+    heartbeat_ms: AtomicU64,
+    /// Workers of this shard currently executing a job.
+    busy: AtomicUsize,
+    /// Live worker threads (any generation).
+    live: AtomicUsize,
+    jobs_run: AtomicU64,
+    steals: AtomicU64,
+    quarantines: AtomicU64,
+    restarts: AtomicU64,
+    redispatched: AtomicU64,
+}
+
+impl ShardState {
+    fn new() -> Self {
+        ShardState {
+            queue: Mutex::new(VecDeque::new()),
+            orphans: Mutex::new(Vec::new()),
+            latch: AtomicU8::new(SHARD_OK),
+            claims: AtomicU64::new(0),
+            heartbeat_ms: AtomicU64::new(0),
+            busy: AtomicUsize::new(0),
+            live: AtomicUsize::new(0),
+            jobs_run: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            redispatched: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The batch-wide sharded fabric shared by workers and the supervisor.
+struct Fabric {
+    shards: Vec<ShardState>,
+    /// Admitted jobs that have not yet sent a terminal result. Workers
+    /// exit when it reaches zero, which is also the supervisor's (and
+    /// any wedged thread's) termination signal.
+    outstanding: AtomicUsize,
+    /// Indices of jobs whose result has been sent — the in-memory view
+    /// of the checkpoint journal that makes supervisor re-dispatch
+    /// exactly-once.
+    completed: Mutex<HashSet<usize>>,
+    started: Instant,
+}
+
+impl Fabric {
+    fn new(shard_count: usize, outstanding: usize, started: Instant) -> Self {
+        Fabric {
+            shards: (0..shard_count.max(1)).map(|_| ShardState::new()).collect(),
+            outstanding: AtomicUsize::new(outstanding),
+            completed: Mutex::new(HashSet::new()),
+            started,
+        }
+    }
+
+    fn elapsed_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    fn beat(&self, shard_id: usize) {
+        self.shards[shard_id]
+            .heartbeat_ms
+            .store(self.elapsed_ms(), Ordering::SeqCst);
+    }
+
+    fn heartbeat_age_ms(&self, shard_id: usize) -> u64 {
+        self.elapsed_ms()
+            .saturating_sub(self.shards[shard_id].heartbeat_ms.load(Ordering::SeqCst))
+    }
+}
+
+/// The home shard for a job: a pure function of its canonical cache
+/// key, so the partition is identical across runs, worker counts and
+/// resume boundaries.
+fn shard_of(key: &CacheKey, shard_count: usize) -> usize {
+    usize::try_from(fnv64(key.to_string().as_bytes()) % shard_count.max(1) as u64).unwrap_or(0)
+}
+
+/// Claims the next pending job: the worker's own shard first, then the
+/// other shards in ring order (a steal). Returns the item and whether
+/// it was stolen.
+fn claim(fabric: &Fabric, shard_id: usize) -> Option<(WorkItem, bool)> {
+    if let Some(item) = fabric.shards[shard_id]
+        .queue
+        .lock()
+        .expect("shard queue lock")
+        .pop_front()
+    {
+        return Some((item, false));
+    }
+    let shard_count = fabric.shards.len();
+    for offset in 1..shard_count {
+        let victim = (shard_id + offset) % shard_count;
+        if let Some(item) = fabric.shards[victim]
+            .queue
+            .lock()
+            .expect("shard queue lock")
+            .pop_front()
+        {
+            return Some((item, true));
+        }
+    }
+    None
+}
+
 /// Batch-wide mutable resilience state shared by all workers.
 struct BatchControl {
     journal: Option<Mutex<JournalWriter>>,
@@ -273,6 +444,7 @@ struct BatchControl {
 struct Shared {
     config: EngineConfig,
     plan: FaultPlan,
+    shard_plan: ShardFaultPlan,
     policy: ResiliencePolicy,
     admission: AdmissionControl,
     /// Per-stage circuit breakers, keyed by the typed flow stage.
@@ -340,6 +512,16 @@ impl BatchEngine {
         engine
     }
 
+    /// Replaces the engine's detached-thread gauge with a shared one,
+    /// so the many short-lived engines a hub builds (one per job)
+    /// accumulate into a single hub-wide `exec.detached_threads` gauge
+    /// instead of each counting from zero.
+    #[must_use]
+    pub fn with_detached_gauge(mut self, gauge: Arc<AtomicI64>) -> Self {
+        self.detached = gauge;
+        self
+    }
+
     /// The engine's artifact cache.
     #[must_use]
     pub fn cache(&self) -> &ArtifactCache {
@@ -386,10 +568,14 @@ impl BatchEngine {
             .and_then(|sc| sc.remote())
             .map(|remote| remote.counters());
 
+        let shard_count = self.config.shards.max(1);
+        let per_shard = self.config.workers.max(1);
+        let capacity = shard_count * per_shard;
+
         let batch_span = self.tracer.span("batch", "exec");
         if self.tracer.is_enabled() {
             self.tracer.set_track_name(0, "coordinator");
-            for worker_id in 0..self.config.workers.max(1) {
+            for worker_id in 0..capacity {
                 self.tracer
                     .set_track_name(worker_id + 1, &format!("worker-{worker_id}"));
             }
@@ -402,7 +588,6 @@ impl BatchEngine {
         let mut restored: Vec<(String, JobResult)> = Vec::new();
         let mut quarantined_keys: HashSet<CacheKey> = HashSet::new();
         let mut work: Vec<WorkItem> = Vec::new();
-        let (work_tx, work_rx) = mpsc::channel::<WorkItem>();
         for (index, spec) in jobs.into_iter().enumerate() {
             self.tracer.instant("enqueue", "exec", &spec.name);
             let key = CacheKey::of(&spec);
@@ -441,9 +626,8 @@ impl BatchEngine {
             work = interleave_tiers(work, weights);
         }
         let mut turned_away: Vec<(String, JobResult)> = Vec::new();
-        let workers = self.config.workers.max(1);
         if let Some(max_queue) = options.admission.max_queue {
-            let window = workers + max_queue;
+            let window = capacity + max_queue;
             if work.len() > window {
                 let excess = work.len() - window;
                 let overflow: Vec<WorkItem> = if options.admission.shed_oldest {
@@ -480,7 +664,7 @@ impl BatchEngine {
             } else {
                 0
             },
-            peak_queue_depth: work.len().saturating_sub(workers),
+            peak_queue_depth: work.len().saturating_sub(capacity),
         };
         if self.tracer.is_enabled() {
             self.tracer.set_gauge(
@@ -507,6 +691,7 @@ impl BatchEngine {
         let shared = Arc::new(Shared {
             config: self.config.clone(),
             plan: options.plan,
+            shard_plan: options.shard_plan,
             policy: options.policy,
             breakers: options
                 .admission
@@ -529,32 +714,72 @@ impl BatchEngine {
             },
         });
 
+        // Partition admitted work across the shard deques by canonical
+        // cache key — a pure function of each job's content, so the
+        // partition is identical across runs and shard restarts.
+        let fabric = Arc::new(Fabric::new(shard_count, work.len(), started));
         for item in work {
-            work_tx.send(item).expect("queue open");
+            let home = shard_of(&item.key, shard_count);
+            fabric.shards[home]
+                .queue
+                .lock()
+                .expect("shard queue lock")
+                .push_back(item);
         }
-        drop(work_tx);
-        let work_rx = Arc::new(Mutex::new(work_rx));
 
         let (result_tx, result_rx) = mpsc::channel::<Message>();
+        let worker_tracers: Vec<Tracer> = (0..capacity)
+            .map(|worker_id| self.tracer.at(batch_span.id(), worker_id + 1))
+            .collect();
         let mut handles = Vec::new();
-        for worker_id in 0..self.config.workers.max(1) {
-            let work_rx = Arc::clone(&work_rx);
+        for shard_id in 0..shard_count {
+            for slot in 0..per_shard {
+                let worker_id = shard_id * per_shard + slot;
+                fabric.shards[shard_id].live.fetch_add(1, Ordering::SeqCst);
+                let fabric = Arc::clone(&fabric);
+                let result_tx = result_tx.clone();
+                let cache = Arc::clone(&self.cache);
+                let shared = Arc::clone(&shared);
+                let detached = Arc::clone(&self.detached);
+                let tracer = worker_tracers[worker_id].clone();
+                let handle = thread::Builder::new()
+                    .name(format!("exec-worker-{worker_id}"))
+                    .spawn(move || {
+                        shard_worker_loop(
+                            worker_id, shard_id, 0, &fabric, &result_tx, &cache, &shared, deadline,
+                            &tracer, &detached,
+                        );
+                    })
+                    .expect("spawn worker");
+                handles.push(handle);
+            }
+        }
+        // The supervisor owns crash recovery: it heartbeat-monitors
+        // every shard and holds its own sender clone, so the collector
+        // stays open until any replacement workers it spawns report.
+        let supervisor = {
+            let fabric = Arc::clone(&fabric);
+            let shared = Arc::clone(&shared);
             let result_tx = result_tx.clone();
             let cache = Arc::clone(&self.cache);
-            let shared = Arc::clone(&shared);
             let detached = Arc::clone(&self.detached);
-            let tracer = self.tracer.at(batch_span.id(), worker_id + 1);
-            let handle = thread::Builder::new()
-                .name(format!("exec-worker-{worker_id}"))
+            let worker_tracers = worker_tracers.clone();
+            thread::Builder::new()
+                .name("exec-supervisor".into())
                 .spawn(move || {
-                    worker_loop(
-                        worker_id, &work_rx, &result_tx, &cache, &shared, deadline, &tracer,
+                    supervise(
+                        &fabric,
+                        &shared,
+                        &result_tx,
+                        &cache,
+                        deadline,
+                        &worker_tracers,
                         &detached,
-                    )
+                        per_shard,
+                    );
                 })
-                .expect("spawn worker");
-            handles.push(handle);
-        }
+                .expect("spawn supervisor")
+        };
         drop(result_tx);
 
         let mut results: Vec<JobResult> = restored
@@ -563,23 +788,75 @@ impl BatchEngine {
             .map(|(_, r)| r)
             .collect();
         results.reserve(job_count.saturating_sub(results.len()));
-        let mut workers = Vec::new();
+        // Replacement workers reuse their predecessor's worker id, so
+        // records are merged per id rather than appended.
+        let mut worker_records: HashMap<usize, WorkerRecord> = HashMap::new();
         while let Ok(message) = result_rx.recv() {
             match message {
                 Message::Job(result) => results.push(result),
-                Message::Worker(record) => workers.push(record),
+                Message::Worker(record) => {
+                    let entry =
+                        worker_records
+                            .entry(record.worker)
+                            .or_insert_with(|| WorkerRecord {
+                                worker: record.worker,
+                                jobs_run: 0,
+                                busy_ms: 0.0,
+                                utilization: 0.0,
+                            });
+                    entry.jobs_run += record.jobs_run;
+                    entry.busy_ms += record.busy_ms;
+                }
             }
         }
         for handle in handles {
             let _ = handle.join();
         }
+        let _ = supervisor.join();
+        let workers: Vec<WorkerRecord> = worker_records.into_values().collect();
         results.sort_by_key(|r| r.index);
 
         let halted = shared.control.halted.load(Ordering::SeqCst);
         let detached_threads = self.detached_threads();
+        let shard_records: Vec<ShardRecord> = fabric
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(shard_id, shard)| ShardRecord {
+                shard: shard_id,
+                jobs_run: shard.jobs_run.load(Ordering::SeqCst),
+                steals: shard.steals.load(Ordering::SeqCst),
+                quarantines: shard.quarantines.load(Ordering::SeqCst),
+                restarts: shard.restarts.load(Ordering::SeqCst),
+                redispatched: shard.redispatched.load(Ordering::SeqCst),
+                heartbeat_age_ms: fabric.heartbeat_age_ms(shard_id) as f64,
+            })
+            .collect();
         if self.tracer.is_enabled() {
             self.tracer
                 .set_gauge("exec.detached_threads", detached_threads as f64);
+            for record in &shard_records {
+                self.tracer.set_gauge(
+                    &format!("exec.shard.{}.jobs_run", record.shard),
+                    record.jobs_run as f64,
+                );
+                self.tracer.set_gauge(
+                    &format!("exec.shard.{}.heartbeat_age_ms", record.shard),
+                    record.heartbeat_age_ms,
+                );
+            }
+            self.tracer.add(
+                "exec.shard.steals",
+                shard_records.iter().map(|r| r.steals).sum(),
+            );
+            self.tracer.add(
+                "exec.shard.restarts",
+                shard_records.iter().map(|r| r.restarts).sum(),
+            );
+            self.tracer.add(
+                "exec.shard.redispatched",
+                shard_records.iter().map(|r| r.redispatched).sum(),
+            );
         }
         let makespan_ms = started.elapsed().as_secs_f64() * 1_000.0;
         batch_span.finish_with_detail(&format!("{job_count} jobs"));
@@ -619,6 +896,7 @@ impl BatchEngine {
             admission_record,
             stage_cache_record,
             remote_cache_record,
+            shard_records,
         );
         BatchReport {
             results,
@@ -743,9 +1021,11 @@ fn journal_record(seq: u64, key: String, result: &JobResult) -> JournalRecord {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn worker_loop(
+fn shard_worker_loop(
     worker_id: usize,
-    work_rx: &Mutex<mpsc::Receiver<WorkItem>>,
+    shard_id: usize,
+    generation: u32,
+    fabric: &Arc<Fabric>,
     result_tx: &mpsc::Sender<Message>,
     cache: &ArtifactCache,
     shared: &Shared,
@@ -755,6 +1035,15 @@ fn worker_loop(
 ) {
     let mut busy = Duration::ZERO;
     let mut jobs_run = 0u64;
+    let shard = &fabric.shards[shard_id];
+    // The injected shard fault is decided once, purely from (seed,
+    // shard): restarted workers (generation > 0) always run clean, so
+    // a killed shard never flaps and every batch terminates.
+    let my_fault = if generation == 0 {
+        shared.shard_plan.fault_for(shard_id)
+    } else {
+        ShardFault::None
+    };
     loop {
         // A halted batch (halt_after) stops pulling work: in-flight jobs
         // finish and are journaled, queued jobs are simply dropped —
@@ -762,15 +1051,71 @@ fn worker_loop(
         if shared.control.halted.load(Ordering::SeqCst) {
             break;
         }
-        // Take one item with the queue lock held, then release it before
-        // doing any work so other workers keep draining.
-        let item = {
-            let receiver = work_rx.lock().expect("queue lock");
-            receiver.recv()
+        if fabric.outstanding.load(Ordering::SeqCst) == 0 {
+            break;
+        }
+        // Once a peer tripped the shard's fault latch, every original
+        // worker of the shard follows it down at its next iteration.
+        match shard.latch.load(Ordering::SeqCst) {
+            SHARD_KILLED if generation == 0 => break,
+            SHARD_WEDGED if generation == 0 => {
+                wedge_until_done(fabric, shared);
+                break;
+            }
+            _ => {}
+        }
+        fabric.beat(shard_id);
+        let Some((item, stolen)) = claim(fabric, shard_id) else {
+            thread::sleep(Duration::from_millis(1));
+            continue;
         };
-        let Ok(item) = item else { break };
+        if stolen {
+            shard.steals.fetch_add(1, Ordering::SeqCst);
+        }
+        match my_fault {
+            ShardFault::Kill | ShardFault::Wedge => {
+                let claims = shard.claims.fetch_add(1, Ordering::SeqCst) + 1;
+                if claims > shared.shard_plan.after_jobs {
+                    // The fault fires *at claim time*, before any attempt
+                    // runs: the claimed item is orphaned for the
+                    // supervisor, never half-executed, so a re-dispatched
+                    // job replays from a clean slate and the canonical
+                    // report stays byte-identical.
+                    let latch = if my_fault == ShardFault::Kill {
+                        SHARD_KILLED
+                    } else {
+                        SHARD_WEDGED
+                    };
+                    shard.latch.store(latch, Ordering::SeqCst);
+                    shard.orphans.lock().expect("orphan lock").push(item);
+                    tracer.instant("shard-fault", "exec", &format!("shard-{shard_id}"));
+                    if my_fault == ShardFault::Kill {
+                        break;
+                    }
+                    wedge_until_done(fabric, shared);
+                    break;
+                }
+            }
+            ShardFault::Slow(ms) => {
+                // A slow shard is alive: it keeps heartbeating while it
+                // crawls, so the supervisor routes around it via work
+                // stealing instead of quarantining it.
+                let mut remaining = ms;
+                while remaining > 0 {
+                    let step = remaining.min(10);
+                    thread::sleep(Duration::from_millis(step));
+                    fabric.beat(shard_id);
+                    remaining -= step;
+                }
+            }
+            ShardFault::None => {}
+        }
         let key = item.key;
+        let index = item.index;
         let picked_up = Instant::now();
+        // Busy covers run + journal + send: while any of that is in
+        // flight the supervisor must not read this shard as silent.
+        shard.busy.fetch_add(1, Ordering::SeqCst);
         let queue_wait_ms = picked_up.duration_since(item.enqueued).as_secs_f64() * 1_000.0;
         let result = run_one(
             worker_id,
@@ -786,16 +1131,137 @@ fn worker_loop(
         journal_result(key, &result, shared, tracer);
         busy += picked_up.elapsed();
         jobs_run += 1;
-        if result_tx.send(Message::Job(result)).is_err() {
+        shard.jobs_run.fetch_add(1, Ordering::SeqCst);
+        // Exactly-once bookkeeping: record completion *before* sending
+        // and before decrementing `outstanding`, so the supervisor can
+        // never re-dispatch a job whose result exists.
+        fabric
+            .completed
+            .lock()
+            .expect("completed lock")
+            .insert(index);
+        let sent = result_tx.send(Message::Job(result)).is_ok();
+        fabric.beat(shard_id);
+        shard.busy.fetch_sub(1, Ordering::SeqCst);
+        fabric.outstanding.fetch_sub(1, Ordering::SeqCst);
+        if !sent {
             break;
         }
     }
+    shard.live.fetch_sub(1, Ordering::SeqCst);
     let _ = result_tx.send(Message::Worker(WorkerRecord {
         worker: worker_id,
         jobs_run,
         busy_ms: busy.as_secs_f64() * 1_000.0,
         utilization: 0.0, // filled in by ExecutionReport::build
     }));
+}
+
+/// What an injected wedge does: the thread stops heartbeating and stops
+/// claiming work but does not exit — a hung tool process. It parks
+/// until the batch is over so the test harness never leaks it.
+fn wedge_until_done(fabric: &Fabric, shared: &Shared) {
+    while fabric.outstanding.load(Ordering::SeqCst) > 0
+        && !shared.control.halted.load(Ordering::SeqCst)
+    {
+        thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// The supervision loop: polls every shard until the batch drains,
+/// detects a dead shard (fault latch tripped and all workers gone) or a
+/// silent one (live but not heartbeating and not busy), quarantines it,
+/// re-dispatches its orphaned in-flight jobs — filtered against the
+/// completed set so nothing ever runs twice — and restarts its worker
+/// complement one generation up.
+#[allow(clippy::too_many_arguments)]
+fn supervise(
+    fabric: &Arc<Fabric>,
+    shared: &Arc<Shared>,
+    result_tx: &mpsc::Sender<Message>,
+    cache: &Arc<ArtifactCache>,
+    deadline: Option<Instant>,
+    worker_tracers: &[Tracer],
+    detached: &Arc<AtomicI64>,
+    per_shard: usize,
+) {
+    let mut handled = vec![false; fabric.shards.len()];
+    let mut replacements: Vec<thread::JoinHandle<()>> = Vec::new();
+    while fabric.outstanding.load(Ordering::SeqCst) > 0
+        && !shared.control.halted.load(Ordering::SeqCst)
+    {
+        for shard_id in 0..fabric.shards.len() {
+            if handled[shard_id] {
+                continue;
+            }
+            let shard = &fabric.shards[shard_id];
+            let dead = shard.latch.load(Ordering::SeqCst) == SHARD_KILLED
+                && shard.live.load(Ordering::SeqCst) == 0;
+            let silent = shard.live.load(Ordering::SeqCst) > 0
+                && shard.busy.load(Ordering::SeqCst) == 0
+                && fabric.heartbeat_age_ms(shard_id) > WEDGE_THRESHOLD_MS;
+            if !(dead || silent) {
+                continue;
+            }
+            handled[shard_id] = true;
+            shard.quarantines.fetch_add(1, Ordering::SeqCst);
+            worker_tracers[shard_id * per_shard].instant(
+                "shard-quarantine",
+                "exec",
+                &format!("shard-{shard_id}"),
+            );
+            // Re-dispatch the shard's orphaned in-flight jobs. The
+            // completed set mirrors the checkpoint journal: anything
+            // with a result already sent (and journaled) is skipped,
+            // which is what makes recovery exactly-once.
+            let mut orphans: Vec<WorkItem> = {
+                let mut list = shard.orphans.lock().expect("orphan lock");
+                list.drain(..).collect()
+            };
+            {
+                let completed = fabric.completed.lock().expect("completed lock");
+                orphans.retain(|item| !completed.contains(&item.index));
+            }
+            orphans.sort_by_key(|item| item.index);
+            shard
+                .redispatched
+                .fetch_add(orphans.len() as u64, Ordering::SeqCst);
+            {
+                let mut queue = shard.queue.lock().expect("shard queue lock");
+                for item in orphans.into_iter().rev() {
+                    queue.push_front(item);
+                }
+            }
+            // Restart the shard's worker complement one generation up;
+            // replacements run clean and reuse their predecessors' ids.
+            shard.restarts.fetch_add(1, Ordering::SeqCst);
+            fabric.beat(shard_id);
+            for slot in 0..per_shard {
+                let worker_id = shard_id * per_shard + slot;
+                shard.live.fetch_add(1, Ordering::SeqCst);
+                let fabric = Arc::clone(fabric);
+                let result_tx = result_tx.clone();
+                let cache = Arc::clone(cache);
+                let shared = Arc::clone(shared);
+                let detached = Arc::clone(detached);
+                let tracer = worker_tracers[worker_id].clone();
+                let handle = thread::Builder::new()
+                    .name(format!("exec-worker-{worker_id}-r"))
+                    .spawn(move || {
+                        shard_worker_loop(
+                            worker_id, shard_id, 1, &fabric, &result_tx, &cache, &shared, deadline,
+                            &tracer, &detached,
+                        );
+                    })
+                    .expect("spawn replacement worker");
+                replacements.push(handle);
+            }
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+    for handle in replacements {
+        let _ = handle.join();
+    }
 }
 
 /// Counts a terminal failure against the batch failure budget and trips
@@ -2047,5 +2513,138 @@ mod tests {
         assert_eq!(batch.results[0].status, JobStatus::TimedOut);
         assert!(engine.detached_threads() >= 1);
         assert_eq!(batch.report.detached_threads, engine.detached_threads());
+    }
+
+    fn shard_jobs(n: usize) -> Vec<JobSpec> {
+        (0..n)
+            .map(|i| job(&format!("shard-job-{i}"), i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn shard_counts_do_not_change_the_canonical_report() {
+        let baseline = BatchEngine::new(EngineConfig::with_shards(1, 1))
+            .run_batch(shard_jobs(6))
+            .canonical_report();
+        for shards in [2, 4, 8] {
+            let batch =
+                BatchEngine::new(EngineConfig::with_shards(shards, 1)).run_batch(shard_jobs(6));
+            assert_eq!(batch.report.shards.len(), shards);
+            assert_eq!(
+                batch.report.shards.iter().map(|s| s.jobs_run).sum::<u64>(),
+                6,
+                "every job is attributed to exactly one shard"
+            );
+            assert_eq!(batch.canonical_report(), baseline, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn idle_shards_steal_pending_work() {
+        // Pin every job to shard 0 of 2 so shard 1 starts empty and can
+        // only ever run something by stealing; the hang keeps shard 0's
+        // single worker busy long enough that a steal must happen.
+        let shard_count = 2;
+        let jobs: Vec<JobSpec> = (0..64u64)
+            .map(|seed| job(&format!("steal-{seed}"), seed).with_fault(Fault::Hang(30)))
+            .filter(|spec| shard_of(&CacheKey::of(spec), shard_count) == 0)
+            .take(4)
+            .collect();
+        assert_eq!(jobs.len(), 4, "need 4 jobs homed on shard 0");
+        let batch = BatchEngine::new(EngineConfig::with_shards(shard_count, 1)).run_batch(jobs);
+        assert!(batch
+            .results
+            .iter()
+            .all(|r| r.status == JobStatus::Succeeded));
+        let shards = &batch.report.shards;
+        assert!(
+            shards[1].steals >= 1,
+            "shard 1 must steal from shard 0's queue: {shards:?}"
+        );
+        assert_eq!(shards.iter().map(|s| s.jobs_run).sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn killed_shards_are_restarted_without_losing_or_duplicating_jobs() {
+        let clean = BatchEngine::new(EngineConfig::with_shards(2, 1))
+            .run_batch(shard_jobs(8))
+            .canonical_report();
+        let engine = BatchEngine::new(EngineConfig::with_shards(2, 1));
+        let batch = engine.run_batch_resilient(
+            shard_jobs(8),
+            ResilienceOptions {
+                // Rate 1.0 kills *every* shard after its first claim —
+                // recovery still completes because restarted workers run
+                // clean.
+                shard_plan: ShardFaultPlan::kill(7, 1.0),
+                ..ResilienceOptions::default()
+            },
+        );
+        assert_eq!(batch.results.len(), 8, "no job lost");
+        let mut indices: Vec<usize> = batch.results.iter().map(|r| r.index).collect();
+        indices.dedup();
+        assert_eq!(indices.len(), 8, "no job duplicated");
+        assert!(batch
+            .results
+            .iter()
+            .all(|r| r.status == JobStatus::Succeeded));
+        let restarts: u64 = batch.report.shards.iter().map(|s| s.restarts).sum();
+        let quarantines: u64 = batch.report.shards.iter().map(|s| s.quarantines).sum();
+        assert!(restarts >= 1, "the supervisor must have restarted a shard");
+        assert_eq!(quarantines, restarts);
+        assert_eq!(
+            batch.canonical_report(),
+            clean,
+            "kill must not change outcomes"
+        );
+    }
+
+    #[test]
+    fn wedged_shard_is_detected_by_heartbeat_and_recovered() {
+        let clean = BatchEngine::new(EngineConfig::with_shards(2, 1))
+            .run_batch(shard_jobs(6))
+            .canonical_report();
+        let engine = BatchEngine::new(EngineConfig::with_shards(2, 1));
+        let batch = engine.run_batch_resilient(
+            shard_jobs(6),
+            ResilienceOptions {
+                shard_plan: ShardFaultPlan::disabled().with_wedge_rate(1.0),
+                ..ResilienceOptions::default()
+            },
+        );
+        assert_eq!(batch.results.len(), 6);
+        assert!(batch
+            .results
+            .iter()
+            .all(|r| r.status == JobStatus::Succeeded));
+        let redispatched: u64 = batch.report.shards.iter().map(|s| s.redispatched).sum();
+        assert!(
+            batch
+                .report
+                .shards
+                .iter()
+                .map(|s| s.quarantines)
+                .sum::<u64>()
+                >= 1,
+            "a silent shard must be quarantined: {:?}",
+            batch.report.shards
+        );
+        assert!(redispatched >= 1, "the wedged claim must be re-dispatched");
+        assert_eq!(
+            batch.canonical_report(),
+            clean,
+            "wedge must not change outcomes"
+        );
+    }
+
+    #[test]
+    fn shard_partition_is_deterministic() {
+        for spec in shard_jobs(16) {
+            let key = CacheKey::of(&spec);
+            let home = shard_of(&key, 8);
+            assert_eq!(home, shard_of(&key, 8), "replays");
+            assert!(home < 8);
+        }
+        assert_eq!(shard_of(&CacheKey::of(&job("one", 1)), 1), 0);
     }
 }

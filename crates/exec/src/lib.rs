@@ -6,9 +6,10 @@
 //! of student designs submitted together, many of them identical
 //! resubmissions. This crate supplies the hub's execution layer:
 //!
-//! - [`BatchEngine`] — a pool of OS worker threads fed from a shared
-//!   queue, with per-job timeouts, panic isolation and bounded retries,
-//!   so one broken design never takes down a batch.
+//! - [`BatchEngine`] — a supervised, sharded work-stealing fabric of OS
+//!   worker threads (`--shards N`), with per-job timeouts, panic
+//!   isolation, bounded retries and supervisor-driven shard restart, so
+//!   one broken design — or one dead shard — never takes down a batch.
 //! - [`ArtifactCache`] — content-addressed results keyed by a canonical
 //!   hash of everything that affects the artifact (source, node, profile
 //!   knobs, clock, seed), so resubmissions are served in microseconds.
@@ -46,7 +47,7 @@ pub use engine::{AdmissionControl, BatchEngine, BatchReport, EngineConfig, Resil
 pub use job::{Fault, JobResult, JobSpec, JobStatus, RestoredArtifact};
 pub use metrics::{
     canonical_report, AdmissionRecord, BatchTotals, ExecutionReport, JobRecord, RemoteCacheRecord,
-    StageCacheRecord, StageCounter, StageTime, WorkerRecord,
+    ShardRecord, StageCacheRecord, StageCounter, StageTime, WorkerRecord,
 };
 pub use remote::{RemoteCache, RemoteCacheConfig, RemoteCounters};
 pub use stage_cache::{StageCache, StageCacheMode, StageCounters};

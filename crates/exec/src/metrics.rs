@@ -65,6 +65,31 @@ pub struct WorkerRecord {
     pub utilization: f64,
 }
 
+/// One engine shard's share of the batch fabric.
+///
+/// Everything here is scheduling telemetry, deliberately excluded from
+/// [`canonical_report`]: which shard ran a job, how many steals happened
+/// and whether the supervisor had to restart anything are properties of
+/// *this* run, not of the batch's outcomes.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ShardRecord {
+    /// Shard id (0-based).
+    pub shard: usize,
+    /// Jobs whose terminal result was produced by this shard's workers.
+    pub jobs_run: u64,
+    /// Jobs this shard's workers stole from other shards' queues.
+    pub steals: u64,
+    /// Times the supervisor quarantined this shard (killed or wedged).
+    pub quarantines: u64,
+    /// Times the supervisor restarted this shard's worker complement.
+    pub restarts: u64,
+    /// In-flight jobs the supervisor re-dispatched after a quarantine.
+    pub redispatched: u64,
+    /// Milliseconds between the shard's last heartbeat and batch end —
+    /// large values mean the shard went silent (wedged or killed).
+    pub heartbeat_age_ms: f64,
+}
+
 /// Batch-level aggregates.
 #[derive(Debug, Clone, Serialize)]
 pub struct BatchTotals {
@@ -142,6 +167,10 @@ pub struct StageCacheRecord {
     pub full_restores: u64,
     /// Executed jobs that computed at least one stage.
     pub recomputes: u64,
+    /// Disk-tier writes that failed (ENOSPC, permission loss, missing
+    /// directory). After the first failure the disk tier is disabled
+    /// for the life of the cache and the batch carries on memory-only.
+    pub disk_write_errors: u64,
     /// Per-stage hit/miss counts, in canonical flow order.
     pub stages: Vec<StageCounter>,
 }
@@ -201,6 +230,8 @@ pub struct ExecutionReport {
     pub detached_threads: u64,
     /// Per-worker accounting.
     pub workers: Vec<WorkerRecord>,
+    /// Per-shard fabric accounting, in shard order.
+    pub shards: Vec<ShardRecord>,
     /// Per-job records, in submission order.
     pub jobs: Vec<JobRecord>,
 }
@@ -218,6 +249,7 @@ impl ExecutionReport {
         admission: AdmissionRecord,
         stage_cache: Option<StageCacheRecord>,
         remote_cache: Option<RemoteCacheRecord>,
+        shards: Vec<ShardRecord>,
     ) -> Self {
         let jobs: Vec<JobRecord> = results.iter().map(job_record).collect();
         workers.sort_by_key(|w| w.worker);
@@ -236,6 +268,7 @@ impl ExecutionReport {
             remote_cache,
             detached_threads,
             workers,
+            shards,
             jobs,
         }
     }
@@ -463,6 +496,11 @@ mod tests {
             AdmissionRecord::default(),
             None,
             None,
+            vec![ShardRecord {
+                shard: 0,
+                jobs_run: 4,
+                ..ShardRecord::default()
+            }],
         );
         assert_eq!(report.totals.succeeded, 2);
         assert_eq!(report.totals.failed, 1);
@@ -481,6 +519,8 @@ mod tests {
             "corrupted",
             "detached_threads",
             "quarantined",
+            "heartbeat_age_ms",
+            "steals",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

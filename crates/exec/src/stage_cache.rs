@@ -31,7 +31,7 @@ use chipforge_flow::{FlowStep, StageSnapshot, StageStore};
 use chipforge_resil::{frame_checksummed, verify_checksummed};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Where the engine keeps per-stage flow snapshots.
@@ -55,6 +55,7 @@ pub enum StageCacheMode {
 pub struct StageCounters {
     hits: [u64; 8],
     misses: [u64; 8],
+    disk_write_errors: u64,
 }
 
 /// Content-addressed storage for finished flow-stage snapshots.
@@ -70,6 +71,8 @@ pub struct StageCache {
     hits: [AtomicU64; 8],
     misses: [AtomicU64; 8],
     tmp_seq: AtomicU64,
+    disk_write_errors: AtomicU64,
+    disk_disabled: AtomicBool,
 }
 
 impl StageCache {
@@ -81,6 +84,8 @@ impl StageCache {
             hits: Default::default(),
             misses: Default::default(),
             tmp_seq: AtomicU64::new(0),
+            disk_write_errors: AtomicU64::new(0),
+            disk_disabled: AtomicBool::new(false),
         })
     }
 
@@ -145,6 +150,7 @@ impl StageCache {
             snapshot.hits[i] = self.hits[i].load(Ordering::SeqCst);
             snapshot.misses[i] = self.misses[i].load(Ordering::SeqCst);
         }
+        snapshot.disk_write_errors = self.disk_write_errors.load(Ordering::SeqCst);
         snapshot
     }
 
@@ -172,6 +178,7 @@ impl StageCache {
             misses: stages.iter().map(|s| s.misses).sum(),
             full_restores,
             recomputes,
+            disk_write_errors: now.disk_write_errors - since.disk_write_errors,
             stages,
         }
     }
@@ -210,14 +217,31 @@ impl StageCache {
             .lock()
             .expect("stage cache lock")
             .insert(key, snapshot.clone());
+        if self.disk_disabled.load(Ordering::SeqCst) {
+            return;
+        }
         if let Some(path) = self.disk_path(key) {
             // Unique temp name per write: two workers finishing the same
             // stage concurrently must not interleave into one temp file.
             let seq = self.tmp_seq.fetch_add(1, Ordering::SeqCst);
             let tmp = path.with_extension(format!("{seq}.tmp"));
             let text = frame_checksummed(&serde::json::to_string(snapshot));
-            if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let written =
+                std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_ok();
+            if !written {
+                // A full or read-only disk must cost cache persistence,
+                // never jobs: count the failure, disable the disk tier
+                // for the life of the cache (memory keeps serving), and
+                // warn the operator exactly once.
                 let _ = std::fs::remove_file(&tmp);
+                self.disk_write_errors.fetch_add(1, Ordering::SeqCst);
+                if !self.disk_disabled.swap(true, Ordering::SeqCst) {
+                    eprintln!(
+                        "warning: stage cache disk tier at {} is not writable; \
+                         continuing memory-only",
+                        path.parent().unwrap_or(&path).display()
+                    );
+                }
             }
         }
     }
@@ -397,6 +421,31 @@ mod tests {
             "peek never skews batch accounting"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_disk_tier_degrades_to_memory_and_counts() {
+        // A regular file where the cache directory should be makes every
+        // disk write fail with ENOTDIR — unlike a chmod'd read-only
+        // directory, this fails even when the tests run as root.
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("chipforge-stage-cache-ro-{}", std::process::id()));
+        let _ = std::fs::remove_file(&dir);
+        std::fs::write(&dir, "not a directory").expect("placeholder file");
+        let cache = StageCache::on_disk(&dir);
+        cache.store(31, &snapshot(FlowStep::Export));
+        cache.store(32, &snapshot(FlowStep::Route));
+        assert!(
+            cache.load(31, FlowStep::Export).is_some(),
+            "memory tier must keep serving after the disk tier fails"
+        );
+        let record = cache.record(&StageCounters::default(), 0, 0);
+        assert_eq!(
+            record.disk_write_errors, 1,
+            "the tier is disabled after the first failure, so later \
+             stores must not retry the disk"
+        );
+        let _ = std::fs::remove_file(&dir);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use chipforge_resil::{
 use serde::{Serialize, Value};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -38,6 +38,11 @@ use std::time::{Duration, Instant};
 pub struct HubConfig {
     /// Worker threads (the hub's "servers" in DES terms).
     pub workers: usize,
+    /// Supervision shards the worker pool is grouped into: worker `w`
+    /// reports its execution telemetry under shard `w % shards`, so
+    /// `/metrics` exposes the same per-shard view `forge batch
+    /// --shards` prints (E21 feeds this into the DES as capacity).
+    pub shards: usize,
     /// Per-tier waiting-room bound; `None` means unbounded.
     pub queue_capacity: Option<usize>,
     /// What happens when a bounded tier queue overflows.
@@ -70,6 +75,7 @@ impl Default for HubConfig {
     fn default() -> Self {
         HubConfig {
             workers: 2,
+            shards: 1,
             queue_capacity: Some(8),
             overflow: OverflowPolicy::Reject,
             weights: [2.0, 1.5, 1.0],
@@ -166,6 +172,16 @@ struct HubState {
     shed: [u64; 3],
 }
 
+/// Per-hub-shard execution counters, aggregated from the mini-batch
+/// reports of the workers that belong to the shard.
+#[derive(Debug, Default)]
+struct ShardTelemetry {
+    jobs_run: AtomicU64,
+    failed: AtomicU64,
+    quarantines: AtomicU64,
+    restarts: AtomicU64,
+}
+
 /// Request counters for the `/cache/stage/<key>` protocol endpoints.
 #[derive(Debug, Default)]
 struct CacheProtocol {
@@ -185,6 +201,10 @@ struct HubInner {
     cache: Arc<ArtifactCache>,
     stage_cache: Option<Arc<StageCache>>,
     cache_protocol: CacheProtocol,
+    /// Attempt threads orphaned by job timeouts, hub-wide (the same
+    /// gauge every mini-batch engine reports into).
+    detached: Arc<AtomicI64>,
+    shard_stats: Vec<ShardTelemetry>,
     shutdown: AtomicBool,
 }
 
@@ -244,6 +264,7 @@ impl Hub {
         } else {
             None
         };
+        let shard_count = config.shards.max(1);
         let inner = Arc::new(HubInner {
             started: Instant::now(),
             state: Mutex::new(state),
@@ -251,13 +272,17 @@ impl Hub {
             cache: Arc::new(ArtifactCache::new(256)),
             stage_cache,
             cache_protocol: CacheProtocol::default(),
+            detached: Arc::new(AtomicI64::new(0)),
+            shard_stats: (0..shard_count)
+                .map(|_| ShardTelemetry::default())
+                .collect(),
             shutdown: AtomicBool::new(false),
             config,
         });
         let workers = (0..inner.config.workers.max(1))
-            .map(|_| {
+            .map(|worker| {
                 let inner = Arc::clone(&inner);
-                std::thread::spawn(move || worker_loop(&inner))
+                std::thread::spawn(move || worker_loop(&inner, worker))
             })
             .collect();
         Ok(Hub {
@@ -549,6 +574,34 @@ impl Hub {
         let protocol = &self.inner.cache_protocol;
         let count = |counter: &AtomicU64| Value::U64(counter.load(Ordering::Relaxed));
         fields.push((
+            Value::Str("exec".into()),
+            Value::Map(vec![
+                (
+                    Value::Str("detached_threads".into()),
+                    Value::I64(self.inner.detached.load(Ordering::SeqCst)),
+                ),
+                (
+                    Value::Str("shards".into()),
+                    Value::Seq(
+                        self.inner
+                            .shard_stats
+                            .iter()
+                            .enumerate()
+                            .map(|(shard, stats)| {
+                                Value::Map(vec![
+                                    (Value::Str("shard".into()), Value::U64(shard as u64)),
+                                    (Value::Str("jobs_run".into()), count(&stats.jobs_run)),
+                                    (Value::Str("failed".into()), count(&stats.failed)),
+                                    (Value::Str("quarantines".into()), count(&stats.quarantines)),
+                                    (Value::Str("restarts".into()), count(&stats.restarts)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+        fields.push((
             Value::Str("cache_protocol".into()),
             Value::Map(vec![
                 (Value::Str("gets".into()), count(&protocol.gets)),
@@ -719,7 +772,8 @@ fn job_json(id: u64, entry: &JobEntry, with_progress: bool) -> Value {
 
 /// The worker loop: fair-share pick under the lock, flow execution
 /// outside it, result + journal + usage charge back under the lock.
-fn worker_loop(inner: &Arc<HubInner>) {
+fn worker_loop(inner: &Arc<HubInner>, worker: usize) {
+    let shard = worker % inner.shard_stats.len().max(1);
     loop {
         let picked = {
             let mut state = inner.state.lock().expect("hub lock");
@@ -761,11 +815,25 @@ fn worker_loop(inner: &Arc<HubInner>) {
             Arc::clone(&inner.cache),
             inner.stage_cache.as_ref().map(Arc::clone),
             tracer,
-        );
+        )
+        .with_detached_gauge(Arc::clone(&inner.detached));
         let run_started = Instant::now();
         let batch = engine.run_batch(vec![spec]);
         let service_s = run_started.elapsed().as_secs_f64();
         let result = &batch.results[0];
+        let stats = &inner.shard_stats[shard];
+        stats.jobs_run.fetch_add(1, Ordering::Relaxed);
+        if !result.status.is_success() {
+            stats.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        for engine_shard in &batch.report.shards {
+            stats
+                .quarantines
+                .fetch_add(engine_shard.quarantines, Ordering::Relaxed);
+            stats
+                .restarts
+                .fetch_add(engine_shard.restarts, Ordering::Relaxed);
+        }
 
         let mut state = inner.state.lock().expect("hub lock");
         state.fair.charge(class, service_s);

@@ -116,6 +116,67 @@ fn batch_results_are_identical_across_worker_counts() {
 }
 
 #[test]
+fn batch_results_are_identical_across_shard_counts() {
+    // The sharded fabric must be invisible in the artifacts: the same
+    // job list gives byte-identical canonical reports and GDS streams
+    // across 1, 2 and 8 shards, for several workers-per-shard widths —
+    // partitioning by cache key and work-stealing never leak into
+    // outcomes.
+    let jobs = || -> Vec<JobSpec> {
+        [
+            (designs::counter(8), 1u64),
+            (designs::gray_encoder(8), 2),
+            (designs::popcount(8), 3),
+            (designs::counter(8), 4),
+            (designs::lfsr(8), 5),
+            (designs::counter(8), 1), // duplicate of job 0: cache hit
+        ]
+        .into_iter()
+        .map(|(design, seed)| {
+            JobSpec::new(
+                design.name(),
+                design.source(),
+                TechnologyNode::N130,
+                OptimizationProfile::quick(),
+            )
+            .with_seed(seed)
+        })
+        .collect()
+    };
+    let reference = BatchEngine::new(EngineConfig::with_shards(1, 1)).run_batch(jobs());
+    assert!(reference.results.iter().all(|r| r.status.is_success()));
+    let reference_gds: Vec<_> = reference
+        .results
+        .iter()
+        .map(|r| r.outcome.as_ref().expect("succeeded").gds.clone())
+        .collect();
+    for (shards, workers) in [(1usize, 2usize), (1, 8), (2, 1), (2, 2), (8, 1), (8, 2)] {
+        let engine = BatchEngine::new(EngineConfig::with_shards(shards, workers));
+        let batch = engine.run_batch(jobs());
+        assert!(batch.results.iter().all(|r| r.status.is_success()));
+        assert_eq!(
+            reference.canonical_report(),
+            batch.canonical_report(),
+            "canonical report diverged at {shards} shards x {workers} workers"
+        );
+        assert_eq!(
+            reference.deterministic_digest(),
+            batch.deterministic_digest(),
+            "digest diverged at {shards} shards x {workers} workers"
+        );
+        let gds: Vec<_> = batch
+            .results
+            .iter()
+            .map(|r| r.outcome.as_ref().expect("succeeded").gds.clone())
+            .collect();
+        assert_eq!(
+            reference_gds, gds,
+            "GDS bytes diverged at {shards} shards x {workers} workers"
+        );
+    }
+}
+
+#[test]
 fn experiment_tables_are_stable() {
     // The harness output is part of the reproduction record; rendering the
     // pure-model experiments twice must give identical text.

@@ -7,7 +7,9 @@ use chipforge::exec::{BatchEngine, EngineConfig, JobSpec, JobStatus, ResilienceO
 use chipforge::flow::OptimizationProfile;
 use chipforge::hdl::designs;
 use chipforge::pdk::TechnologyNode;
-use chipforge::resil::{FaultPlan, Journal, JournalRecord, JournalWriter, ResiliencePolicy};
+use chipforge::resil::{
+    FaultPlan, Journal, JournalRecord, JournalWriter, ResiliencePolicy, ShardFaultPlan,
+};
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -104,6 +106,44 @@ fn resume_after_interruption_is_byte_identical() {
         }
         let _ = std::fs::remove_file(&path);
     }
+}
+
+/// Shard-kill chaos on top of the transient-fault chaos plan: killing
+/// every shard of a 4-shard fabric mid-batch loses no job, duplicates
+/// no job, and leaves the canonical report byte-identical to a clean
+/// unsharded run — the supervisor's restart + re-dispatch is exercised
+/// under the same workload as E15.
+#[test]
+fn shard_kills_lose_nothing_and_keep_reports_identical() {
+    let clean = BatchEngine::new(fast_config(2))
+        .run_batch_resilient(chaos_jobs(), chaos_options(None, None, None));
+    assert_eq!(clean.results.len(), 24);
+
+    let sharded = EngineConfig {
+        shards: 4,
+        ..fast_config(2)
+    };
+    let killed = BatchEngine::new(sharded).run_batch_resilient(
+        chaos_jobs(),
+        ResilienceOptions {
+            shard_plan: ShardFaultPlan::kill(7, 1.0).with_after_jobs(1),
+            ..chaos_options(None, None, None)
+        },
+    );
+    assert_eq!(killed.results.len(), 24, "no job was lost");
+    let mut indices: Vec<usize> = killed.results.iter().map(|r| r.index).collect();
+    indices.sort_unstable();
+    indices.dedup();
+    assert_eq!(indices.len(), 24, "no job ran twice");
+    let restarts: u64 = killed.report.shards.iter().map(|s| s.restarts).sum();
+    let quarantines: u64 = killed.report.shards.iter().map(|s| s.quarantines).sum();
+    assert!(restarts >= 1, "at least one shard was restarted");
+    assert_eq!(quarantines, restarts, "every quarantine led to a restart");
+    assert_eq!(
+        clean.canonical_report(),
+        killed.canonical_report(),
+        "shard kills leaked into the canonical report"
+    );
 }
 
 /// A 20% transient plan over 24 jobs loses nothing: every job reaches a

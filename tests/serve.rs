@@ -105,6 +105,12 @@ fn submit_poll_and_metrics_over_real_sockets() {
     assert!(depths.iter().all(|d| d.as_u64() == Some(0)));
     assert!(metrics_u64(&metrics, "stage_cache", "misses") > 0);
     assert_eq!(metrics_u64(&metrics, "artifact_cache", "entries"), 4);
+    // Execution-fabric gauges: no timed-out attempt threads are
+    // dangling, and the (default single) hub shard ran every job.
+    assert_eq!(metrics_u64(&metrics, "exec", "detached_threads"), 0);
+    let shards = metrics.get("exec").get("shards").seq().expect("shards");
+    assert_eq!(shards.len(), 1, "default hub has one shard");
+    assert!(shards[0].get("jobs_run").as_u64().is_some_and(|j| j >= 4));
 
     // Resubmitting an identical job is an artifact-cache hit, visible
     // both on the job and in the gauges.
@@ -119,6 +125,79 @@ fn submit_poll_and_metrics_over_real_sockets() {
     assert!(metrics_u64(&metrics, "artifact_cache", "hits") >= 1);
 
     server.shutdown();
+}
+
+/// Timed-out jobs leave their attempt thread behind; the hub-wide
+/// detached-threads gauge and the per-shard failure counters must both
+/// surface in `/metrics`. Driven against the hub directly because the
+/// wire format cannot inject a hanging fault.
+#[test]
+fn detached_threads_and_shard_gauges_surface_in_metrics() {
+    use chipforge::cloud::AccessTier;
+    use chipforge::exec::{Fault, JobSpec};
+    use chipforge::hdl::designs;
+    use chipforge::serve::Identity;
+
+    let hub = Hub::new(HubConfig {
+        workers: 2,
+        shards: 2,
+        job_timeout: Duration::from_millis(150),
+        ..HubConfig::default()
+    })
+    .expect("hub starts");
+    let who = Identity {
+        university: "metrics-uni".into(),
+        tier: AccessTier::Beginner,
+    };
+    let design = designs::counter(8);
+    let hung = JobSpec::new(
+        design.name(),
+        design.source(),
+        chipforge::pdk::TechnologyNode::N130,
+        chipforge::flow::OptimizationProfile::quick(),
+    )
+    .with_seed(71)
+    .with_fault(Fault::Hang(8_000));
+    let ok = JobSpec::new(
+        design.name(),
+        design.source(),
+        chipforge::pdk::TechnologyNode::N130,
+        chipforge::flow::OptimizationProfile::quick(),
+    )
+    .with_seed(72);
+    let ids: Vec<u64> = [hung, ok]
+        .into_iter()
+        .map(|spec| match hub.submit(&who, spec) {
+            chipforge::serve::SubmitOutcome::Accepted(id) => id,
+            other => panic!("admitted, got {other:?}"),
+        })
+        .collect();
+    let deadline = std::time::Instant::now() + WAIT;
+    for id in &ids {
+        loop {
+            let status = hub.job_status(&who, *id).expect("job exists");
+            let state = status.get("state").as_str().expect("state").to_string();
+            if state != "queued" && state != "running" {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "job {id} stuck");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    let metrics = hub.metrics();
+    // The hung job's attempt thread outlives its timed-out job and is
+    // still sleeping right now, so the gauge reads at least 1.
+    assert!(
+        metrics_u64(&metrics, "exec", "detached_threads") >= 1,
+        "hung attempt thread not gauged: {metrics:?}"
+    );
+    let shards = metrics.get("exec").get("shards").seq().expect("shards");
+    assert_eq!(shards.len(), 2, "one entry per hub shard");
+    let total = |field: &str| -> u64 { shards.iter().filter_map(|s| s.get(field).as_u64()).sum() };
+    assert_eq!(total("jobs_run"), 2, "both jobs counted: {metrics:?}");
+    assert!(total("failed") >= 1, "the timed-out job counted as failed");
+    hub.shutdown();
 }
 
 #[test]
