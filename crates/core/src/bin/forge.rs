@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! forge run <file.fhdl> [--node <nm>] [--profile open|commercial|quick]
+//!           [--placer anneal|analytic] [--router maze|steiner]
 //!           [--clock <MHz>] [--gds <out.gds>] [--verilog <out.v>]
 //!           [--liberty <out.lib>] [--trace <out.json>] [--flame <out.txt>]
 //! forge batch <manifest.json> [--workers <n>] [--timeout-ms <ms>]
@@ -32,9 +33,11 @@ use chipforge::hdl::designs;
 use chipforge::netlist::verilog;
 use chipforge::obs::{self, Tracer};
 use chipforge::pdk::{liberty, LibraryKind, Pdk, TechnologyNode};
+use chipforge::place::PlacerKind;
 use chipforge::resil::{
     FaultPlan, FlakyProxy, Journal, JournalWriter, NetFaultPlan, ResiliencePolicy, ShardFaultPlan,
 };
+use chipforge::route::RouterKind;
 use chipforge::serve::{Client, Hub, HubConfig, KeyRegistry, Server};
 use chipforge::{EnablementHub, Tier, TierStrategy};
 use serde::json;
@@ -108,6 +111,7 @@ forge — open chip-design enablement platform
 
 USAGE:
   forge run <file.fhdl> [--node <nm>] [--profile open|commercial|quick]
+            [--placer anneal|analytic] [--router maze|steiner]
             [--clock <MHz>] [--gds <out>] [--verilog <out>] [--liberty <out>]
             [--trace <out.json>] [--flame <out.txt>]
   forge batch <manifest.json> [--workers <n>] [--shards <n>]
@@ -196,6 +200,13 @@ truncating, corrupting, delaying or blackholing a deterministic
 transport failures (`--retries`, default 3, backoff base
 `--retry-ms`) and exits 2 with `hub unreachable: ...` when the hub
 stays down.
+
+Kernels: `--placer` selects the placement kernel (`anneal` — seeded
+simulated annealing, the default — or `analytic` — the deterministic
+quadratic-wirelength solver) and `--router` the global-routing kernel
+(`maze` A* or `steiner` tree construction). Batch manifest jobs take
+the same names via `placer`/`router` fields. Kernel choice is part of
+every downstream stage cache key.
 
 Corpus: `forge gen` generates seeded design families — CPU control
 paths, DSP FIR/FFT datapaths, crypto rounds, NoC routers — from spec
@@ -325,6 +336,24 @@ fn parse_profile(name: Option<&str>) -> Result<OptimizationProfile, String> {
     }
 }
 
+fn parse_placer(name: &str) -> Result<PlacerKind, String> {
+    PlacerKind::from_name(name).ok_or_else(|| {
+        format!(
+            "unknown placer `{name}` (valid: {})",
+            PlacerKind::ALL.map(PlacerKind::name).join(", ")
+        )
+    })
+}
+
+fn parse_router(name: &str) -> Result<RouterKind, String> {
+    RouterKind::from_name(name).ok_or_else(|| {
+        format!(
+            "unknown router `{name}` (valid: {})",
+            RouterKind::ALL.map(RouterKind::name).join(", ")
+        )
+    })
+}
+
 /// An enabled tracer when `--trace` or `--flame` was given, a disabled
 /// (zero-overhead) one otherwise.
 fn tracer_for(flags: &HashMap<String, String>) -> Tracer {
@@ -353,6 +382,8 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     const FLAGS: &[FlagSpec] = &[
         value_flag("node"),
         value_flag("profile"),
+        value_flag("placer"),
+        value_flag("router"),
         value_flag("clock"),
         value_flag("gds"),
         value_flag("verilog"),
@@ -364,7 +395,13 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let path = one_positional(&positionals, "input file")?;
     let source = load_source(&path)?;
     let node = parse_node(&flags)?;
-    let profile = parse_profile(flags.get("profile").map(String::as_str))?;
+    let mut profile = parse_profile(flags.get("profile").map(String::as_str))?;
+    if let Some(name) = flags.get("placer") {
+        profile.placer = parse_placer(name).map_err(|e| format!("--placer: {e}"))?;
+    }
+    if let Some(name) = flags.get("router") {
+        profile.router = parse_router(name).map_err(|e| format!("--router: {e}"))?;
+    }
     let clock: f64 = parse_number(&flags, "clock", 100.0)?;
     let config = FlowConfig::new(node, profile).with_clock_mhz(clock);
     let tracer = tracer_for(&flags);
@@ -431,13 +468,19 @@ fn manifest_job(entry: &Value, index: usize) -> Result<Vec<JobSpec>, String> {
         flags.insert("node".to_string(), nm.to_string());
     }
     let node = parse_node(&flags)?;
-    let profile = parse_profile(manifest_field(
+    let mut profile = parse_profile(manifest_field(
         entry,
         &context,
         "profile",
         "string",
         Value::as_str,
     )?)?;
+    if let Some(name) = manifest_field(entry, &context, "placer", "string", Value::as_str)? {
+        profile.placer = parse_placer(name).map_err(|e| format!("{context}: `placer` {e}"))?;
+    }
+    if let Some(name) = manifest_field(entry, &context, "router", "string", Value::as_str)? {
+        profile.router = parse_router(name).map_err(|e| format!("{context}: `router` {e}"))?;
+    }
     let design = manifest_field(entry, &context, "design", "string", Value::as_str)?;
     let file = manifest_field(entry, &context, "file", "string", Value::as_str)?;
     let (name, source) = match (design, file) {

@@ -18,7 +18,7 @@ use std::sync::{Arc, Mutex};
 
 /// Bumped whenever the key encoding or the flow's artifact semantics
 /// change, so stale persisted keys can never alias fresh ones.
-const KEY_SCHEMA_VERSION: u8 = 1;
+const KEY_SCHEMA_VERSION: u8 = 2;
 
 /// A 128-bit content hash identifying one flow artifact.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -29,7 +29,8 @@ impl CacheKey {
     ///
     /// Covered: source text, technology node, every behavioral profile
     /// knob (library, synthesis effort, placement moves, utilization,
-    /// route and sizing iterations), clock, seed and scan insertion.
+    /// route and sizing iterations, placement and routing kernels),
+    /// clock, seed and scan insertion.
     /// Excluded: the job and profile *names* (labels) and any injected
     /// fault (faults change whether the artifact is produced, never its
     /// content).
@@ -45,6 +46,8 @@ impl CacheKey {
         hasher.frame(&spec.profile.utilization.to_bits().to_le_bytes());
         hasher.frame(&(spec.profile.route_iterations as u64).to_le_bytes());
         hasher.frame(&(spec.profile.sizing_iterations as u64).to_le_bytes());
+        hasher.frame(spec.profile.placer.name().as_bytes());
+        hasher.frame(spec.profile.router.name().as_bytes());
         hasher.frame(&spec.clock_mhz.to_bits().to_le_bytes());
         hasher.frame(&spec.seed.to_le_bytes());
         hasher.frame(&[u8::from(spec.insert_scan)]);

@@ -3,7 +3,7 @@
 //! never matter, behavioral knobs always do.
 
 use chipforge_exec::{CacheKey, JobSpec};
-use chipforge_flow::OptimizationProfile;
+use chipforge_flow::{OptimizationProfile, PlacerKind, RouterKind};
 use chipforge_pdk::{LibraryKind, TechnologyNode};
 use chipforge_synth::SynthEffort;
 use proptest::prelude::*;
@@ -30,16 +30,24 @@ fn any_profile() -> impl Strategy<Value = OptimizationProfile> {
         ]),
         10usize..500,
         (40usize..90, 1usize..8, 1usize..10),
+        (
+            select(vec![PlacerKind::Anneal, PlacerKind::Analytic]),
+            select(vec![RouterKind::Maze, RouterKind::Steiner]),
+        ),
     )
         .prop_map(
-            |(library, synth_effort, moves, (util_pct, route, sizing))| OptimizationProfile {
-                name: "generated".into(),
-                library,
-                synth_effort,
-                placement_moves_per_cell: moves,
-                utilization: util_pct as f64 / 100.0,
-                route_iterations: route,
-                sizing_iterations: sizing,
+            |(library, synth_effort, moves, (util_pct, route, sizing), (placer, router))| {
+                OptimizationProfile {
+                    name: "generated".into(),
+                    library,
+                    synth_effort,
+                    placement_moves_per_cell: moves,
+                    utilization: util_pct as f64 / 100.0,
+                    route_iterations: route,
+                    sizing_iterations: sizing,
+                    placer,
+                    router,
+                }
             },
         )
 }
@@ -82,7 +90,7 @@ proptest! {
     }
 
     #[test]
-    fn every_differing_knob_changes_the_key(spec in any_spec(), knob in 0usize..9) {
+    fn every_differing_knob_changes_the_key(spec in any_spec(), knob in 0usize..11) {
         let mut mutated = spec.clone();
         match knob {
             0 => mutated.source.push('x'),
@@ -110,6 +118,18 @@ proptest! {
             5 => mutated.profile.utilization += 0.001,
             6 => mutated.profile.route_iterations += 1,
             7 => mutated.profile.sizing_iterations += 1,
+            8 => {
+                mutated.profile.placer = match mutated.profile.placer {
+                    PlacerKind::Anneal => PlacerKind::Analytic,
+                    PlacerKind::Analytic => PlacerKind::Anneal,
+                };
+            }
+            9 => {
+                mutated.profile.router = match mutated.profile.router {
+                    RouterKind::Maze => RouterKind::Steiner,
+                    RouterKind::Steiner => RouterKind::Maze,
+                };
+            }
             _ => {
                 mutated.clock_mhz += 0.1;
                 mutated.seed += 1;

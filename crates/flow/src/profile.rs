@@ -1,6 +1,8 @@
 //! Optimization profiles: open-source-grade vs. commercial-grade flows.
 
 use chipforge_pdk::LibraryKind;
+use chipforge_place::PlacerKind;
+use chipforge_route::RouterKind;
 use chipforge_synth::SynthEffort;
 use serde::{Deserialize, Serialize};
 
@@ -20,7 +22,13 @@ pub struct OptimizationProfile {
     pub library: LibraryKind,
     /// Synthesis effort.
     pub synth_effort: SynthEffort,
-    /// Placement annealing moves per cell.
+    /// Placement kernel (annealer or analytic; missing in serialized
+    /// pre-kernel-selection profiles, which deserialize to the default).
+    pub placer: PlacerKind,
+    /// Global-routing kernel (maze or Steiner).
+    pub router: RouterKind,
+    /// Placement annealing moves per cell (ignored by the analytic
+    /// kernel, which is deterministic and move-free).
     pub placement_moves_per_cell: usize,
     /// Target placement utilization.
     pub utilization: f64,
@@ -38,6 +46,8 @@ impl OptimizationProfile {
             name: "open".into(),
             library: LibraryKind::Open,
             synth_effort: SynthEffort::Standard,
+            placer: PlacerKind::default(),
+            router: RouterKind::default(),
             placement_moves_per_cell: 100,
             utilization: 0.65,
             route_iterations: 3,
@@ -52,6 +62,8 @@ impl OptimizationProfile {
             name: "commercial".into(),
             library: LibraryKind::Commercial,
             synth_effort: SynthEffort::High,
+            placer: PlacerKind::default(),
+            router: RouterKind::default(),
             placement_moves_per_cell: 400,
             utilization: 0.75,
             route_iterations: 6,
@@ -69,6 +81,8 @@ impl OptimizationProfile {
             name: format!("{}-relaxed", self.name),
             library: self.library,
             synth_effort: self.synth_effort,
+            placer: self.placer,
+            router: self.router,
             placement_moves_per_cell: (self.placement_moves_per_cell / 2).max(10),
             utilization: (self.utilization - 0.10).max(0.40),
             route_iterations: self.route_iterations.max(2),
@@ -83,6 +97,8 @@ impl OptimizationProfile {
             name: "quick".into(),
             library: LibraryKind::Open,
             synth_effort: SynthEffort::Fast,
+            placer: PlacerKind::default(),
+            router: RouterKind::default(),
             placement_moves_per_cell: 20,
             utilization: 0.55,
             route_iterations: 2,
@@ -121,6 +137,31 @@ mod tests {
             assert_eq!(relaxed.name, format!("{}-relaxed", profile.name));
             assert!(relaxed.utilization >= 0.40, "floor keeps layouts legal");
         }
+    }
+
+    #[test]
+    fn kernel_fields_round_trip_and_default_when_missing() {
+        use serde::{Deserialize, Serialize, Value};
+
+        let mut profile = OptimizationProfile::open();
+        profile.placer = PlacerKind::Analytic;
+        profile.router = RouterKind::Steiner;
+        let json = serde::json::to_string(&profile);
+        let back: OptimizationProfile = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, profile);
+
+        // A profile serialized before kernel selection existed has no
+        // placer/router fields; it must load with the seed kernels.
+        let mut value = OptimizationProfile::commercial().to_value();
+        if let Value::Map(pairs) = &mut value {
+            pairs.retain(|(k, _)| !matches!(k, Value::Str(s) if s == "placer" || s == "router"));
+        } else {
+            panic!("profiles serialize as maps");
+        }
+        let legacy = OptimizationProfile::from_value(&value).unwrap();
+        assert_eq!(legacy.placer, PlacerKind::Anneal);
+        assert_eq!(legacy.router, RouterKind::Maze);
+        assert_eq!(legacy.name, "commercial");
     }
 
     #[test]

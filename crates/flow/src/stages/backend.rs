@@ -4,10 +4,10 @@ use super::{frame_into, Stage, StageState};
 use crate::pipeline::StageArtifact;
 use crate::run::{FlowConfig, FlowError};
 use crate::template::FlowStep;
-use chipforge_place::{place, PlacementOptions};
-use chipforge_route::{route, RouteOptions};
+use chipforge_place::PlacementOptions;
+use chipforge_route::RouteOptions;
 
-/// Floorplanning and simulated-annealing placement.
+/// Floorplanning and placement via the profile-selected kernel.
 pub(crate) struct PlaceStage;
 
 impl Stage for PlaceStage {
@@ -16,6 +16,9 @@ impl Stage for PlaceStage {
     }
 
     fn key_slice(&self, config: &FlowConfig, buf: &mut Vec<u8>) {
+        // The kernel name participates in the chained stage key so
+        // switching placers invalidates this and every later stage.
+        frame_into(buf, config.profile.placer.name().as_bytes());
         frame_into(buf, &config.profile.utilization.to_bits().to_le_bytes());
         frame_into(buf, &config.seed.to_le_bytes());
         frame_into(
@@ -25,7 +28,7 @@ impl Stage for PlaceStage {
     }
 
     fn run(&self, state: &mut StageState<'_>, config: &FlowConfig) -> Result<String, FlowError> {
-        let placement = place(
+        let placement = config.profile.placer.place(
             state.netlist(),
             &state.lib,
             &PlacementOptions {
@@ -35,7 +38,8 @@ impl Stage for PlaceStage {
             },
         )?;
         let detail = format!(
-            "hpwl {:.1} um ({} rows)",
+            "{} kernel, hpwl {:.1} um ({} rows)",
+            config.profile.placer,
             placement.hpwl_um(),
             placement.floorplan().rows()
         );
@@ -122,11 +126,12 @@ impl Stage for RouteStage {
     }
 
     fn key_slice(&self, config: &FlowConfig, buf: &mut Vec<u8>) {
+        frame_into(buf, config.profile.router.name().as_bytes());
         frame_into(buf, &(config.profile.route_iterations as u64).to_le_bytes());
     }
 
     fn run(&self, state: &mut StageState<'_>, config: &FlowConfig) -> Result<String, FlowError> {
-        let routing = route(
+        let routing = config.profile.router.route(
             state.netlist(),
             state.placement.as_ref().expect("place ran before route"),
             &state.lib,
@@ -136,7 +141,8 @@ impl Stage for RouteStage {
             },
         )?;
         let detail = format!(
-            "wl {:.1} um, {} vias, peak congestion {:.2}",
+            "{} kernel, wl {:.1} um, {} vias, peak congestion {:.2}",
+            config.profile.router,
             routing.total_wirelength_um(),
             routing.total_vias(),
             routing.peak_congestion()

@@ -142,6 +142,45 @@ proptest! {
         }
     }
 
+    /// Kernel selection is pinned by the chained stage keys: switching
+    /// the placer invalidates place and everything downstream, switching
+    /// the router invalidates route onward, and identical kernel choices
+    /// produce identical keys.
+    #[test]
+    fn kernel_selection_is_pinned_by_the_backend_keys(
+        width in 3u8..9,
+        seed in 0u64..1000,
+    ) {
+        use chipforge_place::PlacerKind;
+        use chipforge_route::RouterKind;
+
+        let design = designs::counter(width);
+        let base = quick_config(100.0, seed);
+        let a = Pipeline::stage_keys(design.source(), &base);
+        let same = Pipeline::stage_keys(design.source(), &base);
+        prop_assert_eq!(a, same, "identical kernels share every key");
+
+        let mut analytic = quick_config(100.0, seed);
+        analytic.profile.placer = PlacerKind::Analytic;
+        let b = Pipeline::stage_keys(design.source(), &analytic);
+        for i in 0..FlowStep::Place.index() {
+            prop_assert_eq!(a[i].1, b[i].1, "placer choice moved front-end key {}", a[i].0);
+        }
+        for i in FlowStep::Place.index()..a.len() {
+            prop_assert_ne!(a[i].1, b[i].1, "placer choice missed key {}", a[i].0);
+        }
+
+        let mut steiner = quick_config(100.0, seed);
+        steiner.profile.router = RouterKind::Steiner;
+        let c = Pipeline::stage_keys(design.source(), &steiner);
+        for i in 0..FlowStep::Route.index() {
+            prop_assert_eq!(a[i].1, c[i].1, "router choice moved key {}", a[i].0);
+        }
+        for i in FlowStep::Route.index()..a.len() {
+            prop_assert_ne!(a[i].1, c[i].1, "router choice missed key {}", a[i].0);
+        }
+    }
+
     /// With zero sizing iterations the clock target first binds at
     /// signoff, so a clock sweep shares the six keys before it.
     #[test]

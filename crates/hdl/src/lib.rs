@@ -72,10 +72,12 @@ mod ir;
 mod lexer;
 mod parser;
 mod sim;
+mod vecsim;
 
 pub use error::HdlError;
 pub use ir::{BinaryOp, Expr, RtlModule, Signal, SignalId, SignalKind, UnaryOp};
 pub use sim::Simulator;
+pub use vecsim::VectorSimulator;
 
 /// Parses and elaborates ForgeHDL source into an [`RtlModule`].
 ///

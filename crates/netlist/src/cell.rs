@@ -179,6 +179,50 @@ impl CellFunction {
         }
     }
 
+    /// Evaluates the function on 64 input vectors at once, one per bit
+    /// lane of the `u64` words (bit-parallel simulation).
+    ///
+    /// Lane `i` of the result equals `eval` applied to lane `i` of every
+    /// input word. Sequential functions follow the same next-state
+    /// convention as [`CellFunction::eval`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.input_count()`.
+    #[must_use]
+    pub fn eval64(self, inputs: &[u64]) -> u64 {
+        assert_eq!(
+            inputs.len(),
+            self.input_count(),
+            "wrong input count for {self}"
+        );
+        match self {
+            CellFunction::Const0 => 0,
+            CellFunction::Const1 => u64::MAX,
+            CellFunction::Buf => inputs[0],
+            CellFunction::Inv => !inputs[0],
+            CellFunction::And2 => inputs[0] & inputs[1],
+            CellFunction::Nand2 => !(inputs[0] & inputs[1]),
+            CellFunction::Or2 => inputs[0] | inputs[1],
+            CellFunction::Nor2 => !(inputs[0] | inputs[1]),
+            CellFunction::Xor2 => inputs[0] ^ inputs[1],
+            CellFunction::Xnor2 => !(inputs[0] ^ inputs[1]),
+            CellFunction::And3 => inputs[0] & inputs[1] & inputs[2],
+            CellFunction::Nand3 => !(inputs[0] & inputs[1] & inputs[2]),
+            CellFunction::Or3 => inputs[0] | inputs[1] | inputs[2],
+            CellFunction::Nor3 => !(inputs[0] | inputs[1] | inputs[2]),
+            CellFunction::Aoi21 => !((inputs[0] & inputs[1]) | inputs[2]),
+            CellFunction::Oai21 => !((inputs[0] | inputs[1]) & inputs[2]),
+            CellFunction::Mux2 => (inputs[2] & inputs[1]) | (!inputs[2] & inputs[0]),
+            CellFunction::Maj3 => {
+                (inputs[0] & inputs[1]) | (inputs[0] & inputs[2]) | (inputs[1] & inputs[2])
+            }
+            CellFunction::Xor3 => inputs[0] ^ inputs[1] ^ inputs[2],
+            CellFunction::Dff => inputs[0],
+            CellFunction::DffEn => inputs[0] & inputs[1],
+        }
+    }
+
     /// Canonical pin names, in pin order, matching [`CellFunction::eval`].
     #[must_use]
     pub fn pin_names(self) -> &'static [&'static str] {
@@ -350,6 +394,36 @@ mod tests {
     #[should_panic(expected = "wrong input count")]
     fn eval_panics_on_arity_mismatch() {
         let _ = CellFunction::And2.eval(&[true]);
+    }
+
+    #[test]
+    fn eval64_matches_eval_on_every_lane() {
+        // Exhaust every input combination of every function: lane `i`
+        // carries input pattern `i`, so 8 lanes cover 3-input cells and
+        // the remaining lanes repeat the pattern (masked off here).
+        for f in CellFunction::ALL {
+            let arity = f.input_count();
+            let words: Vec<u64> = (0..arity)
+                .map(|pin| {
+                    let mut w = 0u64;
+                    for lane in 0..64 {
+                        if (lane >> pin) & 1 == 1 {
+                            w |= 1 << lane;
+                        }
+                    }
+                    w
+                })
+                .collect();
+            let parallel = f.eval64(&words);
+            for lane in 0..64u64 {
+                let scalar: Vec<bool> = (0..arity).map(|pin| (lane >> pin) & 1 == 1).collect();
+                assert_eq!(
+                    (parallel >> lane) & 1 == 1,
+                    f.eval(&scalar),
+                    "{f} lane {lane}"
+                );
+            }
+        }
     }
 
     #[test]

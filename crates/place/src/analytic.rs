@@ -1,0 +1,487 @@
+//! Analytical placement: quadratic wirelength minimization followed by
+//! row legalization, in the GORDIAN / FastPlace tradition.
+//!
+//! The placer models every net as a clique (star for high fan-out) of
+//! two-pin springs, minimizes the resulting quadratic wirelength with a
+//! conjugate-gradient solve — x and y are independent — then legalizes
+//! the fractional solution: cells are banded into rows by their y target
+//! and shifted within each row toward their x target without overlap
+//! (Tetris-style, gaps allowed). A short deterministic adjacent-swap
+//! polish cleans up local ordering mistakes. The whole kernel is
+//! RNG-free: placements are byte-identical across seeds.
+
+use crate::anneal::{
+    boundary_ports, net_hpwl_at, total_hpwl_at, PlaceError, PlacedCell, Placement, PlacementOptions,
+};
+use crate::floorplan::Floorplan;
+use chipforge_netlist::{NetDriver, Netlist};
+use chipforge_pdk::StdCellLibrary;
+
+/// Nets with more terminals than this switch from a clique to a star
+/// centered on the driver, keeping the spring count linear in pins.
+const CLIQUE_LIMIT: usize = 8;
+
+/// Weight of the tiny core-center anchor that keeps the quadratic system
+/// positive definite even for cells with no (movable) connections.
+const CENTER_ANCHOR: f64 = 1e-4;
+
+/// Deterministic adjacent-swap polish passes after legalization.
+const POLISH_PASSES: usize = 2;
+
+/// Places a netlist analytically: conjugate-gradient quadratic solve,
+/// row legalization, deterministic polish.
+///
+/// # Errors
+///
+/// Same contract as [`crate::place`]: [`PlaceError::EmptyNetlist`],
+/// [`PlaceError::UnknownLibCell`] and [`PlaceError::DoesNotFit`].
+pub fn place_analytic(
+    netlist: &Netlist,
+    lib: &StdCellLibrary,
+    options: &PlacementOptions,
+) -> Result<Placement, PlaceError> {
+    if netlist.cell_count() == 0 {
+        return Err(PlaceError::EmptyNetlist);
+    }
+    let widths: Vec<f64> = netlist
+        .cells()
+        .map(|c| {
+            lib.cell(c.lib_cell())
+                .map(|l| l.width_um())
+                .ok_or_else(|| PlaceError::UnknownLibCell(c.lib_cell().to_string()))
+        })
+        .collect::<Result<_, _>>()?;
+    let floorplan = Floorplan::for_netlist(netlist, lib, options.utilization)
+        .ok_or(PlaceError::EmptyNetlist)?;
+    let ports = boundary_ports(netlist, &floorplan);
+
+    // --- quadratic wirelength solve (x and y are separable) ---
+    let system = SpringSystem::build(netlist, &ports);
+    let target_x = system.solve_axis(Axis::X, &floorplan);
+    let target_y = system.solve_axis(Axis::Y, &floorplan);
+
+    // --- legalization: band into rows by y, shift toward x targets ---
+    let mut positions = legalize(netlist, &floorplan, &widths, &target_x, &target_y)?;
+    let initial_hpwl = total_hpwl_at(netlist, &positions, &widths, &ports);
+
+    // --- deterministic polish: in-row adjacent swaps, improvements only ---
+    polish(netlist, &widths, &ports, &mut positions);
+    let hpwl = total_hpwl_at(netlist, &positions, &widths, &ports);
+
+    let cells: Vec<PlacedCell> = netlist
+        .cells()
+        .map(|c| {
+            let (x, y, row) = positions[c.id().index()];
+            PlacedCell {
+                id: c.id(),
+                x_um: x,
+                y_um: y,
+                width_um: widths[c.id().index()],
+                height_um: floorplan.row_height_um(),
+                row,
+            }
+        })
+        .collect();
+    Ok(Placement::assemble(
+        floorplan,
+        cells,
+        ports,
+        hpwl,
+        initial_hpwl,
+    ))
+}
+
+#[derive(Clone, Copy)]
+enum Axis {
+    X,
+    Y,
+}
+
+/// A sparse symmetric positive-definite spring system `A p = b`, one
+/// instance shared by both axes (the connectivity is identical; only the
+/// fixed-pin coordinates differ).
+struct SpringSystem {
+    /// Off-diagonal entries per cell: `(other_cell, weight)`.
+    springs: Vec<Vec<(usize, f64)>>,
+    /// Diagonal of `A` (spring weights + anchors).
+    diag: Vec<f64>,
+    /// Fixed-terminal contributions per cell: `(x, y, weight)`.
+    anchors: Vec<Vec<(f64, f64, f64)>>,
+}
+
+impl SpringSystem {
+    fn build(netlist: &Netlist, ports: &[(String, f64, f64)]) -> Self {
+        let n = netlist.cell_count();
+        let mut springs: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        let mut diag = vec![CENTER_ANCHOR; n];
+        let mut anchors: Vec<Vec<(f64, f64, f64)>> = vec![Vec::new(); n];
+
+        // Terminal of a net: either a movable cell or a fixed port pin.
+        enum Term {
+            Cell(usize),
+            Fixed(f64, f64),
+        }
+
+        for net in netlist.nets() {
+            let mut terms: Vec<Term> = Vec::new();
+            match net.driver() {
+                Some(NetDriver::Cell(id)) => terms.push(Term::Cell(id.index())),
+                Some(NetDriver::Input(port)) => {
+                    let (_, x, y) = &ports[port];
+                    terms.push(Term::Fixed(*x, *y));
+                }
+                None => {}
+            }
+            for &(sink, _) in net.sinks() {
+                terms.push(Term::Cell(sink.index()));
+            }
+            let k = terms.len();
+            if k < 2 {
+                continue;
+            }
+            let weight = 1.0 / (k - 1) as f64;
+            let mut connect = |a: &Term, b: &Term, w: f64| match (a, b) {
+                (Term::Cell(i), Term::Cell(j)) => {
+                    if i != j {
+                        springs[*i].push((*j, w));
+                        springs[*j].push((*i, w));
+                        diag[*i] += w;
+                        diag[*j] += w;
+                    }
+                }
+                (Term::Cell(i), Term::Fixed(x, y)) | (Term::Fixed(x, y), Term::Cell(i)) => {
+                    diag[*i] += w;
+                    anchors[*i].push((*x, *y, w));
+                }
+                (Term::Fixed(..), Term::Fixed(..)) => {}
+            };
+            if k <= CLIQUE_LIMIT {
+                for i in 0..k {
+                    for j in (i + 1)..k {
+                        connect(&terms[i], &terms[j], weight);
+                    }
+                }
+            } else {
+                // Star on the driver terminal keeps high-fanout nets linear.
+                for t in terms.iter().skip(1) {
+                    connect(&terms[0], t, weight);
+                }
+            }
+        }
+        Self {
+            springs,
+            diag,
+            anchors,
+        }
+    }
+
+    /// Solves one axis with conjugate gradient; returns cell-center
+    /// coordinates clamped into the core.
+    fn solve_axis(&self, axis: Axis, floorplan: &Floorplan) -> Vec<f64> {
+        let n = self.diag.len();
+        let (extent, center) = match axis {
+            Axis::X => (floorplan.core_width_um(), floorplan.core_width_um() / 2.0),
+            Axis::Y => (floorplan.core_height_um(), floorplan.core_height_um() / 2.0),
+        };
+        // Right-hand side: fixed-terminal pulls plus the center anchor.
+        let mut b = vec![0.0f64; n];
+        for (i, cell_anchors) in self.anchors.iter().enumerate() {
+            b[i] = CENTER_ANCHOR * center;
+            for &(x, y, w) in cell_anchors {
+                let p = match axis {
+                    Axis::X => x,
+                    Axis::Y => y,
+                };
+                b[i] += w * p;
+            }
+        }
+
+        let mul = |p: &[f64], out: &mut [f64]| {
+            for i in 0..n {
+                let mut acc = self.diag[i] * p[i];
+                for &(j, w) in &self.springs[i] {
+                    acc -= w * p[j];
+                }
+                out[i] = acc;
+            }
+        };
+
+        // Conjugate gradient from the core center.
+        let mut x = vec![center; n];
+        let mut ax = vec![0.0; n];
+        mul(&x, &mut ax);
+        let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+        let mut p = r.clone();
+        let mut rs: f64 = r.iter().map(|v| v * v).sum();
+        let tol = (1e-6 * extent).powi(2) * n as f64;
+        let max_iters = 24 + 2 * (n as f64).sqrt() as usize;
+        let mut ap = vec![0.0; n];
+        for _ in 0..max_iters {
+            if rs <= tol {
+                break;
+            }
+            mul(&p, &mut ap);
+            let denom: f64 = p.iter().zip(&ap).map(|(pi, api)| pi * api).sum();
+            if denom <= 0.0 {
+                break;
+            }
+            let alpha = rs / denom;
+            for i in 0..n {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * ap[i];
+            }
+            let rs_new: f64 = r.iter().map(|v| v * v).sum();
+            let beta = rs_new / rs;
+            rs = rs_new;
+            for i in 0..n {
+                p[i] = r[i] + beta * p[i];
+            }
+        }
+        for v in &mut x {
+            *v = v.clamp(0.0, extent);
+        }
+        x
+    }
+}
+
+/// Bands cells into rows by their y target (balanced fill), then shifts
+/// each row's cells toward their x targets without overlap.
+fn legalize(
+    netlist: &Netlist,
+    floorplan: &Floorplan,
+    widths: &[f64],
+    target_x: &[f64],
+    target_y: &[f64],
+) -> Result<Vec<(f64, f64, usize)>, PlaceError> {
+    let n = netlist.cell_count();
+    let n_rows = floorplan.rows();
+    let max_row = floorplan.core_width_um();
+    let total_width: f64 = widths.iter().sum();
+    if total_width > n_rows as f64 * max_row {
+        return Err(PlaceError::DoesNotFit);
+    }
+
+    // Sort by y target (index tiebreak keeps this deterministic), then
+    // fill rows bottom-to-top against a balanced cumulative quota.
+    let mut by_y: Vec<usize> = (0..n).collect();
+    by_y.sort_by(|&a, &b| {
+        target_y[a]
+            .partial_cmp(&target_y[b])
+            .expect("finite targets")
+            .then(a.cmp(&b))
+    });
+    let quota = total_width / n_rows as f64;
+    let mut rows: Vec<Vec<usize>> = vec![Vec::new(); n_rows];
+    let mut row_width = vec![0.0f64; n_rows];
+    let mut row = 0usize;
+    let mut cum = 0.0f64;
+    for &idx in &by_y {
+        let w = widths[idx];
+        while row + 1 < n_rows && (cum >= quota * (row + 1) as f64 || row_width[row] + w > max_row)
+        {
+            row += 1;
+        }
+        if row_width[row] + w > max_row {
+            // Balanced quotas overflowed the last row: spill backwards
+            // into any row that still has space.
+            let spill = (0..n_rows).find(|&r| row_width[r] + w <= max_row);
+            match spill {
+                Some(r) => {
+                    rows[r].push(idx);
+                    row_width[r] += w;
+                    cum += w;
+                    continue;
+                }
+                None => return Err(PlaceError::DoesNotFit),
+            }
+        }
+        rows[row].push(idx);
+        row_width[row] += w;
+        cum += w;
+    }
+
+    // In-row: order by x target, then place each cell as close to its
+    // target as the cells before and after it allow (legal by
+    // construction; gaps are fine).
+    let mut positions = vec![(0.0, 0.0, 0usize); n];
+    for (r, cells) in rows.iter_mut().enumerate() {
+        cells.sort_by(|&a, &b| {
+            target_x[a]
+                .partial_cmp(&target_x[b])
+                .expect("finite targets")
+                .then(a.cmp(&b))
+        });
+        let y = floorplan.row_y_um(r);
+        // Suffix widths: how much room the cells after position i need.
+        let mut suffix = vec![0.0f64; cells.len() + 1];
+        for i in (0..cells.len()).rev() {
+            suffix[i] = suffix[i + 1] + widths[cells[i]];
+        }
+        let mut cursor = 0.0f64;
+        for (i, &idx) in cells.iter().enumerate() {
+            let w = widths[idx];
+            let desired = target_x[idx] - w / 2.0;
+            let hi = max_row - suffix[i];
+            let x = desired.clamp(0.0, hi.max(0.0)).max(cursor);
+            positions[idx] = (x, y, r);
+            cursor = x + w;
+        }
+    }
+    Ok(positions)
+}
+
+/// Deterministic local polish: for each row, repeatedly try swapping
+/// adjacent cells (preserving the occupied interval) and keep swaps that
+/// reduce the HPWL of the nets they touch.
+fn polish(
+    netlist: &Netlist,
+    widths: &[f64],
+    ports: &[(String, f64, f64)],
+    positions: &mut [(f64, f64, usize)],
+) {
+    let n = netlist.cell_count();
+    // Rebuild row membership ordered by x.
+    let n_rows = positions.iter().map(|p| p.2 + 1).max().unwrap_or(0);
+    let mut rows: Vec<Vec<usize>> = vec![Vec::new(); n_rows];
+    for i in 0..n {
+        rows[positions[i].2].push(i);
+    }
+    for row in &mut rows {
+        row.sort_by(|&a, &b| {
+            positions[a]
+                .0
+                .partial_cmp(&positions[b].0)
+                .expect("finite positions")
+                .then(a.cmp(&b))
+        });
+    }
+    let local = |positions: &[(f64, f64, usize)], cell: usize| -> f64 {
+        let c = netlist.cell(chipforge_netlist::CellId::new(cell));
+        let mut total = 0.0;
+        for &net in c.inputs() {
+            total += net_hpwl_at(netlist, net, positions, widths, ports);
+        }
+        total + net_hpwl_at(netlist, c.output(), positions, widths, ports)
+    };
+    for _ in 0..POLISH_PASSES {
+        let mut improved = false;
+        for row in &mut rows {
+            for i in 0..row.len().saturating_sub(1) {
+                let a = row[i];
+                let b = row[i + 1];
+                let (ax, y, r) = positions[a];
+                let bx = positions[b].0;
+                // Swapped layout keeps the pair's right edge in place.
+                let new_bx = ax;
+                let new_ax = bx + widths[b] - widths[a];
+                let before = local(positions, a) + local(positions, b);
+                positions[a] = (new_ax, y, r);
+                positions[b] = (new_bx, y, r);
+                let after = local(positions, a) + local(positions, b);
+                if after + 1e-12 < before {
+                    row.swap(i, i + 1);
+                    improved = true;
+                } else {
+                    positions[a] = (ax, y, r);
+                    positions[b] = (bx, y, r);
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anneal::place;
+    use chipforge_hdl::designs;
+    use chipforge_pdk::{LibraryKind, TechnologyNode};
+    use chipforge_synth::{synthesize, SynthOptions};
+
+    fn lib() -> StdCellLibrary {
+        StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Open)
+    }
+
+    fn synth(design: chipforge_hdl::designs::Design) -> Netlist {
+        let module = design.elaborate().unwrap();
+        synthesize(&module, &lib(), &SynthOptions::default())
+            .unwrap()
+            .netlist
+    }
+
+    #[test]
+    fn analytic_placement_is_legal_for_suite() {
+        let lib = lib();
+        for design in designs::suite() {
+            let netlist = synth(design.clone());
+            let placement = place_analytic(&netlist, &lib, &PlacementOptions::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", design.name()));
+            assert!(placement.is_legal(), "{} illegal", design.name());
+            assert_eq!(placement.cells().len(), netlist.cell_count());
+            assert!(placement.hpwl_um() > 0.0, "{}", design.name());
+        }
+    }
+
+    #[test]
+    fn analytic_placement_is_seed_independent() {
+        // The kernel never touches an RNG: any two seeds must agree.
+        let lib = lib();
+        let netlist = synth(designs::alu(8));
+        let a = place_analytic(
+            &netlist,
+            &lib,
+            &PlacementOptions {
+                seed: 1,
+                ..PlacementOptions::default()
+            },
+        )
+        .unwrap();
+        let b = place_analytic(
+            &netlist,
+            &lib,
+            &PlacementOptions {
+                seed: 424_242,
+                ..PlacementOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn analytic_hpwl_is_competitive_with_annealing() {
+        // PPA-parity guard at the kernel level: the analytical result
+        // must land within 1.6x of the annealed wirelength (it is
+        // usually better) for a mid-size design.
+        let lib = lib();
+        let netlist = synth(designs::alu(8));
+        let annealed = place(&netlist, &lib, &PlacementOptions::default()).unwrap();
+        let analytic = place_analytic(&netlist, &lib, &PlacementOptions::default()).unwrap();
+        assert!(
+            analytic.hpwl_um() < annealed.hpwl_um() * 1.6,
+            "analytic {} vs annealed {}",
+            analytic.hpwl_um(),
+            annealed.hpwl_um()
+        );
+    }
+
+    #[test]
+    fn polish_never_hurts() {
+        let lib = lib();
+        for design in [designs::counter(8), designs::alu(8)] {
+            let netlist = synth(design);
+            let p = place_analytic(&netlist, &lib, &PlacementOptions::default()).unwrap();
+            assert!(p.hpwl_um() <= p.initial_hpwl_um() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn analytic_rejects_empty_netlists() {
+        let nl = Netlist::new("empty");
+        let err = place_analytic(&nl, &lib(), &PlacementOptions::default()).unwrap_err();
+        assert_eq!(err, PlaceError::EmptyNetlist);
+    }
+}

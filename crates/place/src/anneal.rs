@@ -97,6 +97,24 @@ pub struct Placement {
 }
 
 impl Placement {
+    /// Assembles a placement from kernel output (crate-internal: kernels
+    /// are trusted to hand over row-legal cells).
+    pub(crate) fn assemble(
+        floorplan: Floorplan,
+        cells: Vec<PlacedCell>,
+        ports: Vec<(String, f64, f64)>,
+        hpwl_um: f64,
+        initial_hpwl_um: f64,
+    ) -> Self {
+        Self {
+            floorplan,
+            cells,
+            ports,
+            hpwl_um,
+            initial_hpwl_um,
+        }
+    }
+
     /// The floorplan this placement lives in.
     #[must_use]
     pub fn floorplan(&self) -> &Floorplan {
@@ -232,9 +250,12 @@ pub fn place(
     let initial_hpwl = state.total_hpwl();
 
     // --- simulated annealing ---
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    // `moves_per_cell == 0` is the deterministic fast path: the purely
+    // constructive packing above is returned as-is and no RNG is ever
+    // constructed, so the result is byte-identical across seeds.
     let n_moves = options.moves_per_cell * netlist.cell_count();
     if n_moves > 0 {
+        let mut rng = StdRng::seed_from_u64(options.seed);
         let mut temperature = initial_hpwl.max(1.0) * 0.01 / netlist.cell_count() as f64;
         let cooling = 0.999_f64.powf(1.0 / (1.0 + n_moves as f64 / 1000.0));
         let mut current = initial_hpwl;
@@ -286,7 +307,7 @@ pub fn place(
 }
 
 /// Breadth-first cell order from the primary inputs, for initial locality.
-fn initial_order(netlist: &Netlist) -> Vec<CellId> {
+pub(crate) fn initial_order(netlist: &Netlist) -> Vec<CellId> {
     let mut visited = vec![false; netlist.cell_count()];
     let mut order = Vec::with_capacity(netlist.cell_count());
     let mut queue: std::collections::VecDeque<CellId> = std::collections::VecDeque::new();
@@ -318,7 +339,7 @@ fn initial_order(netlist: &Netlist) -> Vec<CellId> {
 }
 
 /// Distributes I/O ports evenly along the four die edges.
-fn boundary_ports(netlist: &Netlist, floorplan: &Floorplan) -> Vec<(String, f64, f64)> {
+pub(crate) fn boundary_ports(netlist: &Netlist, floorplan: &Floorplan) -> Vec<(String, f64, f64)> {
     let names: Vec<&str> = netlist
         .inputs()
         .iter()
@@ -426,43 +447,66 @@ impl State<'_> {
     }
 
     fn net_hpwl(&self, net: NetId) -> f64 {
-        let net_ref = self.netlist.net(net);
-        let mut min_x = f64::INFINITY;
-        let mut max_x = f64::NEG_INFINITY;
-        let mut min_y = f64::INFINITY;
-        let mut max_y = f64::NEG_INFINITY;
-        let mut extend = |x: f64, y: f64| {
-            min_x = min_x.min(x);
-            max_x = max_x.max(x);
-            min_y = min_y.min(y);
-            max_y = max_y.max(y);
-        };
-        match net_ref.driver() {
-            Some(NetDriver::Cell(id)) => {
-                let (x, y, _) = self.positions[id.index()];
-                extend(x + self.widths[id.index()] / 2.0, y);
-            }
-            Some(NetDriver::Input(port)) => {
-                let (_, x, y) = &self.ports[port];
-                extend(*x, *y);
-            }
-            None => {}
-        }
-        for &(sink, _) in net_ref.sinks() {
-            let (x, y, _) = self.positions[sink.index()];
-            extend(x + self.widths[sink.index()] / 2.0, y);
-        }
-        if min_x > max_x {
-            return 0.0;
-        }
-        (max_x - min_x) + (max_y - min_y)
+        net_hpwl_at(self.netlist, net, &self.positions, self.widths, self.ports)
     }
 
     fn total_hpwl(&self) -> f64 {
-        (0..self.netlist.net_count())
-            .map(|i| self.net_hpwl(chipforge_netlist::NetId::new(i)))
-            .sum()
+        total_hpwl_at(self.netlist, &self.positions, self.widths, self.ports)
     }
+}
+
+/// HPWL of one net given per-cell positions `(x, y, row)` (lower-left
+/// corners; pins are taken at cell-center x). Shared between the
+/// annealing and analytical placers so both score placements identically.
+pub(crate) fn net_hpwl_at(
+    netlist: &Netlist,
+    net: NetId,
+    positions: &[(f64, f64, usize)],
+    widths: &[f64],
+    ports: &[(String, f64, f64)],
+) -> f64 {
+    let net_ref = netlist.net(net);
+    let mut min_x = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    let mut extend = |x: f64, y: f64| {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    };
+    match net_ref.driver() {
+        Some(NetDriver::Cell(id)) => {
+            let (x, y, _) = positions[id.index()];
+            extend(x + widths[id.index()] / 2.0, y);
+        }
+        Some(NetDriver::Input(port)) => {
+            let (_, x, y) = &ports[port];
+            extend(*x, *y);
+        }
+        None => {}
+    }
+    for &(sink, _) in net_ref.sinks() {
+        let (x, y, _) = positions[sink.index()];
+        extend(x + widths[sink.index()] / 2.0, y);
+    }
+    if min_x > max_x {
+        return 0.0;
+    }
+    (max_x - min_x) + (max_y - min_y)
+}
+
+/// Total HPWL over all nets for per-cell positions `(x, y, row)`.
+pub(crate) fn total_hpwl_at(
+    netlist: &Netlist,
+    positions: &[(f64, f64, usize)],
+    widths: &[f64],
+    ports: &[(String, f64, f64)],
+) -> f64 {
+    (0..netlist.net_count())
+        .map(|i| net_hpwl_at(netlist, NetId::new(i), positions, widths, ports))
+        .sum()
 }
 
 #[cfg(test)]
@@ -540,6 +584,28 @@ mod tests {
         )
         .unwrap();
         assert_ne!(a.hpwl_um(), b.hpwl_um());
+    }
+
+    #[test]
+    fn zero_moves_is_seed_independent() {
+        // The deterministic fast path: with refinement disabled the
+        // constructive packing never touches an RNG, so any two seeds
+        // must produce byte-identical placements.
+        let lib = lib();
+        let netlist = synth(designs::alu(8));
+        let opts = |seed| PlacementOptions {
+            seed,
+            moves_per_cell: 0,
+            ..PlacementOptions::default()
+        };
+        let a = place(&netlist, &lib, &opts(1)).unwrap();
+        let b = place(&netlist, &lib, &opts(0xDEAD_BEEF)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            serde::json::to_string(&a.cells().to_vec()),
+            serde::json::to_string(&b.cells().to_vec())
+        );
+        assert_eq!(a.hpwl_um(), a.initial_hpwl_um());
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Pluggable placement kernels.
+//!
+//! Every placer implements [`Placer`]; [`PlacerKind`] is the canonical
+//! name-addressed registry used by flow profiles, CLI flags and batch
+//! manifests. The kind serializes as its name and deserializes
+//! permissively: a missing/null field means the default (annealing)
+//! kernel, so reports and job specs written before kernel selection
+//! existed keep loading.
+
+use crate::analytic::place_analytic;
+use crate::anneal::{place, PlaceError, Placement, PlacementOptions};
+use chipforge_netlist::Netlist;
+use chipforge_pdk::StdCellLibrary;
+use serde::{Deserialize, Error, Serialize, Value};
+use std::fmt;
+
+/// A placement kernel: turns a netlist into a row-legal [`Placement`].
+pub trait Placer {
+    /// The registry entry this kernel implements.
+    fn kind(&self) -> PlacerKind;
+
+    /// Places a netlist.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::place`].
+    fn place(
+        &self,
+        netlist: &Netlist,
+        lib: &StdCellLibrary,
+        options: &PlacementOptions,
+    ) -> Result<Placement, PlaceError>;
+}
+
+/// The simulated-annealing placer (the seed kernel).
+pub struct AnnealPlacer;
+
+impl Placer for AnnealPlacer {
+    fn kind(&self) -> PlacerKind {
+        PlacerKind::Anneal
+    }
+
+    fn place(
+        &self,
+        netlist: &Netlist,
+        lib: &StdCellLibrary,
+        options: &PlacementOptions,
+    ) -> Result<Placement, PlaceError> {
+        place(netlist, lib, options)
+    }
+}
+
+/// The analytical (quadratic + legalization) placer.
+pub struct AnalyticPlacer;
+
+impl Placer for AnalyticPlacer {
+    fn kind(&self) -> PlacerKind {
+        PlacerKind::Analytic
+    }
+
+    fn place(
+        &self,
+        netlist: &Netlist,
+        lib: &StdCellLibrary,
+        options: &PlacementOptions,
+    ) -> Result<Placement, PlaceError> {
+        place_analytic(netlist, lib, options)
+    }
+}
+
+/// Name-addressed placement kernel selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PlacerKind {
+    /// Simulated annealing over row-packed swaps (seed behaviour).
+    #[default]
+    Anneal,
+    /// Quadratic-wirelength conjugate-gradient solve + row legalization.
+    Analytic,
+}
+
+impl PlacerKind {
+    /// All registered kernels, in canonical order.
+    pub const ALL: [PlacerKind; 2] = [PlacerKind::Anneal, PlacerKind::Analytic];
+
+    /// The canonical kernel name (used in profiles, CLI and manifests).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PlacerKind::Anneal => "anneal",
+            PlacerKind::Analytic => "analytic",
+        }
+    }
+
+    /// Looks a kernel up by name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// The kernel implementation behind this kind.
+    #[must_use]
+    pub fn placer(self) -> &'static dyn Placer {
+        match self {
+            PlacerKind::Anneal => &AnnealPlacer,
+            PlacerKind::Analytic => &AnalyticPlacer,
+        }
+    }
+
+    /// Places a netlist with this kernel.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::place`].
+    pub fn place(
+        self,
+        netlist: &Netlist,
+        lib: &StdCellLibrary,
+        options: &PlacementOptions,
+    ) -> Result<Placement, PlaceError> {
+        self.placer().place(netlist, lib, options)
+    }
+}
+
+impl fmt::Display for PlacerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Serialize for PlacerKind {
+    fn to_value(&self) -> Value {
+        Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for PlacerKind {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            // Pre-kernel-selection documents have no placer field.
+            Value::Null => Ok(PlacerKind::default()),
+            Value::Str(name) => PlacerKind::from_name(name)
+                .ok_or_else(|| Error::new(format!("unknown placer `{name}`"))),
+            other => Err(Error::new(format!(
+                "expected placer name, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in PlacerKind::ALL {
+            assert_eq!(PlacerKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.placer().kind(), kind);
+            assert_eq!(format!("{kind}"), kind.name());
+        }
+        assert_eq!(PlacerKind::from_name("quantum"), None);
+    }
+
+    #[test]
+    fn serde_defaults_missing_to_anneal() {
+        assert_eq!(
+            PlacerKind::from_value(&Value::Null).unwrap(),
+            PlacerKind::Anneal
+        );
+        let json = serde::json::to_string(&PlacerKind::Analytic);
+        assert_eq!(json, "\"analytic\"");
+        let back: PlacerKind = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, PlacerKind::Analytic);
+        assert!(serde::json::from_str::<PlacerKind>("\"nope\"").is_err());
+    }
+}

@@ -6,10 +6,18 @@
 //!
 //! 1. **Floorplanning** ([`Floorplan::for_netlist`]) — sizes the die from
 //!    total cell area and a utilization target, and lays out cell rows;
-//! 2. **Placement** ([`place`]) — packs cells into rows, then refines with
-//!    simulated annealing over cell swaps/moves, minimizing half-perimeter
-//!    wirelength (HPWL). Placements are legal by construction (cells are
-//!    always kept packed within rows).
+//! 2. **Placement** — one of two pluggable kernels behind the [`Placer`]
+//!    trait, selected by [`PlacerKind`]:
+//!    * `anneal` ([`place`]) — packs cells into rows, then refines with
+//!      simulated annealing over cell swaps/moves, minimizing
+//!      half-perimeter wirelength (HPWL);
+//!    * `analytic` ([`place_analytic`]) — GORDIAN/FastPlace-style
+//!      quadratic-wirelength conjugate-gradient solve followed by row
+//!      legalization and a deterministic polish (RNG-free, typically
+//!      several times faster at comparable HPWL).
+//!
+//!    Placements are legal by construction (cells are always kept
+//!    non-overlapping within rows).
 //!
 //! I/O ports are distributed along the die boundary; pin positions are
 //! approximated by cell centers, which is adequate for the grid-based
@@ -37,8 +45,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod analytic;
 mod anneal;
 mod floorplan;
+mod kernel;
 
+pub use analytic::place_analytic;
 pub use anneal::{place, PlaceError, PlacedCell, Placement, PlacementOptions};
 pub use floorplan::Floorplan;
+pub use kernel::{AnalyticPlacer, AnnealPlacer, Placer, PlacerKind};

@@ -1,0 +1,181 @@
+//! Pluggable global-routing kernels.
+//!
+//! Every router implements [`GlobalRouter`]; [`RouterKind`] is the
+//! canonical name-addressed registry used by flow profiles, CLI flags
+//! and batch manifests. The kind serializes as its name and deserializes
+//! permissively: a missing/null field means the default (maze) kernel,
+//! so documents written before kernel selection existed keep loading.
+
+use crate::maze::{route, RouteError, RouteOptions, Routing};
+use crate::steiner::route_steiner;
+use chipforge_netlist::Netlist;
+use chipforge_pdk::StdCellLibrary;
+use chipforge_place::Placement;
+use serde::{Deserialize, Error, Serialize, Value};
+use std::fmt;
+
+/// A global-routing kernel: turns a placement into a [`Routing`].
+pub trait GlobalRouter {
+    /// The registry entry this kernel implements.
+    fn kind(&self) -> RouterKind;
+
+    /// Routes a placed netlist.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::route`].
+    fn route(
+        &self,
+        netlist: &Netlist,
+        placement: &Placement,
+        lib: &StdCellLibrary,
+        options: &RouteOptions,
+    ) -> Result<Routing, RouteError>;
+}
+
+/// The maze (MST + congestion-aware A*) router (the seed kernel).
+pub struct MazeRouter;
+
+impl GlobalRouter for MazeRouter {
+    fn kind(&self) -> RouterKind {
+        RouterKind::Maze
+    }
+
+    fn route(
+        &self,
+        netlist: &Netlist,
+        placement: &Placement,
+        lib: &StdCellLibrary,
+        options: &RouteOptions,
+    ) -> Result<Routing, RouteError> {
+        route(netlist, placement, lib, options)
+    }
+}
+
+/// The Steiner-tree constructor (1-Steiner / HPWL-spine + L embedding).
+pub struct SteinerRouter;
+
+impl GlobalRouter for SteinerRouter {
+    fn kind(&self) -> RouterKind {
+        RouterKind::Steiner
+    }
+
+    fn route(
+        &self,
+        netlist: &Netlist,
+        placement: &Placement,
+        lib: &StdCellLibrary,
+        options: &RouteOptions,
+    ) -> Result<Routing, RouteError> {
+        route_steiner(netlist, placement, lib, options)
+    }
+}
+
+/// Name-addressed global-routing kernel selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RouterKind {
+    /// MST decomposition + congestion-aware A* (seed behaviour).
+    #[default]
+    Maze,
+    /// Rectilinear Steiner trees feeding the same negotiation rounds.
+    Steiner,
+}
+
+impl RouterKind {
+    /// All registered kernels, in canonical order.
+    pub const ALL: [RouterKind; 2] = [RouterKind::Maze, RouterKind::Steiner];
+
+    /// The canonical kernel name (used in profiles, CLI and manifests).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RouterKind::Maze => "maze",
+            RouterKind::Steiner => "steiner",
+        }
+    }
+
+    /// Looks a kernel up by name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// The kernel implementation behind this kind.
+    #[must_use]
+    pub fn router(self) -> &'static dyn GlobalRouter {
+        match self {
+            RouterKind::Maze => &MazeRouter,
+            RouterKind::Steiner => &SteinerRouter,
+        }
+    }
+
+    /// Routes a placed netlist with this kernel.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::route`].
+    pub fn route(
+        self,
+        netlist: &Netlist,
+        placement: &Placement,
+        lib: &StdCellLibrary,
+        options: &RouteOptions,
+    ) -> Result<Routing, RouteError> {
+        self.router().route(netlist, placement, lib, options)
+    }
+}
+
+impl fmt::Display for RouterKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Serialize for RouterKind {
+    fn to_value(&self) -> Value {
+        Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for RouterKind {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            // Pre-kernel-selection documents have no router field.
+            Value::Null => Ok(RouterKind::default()),
+            Value::Str(name) => RouterKind::from_name(name)
+                .ok_or_else(|| Error::new(format!("unknown router `{name}`"))),
+            other => Err(Error::new(format!(
+                "expected router name, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in RouterKind::ALL {
+            assert_eq!(RouterKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.router().kind(), kind);
+            assert_eq!(format!("{kind}"), kind.name());
+        }
+        assert_eq!(RouterKind::from_name("teleport"), None);
+    }
+
+    #[test]
+    fn serde_defaults_missing_to_maze() {
+        assert_eq!(
+            RouterKind::from_value(&Value::Null).unwrap(),
+            RouterKind::Maze
+        );
+        let json = serde::json::to_string(&RouterKind::Steiner);
+        assert_eq!(json, "\"steiner\"");
+        let back: RouterKind = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, RouterKind::Steiner);
+        assert!(serde::json::from_str::<RouterKind>("\"nope\"").is_err());
+    }
+}

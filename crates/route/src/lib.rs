@@ -2,12 +2,21 @@
 //!
 //! Grid-based global routing with congestion negotiation.
 //!
-//! The router tessellates the core area into gcells, derives per-edge track
-//! capacities from the node's routing pitches and metal-layer count, breaks
-//! every multi-pin net into two-pin segments along a minimum spanning tree,
-//! and routes each segment with congestion-aware A*. Overflowed nets are
-//! ripped up and rerouted with escalating history costs (a simplified
-//! PathFinder negotiation).
+//! The router tessellates the core area into gcells and derives per-edge
+//! track capacities from the node's routing pitches and metal-layer
+//! count. Two pluggable kernels behind the [`GlobalRouter`] trait
+//! (selected by [`RouterKind`]) construct each net's first-pass topology:
+//!
+//! * `maze` ([`route`]) — breaks every multi-pin net into two-pin
+//!   segments along a minimum spanning tree and routes each segment with
+//!   congestion-aware A*;
+//! * `steiner` ([`route_steiner`]) — builds a FLUTE-style rectilinear
+//!   Steiner tree (iterated 1-Steiner for low-degree nets, HPWL spine
+//!   for high fan-out) and embeds it as congestion-aware L-shapes,
+//!   skipping the per-segment search entirely.
+//!
+//! Either way, overflowed nets are ripped up and rerouted with
+//! escalating history costs (a simplified PathFinder negotiation).
 //!
 //! The result reports per-net wirelength (used to back-annotate wire
 //! capacitance into `chipforge-sta`-style timing), via counts, the
@@ -38,7 +47,11 @@
 #![warn(missing_docs)]
 
 mod grid;
+mod kernel;
 mod maze;
+mod steiner;
 
 pub use grid::{GcellGrid, GridCoord};
+pub use kernel::{GlobalRouter, MazeRouter, RouterKind, SteinerRouter};
 pub use maze::{route, RouteError, RouteOptions, RoutedNet, Routing};
+pub use steiner::{route_steiner, steiner_tree};

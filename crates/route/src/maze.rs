@@ -123,7 +123,17 @@ impl fmt::Display for RouteError {
 
 impl Error for RouteError {}
 
-/// Globally routes a placed netlist.
+/// How the first routing pass constructs each net's topology. Later
+/// negotiation rounds always repair overflow with congestion-aware A*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum InitialTopology {
+    /// MST decomposition + A* per two-pin segment (seed behaviour).
+    MazeAstar,
+    /// Rectilinear Steiner tree embedded as congestion-aware L-shapes.
+    SteinerTree,
+}
+
+/// Globally routes a placed netlist with the maze (A*) kernel.
 ///
 /// # Errors
 ///
@@ -134,6 +144,19 @@ pub fn route(
     placement: &Placement,
     lib: &StdCellLibrary,
     options: &RouteOptions,
+) -> Result<Routing, RouteError> {
+    drive(netlist, placement, lib, options, InitialTopology::MazeAstar)
+}
+
+/// The shared congestion-negotiation driver: builds the grid, collects
+/// pins, runs the first pass with the requested topology and then
+/// PathFinder-style rip-up-and-reroute rounds.
+pub(crate) fn drive(
+    netlist: &Netlist,
+    placement: &Placement,
+    lib: &StdCellLibrary,
+    options: &RouteOptions,
+    topology: InitialTopology,
 ) -> Result<Routing, RouteError> {
     if placement.cells().len() != netlist.cell_count() {
         return Err(RouteError::PlacementMismatch);
@@ -200,7 +223,19 @@ pub fn route(
                     *history.entry(edge_key(*a, *b)).or_insert(0.0) += 1.0;
                 }
             }
-            let routed = route_net(&mut grid, &pins[idx], &history, round);
+            // Steiner topology re-embeds through every round but the
+            // last: congestion-gated detour candidates resolve most
+            // overflow at a fraction of A*'s cost, and the final round
+            // falls back to full negotiated search as the convergence
+            // backstop.
+            let final_round = round + 1 == options.max_iterations.max(1);
+            let use_embed =
+                topology == InitialTopology::SteinerTree && (round == 0 || !final_round);
+            let routed = if use_embed {
+                crate::steiner::embed_net(&grid, &pins[idx])
+            } else {
+                route_net(&mut grid, &pins[idx], &history, round)
+            };
             if let Some(edges) = routed {
                 for (a, b) in &edges {
                     grid.add_usage(*a, *b, 1);
@@ -231,7 +266,7 @@ pub fn route(
     })
 }
 
-fn edge_key(a: GridCoord, b: GridCoord) -> (GridCoord, GridCoord) {
+pub(crate) fn edge_key(a: GridCoord, b: GridCoord) -> (GridCoord, GridCoord) {
     if a <= b {
         (a, b)
     } else {

@@ -1,0 +1,466 @@
+//! FLUTE-style rectilinear Steiner-tree construction.
+//!
+//! Low-degree nets (the vast majority) get an iterated 1-Steiner tree:
+//! start from the pin MST, then greedily insert Hanan-grid points while
+//! they shorten the tree — the classic Kahng/Robins heuristic that
+//! lookup-table routers like FLUTE approximate. High-degree nets fall
+//! back to an HPWL spine (median-x trunk with per-pin branches). Tree
+//! segments are embedded into the gcell grid as L-shapes, choosing each
+//! bend orientation by current congestion, and the embedded nets feed the
+//! same PathFinder negotiation rounds as the maze kernel.
+
+use crate::grid::{GcellGrid, GridCoord};
+use crate::maze::{drive, edge_key, InitialTopology, RouteError, RouteOptions, Routing};
+use chipforge_netlist::Netlist;
+use chipforge_pdk::StdCellLibrary;
+use chipforge_place::Placement;
+use std::collections::HashSet;
+
+/// Nets with more pins than this skip the 1-Steiner search and use the
+/// HPWL-spine topology instead.
+pub(crate) const STEINER_PIN_LIMIT: usize = 8;
+
+/// Globally routes a placed netlist with the Steiner-tree kernel.
+///
+/// # Errors
+///
+/// Returns [`RouteError::PlacementMismatch`] if `placement` was produced
+/// from a different netlist.
+pub fn route_steiner(
+    netlist: &Netlist,
+    placement: &Placement,
+    lib: &StdCellLibrary,
+    options: &RouteOptions,
+) -> Result<Routing, RouteError> {
+    drive(
+        netlist,
+        placement,
+        lib,
+        options,
+        InitialTopology::SteinerTree,
+    )
+}
+
+/// Builds a rectilinear Steiner tree over `pins`, returned as
+/// axis-independent point-to-point segments whose Manhattan lengths sum
+/// to the tree wirelength. Duplicate pins are ignored; fewer than two
+/// distinct pins yield an empty tree.
+#[must_use]
+pub fn steiner_tree(pins: &[GridCoord]) -> Vec<(GridCoord, GridCoord)> {
+    let mut points: Vec<GridCoord> = Vec::new();
+    for &p in pins {
+        if !points.contains(&p) {
+            points.push(p);
+        }
+    }
+    if points.len() < 2 {
+        return Vec::new();
+    }
+    if points.len() > STEINER_PIN_LIMIT {
+        return spine_tree(&points);
+    }
+    let terminals = points.len();
+
+    // Iterated 1-Steiner: add the Hanan-grid point that shrinks the MST
+    // the most, until no candidate helps. `terminals - 2` Steiner points
+    // always suffice for an optimal tree, so the loop is bounded.
+    let mut best_len = mst_length(&points);
+    for _ in 0..terminals.saturating_sub(2) {
+        let mut best: Option<(GridCoord, u64)> = None;
+        for candidate in hanan_candidates(&points) {
+            points.push(candidate);
+            let len = mst_length(&points);
+            points.pop();
+            if len < best_len && best.is_none_or(|(_, b)| len < b) {
+                best = Some((candidate, len));
+            }
+        }
+        match best {
+            Some((candidate, len)) => {
+                points.push(candidate);
+                best_len = len;
+            }
+            None => break,
+        }
+    }
+
+    // Build the final MST and prune useless (degree <= 1) Steiner points.
+    let mut edges = mst_edges(&points);
+    loop {
+        let mut degree = vec![0usize; points.len()];
+        for &(a, b) in &edges {
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+        let prune = (terminals..points.len()).find(|&i| degree[i] <= 1);
+        match prune {
+            Some(i) => {
+                edges.retain(|&(a, b)| a != i && b != i);
+                for e in &mut edges {
+                    if e.0 > i {
+                        e.0 -= 1;
+                    }
+                    if e.1 > i {
+                        e.1 -= 1;
+                    }
+                }
+                points.remove(i);
+            }
+            None => break,
+        }
+    }
+    edges
+        .into_iter()
+        .map(|(a, b)| (points[a], points[b]))
+        .collect()
+}
+
+/// HPWL-spine topology for high-degree nets: a vertical trunk at the
+/// median pin x, with a horizontal branch per pin.
+fn spine_tree(points: &[GridCoord]) -> Vec<(GridCoord, GridCoord)> {
+    let mut xs: Vec<u16> = points.iter().map(|p| p.x).collect();
+    xs.sort_unstable();
+    let trunk_x = xs[xs.len() / 2];
+    let min_y = points.iter().map(|p| p.y).min().expect("non-empty");
+    let max_y = points.iter().map(|p| p.y).max().expect("non-empty");
+    let mut edges = Vec::with_capacity(points.len() + 1);
+    if min_y != max_y {
+        edges.push((
+            GridCoord::new(trunk_x, min_y),
+            GridCoord::new(trunk_x, max_y),
+        ));
+    }
+    for &p in points {
+        if p.x != trunk_x {
+            edges.push((p, GridCoord::new(trunk_x, p.y)));
+        }
+    }
+    edges
+}
+
+/// Total Manhattan MST length over a point set (Prim's algorithm).
+fn mst_length(points: &[GridCoord]) -> u64 {
+    let n = points.len();
+    let mut in_tree = vec![false; n];
+    let mut dist = vec![u32::MAX; n];
+    in_tree[0] = true;
+    for j in 1..n {
+        dist[j] = points[0].manhattan(points[j]);
+    }
+    let mut total = 0u64;
+    for _ in 1..n {
+        let mut best = usize::MAX;
+        let mut best_d = u32::MAX;
+        for j in 0..n {
+            if !in_tree[j] && dist[j] < best_d {
+                best = j;
+                best_d = dist[j];
+            }
+        }
+        in_tree[best] = true;
+        total += u64::from(best_d);
+        for j in 0..n {
+            if !in_tree[j] {
+                let d = points[best].manhattan(points[j]);
+                if d < dist[j] {
+                    dist[j] = d;
+                }
+            }
+        }
+    }
+    total
+}
+
+/// MST edge list as index pairs (Prim's algorithm).
+fn mst_edges(points: &[GridCoord]) -> Vec<(usize, usize)> {
+    let n = points.len();
+    let mut in_tree = vec![false; n];
+    let mut dist = vec![u32::MAX; n];
+    let mut parent = vec![0usize; n];
+    in_tree[0] = true;
+    for j in 1..n {
+        dist[j] = points[0].manhattan(points[j]);
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    for _ in 1..n {
+        let mut best = usize::MAX;
+        let mut best_d = u32::MAX;
+        for j in 0..n {
+            if !in_tree[j] && dist[j] < best_d {
+                best = j;
+                best_d = dist[j];
+            }
+        }
+        in_tree[best] = true;
+        edges.push((parent[best], best));
+        for j in 0..n {
+            if !in_tree[j] {
+                let d = points[best].manhattan(points[j]);
+                if d < dist[j] {
+                    dist[j] = d;
+                    parent[j] = best;
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Hanan-grid candidates: intersections of the points' x and y
+/// coordinates that are not already in the set.
+fn hanan_candidates(points: &[GridCoord]) -> Vec<GridCoord> {
+    let mut xs: Vec<u16> = points.iter().map(|p| p.x).collect();
+    let mut ys: Vec<u16> = points.iter().map(|p| p.y).collect();
+    xs.sort_unstable();
+    xs.dedup();
+    ys.sort_unstable();
+    ys.dedup();
+    let mut out = Vec::new();
+    for &x in &xs {
+        for &y in &ys {
+            let c = GridCoord::new(x, y);
+            if !points.contains(&c) {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Embeds a net's Steiner tree into the grid as unit gcell edges,
+/// choosing each segment's embedding (two L-bends plus two staircase
+/// Z-shapes through the segment midpoint) by current congestion.
+/// Returns `None` for nets with fewer than two distinct pins (mirroring
+/// the maze kernel's contract).
+pub(crate) fn embed_net(
+    grid: &GcellGrid,
+    pins: &[GridCoord],
+) -> Option<Vec<(GridCoord, GridCoord)>> {
+    let tree = steiner_tree(pins);
+    if tree.is_empty() {
+        return None;
+    }
+    let mut edges = Vec::new();
+    let mut seen: HashSet<(GridCoord, GridCoord)> = HashSet::new();
+    for (a, b) in tree {
+        let mut best: Option<(f64, Vec<(GridCoord, GridCoord)>)> = None;
+        for corners in basic_candidates(a, b) {
+            let path = path_edges(&corners);
+            let limit = best.as_ref().map(|(c, _)| *c);
+            if let Some(cost) = path_cost(grid, &path, limit) {
+                best = Some((cost, path));
+            }
+        }
+        let (mut cost, mut path) = best.expect("segments have at least one embedding");
+        // Only a segment whose best in-bbox embedding would land on an
+        // at-capacity edge pays for evaluating the out-of-bbox detours;
+        // in the common uncongested case the bbox candidates are optimal
+        // and the detours cannot win.
+        if path.iter().any(|&(u, v)| {
+            let (usage, capacity) = grid.edge_usage(u, v);
+            usage >= capacity
+        }) {
+            for corners in detour_candidates(grid, a, b) {
+                let detour = path_edges(&corners);
+                if let Some(c) = path_cost(grid, &detour, Some(cost)) {
+                    cost = c;
+                    path = detour;
+                }
+            }
+        }
+        for edge in path {
+            if seen.insert(edge_key(edge.0, edge.1)) {
+                edges.push(edge);
+            }
+        }
+    }
+    Some(edges)
+}
+
+/// Bounding-box candidate embeddings for one tree segment, as corner
+/// sequences: the two L-bends and the two midpoint staircases.
+/// Straight segments admit exactly one embedding, and staircases whose
+/// midpoint lands on an endpoint collapse into the L-shapes, so the
+/// degenerate cases are dropped rather than costed twice.
+fn basic_candidates(a: GridCoord, b: GridCoord) -> Vec<Vec<GridCoord>> {
+    if a.x == b.x || a.y == b.y {
+        return vec![vec![a, b]];
+    }
+    let mut candidates = vec![
+        vec![a, GridCoord::new(b.x, a.y), b],
+        vec![a, GridCoord::new(a.x, b.y), b],
+    ];
+    if a.x.abs_diff(b.x) > 1 {
+        let xm = a.x.min(b.x) + a.x.abs_diff(b.x) / 2;
+        candidates.push(vec![a, GridCoord::new(xm, a.y), GridCoord::new(xm, b.y), b]);
+    }
+    if a.y.abs_diff(b.y) > 1 {
+        let ym = a.y.min(b.y) + a.y.abs_diff(b.y) / 2;
+        candidates.push(vec![a, GridCoord::new(a.x, ym), GridCoord::new(b.x, ym), b]);
+    }
+    candidates
+}
+
+/// U-shaped detours via the rows/columns outside the segment's bounding
+/// box — the only way an embedding can escape a saturated channel the
+/// way the maze kernel's A* search would.
+fn detour_candidates(grid: &GcellGrid, a: GridCoord, b: GridCoord) -> Vec<Vec<GridCoord>> {
+    let mut candidates = Vec::new();
+    for d in [1u16, 3, 6] {
+        let below = a.y.min(b.y).checked_sub(d);
+        let above = (a.y.max(b.y) + d < grid.height()).then(|| a.y.max(b.y) + d);
+        for y in below.into_iter().chain(above) {
+            candidates.push(vec![a, GridCoord::new(a.x, y), GridCoord::new(b.x, y), b]);
+        }
+        let left = a.x.min(b.x).checked_sub(d);
+        let right = (a.x.max(b.x) + d < grid.width()).then(|| a.x.max(b.x) + d);
+        for x in left.into_iter().chain(right) {
+            candidates.push(vec![a, GridCoord::new(x, a.y), GridCoord::new(x, b.y), b]);
+        }
+    }
+    candidates
+}
+
+/// Unit edges of the axis-aligned polyline through `corners`.
+fn path_edges(corners: &[GridCoord]) -> Vec<(GridCoord, GridCoord)> {
+    let mut edges = Vec::new();
+    for pair in corners.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if a.y == b.y {
+            for x in a.x.min(b.x)..a.x.max(b.x) {
+                edges.push((GridCoord::new(x, a.y), GridCoord::new(x + 1, a.y)));
+            }
+        } else {
+            for y in a.y.min(b.y)..a.y.max(b.y) {
+                edges.push((GridCoord::new(a.x, y), GridCoord::new(a.x, y + 1)));
+            }
+        }
+    }
+    edges
+}
+
+/// Base cost per unit edge, so detours only win under congestion.
+const EDGE_COST: f64 = 0.25;
+
+/// Cost of one candidate embedding: [`EDGE_COST`] per unit edge plus
+/// squared utilization and a flat penalty per edge already at capacity.
+/// Returns `None` as soon as the running total exceeds `limit`, so
+/// losing candidates are abandoned early.
+fn path_cost(grid: &GcellGrid, path: &[(GridCoord, GridCoord)], limit: Option<f64>) -> Option<f64> {
+    let mut total = 0.0;
+    for &(u, v) in path {
+        let (usage, capacity) = grid.edge_usage(u, v);
+        let util = f64::from(usage) / f64::from(capacity);
+        total += EDGE_COST + util * util + if usage >= capacity { 4.0 } else { 0.0 };
+        if limit.is_some_and(|l| total >= l) {
+            return None;
+        }
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maze::route;
+    use chipforge_hdl::designs;
+    use chipforge_pdk::{LibraryKind, StdCellLibrary, TechnologyNode};
+    use chipforge_place::{place, PlacementOptions};
+    use chipforge_synth::{synthesize, SynthOptions};
+
+    fn lib() -> StdCellLibrary {
+        StdCellLibrary::generate(TechnologyNode::N130, LibraryKind::Open)
+    }
+
+    fn tree_length(edges: &[(GridCoord, GridCoord)]) -> u64 {
+        edges.iter().map(|&(a, b)| u64::from(a.manhattan(b))).sum()
+    }
+
+    #[test]
+    fn steiner_beats_or_matches_the_mst() {
+        // The textbook case: 4 corner pins. The MST needs 3 full sides
+        // (30 units on a 10x10 square); the Steiner tree adds points and
+        // does better.
+        let pins = [
+            GridCoord::new(0, 0),
+            GridCoord::new(10, 0),
+            GridCoord::new(0, 10),
+            GridCoord::new(10, 10),
+        ];
+        let tree = steiner_tree(&pins);
+        assert!(!tree.is_empty());
+        assert!(tree_length(&tree) <= 30, "length {}", tree_length(&tree));
+    }
+
+    #[test]
+    fn degenerate_nets_yield_empty_trees() {
+        assert!(steiner_tree(&[]).is_empty());
+        assert!(steiner_tree(&[GridCoord::new(3, 3)]).is_empty());
+        assert!(steiner_tree(&[GridCoord::new(3, 3), GridCoord::new(3, 3)]).is_empty());
+    }
+
+    #[test]
+    fn high_degree_nets_use_the_spine() {
+        let pins: Vec<GridCoord> = (0..12u16).map(|i| GridCoord::new(i, i % 4)).collect();
+        let tree = steiner_tree(&pins);
+        assert!(!tree.is_empty());
+        // The spine spans every pin: walking the embedded unit edges
+        // reaches all of them.
+        let lib = lib();
+        let grid = GcellGrid::new(200.0, 200.0, 10.0, &lib);
+        let edges = embed_net(&grid, &pins).expect("embeds");
+        let mut reach: std::collections::HashSet<GridCoord> = std::collections::HashSet::new();
+        for (a, b) in &edges {
+            reach.insert(*a);
+            reach.insert(*b);
+        }
+        for pin in &pins {
+            assert!(reach.contains(pin), "pin {pin:?} not covered");
+        }
+    }
+
+    #[test]
+    fn steiner_routing_matches_maze_quality_on_the_suite() {
+        let lib = lib();
+        for design in designs::suite() {
+            let module = design.elaborate().unwrap();
+            let netlist = synthesize(&module, &lib, &SynthOptions::default())
+                .unwrap()
+                .netlist;
+            let placement = place(&netlist, &lib, &PlacementOptions::default()).unwrap();
+            let maze = route(&netlist, &placement, &lib, &RouteOptions::default()).unwrap();
+            let steiner =
+                route_steiner(&netlist, &placement, &lib, &RouteOptions::default()).unwrap();
+            assert_eq!(
+                steiner.overflowed_edges(),
+                0,
+                "{} overflows under steiner (peak {})",
+                design.name(),
+                steiner.peak_congestion()
+            );
+            assert_eq!(steiner.nets().len(), maze.nets().len(), "{}", design.name());
+            // Tree wirelength must stay within a small factor of the
+            // maze result (it is usually shorter).
+            assert!(
+                steiner.total_wirelength_um() <= maze.total_wirelength_um() * 1.10 + 1e-9,
+                "{}: steiner {} vs maze {}",
+                design.name(),
+                steiner.total_wirelength_um(),
+                maze.total_wirelength_um()
+            );
+        }
+    }
+
+    #[test]
+    fn steiner_routing_is_deterministic() {
+        let lib = lib();
+        let module = designs::alu(8).elaborate().unwrap();
+        let netlist = synthesize(&module, &lib, &SynthOptions::default())
+            .unwrap()
+            .netlist;
+        let placement = place(&netlist, &lib, &PlacementOptions::default()).unwrap();
+        let a = route_steiner(&netlist, &placement, &lib, &RouteOptions::default()).unwrap();
+        let b = route_steiner(&netlist, &placement, &lib, &RouteOptions::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -390,6 +390,42 @@ impl Aig {
         values[lit.node().index()] ^ lit.is_complemented()
     }
 
+    /// Bit-parallel variant of [`Aig::simulate`]: evaluates 64 input
+    /// vectors at once, one per bit lane of the `u64` words. Lane `i` of
+    /// every returned word equals the scalar simulation of lane `i` of
+    /// the inputs and latches, so one pass over the graph replaces 64.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value slices have wrong lengths.
+    #[must_use]
+    pub fn simulate64(&self, input_values: &[u64], latch_values: &[u64]) -> Vec<u64> {
+        assert_eq!(input_values.len(), self.inputs.len());
+        assert_eq!(latch_values.len(), self.latches.len());
+        let mut values = vec![0u64; self.nodes.len()];
+        for ((_, id), &v) in self.inputs.iter().zip(input_values) {
+            values[id.index()] = v;
+        }
+        for (latch, &v) in self.latches.iter().zip(latch_values) {
+            values[latch.q.index()] = v;
+        }
+        // Nodes are created in topological order (fanins precede fanouts).
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let AigNode::And(a, b) = node {
+                let va = values[a.node().index()] ^ complement_mask(a.is_complemented());
+                let vb = values[b.node().index()] ^ complement_mask(b.is_complemented());
+                values[i] = va & vb;
+            }
+        }
+        values
+    }
+
+    /// Reads a literal's 64-lane value from a [`Aig::simulate64`] result.
+    #[must_use]
+    pub fn lit_value64(values: &[u64], lit: Lit) -> u64 {
+        values[lit.node().index()] ^ complement_mask(lit.is_complemented())
+    }
+
     /// Reference counts: how many times each node is used as a fanin
     /// (including outputs and latch next-states).
     #[must_use]
@@ -408,6 +444,15 @@ impl Aig {
             refs[latch.d.node().index()] += 1;
         }
         refs
+    }
+}
+
+/// All-ones when complemented, so `value ^ mask` inverts every lane.
+fn complement_mask(complemented: bool) -> u64 {
+    if complemented {
+        u64::MAX
+    } else {
+        0
     }
 }
 
@@ -491,6 +536,50 @@ mod tests {
         let values = aig.simulate(&[], &[false]);
         let next = Aig::lit_value(&values, aig.latches()[0].d);
         assert!(next, "toggle from 0 goes to 1");
+    }
+
+    #[test]
+    fn simulate64_matches_scalar_simulation() {
+        // A small sequential cone: y = (a ^ b) | q, q' = a & q.
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let q = aig.add_latch("q");
+        let x = aig.xor(a, b);
+        let y = !aig.and(!x, !q);
+        let next = aig.and(a, q);
+        aig.set_latch_next(q.node(), next);
+        aig.add_output("y", y);
+
+        // Lane i carries input pattern i (3 bits: a, b, q).
+        let lane_bit = |pin: u64| {
+            let mut w = 0u64;
+            for lane in 0..64u64 {
+                if (lane >> pin) & 1 == 1 {
+                    w |= 1 << lane;
+                }
+            }
+            w
+        };
+        let wide = aig.simulate64(&[lane_bit(0), lane_bit(1)], &[lane_bit(2)]);
+        for lane in 0..64u64 {
+            let narrow = aig.simulate(
+                &[lane & 1 == 1, (lane >> 1) & 1 == 1],
+                &[(lane >> 2) & 1 == 1],
+            );
+            for (node, &value) in narrow.iter().enumerate() {
+                assert_eq!(
+                    (wide[node] >> lane) & 1 == 1,
+                    value,
+                    "lane {lane} node {node}"
+                );
+            }
+            assert_eq!(
+                (Aig::lit_value64(&wide, y) >> lane) & 1 == 1,
+                Aig::lit_value(&narrow, y),
+                "lane {lane} output"
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Simulation-based equivalence checking between RTL and mapped netlists.
 
-use chipforge_hdl::{RtlModule, Simulator};
+use chipforge_hdl::{RtlModule, VectorSimulator};
 use chipforge_netlist::Netlist;
 use std::collections::HashMap;
 
@@ -9,12 +9,17 @@ use std::collections::HashMap;
 ///
 /// The netlist must use the bit-blasted port naming produced by the mapper
 /// (`sig[i]` per bit). Returns `true` if every output bit matches on every
-/// cycle. This is the flow's stand-in for formal equivalence checking; with
-/// `cycles` in the tens it catches the practically relevant mapping bugs.
+/// cycle. This is the flow's stand-in for formal equivalence checking.
+///
+/// Both sides run bit-parallel: each of the `cycles` clock edges drives 64
+/// independent random vectors at once (one per bit lane of a `u64` word)
+/// through [`VectorSimulator`] and [`Netlist::eval_combinational64`], so a
+/// run covers `64 * cycles` stimulus patterns at roughly the cost the
+/// scalar co-simulation paid for `cycles`.
 #[must_use]
 pub fn simulate_equivalent(module: &RtlModule, netlist: &Netlist, cycles: u64, seed: u64) -> bool {
-    let mut rtl = Simulator::new(module);
-    let mut ff_state = HashMap::new();
+    let mut rtl = VectorSimulator::new(module);
+    let mut ff_state: HashMap<_, u64> = HashMap::new();
     let mut rng = seed | 1;
 
     // Pre-resolve netlist input port order -> (rtl signal, bit).
@@ -30,31 +35,42 @@ pub fn simulate_equivalent(module: &RtlModule, netlist: &Netlist, cycles: u64, s
         .collect();
 
     for _ in 0..cycles {
-        let mut rtl_values: HashMap<String, u64> = HashMap::new();
+        // One random plane word per input bit: 64 lanes of fresh stimulus.
+        let mut rtl_planes: HashMap<String, Vec<u64>> = HashMap::new();
         for signal in module.inputs() {
-            rng = rng
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            let value = rng >> 16;
-            rtl.set(signal.name(), value);
-            rtl_values.insert(signal.name().to_string(), value);
+            let planes: Vec<u64> = (0..signal.width())
+                .map(|_| {
+                    rng = rng
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    rng
+                })
+                .collect();
+            rtl.set(signal.name(), &planes);
+            rtl_planes.insert(signal.name().to_string(), planes);
         }
-        let input_bits: Vec<bool> = input_map
+        let input_words: Vec<u64> = input_map
             .iter()
-            .map(|(sig, bit)| (rtl_values.get(sig).copied().unwrap_or(0) >> bit) & 1 == 1)
+            .map(|(sig, bit)| {
+                rtl_planes
+                    .get(sig)
+                    .and_then(|planes| planes.get(*bit as usize))
+                    .copied()
+                    .unwrap_or(0)
+            })
             .collect();
-        let net_values = match netlist.eval_combinational(&input_bits, &ff_state) {
+        let net_values = match netlist.eval_combinational64(&input_words, &ff_state) {
             Ok(v) => v,
             Err(_) => return false,
         };
         for ((sig, bit), (_, net)) in output_map.iter().zip(netlist.outputs()) {
-            let expected = (rtl.get(sig) >> bit) & 1 == 1;
-            let got = net_values[net.index()];
-            if expected != got {
+            let expected = rtl.get(sig).get(*bit as usize).copied().unwrap_or(0);
+            // All 64 lanes must agree at once.
+            if expected != net_values[net.index()] {
                 return false;
             }
         }
-        ff_state = netlist.next_state(&net_values, &ff_state);
+        ff_state = netlist.next_state64(&net_values, &ff_state);
         rtl.step();
     }
     true
@@ -99,5 +115,28 @@ mod tests {
             .unwrap();
         bad.mark_output("y[0]", y).unwrap();
         assert!(!simulate_equivalent(&module, &bad, 16, 1));
+    }
+
+    #[test]
+    fn one_lane_disagreements_are_caught() {
+        // y = a on the RTL side; netlist inverts, so every lane differs —
+        // but also check a subtle case: netlist AND-ing a with itself is
+        // still equivalent (lane agreement must hold, not lane identity).
+        let module = parse("module m() { input a; output y; assign y = a; }").unwrap();
+        let mut same = Netlist::new("m");
+        let a = same.add_input("a[0]");
+        let y = same.add_net("y");
+        same.add_cell("u0", CellFunction::And2, "AND2_X1", &[a, a], y)
+            .unwrap();
+        same.mark_output("y[0]", y).unwrap();
+        assert!(simulate_equivalent(&module, &same, 8, 7));
+
+        let mut inv = Netlist::new("m");
+        let a = inv.add_input("a[0]");
+        let y = inv.add_net("y");
+        inv.add_cell("u0", CellFunction::Inv, "INV_X1", &[a], y)
+            .unwrap();
+        inv.mark_output("y[0]", y).unwrap();
+        assert!(!simulate_equivalent(&module, &inv, 8, 7));
     }
 }

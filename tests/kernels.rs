@@ -1,0 +1,203 @@
+//! End-to-end kernel selection through the `forge` binary: `--placer` /
+//! `--router` flags on `forge run`, `placer`/`router` manifest fields on
+//! `forge batch`, exit-2 diagnostics for unknown kernel names, and
+//! per-stage observability spans naming the kernel that actually ran.
+
+use chipforge::obs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn forge() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_forge"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("chipforge-kernels-{}-{name}", std::process::id()))
+}
+
+/// Runs `forge run counter8` with the given kernel flags and returns the
+/// (place, route) span details from the emitted trace.
+fn traced_run(extra: &[&str]) -> (String, String) {
+    let out = temp_path(&format!("run-{}.json", extra.join("-").replace("--", "")));
+    let output = forge()
+        .args(["run", "counter8", "--profile", "quick", "--trace"])
+        .arg(&out)
+        .args(extra)
+        .output()
+        .expect("forge run executes");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = std::fs::read_to_string(&out).expect("trace file written");
+    std::fs::remove_file(&out).ok();
+    let trace = obs::parse_chrome_json(&text).expect("valid Chrome trace JSON");
+    let detail = |name: &str| {
+        trace
+            .spans
+            .iter()
+            .find(|s| s.category == "flow" && s.name == name)
+            .unwrap_or_else(|| panic!("missing flow span `{name}`"))
+            .detail
+            .clone()
+    };
+    (detail("place"), detail("route"))
+}
+
+#[test]
+fn run_spans_name_the_selected_kernels() {
+    let (place, route) = traced_run(&["--placer", "analytic", "--router", "steiner"]);
+    assert!(place.contains("analytic kernel"), "place detail: {place}");
+    assert!(route.contains("steiner kernel"), "route detail: {route}");
+
+    let (place, route) = traced_run(&[]);
+    assert!(place.contains("anneal kernel"), "place detail: {place}");
+    assert!(route.contains("maze kernel"), "route detail: {route}");
+}
+
+#[test]
+fn unknown_kernel_names_exit_two_naming_the_flag() {
+    let output = forge()
+        .args(["run", "counter8", "--placer", "teleport"])
+        .output()
+        .expect("forge run executes");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--placer"),
+        "stderr names the flag: {stderr}"
+    );
+    assert!(
+        stderr.contains("unknown placer `teleport`"),
+        "stderr names the bad kernel: {stderr}"
+    );
+    assert!(
+        stderr.contains("anneal") && stderr.contains("analytic"),
+        "stderr lists the valid kernels: {stderr}"
+    );
+
+    let output = forge()
+        .args(["run", "counter8", "--router", "carrier-pigeon"])
+        .output()
+        .expect("forge run executes");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--router"),
+        "stderr names the flag: {stderr}"
+    );
+    assert!(
+        stderr.contains("maze") && stderr.contains("steiner"),
+        "stderr lists the valid kernels: {stderr}"
+    );
+}
+
+#[test]
+fn manifest_kernel_fields_flow_through_batch() {
+    let manifest = temp_path("kernels.json");
+    std::fs::write(
+        &manifest,
+        r#"{"jobs": [
+            {"design": "counter8", "profile": "quick",
+             "placer": "analytic", "router": "steiner"},
+            {"design": "gray8", "profile": "quick"}
+        ]}"#,
+    )
+    .expect("write manifest");
+    let output = forge()
+        .args(["batch", manifest.to_str().unwrap(), "--workers", "1"])
+        .output()
+        .expect("forge batch executes");
+    std::fs::remove_file(&manifest).ok();
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn mixed_kernel_jobs_never_share_the_artifact_cache() {
+    let manifest = temp_path("kernels-cache.json");
+    std::fs::write(
+        &manifest,
+        r#"{"jobs": [
+            {"design": "counter8", "profile": "quick",
+             "placer": "analytic", "router": "steiner"},
+            {"design": "counter8", "profile": "quick"}
+        ]}"#,
+    )
+    .expect("write manifest");
+    let output = forge()
+        .args(["batch", manifest.to_str().unwrap(), "--workers", "1"])
+        .output()
+        .expect("forge batch executes");
+    std::fs::remove_file(&manifest).ok();
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    // Same source, different kernels: the whole-flow artifact cache
+    // must treat them as distinct work — a hit here would hand one
+    // kernel's GDS to the other kernel's job.
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("0 hits / 2 misses"),
+        "mixed-kernel jobs aliased in the artifact cache: {stdout}"
+    );
+}
+
+#[test]
+fn manifest_unknown_kernel_exits_two_at_parse_time() {
+    // The bad kernel is in job 2: validation must reject the manifest
+    // before any job runs, naming the entry and the field.
+    let manifest = temp_path("bad-kernel.json");
+    std::fs::write(
+        &manifest,
+        r#"{"jobs": [
+            {"design": "counter8", "profile": "quick"},
+            {"design": "gray8", "profile": "quick", "router": "teleport"}
+        ]}"#,
+    )
+    .expect("write manifest");
+    let output = forge()
+        .args(["batch", manifest.to_str().unwrap(), "--workers", "1"])
+        .output()
+        .expect("forge batch executes");
+    std::fs::remove_file(&manifest).ok();
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("job 2"), "stderr names the entry: {stderr}");
+    assert!(
+        stderr.contains("`router`") && stderr.contains("unknown router `teleport`"),
+        "stderr names the field and value: {stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        !stdout.contains("counter8"),
+        "no job may run before the manifest validates: {stdout}"
+    );
+
+    // Wrong JSON type is the same parse-time config error.
+    let manifest = temp_path("typed-kernel.json");
+    std::fs::write(
+        &manifest,
+        r#"{"jobs": [{"design": "counter8", "placer": 7}]}"#,
+    )
+    .expect("write manifest");
+    let output = forge()
+        .args(["batch", manifest.to_str().unwrap()])
+        .output()
+        .expect("forge batch executes");
+    std::fs::remove_file(&manifest).ok();
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("`placer` must be a string"),
+        "stderr explains the type: {stderr}"
+    );
+}
